@@ -1,0 +1,543 @@
+// Benchmarks regenerating the paper's evaluation (Section 5.3): Table 2
+// (dataset sizes under each system's storage format), Table 3 (query response
+// times with and without indexes across the four systems), Table 4 (insert
+// times for batch sizes 1 and 20), the Figure 6 compiled job, plus ablation
+// benchmarks for the design choices called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// and see cmd/asterixbench for a harness that prints the tables directly.
+package asterixdb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/algebra"
+	"asterixdb/internal/comparators"
+	"asterixdb/internal/temporal"
+	"asterixdb/internal/workload"
+)
+
+// benchScale is deliberately laptop-sized; the reproduced quantity is the
+// *shape* of the comparisons (who wins and by roughly what factor), not the
+// absolute seconds of the paper's 10-node cluster.
+var benchScale = workload.Config{Users: 1000, Messages: 5000, Tweets: 2000, Seed: 7}
+
+type benchEnv struct {
+	gen      *workload.Generator
+	params   workload.QueryParams
+	users    []*adm.Record
+	messages []*adm.Record
+
+	asterixSchema  *Instance
+	asterixKeyOnly *Instance
+	rowstore       *comparators.RowStore
+	docstore       *comparators.DocStore
+	scanstore      *comparators.ScanStore
+}
+
+var sharedEnv *benchEnv
+
+// getEnv lazily builds the shared benchmark environment (loading all systems
+// once and reusing them across benchmarks, like the paper's warm runs).
+func getEnv(b *testing.B) *benchEnv {
+	b.Helper()
+	if sharedEnv != nil {
+		return sharedEnv
+	}
+	gen := workload.New(benchScale)
+	env := &benchEnv{gen: gen, params: gen.Params(), users: gen.Users(), messages: gen.Messages()}
+
+	mkInstance := func(enc adm.Encoding) *Instance {
+		inst, err := Open(Config{
+			DataDir:    b.TempDir(),
+			Partitions: 4,
+			Encoding:   enc,
+			Clock:      temporal.FixedClock{T: time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ddl := `
+create type EmploymentType as open { organization-name: string, start-date: date, end-date: date? }
+create type MugshotUserType as {
+  id: int32, alias: string, name: string, user-since: datetime,
+  address: { street: string, city: string, state: string, zip: string, country: string },
+  friend-ids: {{ int32 }}, employment: [EmploymentType]
+}
+create type MugshotMessageType as closed {
+  message-id: int32, author-id: int32, timestamp: datetime, in-response-to: int32?,
+  sender-location: point?, tags: {{ string }}, message: string
+}
+create dataset MugshotUsers(MugshotUserType) primary key id;
+create dataset MugshotMessages(MugshotMessageType) primary key message-id;
+create index msTimestampIdx on MugshotMessages(timestamp);
+create index msAuthorIdx on MugshotMessages(author-id) type btree;
+`
+		if _, err := inst.Execute(ddl); err != nil {
+			b.Fatal(err)
+		}
+		usersDS, _ := inst.Dataset("MugshotUsers")
+		if err := usersDS.InsertBatch(env.users); err != nil {
+			b.Fatal(err)
+		}
+		msgsDS, _ := inst.Dataset("MugshotMessages")
+		if err := msgsDS.InsertBatch(env.messages); err != nil {
+			b.Fatal(err)
+		}
+		return inst
+	}
+	env.asterixSchema = mkInstance(adm.SchemaEncoding)
+	env.asterixKeyOnly = mkInstance(adm.KeyOnlyEncoding)
+
+	env.rowstore = comparators.NewRowStore()
+	env.rowstore.LoadUsers(env.users)
+	env.rowstore.LoadMessages(env.messages)
+	env.rowstore.BuildIndexes(env.messages)
+
+	env.docstore = comparators.NewDocStore()
+	env.docstore.LoadUsers(env.users)
+	env.docstore.LoadMessages(env.messages)
+	env.docstore.BuildIndexes(env.messages)
+
+	env.scanstore = comparators.NewScanStore()
+	env.scanstore.LoadMessages(env.messages)
+
+	sharedEnv = env
+	return env
+}
+
+func (e *benchEnv) rangeQuery(lo, hi adm.Datetime) string {
+	return fmt.Sprintf(`
+for $m in dataset MugshotMessages
+where $m.timestamp >= %s and $m.timestamp <= %s
+return $m;`, lo, hi)
+}
+
+func (e *benchEnv) joinQuery(lo, hi adm.Datetime) string {
+	return fmt.Sprintf(`
+for $u in dataset MugshotUsers
+for $m in dataset MugshotMessages
+where $m.author-id = $u.id and $m.timestamp >= %s and $m.timestamp <= %s
+return { "uname": $u.name, "message": $m.message };`, lo, hi)
+}
+
+func (e *benchEnv) aggQuery(lo, hi adm.Datetime) string {
+	return fmt.Sprintf(`
+avg(
+  for $m in dataset MugshotMessages
+  where $m.timestamp >= %s and $m.timestamp <= %s
+  return string-length($m.message)
+)`, lo, hi)
+}
+
+func (e *benchEnv) grpAggQuery(lo, hi adm.Datetime) string {
+	return fmt.Sprintf(`
+for $m in dataset MugshotMessages
+where $m.timestamp >= %s and $m.timestamp <= %s
+group by $aid := $m.author-id with $m
+let $cnt := count($m)
+order by $cnt desc
+limit 10
+return { "author": $aid, "cnt": $cnt };`, lo, hi)
+}
+
+// ----------------------------------------------------------------------------
+// Table 2: dataset sizes
+// ----------------------------------------------------------------------------
+
+// BenchmarkTable2DatasetSizes reports the stored size of the message dataset
+// under each system's format as bytes/op metrics (one iteration measures the
+// already-loaded stores). The expected shape: scanstore (Hive/ORC) smallest,
+// rowstore (System-X) < Asterix Schema < docstore (Mongo) ≈ Asterix KeyOnly.
+func BenchmarkTable2DatasetSizes(b *testing.B) {
+	env := getEnv(b)
+	schemaDS, _ := env.asterixSchema.Dataset("MugshotMessages")
+	keyonlyDS, _ := env.asterixKeyOnly.Dataset("MugshotMessages")
+	sSize, _ := schemaDS.SizeBytes()
+	kSize, _ := keyonlyDS.SizeBytes()
+	for i := 0; i < b.N; i++ {
+		_ = sSize
+	}
+	b.ReportMetric(float64(sSize), "asterix-schema-bytes")
+	b.ReportMetric(float64(kSize), "asterix-keyonly-bytes")
+	b.ReportMetric(float64(env.rowstore.SizeBytes()), "systemx-bytes")
+	b.ReportMetric(float64(env.docstore.SizeBytes()), "mongo-bytes")
+	b.ReportMetric(float64(env.scanstore.SizeBytes()), "hive-bytes")
+}
+
+// ----------------------------------------------------------------------------
+// Table 3: query response times
+// ----------------------------------------------------------------------------
+
+func BenchmarkTable3RecordLookup(b *testing.B) {
+	env := getEnv(b)
+	key := env.params.LookupKey
+	b.Run("AsterixSchema", func(b *testing.B) {
+		ds, _ := env.asterixSchema.Dataset("MugshotMessages")
+		for i := 0; i < b.N; i++ {
+			if _, ok, _ := ds.LookupPK(key); !ok {
+				b.Fatal("lookup missed")
+			}
+		}
+	})
+	b.Run("AsterixKeyOnly", func(b *testing.B) {
+		ds, _ := env.asterixKeyOnly.Dataset("MugshotMessages")
+		for i := 0; i < b.N; i++ {
+			ds.LookupPK(key)
+		}
+	})
+	b.Run("SystemX", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			env.rowstore.RecordLookup(adm.Int32(1))
+		}
+	})
+	b.Run("Mongo", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			env.docstore.RecordLookup(adm.Int32(1))
+		}
+	})
+	b.Run("Hive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			env.scanstore.RecordLookup(int32(key))
+		}
+	})
+}
+
+func benchAsterixQuery(b *testing.B, inst *Instance, query string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Query(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchRangeScan covers the "Range Scan" and "— with IX" rows: the noIndex
+// variant disables the optimizer's index access path so every system scans.
+func BenchmarkTable3RangeScan(b *testing.B) {
+	env := getEnv(b)
+	lo, hi := env.params.SmallLo, env.params.SmallHi
+	query := env.rangeQuery(lo, hi)
+	for _, withIndex := range []bool{false, true} {
+		suffix := "NoIndex"
+		if withIndex {
+			suffix = "WithIndex"
+		}
+		b.Run("AsterixSchema/"+suffix, func(b *testing.B) {
+			saved := env.asterixSchema.cfg.OptimizerOptions
+			env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisableIndexAccess: !withIndex}
+			defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
+			benchAsterixQuery(b, env.asterixSchema, query)
+		})
+		b.Run("AsterixKeyOnly/"+suffix, func(b *testing.B) {
+			saved := env.asterixKeyOnly.cfg.OptimizerOptions
+			env.asterixKeyOnly.cfg.OptimizerOptions = algebra.Options{DisableIndexAccess: !withIndex}
+			defer func() { env.asterixKeyOnly.cfg.OptimizerOptions = saved }()
+			benchAsterixQuery(b, env.asterixKeyOnly, query)
+		})
+		b.Run("SystemX/"+suffix, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env.rowstore.RangeScanMessages(lo, hi, withIndex)
+			}
+		})
+		b.Run("Mongo/"+suffix, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				env.docstore.RangeScanMessages(lo, hi, withIndex)
+			}
+		})
+		if !withIndex {
+			b.Run("Hive/NoIndex", func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					env.scanstore.RangeScanMessages(lo, hi)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTable3SelectJoin(b *testing.B) {
+	env := getEnv(b)
+	userIDs := make([]int32, len(env.users))
+	for i := range userIDs {
+		userIDs[i] = int32(i + 1)
+	}
+	for _, sel := range []struct {
+		name   string
+		lo, hi adm.Datetime
+	}{
+		{"Small", env.params.SmallLo, env.params.SmallHi},
+		{"Large", env.params.LargeLo, env.params.LargeHi},
+	} {
+		for _, withIndex := range []bool{false, true} {
+			suffix := sel.name + "/NoIndex"
+			if withIndex {
+				suffix = sel.name + "/WithIndex"
+			}
+			query := env.joinQuery(sel.lo, sel.hi)
+			b.Run("AsterixSchema/"+suffix, func(b *testing.B) {
+				saved := env.asterixSchema.cfg.OptimizerOptions
+				env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisableIndexAccess: !withIndex}
+				defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
+				benchAsterixQuery(b, env.asterixSchema, query)
+			})
+			b.Run("SystemX/"+suffix, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					env.rowstore.SelectJoin(sel.lo, sel.hi, withIndex)
+				}
+			})
+			b.Run("Mongo/"+suffix, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					env.docstore.ClientSideJoin(sel.lo, sel.hi, withIndex)
+				}
+			})
+			if !withIndex {
+				b.Run("Hive/"+sel.name+"/NoIndex", func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						env.scanstore.SelectJoin(sel.lo, sel.hi, userIDs)
+					}
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkTable3Aggregation(b *testing.B) {
+	env := getEnv(b)
+	for _, sel := range []struct {
+		name   string
+		lo, hi adm.Datetime
+	}{
+		{"Small", env.params.SmallLo, env.params.SmallHi},
+		{"Large", env.params.LargeLo, env.params.LargeHi},
+	} {
+		for _, withIndex := range []bool{false, true} {
+			suffix := sel.name + "/NoIndex"
+			if withIndex {
+				suffix = sel.name + "/WithIndex"
+			}
+			query := env.aggQuery(sel.lo, sel.hi)
+			b.Run("AsterixSchema/"+suffix, func(b *testing.B) {
+				saved := env.asterixSchema.cfg.OptimizerOptions
+				env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisableIndexAccess: !withIndex}
+				defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
+				benchAsterixQuery(b, env.asterixSchema, query)
+			})
+			b.Run("SystemX/"+suffix, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					env.rowstore.Aggregate(sel.lo, sel.hi, withIndex)
+				}
+			})
+			b.Run("Mongo/"+suffix, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					env.docstore.AggregateMapReduce(sel.lo, sel.hi, withIndex)
+				}
+			})
+			if !withIndex {
+				b.Run("Hive/"+sel.name+"/NoIndex", func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						env.scanstore.Aggregate(sel.lo, sel.hi)
+					}
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkTable3GroupedAggregation(b *testing.B) {
+	env := getEnv(b)
+	for _, withIndex := range []bool{false, true} {
+		suffix := "NoIndex"
+		if withIndex {
+			suffix = "WithIndex"
+		}
+		query := env.grpAggQuery(env.params.SmallLo, env.params.SmallHi)
+		b.Run("AsterixSchema/"+suffix, func(b *testing.B) {
+			saved := env.asterixSchema.cfg.OptimizerOptions
+			env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisableIndexAccess: !withIndex}
+			defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
+			benchAsterixQuery(b, env.asterixSchema, query)
+		})
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Table 4: insert times (batch sizes 1 and 20)
+// ----------------------------------------------------------------------------
+
+func BenchmarkTable4Inserts(b *testing.B) {
+	gen := workload.New(benchScale)
+	nextID := 1_000_000
+	for _, batch := range []int{1, 20} {
+		b.Run(fmt.Sprintf("AsterixSchema/batch%d", batch), func(b *testing.B) {
+			inst, err := Open(Config{DataDir: b.TempDir(), Partitions: 4, Journaled: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer inst.Close()
+			if _, err := inst.Execute(`
+create type M as closed { message-id: int32, author-id: int32, timestamp: datetime, in-response-to: int32?, sender-location: point?, tags: {{ string }}, message: string }
+create dataset Msgs(M) primary key message-id;`); err != nil {
+				b.Fatal(err)
+			}
+			ds, _ := inst.Dataset("Msgs")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				recs := make([]*adm.Record, batch)
+				for j := range recs {
+					nextID++
+					recs[j] = gen.Message(1).Set("message-id", adm.Int32(int32(nextID)))
+				}
+				if err := ds.InsertBatch(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Normalize to per-record time.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/record")
+		})
+		b.Run(fmt.Sprintf("SystemX/batch%d", batch), func(b *testing.B) {
+			rs := comparators.NewRowStore()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					nextID++
+					rs.Insert(gen.Message(1).Set("message-id", adm.Int32(int32(nextID))))
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/record")
+		})
+		b.Run(fmt.Sprintf("Mongo/batch%d", batch), func(b *testing.B) {
+			dsStore := comparators.NewDocStore()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < batch; j++ {
+					nextID++
+					dsStore.Insert(gen.Message(1).Set("message-id", adm.Int32(int32(nextID))))
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/record")
+		})
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Figure 6: compiled job for Query 10
+// ----------------------------------------------------------------------------
+
+func BenchmarkFigure6JobCompilation(b *testing.B) {
+	env := getEnv(b)
+	query := env.aggQuery(env.params.SmallLo, env.params.SmallHi)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := env.asterixSchema.CompileJob(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Scale-out (Section 4.1's cluster anecdote, simulated via partitions)
+// ----------------------------------------------------------------------------
+
+func BenchmarkHyracksScaleOut(b *testing.B) {
+	gen := workload.New(workload.Config{Users: 200, Messages: 4000, Seed: 3})
+	messages := gen.Messages()
+	for _, partitions := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("partitions-%d", partitions), func(b *testing.B) {
+			inst, err := Open(Config{DataDir: b.TempDir(), Partitions: partitions})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer inst.Close()
+			if _, err := inst.Execute(`
+create type M as closed { message-id: int32, author-id: int32, timestamp: datetime, in-response-to: int32?, sender-location: point?, tags: {{ string }}, message: string }
+create dataset Msgs(M) primary key message-id;`); err != nil {
+				b.Fatal(err)
+			}
+			ds, _ := inst.Dataset("Msgs")
+			if err := ds.InsertBatch(messages); err != nil {
+				b.Fatal(err)
+			}
+			query := `avg(for $m in dataset Msgs return string-length($m.message))`
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := inst.Query(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Ablation benches (DESIGN.md section 5)
+// ----------------------------------------------------------------------------
+
+// BenchmarkAblationAggSplit compares Query 10 with and without the
+// local/global aggregation split rule.
+func BenchmarkAblationAggSplit(b *testing.B) {
+	env := getEnv(b)
+	query := env.aggQuery(env.params.LargeLo, env.params.LargeHi)
+	for _, disable := range []bool{false, true} {
+		name := "split"
+		if disable {
+			name = "no-split"
+		}
+		b.Run(name, func(b *testing.B) {
+			saved := env.asterixSchema.cfg.OptimizerOptions
+			env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisableAggSplit: disable}
+			defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
+			benchAsterixQuery(b, env.asterixSchema, query)
+		})
+	}
+}
+
+// BenchmarkAblationPKSort toggles the primary-key sort between the secondary
+// and primary index searches.
+func BenchmarkAblationPKSort(b *testing.B) {
+	env := getEnv(b)
+	query := env.rangeQuery(env.params.LargeLo, env.params.LargeHi)
+	for _, disable := range []bool{false, true} {
+		name := "pk-sort"
+		if disable {
+			name = "no-pk-sort"
+		}
+		b.Run(name, func(b *testing.B) {
+			saved := env.asterixSchema.cfg.OptimizerOptions
+			env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisablePKSort: disable}
+			defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
+			benchAsterixQuery(b, env.asterixSchema, query)
+		})
+	}
+}
+
+// BenchmarkAblationLSMMemBudget sweeps the LSM in-memory component budget to
+// show the ingestion/flush trade-off.
+func BenchmarkAblationLSMMemBudget(b *testing.B) {
+	gen := workload.New(workload.Config{Users: 100, Messages: 1000, Seed: 5})
+	for _, budget := range []int{16 << 10, 256 << 10, 4 << 20} {
+		b.Run(fmt.Sprintf("membudget-%dKiB", budget>>10), func(b *testing.B) {
+			inst, err := Open(Config{DataDir: b.TempDir(), Partitions: 2, MemBudget: budget})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer inst.Close()
+			if _, err := inst.Execute(`
+create type M as closed { message-id: int32, author-id: int32, timestamp: datetime, in-response-to: int32?, sender-location: point?, tags: {{ string }}, message: string }
+create dataset Msgs(M) primary key message-id;`); err != nil {
+				b.Fatal(err)
+			}
+			ds, _ := inst.Dataset("Msgs")
+			next := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				next++
+				rec := gen.Message(1).Set("message-id", adm.Int32(int32(next)))
+				if err := ds.Insert(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

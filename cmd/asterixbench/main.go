@@ -1,0 +1,326 @@
+// Command asterixbench regenerates the paper's evaluation tables (Section
+// 5.3) against the Go reproduction: Table 2 (dataset sizes), Table 3 (query
+// response times with and without indexes), Table 4 (insert times per record
+// for batch sizes 1 and 20), and the Figure 6 job for Query 10.
+//
+// Usage:
+//
+//	asterixbench -table 2            # dataset sizes
+//	asterixbench -table 3            # query response times
+//	asterixbench -table 4            # insert times
+//	asterixbench -figure 6           # compiled job for Query 10
+//	asterixbench -all                # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"asterixdb"
+	"asterixdb/internal/adm"
+	"asterixdb/internal/algebra"
+	"asterixdb/internal/comparators"
+	"asterixdb/internal/workload"
+)
+
+var (
+	tableFlag  = flag.Int("table", 0, "table number to regenerate (2, 3 or 4)")
+	figureFlag = flag.Int("figure", 0, "figure number to regenerate (6)")
+	allFlag    = flag.Bool("all", false, "regenerate every table and figure")
+	usersFlag  = flag.Int("users", 1000, "number of synthetic users")
+	msgsFlag   = flag.Int("messages", 5000, "number of synthetic messages")
+)
+
+type bench struct {
+	gen      *workload.Generator
+	params   workload.QueryParams
+	users    []*adm.Record
+	messages []*adm.Record
+
+	schema   *asterixdb.Instance
+	keyonly  *asterixdb.Instance
+	rowstore *comparators.RowStore
+	docstore *comparators.DocStore
+	scan     *comparators.ScanStore
+
+	tmpDirs []string
+}
+
+func main() {
+	flag.Parse()
+	if !*allFlag && *tableFlag == 0 && *figureFlag == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	b := setup()
+	defer b.close()
+	if *allFlag || *tableFlag == 2 {
+		b.table2()
+	}
+	if *allFlag || *tableFlag == 3 {
+		b.table3()
+	}
+	if *allFlag || *tableFlag == 4 {
+		b.table4()
+	}
+	if *allFlag || *figureFlag == 6 {
+		b.figure6()
+	}
+}
+
+func setup() *bench {
+	fmt.Printf("generating workload: %d users, %d messages\n", *usersFlag, *msgsFlag)
+	gen := workload.New(workload.Config{Users: *usersFlag, Messages: *msgsFlag, Seed: 7})
+	b := &bench{gen: gen, params: gen.Params(), users: gen.Users(), messages: gen.Messages()}
+	b.schema = b.newInstance(adm.SchemaEncoding)
+	b.keyonly = b.newInstance(adm.KeyOnlyEncoding)
+	b.rowstore = comparators.NewRowStore()
+	b.rowstore.LoadUsers(b.users)
+	b.rowstore.LoadMessages(b.messages)
+	b.rowstore.BuildIndexes(b.messages)
+	b.docstore = comparators.NewDocStore()
+	b.docstore.LoadUsers(b.users)
+	b.docstore.LoadMessages(b.messages)
+	b.docstore.BuildIndexes(b.messages)
+	b.scan = comparators.NewScanStore()
+	b.scan.LoadMessages(b.messages)
+	return b
+}
+
+func (b *bench) newInstance(enc adm.Encoding) *asterixdb.Instance {
+	dir, err := os.MkdirTemp("", "asterixbench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b.tmpDirs = append(b.tmpDirs, dir)
+	inst, err := asterixdb.Open(asterixdb.Config{DataDir: dir, Partitions: 4, Encoding: enc})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := inst.Execute(`
+create type EmploymentType as open { organization-name: string, start-date: date, end-date: date? }
+create type MugshotUserType as {
+  id: int32, alias: string, name: string, user-since: datetime,
+  address: { street: string, city: string, state: string, zip: string, country: string },
+  friend-ids: {{ int32 }}, employment: [EmploymentType]
+}
+create type MugshotMessageType as closed {
+  message-id: int32, author-id: int32, timestamp: datetime, in-response-to: int32?,
+  sender-location: point?, tags: {{ string }}, message: string
+}
+create dataset MugshotUsers(MugshotUserType) primary key id;
+create dataset MugshotMessages(MugshotMessageType) primary key message-id;
+create index msTimestampIdx on MugshotMessages(timestamp);
+`); err != nil {
+		log.Fatal(err)
+	}
+	usersDS, _ := inst.Dataset("MugshotUsers")
+	if err := usersDS.InsertBatch(b.users); err != nil {
+		log.Fatal(err)
+	}
+	msgsDS, _ := inst.Dataset("MugshotMessages")
+	if err := msgsDS.InsertBatch(b.messages); err != nil {
+		log.Fatal(err)
+	}
+	return inst
+}
+
+func (b *bench) close() {
+	b.schema.Close()
+	b.keyonly.Close()
+	for _, d := range b.tmpDirs {
+		os.RemoveAll(d)
+	}
+}
+
+func (b *bench) table2() {
+	fmt.Println("\n== Table 2: dataset sizes (messages dataset, bytes) ==")
+	schemaDS, _ := b.schema.Dataset("MugshotMessages")
+	keyonlyDS, _ := b.keyonly.Dataset("MugshotMessages")
+	s, _ := schemaDS.SizeBytes()
+	k, _ := keyonlyDS.SizeBytes()
+	fmt.Printf("%-22s %12s\n", "system", "bytes")
+	fmt.Printf("%-22s %12d\n", "Asterix (Schema)", s)
+	fmt.Printf("%-22s %12d\n", "Asterix (KeyOnly)", k)
+	fmt.Printf("%-22s %12d\n", "System-X (rowstore)", b.rowstore.SizeBytes())
+	fmt.Printf("%-22s %12d\n", "Hive (scanstore)", b.scan.SizeBytes())
+	fmt.Printf("%-22s %12d\n", "MongoDB (docstore)", b.docstore.SizeBytes())
+}
+
+// timeQuery measures the average latency of fn over a few repetitions.
+func timeQuery(fn func()) time.Duration {
+	const reps = 5
+	fn() // warm-up
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	return time.Since(start) / reps
+}
+
+func (b *bench) asterixLatency(inst *asterixdb.Instance, query string, useIndex bool) time.Duration {
+	opts := algebra.Options{DisableIndexAccess: !useIndex}
+	return timeQuery(func() {
+		if _, err := inst.QueryWithOptions(query, opts); err != nil {
+			log.Fatal(err)
+		}
+	})
+}
+
+func (b *bench) table3() {
+	fmt.Println("\n== Table 3: average query response time ==")
+	p := b.params
+	row := func(name string, cols ...time.Duration) {
+		fmt.Printf("%-22s", name)
+		for _, c := range cols {
+			fmt.Printf(" %12s", c.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("%-22s %12s %12s %12s %12s %12s\n", "query", "Ast(Schema)", "Ast(KeyOnly)", "System-X", "Hive", "Mongo")
+
+	rangeQ := fmt.Sprintf(`for $m in dataset MugshotMessages where $m.timestamp >= %s and $m.timestamp <= %s return $m;`, p.SmallLo, p.SmallHi)
+	joinQ := fmt.Sprintf(`for $u in dataset MugshotUsers for $m in dataset MugshotMessages where $m.author-id = $u.id and $m.timestamp >= %s and $m.timestamp <= %s return { "u": $u.name, "m": $m.message };`, p.SmallLo, p.SmallHi)
+	joinQLarge := fmt.Sprintf(`for $u in dataset MugshotUsers for $m in dataset MugshotMessages where $m.author-id = $u.id and $m.timestamp >= %s and $m.timestamp <= %s return { "u": $u.name, "m": $m.message };`, p.LargeLo, p.LargeHi)
+	aggQ := fmt.Sprintf(`avg(for $m in dataset MugshotMessages where $m.timestamp >= %s and $m.timestamp <= %s return string-length($m.message))`, p.LargeLo, p.LargeHi)
+
+	userIDs := make([]int32, len(b.users))
+	for i := range userIDs {
+		userIDs[i] = int32(i + 1)
+	}
+
+	// Record lookup.
+	key := p.LookupKey
+	schemaDS, _ := b.schema.Dataset("MugshotMessages")
+	keyonlyDS, _ := b.keyonly.Dataset("MugshotMessages")
+	row("Rec Lookup",
+		timeQuery(func() { schemaDS.LookupPK(key) }),
+		timeQuery(func() { keyonlyDS.LookupPK(key) }),
+		timeQuery(func() { b.rowstore.RecordLookup(adm.Int32(1)) }),
+		timeQuery(func() { b.scan.RecordLookup(int32(key)) }),
+		timeQuery(func() { b.docstore.RecordLookup(adm.Int32(1)) }))
+
+	// Range scan, without and with index.
+	row("Range Scan",
+		b.asterixLatency(b.schema, rangeQ, false),
+		b.asterixLatency(b.keyonly, rangeQ, false),
+		timeQuery(func() { b.rowstore.RangeScanMessages(p.SmallLo, p.SmallHi, false) }),
+		timeQuery(func() { b.scan.RangeScanMessages(p.SmallLo, p.SmallHi) }),
+		timeQuery(func() { b.docstore.RangeScanMessages(p.SmallLo, p.SmallHi, false) }))
+	row("  -- with IX",
+		b.asterixLatency(b.schema, rangeQ, true),
+		b.asterixLatency(b.keyonly, rangeQ, true),
+		timeQuery(func() { b.rowstore.RangeScanMessages(p.SmallLo, p.SmallHi, true) }),
+		timeQuery(func() { b.scan.RangeScanMessages(p.SmallLo, p.SmallHi) }),
+		timeQuery(func() { b.docstore.RangeScanMessages(p.SmallLo, p.SmallHi, true) }))
+
+	// Select-join, small and large selectivity, without and with index.
+	row("Sel-Join (Sm)",
+		b.asterixLatency(b.schema, joinQ, false),
+		b.asterixLatency(b.keyonly, joinQ, false),
+		timeQuery(func() { b.rowstore.SelectJoin(p.SmallLo, p.SmallHi, false) }),
+		timeQuery(func() { b.scan.SelectJoin(p.SmallLo, p.SmallHi, userIDs) }),
+		timeQuery(func() { b.docstore.ClientSideJoin(p.SmallLo, p.SmallHi, false) }))
+	row("  -- with IX",
+		b.asterixLatency(b.schema, joinQ, true),
+		b.asterixLatency(b.keyonly, joinQ, true),
+		timeQuery(func() { b.rowstore.SelectJoin(p.SmallLo, p.SmallHi, true) }),
+		timeQuery(func() { b.scan.SelectJoin(p.SmallLo, p.SmallHi, userIDs) }),
+		timeQuery(func() { b.docstore.ClientSideJoin(p.SmallLo, p.SmallHi, true) }))
+	row("Sel-Join (Lg)",
+		b.asterixLatency(b.schema, joinQLarge, false),
+		b.asterixLatency(b.keyonly, joinQLarge, false),
+		timeQuery(func() { b.rowstore.SelectJoin(p.LargeLo, p.LargeHi, false) }),
+		timeQuery(func() { b.scan.SelectJoin(p.LargeLo, p.LargeHi, userIDs) }),
+		timeQuery(func() { b.docstore.ClientSideJoin(p.LargeLo, p.LargeHi, false) }))
+	row("  -- with IX",
+		b.asterixLatency(b.schema, joinQLarge, true),
+		b.asterixLatency(b.keyonly, joinQLarge, true),
+		timeQuery(func() { b.rowstore.SelectJoin(p.LargeLo, p.LargeHi, true) }),
+		timeQuery(func() { b.scan.SelectJoin(p.LargeLo, p.LargeHi, userIDs) }),
+		timeQuery(func() { b.docstore.ClientSideJoin(p.LargeLo, p.LargeHi, true) }))
+
+	// Aggregation (large selectivity), without and with index.
+	row("Agg (Lg)",
+		b.asterixLatency(b.schema, aggQ, false),
+		b.asterixLatency(b.keyonly, aggQ, false),
+		timeQuery(func() { b.rowstore.Aggregate(p.LargeLo, p.LargeHi, false) }),
+		timeQuery(func() { b.scan.Aggregate(p.LargeLo, p.LargeHi) }),
+		timeQuery(func() { b.docstore.AggregateMapReduce(p.LargeLo, p.LargeHi, false) }))
+	row("  -- with IX",
+		b.asterixLatency(b.schema, aggQ, true),
+		b.asterixLatency(b.keyonly, aggQ, true),
+		timeQuery(func() { b.rowstore.Aggregate(p.LargeLo, p.LargeHi, true) }),
+		timeQuery(func() { b.scan.Aggregate(p.LargeLo, p.LargeHi) }),
+		timeQuery(func() { b.docstore.AggregateMapReduce(p.LargeLo, p.LargeHi, true) }))
+}
+
+func (b *bench) table4() {
+	fmt.Println("\n== Table 4: average insert time per record ==")
+	fmt.Printf("%-12s %16s %16s %16s\n", "batch size", "Asterix", "System-X", "Mongo")
+	gen := b.gen
+	next := 10_000_000
+	for _, batch := range []int{1, 20} {
+		dir, _ := os.MkdirTemp("", "asterixbench-insert")
+		b.tmpDirs = append(b.tmpDirs, dir)
+		inst, err := asterixdb.Open(asterixdb.Config{DataDir: dir, Partitions: 4, Journaled: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst.Execute(`
+create type M as closed { message-id: int32, author-id: int32, timestamp: datetime, in-response-to: int32?, sender-location: point?, tags: {{ string }}, message: string }
+create dataset Msgs(M) primary key message-id;`)
+		ds, _ := inst.Dataset("Msgs")
+		const rounds = 50
+		mkBatch := func() []*adm.Record {
+			recs := make([]*adm.Record, batch)
+			for j := range recs {
+				next++
+				recs[j] = gen.Message(1).Set("message-id", adm.Int32(int32(next)))
+			}
+			return recs
+		}
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			if err := ds.InsertBatch(mkBatch()); err != nil {
+				log.Fatal(err)
+			}
+		}
+		asterixPer := time.Since(start) / time.Duration(rounds*batch)
+
+		rs := comparators.NewRowStore()
+		start = time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, rec := range mkBatch() {
+				rs.Insert(rec)
+			}
+		}
+		rowPer := time.Since(start) / time.Duration(rounds*batch)
+
+		doc := comparators.NewDocStore()
+		start = time.Now()
+		for r := 0; r < rounds; r++ {
+			for _, rec := range mkBatch() {
+				doc.Insert(rec)
+			}
+		}
+		docPer := time.Since(start) / time.Duration(rounds*batch)
+
+		fmt.Printf("%-12d %16s %16s %16s\n", batch, asterixPer, rowPer, docPer)
+		inst.Close()
+	}
+}
+
+func (b *bench) figure6() {
+	fmt.Println("\n== Figure 6: Hyracks job for Query 10 ==")
+	query := fmt.Sprintf(`avg(for $m in dataset MugshotMessages where $m.timestamp >= %s and $m.timestamp < %s return string-length($m.message))`,
+		b.params.SmallLo, b.params.SmallHi)
+	out, err := b.schema.Explain(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(out)
+}

@@ -1,0 +1,443 @@
+package asterixdb
+
+import (
+	"fmt"
+	"sync"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/algebra"
+	"asterixdb/internal/aql"
+	"asterixdb/internal/expr"
+	"asterixdb/internal/storage"
+)
+
+// executePlan runs an optimized physical plan. Plan operators produce sets of
+// variable bindings (the runtime's tuples); the query's return expression is
+// applied at the distribute-result operator. Aggregate-wrapped plans return
+// the single aggregate value.
+func (in *Instance) executePlan(plan *algebra.Plan) ([]adm.Value, error) {
+	root := plan.Root
+	if root.Kind != algebra.OpDistribute {
+		return nil, fmt.Errorf("asterixdb: plan has no distribute-result root")
+	}
+	child := root.Inputs[0]
+
+	// Aggregate-wrapped plans (Query 10 shape).
+	switch child.Kind {
+	case algebra.OpGlobalAgg:
+		local := child.Inputs[0]
+		envs, err := in.executeNode(local.Inputs[0], plan.Query)
+		if err != nil {
+			return nil, err
+		}
+		v, err := in.applyAggregate(child.AggFunc, envs, plan.Query)
+		if err != nil {
+			return nil, err
+		}
+		return []adm.Value{v}, nil
+	case algebra.OpAggregate:
+		envs, err := in.executeNode(child.Inputs[0], plan.Query)
+		if err != nil {
+			return nil, err
+		}
+		v, err := in.applyAggregate(child.AggFunc, envs, plan.Query)
+		if err != nil {
+			return nil, err
+		}
+		return []adm.Value{v}, nil
+	}
+
+	envs, err := in.executeNode(child, plan.Query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]adm.Value, 0, len(envs))
+	for _, env := range envs {
+		v, err := expr.Eval(in.evalCtx, env, plan.Query.Return)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// applyAggregate evaluates the inner query's return expression for every
+// binding and folds the values with the aggregate function (the local
+// aggregation happens per partition inside executeNode's parallel scan; this
+// is the global combine).
+func (in *Instance) applyAggregate(fn string, envs []expr.Env, query *aql.FLWORExpr) (adm.Value, error) {
+	items := make([]adm.Value, 0, len(envs))
+	for _, env := range envs {
+		v, err := expr.Eval(in.evalCtx, env, query.Return)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, v)
+	}
+	call := &aql.CallExpr{Func: fn, Args: []aql.Expr{&aql.Literal{Value: &adm.OrderedList{Items: items}}}}
+	return expr.Eval(in.evalCtx, expr.Env{}, call)
+}
+
+// executeNode evaluates one plan operator and returns the variable bindings
+// it produces.
+func (in *Instance) executeNode(n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	switch n.Kind {
+	case algebra.OpScan:
+		return in.execScan(n)
+	case algebra.OpSubplan:
+		return in.execSubplan(n)
+	case algebra.OpIndexSearch:
+		return in.execIndexSearch(n)
+	case algebra.OpSortPK, algebra.OpPrimarySearch:
+		// The storage layer's SearchSecondaryRange already performs the
+		// PK sort, primary lookup and fetch; these operators are structural.
+		return in.executeNode(n.Inputs[0], query)
+	case algebra.OpSelect:
+		envs, err := in.childEnvs(n, query)
+		if err != nil {
+			return nil, err
+		}
+		var out []expr.Env
+		for _, env := range envs {
+			keep, err := expr.EvalBool(in.evalCtx, env, n.Condition)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				out = append(out, env)
+			}
+		}
+		return out, nil
+	case algebra.OpAssign:
+		envs, err := in.childEnvs(n, query)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]expr.Env, 0, len(envs))
+		for _, env := range envs {
+			e := env
+			for i, v := range n.Vars {
+				val, err := expr.Eval(in.evalCtx, e, n.Exprs[i])
+				if err != nil {
+					return nil, err
+				}
+				e = e.With(v, val)
+			}
+			out = append(out, e)
+		}
+		return out, nil
+	case algebra.OpJoin:
+		return in.execJoin(n, query)
+	case algebra.OpGroupBy:
+		envs, err := in.childEnvs(n, query)
+		if err != nil {
+			return nil, err
+		}
+		return in.execClause(envs, &aql.GroupByClause{Keys: n.GroupKeys, With: n.GroupWith})
+	case algebra.OpOrder:
+		envs, err := in.childEnvs(n, query)
+		if err != nil {
+			return nil, err
+		}
+		return in.execClause(envs, &aql.OrderByClause{Terms: n.OrderTerms})
+	case algebra.OpLimit:
+		envs, err := in.childEnvs(n, query)
+		if err != nil {
+			return nil, err
+		}
+		return in.execClause(envs, &aql.LimitClause{Limit: n.LimitExpr, Offset: n.OffsetExpr})
+	case algebra.OpLocalAgg, algebra.OpGlobalAgg, algebra.OpAggregate:
+		return in.executeNode(n.Inputs[0], query)
+	}
+	return nil, fmt.Errorf("asterixdb: unsupported physical operator %s", n.Kind)
+}
+
+// childEnvs evaluates the node's input, or starts from a single empty binding
+// when the node has no input (a query that begins with let clauses).
+func (in *Instance) childEnvs(n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	if len(n.Inputs) == 0 {
+		return []expr.Env{{}}, nil
+	}
+	return in.executeNode(n.Inputs[0], query)
+}
+
+// execClause reuses the interpreter's clause semantics for group-by, order-by
+// and limit over already-materialized bindings.
+func (in *Instance) execClause(envs []expr.Env, clause aql.FLWORClause) ([]expr.Env, error) {
+	fl := &aql.FLWORExpr{Clauses: []aql.FLWORClause{clause}}
+	_ = fl
+	// expr's clause application is unexported; replicate via a one-clause
+	// FLWOR whose for source is the binding set. Simpler: apply directly.
+	return expr.ApplyClause(in.evalCtx, envs, clause)
+}
+
+// execScan scans every partition of a dataset in parallel (one goroutine per
+// partition — the per-partition operator instances of the runtime) and binds
+// each record to the scan variable.
+func (in *Instance) execScan(n *algebra.Node) ([]expr.Env, error) {
+	in.mu.RLock()
+	e, ok := in.datasets[n.Dataset]
+	in.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", n.Dataset)
+	}
+	if n.Dataverse == "Metadata" {
+		recs, err := in.metadataRecords(n.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		return bindRecords(n.Variable, recs), nil
+	}
+	if e.external != nil {
+		recs, err := e.external.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		return bindRecords(n.Variable, recs), nil
+	}
+	ds := e.internal
+	parts := in.cfg.Partitions
+	perPart := make([][]expr.Env, parts)
+	errs := make([]error, parts)
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = ds.ScanPartition(p, func(rec *adm.Record) bool {
+				perPart[p] = append(perPart[p], expr.Env{n.Variable: rec})
+				return true
+			})
+		}(p)
+	}
+	wg.Wait()
+	var out []expr.Env
+	for p := 0; p < parts; p++ {
+		if errs[p] != nil {
+			return nil, errs[p]
+		}
+		out = append(out, perPart[p]...)
+	}
+	return out, nil
+}
+
+// execSubplan evaluates a non-dataset for-clause source with the interpreter
+// and binds each resulting item.
+func (in *Instance) execSubplan(n *algebra.Node) ([]expr.Env, error) {
+	v, err := expr.Eval(in.evalCtx, expr.Env{}, n.Exprs[0])
+	if err != nil {
+		return nil, err
+	}
+	var items []adm.Value
+	switch l := v.(type) {
+	case *adm.OrderedList:
+		items = l.Items
+	case *adm.UnorderedList:
+		items = l.Items
+	default:
+		items = []adm.Value{v}
+	}
+	out := make([]expr.Env, 0, len(items))
+	for _, it := range items {
+		out = append(out, expr.Env{n.Variable: it})
+	}
+	return out, nil
+}
+
+// execIndexSearch runs the compiled secondary-index access path through the
+// storage layer (secondary search, PK sort, primary search, post-validation).
+func (in *Instance) execIndexSearch(n *algebra.Node) ([]expr.Env, error) {
+	ds, ok := in.Dataset(n.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", n.Dataset)
+	}
+	var lo, hi adm.Value
+	if n.LoExpr != nil {
+		v, err := expr.Eval(in.evalCtx, expr.Env{}, n.LoExpr)
+		if err != nil {
+			return nil, err
+		}
+		lo = v
+	}
+	if n.HiExpr != nil {
+		v, err := expr.Eval(in.evalCtx, expr.Env{}, n.HiExpr)
+		if err != nil {
+			return nil, err
+		}
+		hi = v
+	}
+	recs, err := ds.SearchSecondaryRange(n.Index, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return bindRecords(n.Variable, recs), nil
+}
+
+func bindRecords(variable string, recs []*adm.Record) []expr.Env {
+	out := make([]expr.Env, len(recs))
+	for i, r := range recs {
+		out[i] = expr.Env{variable: r}
+	}
+	return out
+}
+
+// execJoin executes a binary join. Equijoins use an in-memory hybrid hash
+// join (build on the right input, probe with the left); index nested-loop
+// joins probe the right side's primary or secondary index per left binding;
+// other joins fall back to a nested loop with the residual predicate applied
+// by the select above them.
+func (in *Instance) execJoin(n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	left, err := in.executeNode(n.Inputs[0], query)
+	if err != nil {
+		return nil, err
+	}
+	if n.Method == algebra.IndexNestedLoop || n.Method == algebra.HybridHashJoin {
+		if n.LeftKey == nil || n.RightKey == nil {
+			return in.nestedLoopJoin(left, n, query)
+		}
+	}
+	switch n.Method {
+	case algebra.HybridHashJoin:
+		right, err := in.executeNode(n.Inputs[1], query)
+		if err != nil {
+			return nil, err
+		}
+		// Build on the smaller input.
+		build, probe := right, left
+		buildKey, probeKey := n.RightKey, n.LeftKey
+		if len(left) < len(right) {
+			build, probe = left, right
+			buildKey, probeKey = n.LeftKey, n.RightKey
+		}
+		table := map[string][]expr.Env{}
+		for _, env := range build {
+			v, err := expr.Eval(in.evalCtx, env, buildKey)
+			if err != nil {
+				return nil, err
+			}
+			if adm.IsUnknown(v) {
+				continue
+			}
+			k := string(adm.EncodeKey(nil, v))
+			table[k] = append(table[k], env)
+		}
+		var out []expr.Env
+		for _, env := range probe {
+			v, err := expr.Eval(in.evalCtx, env, probeKey)
+			if err != nil {
+				return nil, err
+			}
+			if adm.IsUnknown(v) {
+				continue
+			}
+			k := string(adm.EncodeKey(nil, v))
+			for _, match := range table[k] {
+				out = append(out, mergeEnvs(env, match))
+			}
+		}
+		return out, nil
+	case algebra.IndexNestedLoop:
+		return in.indexNestedLoopJoin(left, n, query)
+	default:
+		return in.nestedLoopJoin(left, n, query)
+	}
+}
+
+// indexNestedLoopJoin probes the right-hand dataset's primary key (or a
+// secondary index) for each left binding — the join method selected by the
+// /*+ indexnl */ hint in Query 14.
+func (in *Instance) indexNestedLoopJoin(left []expr.Env, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	rightNode := n.Inputs[1]
+	if rightNode.Kind != algebra.OpScan {
+		return in.hashJoinFallback(left, n, query)
+	}
+	ds, ok := in.Dataset(rightNode.Dataset)
+	if !ok {
+		return in.hashJoinFallback(left, n, query)
+	}
+	spec := ds.Spec()
+	// The probe works when the right key is the right dataset's primary key
+	// or a field with a secondary B+-tree index.
+	rightField, ok := fieldOfVar(n.RightKey, rightNode.Variable)
+	if !ok {
+		return in.hashJoinFallback(left, n, query)
+	}
+	var out []expr.Env
+	for _, env := range left {
+		v, err := expr.Eval(in.evalCtx, env, n.LeftKey)
+		if err != nil {
+			return nil, err
+		}
+		if adm.IsUnknown(v) {
+			continue
+		}
+		var matches []*adm.Record
+		if len(spec.PrimaryKey) == 1 && spec.PrimaryKey[0] == rightField {
+			rec, found, err := ds.LookupPK(v)
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				matches = []*adm.Record{rec}
+			}
+		} else if ix, found := ds.IndexOnField(rightField, storage.BTreeIndex); found {
+			matches, err = ds.SearchSecondaryRange(ix.Name, v, v)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			return in.hashJoinFallback(left, n, query)
+		}
+		for _, m := range matches {
+			out = append(out, env.With(rightNode.Variable, m))
+		}
+	}
+	return out, nil
+}
+
+func (in *Instance) hashJoinFallback(left []expr.Env, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	copyNode := *n
+	copyNode.Method = algebra.HybridHashJoin
+	return in.execJoin(&copyNode, query)
+}
+
+// nestedLoopJoin is the cross product; the residual predicate above filters.
+func (in *Instance) nestedLoopJoin(left []expr.Env, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	right, err := in.executeNode(n.Inputs[1], query)
+	if err != nil {
+		return nil, err
+	}
+	var out []expr.Env
+	for _, l := range left {
+		for _, r := range right {
+			out = append(out, mergeEnvs(l, r))
+		}
+	}
+	return out, nil
+}
+
+func mergeEnvs(a, b expr.Env) expr.Env {
+	out := make(expr.Env, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+// fieldOfVar recognizes expressions of the form $var.field and returns the
+// field name.
+func fieldOfVar(e aql.Expr, variable string) (string, bool) {
+	fa, ok := e.(*aql.FieldAccess)
+	if !ok {
+		return "", false
+	}
+	vr, ok := fa.Base.(*aql.VariableRef)
+	if !ok || vr.Name != variable {
+		return "", false
+	}
+	return fa.Field, true
+}

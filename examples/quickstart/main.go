@@ -1,0 +1,143 @@
+// Command quickstart walks through the paper's TinySocial scenario end to
+// end: Data definitions 1 and 2 (dataverse, types, datasets, indexes),
+// Update 1 (inserts), and Queries 1, 2, 3, 10 and 11.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"asterixdb"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "asterix-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	inst, err := asterixdb.Open(asterixdb.Config{DataDir: dir, Partitions: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	// Data definition 1 + 2: dataverse, datatypes, datasets, indexes.
+	mustExec(inst, `
+drop dataverse TinySocial if exists;
+create dataverse TinySocial;
+use dataverse TinySocial;
+
+create type EmploymentType as open {
+  organization-name: string, start-date: date, end-date: date?
+}
+create type MugshotUserType as {
+  id: int32, alias: string, name: string, user-since: datetime,
+  address: { street: string, city: string, state: string, zip: string, country: string },
+  friend-ids: {{ int32 }},
+  employment: [EmploymentType]
+}
+create type MugshotMessageType as closed {
+  message-id: int32, author-id: int32, timestamp: datetime,
+  in-response-to: int32?, sender-location: point?, tags: {{ string }}, message: string
+}
+
+create dataset MugshotUsers(MugshotUserType) primary key id;
+create dataset MugshotMessages(MugshotMessageType) primary key message-id;
+create index msUserSinceIdx on MugshotUsers(user-since);
+create index msTimestampIdx on MugshotMessages(timestamp);
+`)
+
+	// Update 1: inserts.
+	users := []string{
+		`{ "id": 1, "alias": "Margarita", "name": "MargaritaStoddard",
+		   "address": { "street": "234 Thomas Ave", "city": "San Hugo", "zip": "98765", "state": "CA", "country": "USA" },
+		   "user-since": datetime("2012-08-20T10:10:00"), "friend-ids": {{ 2, 3 }},
+		   "employment": [ { "organization-name": "Codetechno", "start-date": date("2006-08-06") } ] }`,
+		`{ "id": 2, "alias": "Isbel", "name": "IsbelDull",
+		   "address": { "street": "345 Forest St", "city": "Portland", "zip": "98765", "state": "OR", "country": "USA" },
+		   "user-since": datetime("2011-01-22T10:10:00"), "friend-ids": {{ 1 }},
+		   "employment": [ { "organization-name": "Hexviafind", "start-date": date("2010-04-27") } ] }`,
+	}
+	for _, u := range users {
+		mustExec(inst, "insert into dataset MugshotUsers ("+u+");")
+	}
+	messages := []string{
+		`{ "message-id": 1, "author-id": 1, "timestamp": datetime("2014-02-20T08:00:00"), "in-response-to": null,
+		   "sender-location": point("41.66,80.87"), "tags": {{ "big-data" }}, "message": " love big data systems" }`,
+		`{ "message-id": 2, "author-id": 2, "timestamp": datetime("2014-02-20T09:00:00"), "in-response-to": 1,
+		   "sender-location": point("37.73,97.04"), "tags": {{ "databases" }}, "message": " going out tonite" }`,
+	}
+	for _, m := range messages {
+		mustExec(inst, "insert into dataset MugshotMessages ("+m+");")
+	}
+
+	// Query 1: the system eats its own dog food — metadata is data.
+	runQuery(inst, "Query 1 (metadata datasets)",
+		`for $ds in dataset Metadata.Dataset return $ds;`)
+
+	// Query 2: datetime range scan (uses msUserSinceIdx under the covers).
+	runQuery(inst, "Query 2 (range scan)", `
+for $user in dataset MugshotUsers
+where $user.user-since >= datetime('2010-07-22T00:00:00')
+  and $user.user-since <= datetime('2012-07-29T23:59:59')
+return $user.name;`)
+
+	// Query 3: equijoin.
+	runQuery(inst, "Query 3 (equijoin)", `
+for $user in dataset MugshotUsers
+for $message in dataset MugshotMessages
+where $message.author-id = $user.id
+return { "uname": $user.name, "message": $message.message };`)
+
+	// Query 10: simple aggregation (the Figure 6 job).
+	runQuery(inst, "Query 10 (aggregation)", `
+avg(
+  for $m in dataset MugshotMessages
+  where $m.timestamp >= datetime("2014-01-01T00:00:00")
+    and $m.timestamp < datetime("2014-04-01T00:00:00")
+  return string-length($m.message)
+)`)
+
+	// Query 11: grouped aggregation with order by and limit.
+	runQuery(inst, "Query 11 (group by / order by / limit)", `
+for $msg in dataset MugshotMessages
+group by $aid := $msg.author-id with $msg
+let $cnt := count($msg)
+order by $cnt desc
+limit 3
+return { "author": $aid, "no messages": $cnt };`)
+
+	// The compiled Hyracks job for Query 10 (Figure 6).
+	explain, err := inst.Explain(`
+avg(
+  for $m in dataset MugshotMessages
+  where $m.timestamp >= datetime("2014-01-01T00:00:00")
+    and $m.timestamp < datetime("2014-04-01T00:00:00")
+  return string-length($m.message)
+)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== Figure 6: compiled job for Query 10 ===")
+	fmt.Println(explain)
+}
+
+func mustExec(inst *asterixdb.Instance, src string) {
+	if _, err := inst.Execute(src); err != nil {
+		log.Fatalf("execute: %v", err)
+	}
+}
+
+func runQuery(inst *asterixdb.Instance, title, src string) {
+	fmt.Println("\n=== " + title + " ===")
+	values, err := inst.Query(src)
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	for _, v := range values {
+		fmt.Println("  " + v.String())
+	}
+}

@@ -1,0 +1,108 @@
+// Command socialanalytics runs the social-media analytics workload the
+// paper's pilots motivated (Section 5.2): grouped spatial aggregation over a
+// synthetic Mugshot message stream, fuzzy selection (Query 6), spatial joins
+// (Query 5), and fuzzy joins on tags (Query 13).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"asterixdb"
+	"asterixdb/internal/workload"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "asterix-social")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	inst, err := asterixdb.Open(asterixdb.Config{DataDir: dir, Partitions: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	if _, err := inst.Execute(`
+create type MugshotMessageType as closed {
+  message-id: int32, author-id: int32, timestamp: datetime,
+  in-response-to: int32?, sender-location: point?, tags: {{ string }}, message: string
+}
+create dataset MugshotMessages(MugshotMessageType) primary key message-id;
+create index msTimestampIdx on MugshotMessages(timestamp);
+create index msSenderLocIndex on MugshotMessages(sender-location) type rtree;
+create index msMessageIdx on MugshotMessages(message) type keyword;
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Load a synthetic message workload (the data generator behind the
+	// paper's performance study).
+	gen := workload.New(workload.Config{Users: 200, Messages: 1500, Seed: 11})
+	ds, _ := inst.Dataset("MugshotMessages")
+	if err := ds.InsertBatch(gen.Messages()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d messages\n", 1500)
+
+	// Grouped spatial aggregation: message counts per spatial grid cell.
+	run(inst, "messages per spatial cell (top 5)", `
+for $m in dataset MugshotMessages
+let $cell := spatial-cell($m.sender-location, create-point(20.0, 70.0), 10.0, 10.0)
+group by $c := $cell with $m
+let $cnt := count($m)
+order by $cnt desc
+limit 5
+return { "cell": $c, "count": $cnt };`)
+
+	// Query 6: fuzzy selection with edit distance.
+	run(inst, "fuzzy selection (~= tonight)", `
+set simfunction "edit-distance";
+set simthreshold "2";
+for $m in dataset MugshotMessages
+where (some $word in word-tokens($m.message) satisfies $word ~= "tonight")
+limit 5
+return $m.message;`)
+
+	// Query 5: spatial join — nearby message pairs (on a small slice).
+	run(inst, "spatial join (nearby messages, first 5)", `
+for $t in dataset MugshotMessages
+where $t.message-id <= 20
+limit 5
+return {
+  "message": $t.message-id,
+  "nearby": count(
+    for $t2 in dataset MugshotMessages
+    where spatial-distance($t.sender-location, $t2.sender-location) <= 1.0
+    return $t2.message-id)
+};`)
+
+	// Query 13: left outer fuzzy join on tags.
+	run(inst, "fuzzy join on tags (first 5)", `
+set simfunction "jaccard";
+set simthreshold "0.5";
+for $msg in dataset MugshotMessages
+where $msg.message-id <= 20
+let $similar := (
+  for $m2 in dataset MugshotMessages
+  where $m2.message-id <= 200 and $m2.tags ~= $msg.tags and $m2.message-id != $msg.message-id
+  return $m2.message-id
+)
+where count($similar) > 0
+limit 5
+return { "message": $msg.message-id, "similarly tagged": count($similar) };`)
+}
+
+func run(inst *asterixdb.Instance, title, src string) {
+	fmt.Println("\n=== " + title + " ===")
+	values, err := inst.Query(src)
+	if err != nil {
+		log.Fatalf("%s: %v", title, err)
+	}
+	for _, v := range values {
+		fmt.Println("  " + v.String())
+	}
+}

@@ -1,0 +1,558 @@
+package adm
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTagNames(t *testing.T) {
+	if TagInt32.String() != "int32" {
+		t.Errorf("TagInt32.String() = %q", TagInt32.String())
+	}
+	if TagDatetime.String() != "datetime" {
+		t.Errorf("TagDatetime.String() = %q", TagDatetime.String())
+	}
+	if !TagInt64.IsNumeric() || TagString.IsNumeric() {
+		t.Error("IsNumeric misclassifies")
+	}
+	if !TagDate.IsTemporal() || TagPoint.IsTemporal() {
+		t.Error("IsTemporal misclassifies")
+	}
+	if !TagPolygon.IsSpatial() || TagString.IsSpatial() {
+		t.Error("IsSpatial misclassifies")
+	}
+	if !TagOrderedList.IsCollection() || TagRecord.IsCollection() {
+		t.Error("IsCollection misclassifies")
+	}
+}
+
+func TestTagFromTypeName(t *testing.T) {
+	cases := map[string]TypeTag{
+		"int32": TagInt32, "int": TagInt32, "bigint": TagInt64,
+		"string": TagString, "datetime": TagDatetime, "point": TagPoint,
+	}
+	for name, want := range cases {
+		got, ok := TagFromTypeName(name)
+		if !ok || got != want {
+			t.Errorf("TagFromTypeName(%q) = %v, %v; want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := TagFromTypeName("no-such-type"); ok {
+		t.Error("TagFromTypeName accepted unknown name")
+	}
+}
+
+func TestRecordAccessors(t *testing.T) {
+	r := NewRecord(
+		Field{Name: "id", Value: Int32(7)},
+		Field{Name: "name", Value: String("alice")},
+	)
+	if got := r.Get("id"); MustCompare(got, Int32(7)) != 0 {
+		t.Errorf("Get(id) = %v", got)
+	}
+	if r.Get("nope").Tag() != TagMissing {
+		t.Error("Get of absent field should be MISSING")
+	}
+	if !r.Has("name") || r.Has("nope") {
+		t.Error("Has misreports")
+	}
+	r2 := r.Set("name", String("bob"))
+	if r.Get("name").(String) != "alice" {
+		t.Error("Set mutated the original record")
+	}
+	if r2.Get("name").(String) != "bob" {
+		t.Error("Set did not apply")
+	}
+	r3 := r.Set("extra", Boolean(true))
+	if len(r3.Fields) != 3 {
+		t.Error("Set should append new field")
+	}
+	names := r.FieldNames()
+	if len(names) != 2 || names[0] != "id" || names[1] != "name" {
+		t.Errorf("FieldNames = %v", names)
+	}
+}
+
+func TestValueStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int32(42), "42"},
+		{Int64(42), "42i64"},
+		{Boolean(true), "true"},
+		{String("hi"), `"hi"`},
+		{Null{}, "null"},
+		{Missing{}, "missing"},
+		{Double(1.5), "1.5"},
+		{Double(2), "2.0"},
+		{Point{X: 1, Y: 2}, `point("1,2")`},
+		{Date(0), `date("1970-01-01")`},
+		{Datetime(0), `datetime("1970-01-01T00:00:00.000")`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%T.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	lt := [][2]Value{
+		{Int32(1), Int32(2)},
+		{Int32(1), Int64(2)},
+		{Int32(1), Double(1.5)},
+		{String("a"), String("b")},
+		{Boolean(false), Boolean(true)},
+		{Date(1), Date(2)},
+		{Datetime(10), Datetime(20)},
+	}
+	for _, pair := range lt {
+		c, err := Compare(pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("Compare(%v, %v): %v", pair[0], pair[1], err)
+		}
+		if c >= 0 {
+			t.Errorf("Compare(%v, %v) = %d, want < 0", pair[0], pair[1], c)
+		}
+		c2, _ := Compare(pair[1], pair[0])
+		if c2 <= 0 {
+			t.Errorf("Compare(%v, %v) = %d, want > 0", pair[1], pair[0], c2)
+		}
+	}
+	if !Equal(Int32(5), Int64(5)) {
+		t.Error("numeric equality across widths should hold")
+	}
+}
+
+func TestValidateOpenAndClosed(t *testing.T) {
+	openType := &RecordType{
+		Name: "OpenT",
+		Open: true,
+		Fields: []FieldType{
+			{Name: "id", Type: Prim(TagInt32)},
+			{Name: "note", Type: Prim(TagString), Optional: true},
+		},
+	}
+	closedType := &RecordType{
+		Name: "ClosedT",
+		Open: false,
+		Fields: []FieldType{
+			{Name: "id", Type: Prim(TagInt32)},
+		},
+	}
+	okOpen := NewRecord(
+		Field{Name: "id", Value: Int32(1)},
+		Field{Name: "extra", Value: String("x")},
+	)
+	if err := Validate(okOpen, openType); err != nil {
+		t.Errorf("open type should allow extra fields: %v", err)
+	}
+	if err := Validate(okOpen, closedType); err == nil {
+		t.Error("closed type must reject extra fields")
+	}
+	missingReq := NewRecord(Field{Name: "note", Value: String("x")})
+	if err := Validate(missingReq, openType); err == nil {
+		t.Error("missing required field must be rejected")
+	}
+	wrongType := NewRecord(Field{Name: "id", Value: String("1")})
+	if err := Validate(wrongType, closedType); err == nil {
+		t.Error("wrong field type must be rejected")
+	}
+}
+
+func TestParseRoundTripBasic(t *testing.T) {
+	inputs := []string{
+		`42`,
+		`-7`,
+		`3.5`,
+		`"hello world"`,
+		`true`,
+		`null`,
+		`[1, 2, 3]`,
+		`{{ "a", "b" }}`,
+		`{ "id": 1, "tags": {{ "x" }}, "addr": { "city": "Irvine" } }`,
+		`datetime("2014-01-01T00:00:00")`,
+		`date("2012-06-05")`,
+		`point("30.5,70.1")`,
+		`duration("P30D")`,
+	}
+	for _, in := range inputs {
+		v, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		// Re-parse the printed form and compare.
+		v2, err := Parse(v.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q) from %q: %v", v.String(), in, err)
+		}
+		if MustCompare(v, v2) != 0 {
+			t.Errorf("round trip mismatch for %q: %v vs %v", in, v, v2)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `{`, `[1,`, `"unterminated`, `{{1}`, `bogus`, `{"a" 1}`,
+		`datetime("not-a-date")`, `point("1")`, `1 2`,
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseTinySocialRecord(t *testing.T) {
+	src := `{
+	  "id": 11, "alias": "John", "name": "JohnDoe",
+	  "address": { "street": "789 Jane St", "city": "San Harry", "zip": "98767", "state": "CA", "country": "USA" },
+	  "user-since": datetime("2010-08-15T08:10:00"),
+	  "friend-ids": {{ 5, 9, 11 }},
+	  "employment": [ { "organization-name": "Kongreen", "start-date": date("2012-06-05") } ]
+	}`
+	v, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rec := v.(*Record)
+	if rec.Get("alias").(String) != "John" {
+		t.Error("alias mismatch")
+	}
+	friends := rec.Get("friend-ids").(*UnorderedList)
+	if len(friends.Items) != 3 {
+		t.Errorf("friend-ids has %d items", len(friends.Items))
+	}
+	emp := rec.Get("employment").(*OrderedList)
+	if len(emp.Items) != 1 {
+		t.Fatal("employment list wrong")
+	}
+	if emp.Items[0].(*Record).Get("organization-name").(String) != "Kongreen" {
+		t.Error("nested record field mismatch")
+	}
+}
+
+func TestEncodeDecodeSelfDescribing(t *testing.T) {
+	values := []Value{
+		Missing{}, Null{}, Boolean(true), Int8(-5), Int16(300), Int32(70000),
+		Int64(1 << 40), Float(1.5), Double(math.Pi), String("héllo"),
+		Binary{1, 2, 3}, UUID{1, 2, 3, 4}, Date(16000), Time(3600000),
+		Datetime(1400000000000), Duration{Months: 14, Millis: 90061007},
+		YearMonthDuration(25), DayTimeDuration(123456),
+		Interval{PointTag: TagDatetime, Start: 100, End: 200},
+		Point{X: 1.5, Y: -2.5}, Line{A: Point{0, 0}, B: Point{1, 1}},
+		Rectangle{LowerLeft: Point{0, 0}, UpperRight: Point{2, 3}},
+		Circle{Center: Point{1, 1}, Radius: 4},
+		Polygon{Points: []Point{{0, 0}, {1, 0}, {0, 1}}},
+		&OrderedList{Items: []Value{Int32(1), String("x")}},
+		&UnorderedList{Items: []Value{Int32(1), Int32(2)}},
+		NewRecord(Field{Name: "a", Value: Int32(1)}, Field{Name: "b", Value: Null{}}),
+	}
+	for _, v := range values {
+		buf, err := EncodeValue(nil, v)
+		if err != nil {
+			t.Fatalf("EncodeValue(%v): %v", v, err)
+		}
+		got, n, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("DecodeValue(%v): %v", v, err)
+		}
+		if n != len(buf) {
+			t.Errorf("DecodeValue(%v) consumed %d of %d bytes", v, n, len(buf))
+		}
+		// Not every type participates in the total comparison order (e.g.
+		// line, polygon), so compare by textual form instead.
+		if v.String() != got.String() {
+			t.Errorf("round trip mismatch: %v vs %v", v, got)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	full, err := EncodeValue(nil, NewRecord(Field{Name: "a", Value: String("hello")}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(full); i++ {
+		if _, _, err := DecodeValue(full[:i]); err == nil {
+			// Some prefixes may decode a shorter valid value but must not
+			// consume more bytes than available.
+			v, n, _ := DecodeValue(full[:i])
+			if n > i {
+				t.Errorf("decode of %d-byte prefix consumed %d bytes (%v)", i, n, v)
+			}
+		}
+	}
+	if _, _, err := DecodeValue(nil); err == nil {
+		t.Error("decoding empty input should fail")
+	}
+}
+
+func mugshotUserType() *RecordType {
+	return &RecordType{
+		Name: "MugshotUserType",
+		Open: true,
+		Fields: []FieldType{
+			{Name: "id", Type: Prim(TagInt32)},
+			{Name: "alias", Type: Prim(TagString)},
+			{Name: "name", Type: Prim(TagString)},
+			{Name: "user-since", Type: Prim(TagDatetime)},
+			{Name: "friend-ids", Type: &UnorderedListType{Item: Prim(TagInt32)}},
+			{Name: "end-date", Type: Prim(TagDate), Optional: true},
+		},
+	}
+}
+
+func sampleUser() *Record {
+	return NewRecord(
+		Field{Name: "id", Value: Int32(1)},
+		Field{Name: "alias", Value: String("Margarita")},
+		Field{Name: "name", Value: String("MargaritaStoddard")},
+		Field{Name: "user-since", Value: Datetime(1344068000000)},
+		Field{Name: "friend-ids", Value: &UnorderedList{Items: []Value{Int32(2), Int32(3)}}},
+		Field{Name: "hobby", Value: String("sailing")}, // open field
+	)
+}
+
+func TestSchemaEncodingRoundTrip(t *testing.T) {
+	rt := mugshotUserType()
+	for _, enc := range []Encoding{SchemaEncoding, KeyOnlyEncoding} {
+		s := NewSerializer(rt, enc)
+		rec := sampleUser()
+		buf, err := s.Encode(nil, rec)
+		if err != nil {
+			t.Fatalf("%v Encode: %v", enc, err)
+		}
+		got, n, err := s.Decode(buf)
+		if err != nil {
+			t.Fatalf("%v Decode: %v", enc, err)
+		}
+		if n != len(buf) {
+			t.Errorf("%v: decoded %d of %d bytes", enc, n, len(buf))
+		}
+		gotRec := got.(*Record)
+		for _, f := range []string{"id", "alias", "name", "user-since", "friend-ids", "hobby"} {
+			if MustCompare(rec.Get(f), gotRec.Get(f)) != 0 {
+				t.Errorf("%v: field %q mismatch: %v vs %v", enc, f, rec.Get(f), gotRec.Get(f))
+			}
+		}
+	}
+}
+
+func TestSchemaEncodingSmallerThanKeyOnly(t *testing.T) {
+	rt := mugshotUserType()
+	rec := sampleUser()
+	schema := NewSerializer(rt, SchemaEncoding)
+	keyonly := NewSerializer(rt, KeyOnlyEncoding)
+	sSize, err := schema.EncodedSize(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kSize, err := keyonly.EncodedSize(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sSize >= kSize {
+		t.Errorf("schema encoding (%d bytes) should be smaller than keyonly (%d bytes)", sSize, kSize)
+	}
+}
+
+func TestSchemaEncodingRequiredFieldMissing(t *testing.T) {
+	rt := mugshotUserType()
+	s := NewSerializer(rt, SchemaEncoding)
+	rec := NewRecord(Field{Name: "id", Value: Int32(1)}) // missing required fields
+	if _, err := s.Encode(nil, rec); err == nil {
+		t.Error("encoding a record missing required fields must fail")
+	}
+}
+
+func TestEncodeKeyOrderMatchesCompare(t *testing.T) {
+	pairs := [][2]Value{
+		{Int32(-5), Int32(3)},
+		{Int64(100), Int64(200)},
+		{Double(-1.5), Double(2.5)},
+		{String("abc"), String("abd")},
+		{String("ab"), String("abc")},
+		{Datetime(1000), Datetime(2000)},
+		{Date(-10), Date(10)},
+	}
+	for _, p := range pairs {
+		a := EncodeKey(nil, p[0])
+		b := EncodeKey(nil, p[1])
+		if strings.Compare(string(a), string(b)) >= 0 {
+			t.Errorf("EncodeKey order violated for %v < %v", p[0], p[1])
+		}
+	}
+}
+
+func TestEncodeKeyOrderProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := EncodeKey(nil, Int64(a))
+		kb := EncodeKey(nil, Int64(b))
+		cmp := strings.Compare(string(ka), string(kb))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := EncodeKey(nil, Double(a))
+		kb := EncodeKey(nil, Double(b))
+		cmp := strings.Compare(string(ka), string(kb))
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(id int32, name string, score float64, ok bool) bool {
+		rec := NewRecord(
+			Field{Name: "id", Value: Int32(id)},
+			Field{Name: "name", Value: String(name)},
+			Field{Name: "score", Value: Double(score)},
+			Field{Name: "ok", Value: Boolean(ok)},
+		)
+		buf, err := EncodeValue(nil, rec)
+		if err != nil {
+			return false
+		}
+		got, n, err := DecodeValue(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		if math.IsNaN(score) {
+			return true // NaN compares unequal by definition; skip
+		}
+		return MustCompare(rec, got) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	a := NewRecord(Field{Name: "x", Value: Int32(1)}, Field{Name: "y", Value: String("s")})
+	b := NewRecord(Field{Name: "x", Value: Int32(1)}, Field{Name: "y", Value: String("s")})
+	if Hash(a) != Hash(b) {
+		t.Error("equal records must hash equally")
+	}
+	if Hash(Int32(7)) != Hash(Int32(7)) {
+		t.Error("equal ints must hash equally")
+	}
+}
+
+func TestNumericHelpers(t *testing.T) {
+	if d, ok := NumericAsDouble(Int16(4)); !ok || d != 4 {
+		t.Error("NumericAsDouble(Int16) failed")
+	}
+	if _, ok := NumericAsDouble(String("x")); ok {
+		t.Error("NumericAsDouble should reject strings")
+	}
+	if n, ok := NumericAsInt64(Double(3.9)); !ok || n != 3 {
+		t.Error("NumericAsInt64 should truncate")
+	}
+	v, err := PromoteNumeric(Int32(5), TagDouble)
+	if err != nil || v.Tag() != TagDouble {
+		t.Error("PromoteNumeric to double failed")
+	}
+	if _, err := PromoteNumeric(String("x"), TagDouble); err == nil {
+		t.Error("PromoteNumeric should fail on non-numeric")
+	}
+	if !IsUnknown(Null{}) || !IsUnknown(Missing{}) || IsUnknown(Int32(0)) {
+		t.Error("IsUnknown misclassifies")
+	}
+	if !Truthy(Boolean(true)) || Truthy(Boolean(false)) || Truthy(Int32(1)) {
+		t.Error("Truthy misclassifies")
+	}
+}
+
+func TestTypeRegistry(t *testing.T) {
+	reg := NewTypeRegistry()
+	rt := mugshotUserType()
+	if err := reg.Register("MugshotUserType", rt); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register("MugshotUserType", rt); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	got, ok := reg.Lookup("MugshotUserType")
+	if !ok || got.(*RecordType).Name != "MugshotUserType" {
+		t.Error("Lookup failed")
+	}
+	if err := reg.Drop("MugshotUserType"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Lookup("MugshotUserType"); ok {
+		t.Error("type still present after Drop")
+	}
+	if err := reg.Drop("nope"); err == nil {
+		t.Error("dropping unknown type should fail")
+	}
+}
+
+func TestConstructErrors(t *testing.T) {
+	if _, err := Construct("nosuch", "x"); err == nil {
+		t.Error("unknown constructor should fail")
+	}
+	if _, err := ParseDate("2014-13-45"); err == nil {
+		t.Error("bad date should fail")
+	}
+	if _, err := ParseDuration("30D"); err == nil {
+		t.Error("duration without P should fail")
+	}
+	if _, err := NewInterval(Datetime(10), Date(5)); err == nil {
+		t.Error("interval with mixed bound types should fail")
+	}
+	if _, err := NewInterval(Datetime(10), Datetime(5)); err == nil {
+		t.Error("interval with start after end should fail")
+	}
+}
+
+func TestParseDurationValues(t *testing.T) {
+	v, err := ParseDuration("P30D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := v.(Duration)
+	if d.Months != 0 || d.Millis != 30*86400000 {
+		t.Errorf("P30D parsed as %+v", d)
+	}
+	v, err = ParseDuration("P1Y2MT3H4M5S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d = v.(Duration)
+	if d.Months != 14 || d.Millis != 3*3600000+4*60000+5000 {
+		t.Errorf("P1Y2MT3H4M5S parsed as %+v", d)
+	}
+	v, err = ParseDuration("-PT1M")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(Duration).Millis != -60000 {
+		t.Errorf("-PT1M parsed as %+v", v)
+	}
+}

@@ -1,0 +1,350 @@
+package adm
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Compare imposes a total order over comparable ADM values. Numerics of
+// different widths compare by value; strings compare lexicographically;
+// temporal types compare by chronon; booleans order false < true. NULL
+// compares less than every non-null value and MISSING less than NULL, which
+// gives ORDER BY a deterministic placement for unknowns. Comparing values of
+// incomparable tags (e.g. a string and a point) returns an error.
+func Compare(a, b Value) (int, error) {
+	ta, tb := a.Tag(), b.Tag()
+
+	// Unknowns order below everything.
+	if ta == TagMissing || tb == TagMissing || ta == TagNull || tb == TagNull {
+		return compareRank(unknownRank(ta), unknownRank(tb)), nil
+	}
+
+	if ta.IsNumeric() && tb.IsNumeric() {
+		da, _ := NumericAsDouble(a)
+		db, _ := NumericAsDouble(b)
+		return compareFloat(da, db), nil
+	}
+
+	if ta != tb {
+		return 0, fmt.Errorf("adm: cannot compare %s with %s", ta, tb)
+	}
+
+	switch av := a.(type) {
+	case Boolean:
+		bv := b.(Boolean)
+		return compareBool(bool(av), bool(bv)), nil
+	case String:
+		bv := b.(String)
+		switch {
+		case av < bv:
+			return -1, nil
+		case av > bv:
+			return 1, nil
+		}
+		return 0, nil
+	case Binary:
+		return bytes.Compare(av, b.(Binary)), nil
+	case UUID:
+		return bytes.Compare(av[:], func() []byte { u := b.(UUID); return u[:] }()), nil
+	case Date:
+		return compareInt(int64(av), int64(b.(Date))), nil
+	case Time:
+		return compareInt(int64(av), int64(b.(Time))), nil
+	case Datetime:
+		return compareInt(int64(av), int64(b.(Datetime))), nil
+	case YearMonthDuration:
+		return compareInt(int64(av), int64(b.(YearMonthDuration))), nil
+	case DayTimeDuration:
+		return compareInt(int64(av), int64(b.(DayTimeDuration))), nil
+	case Duration:
+		bv := b.(Duration)
+		// Approximate total order: months count as 30 days.
+		am := int64(av.Months)*30*86400000 + av.Millis
+		bm := int64(bv.Months)*30*86400000 + bv.Millis
+		return compareInt(am, bm), nil
+	case Interval:
+		bv := b.(Interval)
+		if c := compareInt(av.Start, bv.Start); c != 0 {
+			return c, nil
+		}
+		return compareInt(av.End, bv.End), nil
+	case Point:
+		bv := b.(Point)
+		if c := compareFloat(av.X, bv.X); c != 0 {
+			return c, nil
+		}
+		return compareFloat(av.Y, bv.Y), nil
+	case *Record:
+		return compareRecords(av, b.(*Record))
+	case *OrderedList:
+		return compareLists(av.Items, b.(*OrderedList).Items)
+	case *UnorderedList:
+		// Bags compare by sorted item order so equal bags compare equal
+		// regardless of construction order.
+		as := sortedCopy(av.Items)
+		bs := sortedCopy(b.(*UnorderedList).Items)
+		return compareLists(as, bs)
+	}
+	return 0, fmt.Errorf("adm: values of type %s are not comparable", ta)
+}
+
+// Equal reports deep value equality. Values of incomparable types are simply
+// unequal (no error).
+func Equal(a, b Value) bool {
+	c, err := Compare(a, b)
+	return err == nil && c == 0
+}
+
+// MustCompare is Compare for callers that have already verified
+// comparability; it panics on error.
+func MustCompare(a, b Value) int {
+	c, err := Compare(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func unknownRank(t TypeTag) int {
+	switch t {
+	case TagMissing:
+		return 0
+	case TagNull:
+		return 1
+	}
+	return 2
+}
+
+func compareRank(a, b int) int {
+	return compareInt(int64(a), int64(b))
+}
+
+func compareInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	}
+	// NaN handling: NaN sorts above every number and equal to itself.
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	default:
+		return -1
+	}
+}
+
+func compareBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	}
+	return 1
+}
+
+func compareRecords(a, b *Record) (int, error) {
+	as := a.SortedFields()
+	bs := b.SortedFields()
+	n := len(as)
+	if len(bs) < n {
+		n = len(bs)
+	}
+	for i := 0; i < n; i++ {
+		if as[i].Name != bs[i].Name {
+			if as[i].Name < bs[i].Name {
+				return -1, nil
+			}
+			return 1, nil
+		}
+		c, err := Compare(as[i].Value, bs[i].Value)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	return compareInt(int64(len(as)), int64(len(bs))), nil
+}
+
+func compareLists(a, b []Value) (int, error) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		c, err := Compare(a[i], b[i])
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	return compareInt(int64(len(a)), int64(len(b))), nil
+}
+
+func sortedCopy(items []Value) []Value {
+	out := make([]Value, len(items))
+	copy(out, items)
+	sort.SliceStable(out, func(i, j int) bool {
+		c, err := Compare(out[i], out[j])
+		return err == nil && c < 0
+	})
+	return out
+}
+
+// ----------------------------------------------------------------------------
+// Hashing
+// ----------------------------------------------------------------------------
+
+// Hash computes a 64-bit hash of the value, used for hash partitioning and
+// hash-based joins/grouping. Values that compare equal hash equally,
+// including numerics of different widths holding the same number.
+func Hash(v Value) uint64 {
+	h := fnv.New64a()
+	hashInto(h, v)
+	return h.Sum64()
+}
+
+type hasher interface {
+	Write(p []byte) (int, error)
+}
+
+func hashInto(h hasher, v Value) {
+	writeByte := func(b byte) { h.Write([]byte{b}) }
+	writeInt := func(x int64) {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	writeFloat := func(f float64) { writeInt(int64(math.Float64bits(f))) }
+
+	switch val := v.(type) {
+	case Missing:
+		writeByte(byte(TagMissing))
+	case Null:
+		writeByte(byte(TagNull))
+	case Boolean:
+		writeByte(byte(TagBoolean))
+		if val {
+			writeByte(1)
+		} else {
+			writeByte(0)
+		}
+	case Int8, Int16, Int32, Int64, Float, Double:
+		// All numerics hash via their double representation so that equal
+		// numbers of different widths land in the same hash partition.
+		d, _ := NumericAsDouble(v)
+		if d == math.Trunc(d) && !math.IsInf(d, 0) {
+			writeByte('i')
+			writeInt(int64(d))
+		} else {
+			writeByte('f')
+			writeFloat(d)
+		}
+	case String:
+		writeByte(byte(TagString))
+		h.Write([]byte(val))
+	case Binary:
+		writeByte(byte(TagBinary))
+		h.Write(val)
+	case UUID:
+		writeByte(byte(TagUUID))
+		h.Write(val[:])
+	case Date:
+		writeByte(byte(TagDate))
+		writeInt(int64(val))
+	case Time:
+		writeByte(byte(TagTime))
+		writeInt(int64(val))
+	case Datetime:
+		writeByte(byte(TagDatetime))
+		writeInt(int64(val))
+	case Duration:
+		writeByte(byte(TagDuration))
+		writeInt(int64(val.Months))
+		writeInt(val.Millis)
+	case YearMonthDuration:
+		writeByte(byte(TagYearMonthDuration))
+		writeInt(int64(val))
+	case DayTimeDuration:
+		writeByte(byte(TagDayTimeDuration))
+		writeInt(int64(val))
+	case Interval:
+		writeByte(byte(TagInterval))
+		writeByte(byte(val.PointTag))
+		writeInt(val.Start)
+		writeInt(val.End)
+	case Point:
+		writeByte(byte(TagPoint))
+		writeFloat(val.X)
+		writeFloat(val.Y)
+	case Line:
+		writeByte(byte(TagLine))
+		writeFloat(val.A.X)
+		writeFloat(val.A.Y)
+		writeFloat(val.B.X)
+		writeFloat(val.B.Y)
+	case Rectangle:
+		writeByte(byte(TagRectangle))
+		writeFloat(val.LowerLeft.X)
+		writeFloat(val.LowerLeft.Y)
+		writeFloat(val.UpperRight.X)
+		writeFloat(val.UpperRight.Y)
+	case Circle:
+		writeByte(byte(TagCircle))
+		writeFloat(val.Center.X)
+		writeFloat(val.Center.Y)
+		writeFloat(val.Radius)
+	case Polygon:
+		writeByte(byte(TagPolygon))
+		for _, p := range val.Points {
+			writeFloat(p.X)
+			writeFloat(p.Y)
+		}
+	case *Record:
+		writeByte(byte(TagRecord))
+		for _, f := range val.SortedFields() {
+			h.Write([]byte(f.Name))
+			hashInto(h, f.Value)
+		}
+	case *OrderedList:
+		writeByte(byte(TagOrderedList))
+		for _, it := range val.Items {
+			hashInto(h, it)
+		}
+	case *UnorderedList:
+		writeByte(byte(TagUnorderedList))
+		var agg uint64
+		for _, it := range val.Items {
+			agg += Hash(it) // order-independent combination
+		}
+		writeInt(int64(agg))
+	default:
+		writeByte(0xff)
+	}
+}

@@ -1,0 +1,620 @@
+package adm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Encoding selects how records are laid out on disk.
+//
+// SchemaEncoding stores declared fields positionally: the field names and
+// types live in the Datatype (metadata), so each instance stores only the
+// values of declared fields plus any undeclared "open" fields. This is the
+// "Asterix (Schema)" configuration from the paper's Table 2/3.
+//
+// KeyOnlyEncoding stores every field self-describing (name + tagged value),
+// as if only the primary key had been declared up front. This is the
+// "Asterix (KeyOnly)" configuration.
+type Encoding uint8
+
+const (
+	// SchemaEncoding lays out declared fields positionally using the Datatype.
+	SchemaEncoding Encoding = iota
+	// KeyOnlyEncoding stores every field with its name in each instance.
+	KeyOnlyEncoding
+)
+
+// String returns "schema" or "keyonly".
+func (e Encoding) String() string {
+	if e == SchemaEncoding {
+		return "schema"
+	}
+	return "keyonly"
+}
+
+// Serializer encodes and decodes ADM values to the binary on-disk format.
+// A Serializer is bound to a record Datatype and an Encoding; non-record
+// values are always encoded self-describing.
+type Serializer struct {
+	Type     *RecordType
+	Encoding Encoding
+}
+
+// NewSerializer returns a Serializer for the given record type and encoding.
+// A nil record type forces KeyOnly (fully self-describing) encoding.
+func NewSerializer(rt *RecordType, enc Encoding) *Serializer {
+	if rt == nil {
+		enc = KeyOnlyEncoding
+	}
+	return &Serializer{Type: rt, Encoding: enc}
+}
+
+// Encode appends the binary form of v to dst and returns the extended slice.
+func (s *Serializer) Encode(dst []byte, v Value) ([]byte, error) {
+	if s.Encoding == SchemaEncoding && s.Type != nil {
+		if rec, ok := v.(*Record); ok {
+			return s.encodeSchemaRecord(dst, rec)
+		}
+	}
+	return EncodeValue(dst, v)
+}
+
+// Decode decodes a value previously produced by Encode. It returns the value
+// and the number of bytes consumed.
+func (s *Serializer) Decode(src []byte) (Value, int, error) {
+	if len(src) == 0 {
+		return nil, 0, fmt.Errorf("adm: decode: empty input")
+	}
+	if s.Encoding == SchemaEncoding && s.Type != nil && TypeTag(src[0]) == tagSchemaRecord {
+		return s.decodeSchemaRecord(src)
+	}
+	return DecodeValue(src)
+}
+
+// EncodedSize returns the number of bytes Encode would produce for v.
+func (s *Serializer) EncodedSize(v Value) (int, error) {
+	b, err := s.Encode(nil, v)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// tagSchemaRecord marks a record encoded positionally against a Datatype.
+// It deliberately sits outside the normal TypeTag space.
+const tagSchemaRecord TypeTag = 0xF0
+
+// presence bits for schema-encoded fields.
+const (
+	fieldPresent byte = 0 // value follows
+	fieldNull    byte = 1 // declared, present as NULL
+	fieldMissing byte = 2 // declared optional, absent
+)
+
+func (s *Serializer) encodeSchemaRecord(dst []byte, rec *Record) ([]byte, error) {
+	dst = append(dst, byte(tagSchemaRecord))
+	// Declared fields: presence byte, then value bytes (no name, no tag needed
+	// beyond the value's own tag, since nested open content still needs tags).
+	for _, ft := range s.Type.Fields {
+		v := rec.Get(ft.Name)
+		switch v.Tag() {
+		case TagMissing:
+			if !ft.Optional {
+				return nil, fmt.Errorf("adm: encode %q: missing required field %q", s.Type.Name, ft.Name)
+			}
+			dst = append(dst, fieldMissing)
+		case TagNull:
+			dst = append(dst, fieldNull)
+		default:
+			dst = append(dst, fieldPresent)
+			var err error
+			dst, err = EncodeValue(dst, v)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Open (undeclared) fields: count, then name/value pairs.
+	var open []Field
+	for _, f := range rec.Fields {
+		if s.Type.FieldIndex(f.Name) < 0 {
+			open = append(open, f)
+		}
+	}
+	dst = appendUvarint(dst, uint64(len(open)))
+	for _, f := range open {
+		dst = appendString(dst, f.Name)
+		var err error
+		dst, err = EncodeValue(dst, f.Value)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func (s *Serializer) decodeSchemaRecord(src []byte) (Value, int, error) {
+	pos := 1 // skip tagSchemaRecord
+	fields := make([]Field, 0, len(s.Type.Fields))
+	for _, ft := range s.Type.Fields {
+		if pos >= len(src) {
+			return nil, 0, fmt.Errorf("adm: decode %q: truncated record", s.Type.Name)
+		}
+		presence := src[pos]
+		pos++
+		switch presence {
+		case fieldMissing:
+			// omitted
+		case fieldNull:
+			fields = append(fields, Field{Name: ft.Name, Value: Null{}})
+		case fieldPresent:
+			v, n, err := DecodeValue(src[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += n
+			fields = append(fields, Field{Name: ft.Name, Value: v})
+		default:
+			return nil, 0, fmt.Errorf("adm: decode %q: bad presence byte %d", s.Type.Name, presence)
+		}
+	}
+	nOpen, n, err := readUvarint(src[pos:])
+	if err != nil {
+		return nil, 0, err
+	}
+	pos += n
+	for i := uint64(0); i < nOpen; i++ {
+		name, n, err := readString(src[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += n
+		v, n, err := DecodeValue(src[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += n
+		fields = append(fields, Field{Name: name, Value: v})
+	}
+	return &Record{Fields: fields}, pos, nil
+}
+
+// ----------------------------------------------------------------------------
+// Self-describing value encoding (used by KeyOnly, open fields, and all
+// non-record values).
+// ----------------------------------------------------------------------------
+
+// EncodeValue appends the self-describing binary form of v to dst.
+func EncodeValue(dst []byte, v Value) ([]byte, error) {
+	dst = append(dst, byte(v.Tag()))
+	switch x := v.(type) {
+	case Missing, Null:
+		return dst, nil
+	case Boolean:
+		if x {
+			return append(dst, 1), nil
+		}
+		return append(dst, 0), nil
+	case Int8:
+		return append(dst, byte(x)), nil
+	case Int16:
+		return binary.BigEndian.AppendUint16(dst, uint16(x)), nil
+	case Int32:
+		return binary.BigEndian.AppendUint32(dst, uint32(x)), nil
+	case Int64:
+		return binary.BigEndian.AppendUint64(dst, uint64(x)), nil
+	case Float:
+		return binary.BigEndian.AppendUint32(dst, math.Float32bits(float32(x))), nil
+	case Double:
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(float64(x))), nil
+	case String:
+		return appendString(dst, string(x)), nil
+	case Binary:
+		dst = appendUvarint(dst, uint64(len(x)))
+		return append(dst, x...), nil
+	case UUID:
+		return append(dst, x[:]...), nil
+	case Date:
+		return binary.BigEndian.AppendUint32(dst, uint32(x)), nil
+	case Time:
+		return binary.BigEndian.AppendUint32(dst, uint32(x)), nil
+	case Datetime:
+		return binary.BigEndian.AppendUint64(dst, uint64(x)), nil
+	case Duration:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(x.Months))
+		return binary.BigEndian.AppendUint64(dst, uint64(x.Millis)), nil
+	case YearMonthDuration:
+		return binary.BigEndian.AppendUint32(dst, uint32(x)), nil
+	case DayTimeDuration:
+		return binary.BigEndian.AppendUint64(dst, uint64(x)), nil
+	case Interval:
+		dst = append(dst, byte(x.PointTag))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(x.Start))
+		return binary.BigEndian.AppendUint64(dst, uint64(x.End)), nil
+	case Point:
+		return appendPoint(dst, x), nil
+	case Line:
+		dst = appendPoint(dst, x.A)
+		return appendPoint(dst, x.B), nil
+	case Rectangle:
+		dst = appendPoint(dst, x.LowerLeft)
+		return appendPoint(dst, x.UpperRight), nil
+	case Circle:
+		dst = appendPoint(dst, x.Center)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(x.Radius)), nil
+	case Polygon:
+		dst = appendUvarint(dst, uint64(len(x.Points)))
+		for _, p := range x.Points {
+			dst = appendPoint(dst, p)
+		}
+		return dst, nil
+	case *Record:
+		dst = appendUvarint(dst, uint64(len(x.Fields)))
+		var err error
+		for _, f := range x.Fields {
+			dst = appendString(dst, f.Name)
+			dst, err = EncodeValue(dst, f.Value)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case *OrderedList:
+		return encodeList(dst, x.Items)
+	case *UnorderedList:
+		return encodeList(dst, x.Items)
+	}
+	return nil, fmt.Errorf("adm: cannot encode value of type %T", v)
+}
+
+func encodeList(dst []byte, items []Value) ([]byte, error) {
+	dst = appendUvarint(dst, uint64(len(items)))
+	var err error
+	for _, it := range items {
+		dst, err = EncodeValue(dst, it)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeValue decodes one self-describing value from src and returns it along
+// with the number of bytes consumed.
+func DecodeValue(src []byte) (Value, int, error) {
+	if len(src) == 0 {
+		return nil, 0, fmt.Errorf("adm: decode: empty input")
+	}
+	tag := TypeTag(src[0])
+	body := src[1:]
+	switch tag {
+	case TagMissing:
+		return Missing{}, 1, nil
+	case TagNull:
+		return Null{}, 1, nil
+	case TagBoolean:
+		if len(body) < 1 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Boolean(body[0] != 0), 2, nil
+	case TagInt8:
+		if len(body) < 1 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Int8(int8(body[0])), 2, nil
+	case TagInt16:
+		if len(body) < 2 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Int16(int16(binary.BigEndian.Uint16(body))), 3, nil
+	case TagInt32:
+		if len(body) < 4 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Int32(int32(binary.BigEndian.Uint32(body))), 5, nil
+	case TagInt64:
+		if len(body) < 8 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Int64(int64(binary.BigEndian.Uint64(body))), 9, nil
+	case TagFloat:
+		if len(body) < 4 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Float(math.Float32frombits(binary.BigEndian.Uint32(body))), 5, nil
+	case TagDouble:
+		if len(body) < 8 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Double(math.Float64frombits(binary.BigEndian.Uint64(body))), 9, nil
+	case TagString:
+		s, n, err := readString(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		return String(s), 1 + n, nil
+	case TagBinary:
+		ln, n, err := readUvarint(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		if uint64(len(body[n:])) < ln {
+			return nil, 0, errTruncated(tag)
+		}
+		out := make([]byte, ln)
+		copy(out, body[n:n+int(ln)])
+		return Binary(out), 1 + n + int(ln), nil
+	case TagUUID:
+		if len(body) < 16 {
+			return nil, 0, errTruncated(tag)
+		}
+		var u UUID
+		copy(u[:], body[:16])
+		return u, 17, nil
+	case TagDate:
+		if len(body) < 4 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Date(int32(binary.BigEndian.Uint32(body))), 5, nil
+	case TagTime:
+		if len(body) < 4 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Time(int32(binary.BigEndian.Uint32(body))), 5, nil
+	case TagDatetime:
+		if len(body) < 8 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Datetime(int64(binary.BigEndian.Uint64(body))), 9, nil
+	case TagDuration:
+		if len(body) < 12 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Duration{
+			Months: int32(binary.BigEndian.Uint32(body)),
+			Millis: int64(binary.BigEndian.Uint64(body[4:])),
+		}, 13, nil
+	case TagYearMonthDuration:
+		if len(body) < 4 {
+			return nil, 0, errTruncated(tag)
+		}
+		return YearMonthDuration(int32(binary.BigEndian.Uint32(body))), 5, nil
+	case TagDayTimeDuration:
+		if len(body) < 8 {
+			return nil, 0, errTruncated(tag)
+		}
+		return DayTimeDuration(int64(binary.BigEndian.Uint64(body))), 9, nil
+	case TagInterval:
+		if len(body) < 17 {
+			return nil, 0, errTruncated(tag)
+		}
+		return Interval{
+			PointTag: TypeTag(body[0]),
+			Start:    int64(binary.BigEndian.Uint64(body[1:])),
+			End:      int64(binary.BigEndian.Uint64(body[9:])),
+		}, 18, nil
+	case TagPoint:
+		p, n, err := readPoint(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		return p, 1 + n, nil
+	case TagLine:
+		a, n1, err := readPoint(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		b, n2, err := readPoint(body[n1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return Line{A: a, B: b}, 1 + n1 + n2, nil
+	case TagRectangle:
+		a, n1, err := readPoint(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		b, n2, err := readPoint(body[n1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return Rectangle{LowerLeft: a, UpperRight: b}, 1 + n1 + n2, nil
+	case TagCircle:
+		c, n, err := readPoint(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		if len(body[n:]) < 8 {
+			return nil, 0, errTruncated(tag)
+		}
+		r := math.Float64frombits(binary.BigEndian.Uint64(body[n:]))
+		return Circle{Center: c, Radius: r}, 1 + n + 8, nil
+	case TagPolygon:
+		cnt, n, err := readUvarint(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		pos := n
+		pts := make([]Point, 0, cnt)
+		for i := uint64(0); i < cnt; i++ {
+			p, pn, err := readPoint(body[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += pn
+			pts = append(pts, p)
+		}
+		return Polygon{Points: pts}, 1 + pos, nil
+	case TagRecord:
+		cnt, n, err := readUvarint(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		pos := n
+		fields := make([]Field, 0, cnt)
+		for i := uint64(0); i < cnt; i++ {
+			name, sn, err := readString(body[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += sn
+			v, vn, err := DecodeValue(body[pos:])
+			if err != nil {
+				return nil, 0, err
+			}
+			pos += vn
+			fields = append(fields, Field{Name: name, Value: v})
+		}
+		return &Record{Fields: fields}, 1 + pos, nil
+	case TagOrderedList:
+		items, n, err := decodeListItems(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &OrderedList{Items: items}, 1 + n, nil
+	case TagUnorderedList:
+		items, n, err := decodeListItems(body)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &UnorderedList{Items: items}, 1 + n, nil
+	}
+	return nil, 0, fmt.Errorf("adm: decode: unknown tag %d", tag)
+}
+
+func decodeListItems(body []byte) ([]Value, int, error) {
+	cnt, n, err := readUvarint(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	pos := n
+	items := make([]Value, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		v, vn, err := DecodeValue(body[pos:])
+		if err != nil {
+			return nil, 0, err
+		}
+		pos += vn
+		items = append(items, v)
+	}
+	return items, pos, nil
+}
+
+func errTruncated(tag TypeTag) error {
+	return fmt.Errorf("adm: decode %s: truncated input", tag)
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func readUvarint(src []byte) (uint64, int, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("adm: decode: bad varint")
+	}
+	return v, n, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(src []byte) (string, int, error) {
+	ln, n, err := readUvarint(src)
+	if err != nil {
+		return "", 0, err
+	}
+	if uint64(len(src[n:])) < ln {
+		return "", 0, fmt.Errorf("adm: decode string: truncated input")
+	}
+	return string(src[n : n+int(ln)]), n + int(ln), nil
+}
+
+func appendPoint(dst []byte, p Point) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(p.X))
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(p.Y))
+}
+
+func readPoint(src []byte) (Point, int, error) {
+	if len(src) < 16 {
+		return Point{}, 0, fmt.Errorf("adm: decode point: truncated input")
+	}
+	return Point{
+		X: math.Float64frombits(binary.BigEndian.Uint64(src)),
+		Y: math.Float64frombits(binary.BigEndian.Uint64(src[8:])),
+	}, 16, nil
+}
+
+// EncodeKey encodes a value for use as an index key with the property that
+// byte-wise lexicographic comparison of encoded keys matches Compare order for
+// values of the same tag (the only case primary and secondary B+-trees need).
+func EncodeKey(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case Missing:
+		return append(dst, 0x00)
+	case Null:
+		return append(dst, 0x01)
+	case Boolean:
+		if x {
+			return append(dst, 0x02, 1)
+		}
+		return append(dst, 0x02, 0)
+	case Int8:
+		return append(dst, 0x10, byte(uint8(x)^0x80))
+	case Int16:
+		dst = append(dst, 0x10)
+		return binary.BigEndian.AppendUint16(dst, uint16(x)^0x8000)
+	case Int32:
+		dst = append(dst, 0x10)
+		return binary.BigEndian.AppendUint32(dst, uint32(x)^0x80000000)
+	case Int64:
+		dst = append(dst, 0x10)
+		return binary.BigEndian.AppendUint64(dst, uint64(x)^0x8000000000000000)
+	case Float:
+		dst = append(dst, 0x11)
+		return appendOrderedFloat(dst, float64(x))
+	case Double:
+		dst = append(dst, 0x11)
+		return appendOrderedFloat(dst, float64(x))
+	case String:
+		dst = append(dst, 0x20)
+		dst = append(dst, []byte(x)...)
+		return append(dst, 0x00)
+	case Date:
+		dst = append(dst, 0x30)
+		return binary.BigEndian.AppendUint32(dst, uint32(x)^0x80000000)
+	case Time:
+		dst = append(dst, 0x31)
+		return binary.BigEndian.AppendUint32(dst, uint32(x)^0x80000000)
+	case Datetime:
+		dst = append(dst, 0x32)
+		return binary.BigEndian.AppendUint64(dst, uint64(x)^0x8000000000000000)
+	case UUID:
+		dst = append(dst, 0x40)
+		return append(dst, x[:]...)
+	default:
+		// Fall back to the self-describing encoding; ordering is not
+		// guaranteed across these, but equality is preserved.
+		b, err := EncodeValue(nil, v)
+		if err != nil {
+			return append(dst, 0xFF)
+		}
+		dst = append(dst, 0xFF)
+		return append(dst, b...)
+	}
+}
+
+// appendOrderedFloat encodes a float64 so that lexicographic byte comparison
+// matches numeric order (standard sign-flip trick).
+func appendOrderedFloat(dst []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&0x8000000000000000 != 0 {
+		bits = ^bits
+	} else {
+		bits |= 0x8000000000000000
+	}
+	return binary.BigEndian.AppendUint64(dst, bits)
+}

@@ -1,0 +1,569 @@
+package adm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Value is an ADM data instance. Implementations are immutable after
+// construction; the engine shares them freely across operators and
+// partitions without copying.
+type Value interface {
+	// Tag returns the dynamic type of the value.
+	Tag() TypeTag
+	// String renders the value in ADM textual syntax (a superset of JSON).
+	String() string
+}
+
+// ----------------------------------------------------------------------------
+// Scalar values
+// ----------------------------------------------------------------------------
+
+// Missing is the ADM MISSING value: a field that is not present at all.
+type Missing struct{}
+
+// Null is the ADM NULL value: a field that is present but unknown.
+type Null struct{}
+
+// Boolean is an ADM boolean.
+type Boolean bool
+
+// Int8 is an ADM 8-bit signed integer.
+type Int8 int8
+
+// Int16 is an ADM 16-bit signed integer.
+type Int16 int16
+
+// Int32 is an ADM 32-bit signed integer.
+type Int32 int32
+
+// Int64 is an ADM 64-bit signed integer.
+type Int64 int64
+
+// Float is an ADM single-precision float.
+type Float float32
+
+// Double is an ADM double-precision float.
+type Double float64
+
+// String is an ADM UTF-8 string.
+type String string
+
+// Binary is an ADM byte string.
+type Binary []byte
+
+// UUID is an ADM universally unique identifier.
+type UUID [16]byte
+
+// Date is an ADM date: days since the Unix epoch.
+type Date int32
+
+// Time is an ADM time of day: milliseconds since midnight.
+type Time int32
+
+// Datetime is an ADM datetime: milliseconds since the Unix epoch (UTC).
+type Datetime int64
+
+// Duration is an ADM duration with a year-month part and a day-time
+// (millisecond) part, mirroring the paper's duration / year-month-duration /
+// day-time-duration family.
+type Duration struct {
+	Months int32
+	Millis int64
+}
+
+// YearMonthDuration is a duration restricted to whole months.
+type YearMonthDuration int32
+
+// DayTimeDuration is a duration restricted to milliseconds.
+type DayTimeDuration int64
+
+// Interval is an ADM interval over one of the temporal point types.
+// PointTag is TagDate, TagTime or TagDatetime; Start and End are the
+// underlying chronon values (days or milliseconds) with Start <= End.
+type Interval struct {
+	PointTag TypeTag
+	Start    int64
+	End      int64
+}
+
+// Point is an ADM 2-d point.
+type Point struct {
+	X, Y float64
+}
+
+// Line is an ADM line segment between two points.
+type Line struct {
+	A, B Point
+}
+
+// Rectangle is an ADM axis-aligned rectangle given by its lower-left and
+// upper-right corners.
+type Rectangle struct {
+	LowerLeft, UpperRight Point
+}
+
+// Circle is an ADM circle.
+type Circle struct {
+	Center Point
+	Radius float64
+}
+
+// Polygon is an ADM simple polygon given by its vertices in order.
+type Polygon struct {
+	Points []Point
+}
+
+// ----------------------------------------------------------------------------
+// Structured values
+// ----------------------------------------------------------------------------
+
+// Field is a single named field of a Record.
+type Field struct {
+	Name  string
+	Value Value
+}
+
+// Record is an ADM record (object). Field order is preserved as constructed;
+// lookup by name is linear, which is fine for the small fan-outs typical of
+// ADM records.
+type Record struct {
+	Fields []Field
+}
+
+// OrderedList is an ADM ordered list ([ ... ]).
+type OrderedList struct {
+	Items []Value
+}
+
+// UnorderedList is an ADM bag ({{ ... }}).
+type UnorderedList struct {
+	Items []Value
+}
+
+// ----------------------------------------------------------------------------
+// Tag methods
+// ----------------------------------------------------------------------------
+
+func (Missing) Tag() TypeTag           { return TagMissing }
+func (Null) Tag() TypeTag              { return TagNull }
+func (Boolean) Tag() TypeTag           { return TagBoolean }
+func (Int8) Tag() TypeTag              { return TagInt8 }
+func (Int16) Tag() TypeTag             { return TagInt16 }
+func (Int32) Tag() TypeTag             { return TagInt32 }
+func (Int64) Tag() TypeTag             { return TagInt64 }
+func (Float) Tag() TypeTag             { return TagFloat }
+func (Double) Tag() TypeTag            { return TagDouble }
+func (String) Tag() TypeTag            { return TagString }
+func (Binary) Tag() TypeTag            { return TagBinary }
+func (UUID) Tag() TypeTag              { return TagUUID }
+func (Date) Tag() TypeTag              { return TagDate }
+func (Time) Tag() TypeTag              { return TagTime }
+func (Datetime) Tag() TypeTag          { return TagDatetime }
+func (Duration) Tag() TypeTag          { return TagDuration }
+func (YearMonthDuration) Tag() TypeTag { return TagYearMonthDuration }
+func (DayTimeDuration) Tag() TypeTag   { return TagDayTimeDuration }
+func (Interval) Tag() TypeTag          { return TagInterval }
+func (Point) Tag() TypeTag             { return TagPoint }
+func (Line) Tag() TypeTag              { return TagLine }
+func (Rectangle) Tag() TypeTag         { return TagRectangle }
+func (Circle) Tag() TypeTag            { return TagCircle }
+func (Polygon) Tag() TypeTag           { return TagPolygon }
+func (*Record) Tag() TypeTag           { return TagRecord }
+func (*OrderedList) Tag() TypeTag      { return TagOrderedList }
+func (*UnorderedList) Tag() TypeTag    { return TagUnorderedList }
+
+// ----------------------------------------------------------------------------
+// String methods (ADM textual syntax)
+// ----------------------------------------------------------------------------
+
+func (Missing) String() string { return "missing" }
+func (Null) String() string    { return "null" }
+
+func (b Boolean) String() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+func (v Int8) String() string  { return strconv.FormatInt(int64(v), 10) + "i8" }
+func (v Int16) String() string { return strconv.FormatInt(int64(v), 10) + "i16" }
+func (v Int32) String() string { return strconv.FormatInt(int64(v), 10) }
+func (v Int64) String() string { return strconv.FormatInt(int64(v), 10) + "i64" }
+
+func (v Float) String() string {
+	return strconv.FormatFloat(float64(v), 'g', -1, 32) + "f"
+}
+
+func (v Double) String() string {
+	s := strconv.FormatFloat(float64(v), 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") && !strings.Contains(s, "Inf") && !strings.Contains(s, "NaN") {
+		s += ".0"
+	}
+	return s
+}
+
+func (v String) String() string { return strconv.Quote(string(v)) }
+
+func (v Binary) String() string {
+	const hexdigits = "0123456789abcdef"
+	var sb strings.Builder
+	sb.WriteString(`hex("`)
+	for _, b := range v {
+		sb.WriteByte(hexdigits[b>>4])
+		sb.WriteByte(hexdigits[b&0xf])
+	}
+	sb.WriteString(`")`)
+	return sb.String()
+}
+
+func (v UUID) String() string {
+	return fmt.Sprintf(`uuid("%x-%x-%x-%x-%x")`, v[0:4], v[4:6], v[6:8], v[8:10], v[10:16])
+}
+
+// epochDate is the zero point for Date values.
+var epochDate = time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func (v Date) String() string {
+	t := epochDate.AddDate(0, 0, int(v))
+	return fmt.Sprintf(`date("%04d-%02d-%02d")`, t.Year(), t.Month(), t.Day())
+}
+
+func (v Time) String() string {
+	ms := int64(v)
+	h := ms / 3600000
+	ms -= h * 3600000
+	m := ms / 60000
+	ms -= m * 60000
+	s := ms / 1000
+	ms -= s * 1000
+	return fmt.Sprintf(`time("%02d:%02d:%02d.%03d")`, h, m, s, ms)
+}
+
+func (v Datetime) String() string {
+	t := time.UnixMilli(int64(v)).UTC()
+	return fmt.Sprintf(`datetime("%04d-%02d-%02dT%02d:%02d:%02d.%03d")`,
+		t.Year(), t.Month(), t.Day(), t.Hour(), t.Minute(), t.Second(), t.Nanosecond()/1e6)
+}
+
+func (v Duration) String() string {
+	return fmt.Sprintf(`duration("%s")`, formatDuration(v.Months, v.Millis))
+}
+
+func (v YearMonthDuration) String() string {
+	return fmt.Sprintf(`year-month-duration("%s")`, formatDuration(int32(v), 0))
+}
+
+func (v DayTimeDuration) String() string {
+	return fmt.Sprintf(`day-time-duration("%s")`, formatDuration(0, int64(v)))
+}
+
+// formatDuration renders an ISO-8601 style duration literal such as
+// "P1Y2M3DT4H5M6.007S".
+func formatDuration(months int32, millis int64) string {
+	var sb strings.Builder
+	neg := false
+	if months < 0 || millis < 0 {
+		neg = true
+		if months < 0 {
+			months = -months
+		}
+		if millis < 0 {
+			millis = -millis
+		}
+	}
+	if neg {
+		sb.WriteByte('-')
+	}
+	sb.WriteByte('P')
+	years := months / 12
+	months %= 12
+	if years > 0 {
+		fmt.Fprintf(&sb, "%dY", years)
+	}
+	if months > 0 {
+		fmt.Fprintf(&sb, "%dM", months)
+	}
+	days := millis / 86400000
+	millis %= 86400000
+	if days > 0 {
+		fmt.Fprintf(&sb, "%dD", days)
+	}
+	if millis > 0 {
+		sb.WriteByte('T')
+		h := millis / 3600000
+		millis %= 3600000
+		m := millis / 60000
+		millis %= 60000
+		s := millis / 1000
+		ms := millis % 1000
+		if h > 0 {
+			fmt.Fprintf(&sb, "%dH", h)
+		}
+		if m > 0 {
+			fmt.Fprintf(&sb, "%dM", m)
+		}
+		if s > 0 || ms > 0 {
+			if ms > 0 {
+				fmt.Fprintf(&sb, "%d.%03dS", s, ms)
+			} else {
+				fmt.Fprintf(&sb, "%dS", s)
+			}
+		}
+	}
+	if sb.Len() == 1 || (neg && sb.Len() == 2) {
+		sb.WriteString("T0S")
+	}
+	return sb.String()
+}
+
+func (v Interval) String() string {
+	start := intervalBoundString(v.PointTag, v.Start)
+	end := intervalBoundString(v.PointTag, v.End)
+	return fmt.Sprintf("interval(%s, %s)", start, end)
+}
+
+func intervalBoundString(tag TypeTag, chronon int64) string {
+	switch tag {
+	case TagDate:
+		return Date(chronon).String()
+	case TagTime:
+		return Time(chronon).String()
+	default:
+		return Datetime(chronon).String()
+	}
+}
+
+func fmtCoord(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func (v Point) String() string {
+	return fmt.Sprintf(`point("%s,%s")`, fmtCoord(v.X), fmtCoord(v.Y))
+}
+
+func (v Line) String() string {
+	return fmt.Sprintf(`line("%s,%s %s,%s")`, fmtCoord(v.A.X), fmtCoord(v.A.Y), fmtCoord(v.B.X), fmtCoord(v.B.Y))
+}
+
+func (v Rectangle) String() string {
+	return fmt.Sprintf(`rectangle("%s,%s %s,%s")`,
+		fmtCoord(v.LowerLeft.X), fmtCoord(v.LowerLeft.Y), fmtCoord(v.UpperRight.X), fmtCoord(v.UpperRight.Y))
+}
+
+func (v Circle) String() string {
+	return fmt.Sprintf(`circle("%s,%s %s")`, fmtCoord(v.Center.X), fmtCoord(v.Center.Y), fmtCoord(v.Radius))
+}
+
+func (v Polygon) String() string {
+	parts := make([]string, len(v.Points))
+	for i, p := range v.Points {
+		parts[i] = fmtCoord(p.X) + "," + fmtCoord(p.Y)
+	}
+	return fmt.Sprintf(`polygon("%s")`, strings.Join(parts, " "))
+}
+
+func (r *Record) String() string {
+	var sb strings.Builder
+	sb.WriteString("{ ")
+	for i, f := range r.Fields {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(strconv.Quote(f.Name))
+		sb.WriteString(": ")
+		sb.WriteString(f.Value.String())
+	}
+	sb.WriteString(" }")
+	return sb.String()
+}
+
+func (l *OrderedList) String() string {
+	var sb strings.Builder
+	sb.WriteString("[ ")
+	for i, it := range l.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" ]")
+	return sb.String()
+}
+
+func (l *UnorderedList) String() string {
+	var sb strings.Builder
+	sb.WriteString("{{ ")
+	for i, it := range l.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(it.String())
+	}
+	sb.WriteString(" }}")
+	return sb.String()
+}
+
+// ----------------------------------------------------------------------------
+// Record helpers
+// ----------------------------------------------------------------------------
+
+// NewRecord builds a record from alternating name/value pairs in order.
+func NewRecord(fields ...Field) *Record {
+	return &Record{Fields: fields}
+}
+
+// Get returns the value of the named field, or MISSING if the record has no
+// such field.
+func (r *Record) Get(name string) Value {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return Missing{}
+}
+
+// Has reports whether the record has a field with the given name.
+func (r *Record) Has(name string) bool {
+	for _, f := range r.Fields {
+		if f.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Set returns a copy of the record with the named field set to v, replacing
+// an existing field of the same name or appending a new one.
+func (r *Record) Set(name string, v Value) *Record {
+	out := &Record{Fields: make([]Field, len(r.Fields), len(r.Fields)+1)}
+	copy(out.Fields, r.Fields)
+	for i, f := range out.Fields {
+		if f.Name == name {
+			out.Fields[i].Value = v
+			return out
+		}
+	}
+	out.Fields = append(out.Fields, Field{Name: name, Value: v})
+	return out
+}
+
+// FieldNames returns the record's field names in declaration order.
+func (r *Record) FieldNames() []string {
+	names := make([]string, len(r.Fields))
+	for i, f := range r.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// SortedFields returns the record's fields sorted by name; used by
+// canonical hashing and the KeyOnly encoder.
+func (r *Record) SortedFields() []Field {
+	out := make([]Field, len(r.Fields))
+	copy(out, r.Fields)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ----------------------------------------------------------------------------
+// Numeric helpers
+// ----------------------------------------------------------------------------
+
+// IsNumeric reports whether v carries a numeric value.
+func IsNumeric(v Value) bool { return v.Tag().IsNumeric() }
+
+// NumericAsDouble converts any numeric value to float64. The boolean result
+// is false for non-numeric values.
+func NumericAsDouble(v Value) (float64, bool) {
+	switch n := v.(type) {
+	case Int8:
+		return float64(n), true
+	case Int16:
+		return float64(n), true
+	case Int32:
+		return float64(n), true
+	case Int64:
+		return float64(n), true
+	case Float:
+		return float64(n), true
+	case Double:
+		return float64(n), true
+	}
+	return 0, false
+}
+
+// NumericAsInt64 converts any integer value to int64; floats are truncated.
+// The boolean result is false for non-numeric values.
+func NumericAsInt64(v Value) (int64, bool) {
+	switch n := v.(type) {
+	case Int8:
+		return int64(n), true
+	case Int16:
+		return int64(n), true
+	case Int32:
+		return int64(n), true
+	case Int64:
+		return int64(n), true
+	case Float:
+		return int64(n), true
+	case Double:
+		return int64(n), true
+	}
+	return 0, false
+}
+
+// PromoteNumeric returns a value of the wider of the two numeric tags carrying
+// the same number as v. It is used when comparing or combining numerics of
+// different widths.
+func PromoteNumeric(v Value, to TypeTag) (Value, error) {
+	d, ok := NumericAsDouble(v)
+	if !ok {
+		return nil, fmt.Errorf("adm: cannot promote non-numeric %s", v.Tag())
+	}
+	switch to {
+	case TagInt8:
+		return Int8(int8(d)), nil
+	case TagInt16:
+		return Int16(int16(d)), nil
+	case TagInt32:
+		return Int32(int32(d)), nil
+	case TagInt64:
+		return Int64(int64(d)), nil
+	case TagFloat:
+		return Float(float32(d)), nil
+	case TagDouble:
+		return Double(d), nil
+	}
+	return nil, fmt.Errorf("adm: cannot promote to %s", to)
+}
+
+// IsUnknown reports whether the value is NULL or MISSING.
+func IsUnknown(v Value) bool {
+	t := v.Tag()
+	return t == TagNull || t == TagMissing
+}
+
+// Truthy evaluates the value as a boolean predicate result: only TRUE is
+// truthy; NULL, MISSING, FALSE and every non-boolean are not.
+func Truthy(v Value) bool {
+	b, ok := v.(Boolean)
+	return ok && bool(b)
+}
+
+// NaNSafeLess orders doubles with NaN sorted last; helper for ORDER BY.
+func NaNSafeLess(a, b float64) bool {
+	if math.IsNaN(a) {
+		return false
+	}
+	if math.IsNaN(b) {
+		return true
+	}
+	return a < b
+}

@@ -1,0 +1,570 @@
+// Package algebra is the Algebricks-style algebra layer (Section 4.2 of the
+// paper): AQL FLWOR expressions are translated into a tree of data-model-
+// neutral logical operators, rewritten by rule-based (not cost-based)
+// optimization, and annotated into a physical plan. The rules implemented are
+// the paper's "safe" rewritings: always use an index-based access path for
+// selections when an index is available, always use hybrid hash joins for
+// equijoins (unless an indexnl hint overrides it), split aggregates into
+// local and global halves, and sort primary keys between a secondary-index
+// search and the primary-index search it feeds.
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"asterixdb/internal/aql"
+)
+
+// OpKind names a logical/physical operator.
+type OpKind string
+
+// Operator kinds.
+const (
+	OpScan          OpKind = "datasource-scan"
+	OpSelect        OpKind = "select"
+	OpAssign        OpKind = "assign"
+	OpJoin          OpKind = "join"
+	OpGroupBy       OpKind = "group-by"
+	OpOrder         OpKind = "order"
+	OpLimit         OpKind = "limit"
+	OpAggregate     OpKind = "aggregate"
+	OpSubplan       OpKind = "subplan"
+	OpDistribute    OpKind = "distribute-result"
+	OpIndexSearch   OpKind = "btree-search-secondary"
+	OpRTreeSearch   OpKind = "rtree-search-secondary"
+	OpPrimarySearch OpKind = "btree-search-primary"
+	OpSortPK        OpKind = "sort-primary-keys"
+	OpLocalAgg      OpKind = "aggregate-local"
+	OpGlobalAgg     OpKind = "aggregate-global"
+)
+
+// JoinMethod is the physical join algorithm.
+type JoinMethod string
+
+// Join methods.
+const (
+	HybridHashJoin  JoinMethod = "hybrid-hash-join"
+	IndexNestedLoop JoinMethod = "index-nested-loop-join"
+	NestedLoopJoin  JoinMethod = "nested-loop-join"
+)
+
+// Node is one operator in a plan tree. Inputs[0] is the primary input;
+// binary operators (joins) have two inputs.
+type Node struct {
+	Kind   OpKind
+	Inputs []*Node
+
+	// Scan / index search fields.
+	Dataset   string
+	Dataverse string
+	Variable  string
+	Index     string
+	// LoExpr/HiExpr bound an index range search; EqExpr an equality search.
+	LoExpr, HiExpr aql.Expr
+	LoInclusive    bool
+	HiInclusive    bool
+
+	// Select / assign / aggregate fields.
+	Condition aql.Expr
+	Exprs     []aql.Expr
+	Vars      []string
+
+	// Join fields.
+	Method            JoinMethod
+	LeftKey, RightKey aql.Expr
+	LeftVar, RightVar string
+
+	// Group by.
+	GroupKeys []aql.GroupKey
+	GroupWith []string
+
+	// Order by.
+	OrderTerms []aql.OrderTerm
+
+	// Limit.
+	LimitExpr, OffsetExpr aql.Expr
+
+	// Aggregate call name (avg, count, ...) for split aggregates.
+	AggFunc string
+}
+
+// Plan is a rooted operator tree plus the clauses the physical plan did not
+// absorb (the engine evaluates those with the generic interpreter).
+type Plan struct {
+	Root *Node
+	// Query is the original FLWOR the plan was compiled from.
+	Query *aql.FLWORExpr
+}
+
+// DatasetInfo is what the optimizer needs to know about a dataset.
+type DatasetInfo struct {
+	Exists     bool
+	Partitions int
+	// BTreeIndexes maps indexed field name -> index name.
+	BTreeIndexes map[string]string
+	// RTreeIndexes maps indexed field name -> index name.
+	RTreeIndexes map[string]string
+	// InvertedIndexes maps indexed field name -> index name.
+	InvertedIndexes map[string]string
+}
+
+// Catalog resolves dataset metadata for the optimizer.
+type Catalog interface {
+	DatasetInfo(dataverse, name string) DatasetInfo
+}
+
+// ----------------------------------------------------------------------------
+// Logical plan construction
+// ----------------------------------------------------------------------------
+
+// Build translates a FLWOR expression into an (unoptimized) logical plan:
+// a left-deep tree of scans and joins with selects on top, followed by the
+// group/order/limit/distribute pipeline.
+func Build(fl *aql.FLWORExpr) (*Plan, error) {
+	var root *Node
+	var pendingWhere []aql.Expr
+	for _, clause := range fl.Clauses {
+		switch c := clause.(type) {
+		case *aql.ForClause:
+			scan := buildSource(c)
+			if root == nil {
+				root = scan
+			} else {
+				root = &Node{Kind: OpJoin, Method: NestedLoopJoin, Inputs: []*Node{root, scan},
+					LeftVar: firstVar(root), RightVar: c.Var}
+			}
+		case *aql.LetClause:
+			root = &Node{Kind: OpAssign, Inputs: inputsOf(root), Vars: []string{c.Var}, Exprs: []aql.Expr{c.Expr}}
+		case *aql.WhereClause:
+			if root == nil {
+				pendingWhere = append(pendingWhere, c.Cond)
+				continue
+			}
+			root = &Node{Kind: OpSelect, Inputs: []*Node{root}, Condition: c.Cond}
+		case *aql.GroupByClause:
+			root = &Node{Kind: OpGroupBy, Inputs: inputsOf(root), GroupKeys: c.Keys, GroupWith: c.With}
+		case *aql.OrderByClause:
+			root = &Node{Kind: OpOrder, Inputs: inputsOf(root), OrderTerms: c.Terms}
+		case *aql.LimitClause:
+			root = &Node{Kind: OpLimit, Inputs: inputsOf(root), LimitExpr: c.Limit, OffsetExpr: c.Offset}
+		default:
+			return nil, fmt.Errorf("algebra: unsupported clause %T", clause)
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("algebra: FLWOR expression has no for/let clause")
+	}
+	for _, w := range pendingWhere {
+		root = &Node{Kind: OpSelect, Inputs: []*Node{root}, Condition: w}
+	}
+	root = &Node{Kind: OpDistribute, Inputs: []*Node{root}}
+	return &Plan{Root: root, Query: fl}, nil
+}
+
+func inputsOf(root *Node) []*Node {
+	if root == nil {
+		return nil
+	}
+	return []*Node{root}
+}
+
+func buildSource(c *aql.ForClause) *Node {
+	if ds, ok := c.Source.(*aql.DatasetRef); ok {
+		return &Node{Kind: OpScan, Dataset: ds.Name, Dataverse: ds.Dataverse, Variable: c.Var}
+	}
+	// Iteration over a non-dataset expression becomes a subplan source that
+	// the engine evaluates with the interpreter.
+	return &Node{Kind: OpSubplan, Variable: c.Var, Exprs: []aql.Expr{c.Source}}
+}
+
+func firstVar(n *Node) string {
+	if n == nil {
+		return ""
+	}
+	if n.Variable != "" {
+		return n.Variable
+	}
+	for _, in := range n.Inputs {
+		if v := firstVar(in); v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+// ----------------------------------------------------------------------------
+// Optimization
+// ----------------------------------------------------------------------------
+
+// Options tune the optimizer (used by ablation benchmarks).
+type Options struct {
+	// DisableIndexAccess turns off index access path introduction
+	// (equivalent to the paper's skip-index hints).
+	DisableIndexAccess bool
+	// DisableAggSplit turns off the local/global aggregation split.
+	DisableAggSplit bool
+	// DisablePKSort removes the primary-key sort between secondary and
+	// primary index searches.
+	DisablePKSort bool
+}
+
+// Optimize rewrites the plan using the rule set. It never uses cost: like the
+// 2014 system it applies "safe" rules plus user hints.
+func Optimize(plan *Plan, cat Catalog, opts Options) *Plan {
+	root := plan.Root
+	root = rewriteJoins(root, cat)
+	if !opts.DisableIndexAccess {
+		root = rewriteIndexAccess(root, cat, opts)
+	}
+	if !opts.DisableAggSplit {
+		root = rewriteAggSplit(root, plan.Query)
+	}
+	return &Plan{Root: root, Query: plan.Query}
+}
+
+// rewriteJoins detects equality join predicates sitting directly above a
+// join and picks the physical join method: hybrid hash join by default, or
+// index nested-loop when the predicate carries an /*+ indexnl */ hint.
+func rewriteJoins(n *Node, cat Catalog) *Node {
+	if n == nil {
+		return nil
+	}
+	for i, in := range n.Inputs {
+		n.Inputs[i] = rewriteJoins(in, cat)
+	}
+	if n.Kind != OpSelect || len(n.Inputs) != 1 || n.Inputs[0].Kind != OpJoin {
+		return n
+	}
+	join := n.Inputs[0]
+	conds := splitConjuncts(n.Condition)
+	var rest []aql.Expr
+	for _, cond := range conds {
+		be, ok := cond.(*aql.BinaryExpr)
+		if !ok || be.Op != aql.OpEq || join.LeftKey != nil {
+			rest = append(rest, cond)
+			continue
+		}
+		leftVars := varsOf(be.Left)
+		rightVars := varsOf(be.Right)
+		lv, rv := join.LeftVar, join.RightVar
+		switch {
+		case contains(leftVars, lv) && contains(rightVars, rv):
+			join.LeftKey, join.RightKey = be.Left, be.Right
+		case contains(leftVars, rv) && contains(rightVars, lv):
+			join.LeftKey, join.RightKey = be.Right, be.Left
+		default:
+			rest = append(rest, cond)
+			continue
+		}
+		if strings.Contains(be.Hint, "indexnl") {
+			join.Method = IndexNestedLoop
+		} else {
+			join.Method = HybridHashJoin
+		}
+	}
+	if len(rest) == 0 {
+		return join
+	}
+	return &Node{Kind: OpSelect, Inputs: []*Node{join}, Condition: joinConjuncts(rest)}
+}
+
+// rewriteIndexAccess replaces select-over-scan with the Figure 6 access path
+// when the selection has a range or equality predicate on a field with a
+// secondary B+-tree index: secondary search -> sort PKs -> primary search ->
+// post-validation select.
+func rewriteIndexAccess(n *Node, cat Catalog, opts Options) *Node {
+	if n == nil {
+		return nil
+	}
+	for i, in := range n.Inputs {
+		n.Inputs[i] = rewriteIndexAccess(in, cat, opts)
+	}
+	if n.Kind != OpSelect || len(n.Inputs) != 1 || n.Inputs[0].Kind != OpScan {
+		return n
+	}
+	scan := n.Inputs[0]
+	info := cat.DatasetInfo(scan.Dataverse, scan.Dataset)
+	if !info.Exists || len(info.BTreeIndexes) == 0 {
+		return n
+	}
+	rng, field, ok := extractRange(n.Condition, scan.Variable)
+	if !ok {
+		return n
+	}
+	indexName, ok := info.BTreeIndexes[field]
+	if !ok {
+		return n
+	}
+	secondary := &Node{
+		Kind: OpIndexSearch, Dataset: scan.Dataset, Dataverse: scan.Dataverse,
+		Index: indexName, Variable: scan.Variable,
+		LoExpr: rng.lo, HiExpr: rng.hi, LoInclusive: rng.loInc, HiInclusive: rng.hiInc,
+	}
+	var chain *Node = secondary
+	if !opts.DisablePKSort {
+		chain = &Node{Kind: OpSortPK, Inputs: []*Node{chain}}
+	}
+	primary := &Node{Kind: OpPrimarySearch, Inputs: []*Node{chain}, Dataset: scan.Dataset, Dataverse: scan.Dataverse, Variable: scan.Variable}
+	// Post-validation select re-applies the whole original predicate, exactly
+	// like the select operator above the primary search in Figure 6.
+	return &Node{Kind: OpSelect, Inputs: []*Node{primary}, Condition: n.Condition}
+}
+
+// rewriteAggSplit splits a top-level aggregate query (e.g. Query 10's avg)
+// into a local aggregate per partition and a global aggregate combining them.
+func rewriteAggSplit(n *Node, query *aql.FLWORExpr) *Node {
+	if n == nil || query == nil {
+		return n
+	}
+	// The pattern only applies when the whole query is agg(FLWOR ...): the
+	// engine marks that by compiling the FLWOR and wrapping the plan.
+	return n
+}
+
+// WrapAggregate adds the local/global aggregation pair on top of a plan for
+// queries of the form agg(for ... return e). The engine calls it when it
+// detects that shape; disabled by the ablation option.
+func WrapAggregate(plan *Plan, aggFunc string, disableSplit bool) *Plan {
+	inner := plan.Root
+	// Strip the distribute so the aggregate sits directly on the pipeline.
+	if inner.Kind == OpDistribute {
+		inner = inner.Inputs[0]
+	}
+	if disableSplit {
+		agg := &Node{Kind: OpAggregate, Inputs: []*Node{inner}, AggFunc: aggFunc}
+		return &Plan{Root: &Node{Kind: OpDistribute, Inputs: []*Node{agg}}, Query: plan.Query}
+	}
+	local := &Node{Kind: OpLocalAgg, Inputs: []*Node{inner}, AggFunc: aggFunc}
+	global := &Node{Kind: OpGlobalAgg, Inputs: []*Node{local}, AggFunc: aggFunc}
+	return &Plan{Root: &Node{Kind: OpDistribute, Inputs: []*Node{global}}, Query: plan.Query}
+}
+
+// ----------------------------------------------------------------------------
+// Predicate analysis helpers
+// ----------------------------------------------------------------------------
+
+type rangeBounds struct {
+	lo, hi       aql.Expr
+	loInc, hiInc bool
+}
+
+// extractRange looks for conjuncts of the form $var.field >= e / <= e / = e
+// and returns the combined bounds and the field name. Only predicates whose
+// comparison value does not reference the scan variable qualify.
+func extractRange(cond aql.Expr, scanVar string) (rangeBounds, string, bool) {
+	var rb rangeBounds
+	field := ""
+	found := false
+	for _, c := range splitConjuncts(cond) {
+		be, ok := c.(*aql.BinaryExpr)
+		if !ok {
+			continue
+		}
+		fa, faOK := be.Left.(*aql.FieldAccess)
+		valExpr := be.Right
+		op := be.Op
+		if !faOK {
+			// try reversed: const <= $var.field
+			if fa2, ok2 := be.Right.(*aql.FieldAccess); ok2 {
+				fa, faOK, valExpr = fa2, true, be.Left
+				op = reverseOp(be.Op)
+			}
+		}
+		if !faOK {
+			continue
+		}
+		vr, ok := fa.Base.(*aql.VariableRef)
+		if !ok || vr.Name != scanVar {
+			continue
+		}
+		if contains(varsOf(valExpr), scanVar) {
+			continue
+		}
+		if field != "" && fa.Field != field {
+			continue
+		}
+		switch op {
+		case aql.OpGe:
+			rb.lo, rb.loInc = valExpr, true
+		case aql.OpGt:
+			rb.lo, rb.loInc = valExpr, false
+		case aql.OpLe:
+			rb.hi, rb.hiInc = valExpr, true
+		case aql.OpLt:
+			rb.hi, rb.hiInc = valExpr, false
+		case aql.OpEq:
+			rb.lo, rb.hi, rb.loInc, rb.hiInc = valExpr, valExpr, true, true
+		default:
+			continue
+		}
+		field = fa.Field
+		found = true
+	}
+	return rb, field, found
+}
+
+func reverseOp(op aql.BinaryOp) aql.BinaryOp {
+	switch op {
+	case aql.OpGe:
+		return aql.OpLe
+	case aql.OpGt:
+		return aql.OpLt
+	case aql.OpLe:
+		return aql.OpGe
+	case aql.OpLt:
+		return aql.OpGt
+	}
+	return op
+}
+
+// splitConjuncts flattens a tree of AND expressions into its conjuncts.
+func splitConjuncts(e aql.Expr) []aql.Expr {
+	be, ok := e.(*aql.BinaryExpr)
+	if ok && be.Op == aql.OpAnd {
+		return append(splitConjuncts(be.Left), splitConjuncts(be.Right)...)
+	}
+	if e == nil {
+		return nil
+	}
+	return []aql.Expr{e}
+}
+
+func joinConjuncts(conjuncts []aql.Expr) aql.Expr {
+	if len(conjuncts) == 0 {
+		return nil
+	}
+	out := conjuncts[0]
+	for _, c := range conjuncts[1:] {
+		out = &aql.BinaryExpr{Op: aql.OpAnd, Left: out, Right: c}
+	}
+	return out
+}
+
+// varsOf collects the variable names referenced by an expression.
+func varsOf(e aql.Expr) []string {
+	var out []string
+	var walk func(aql.Expr)
+	walk = func(e aql.Expr) {
+		switch x := e.(type) {
+		case *aql.VariableRef:
+			out = append(out, x.Name)
+		case *aql.FieldAccess:
+			walk(x.Base)
+		case *aql.IndexAccess:
+			walk(x.Base)
+			walk(x.Index)
+		case *aql.BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *aql.UnaryExpr:
+			walk(x.Operand)
+		case *aql.CallExpr:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *aql.RecordConstructor:
+			for _, f := range x.Fields {
+				walk(f.Value)
+			}
+		case *aql.ListConstructor:
+			for _, it := range x.Items {
+				walk(it)
+			}
+		case *aql.QuantifiedExpr:
+			walk(x.Source)
+			walk(x.Satisfies)
+		case *aql.IfExpr:
+			walk(x.Cond)
+			walk(x.Then)
+			walk(x.Else)
+		case *aql.FLWORExpr:
+			for _, c := range x.Clauses {
+				switch cl := c.(type) {
+				case *aql.ForClause:
+					walk(cl.Source)
+				case *aql.LetClause:
+					walk(cl.Expr)
+				case *aql.WhereClause:
+					walk(cl.Cond)
+				}
+			}
+			walk(x.Return)
+		}
+	}
+	walk(e)
+	return out
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// ----------------------------------------------------------------------------
+// Explain
+// ----------------------------------------------------------------------------
+
+// Explain renders the plan tree bottom-up, one operator per line, in the
+// spirit of Figure 6.
+func Explain(plan *Plan) string {
+	var lines []string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		for _, in := range n.Inputs {
+			walk(in)
+		}
+		lines = append(lines, describeNode(n))
+	}
+	walk(plan.Root)
+	return strings.Join(lines, "\n")
+}
+
+func describeNode(n *Node) string {
+	switch n.Kind {
+	case OpScan:
+		return fmt.Sprintf("datasource-scan %s -> $%s", n.Dataset, n.Variable)
+	case OpIndexSearch:
+		return fmt.Sprintf("btree-search (secondary %s on %s)", n.Index, n.Dataset)
+	case OpRTreeSearch:
+		return fmt.Sprintf("rtree-search (secondary %s on %s)", n.Index, n.Dataset)
+	case OpSortPK:
+		return "sort (primary keys)"
+	case OpPrimarySearch:
+		return fmt.Sprintf("btree-search (primary %s)", n.Dataset)
+	case OpSelect:
+		return fmt.Sprintf("select %s", n.Condition)
+	case OpAssign:
+		return fmt.Sprintf("assign $%s", strings.Join(n.Vars, ", $"))
+	case OpJoin:
+		return fmt.Sprintf("join (%s)", n.Method)
+	case OpGroupBy:
+		keys := make([]string, len(n.GroupKeys))
+		for i, k := range n.GroupKeys {
+			keys[i] = "$" + k.Var
+		}
+		return "group-by " + strings.Join(keys, ", ")
+	case OpOrder:
+		return "order"
+	case OpLimit:
+		return "limit"
+	case OpLocalAgg:
+		return fmt.Sprintf("aggregate (local-%s)", n.AggFunc)
+	case OpGlobalAgg:
+		return fmt.Sprintf("aggregate (global-%s) [n:1 replicating]", n.AggFunc)
+	case OpAggregate:
+		return fmt.Sprintf("aggregate (%s)", n.AggFunc)
+	case OpSubplan:
+		return "subplan"
+	case OpDistribute:
+		return "distribute-result"
+	}
+	return string(n.Kind)
+}

@@ -1,0 +1,137 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"asterixdb/internal/aql"
+)
+
+// fakeCatalog exposes one dataset with a timestamp B+-tree index.
+type fakeCatalog struct{}
+
+func (fakeCatalog) DatasetInfo(_, name string) DatasetInfo {
+	if name != "MugshotMessages" && name != "MugshotUsers" {
+		return DatasetInfo{}
+	}
+	info := DatasetInfo{Exists: true, Partitions: 4,
+		BTreeIndexes: map[string]string{}, RTreeIndexes: map[string]string{}, InvertedIndexes: map[string]string{}}
+	if name == "MugshotMessages" {
+		info.BTreeIndexes["timestamp"] = "msTimestampIdx"
+	}
+	return info
+}
+
+func compile(t *testing.T, src string, opts Options) *Plan {
+	t.Helper()
+	e, err := aql.ParseQuery(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, ok := e.(*aql.FLWORExpr)
+	if !ok {
+		t.Fatalf("not a FLWOR: %T", e)
+	}
+	plan, err := Build(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Optimize(plan, fakeCatalog{}, opts)
+}
+
+func TestIndexAccessPathRewrite(t *testing.T) {
+	plan := compile(t, `
+for $m in dataset MugshotMessages
+where $m.timestamp >= datetime("2014-01-01T00:00:00") and $m.timestamp < datetime("2014-04-01T00:00:00")
+return $m;`, Options{})
+	explain := Explain(plan)
+	for _, want := range []string{"btree-search (secondary msTimestampIdx", "sort (primary keys)", "btree-search (primary MugshotMessages)", "select"} {
+		if !strings.Contains(explain, want) {
+			t.Errorf("explain missing %q:\n%s", want, explain)
+		}
+	}
+	// Disabling the rule keeps the scan.
+	plan = compile(t, `
+for $m in dataset MugshotMessages
+where $m.timestamp >= datetime("2014-01-01T00:00:00")
+return $m;`, Options{DisableIndexAccess: true})
+	if strings.Contains(Explain(plan), "btree-search (secondary") {
+		t.Error("index access path introduced despite being disabled")
+	}
+	// A predicate on an unindexed field keeps the scan.
+	plan = compile(t, `
+for $m in dataset MugshotMessages
+where $m.author-id = 7
+return $m;`, Options{})
+	if strings.Contains(Explain(plan), "btree-search (secondary") {
+		t.Error("index access path introduced for unindexed field")
+	}
+}
+
+func TestPKSortAblation(t *testing.T) {
+	plan := compile(t, `
+for $m in dataset MugshotMessages
+where $m.timestamp >= datetime("2014-01-01T00:00:00")
+return $m;`, Options{DisablePKSort: true})
+	if strings.Contains(Explain(plan), "sort (primary keys)") {
+		t.Error("PK sort present despite being disabled")
+	}
+}
+
+func TestEquijoinBecomesHashJoin(t *testing.T) {
+	plan := compile(t, `
+for $u in dataset MugshotUsers
+for $m in dataset MugshotMessages
+where $m.author-id = $u.id
+return { "u": $u.name };`, Options{})
+	explain := Explain(plan)
+	if !strings.Contains(explain, "join (hybrid-hash-join)") {
+		t.Errorf("equijoin not rewritten to hash join:\n%s", explain)
+	}
+}
+
+func TestIndexNLHint(t *testing.T) {
+	plan := compile(t, `
+for $u in dataset MugshotUsers
+for $m in dataset MugshotMessages
+where $m.author-id /*+ indexnl */ = $u.id
+return $u;`, Options{})
+	if !strings.Contains(Explain(plan), "join (index-nested-loop-join)") {
+		t.Errorf("indexnl hint ignored:\n%s", Explain(plan))
+	}
+}
+
+func TestWrapAggregate(t *testing.T) {
+	base := compile(t, `for $m in dataset MugshotMessages return string-length($m.message);`, Options{})
+	split := WrapAggregate(base, "avg", false)
+	explain := Explain(split)
+	if !strings.Contains(explain, "aggregate (local-avg)") || !strings.Contains(explain, "aggregate (global-avg)") {
+		t.Errorf("aggregate split missing:\n%s", explain)
+	}
+	noSplit := WrapAggregate(base, "avg", true)
+	if strings.Contains(Explain(noSplit), "local-avg") {
+		t.Errorf("split applied despite being disabled:\n%s", Explain(noSplit))
+	}
+}
+
+func TestBuildRejectsEmptyFLWOR(t *testing.T) {
+	if _, err := Build(&aql.FLWORExpr{Return: &aql.Literal{}}); err == nil {
+		t.Error("FLWOR without clauses should be rejected")
+	}
+}
+
+func TestGroupOrderLimitPreserved(t *testing.T) {
+	plan := compile(t, `
+for $m in dataset MugshotMessages
+group by $a := $m.author-id with $m
+let $cnt := count($m)
+order by $cnt desc
+limit 3
+return { "a": $a };`, Options{})
+	explain := Explain(plan)
+	for _, want := range []string{"group-by $a", "order", "limit"} {
+		if !strings.Contains(explain, want) {
+			t.Errorf("explain missing %q:\n%s", want, explain)
+		}
+	}
+}

@@ -1,0 +1,534 @@
+// Package aql implements the Asterix Query Language (AQL): the lexer, the
+// abstract syntax tree, and a recursive-descent parser for the FLWOR-based
+// query dialect described in Section 3 of the paper, plus the DDL and DML
+// statements from Section 2 (dataverses, types, datasets, indexes, feeds,
+// functions, external datasets, insert, delete, load).
+package aql
+
+import (
+	"fmt"
+	"strings"
+
+	"asterixdb/internal/adm"
+)
+
+// Statement is any top-level AQL statement.
+type Statement interface {
+	stmtNode()
+	// String renders the statement approximately in AQL syntax (used by
+	// error messages, EXPLAIN output and tests).
+	String() string
+}
+
+// Expr is any AQL expression.
+type Expr interface {
+	exprNode()
+	String() string
+}
+
+// ----------------------------------------------------------------------------
+// DDL statements
+// ----------------------------------------------------------------------------
+
+// DataverseDecl is "use dataverse <name>;".
+type DataverseDecl struct{ Name string }
+
+// CreateDataverse is "create dataverse <name> [if not exists];".
+type CreateDataverse struct {
+	Name        string
+	IfNotExists bool
+}
+
+// DropDataverse is "drop dataverse <name> [if exists];".
+type DropDataverse struct {
+	Name     string
+	IfExists bool
+}
+
+// TypeField is one field in a record type definition.
+type TypeField struct {
+	Name     string
+	Type     TypeExpr
+	Optional bool
+}
+
+// TypeExpr describes a type reference in DDL: a named type, a nested record,
+// or a collection of another type expression.
+type TypeExpr struct {
+	// Name is the primitive or user type name when the expression is a plain
+	// reference (e.g. "int32", "EmploymentType").
+	Name string
+	// Record is non-nil for an inline nested record definition.
+	Record *RecordTypeExpr
+	// OrderedItem / UnorderedItem are non-nil for [T] / {{T}} collections.
+	OrderedItem   *TypeExpr
+	UnorderedItem *TypeExpr
+}
+
+// RecordTypeExpr is an inline record type definition body.
+type RecordTypeExpr struct {
+	Open   bool
+	Fields []TypeField
+}
+
+// CreateType is "create type <name> as [open|closed] { ... };".
+type CreateType struct {
+	Name        string
+	Definition  RecordTypeExpr
+	IfNotExists bool
+}
+
+// DropType is "drop type <name> [if exists];".
+type DropType struct {
+	Name     string
+	IfExists bool
+}
+
+// CreateDataset is "create [external] dataset <name>(<type>) primary key <field>;"
+// or, for external datasets, "... using <adaptor> ((...properties...));".
+type CreateDataset struct {
+	Name        string
+	TypeName    string
+	PrimaryKey  []string
+	External    bool
+	Adaptor     string
+	Properties  map[string]string
+	IfNotExists bool
+}
+
+// DropDataset is "drop dataset <name> [if exists];".
+type DropDataset struct {
+	Name     string
+	IfExists bool
+}
+
+// IndexKind enumerates the supported secondary index types.
+type IndexKind string
+
+// Index kinds supported by "create index ... type <kind>".
+const (
+	IndexBTree   IndexKind = "btree"
+	IndexRTree   IndexKind = "rtree"
+	IndexKeyword IndexKind = "keyword"
+	IndexNGram   IndexKind = "ngram"
+)
+
+// CreateIndex is "create index <name> on <dataset>(<fields>) [type <kind>];".
+type CreateIndex struct {
+	Name        string
+	Dataset     string
+	Fields      []string
+	Kind        IndexKind
+	GramLength  int // for ngram(k)
+	IfNotExists bool
+}
+
+// DropIndex is "drop index <dataset>.<name> [if exists];".
+type DropIndex struct {
+	Dataset  string
+	Name     string
+	IfExists bool
+}
+
+// CreateFunction is "create function <name>(<params>) { <body> };".
+type CreateFunction struct {
+	Name   string
+	Params []string
+	Body   Expr
+}
+
+// DropFunction is "drop function <name>;".
+type DropFunction struct{ Name string }
+
+// CreateFeed is "create feed <name> using <adaptor> ((...));".
+type CreateFeed struct {
+	Name       string
+	Adaptor    string
+	Properties map[string]string
+	// ApplyFunction optionally names a UDF applied to each record.
+	ApplyFunction string
+}
+
+// DropFeed is "drop feed <name>;".
+type DropFeed struct{ Name string }
+
+// ConnectFeed is "connect feed <feed> to dataset <dataset>;".
+type ConnectFeed struct {
+	Feed    string
+	Dataset string
+}
+
+// DisconnectFeed is "disconnect feed <feed> from dataset <dataset>;".
+type DisconnectFeed struct {
+	Feed    string
+	Dataset string
+}
+
+// ----------------------------------------------------------------------------
+// DML statements
+// ----------------------------------------------------------------------------
+
+// InsertStatement is "insert into dataset <name> ( <expr> );".
+type InsertStatement struct {
+	Dataset string
+	Body    Expr
+}
+
+// DeleteStatement is "delete $var from dataset <name> [where <expr>];".
+type DeleteStatement struct {
+	Var     string
+	Dataset string
+	Where   Expr
+}
+
+// LoadStatement is "load dataset <name> using localfs ((...));".
+type LoadStatement struct {
+	Dataset    string
+	Adaptor    string
+	Properties map[string]string
+}
+
+// SetStatement is the "set <param> <value>;" query prologue (e.g.
+// set simfunction "jaccard"; set simthreshold "0.3";).
+type SetStatement struct {
+	Name  string
+	Value string
+}
+
+// QueryStatement wraps a bare expression evaluated as a query.
+type QueryStatement struct{ Body Expr }
+
+func (*DataverseDecl) stmtNode()   {}
+func (*CreateDataverse) stmtNode() {}
+func (*DropDataverse) stmtNode()   {}
+func (*CreateType) stmtNode()      {}
+func (*DropType) stmtNode()        {}
+func (*CreateDataset) stmtNode()   {}
+func (*DropDataset) stmtNode()     {}
+func (*CreateIndex) stmtNode()     {}
+func (*DropIndex) stmtNode()       {}
+func (*CreateFunction) stmtNode()  {}
+func (*DropFunction) stmtNode()    {}
+func (*CreateFeed) stmtNode()      {}
+func (*DropFeed) stmtNode()        {}
+func (*ConnectFeed) stmtNode()     {}
+func (*DisconnectFeed) stmtNode()  {}
+func (*InsertStatement) stmtNode() {}
+func (*DeleteStatement) stmtNode() {}
+func (*LoadStatement) stmtNode()   {}
+func (*SetStatement) stmtNode()    {}
+func (*QueryStatement) stmtNode()  {}
+
+func (s *DataverseDecl) String() string   { return "use dataverse " + s.Name }
+func (s *CreateDataverse) String() string { return "create dataverse " + s.Name }
+func (s *DropDataverse) String() string   { return "drop dataverse " + s.Name }
+func (s *CreateType) String() string      { return "create type " + s.Name }
+func (s *DropType) String() string        { return "drop type " + s.Name }
+func (s *CreateDataset) String() string {
+	kind := "dataset"
+	if s.External {
+		kind = "external dataset"
+	}
+	return fmt.Sprintf("create %s %s(%s)", kind, s.Name, s.TypeName)
+}
+func (s *DropDataset) String() string { return "drop dataset " + s.Name }
+func (s *CreateIndex) String() string {
+	return fmt.Sprintf("create index %s on %s(%s) type %s", s.Name, s.Dataset, strings.Join(s.Fields, ","), s.Kind)
+}
+func (s *DropIndex) String() string      { return "drop index " + s.Dataset + "." + s.Name }
+func (s *CreateFunction) String() string { return "create function " + s.Name }
+func (s *DropFunction) String() string   { return "drop function " + s.Name }
+func (s *CreateFeed) String() string     { return "create feed " + s.Name }
+func (s *DropFeed) String() string       { return "drop feed " + s.Name }
+func (s *ConnectFeed) String() string    { return "connect feed " + s.Feed + " to dataset " + s.Dataset }
+func (s *DisconnectFeed) String() string {
+	return "disconnect feed " + s.Feed + " from dataset " + s.Dataset
+}
+func (s *InsertStatement) String() string { return "insert into dataset " + s.Dataset }
+func (s *DeleteStatement) String() string { return "delete $" + s.Var + " from dataset " + s.Dataset }
+func (s *LoadStatement) String() string   { return "load dataset " + s.Dataset }
+func (s *SetStatement) String() string    { return "set " + s.Name + " " + quoteString(s.Value) }
+func (s *QueryStatement) String() string  { return s.Body.String() }
+
+func quoteString(s string) string { return `"` + s + `"` }
+
+// ----------------------------------------------------------------------------
+// Expressions
+// ----------------------------------------------------------------------------
+
+// Literal is a constant ADM value appearing in the query text.
+type Literal struct{ Value adm.Value }
+
+// VariableRef is a reference to a bound variable, e.g. $user.
+type VariableRef struct{ Name string }
+
+// FieldAccess is <expr>.<field>.
+type FieldAccess struct {
+	Base  Expr
+	Field string
+}
+
+// IndexAccess is <expr>[<index expr>].
+type IndexAccess struct {
+	Base  Expr
+	Index Expr
+}
+
+// DatasetRef is "dataset <name>" (optionally "dataset Dataverse.Name").
+type DatasetRef struct {
+	Dataverse string
+	Name      string
+}
+
+// CallExpr is a function call, either built-in or user-defined.
+type CallExpr struct {
+	Func string
+	Args []Expr
+}
+
+// RecordConstructor is { "a": <expr>, ... }.
+type RecordConstructor struct {
+	Fields []RecordConstructorField
+}
+
+// RecordConstructorField is a single field of a record constructor.
+type RecordConstructorField struct {
+	Name  string
+	Value Expr
+}
+
+// ListConstructor is [ ... ] (ordered) or {{ ... }} (unordered).
+type ListConstructor struct {
+	Ordered bool
+	Items   []Expr
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp string
+
+// Binary operators.
+const (
+	OpAnd BinaryOp = "and"
+	OpOr  BinaryOp = "or"
+	OpEq  BinaryOp = "="
+	OpNeq BinaryOp = "!="
+	OpLt  BinaryOp = "<"
+	OpLe  BinaryOp = "<="
+	OpGt  BinaryOp = ">"
+	OpGe  BinaryOp = ">="
+	OpAdd BinaryOp = "+"
+	OpSub BinaryOp = "-"
+	OpMul BinaryOp = "*"
+	OpDiv BinaryOp = "/"
+	OpMod BinaryOp = "%"
+	// OpFuzzyEq is the ~= fuzzy-match operator whose semantics are set by the
+	// simfunction / simthreshold prologue parameters.
+	OpFuzzyEq BinaryOp = "~="
+)
+
+// BinaryExpr is <left> <op> <right>. Hint carries an optimizer hint comment
+// attached to the operator (e.g. /*+ indexnl */ on a join predicate).
+type BinaryExpr struct {
+	Op    BinaryOp
+	Left  Expr
+	Right Expr
+	Hint  string
+}
+
+// UnaryExpr is "not <expr>" or "-<expr>".
+type UnaryExpr struct {
+	Op      string // "not" or "-"
+	Operand Expr
+}
+
+// QuantifiedExpr is "some|every $var in <source> satisfies <predicate>".
+type QuantifiedExpr struct {
+	Every     bool
+	Var       string
+	Source    Expr
+	Satisfies Expr
+}
+
+// IfExpr is "if (<cond>) then <then> else <else>".
+type IfExpr struct {
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// FLWORClause is one clause of a FLWOR expression.
+type FLWORClause interface{ clauseNode() }
+
+// ForClause is "for $var [at $pos] in <source>".
+type ForClause struct {
+	Var    string
+	PosVar string // positional variable, "" when absent
+	Source Expr
+}
+
+// LetClause is "let $var := <expr>".
+type LetClause struct {
+	Var  string
+	Expr Expr
+}
+
+// WhereClause is "where <expr>".
+type WhereClause struct{ Cond Expr }
+
+// GroupByClause is "group by $key := <expr>, ... with $var, ...".
+type GroupByClause struct {
+	Keys []GroupKey
+	With []string
+}
+
+// GroupKey is one grouping key binding.
+type GroupKey struct {
+	Var  string
+	Expr Expr
+}
+
+// OrderByClause is "order by <expr> [asc|desc], ...".
+type OrderByClause struct{ Terms []OrderTerm }
+
+// OrderTerm is a single ordering expression.
+type OrderTerm struct {
+	Expr Expr
+	Desc bool
+}
+
+// LimitClause is "limit <n> [offset <m>]".
+type LimitClause struct {
+	Limit  Expr
+	Offset Expr
+}
+
+func (*ForClause) clauseNode()     {}
+func (*LetClause) clauseNode()     {}
+func (*WhereClause) clauseNode()   {}
+func (*GroupByClause) clauseNode() {}
+func (*OrderByClause) clauseNode() {}
+func (*LimitClause) clauseNode()   {}
+
+// FLWORExpr is a full for-let-where-group by-order by-limit-return expression.
+type FLWORExpr struct {
+	Clauses []FLWORClause
+	Return  Expr
+}
+
+func (*Literal) exprNode()           {}
+func (*VariableRef) exprNode()       {}
+func (*FieldAccess) exprNode()       {}
+func (*IndexAccess) exprNode()       {}
+func (*DatasetRef) exprNode()        {}
+func (*CallExpr) exprNode()          {}
+func (*RecordConstructor) exprNode() {}
+func (*ListConstructor) exprNode()   {}
+func (*BinaryExpr) exprNode()        {}
+func (*UnaryExpr) exprNode()         {}
+func (*QuantifiedExpr) exprNode()    {}
+func (*IfExpr) exprNode()            {}
+func (*FLWORExpr) exprNode()         {}
+
+func (e *Literal) String() string     { return e.Value.String() }
+func (e *VariableRef) String() string { return "$" + e.Name }
+func (e *FieldAccess) String() string { return e.Base.String() + "." + e.Field }
+func (e *IndexAccess) String() string { return e.Base.String() + "[" + e.Index.String() + "]" }
+func (e *DatasetRef) String() string {
+	if e.Dataverse != "" {
+		return "dataset " + e.Dataverse + "." + e.Name
+	}
+	return "dataset " + e.Name
+}
+func (e *CallExpr) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Func + "(" + strings.Join(args, ", ") + ")"
+}
+func (e *RecordConstructor) String() string {
+	parts := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		parts[i] = `"` + f.Name + `": ` + f.Value.String()
+	}
+	return "{ " + strings.Join(parts, ", ") + " }"
+}
+func (e *ListConstructor) String() string {
+	parts := make([]string, len(e.Items))
+	for i, it := range e.Items {
+		parts[i] = it.String()
+	}
+	if e.Ordered {
+		return "[ " + strings.Join(parts, ", ") + " ]"
+	}
+	return "{{ " + strings.Join(parts, ", ") + " }}"
+}
+func (e *BinaryExpr) String() string {
+	hint := ""
+	if e.Hint != "" {
+		hint = " /*+ " + e.Hint + " */"
+	}
+	return "(" + e.Left.String() + hint + " " + string(e.Op) + " " + e.Right.String() + ")"
+}
+func (e *UnaryExpr) String() string {
+	if e.Op == "not" {
+		return "not(" + e.Operand.String() + ")"
+	}
+	return e.Op + e.Operand.String()
+}
+func (e *QuantifiedExpr) String() string {
+	q := "some"
+	if e.Every {
+		q = "every"
+	}
+	return q + " $" + e.Var + " in " + e.Source.String() + " satisfies " + e.Satisfies.String()
+}
+func (e *IfExpr) String() string {
+	return "if (" + e.Cond.String() + ") then " + e.Then.String() + " else " + e.Else.String()
+}
+func (e *FLWORExpr) String() string {
+	var sb strings.Builder
+	for _, c := range e.Clauses {
+		switch x := c.(type) {
+		case *ForClause:
+			sb.WriteString("for $" + x.Var)
+			if x.PosVar != "" {
+				sb.WriteString(" at $" + x.PosVar)
+			}
+			sb.WriteString(" in " + x.Source.String() + " ")
+		case *LetClause:
+			sb.WriteString("let $" + x.Var + " := " + x.Expr.String() + " ")
+		case *WhereClause:
+			sb.WriteString("where " + x.Cond.String() + " ")
+		case *GroupByClause:
+			sb.WriteString("group by ")
+			for i, k := range x.Keys {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString("$" + k.Var + " := " + k.Expr.String())
+			}
+			sb.WriteString(" with " + "$" + strings.Join(x.With, ", $") + " ")
+		case *OrderByClause:
+			sb.WriteString("order by ")
+			for i, t := range x.Terms {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				sb.WriteString(t.Expr.String())
+				if t.Desc {
+					sb.WriteString(" desc")
+				}
+			}
+			sb.WriteString(" ")
+		case *LimitClause:
+			sb.WriteString("limit " + x.Limit.String())
+			if x.Offset != nil {
+				sb.WriteString(" offset " + x.Offset.String())
+			}
+			sb.WriteString(" ")
+		}
+	}
+	sb.WriteString("return " + e.Return.String())
+	return sb.String()
+}

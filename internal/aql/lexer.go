@@ -1,0 +1,246 @@
+package aql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVariable // $name
+	tokString   // "..."
+	tokInt
+	tokFloat
+	tokSymbol // punctuation and operators
+	tokHint   // /*+ ... */
+)
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "<eof>"
+	case tokString:
+		return `"` + t.text + `"`
+	case tokVariable:
+		return "$" + t.text
+	default:
+		return t.text
+	}
+}
+
+// lexer turns AQL source text into tokens. Ordinary comments are skipped;
+// optimizer hint comments (/*+ ... */) are preserved as hint tokens.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// lex tokenizes the whole input up front; AQL statements are short enough
+// that a streaming lexer buys nothing.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.tokens = append(l.tokens, tok)
+		if tok.kind == tokEOF {
+			return l.tokens, nil
+		}
+	}
+}
+
+// multi-character symbols, longest first.
+var multiSymbols = []string{":=", "<=", ">=", "!=", "~=", "}}", "{{"}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+
+	// Optimizer hint comment.
+	if strings.HasPrefix(l.src[l.pos:], "/*+") {
+		end := strings.Index(l.src[l.pos:], "*/")
+		if end < 0 {
+			return token{}, fmt.Errorf("aql: unterminated hint comment at offset %d", start)
+		}
+		text := strings.TrimSpace(l.src[l.pos+3 : l.pos+end])
+		l.pos += end + 2
+		return token{kind: tokHint, text: text, pos: start}, nil
+	}
+
+	// Variables.
+	if c == '$' {
+		l.pos++
+		name := l.readIdent()
+		if name == "" {
+			return token{}, fmt.Errorf("aql: expected variable name after '$' at offset %d", start)
+		}
+		return token{kind: tokVariable, text: name, pos: start}, nil
+	}
+
+	// Strings (double or single quoted).
+	if c == '"' || c == '\'' {
+		s, err := l.readString(c)
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokString, text: s, pos: start}, nil
+	}
+
+	// Numbers.
+	if c >= '0' && c <= '9' {
+		return l.readNumber(), nil
+	}
+
+	// Identifiers and keywords.
+	if unicode.IsLetter(rune(c)) || c == '_' {
+		id := l.readIdent()
+		return token{kind: tokIdent, text: id, pos: start}, nil
+	}
+
+	// Multi-character symbols.
+	for _, sym := range multiSymbols {
+		if strings.HasPrefix(l.src[l.pos:], sym) {
+			l.pos += len(sym)
+			return token{kind: tokSymbol, text: sym, pos: start}, nil
+		}
+	}
+
+	// Single-character symbols.
+	switch c {
+	case '(', ')', '{', '}', '[', ']', ',', ';', ':', '.', '=', '<', '>', '+', '-', '*', '/', '%', '?':
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	}
+	return token{}, fmt.Errorf("aql: unexpected character %q at offset %d", c, start)
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments.
+		if strings.HasPrefix(l.src[l.pos:], "//") || strings.HasPrefix(l.src[l.pos:], "--") {
+			nl := strings.IndexByte(l.src[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += nl + 1
+			continue
+		}
+		// Block comments that are NOT hints.
+		if strings.HasPrefix(l.src[l.pos:], "/*") && !strings.HasPrefix(l.src[l.pos:], "/*+") {
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += end + 4
+			continue
+		}
+		return
+	}
+}
+
+// readIdent consumes an identifier; AQL identifiers may contain '-', matching
+// ADM field names like "user-since", but a '-' followed by a space or digit
+// boundary is left for the expression parser to treat as minus.
+func (l *lexer) readIdent() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_' {
+			l.pos++
+			continue
+		}
+		// Allow '-' inside identifiers only when followed by a letter, so
+		// "user-since" lexes as one identifier but "a - 1" does not.
+		if c == '-' && l.pos+1 < len(l.src) && unicode.IsLetter(rune(l.src[l.pos+1])) && l.pos > start {
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) readString(quote byte) (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.pos++
+			return sb.String(), nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			esc := l.src[l.pos]
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			default:
+				sb.WriteByte(esc)
+			}
+			l.pos++
+			continue
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("aql: unterminated string at offset %d", start)
+}
+
+func (l *lexer) readNumber() token {
+	start := l.pos
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			isFloat = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) &&
+			(l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+' || (l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9')) {
+			isFloat = true
+			l.pos += 2
+			continue
+		}
+		break
+	}
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	return token{kind: kind, text: l.src[start:l.pos], pos: start}
+}

@@ -1,0 +1,237 @@
+// Package btree implements an in-memory B+-tree over byte-string keys, the
+// building block that the LSM framework "LSM-ifies" into AsterixDB's primary
+// and secondary B+-tree indexes (Section 4.3 of the paper).
+//
+// Keys and values are opaque byte slices; keys compare bytewise, which matches
+// the order-preserving key encoding produced by adm.EncodeKey.
+package btree
+
+import (
+	"bytes"
+	"sort"
+)
+
+// degree is the maximum number of keys per node. 64 keeps nodes around a
+// cache line multiple without making the tree too deep for test-sized data.
+const degree = 64
+
+// Entry is a key/value pair stored in the tree.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Tree is an in-memory B+-tree. It is not safe for concurrent mutation; the
+// storage layer serializes writers per partition (the paper's node-local
+// latches) and the LSM layer makes flushed components immutable.
+type Tree struct {
+	root  *node
+	size  int
+	bytes int
+}
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	values   [][]byte // leaf only, parallel to keys
+	children []*node  // interior only, len(children) == len(keys)+1
+	next     *node    // leaf chain for range scans
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of entries in the tree.
+func (t *Tree) Len() int { return t.size }
+
+// Bytes returns the approximate memory footprint of keys and values, used by
+// the LSM in-memory component budget.
+func (t *Tree) Bytes() int { return t.bytes }
+
+// Get returns the value stored under key, or (nil, false).
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		return n.values[i], true
+	}
+	return nil, false
+}
+
+// Put inserts or replaces the value under key and reports whether the key was
+// already present.
+func (t *Tree) Put(key, value []byte) bool {
+	replaced, split, sepKey, right := t.insert(t.root, key, value)
+	if split != nil {
+		newRoot := &node{
+			keys:     [][]byte{sepKey},
+			children: []*node{t.root, right},
+		}
+		t.root = newRoot
+	}
+	if !replaced {
+		t.size++
+		t.bytes += len(key) + len(value)
+	}
+	return replaced
+}
+
+// Delete removes key from the tree and reports whether it was present.
+// Underflowed nodes are not rebalanced: LSM components are write-once and the
+// in-memory component is discarded after each flush, so transient slack is
+// bounded and harmless.
+func (t *Tree) Delete(key []byte) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n.keys, key)]
+	}
+	i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+	if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+		t.bytes -= len(n.keys[i]) + len(n.values[i])
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.values = append(n.values[:i], n.values[i+1:]...)
+		t.size--
+		return true
+	}
+	return false
+}
+
+// insert descends into n; it returns whether an existing key was replaced and,
+// when n split, the separator key and new right sibling.
+func (t *Tree) insert(n *node, key, value []byte) (replaced bool, splitLeft *node, sepKey []byte, right *node) {
+	if n.leaf {
+		i := sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], key) >= 0 })
+		if i < len(n.keys) && bytes.Equal(n.keys[i], key) {
+			t.bytes += len(value) - len(n.values[i])
+			n.values[i] = value
+			return true, nil, nil, nil
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.values = append(n.values, nil)
+		copy(n.values[i+1:], n.values[i:])
+		n.values[i] = value
+		if len(n.keys) > degree {
+			sep, r := n.splitLeaf()
+			return false, n, sep, r
+		}
+		return false, nil, nil, nil
+	}
+	ci := childIndex(n.keys, key)
+	replaced, childSplit, childSep, childRight := t.insert(n.children[ci], key, value)
+	if childSplit != nil {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = childSep
+		n.children = append(n.children, nil)
+		copy(n.children[ci+2:], n.children[ci+1:])
+		n.children[ci+1] = childRight
+		if len(n.keys) > degree {
+			sep, r := n.splitInterior()
+			return replaced, n, sep, r
+		}
+	}
+	return replaced, nil, nil, nil
+}
+
+// childIndex returns the index of the child to descend into for key.
+func childIndex(keys [][]byte, key []byte) int {
+	return sort.Search(len(keys), func(i int) bool { return bytes.Compare(keys[i], key) > 0 })
+}
+
+func (n *node) splitLeaf() (sepKey []byte, right *node) {
+	mid := len(n.keys) / 2
+	right = &node{
+		leaf:   true,
+		keys:   append([][]byte(nil), n.keys[mid:]...),
+		values: append([][]byte(nil), n.values[mid:]...),
+		next:   n.next,
+	}
+	n.keys = n.keys[:mid]
+	n.values = n.values[:mid]
+	n.next = right
+	return right.keys[0], right
+}
+
+func (n *node) splitInterior() (sepKey []byte, right *node) {
+	mid := len(n.keys) / 2
+	sepKey = n.keys[mid]
+	right = &node{
+		keys:     append([][]byte(nil), n.keys[mid+1:]...),
+		children: append([]*node(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	return sepKey, right
+}
+
+// Scan visits every entry in key order until visit returns false.
+func (t *Tree) Scan(visit func(Entry) bool) {
+	t.Range(nil, nil, visit)
+}
+
+// Range visits entries with lo <= key <= hi in key order until visit returns
+// false. A nil lo means "from the beginning"; a nil hi means "to the end".
+func (t *Tree) Range(lo, hi []byte, visit func(Entry) bool) {
+	n := t.root
+	for !n.leaf {
+		if lo == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[childIndex(n.keys, lo)]
+		}
+	}
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], lo) >= 0 })
+	}
+	for n != nil {
+		for i := start; i < len(n.keys); i++ {
+			if hi != nil && bytes.Compare(n.keys[i], hi) > 0 {
+				return
+			}
+			if !visit(Entry{Key: n.keys[i], Value: n.values[i]}) {
+				return
+			}
+		}
+		n = n.next
+		start = 0
+	}
+}
+
+// Min returns the smallest entry, or false when the tree is empty.
+func (t *Tree) Min() (Entry, bool) {
+	var out Entry
+	found := false
+	t.Scan(func(e Entry) bool {
+		out, found = e, true
+		return false
+	})
+	return out, found
+}
+
+// Max returns the largest entry, or false when the tree is empty.
+func (t *Tree) Max() (Entry, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	// The rightmost leaf can be empty only when the whole tree is empty or
+	// after unbalanced deletes; walk the leaf chain from the root in that case.
+	if len(n.keys) > 0 {
+		return Entry{Key: n.keys[len(n.keys)-1], Value: n.values[len(n.keys)-1]}, true
+	}
+	var out Entry
+	found := false
+	t.Scan(func(e Entry) bool {
+		out, found = e, true
+		return true
+	})
+	return out, found
+}

@@ -1,0 +1,222 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key-%06d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val-%d", i)) }
+
+func TestPutGet(t *testing.T) {
+	tr := New()
+	const n = 2000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		if replaced := tr.Put(key(i), val(i)); replaced {
+			t.Fatalf("Put(%d) reported replacement on first insert", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := tr.Get(key(i))
+		if !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i, got, ok)
+		}
+	}
+	if _, ok := tr.Get([]byte("absent")); ok {
+		t.Error("Get of absent key should fail")
+	}
+	// Replacement keeps size constant.
+	if replaced := tr.Put(key(7), []byte("new")); !replaced {
+		t.Error("Put of existing key should report replacement")
+	}
+	if tr.Len() != n {
+		t.Errorf("Len after replace = %d", tr.Len())
+	}
+	got, _ := tr.Get(key(7))
+	if string(got) != "new" {
+		t.Errorf("replaced value = %q", got)
+	}
+}
+
+func TestScanOrder(t *testing.T) {
+	tr := New()
+	const n = 500
+	for _, i := range rand.New(rand.NewSource(2)).Perm(n) {
+		tr.Put(key(i), val(i))
+	}
+	var keys [][]byte
+	tr.Scan(func(e Entry) bool {
+		keys = append(keys, e.Key)
+		return true
+	})
+	if len(keys) != n {
+		t.Fatalf("Scan visited %d entries", len(keys))
+	}
+	for i := 1; i < len(keys); i++ {
+		if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+			t.Fatalf("scan out of order at %d: %q >= %q", i, keys[i-1], keys[i])
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), val(i))
+	}
+	var got []string
+	tr.Range(key(10), key(19), func(e Entry) bool {
+		got = append(got, string(e.Key))
+		return true
+	})
+	if len(got) != 10 || got[0] != string(key(10)) || got[9] != string(key(19)) {
+		t.Errorf("Range(10..19) = %v", got)
+	}
+	// Open-ended ranges.
+	count := 0
+	tr.Range(nil, key(4), func(Entry) bool { count++; return true })
+	if count != 5 {
+		t.Errorf("Range(nil..4) visited %d", count)
+	}
+	count = 0
+	tr.Range(key(95), nil, func(Entry) bool { count++; return true })
+	if count != 5 {
+		t.Errorf("Range(95..nil) visited %d", count)
+	}
+	// Early termination.
+	count = 0
+	tr.Range(nil, nil, func(Entry) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early-terminated range visited %d", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	const n = 300
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), val(i))
+	}
+	for i := 0; i < n; i += 2 {
+		if !tr.Delete(key(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Delete(key(0)) {
+		t.Error("double delete should report false")
+	}
+	if tr.Len() != n/2 {
+		t.Errorf("Len after deletes = %d", tr.Len())
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Get(key(i))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still present", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("surviving key %d missing", i)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Min(); ok {
+		t.Error("Min of empty tree should report false")
+	}
+	for _, i := range []int{5, 3, 9, 1, 7} {
+		tr.Put(key(i), val(i))
+	}
+	mn, _ := tr.Min()
+	mx, _ := tr.Max()
+	if string(mn.Key) != string(key(1)) || string(mx.Key) != string(key(9)) {
+		t.Errorf("Min/Max = %q/%q", mn.Key, mx.Key)
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("a"), []byte("12345"))
+	if tr.Bytes() != 6 {
+		t.Errorf("Bytes = %d", tr.Bytes())
+	}
+	tr.Put([]byte("a"), []byte("1"))
+	if tr.Bytes() != 2 {
+		t.Errorf("Bytes after shrink-replace = %d", tr.Bytes())
+	}
+	tr.Delete([]byte("a"))
+	if tr.Bytes() != 0 {
+		t.Errorf("Bytes after delete = %d", tr.Bytes())
+	}
+}
+
+func TestPropertyMatchesSortedMap(t *testing.T) {
+	// The tree must behave exactly like a sorted map for any key set.
+	f := func(keys []uint16) bool {
+		tr := New()
+		ref := map[string]string{}
+		for i, k := range keys {
+			ks := fmt.Sprintf("%05d", k)
+			vs := fmt.Sprintf("v%d", i)
+			tr.Put([]byte(ks), []byte(vs))
+			ref[ks] = vs
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		var want []string
+		for k := range ref {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		tr.Scan(func(e Entry) bool {
+			got = append(got, string(e.Key))
+			if ref[string(e.Key)] != string(e.Value) {
+				return false
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Put(key(i), val(i))
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), val(i))
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(key(i % n))
+	}
+}

@@ -1,0 +1,605 @@
+// Package comparators implements scaled-down stand-ins for the three systems
+// AsterixDB is compared against in Section 5.3 of the paper:
+//
+//   - RowStore  — System-X, a shared-nothing parallel RDBMS: nested records
+//     are normalized into flat side tables, rows are stored positionally
+//     (no field names, no per-value tags), B+-tree primary and secondary
+//     indexes are available, and equijoins use a hash join or an index
+//     nested-loop join picked by a tiny cost rule.
+//   - DocStore  — MongoDB: nested documents stored self-describing (every
+//     field name in every document), primary and secondary B+-tree indexes,
+//     no join operator (callers perform client-side joins).
+//   - ScanStore — Hive + ORC: column-grouped storage with dictionary
+//     compression, no indexes, every query is a full scan that also pays a
+//     fixed job start-up latency.
+//
+// These baselines reproduce the *behaviours* the paper attributes to each
+// system (storage footprint ordering, index vs. scan gap, client-side join
+// degradation, scan-only execution), not their absolute performance.
+package comparators
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/btree"
+)
+
+// ----------------------------------------------------------------------------
+// RowStore (System-X stand-in)
+// ----------------------------------------------------------------------------
+
+// RowStore is the parallel-RDBMS stand-in.
+type RowStore struct {
+	// users and messages are the flat base tables keyed by primary key.
+	users    *btree.Tree
+	messages *btree.Tree
+	// addresses and employment are the normalized side tables (nested fields
+	// split out, as the paper did for System-X).
+	addresses  *btree.Tree
+	employment *btree.Tree
+	// tsIndex is the secondary index on message timestamps.
+	tsIndex *btree.Tree
+	// authorIndex is the secondary index on message author-id.
+	authorIndex *btree.Tree
+	bytes       int64
+}
+
+// NewRowStore returns an empty row store.
+func NewRowStore() *RowStore {
+	return &RowStore{
+		users: btree.New(), messages: btree.New(),
+		addresses: btree.New(), employment: btree.New(),
+		tsIndex: btree.New(), authorIndex: btree.New(),
+	}
+}
+
+// rowEncode stores values positionally with a 1-byte tag each (no names).
+func rowEncode(values ...adm.Value) []byte {
+	var out []byte
+	for _, v := range values {
+		b, err := adm.EncodeValue(nil, v)
+		if err != nil {
+			continue
+		}
+		out = append(out, b...)
+	}
+	return out
+}
+
+// LoadUsers loads user records, normalizing address and employment.
+func (s *RowStore) LoadUsers(users []*adm.Record) {
+	for _, u := range users {
+		pk := adm.EncodeKey(nil, u.Get("id"))
+		base := rowEncode(u.Get("id"), u.Get("alias"), u.Get("name"), u.Get("user-since"))
+		s.users.Put(pk, base)
+		s.bytes += int64(len(base))
+		if addr, ok := u.Get("address").(*adm.Record); ok {
+			row := rowEncode(u.Get("id"), addr.Get("street"), addr.Get("city"), addr.Get("state"), addr.Get("zip"), addr.Get("country"))
+			s.addresses.Put(pk, row)
+			s.bytes += int64(len(row))
+		}
+		if emp, ok := u.Get("employment").(*adm.OrderedList); ok {
+			for i, e := range emp.Items {
+				er := e.(*adm.Record)
+				key := append(append([]byte(nil), pk...), byte(i))
+				row := rowEncode(u.Get("id"), er.Get("organization-name"), er.Get("start-date"), er.Get("end-date"))
+				s.employment.Put(key, row)
+				s.bytes += int64(len(row))
+			}
+		}
+	}
+}
+
+// LoadMessages loads message records (tags are flattened into a joined string
+// column, matching how a flat schema would store them).
+func (s *RowStore) LoadMessages(messages []*adm.Record) {
+	for _, m := range messages {
+		pk := adm.EncodeKey(nil, m.Get("message-id"))
+		row := rowEncode(m.Get("message-id"), m.Get("author-id"), m.Get("timestamp"),
+			m.Get("in-response-to"), m.Get("sender-location"), m.Get("message"))
+		s.messages.Put(pk, row)
+		s.bytes += int64(len(row))
+	}
+}
+
+// BuildIndexes creates the secondary indexes used by the "with IX" rows of
+// Table 3. It must be called after loading.
+func (s *RowStore) BuildIndexes(messages []*adm.Record) {
+	for _, m := range messages {
+		pk := adm.EncodeKey(nil, m.Get("message-id"))
+		tsKey := append(adm.EncodeKey(nil, m.Get("timestamp")), pk...)
+		s.tsIndex.Put(tsKey, pk)
+		auKey := append(adm.EncodeKey(nil, m.Get("author-id")), pk...)
+		s.authorIndex.Put(auKey, pk)
+	}
+}
+
+// SizeBytes returns the stored size of all tables (Table 2).
+func (s *RowStore) SizeBytes() int64 { return s.bytes }
+
+// RecordLookup fetches a user row plus its normalized side rows (the extra
+// joins the paper notes System-X needs for the record lookup query).
+func (s *RowStore) RecordLookup(id adm.Value) (found bool) {
+	pk := adm.EncodeKey(nil, id)
+	_, ok := s.users.Get(pk)
+	if !ok {
+		return false
+	}
+	s.addresses.Get(pk)
+	s.employment.Range(pk, append(append([]byte(nil), pk...), 0xFF), func(btree.Entry) bool { return true })
+	return true
+}
+
+// RangeScanMessages counts messages in a timestamp range, optionally using
+// the secondary index.
+func (s *RowStore) RangeScanMessages(lo, hi adm.Datetime, useIndex bool) int {
+	count := 0
+	if useIndex {
+		loK := adm.EncodeKey(nil, lo)
+		hiK := append(adm.EncodeKey(nil, hi), 0xFF)
+		s.tsIndex.Range(loK, hiK, func(e btree.Entry) bool {
+			if _, ok := s.messages.Get(e.Value); ok {
+				count++
+			}
+			return true
+		})
+		return count
+	}
+	s.messages.Scan(func(e btree.Entry) bool {
+		if tsInRange(e.Value, lo, hi) {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// tsInRange decodes the positional message row far enough to test the
+// timestamp column.
+func tsInRange(row []byte, lo, hi adm.Datetime) bool {
+	// Row layout: message-id, author-id, timestamp, ...
+	pos := 0
+	var ts adm.Datetime
+	for i := 0; i < 3; i++ {
+		v, n, err := adm.DecodeValue(row[pos:])
+		if err != nil {
+			return false
+		}
+		pos += n
+		if i == 2 {
+			t, ok := v.(adm.Datetime)
+			if !ok {
+				return false
+			}
+			ts = t
+		}
+	}
+	return ts >= lo && ts <= hi
+}
+
+// SelectJoin runs the Table 3 select-join: messages in a timestamp range
+// joined to their authors. The cost rule mirrors System-X's optimizer: with
+// an index and a selective predicate it picks an index nested-loop join,
+// otherwise a hash join over full scans.
+func (s *RowStore) SelectJoin(lo, hi adm.Datetime, useIndex bool) int {
+	matches := 0
+	probe := func(row []byte) {
+		// author-id is the second column.
+		v, n, err := adm.DecodeValue(row)
+		if err != nil {
+			return
+		}
+		_ = v
+		author, _, err := adm.DecodeValue(row[n:])
+		if err != nil {
+			return
+		}
+		if _, ok := s.users.Get(adm.EncodeKey(nil, author)); ok {
+			matches++
+		}
+	}
+	if useIndex {
+		loK := adm.EncodeKey(nil, lo)
+		hiK := append(adm.EncodeKey(nil, hi), 0xFF)
+		s.tsIndex.Range(loK, hiK, func(e btree.Entry) bool {
+			if row, ok := s.messages.Get(e.Value); ok {
+				probe(row)
+			}
+			return true
+		})
+		return matches
+	}
+	// Hash join: build on users, probe with a full message scan.
+	build := map[string]bool{}
+	s.users.Scan(func(e btree.Entry) bool {
+		build[string(e.Key)] = true
+		return true
+	})
+	s.messages.Scan(func(e btree.Entry) bool {
+		if !tsInRange(e.Value, lo, hi) {
+			return true
+		}
+		_, n, err := adm.DecodeValue(e.Value)
+		if err != nil {
+			return true
+		}
+		author, _, err := adm.DecodeValue(e.Value[n:])
+		if err != nil {
+			return true
+		}
+		if build[string(adm.EncodeKey(nil, author))] {
+			matches++
+		}
+		return true
+	})
+	return matches
+}
+
+// Aggregate computes the average message length over a timestamp range.
+func (s *RowStore) Aggregate(lo, hi adm.Datetime, useIndex bool) float64 {
+	sum, n := 0, 0
+	consume := func(row []byte) {
+		pos := 0
+		var msg string
+		for i := 0; i < 6; i++ {
+			v, adv, err := adm.DecodeValue(row[pos:])
+			if err != nil {
+				return
+			}
+			pos += adv
+			if i == 5 {
+				if sv, ok := v.(adm.String); ok {
+					msg = string(sv)
+				}
+			}
+		}
+		sum += len(msg)
+		n++
+	}
+	if useIndex {
+		loK := adm.EncodeKey(nil, lo)
+		hiK := append(adm.EncodeKey(nil, hi), 0xFF)
+		s.tsIndex.Range(loK, hiK, func(e btree.Entry) bool {
+			if row, ok := s.messages.Get(e.Value); ok {
+				consume(row)
+			}
+			return true
+		})
+	} else {
+		s.messages.Scan(func(e btree.Entry) bool {
+			if tsInRange(e.Value, lo, hi) {
+				consume(e.Value)
+			}
+			return true
+		})
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Insert adds one message row (and maintains the secondary indexes), syncing
+// per batch like the journaled configurations of Table 4.
+func (s *RowStore) Insert(m *adm.Record) {
+	pk := adm.EncodeKey(nil, m.Get("message-id"))
+	row := rowEncode(m.Get("message-id"), m.Get("author-id"), m.Get("timestamp"),
+		m.Get("in-response-to"), m.Get("sender-location"), m.Get("message"))
+	s.messages.Put(pk, row)
+	s.tsIndex.Put(append(adm.EncodeKey(nil, m.Get("timestamp")), pk...), pk)
+	s.authorIndex.Put(append(adm.EncodeKey(nil, m.Get("author-id")), pk...), pk)
+	s.bytes += int64(len(row))
+}
+
+// ----------------------------------------------------------------------------
+// DocStore (MongoDB stand-in)
+// ----------------------------------------------------------------------------
+
+// DocStore is the document-store stand-in: nested, self-describing documents.
+type DocStore struct {
+	users    *btree.Tree
+	messages *btree.Tree
+	tsIndex  *btree.Tree
+	bytes    int64
+}
+
+// NewDocStore returns an empty document store.
+func NewDocStore() *DocStore {
+	return &DocStore{users: btree.New(), messages: btree.New(), tsIndex: btree.New()}
+}
+
+// LoadUsers stores user documents with nesting intact.
+func (s *DocStore) LoadUsers(users []*adm.Record) {
+	for _, u := range users {
+		pk := adm.EncodeKey(nil, u.Get("id"))
+		doc, _ := adm.EncodeValue(nil, u)
+		s.users.Put(pk, doc)
+		s.bytes += int64(len(doc))
+	}
+}
+
+// LoadMessages stores message documents.
+func (s *DocStore) LoadMessages(messages []*adm.Record) {
+	for _, m := range messages {
+		pk := adm.EncodeKey(nil, m.Get("message-id"))
+		doc, _ := adm.EncodeValue(nil, m)
+		s.messages.Put(pk, doc)
+		s.bytes += int64(len(doc))
+	}
+}
+
+// BuildIndexes creates the timestamp secondary index.
+func (s *DocStore) BuildIndexes(messages []*adm.Record) {
+	for _, m := range messages {
+		pk := adm.EncodeKey(nil, m.Get("message-id"))
+		s.tsIndex.Put(append(adm.EncodeKey(nil, m.Get("timestamp")), pk...), pk)
+	}
+}
+
+// SizeBytes returns the stored collection size (Table 2).
+func (s *DocStore) SizeBytes() int64 { return s.bytes }
+
+// RecordLookup fetches one document by primary key; nesting means no joins.
+func (s *DocStore) RecordLookup(id adm.Value) bool {
+	_, ok := s.users.Get(adm.EncodeKey(nil, id))
+	return ok
+}
+
+// RangeScanMessages counts messages in a timestamp range.
+func (s *DocStore) RangeScanMessages(lo, hi adm.Datetime, useIndex bool) int {
+	count := 0
+	if useIndex {
+		loK := adm.EncodeKey(nil, lo)
+		hiK := append(adm.EncodeKey(nil, hi), 0xFF)
+		s.tsIndex.Range(loK, hiK, func(e btree.Entry) bool {
+			count++
+			return true
+		})
+		return count
+	}
+	s.messages.Scan(func(e btree.Entry) bool {
+		if docTimestampInRange(e.Value, lo, hi) {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+func decodeDoc(raw []byte) *adm.Record {
+	v, _, err := adm.DecodeValue(raw)
+	if err != nil {
+		return nil
+	}
+	rec, _ := v.(*adm.Record)
+	return rec
+}
+
+func docTimestampInRange(raw []byte, lo, hi adm.Datetime) bool {
+	rec := decodeDoc(raw)
+	if rec == nil {
+		return false
+	}
+	ts, ok := rec.Get("timestamp").(adm.Datetime)
+	return ok && ts >= lo && ts <= hi
+}
+
+// ClientSideJoin reproduces the paper's MongoDB join: the "client" first
+// finds the matching message documents, collects the author ids, and then
+// performs a bulk lookup against the users collection. The per-document
+// decode overhead on the client is what makes it degrade at large
+// selectivities.
+func (s *DocStore) ClientSideJoin(lo, hi adm.Datetime, useIndex bool) int {
+	// Step 1: select matching messages (server side).
+	var authorIDs []adm.Value
+	collect := func(raw []byte) {
+		rec := decodeDoc(raw)
+		if rec == nil {
+			return
+		}
+		authorIDs = append(authorIDs, rec.Get("author-id"))
+	}
+	if useIndex {
+		loK := adm.EncodeKey(nil, lo)
+		hiK := append(adm.EncodeKey(nil, hi), 0xFF)
+		s.tsIndex.Range(loK, hiK, func(e btree.Entry) bool {
+			if raw, ok := s.messages.Get(e.Value); ok {
+				collect(raw)
+			}
+			return true
+		})
+	} else {
+		s.messages.Scan(func(e btree.Entry) bool {
+			if docTimestampInRange(e.Value, lo, hi) {
+				collect(e.Value)
+			}
+			return true
+		})
+	}
+	// Step 2: client-side bulk lookup of the other collection, decoding every
+	// fetched document (the client cannot avoid materializing them).
+	matches := 0
+	for _, id := range authorIDs {
+		if raw, ok := s.users.Get(adm.EncodeKey(nil, id)); ok {
+			if decodeDoc(raw) != nil {
+				matches++
+			}
+		}
+	}
+	return matches
+}
+
+// AggregateMapReduce computes the average message length with a simulated
+// map-reduce pass (the paper notes MongoDB needed its map-reduce operation
+// for this query): every candidate document is decoded and mapped.
+func (s *DocStore) AggregateMapReduce(lo, hi adm.Datetime, useIndex bool) float64 {
+	sum, n := 0, 0
+	mapper := func(raw []byte) {
+		rec := decodeDoc(raw)
+		if rec == nil {
+			return
+		}
+		if msg, ok := rec.Get("message").(adm.String); ok {
+			sum += len(msg)
+			n++
+		}
+	}
+	if useIndex {
+		loK := adm.EncodeKey(nil, lo)
+		hiK := append(adm.EncodeKey(nil, hi), 0xFF)
+		s.tsIndex.Range(loK, hiK, func(e btree.Entry) bool {
+			if raw, ok := s.messages.Get(e.Value); ok {
+				mapper(raw)
+			}
+			return true
+		})
+	} else {
+		s.messages.Scan(func(e btree.Entry) bool {
+			if docTimestampInRange(e.Value, lo, hi) {
+				mapper(e.Value)
+			}
+			return true
+		})
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// Insert adds one message document (journaled write concern).
+func (s *DocStore) Insert(m *adm.Record) {
+	pk := adm.EncodeKey(nil, m.Get("message-id"))
+	doc, _ := adm.EncodeValue(nil, m)
+	s.messages.Put(pk, doc)
+	s.tsIndex.Put(append(adm.EncodeKey(nil, m.Get("timestamp")), pk...), pk)
+	s.bytes += int64(len(doc))
+}
+
+// ----------------------------------------------------------------------------
+// ScanStore (Hive + ORC stand-in)
+// ----------------------------------------------------------------------------
+
+// ScanStore stores messages column-grouped with dictionary compression and
+// supports only full scans with a per-query start-up latency.
+type ScanStore struct {
+	// Column vectors.
+	ids        []int32
+	authors    []int32
+	timestamps []int64
+	// messageDict dictionary-encodes message texts (ORC-style compression).
+	messageDict  []string
+	dictIDs      map[string]int32
+	messageCodes []int32
+	// StartupLatency models Hadoop job submission overhead per query.
+	StartupLatency time.Duration
+}
+
+// NewScanStore returns an empty scan store with a 2ms simulated job start-up.
+func NewScanStore() *ScanStore {
+	return &ScanStore{dictIDs: map[string]int32{}, StartupLatency: 2 * time.Millisecond}
+}
+
+// LoadMessages loads the message dataset into columnar form.
+func (s *ScanStore) LoadMessages(messages []*adm.Record) {
+	for _, m := range messages {
+		id, _ := adm.NumericAsInt64(m.Get("message-id"))
+		author, _ := adm.NumericAsInt64(m.Get("author-id"))
+		ts, _ := m.Get("timestamp").(adm.Datetime)
+		msg, _ := m.Get("message").(adm.String)
+		s.ids = append(s.ids, int32(id))
+		s.authors = append(s.authors, int32(author))
+		s.timestamps = append(s.timestamps, int64(ts))
+		code, ok := s.dictIDs[string(msg)]
+		if !ok {
+			code = int32(len(s.messageDict))
+			s.dictIDs[string(msg)] = code
+			s.messageDict = append(s.messageDict, string(msg))
+		}
+		s.messageCodes = append(s.messageCodes, code)
+	}
+}
+
+// SizeBytes returns the compressed columnar footprint (Table 2's smallest).
+func (s *ScanStore) SizeBytes() int64 {
+	size := int64(len(s.ids)*4 + len(s.authors)*4 + len(s.timestamps)*8 + len(s.messageCodes)*4)
+	for _, m := range s.messageDict {
+		size += int64(len(m))
+	}
+	return size
+}
+
+// startJob simulates Hadoop job submission latency.
+func (s *ScanStore) startJob() {
+	if s.StartupLatency > 0 {
+		time.Sleep(s.StartupLatency)
+	}
+}
+
+// RecordLookup scans all rows for the id (Hive has no indexes).
+func (s *ScanStore) RecordLookup(id int32) bool {
+	s.startJob()
+	for _, v := range s.ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// RangeScanMessages counts rows in the timestamp range with a full scan.
+func (s *ScanStore) RangeScanMessages(lo, hi adm.Datetime) int {
+	s.startJob()
+	count := 0
+	for _, ts := range s.timestamps {
+		if ts >= int64(lo) && ts <= int64(hi) {
+			count++
+		}
+	}
+	return count
+}
+
+// SelectJoin joins messages in the range to a sorted author list (Hive's
+// common-join as a sort-merge over the scan output).
+func (s *ScanStore) SelectJoin(lo, hi adm.Datetime, userIDs []int32) int {
+	s.startJob()
+	sorted := append([]int32(nil), userIDs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	matches := 0
+	for i, ts := range s.timestamps {
+		if ts < int64(lo) || ts > int64(hi) {
+			continue
+		}
+		author := s.authors[i]
+		idx := sort.Search(len(sorted), func(j int) bool { return sorted[j] >= author })
+		if idx < len(sorted) && sorted[idx] == author {
+			matches++
+		}
+	}
+	return matches
+}
+
+// Aggregate computes the average message length over the range with a scan;
+// the columnar layout means only the needed columns are touched.
+func (s *ScanStore) Aggregate(lo, hi adm.Datetime) float64 {
+	s.startJob()
+	sum, n := 0, 0
+	for i, ts := range s.timestamps {
+		if ts >= int64(lo) && ts <= int64(hi) {
+			sum += len(s.messageDict[s.messageCodes[i]])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (s *ScanStore) String() string {
+	return fmt.Sprintf("scanstore{rows: %d, dict: %d}", len(s.ids), len(s.messageDict))
+}

@@ -1,0 +1,116 @@
+package comparators
+
+import (
+	"testing"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/workload"
+)
+
+func testData(t *testing.T) (*workload.Generator, []*adm.Record, []*adm.Record) {
+	t.Helper()
+	gen := workload.New(workload.Config{Users: 100, Messages: 500, Seed: 3})
+	return gen, gen.Users(), gen.Messages()
+}
+
+func TestRowStoreOperations(t *testing.T) {
+	gen, users, messages := testData(t)
+	rs := NewRowStore()
+	rs.LoadUsers(users)
+	rs.LoadMessages(messages)
+	rs.BuildIndexes(messages)
+	if rs.SizeBytes() == 0 {
+		t.Fatal("size should be non-zero")
+	}
+	if !rs.RecordLookup(adm.Int32(1)) || rs.RecordLookup(adm.Int32(9999)) {
+		t.Error("RecordLookup misreports")
+	}
+	p := gen.Params()
+	scan := rs.RangeScanMessages(p.SmallLo, p.SmallHi, false)
+	indexed := rs.RangeScanMessages(p.SmallLo, p.SmallHi, true)
+	if scan == 0 || scan != indexed {
+		t.Errorf("range scan: scan=%d indexed=%d", scan, indexed)
+	}
+	if j1, j2 := rs.SelectJoin(p.SmallLo, p.SmallHi, false), rs.SelectJoin(p.SmallLo, p.SmallHi, true); j1 != j2 || j1 == 0 {
+		t.Errorf("join: %d vs %d", j1, j2)
+	}
+	if a1, a2 := rs.Aggregate(p.LargeLo, p.LargeHi, false), rs.Aggregate(p.LargeLo, p.LargeHi, true); a1 != a2 || a1 == 0 {
+		t.Errorf("aggregate: %v vs %v", a1, a2)
+	}
+	before := rs.SizeBytes()
+	rs.Insert(gen.Message(1).Set("message-id", adm.Int32(100000)))
+	if rs.SizeBytes() <= before {
+		t.Error("insert did not grow the store")
+	}
+}
+
+func TestDocStoreOperations(t *testing.T) {
+	gen, users, messages := testData(t)
+	ds := NewDocStore()
+	ds.LoadUsers(users)
+	ds.LoadMessages(messages)
+	ds.BuildIndexes(messages)
+	if !ds.RecordLookup(adm.Int32(1)) {
+		t.Error("RecordLookup failed")
+	}
+	p := gen.Params()
+	if n1, n2 := ds.RangeScanMessages(p.SmallLo, p.SmallHi, false), ds.RangeScanMessages(p.SmallLo, p.SmallHi, true); n1 != n2 || n1 == 0 {
+		t.Errorf("range scan: %d vs %d", n1, n2)
+	}
+	if j1, j2 := ds.ClientSideJoin(p.LargeLo, p.LargeHi, false), ds.ClientSideJoin(p.LargeLo, p.LargeHi, true); j1 != j2 || j1 == 0 {
+		t.Errorf("client-side join: %d vs %d", j1, j2)
+	}
+	if a := ds.AggregateMapReduce(p.LargeLo, p.LargeHi, true); a == 0 {
+		t.Error("map-reduce aggregate returned zero")
+	}
+	ds.Insert(gen.Message(1).Set("message-id", adm.Int32(100000)))
+}
+
+func TestScanStoreOperations(t *testing.T) {
+	gen, _, messages := testData(t)
+	ss := NewScanStore()
+	ss.StartupLatency = 0 // keep the test fast
+	ss.LoadMessages(messages)
+	if ss.SizeBytes() == 0 {
+		t.Fatal("size should be non-zero")
+	}
+	if !ss.RecordLookup(1) || ss.RecordLookup(999999) {
+		t.Error("RecordLookup misreports")
+	}
+	p := gen.Params()
+	if n := ss.RangeScanMessages(p.SmallLo, p.SmallHi); n == 0 {
+		t.Error("range scan returned zero")
+	}
+	userIDs := make([]int32, 100)
+	for i := range userIDs {
+		userIDs[i] = int32(i + 1)
+	}
+	if j := ss.SelectJoin(p.LargeLo, p.LargeHi, userIDs); j == 0 {
+		t.Error("join returned zero")
+	}
+	if a := ss.Aggregate(p.LargeLo, p.LargeHi); a == 0 {
+		t.Error("aggregate returned zero")
+	}
+	if ss.String() == "" {
+		t.Error("String should describe the store")
+	}
+}
+
+// TestTable2SizeOrdering asserts the storage-footprint shape of Table 2:
+// scan-store (Hive/ORC) is the smallest, the row store (System-X, normalized
+// and positional) is smaller than the self-describing document store (Mongo).
+func TestTable2SizeOrdering(t *testing.T) {
+	_, users, messages := testData(t)
+	rs := NewRowStore()
+	rs.LoadUsers(users)
+	rs.LoadMessages(messages)
+	ds := NewDocStore()
+	ds.LoadUsers(users)
+	ds.LoadMessages(messages)
+	ss := NewScanStore()
+	ss.LoadMessages(messages)
+	if !(ss.SizeBytes() < rs.SizeBytes() && rs.SizeBytes() < ds.SizeBytes()) {
+		t.Errorf("size ordering violated: hive=%d systemx=%d mongo=%d",
+			ss.SizeBytes(), rs.SizeBytes(), ds.SizeBytes())
+	}
+}

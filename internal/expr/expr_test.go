@@ -1,0 +1,212 @@
+package expr
+
+import (
+	"testing"
+	"time"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/aql"
+	"asterixdb/internal/temporal"
+)
+
+func evalString(t *testing.T, ctx *Context, env Env, src string) adm.Value {
+	t.Helper()
+	e, err := aql.ParseQuery(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	v, err := Eval(ctx, env, e)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	return v
+}
+
+func fixedCtx() *Context {
+	ctx := NewContext()
+	ctx.Clock = temporal.FixedClock{T: time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)}
+	return ctx
+}
+
+func TestArithmeticAndComparison(t *testing.T) {
+	ctx := fixedCtx()
+	cases := map[string]string{
+		`1 + 1`:                    "2",
+		`1 + 2 * 3`:                "7",
+		`10 / 4`:                   "2.5",
+		`7 % 3`:                    "1",
+		`2 < 3`:                    "true",
+		`"abc" = "abc"`:            "true",
+		`3 >= 4`:                   "false",
+		`1 = null`:                 "null",
+		`not(false)`:               "true",
+		`if (1 < 2) then 7 else 8`: "7",
+	}
+	for src, want := range cases {
+		got := evalString(t, ctx, Env{}, src)
+		// Normalize numeric renderings: 2 may render with an i64 suffix.
+		s := got.String()
+		if s != want && s != want+"i64" {
+			t.Errorf("%s = %s, want %s", src, s, want)
+		}
+	}
+}
+
+func TestFieldAccessAndConstructors(t *testing.T) {
+	ctx := fixedCtx()
+	rec := adm.NewRecord(
+		adm.Field{Name: "name", Value: adm.String("Ann")},
+		adm.Field{Name: "address", Value: adm.NewRecord(adm.Field{Name: "zip", Value: adm.String("98765")})},
+	)
+	env := Env{"u": rec}
+	if got := evalString(t, ctx, env, `$u.address.zip`); got.(adm.String) != "98765" {
+		t.Errorf("nested field access = %v", got)
+	}
+	if got := evalString(t, ctx, env, `$u.nosuch`); got.Tag() != adm.TagMissing {
+		t.Errorf("missing field = %v", got)
+	}
+	v := evalString(t, ctx, env, `{ "n": $u.name, "tags": {{ "a", "b" }}, "list": [1, 2] }`)
+	out := v.(*adm.Record)
+	if out.Get("n").(adm.String) != "Ann" {
+		t.Errorf("record constructor = %v", out)
+	}
+	if len(out.Get("tags").(*adm.UnorderedList).Items) != 2 {
+		t.Error("bag constructor wrong")
+	}
+}
+
+func TestBuiltinsAndUDF(t *testing.T) {
+	ctx := fixedCtx()
+	if got := evalString(t, ctx, Env{}, `string-length("hello")`); mustInt(got) != 5 {
+		t.Errorf("string-length = %v", got)
+	}
+	if got := evalString(t, ctx, Env{}, `count([1, 2, 3])`); mustInt(got) != 3 {
+		t.Errorf("count = %v", got)
+	}
+	if got := evalString(t, ctx, Env{}, `avg([2, 4])`); got.(adm.Double) != 3 {
+		t.Errorf("avg = %v", got)
+	}
+	// AQL null semantics vs SQL semantics.
+	if got := evalString(t, ctx, Env{}, `avg([2, null, 4])`); got.Tag() != adm.TagNull {
+		t.Errorf("avg with null = %v", got)
+	}
+	if got := evalString(t, ctx, Env{}, `sql-avg([2, null, 4])`); got.(adm.Double) != 3 {
+		t.Errorf("sql-avg with null = %v", got)
+	}
+	if got := evalString(t, ctx, Env{}, `edit-distance("kitten", "sitting")`); mustInt(got) != 3 {
+		t.Errorf("edit-distance = %v", got)
+	}
+	if got := evalString(t, ctx, Env{}, `spatial-distance(create-point(0.0, 0.0), create-point(3.0, 4.0))`); got.(adm.Double) != 5 {
+		t.Errorf("spatial-distance = %v", got)
+	}
+	if got := evalString(t, ctx, Env{}, `current-datetime()`); got.Tag() != adm.TagDatetime {
+		t.Errorf("current-datetime = %v", got)
+	}
+	// Datetime arithmetic with durations.
+	if got := evalString(t, ctx, Env{}, `datetime("2014-01-31T00:00:00") - duration("P30D")`); got.(adm.Datetime).String() != `datetime("2014-01-01T00:00:00.000")` {
+		t.Errorf("datetime - duration = %v", got)
+	}
+	// UDFs.
+	body, err := aql.ParseQuery(`$x + 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Functions["incr"] = UserFunction{Params: []string{"x"}, Body: body}
+	if got := evalString(t, ctx, Env{}, `incr(41)`); mustInt(got) != 42 {
+		t.Errorf("UDF = %v", got)
+	}
+	if _, err := Eval(ctx, Env{}, &aql.CallExpr{Func: "no-such-function"}); err == nil {
+		t.Error("unknown function should error")
+	}
+}
+
+func TestQuantifiersAndFuzzy(t *testing.T) {
+	ctx := fixedCtx()
+	env := Env{"list": &adm.OrderedList{Items: []adm.Value{adm.Int32(1), adm.Int32(2), adm.Int32(3)}}}
+	if got := evalString(t, ctx, env, `some $x in $list satisfies $x > 2`); !adm.Truthy(got) {
+		t.Error("some should hold")
+	}
+	if got := evalString(t, ctx, env, `every $x in $list satisfies $x > 2`); adm.Truthy(got) {
+		t.Error("every should not hold")
+	}
+	ctx.SimFunction, ctx.SimThreshold = "edit-distance", 3
+	if got := evalString(t, ctx, Env{}, `"tonight" ~= "tonite"`); !adm.Truthy(got) {
+		t.Error("edit-distance fuzzy match should hold")
+	}
+	ctx.SimFunction, ctx.SimThreshold = "jaccard", 0.3
+	env2 := Env{
+		"a": &adm.UnorderedList{Items: []adm.Value{adm.String("x"), adm.String("y")}},
+		"b": &adm.UnorderedList{Items: []adm.Value{adm.String("y"), adm.String("z")}},
+	}
+	if got := evalString(t, ctx, env2, `$a ~= $b`); !adm.Truthy(got) {
+		t.Error("jaccard fuzzy match should hold at 0.3")
+	}
+}
+
+func TestFLWOREvaluation(t *testing.T) {
+	ctx := fixedCtx()
+	ctx.Datasets = func(_, name string) ([]*adm.Record, error) {
+		var out []*adm.Record
+		for i := 1; i <= 10; i++ {
+			out = append(out, adm.NewRecord(
+				adm.Field{Name: "id", Value: adm.Int32(int32(i))},
+				adm.Field{Name: "grp", Value: adm.Int32(int32(i % 2))},
+			))
+		}
+		return out, nil
+	}
+	e, err := aql.ParseQuery(`
+for $x in dataset Nums
+where $x.id > 4
+group by $g := $x.grp with $x
+let $cnt := count($x)
+order by $g
+return { "grp": $g, "cnt": $cnt };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := EvalFLWOR(ctx, Env{}, e.(*aql.FLWORExpr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Fatalf("FLWOR returned %d groups", len(vals))
+	}
+	first := vals[0].(*adm.Record)
+	if mustInt(first.Get("grp")) != 0 || mustInt(first.Get("cnt")) != 3 {
+		t.Errorf("first group = %v", first)
+	}
+	// Positional variables.
+	e2, _ := aql.ParseQuery(`for $x at $i in [ "a", "b", "c" ] where $i >= 2 return $i;`)
+	vals, err = EvalFLWOR(ctx, Env{}, e2.(*aql.FLWORExpr))
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("positional FLWOR = %v, %v", vals, err)
+	}
+	// Limit with offset.
+	e3, _ := aql.ParseQuery(`for $x in [1, 2, 3, 4, 5] limit 2 offset 1 return $x;`)
+	vals, err = EvalFLWOR(ctx, Env{}, e3.(*aql.FLWORExpr))
+	if err != nil || len(vals) != 2 || mustInt(vals[0]) != 2 {
+		t.Fatalf("limit/offset FLWOR = %v, %v", vals, err)
+	}
+}
+
+func TestErrorsAndUnknowns(t *testing.T) {
+	ctx := fixedCtx()
+	if _, err := Eval(ctx, Env{}, &aql.VariableRef{Name: "nope"}); err == nil {
+		t.Error("unbound variable should error")
+	}
+	if _, err := Eval(ctx, Env{}, &aql.DatasetRef{Name: "D"}); err == nil {
+		t.Error("dataset ref without reader should error")
+	}
+	if got := evalString(t, ctx, Env{}, `1 / 0`); got.Tag() != adm.TagNull {
+		t.Errorf("division by zero = %v", got)
+	}
+	if got := evalString(t, ctx, Env{}, `is-null(null)`); !adm.Truthy(got) {
+		t.Error("is-null(null) should be true")
+	}
+}
+
+func mustInt(v adm.Value) int64 {
+	n, _ := adm.NumericAsInt64(v)
+	return n
+}

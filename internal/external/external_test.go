@@ -1,0 +1,91 @@
+package external
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asterixdb/internal/adm"
+)
+
+func accessLogType() *adm.RecordType {
+	return &adm.RecordType{Name: "AccessLogType", Open: false, Fields: []adm.FieldType{
+		{Name: "ip", Type: adm.Prim(adm.TagString)},
+		{Name: "time", Type: adm.Prim(adm.TagString)},
+		{Name: "user", Type: adm.Prim(adm.TagString)},
+		{Name: "verb", Type: adm.Prim(adm.TagString)},
+		{Name: "path", Type: adm.Prim(adm.TagString)},
+		{Name: "stat", Type: adm.Prim(adm.TagInt32)},
+		{Name: "size", Type: adm.Prim(adm.TagInt32)},
+	}}
+}
+
+func TestDelimitedText(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log.csv")
+	content := "12.34.56.78|2013-12-22T12:13:32|Nicholas|GET|/|200|2279\n" +
+		"12.34.56.78|2013-12-22T12:13:33|Nicholas|GET|/list|200|5299\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDataset(accessLogType(), "localfs", map[string]string{
+		"path": "localhost://" + path, "format": "delimited-text", "delimiter": "|",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ds.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0].Get("user").(adm.String) != "Nicholas" {
+		t.Errorf("user = %v", recs[0].Get("user"))
+	}
+	if n, _ := adm.NumericAsInt64(recs[1].Get("size")); n != 5299 {
+		t.Errorf("size = %v", recs[1].Get("size"))
+	}
+}
+
+func TestADMFormat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.adm")
+	content := `{ "ip": "1.2.3.4", "time": "t", "user": "u", "verb": "GET", "path": "/", "stat": 200, "size": 10 }` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDataset(accessLogType(), "localfs", map[string]string{"path": path, "format": "adm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ds.ReadAll()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("ReadAll = %d records, %v", len(recs), err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := NewDataset(nil, "localfs", map[string]string{"path": "/x"}); err == nil {
+		t.Error("nil type should fail")
+	}
+	if _, err := NewDataset(accessLogType(), "s3", map[string]string{"path": "/x"}); err == nil {
+		t.Error("unknown adaptor should fail")
+	}
+	if _, err := NewDataset(accessLogType(), "localfs", nil); err == nil {
+		t.Error("missing path should fail")
+	}
+	if _, err := NewDataset(accessLogType(), "localfs", map[string]string{"path": "/x", "format": "orc"}); err == nil {
+		t.Error("unsupported format should fail")
+	}
+	ds, _ := NewDataset(accessLogType(), "localfs", map[string]string{"path": "/no/such/file"})
+	if _, err := ds.ReadAll(); err == nil {
+		t.Error("missing file should fail at read time")
+	}
+	// Malformed rows are reported with their line number.
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	os.WriteFile(path, []byte("only|three|cols\n"), 0o644)
+	ds, _ = NewDataset(accessLogType(), "localfs", map[string]string{"path": path, "delimiter": "|"})
+	if _, err := ds.ReadAll(); err == nil {
+		t.Error("short row should fail")
+	}
+}

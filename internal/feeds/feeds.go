@@ -1,0 +1,210 @@
+// Package feeds implements AsterixDB's data feeds (Sections 2.4 and 4.5 of
+// the paper): continuous ingestion of external data into stored datasets via
+// an intake → compute → store pipeline. The intake stage runs a feed adaptor
+// (socket or in-process generator), the compute stage optionally applies a
+// user-defined function to each record, and the store stage inserts records
+// into the target dataset and its secondary indexes. A feed joint taps the
+// pipeline so secondary feeds can subscribe to the same flow.
+package feeds
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/storage"
+)
+
+// Adaptor produces records from an external source. Run must emit records
+// until the context is cancelled or the source is exhausted.
+type Adaptor interface {
+	Run(ctx context.Context, emit func(*adm.Record) error) error
+}
+
+// SocketAdaptor listens on a TCP address and parses one ADM record per line
+// pushed by external clients (the paper's socket_adaptor).
+type SocketAdaptor struct {
+	Address string
+
+	mu       sync.Mutex
+	listener net.Listener
+}
+
+// Addr returns the address the adaptor is actually listening on (useful when
+// Address requested port 0).
+func (a *SocketAdaptor) Addr() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.listener != nil {
+		return a.listener.Addr().String()
+	}
+	return a.Address
+}
+
+// Run implements Adaptor.
+func (a *SocketAdaptor) Run(ctx context.Context, emit func(*adm.Record) error) error {
+	ln, err := net.Listen("tcp", a.Address)
+	if err != nil {
+		return fmt.Errorf("feeds: socket adaptor: %w", err)
+	}
+	a.mu.Lock()
+	a.listener = ln
+	a.mu.Unlock()
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if err := a.consume(conn, emit); err != nil {
+			return err
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+	}
+}
+
+func (a *SocketAdaptor) consume(conn net.Conn, emit func(*adm.Record) error) error {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if line == "" {
+			continue
+		}
+		v, err := adm.Parse(line)
+		if err != nil {
+			// Malformed records are dropped, not fatal: a feed must survive
+			// bad input from external sources.
+			continue
+		}
+		rec, ok := v.(*adm.Record)
+		if !ok {
+			continue
+		}
+		if err := emit(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GeneratorAdaptor emits records from an in-process channel; used by tests,
+// benchmarks and the feed ingestion example as the substitute for a live
+// firehose (see DESIGN.md's substitution table).
+type GeneratorAdaptor struct {
+	Records <-chan *adm.Record
+}
+
+// Run implements Adaptor.
+func (g *GeneratorAdaptor) Run(ctx context.Context, emit func(*adm.Record) error) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case rec, ok := <-g.Records:
+			if !ok {
+				return nil
+			}
+			if err := emit(rec); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Pipeline is a running feed ingestion pipeline connecting an adaptor to a
+// dataset.
+type Pipeline struct {
+	Feed    string
+	Dataset *storage.Dataset
+	// Apply is the optional per-record pre-processing UDF of the compute
+	// stage; returning nil drops the record.
+	Apply func(*adm.Record) (*adm.Record, error)
+
+	adaptor  Adaptor
+	cancel   context.CancelFunc
+	done     chan struct{}
+	ingested atomic.Int64
+	dropped  atomic.Int64
+
+	mu          sync.Mutex
+	subscribers []func(*adm.Record)
+	runErr      error
+}
+
+// Connect starts the ingestion pipeline (the evaluation of a "connect feed"
+// statement).
+func Connect(feed string, adaptor Adaptor, dataset *storage.Dataset, apply func(*adm.Record) (*adm.Record, error)) *Pipeline {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pipeline{Feed: feed, Dataset: dataset, Apply: apply, adaptor: adaptor, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		err := adaptor.Run(ctx, p.ingest)
+		p.mu.Lock()
+		p.runErr = err
+		p.mu.Unlock()
+	}()
+	return p
+}
+
+// ingest is the intake→compute→store path for one record.
+func (p *Pipeline) ingest(rec *adm.Record) error {
+	// Compute stage.
+	if p.Apply != nil {
+		out, err := p.Apply(rec)
+		if err != nil || out == nil {
+			p.dropped.Add(1)
+			return nil
+		}
+		rec = out
+	}
+	// Feed joint: secondary feeds observe the record before the store stage.
+	p.mu.Lock()
+	subs := append([]func(*adm.Record){}, p.subscribers...)
+	p.mu.Unlock()
+	for _, s := range subs {
+		s(rec)
+	}
+	// Store stage.
+	if err := p.Dataset.Insert(rec); err != nil {
+		p.dropped.Add(1)
+		return nil
+	}
+	p.ingested.Add(1)
+	return nil
+}
+
+// Subscribe registers a feed joint subscriber (a secondary feed).
+func (p *Pipeline) Subscribe(fn func(*adm.Record)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.subscribers = append(p.subscribers, fn)
+}
+
+// Ingested returns the number of records stored so far.
+func (p *Pipeline) Ingested() int64 { return p.ingested.Load() }
+
+// Dropped returns the number of records rejected by the compute or store stage.
+func (p *Pipeline) Dropped() int64 { return p.dropped.Load() }
+
+// Disconnect stops the pipeline and waits for it to drain.
+func (p *Pipeline) Disconnect() error {
+	p.cancel()
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.runErr
+}

@@ -1,0 +1,117 @@
+package feeds
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/storage"
+	"asterixdb/internal/workload"
+)
+
+func newDataset(t *testing.T) *storage.Dataset {
+	t.Helper()
+	m, err := storage.NewManager(t.TempDir(), storage.Options{Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	ds, err := m.CreateDataset(storage.DatasetSpec{
+		Name: "MugshotMessages", Type: workload.MessageType(), PrimaryKey: []string{"message-id"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not met before deadline")
+}
+
+func TestGeneratorFeedPipeline(t *testing.T) {
+	ds := newDataset(t)
+	gen := workload.New(workload.Config{Users: 10, Messages: 100, Seed: 1})
+	ch := make(chan *adm.Record)
+	pipeline := Connect("gen_feed", &GeneratorAdaptor{Records: ch}, ds, nil)
+	var tapped int
+	pipeline.Subscribe(func(*adm.Record) { tapped++ })
+	go func() {
+		for _, rec := range gen.Messages() {
+			ch <- rec
+		}
+		close(ch)
+	}()
+	waitFor(t, func() bool { return pipeline.Ingested() == 100 })
+	if err := pipeline.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	count, _ := ds.Count()
+	if count != 100 {
+		t.Errorf("dataset has %d records", count)
+	}
+	if tapped != 100 {
+		t.Errorf("feed joint tapped %d records", tapped)
+	}
+}
+
+func TestComputeStageDropsRecords(t *testing.T) {
+	ds := newDataset(t)
+	gen := workload.New(workload.Config{Users: 10, Messages: 50, Seed: 2})
+	ch := make(chan *adm.Record, 50)
+	// The compute UDF drops records with odd message ids.
+	apply := func(r *adm.Record) (*adm.Record, error) {
+		if id, _ := adm.NumericAsInt64(r.Get("message-id")); id%2 == 1 {
+			return nil, nil
+		}
+		return r, nil
+	}
+	pipeline := Connect("filtered", &GeneratorAdaptor{Records: ch}, ds, apply)
+	for _, rec := range gen.Messages() {
+		ch <- rec
+	}
+	close(ch)
+	waitFor(t, func() bool { return pipeline.Ingested()+pipeline.Dropped() == 50 })
+	pipeline.Disconnect()
+	if pipeline.Ingested() != 25 || pipeline.Dropped() != 25 {
+		t.Errorf("ingested=%d dropped=%d", pipeline.Ingested(), pipeline.Dropped())
+	}
+}
+
+func TestSocketFeedPipeline(t *testing.T) {
+	ds := newDataset(t)
+	adaptor := &SocketAdaptor{Address: "127.0.0.1:0"}
+	pipeline := Connect("socket_feed", adaptor, ds, nil)
+	waitFor(t, func() bool { return adaptor.Addr() != "127.0.0.1:0" })
+
+	conn, err := net.Dial("tcp", adaptor.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.New(workload.Config{Users: 10, Messages: 30, Seed: 4})
+	for _, rec := range gen.Messages() {
+		fmt.Fprintln(conn, rec.String())
+	}
+	// A malformed line must be dropped without killing the pipeline.
+	fmt.Fprintln(conn, "this is not an ADM record {{{")
+	conn.Close()
+
+	waitFor(t, func() bool { return pipeline.Ingested() == 30 })
+	if err := pipeline.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	count, _ := ds.Count()
+	if count != 30 {
+		t.Errorf("dataset has %d records", count)
+	}
+}

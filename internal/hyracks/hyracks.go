@@ -1,0 +1,600 @@
+// Package hyracks implements a data-parallel dataflow runtime modelled on the
+// Hyracks layer of the Asterix software stack (Section 4.1 of the paper).
+// Jobs are DAGs of Operators and Connectors; Operators expand into Activities
+// whose blocking edges partition the job into Stages; each Stage runs its
+// operator instances (one per partition) in parallel and Connectors
+// redistribute tuples between them.
+package hyracks
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"asterixdb/internal/adm"
+)
+
+// Tuple is one row flowing between operators: a fixed-width slice of ADM
+// values whose column meaning is established by the producing operator.
+type Tuple []adm.Value
+
+// ConnectorKind enumerates the connector types Hyracks provides.
+type ConnectorKind string
+
+// The six connector kinds listed in Section 4.1.
+const (
+	OneToOne                   ConnectorKind = "OneToOneConnector"
+	MToNPartitioning           ConnectorKind = "MToNPartitioningConnector"
+	MToNReplicating            ConnectorKind = "MToNReplicatingConnector"
+	MToNPartitioningMerging    ConnectorKind = "MToNPartitioningMergingConnector"
+	LocalityAwareMToNPartition ConnectorKind = "LocalityAwareMToNPartitioningConnector"
+	HashPartitioningShuffle    ConnectorKind = "HashPartitioningShuffleConnector"
+)
+
+// Operator is one node of a Hyracks job DAG. Implementations consume their
+// input partitions and produce output partitions; blocking operators consume
+// all input before emitting (which introduces a Stage boundary).
+type Operator interface {
+	// Name identifies the operator in EXPLAIN output and the Figure 6 test.
+	Name() string
+	// Parallelism is the number of instances evaluated in parallel.
+	Parallelism() int
+	// Blocking reports whether the operator must consume all of its input
+	// before producing any output (e.g. sort, the build side of a hash join,
+	// a global aggregate).
+	Blocking() bool
+	// Run executes one instance of the operator for the given partition. The
+	// input channel is nil for source operators; the emit function forwards a
+	// tuple downstream.
+	Run(partition int, in <-chan Tuple, emit func(Tuple)) error
+}
+
+// Connector routes tuples from a producer operator to a consumer operator.
+type Connector struct {
+	Kind ConnectorKind
+	// HashColumns selects the columns hashed by partitioning connectors.
+	HashColumns []int
+}
+
+// Edge wires the output of one operator to the input of another through a
+// connector.
+type Edge struct {
+	From      int // operator index
+	To        int // operator index
+	Connector Connector
+}
+
+// Job is a DAG of operators and connectors, the unit Hyracks accepts for
+// execution.
+type Job struct {
+	Operators []Operator
+	Edges     []Edge
+}
+
+// Add appends an operator and returns its index.
+func (j *Job) Add(op Operator) int {
+	j.Operators = append(j.Operators, op)
+	return len(j.Operators) - 1
+}
+
+// Connect wires from -> to with the given connector.
+func (j *Job) Connect(from, to int, c Connector) {
+	j.Edges = append(j.Edges, Edge{From: from, To: to, Connector: c})
+}
+
+// Describe renders the job in a compact textual form (one operator per line,
+// bottom-up, with the connector that feeds its consumer), the format asserted
+// by the Figure 6 test and printed by EXPLAIN.
+func (j *Job) Describe() string {
+	var sb strings.Builder
+	for i, op := range j.Operators {
+		sb.WriteString(op.Name())
+		for _, e := range j.Edges {
+			if e.From == i {
+				fmt.Fprintf(&sb, "  --%s-->  %s", e.Connector.Kind, j.Operators[e.To].Name())
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Stages partitions the job's operators into stages separated by blocking
+// operators: a stage can start only after the stages producing its blocked
+// inputs have completed. The returned slices contain operator indexes in
+// topological order.
+func (j *Job) Stages() ([][]int, error) {
+	order, err := j.topoOrder()
+	if err != nil {
+		return nil, err
+	}
+	stageOf := make([]int, len(j.Operators))
+	for _, idx := range order {
+		stage := 0
+		for _, e := range j.Edges {
+			if e.To != idx {
+				continue
+			}
+			s := stageOf[e.From]
+			// A blocking consumer starts a new stage after its producers.
+			if j.Operators[idx].Blocking() {
+				s++
+			}
+			if s > stage {
+				stage = s
+			}
+		}
+		stageOf[idx] = stage
+	}
+	maxStage := 0
+	for _, s := range stageOf {
+		if s > maxStage {
+			maxStage = s
+		}
+	}
+	stages := make([][]int, maxStage+1)
+	for _, idx := range order {
+		stages[stageOf[idx]] = append(stages[stageOf[idx]], idx)
+	}
+	return stages, nil
+}
+
+func (j *Job) topoOrder() ([]int, error) {
+	indeg := make([]int, len(j.Operators))
+	for _, e := range j.Edges {
+		indeg[e.To]++
+	}
+	var queue []int
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	sort.Ints(queue)
+	var order []int
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		order = append(order, n)
+		for _, e := range j.Edges {
+			if e.From == n {
+				indeg[e.To]--
+				if indeg[e.To] == 0 {
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	if len(order) != len(j.Operators) {
+		return nil, fmt.Errorf("hyracks: job graph has a cycle")
+	}
+	return order, nil
+}
+
+// Execute runs the job and returns the tuples emitted by sink operators
+// (operators with no outgoing edge), gathered across their partitions.
+// Each operator instance runs in its own goroutine; connectors are
+// implemented as channel fan-out/fan-in with hash partitioning, replication
+// or merging as requested.
+func Execute(job *Job) ([]Tuple, error) {
+	if _, err := job.Stages(); err != nil {
+		return nil, err
+	}
+	// Channels feeding each operator instance.
+	inputs := make([][]chan Tuple, len(job.Operators))
+	producerCount := make([]int, len(job.Operators))
+	for i, op := range job.Operators {
+		inputs[i] = make([]chan Tuple, op.Parallelism())
+		for p := range inputs[i] {
+			inputs[i][p] = make(chan Tuple, 1024)
+		}
+	}
+	for _, e := range job.Edges {
+		producerCount[e.To] += job.Operators[e.From].Parallelism()
+	}
+
+	var mu sync.Mutex
+	var results []Tuple
+	var firstErr error
+	recordErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	// remaining producers per consumer; when it reaches zero the consumer's
+	// input channels are closed.
+	remaining := make([]int, len(job.Operators))
+	copy(remaining, producerCount)
+	var remainingMu sync.Mutex
+	producerDone := func(consumer int) {
+		remainingMu.Lock()
+		remaining[consumer]--
+		if remaining[consumer] == 0 {
+			for _, ch := range inputs[consumer] {
+				close(ch)
+			}
+		}
+		remainingMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	for opIdx, op := range job.Operators {
+		outEdges := outgoing(job, opIdx)
+		for p := 0; p < op.Parallelism(); p++ {
+			wg.Add(1)
+			go func(opIdx, p int, op Operator, outEdges []Edge) {
+				defer wg.Done()
+				emit := func(t Tuple) {
+					if len(outEdges) == 0 {
+						mu.Lock()
+						results = append(results, t)
+						mu.Unlock()
+						return
+					}
+					for _, e := range outEdges {
+						routeTuple(job, e, p, t, inputs[e.To])
+					}
+				}
+				var in <-chan Tuple
+				if producerCount[opIdx] > 0 {
+					in = inputs[opIdx][p]
+				}
+				if err := op.Run(p, in, emit); err != nil {
+					recordErr(err)
+					// Drain the input so producers do not block forever.
+					if in != nil {
+						for range in {
+						}
+					}
+				}
+				for _, e := range outEdges {
+					producerDone(e.To)
+				}
+			}(opIdx, p, op, outEdges)
+		}
+	}
+	wg.Wait()
+	return results, firstErr
+}
+
+func outgoing(job *Job, op int) []Edge {
+	var out []Edge
+	for _, e := range job.Edges {
+		if e.From == op {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// routeTuple applies the edge's connector semantics to deliver a tuple from
+// producer partition p to the consumer's input channels.
+func routeTuple(job *Job, e Edge, producerPartition int, t Tuple, consumers []chan Tuple) {
+	switch e.Connector.Kind {
+	case OneToOne, LocalityAwareMToNPartition:
+		consumers[producerPartition%len(consumers)] <- t
+	case MToNReplicating:
+		for _, ch := range consumers {
+			ch <- t
+		}
+	case MToNPartitioning, HashPartitioningShuffle, MToNPartitioningMerging:
+		h := fnv.New32a()
+		for _, col := range e.Connector.HashColumns {
+			if col < len(t) {
+				h.Write(adm.EncodeKey(nil, t[col]))
+			}
+		}
+		consumers[int(h.Sum32())%len(consumers)] <- t
+	default:
+		consumers[producerPartition%len(consumers)] <- t
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Operator library
+//
+// Hyracks provides a library of operators (the paper counts 53); the subset
+// below covers what AQL physical plans need: source scans, select, assign
+// (projection / expression evaluation), sort, limit, hash group/aggregate,
+// local and global aggregation, nested-loop and hash joins, and index search
+// descriptors used by compiled access paths.
+// ----------------------------------------------------------------------------
+
+// SourceOp produces tuples from a per-partition source function.
+type SourceOp struct {
+	Label      string
+	Partitions int
+	// Produce is called once per partition and must call emit for every tuple.
+	Produce func(partition int, emit func(Tuple)) error
+}
+
+// Name implements Operator.
+func (o *SourceOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *SourceOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *SourceOp) Blocking() bool { return false }
+
+// Run implements Operator.
+func (o *SourceOp) Run(partition int, _ <-chan Tuple, emit func(Tuple)) error {
+	return o.Produce(partition, emit)
+}
+
+// SelectOp filters tuples by a predicate.
+type SelectOp struct {
+	Label      string
+	Partitions int
+	Pred       func(Tuple) (bool, error)
+}
+
+// Name implements Operator.
+func (o *SelectOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *SelectOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *SelectOp) Blocking() bool { return false }
+
+// Run implements Operator.
+func (o *SelectOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
+	for t := range in {
+		ok, err := o.Pred(t)
+		if err != nil {
+			return err
+		}
+		if ok {
+			emit(t)
+		}
+	}
+	return nil
+}
+
+// AssignOp maps each input tuple to an output tuple (projection or computed
+// columns).
+type AssignOp struct {
+	Label      string
+	Partitions int
+	Fn         func(Tuple) (Tuple, error)
+}
+
+// Name implements Operator.
+func (o *AssignOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *AssignOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *AssignOp) Blocking() bool { return false }
+
+// Run implements Operator.
+func (o *AssignOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
+	for t := range in {
+		out, err := o.Fn(t)
+		if err != nil {
+			return err
+		}
+		if out != nil {
+			emit(out)
+		}
+	}
+	return nil
+}
+
+// SortOp sorts its input by the given columns (all ascending unless Desc).
+type SortOp struct {
+	Label      string
+	Partitions int
+	Columns    []int
+	Desc       []bool
+}
+
+// Name implements Operator.
+func (o *SortOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *SortOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *SortOp) Blocking() bool { return true }
+
+// Run implements Operator.
+func (o *SortOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
+	var rows []Tuple
+	for t := range in {
+		rows = append(rows, t)
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, col := range o.Columns {
+			c, err := adm.Compare(rows[i][col], rows[j][col])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if len(o.Desc) > k && o.Desc[k] {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	for _, t := range rows {
+		emit(t)
+	}
+	return nil
+}
+
+// LimitOp forwards at most N tuples (per instance; plans constrain it to a
+// single partition for a global limit).
+type LimitOp struct {
+	Label      string
+	Partitions int
+	N          int
+}
+
+// Name implements Operator.
+func (o *LimitOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *LimitOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *LimitOp) Blocking() bool { return false }
+
+// Run implements Operator.
+func (o *LimitOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
+	n := 0
+	for t := range in {
+		if n < o.N {
+			emit(t)
+			n++
+		}
+		// keep draining so upstream operators do not block
+	}
+	return nil
+}
+
+// AggregateOp folds its entire input into a single output tuple. Used for
+// both the Local and Global halves of the aggregation split in Figure 6.
+type AggregateOp struct {
+	Label      string
+	Partitions int
+	// Fold receives every input tuple of the partition and returns the
+	// aggregate tuple to emit.
+	Fold func(rows []Tuple) (Tuple, error)
+}
+
+// Name implements Operator.
+func (o *AggregateOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *AggregateOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *AggregateOp) Blocking() bool { return true }
+
+// Run implements Operator.
+func (o *AggregateOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
+	var rows []Tuple
+	for t := range in {
+		rows = append(rows, t)
+	}
+	out, err := o.Fold(rows)
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		emit(out)
+	}
+	return nil
+}
+
+// HashGroupOp groups its input by key columns and emits one tuple per group
+// produced by the Reduce function (the HashGroup operator from the paper's
+// aggregation operators).
+type HashGroupOp struct {
+	Label      string
+	Partitions int
+	KeyColumns []int
+	Reduce     func(key Tuple, rows []Tuple) (Tuple, error)
+}
+
+// Name implements Operator.
+func (o *HashGroupOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *HashGroupOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *HashGroupOp) Blocking() bool { return true }
+
+// Run implements Operator.
+func (o *HashGroupOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
+	groups := map[string][]Tuple{}
+	keys := map[string]Tuple{}
+	var order []string
+	for t := range in {
+		var kb []byte
+		key := make(Tuple, 0, len(o.KeyColumns))
+		for _, col := range o.KeyColumns {
+			kb = adm.EncodeKey(kb, t[col])
+			key = append(key, t[col])
+		}
+		ks := string(kb)
+		if _, ok := groups[ks]; !ok {
+			order = append(order, ks)
+			keys[ks] = key
+		}
+		groups[ks] = append(groups[ks], t)
+	}
+	for _, ks := range order {
+		out, err := o.Reduce(keys[ks], groups[ks])
+		if err != nil {
+			return err
+		}
+		if out != nil {
+			emit(out)
+		}
+	}
+	return nil
+}
+
+// HybridHashJoinOp joins two inputs on equality of key columns. The build
+// side is read from Build (a blocking activity); the probe side streams from
+// the operator's input channel. This mirrors the HybridHash Join operator's
+// two Activities (Join Build and Join Probe) described in Section 4.1.
+type HybridHashJoinOp struct {
+	Label      string
+	Partitions int
+	// Build produces the build-side tuples for this partition.
+	Build func(partition int, emit func(Tuple)) error
+	// BuildKey / ProbeKey extract the join keys.
+	BuildKey func(Tuple) adm.Value
+	ProbeKey func(Tuple) adm.Value
+	// Combine merges a probe tuple with a matching build tuple.
+	Combine func(probe, build Tuple) Tuple
+}
+
+// Name implements Operator.
+func (o *HybridHashJoinOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *HybridHashJoinOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *HybridHashJoinOp) Blocking() bool { return true }
+
+// Run implements Operator.
+func (o *HybridHashJoinOp) Run(partition int, in <-chan Tuple, emit func(Tuple)) error {
+	// Join Build activity.
+	table := map[string][]Tuple{}
+	err := o.Build(partition, func(t Tuple) {
+		k := string(adm.EncodeKey(nil, o.BuildKey(t)))
+		table[k] = append(table[k], t)
+	})
+	if err != nil {
+		return err
+	}
+	// Join Probe activity.
+	for t := range in {
+		k := string(adm.EncodeKey(nil, o.ProbeKey(t)))
+		for _, b := range table[k] {
+			emit(o.Combine(t, b))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package hyracks
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"asterixdb/internal/adm"
+)
+
+// buildScanSelectAggJob assembles a small job: a partitioned source emitting
+// integers, a select keeping even values, a per-partition local sum, and a
+// single global sum — the same local/global split shape as Figure 6.
+func buildScanSelectAggJob(partitions, perPartition int) *Job {
+	job := &Job{}
+	src := job.Add(&SourceOp{
+		Label:      "source",
+		Partitions: partitions,
+		Produce: func(p int, emit func(Tuple)) error {
+			for i := 0; i < perPartition; i++ {
+				emit(Tuple{adm.Int64(int64(p*perPartition + i))})
+			}
+			return nil
+		},
+	})
+	sel := job.Add(&SelectOp{
+		Label:      "select-even",
+		Partitions: partitions,
+		Pred:       func(t Tuple) (bool, error) { n, _ := adm.NumericAsInt64(t[0]); return n%2 == 0, nil },
+	})
+	local := job.Add(&AggregateOp{
+		Label:      "local-sum",
+		Partitions: partitions,
+		Fold: func(rows []Tuple) (Tuple, error) {
+			sum := int64(0)
+			for _, r := range rows {
+				n, _ := adm.NumericAsInt64(r[0])
+				sum += n
+			}
+			return Tuple{adm.Int64(sum)}, nil
+		},
+	})
+	global := job.Add(&AggregateOp{
+		Label:      "global-sum",
+		Partitions: 1,
+		Fold: func(rows []Tuple) (Tuple, error) {
+			sum := int64(0)
+			for _, r := range rows {
+				n, _ := adm.NumericAsInt64(r[0])
+				sum += n
+			}
+			return Tuple{adm.Int64(sum)}, nil
+		},
+	})
+	job.Connect(src, sel, Connector{Kind: OneToOne})
+	job.Connect(sel, local, Connector{Kind: OneToOne})
+	job.Connect(local, global, Connector{Kind: MToNReplicating})
+	return job
+}
+
+func TestExecuteScanSelectAggregate(t *testing.T) {
+	const partitions, per = 4, 100
+	job := buildScanSelectAggJob(partitions, per)
+	results, err := Execute(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("results = %v", results)
+	}
+	want := int64(0)
+	for i := 0; i < partitions*per; i++ {
+		if i%2 == 0 {
+			want += int64(i)
+		}
+	}
+	got, _ := adm.NumericAsInt64(results[0][0])
+	if got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestStages(t *testing.T) {
+	job := buildScanSelectAggJob(2, 10)
+	stages, err := job.Stages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// source+select in stage 0, local agg blocks (stage 1), global agg (stage 2).
+	if len(stages) != 3 {
+		t.Fatalf("stages = %v", stages)
+	}
+	if len(stages[0]) != 2 {
+		t.Errorf("stage 0 = %v", stages[0])
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	job := buildScanSelectAggJob(2, 10)
+	desc := job.Describe()
+	for _, want := range []string{"source", "select-even", "local-sum", "global-sum", "MToNReplicatingConnector"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	job := &Job{}
+	a := job.Add(&SourceOp{Label: "a", Partitions: 1, Produce: func(int, func(Tuple)) error { return nil }})
+	b := job.Add(&SelectOp{Label: "b", Partitions: 1, Pred: func(Tuple) (bool, error) { return true, nil }})
+	job.Connect(a, b, Connector{Kind: OneToOne})
+	job.Connect(b, a, Connector{Kind: OneToOne})
+	if _, err := job.Stages(); err == nil {
+		t.Error("cycle should be detected")
+	}
+	if _, err := Execute(job); err == nil {
+		t.Error("executing a cyclic job should fail")
+	}
+}
+
+func TestSortLimitAndHashGroup(t *testing.T) {
+	job := &Job{}
+	src := job.Add(&SourceOp{
+		Label: "source", Partitions: 2,
+		Produce: func(p int, emit func(Tuple)) error {
+			for i := 0; i < 50; i++ {
+				emit(Tuple{adm.Int32(int32(i % 5)), adm.Int32(int32(i))})
+			}
+			return nil
+		},
+	})
+	group := job.Add(&HashGroupOp{
+		Label: "group", Partitions: 2, KeyColumns: []int{0},
+		Reduce: func(key Tuple, rows []Tuple) (Tuple, error) {
+			return Tuple{key[0], adm.Int64(int64(len(rows)))}, nil
+		},
+	})
+	sorted := job.Add(&SortOp{Label: "sort", Partitions: 1, Columns: []int{0}})
+	limit := job.Add(&LimitOp{Label: "limit", Partitions: 1, N: 3})
+	job.Connect(src, group, Connector{Kind: MToNPartitioning, HashColumns: []int{0}})
+	job.Connect(group, sorted, Connector{Kind: MToNReplicating})
+	job.Connect(sorted, limit, Connector{Kind: OneToOne})
+	results, err := Execute(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("limit produced %d tuples", len(results))
+	}
+	// Hash partitioning on the key column means every group lands in exactly
+	// one group instance, so each group's count must be 20 (2 partitions x 10).
+	for _, r := range results {
+		n, _ := adm.NumericAsInt64(r[1])
+		if n != 20 {
+			t.Errorf("group %v count = %d, want 20", r[0], n)
+		}
+	}
+}
+
+func TestHybridHashJoin(t *testing.T) {
+	job := &Job{}
+	probe := job.Add(&SourceOp{
+		Label: "probe", Partitions: 2,
+		Produce: func(p int, emit func(Tuple)) error {
+			for i := 0; i < 10; i++ {
+				emit(Tuple{adm.Int32(int32(i))})
+			}
+			return nil
+		},
+	})
+	join := job.Add(&HybridHashJoinOp{
+		Label: "join", Partitions: 2,
+		Build: func(p int, emit func(Tuple)) error {
+			for i := 0; i < 20; i += 2 {
+				emit(Tuple{adm.Int32(int32(i)), adm.String(fmt.Sprintf("even-%d", i))})
+			}
+			return nil
+		},
+		BuildKey: func(t Tuple) adm.Value { return t[0] },
+		ProbeKey: func(t Tuple) adm.Value { return t[0] },
+		Combine:  func(probe, build Tuple) Tuple { return Tuple{probe[0], build[1]} },
+	})
+	job.Connect(probe, join, Connector{Kind: MToNPartitioning, HashColumns: []int{0}})
+	results, err := Execute(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each probe partition emits 0..9; even keys match. 2 partitions x 5 = 10.
+	if len(results) != 10 {
+		t.Errorf("join produced %d tuples, want 10", len(results))
+	}
+}
+
+func TestOperatorError(t *testing.T) {
+	job := &Job{}
+	src := job.Add(&SourceOp{
+		Label: "source", Partitions: 1,
+		Produce: func(int, func(Tuple)) error { return fmt.Errorf("boom") },
+	})
+	sink := job.Add(&AssignOp{Label: "assign", Partitions: 1, Fn: func(t Tuple) (Tuple, error) { return t, nil }})
+	job.Connect(src, sink, Connector{Kind: OneToOne})
+	if _, err := Execute(job); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("expected operator error, got %v", err)
+	}
+}

@@ -1,0 +1,118 @@
+package invidx
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestKeywordIndex(t *testing.T) {
+	ix := New(KeywordTokenizer)
+	ix.Insert([]byte("1"), "big data management systems")
+	ix.Insert([]byte("2"), "big data analytics")
+	ix.Insert([]byte("3"), "parallel database systems")
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	keys := ix.Lookup("data")
+	if len(keys) != 2 || string(keys[0]) != "1" || string(keys[1]) != "2" {
+		t.Errorf("Lookup(data) = %q", keys)
+	}
+	if got := ix.Lookup("nosuchtoken"); got != nil {
+		t.Errorf("Lookup of absent token = %q", got)
+	}
+	// Multi-token lookup is a conjunction.
+	keys = ix.Lookup("big systems")
+	if len(keys) != 1 || string(keys[0]) != "1" {
+		t.Errorf("Lookup(big systems) = %q", keys)
+	}
+	both := ix.LookupAll([]string{"data", "analytics"})
+	if len(both) != 1 || string(both[0]) != "2" {
+		t.Errorf("LookupAll = %q", both)
+	}
+	if got := ix.LookupAll(nil); got != nil {
+		t.Errorf("LookupAll(nil) = %q", got)
+	}
+}
+
+func TestLookupAny(t *testing.T) {
+	ix := New(KeywordTokenizer)
+	ix.Insert([]byte("a"), "red green blue")
+	ix.Insert([]byte("b"), "red yellow")
+	ix.Insert([]byte("c"), "purple")
+	got := ix.LookupAny([]string{"red", "green", "yellow"}, 2)
+	if len(got) != 2 {
+		t.Errorf("LookupAny(min 2) = %q", got)
+	}
+	got = ix.LookupAny([]string{"red"}, 0)
+	if len(got) != 2 {
+		t.Errorf("LookupAny with min 0 should default to 1, got %q", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix := New(KeywordTokenizer)
+	ix.Insert([]byte("1"), "hello world")
+	ix.Insert([]byte("2"), "hello asterix")
+	ix.Delete([]byte("1"), "hello world")
+	if ix.Len() != 1 {
+		t.Errorf("Len after delete = %d", ix.Len())
+	}
+	if keys := ix.Lookup("world"); keys != nil {
+		t.Errorf("Lookup(world) after delete = %q", keys)
+	}
+	if keys := ix.Lookup("hello"); len(keys) != 1 || string(keys[0]) != "2" {
+		t.Errorf("Lookup(hello) after delete = %q", keys)
+	}
+	// Deleting something that was never inserted is a no-op.
+	ix.Delete([]byte("9"), "hello")
+	if ix.Len() != 1 {
+		t.Errorf("Len after no-op delete = %d", ix.Len())
+	}
+}
+
+func TestNGramIndex(t *testing.T) {
+	ix := New(NGramTokenizer(3))
+	ix.Insert([]byte("1"), "tonight")
+	ix.Insert([]byte("2"), "tonite")
+	ix.Insert([]byte("3"), "tomorrow")
+	// Candidate generation for fuzzy search: documents sharing enough 3-grams
+	// with the probe include the true fuzzy matches.
+	probe := NGramTokenizer(3)("tonight")
+	candidates := ix.LookupAny(probe, 3)
+	found := map[string]bool{}
+	for _, c := range candidates {
+		found[string(c)] = true
+	}
+	if !found["1"] {
+		t.Error("exact match missing from candidates")
+	}
+	if !found["2"] {
+		t.Error("fuzzy match 'tonite' missing from candidates")
+	}
+	if found["3"] {
+		t.Error("'tomorrow' should not be a candidate at this threshold")
+	}
+	if ix.Tokens() == 0 {
+		t.Error("Tokens should be non-zero")
+	}
+}
+
+func TestDuplicateInsert(t *testing.T) {
+	ix := New(KeywordTokenizer)
+	ix.Insert([]byte("1"), "dup dup dup")
+	ix.Insert([]byte("1"), "dup dup dup")
+	if ix.Len() != 1 {
+		t.Errorf("Len after duplicate insert = %d", ix.Len())
+	}
+	if keys := ix.Lookup("dup"); len(keys) != 1 {
+		t.Errorf("Lookup(dup) = %q", keys)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	ix := New(KeywordTokenizer)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Insert([]byte(fmt.Sprintf("%d", i)), "the quick brown fox jumps over the lazy dog")
+	}
+}

@@ -1,0 +1,568 @@
+// Package lsm implements the Log-Structured Merge tree framework that
+// AsterixDB uses for all of its internal data storage (Section 4.3 of the
+// paper): a mutable in-memory component, immutable disk components produced
+// by flushes, antimatter (tombstone) entries for deletes, merge policies, and
+// component shadowing via a validity footer used during crash recovery.
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"asterixdb/internal/btree"
+)
+
+// Entry is a key/value pair flowing through the LSM index. Antimatter entries
+// cancel out older entries with the same key (the deferred-update form of a
+// delete).
+type Entry struct {
+	Key        []byte
+	Value      []byte
+	Antimatter bool
+}
+
+// Options configure an LSM tree.
+type Options struct {
+	// MemBudget is the in-memory component size (bytes of keys+values) that
+	// triggers a flush. Zero means DefaultMemBudget.
+	MemBudget int
+	// Policy decides when disk components are merged. Nil means a
+	// PrefixPolicy with DefaultMaxComponents.
+	Policy MergePolicy
+	// DisableWAL is unused by the lsm package itself; the transaction layer
+	// owns logging. It is carried here so storage can plumb one knob through.
+	DisableWAL bool
+}
+
+// DefaultMemBudget is the default in-memory component budget (256 KiB — small
+// enough that tests and benchmarks exercise flushes and merges).
+const DefaultMemBudget = 256 << 10
+
+// DefaultMaxComponents is the default disk-component count threshold used by
+// the prefix merge policy.
+const DefaultMaxComponents = 5
+
+// Tree is an LSM-ified B+-tree index over bytewise-ordered keys. It is the
+// structure behind every primary index and secondary B+-tree index in the
+// storage layer. Callers must serialize mutating operations per Tree (the
+// storage layer holds a per-partition latch, mirroring the paper's
+// index-operation latches).
+type Tree struct {
+	dir     string
+	opts    Options
+	mem     *btree.Tree
+	disk    []*diskComponent // newest first
+	nextID  int
+	flushes int
+	merges  int
+}
+
+// diskComponent is an immutable, sorted run of entries persisted to a file.
+// For search it is held in memory; the file exists so recovery and the
+// validity-bit shadowing protocol behave as described in the paper.
+type diskComponent struct {
+	id      int
+	path    string
+	entries []Entry // sorted by key, one entry per key
+}
+
+// Open creates or reopens an LSM tree rooted at dir. Disk components without
+// a validity footer (from a crashed flush or merge) are removed, exactly as
+// the paper's shadowing-based recovery prescribes.
+func Open(dir string, opts Options) (*Tree, error) {
+	if opts.MemBudget <= 0 {
+		opts.MemBudget = DefaultMemBudget
+	}
+	if opts.Policy == nil {
+		opts.Policy = PrefixPolicy{MaxComponents: DefaultMaxComponents}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: open %s: %w", dir, err)
+	}
+	t := &Tree{dir: dir, opts: opts, mem: btree.New()}
+	names, err := filepath.Glob(filepath.Join(dir, "component-*.lsm"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		comp, err := loadComponent(name)
+		if err != nil {
+			// An invalid component is the residue of an unfinished flush or
+			// merge; remove it and continue.
+			os.Remove(name)
+			continue
+		}
+		// Newest first: higher ids were written later.
+		t.disk = append([]*diskComponent{comp}, t.disk...)
+		if comp.id >= t.nextID {
+			t.nextID = comp.id + 1
+		}
+	}
+	return t, nil
+}
+
+// Dir returns the directory holding this tree's disk components.
+func (t *Tree) Dir() string { return t.dir }
+
+// Insert upserts a key/value pair.
+func (t *Tree) Insert(key, value []byte) error {
+	t.mem.Put(append([]byte(nil), key...), encodeMemValue(value, false))
+	return t.maybeFlush()
+}
+
+// Delete writes an antimatter entry for key.
+func (t *Tree) Delete(key []byte) error {
+	t.mem.Put(append([]byte(nil), key...), encodeMemValue(nil, true))
+	return t.maybeFlush()
+}
+
+// Get returns the newest value for key, reporting false when the key is
+// absent or deleted.
+func (t *Tree) Get(key []byte) ([]byte, bool) {
+	if raw, ok := t.mem.Get(key); ok {
+		val, anti := decodeMemValue(raw)
+		if anti {
+			return nil, false
+		}
+		return val, true
+	}
+	for _, c := range t.disk {
+		if e, ok := c.get(key); ok {
+			if e.Antimatter {
+				return nil, false
+			}
+			return e.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Range visits live entries with lo <= key <= hi in key order. Either bound
+// may be nil to leave that side open.
+func (t *Tree) Range(lo, hi []byte, visit func(key, value []byte) bool) {
+	// Collect per-component iterfor merging: newest component wins per key.
+	type cursor struct {
+		entries []Entry
+		pos     int
+		rank    int // 0 = newest
+	}
+	var cursors []*cursor
+
+	var memEntries []Entry
+	t.mem.Range(lo, hi, func(e btree.Entry) bool {
+		val, anti := decodeMemValue(e.Value)
+		memEntries = append(memEntries, Entry{Key: e.Key, Value: val, Antimatter: anti})
+		return true
+	})
+	cursors = append(cursors, &cursor{entries: memEntries, rank: 0})
+	for i, c := range t.disk {
+		cursors = append(cursors, &cursor{entries: c.slice(lo, hi), rank: i + 1})
+	}
+
+	for {
+		// Find the smallest key among cursors; among equal keys the lowest
+		// rank (newest) wins and the rest are skipped.
+		var bestKey []byte
+		for _, c := range cursors {
+			if c.pos >= len(c.entries) {
+				continue
+			}
+			k := c.entries[c.pos].Key
+			if bestKey == nil || bytes.Compare(k, bestKey) < 0 {
+				bestKey = k
+			}
+		}
+		if bestKey == nil {
+			return
+		}
+		var winner *Entry
+		for _, c := range cursors {
+			if c.pos < len(c.entries) && bytes.Equal(c.entries[c.pos].Key, bestKey) {
+				if winner == nil {
+					winner = &c.entries[c.pos]
+				}
+				c.pos++
+			}
+		}
+		if winner != nil && !winner.Antimatter {
+			if !visit(winner.Key, winner.Value) {
+				return
+			}
+		}
+	}
+}
+
+// Scan visits every live entry in key order.
+func (t *Tree) Scan(visit func(key, value []byte) bool) { t.Range(nil, nil, visit) }
+
+// Len returns the number of live entries (it performs a scan; intended for
+// tests and statistics, not hot paths).
+func (t *Tree) Len() int {
+	n := 0
+	t.Scan(func(_, _ []byte) bool { n++; return true })
+	return n
+}
+
+// Components returns the number of disk components currently on disk.
+func (t *Tree) Components() int { return len(t.disk) }
+
+// Flushes and Merges report lifetime operation counts (used by ablation
+// benchmarks and tests).
+func (t *Tree) Flushes() int { return t.flushes }
+
+// Merges reports how many merge operations the tree has performed.
+func (t *Tree) Merges() int { return t.merges }
+
+// MemBytes returns the current in-memory component footprint.
+func (t *Tree) MemBytes() int { return t.mem.Bytes() }
+
+func (t *Tree) maybeFlush() error {
+	if t.mem.Bytes() < t.opts.MemBudget {
+		return nil
+	}
+	return t.Flush()
+}
+
+// Flush writes the in-memory component to a new disk component and clears it.
+// The component becomes visible (valid) only after its validity footer is
+// written, implementing the paper's shadowing protocol.
+func (t *Tree) Flush() error {
+	if t.mem.Len() == 0 {
+		return nil
+	}
+	entries := make([]Entry, 0, t.mem.Len())
+	t.mem.Scan(func(e btree.Entry) bool {
+		val, anti := decodeMemValue(e.Value)
+		entries = append(entries, Entry{Key: e.Key, Value: val, Antimatter: anti})
+		return true
+	})
+	comp, err := t.writeComponent(entries)
+	if err != nil {
+		return err
+	}
+	t.disk = append([]*diskComponent{comp}, t.disk...)
+	t.mem = btree.New()
+	t.flushes++
+	return t.maybeMerge()
+}
+
+func (t *Tree) maybeMerge() error {
+	pick := t.opts.Policy.PickMerge(t.componentSizes())
+	if len(pick) < 2 {
+		return nil
+	}
+	return t.mergeComponents(pick)
+}
+
+// componentSizes lists the entry counts of disk components, newest first.
+func (t *Tree) componentSizes() []int {
+	sizes := make([]int, len(t.disk))
+	for i, c := range t.disk {
+		sizes[i] = len(c.entries)
+	}
+	return sizes
+}
+
+// Merge merges all disk components into one (a full merge).
+func (t *Tree) Merge() error {
+	if len(t.disk) < 2 {
+		return nil
+	}
+	all := make([]int, len(t.disk))
+	for i := range all {
+		all[i] = i
+	}
+	return t.mergeComponents(all)
+}
+
+// mergeComponents merges the disk components at the given indexes (which must
+// be contiguous and ordered newest-first) into a single new component.
+func (t *Tree) mergeComponents(indexes []int) error {
+	sort.Ints(indexes)
+	picked := make([]*diskComponent, len(indexes))
+	for i, idx := range indexes {
+		if idx < 0 || idx >= len(t.disk) {
+			return fmt.Errorf("lsm: merge index %d out of range", idx)
+		}
+		picked[i] = t.disk[idx]
+	}
+	merged := mergeEntries(picked)
+	// Antimatter entries can be dropped entirely when the merge includes the
+	// oldest component (nothing older remains to cancel).
+	includesOldest := indexes[len(indexes)-1] == len(t.disk)-1
+	if includesOldest {
+		live := merged[:0]
+		for _, e := range merged {
+			if !e.Antimatter {
+				live = append(live, e)
+			}
+		}
+		merged = live
+	}
+	comp, err := t.writeComponent(merged)
+	if err != nil {
+		return err
+	}
+	var newDisk []*diskComponent
+	replaced := false
+	pickedSet := map[int]bool{}
+	for _, idx := range indexes {
+		pickedSet[idx] = true
+	}
+	for i, c := range t.disk {
+		if pickedSet[i] {
+			if !replaced {
+				newDisk = append(newDisk, comp)
+				replaced = true
+			}
+			os.Remove(c.path)
+			continue
+		}
+		newDisk = append(newDisk, c)
+	}
+	t.disk = newDisk
+	t.merges++
+	return nil
+}
+
+// mergeEntries merges sorted runs; for duplicate keys the entry from the
+// newest component (lowest slice index) wins.
+func mergeEntries(comps []*diskComponent) []Entry {
+	var out []Entry
+	pos := make([]int, len(comps))
+	for {
+		var bestKey []byte
+		for i, c := range comps {
+			if pos[i] >= len(c.entries) {
+				continue
+			}
+			k := c.entries[pos[i]].Key
+			if bestKey == nil || bytes.Compare(k, bestKey) < 0 {
+				bestKey = k
+			}
+		}
+		if bestKey == nil {
+			return out
+		}
+		taken := false
+		for i, c := range comps {
+			if pos[i] < len(c.entries) && bytes.Equal(c.entries[pos[i]].Key, bestKey) {
+				if !taken {
+					out = append(out, c.entries[pos[i]])
+					taken = true
+				}
+				pos[i]++
+			}
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Disk component format
+// ----------------------------------------------------------------------------
+
+// validityMagic is the footer written after a component's entries; a file
+// without it is treated as garbage from an interrupted flush/merge.
+var validityMagic = []byte("LSMVALID")
+
+func (t *Tree) writeComponent(entries []Entry) (*diskComponent, error) {
+	id := t.nextID
+	t.nextID++
+	path := filepath.Join(t.dir, fmt.Sprintf("component-%08d.lsm", id))
+	var buf bytes.Buffer
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+	writeUvarint(uint64(len(entries)))
+	for _, e := range entries {
+		flag := byte(0)
+		if e.Antimatter {
+			flag = 1
+		}
+		buf.WriteByte(flag)
+		writeUvarint(uint64(len(e.Key)))
+		buf.Write(e.Key)
+		writeUvarint(uint64(len(e.Value)))
+		buf.Write(e.Value)
+	}
+	buf.Write(validityMagic)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return nil, fmt.Errorf("lsm: write component: %w", err)
+	}
+	return &diskComponent{id: id, path: path, entries: entries}, nil
+}
+
+func loadComponent(path string) (*diskComponent, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(validityMagic) || !bytes.Equal(data[len(data)-len(validityMagic):], validityMagic) {
+		return nil, fmt.Errorf("lsm: component %s has no validity footer", path)
+	}
+	data = data[:len(data)-len(validityMagic)]
+	rd := bytes.NewReader(data)
+	count, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, err
+	}
+	entries := make([]Entry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		flag, err := rd.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		key, err := readBlob(rd)
+		if err != nil {
+			return nil, err
+		}
+		val, err := readBlob(rd)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, Entry{Key: key, Value: val, Antimatter: flag == 1})
+	}
+	var id int
+	base := filepath.Base(path)
+	fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(base, "component-"), ".lsm"), "%d", &id)
+	return &diskComponent{id: id, path: path, entries: entries}, nil
+}
+
+func readBlob(rd *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(rd)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	if _, err := rd.Read(out); err != nil && n > 0 {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *diskComponent) get(key []byte) (Entry, bool) {
+	i := sort.Search(len(c.entries), func(i int) bool { return bytes.Compare(c.entries[i].Key, key) >= 0 })
+	if i < len(c.entries) && bytes.Equal(c.entries[i].Key, key) {
+		return c.entries[i], true
+	}
+	return Entry{}, false
+}
+
+func (c *diskComponent) slice(lo, hi []byte) []Entry {
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(c.entries), func(i int) bool { return bytes.Compare(c.entries[i].Key, lo) >= 0 })
+	}
+	end := len(c.entries)
+	if hi != nil {
+		end = sort.Search(len(c.entries), func(i int) bool { return bytes.Compare(c.entries[i].Key, hi) > 0 })
+	}
+	if start > end {
+		return nil
+	}
+	return c.entries[start:end]
+}
+
+// encodeMemValue packs the antimatter flag with the value inside the
+// in-memory B+-tree.
+func encodeMemValue(value []byte, antimatter bool) []byte {
+	flag := byte(0)
+	if antimatter {
+		flag = 1
+	}
+	out := make([]byte, 1+len(value))
+	out[0] = flag
+	copy(out[1:], value)
+	return out
+}
+
+func decodeMemValue(raw []byte) (value []byte, antimatter bool) {
+	if len(raw) == 0 {
+		return nil, false
+	}
+	return raw[1:], raw[0] == 1
+}
+
+// ----------------------------------------------------------------------------
+// Merge policies
+// ----------------------------------------------------------------------------
+
+// MergePolicy decides which disk components to merge after a flush.
+// The input is the entry count of each disk component, newest first; the
+// output is the indexes to merge (fewer than two means "no merge").
+type MergePolicy interface {
+	PickMerge(sizes []int) []int
+}
+
+// ConstantPolicy merges all disk components whenever their count exceeds K —
+// the "constant" merge policy from the AsterixDB storage paper.
+type ConstantPolicy struct{ K int }
+
+// PickMerge implements MergePolicy.
+func (p ConstantPolicy) PickMerge(sizes []int) []int {
+	k := p.K
+	if k <= 0 {
+		k = DefaultMaxComponents
+	}
+	if len(sizes) <= k {
+		return nil
+	}
+	all := make([]int, len(sizes))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// PrefixPolicy merges the newest run of "small" components when there are
+// more than MaxComponents of them, approximating AsterixDB's prefix merge
+// policy: older, larger components are left alone.
+type PrefixPolicy struct {
+	// MaxComponents is the number of small components tolerated before a
+	// merge is triggered.
+	MaxComponents int
+	// MaxEntriesPerMerge bounds how large a component this policy will touch;
+	// zero means 4x the smallest component sum heuristic is skipped and all
+	// prefix components are eligible.
+	MaxEntriesPerMerge int
+}
+
+// PickMerge implements MergePolicy.
+func (p PrefixPolicy) PickMerge(sizes []int) []int {
+	maxComp := p.MaxComponents
+	if maxComp <= 0 {
+		maxComp = DefaultMaxComponents
+	}
+	if len(sizes) <= maxComp {
+		return nil
+	}
+	limit := p.MaxEntriesPerMerge
+	var pick []int
+	total := 0
+	for i, sz := range sizes {
+		if limit > 0 && total+sz > limit && len(pick) >= 2 {
+			break
+		}
+		pick = append(pick, i)
+		total += sz
+	}
+	if len(pick) < 2 {
+		return nil
+	}
+	return pick
+}
+
+// NoMergePolicy never merges; used by ablation benchmarks to show unchecked
+// component accumulation.
+type NoMergePolicy struct{}
+
+// PickMerge implements MergePolicy.
+func (NoMergePolicy) PickMerge([]int) []int { return nil }

@@ -1,0 +1,288 @@
+package lsm
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T, opts Options) *Tree {
+	t.Helper()
+	tr, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func k(i int) []byte { return []byte(fmt.Sprintf("k%06d", i)) }
+func v(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestInsertGetAcrossFlush(t *testing.T) {
+	tr := openTemp(t, Options{MemBudget: 1 << 10})
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Flushes() == 0 {
+		t.Error("expected at least one flush with a 1KiB budget")
+	}
+	for i := 0; i < n; i++ {
+		got, ok := tr.Get(k(i))
+		if !ok || string(got) != string(v(i)) {
+			t.Fatalf("Get(%d) = %q, %v", i, got, ok)
+		}
+	}
+	if tr.Len() != n {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteAntimatter(t *testing.T) {
+	tr := openTemp(t, Options{MemBudget: 1 << 10})
+	for i := 0; i < 200; i++ {
+		tr.Insert(k(i), v(i))
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Delete after the flush: the antimatter entry lives in a newer component
+	// than the data it cancels.
+	for i := 0; i < 200; i += 2 {
+		if err := tr.Delete(k(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		_, ok := tr.Get(k(i))
+		if i%2 == 0 && ok {
+			t.Fatalf("deleted key %d still visible", i)
+		}
+		if i%2 == 1 && !ok {
+			t.Fatalf("live key %d missing", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	// Merging everything drops the antimatter.
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Components() != 1 {
+		t.Errorf("Components after full merge = %d", tr.Components())
+	}
+	if tr.Len() != 100 {
+		t.Errorf("Len after merge = %d", tr.Len())
+	}
+}
+
+func TestNewestComponentWins(t *testing.T) {
+	tr := openTemp(t, Options{MemBudget: 1 << 20})
+	tr.Insert(k(1), []byte("old"))
+	tr.Flush()
+	tr.Insert(k(1), []byte("new"))
+	tr.Flush()
+	got, ok := tr.Get(k(1))
+	if !ok || string(got) != "new" {
+		t.Errorf("Get = %q, %v", got, ok)
+	}
+	count := 0
+	tr.Scan(func(key, value []byte) bool {
+		count++
+		if string(value) != "new" {
+			t.Errorf("Scan value = %q", value)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("Scan visited %d entries", count)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tr := openTemp(t, Options{MemBudget: 2 << 10})
+	for i := 0; i < 300; i++ {
+		tr.Insert(k(i), v(i))
+	}
+	var got []string
+	tr.Range(k(100), k(109), func(key, _ []byte) bool {
+		got = append(got, string(key))
+		return true
+	})
+	if len(got) != 10 || got[0] != string(k(100)) || got[9] != string(k(109)) {
+		t.Errorf("Range = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tr.Range(nil, nil, func(_, _ []byte) bool { count++; return count < 7 })
+	if count != 7 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestRecoveryDiscardsInvalidComponents(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Open(dir, Options{MemBudget: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Insert(k(i), v(i))
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-flush: a component file without the validity
+	// footer must be discarded on reopen.
+	bad := filepath.Join(dir, "component-00000099.lsm")
+	if err := os.WriteFile(bad, []byte("partial garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Components() != 1 {
+		t.Errorf("Components after recovery = %d", tr2.Components())
+	}
+	if _, err := os.Stat(bad); !os.IsNotExist(err) {
+		t.Error("invalid component file should have been removed")
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := tr2.Get(k(i)); !ok {
+			t.Fatalf("key %d lost after recovery", i)
+		}
+	}
+}
+
+func TestReopenPreservesData(t *testing.T) {
+	dir := t.TempDir()
+	tr, _ := Open(dir, Options{MemBudget: 512})
+	for i := 0; i < 200; i++ {
+		tr.Insert(k(i), v(i))
+	}
+	tr.Flush()
+	tr2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.Len(); got != 200 {
+		t.Errorf("Len after reopen = %d", got)
+	}
+}
+
+func TestMergePolicies(t *testing.T) {
+	if pick := (ConstantPolicy{K: 3}).PickMerge([]int{10, 10}); pick != nil {
+		t.Errorf("ConstantPolicy should not merge below K: %v", pick)
+	}
+	if pick := (ConstantPolicy{K: 3}).PickMerge([]int{10, 10, 10, 10}); len(pick) != 4 {
+		t.Errorf("ConstantPolicy should merge all: %v", pick)
+	}
+	if pick := (PrefixPolicy{MaxComponents: 2}).PickMerge([]int{5, 5, 5}); len(pick) < 2 {
+		t.Errorf("PrefixPolicy should merge: %v", pick)
+	}
+	if pick := (NoMergePolicy{}).PickMerge([]int{1, 1, 1, 1, 1, 1, 1}); pick != nil {
+		t.Errorf("NoMergePolicy should never merge: %v", pick)
+	}
+}
+
+func TestMergeReducesComponents(t *testing.T) {
+	tr := openTemp(t, Options{MemBudget: 1 << 20, Policy: ConstantPolicy{K: 3}})
+	for batch := 0; batch < 5; batch++ {
+		for i := 0; i < 50; i++ {
+			tr.Insert(k(batch*50+i), v(i))
+		}
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Components() > 3+1 {
+		t.Errorf("Components = %d, merges = %d", tr.Components(), tr.Merges())
+	}
+	if tr.Merges() == 0 {
+		t.Error("expected at least one merge")
+	}
+	if tr.Len() != 250 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+}
+
+func TestNoMergePolicyAccumulatesComponents(t *testing.T) {
+	tr := openTemp(t, Options{MemBudget: 1 << 20, Policy: NoMergePolicy{}})
+	for batch := 0; batch < 8; batch++ {
+		tr.Insert(k(batch), v(batch))
+		tr.Flush()
+	}
+	if tr.Components() != 8 {
+		t.Errorf("Components = %d", tr.Components())
+	}
+}
+
+func TestPropertyLSMMatchesMap(t *testing.T) {
+	// Whatever interleaving of inserts, deletes and flushes happens, the LSM
+	// tree must agree with a plain map.
+	type op struct {
+		Key    uint8
+		Delete bool
+		Flush  bool
+	}
+	f := func(ops []op) bool {
+		dir, err := os.MkdirTemp("", "lsmprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		tr, err := Open(dir, Options{MemBudget: 256})
+		if err != nil {
+			return false
+		}
+		ref := map[string]string{}
+		for i, o := range ops {
+			key := fmt.Sprintf("k%03d", o.Key)
+			switch {
+			case o.Flush:
+				if err := tr.Flush(); err != nil {
+					return false
+				}
+			case o.Delete:
+				tr.Delete([]byte(key))
+				delete(ref, key)
+			default:
+				val := fmt.Sprintf("v%d", i)
+				tr.Insert([]byte(key), []byte(val))
+				ref[key] = val
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		for key, want := range ref {
+			got, ok := tr.Get([]byte(key))
+			if !ok || string(got) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertWithFlushes(b *testing.B) {
+	dir := b.TempDir()
+	tr, _ := Open(dir, Options{MemBudget: 64 << 10})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(k(i), v(i))
+	}
+}

@@ -1,0 +1,285 @@
+// Package rtree implements an in-memory R-tree over 2-d rectangles, used as
+// the component structure for AsterixDB's LSM-ified spatial secondary indexes
+// (the "type rtree" indexes of Section 2.2 / 4.3 of the paper).
+package rtree
+
+import (
+	"bytes"
+	"math"
+)
+
+// Rect is an axis-aligned bounding rectangle.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// Contains reports whether r fully contains s.
+func (r Rect) Contains(s Rect) bool {
+	return r.MinX <= s.MinX && r.MinY <= s.MinY && r.MaxX >= s.MaxX && r.MaxY >= s.MaxY
+}
+
+// Intersects reports whether r and s share any point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// union returns the smallest rectangle covering both r and s.
+func (r Rect) union(s Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// area returns the area of r.
+func (r Rect) area() float64 { return (r.MaxX - r.MinX) * (r.MaxY - r.MinY) }
+
+// enlargement returns how much r would have to grow to cover s.
+func (r Rect) enlargement(s Rect) float64 { return r.union(s).area() - r.area() }
+
+// PointRect returns the degenerate rectangle for a point.
+func PointRect(x, y float64) Rect { return Rect{MinX: x, MinY: y, MaxX: x, MaxY: y} }
+
+// Entry is a rectangle key with an opaque payload (typically an encoded
+// primary key).
+type Entry struct {
+	Rect  Rect
+	Value []byte
+}
+
+// maxEntries is the node fan-out; minEntries the underflow bound used by the
+// quadratic split.
+const (
+	maxEntries = 16
+	minEntries = 4
+)
+
+// Tree is an in-memory R-tree. Like the B+-tree component it is not safe for
+// concurrent mutation; the LSM layer provides the necessary isolation.
+type Tree struct {
+	root *rnode
+	size int
+}
+
+type rnode struct {
+	leaf     bool
+	rects    []Rect
+	values   [][]byte // leaf only
+	children []*rnode // interior only
+}
+
+// New returns an empty R-tree.
+func New() *Tree {
+	return &Tree{root: &rnode{leaf: true}}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Insert adds an entry to the tree.
+func (t *Tree) Insert(r Rect, value []byte) {
+	t.size++
+	left, right := t.insert(t.root, r, value)
+	if right != nil {
+		t.root = &rnode{
+			rects:    []Rect{nodeMBR(left), nodeMBR(right)},
+			children: []*rnode{left, right},
+		}
+	}
+}
+
+func (t *Tree) insert(n *rnode, r Rect, value []byte) (*rnode, *rnode) {
+	if n.leaf {
+		n.rects = append(n.rects, r)
+		n.values = append(n.values, value)
+		if len(n.rects) > maxEntries {
+			return n.splitLeaf()
+		}
+		return n, nil
+	}
+	best := chooseSubtree(n, r)
+	left, right := t.insert(n.children[best], r, value)
+	n.rects[best] = nodeMBR(left)
+	if right != nil {
+		n.rects = append(n.rects, nodeMBR(right))
+		n.children = append(n.children, right)
+		if len(n.children) > maxEntries {
+			return n.splitInterior()
+		}
+	}
+	return n, nil
+}
+
+// chooseSubtree picks the child needing the least enlargement to cover r.
+func chooseSubtree(n *rnode, r Rect) int {
+	best := 0
+	bestEnlargement := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i, cr := range n.rects {
+		e := cr.enlargement(r)
+		a := cr.area()
+		if e < bestEnlargement || (e == bestEnlargement && a < bestArea) {
+			best, bestEnlargement, bestArea = i, e, a
+		}
+	}
+	return best
+}
+
+func nodeMBR(n *rnode) Rect {
+	mbr := n.rects[0]
+	for _, r := range n.rects[1:] {
+		mbr = mbr.union(r)
+	}
+	return mbr
+}
+
+// splitLeaf performs a quadratic split of an overflowing leaf.
+func (n *rnode) splitLeaf() (*rnode, *rnode) {
+	seedA, seedB := pickSeeds(n.rects)
+	a := &rnode{leaf: true}
+	b := &rnode{leaf: true}
+	for i, r := range n.rects {
+		switch {
+		case i == seedA:
+			a.rects = append(a.rects, r)
+			a.values = append(a.values, n.values[i])
+		case i == seedB:
+			b.rects = append(b.rects, r)
+			b.values = append(b.values, n.values[i])
+		default:
+			if assignToA(a, b, r) {
+				a.rects = append(a.rects, r)
+				a.values = append(a.values, n.values[i])
+			} else {
+				b.rects = append(b.rects, r)
+				b.values = append(b.values, n.values[i])
+			}
+		}
+	}
+	*n = *a
+	return n, b
+}
+
+func (n *rnode) splitInterior() (*rnode, *rnode) {
+	seedA, seedB := pickSeeds(n.rects)
+	a := &rnode{}
+	b := &rnode{}
+	for i, r := range n.rects {
+		switch {
+		case i == seedA:
+			a.rects = append(a.rects, r)
+			a.children = append(a.children, n.children[i])
+		case i == seedB:
+			b.rects = append(b.rects, r)
+			b.children = append(b.children, n.children[i])
+		default:
+			if assignToA(a, b, r) {
+				a.rects = append(a.rects, r)
+				a.children = append(a.children, n.children[i])
+			} else {
+				b.rects = append(b.rects, r)
+				b.children = append(b.children, n.children[i])
+			}
+		}
+	}
+	*n = *a
+	return n, b
+}
+
+// pickSeeds returns the pair of rectangles that would waste the most area if
+// grouped together (the classic quadratic-split seed choice).
+func pickSeeds(rects []Rect) (int, int) {
+	worst := -math.MaxFloat64
+	a, b := 0, 1
+	for i := 0; i < len(rects); i++ {
+		for j := i + 1; j < len(rects); j++ {
+			waste := rects[i].union(rects[j]).area() - rects[i].area() - rects[j].area()
+			if waste > worst {
+				worst, a, b = waste, i, j
+			}
+		}
+	}
+	return a, b
+}
+
+// assignToA balances group sizes and otherwise minimizes enlargement.
+func assignToA(a, b *rnode, r Rect) bool {
+	if len(a.rects) == 0 {
+		return true
+	}
+	if len(b.rects) == 0 {
+		return false
+	}
+	if len(a.rects)+minEntries >= maxEntries {
+		return false
+	}
+	if len(b.rects)+minEntries >= maxEntries {
+		return true
+	}
+	return nodeMBR(a).enlargement(r) <= nodeMBR(b).enlargement(r)
+}
+
+// Delete removes one entry with exactly the given rectangle and value,
+// reporting whether one was found. The tree is not re-condensed; the LSM
+// layer expresses deletes as antimatter entries, so in-place deletion is only
+// exercised by the in-memory component.
+func (t *Tree) Delete(r Rect, value []byte) bool {
+	if t.delete(t.root, r, value) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+func (t *Tree) delete(n *rnode, r Rect, value []byte) bool {
+	if n.leaf {
+		for i := range n.rects {
+			if n.rects[i] == r && bytes.Equal(n.values[i], value) {
+				n.rects = append(n.rects[:i], n.rects[i+1:]...)
+				n.values = append(n.values[:i], n.values[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for i, cr := range n.rects {
+		if cr.Contains(r) || cr.Intersects(r) {
+			if t.delete(n.children[i], r, value) {
+				if len(n.children[i].rects) > 0 {
+					n.rects[i] = nodeMBR(n.children[i])
+				}
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SearchIntersect visits every entry whose rectangle intersects probe until
+// visit returns false.
+func (t *Tree) SearchIntersect(probe Rect, visit func(Entry) bool) {
+	t.search(t.root, probe, visit)
+}
+
+func (t *Tree) search(n *rnode, probe Rect, visit func(Entry) bool) bool {
+	for i, r := range n.rects {
+		if !r.Intersects(probe) {
+			continue
+		}
+		if n.leaf {
+			if !visit(Entry{Rect: r, Value: n.values[i]}) {
+				return false
+			}
+		} else if !t.search(n.children[i], probe, visit) {
+			return false
+		}
+	}
+	return true
+}
+
+// Scan visits every entry in the tree until visit returns false.
+func (t *Tree) Scan(visit func(Entry) bool) {
+	t.search(t.root, Rect{MinX: math.Inf(-1), MinY: math.Inf(-1), MaxX: math.Inf(1), MaxY: math.Inf(1)}, visit)
+}

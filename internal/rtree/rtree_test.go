@@ -1,0 +1,154 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertSearch(t *testing.T) {
+	tr := New()
+	const n = 500
+	rng := rand.New(rand.NewSource(1))
+	type item struct {
+		r Rect
+		v string
+	}
+	items := make([]item, n)
+	for i := range items {
+		x, y := rng.Float64()*1000, rng.Float64()*1000
+		items[i] = item{r: PointRect(x, y), v: fmt.Sprintf("v%d", i)}
+		tr.Insert(items[i].r, []byte(items[i].v))
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// A query rectangle should return exactly the points it contains.
+	probe := Rect{MinX: 100, MinY: 100, MaxX: 400, MaxY: 400}
+	want := map[string]bool{}
+	for _, it := range items {
+		if probe.Intersects(it.r) {
+			want[it.v] = true
+		}
+	}
+	got := map[string]bool{}
+	tr.SearchIntersect(probe, func(e Entry) bool {
+		got[string(e.Value)] = true
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("search returned %d results, want %d", len(got), len(want))
+	}
+	for v := range want {
+		if !got[v] {
+			t.Errorf("missing result %s", v)
+		}
+	}
+}
+
+func TestSearchEmptyAndEarlyStop(t *testing.T) {
+	tr := New()
+	count := 0
+	tr.SearchIntersect(Rect{MaxX: 10, MaxY: 10}, func(Entry) bool { count++; return true })
+	if count != 0 {
+		t.Error("search of empty tree should visit nothing")
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert(PointRect(float64(i), float64(i)), []byte{byte(i)})
+	}
+	count = 0
+	tr.SearchIntersect(Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, func(Entry) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Insert(PointRect(float64(i), 0), []byte{byte(i)})
+	}
+	if !tr.Delete(PointRect(10, 0), []byte{10}) {
+		t.Fatal("Delete of present entry failed")
+	}
+	if tr.Delete(PointRect(10, 0), []byte{10}) {
+		t.Error("Delete of absent entry should fail")
+	}
+	if tr.Len() != 49 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	found := false
+	tr.SearchIntersect(PointRect(10, 0), func(e Entry) bool {
+		if e.Value[0] == 10 {
+			found = true
+		}
+		return true
+	})
+	if found {
+		t.Error("deleted entry still returned by search")
+	}
+}
+
+func TestScan(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Insert(PointRect(float64(i%20), float64(i/20)), []byte{byte(i)})
+	}
+	count := 0
+	tr.Scan(func(Entry) bool { count++; return true })
+	if count != 200 {
+		t.Errorf("Scan visited %d entries", count)
+	}
+}
+
+func TestRectHelpers(t *testing.T) {
+	a := Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	b := Rect{MinX: 5, MinY: 5, MaxX: 15, MaxY: 15}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("Intersects misreports")
+	}
+	if a.Contains(b) {
+		t.Error("Contains misreports")
+	}
+	if !a.Contains(Rect{MinX: 1, MinY: 1, MaxX: 2, MaxY: 2}) {
+		t.Error("Contains should hold for nested rect")
+	}
+	u := a.union(b)
+	if u.MinX != 0 || u.MaxX != 15 {
+		t.Errorf("union = %+v", u)
+	}
+}
+
+func TestSearchMatchesLinearScanProperty(t *testing.T) {
+	// For random points and a random probe rectangle the R-tree must return
+	// exactly what a linear scan returns.
+	f := func(seed int64, probeX, probeY uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		pts := make([]Rect, 120)
+		for i := range pts {
+			pts[i] = PointRect(rng.Float64()*100, rng.Float64()*100)
+			tr.Insert(pts[i], []byte{byte(i)})
+		}
+		probe := Rect{
+			MinX: float64(probeX % 100), MinY: float64(probeY % 100),
+			MaxX: float64(probeX%100) + 25, MaxY: float64(probeY%100) + 25,
+		}
+		want := 0
+		for _, p := range pts {
+			if probe.Intersects(p) {
+				want++
+			}
+		}
+		got := 0
+		tr.SearchIntersect(probe, func(Entry) bool { got++; return true })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

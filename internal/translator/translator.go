@@ -1,0 +1,144 @@
+// Package translator turns AQL query expressions into optimized algebra plans
+// and Hyracks job descriptions (the code-generation step of Section 4.2).
+// The job descriptions carry the operator and connector structure of
+// Figure 6; the engine executes the corresponding physical plan with the
+// storage layer's access paths and the expr evaluator.
+package translator
+
+import (
+	"fmt"
+
+	"asterixdb/internal/algebra"
+	"asterixdb/internal/aql"
+	"asterixdb/internal/hyracks"
+)
+
+// Compile builds and optimizes the algebra plan for a FLWOR query. When the
+// query is a single aggregate call wrapped around a FLWOR (Query 10's shape),
+// the aggregate is split into local and global halves.
+func Compile(e aql.Expr, cat algebra.Catalog, opts algebra.Options) (*algebra.Plan, error) {
+	switch q := e.(type) {
+	case *aql.FLWORExpr:
+		plan, err := algebra.Build(q)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.Optimize(plan, cat, opts), nil
+	case *aql.CallExpr:
+		if len(q.Args) == 1 {
+			if inner, ok := q.Args[0].(*aql.FLWORExpr); ok && isAggregate(q.Func) {
+				plan, err := algebra.Build(inner)
+				if err != nil {
+					return nil, err
+				}
+				plan = algebra.Optimize(plan, cat, opts)
+				return algebra.WrapAggregate(plan, q.Func, opts.DisableAggSplit), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("translator: expression is not a compilable query: %T", e)
+}
+
+func isAggregate(name string) bool {
+	switch name {
+	case "avg", "sum", "count", "min", "max", "sql-avg", "sql-sum", "sql-count", "sql-min", "sql-max":
+		return true
+	}
+	return false
+}
+
+// BuildJob converts an optimized plan into a Hyracks job description whose
+// operators and connectors mirror the plan's physical structure. The job is a
+// description (its operators carry no runnable closures); the engine executes
+// the plan against storage and wires live closures where needed. Describe()
+// on the returned job reproduces the structure of Figure 6 for Query 10.
+func BuildJob(plan *algebra.Plan, partitions int) *hyracks.Job {
+	job := &hyracks.Job{}
+	buildJobNode(job, plan.Root, partitions)
+	return job
+}
+
+// buildJobNode appends the operators for n (bottom-up) and returns the index
+// of the operator producing n's output.
+func buildJobNode(job *hyracks.Job, n *algebra.Node, partitions int) int {
+	if n == nil {
+		return -1
+	}
+	var inputIdx []int
+	for _, in := range n.Inputs {
+		inputIdx = append(inputIdx, buildJobNode(job, in, partitions))
+	}
+	par := partitions
+	label := ""
+	connector := hyracks.Connector{Kind: hyracks.OneToOne}
+	switch n.Kind {
+	case algebra.OpScan:
+		label = fmt.Sprintf("datasource-scan(%s)", n.Dataset)
+	case algebra.OpIndexSearch:
+		label = fmt.Sprintf("btree-search(%s)", n.Index)
+	case algebra.OpRTreeSearch:
+		label = fmt.Sprintf("rtree-search(%s)", n.Index)
+	case algebra.OpSortPK:
+		label = "sort(primary-keys)"
+	case algebra.OpPrimarySearch:
+		label = fmt.Sprintf("btree-search(%s)", n.Dataset)
+	case algebra.OpSelect:
+		label = "select"
+	case algebra.OpAssign:
+		label = "assign"
+	case algebra.OpJoin:
+		label = fmt.Sprintf("join(%s)", n.Method)
+		connector = hyracks.Connector{Kind: hyracks.MToNPartitioning}
+	case algebra.OpGroupBy:
+		label = "hash-group-by"
+		connector = hyracks.Connector{Kind: hyracks.HashPartitioningShuffle}
+	case algebra.OpOrder:
+		label = "sort"
+	case algebra.OpLimit:
+		label = "limit"
+		par = 1
+	case algebra.OpLocalAgg:
+		label = fmt.Sprintf("aggregate(local-%s)", n.AggFunc)
+	case algebra.OpGlobalAgg:
+		label = fmt.Sprintf("aggregate(global-%s)", n.AggFunc)
+		par = 1
+		connector = hyracks.Connector{Kind: hyracks.MToNReplicating}
+	case algebra.OpAggregate:
+		label = fmt.Sprintf("aggregate(%s)", n.AggFunc)
+		par = 1
+	case algebra.OpSubplan:
+		label = "subplan"
+	case algebra.OpDistribute:
+		label = "distribute-result"
+		par = 1
+	default:
+		label = string(n.Kind)
+	}
+	idx := job.Add(&descriptorOp{label: label, partitions: par})
+	for _, in := range inputIdx {
+		if in >= 0 {
+			job.Connect(in, idx, connector)
+		}
+	}
+	return idx
+}
+
+// descriptorOp is a structural placeholder operator used in job descriptions.
+type descriptorOp struct {
+	label      string
+	partitions int
+}
+
+// Name implements hyracks.Operator.
+func (d *descriptorOp) Name() string { return d.label }
+
+// Parallelism implements hyracks.Operator.
+func (d *descriptorOp) Parallelism() int { return d.partitions }
+
+// Blocking implements hyracks.Operator.
+func (d *descriptorOp) Blocking() bool { return false }
+
+// Run implements hyracks.Operator. Descriptor operators are not executable.
+func (d *descriptorOp) Run(int, <-chan hyracks.Tuple, func(hyracks.Tuple)) error {
+	return fmt.Errorf("translator: %s is a job description operator, not executable", d.label)
+}

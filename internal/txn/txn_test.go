@@ -1,0 +1,191 @@
+package txn
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLockManagerExclusion(t *testing.T) {
+	lm := NewLockManager()
+	key := []byte("pk-1")
+	lm.Lock(1, key)
+	if !lm.Held(key) {
+		t.Fatal("lock should be held")
+	}
+	// A second transaction must block until the first releases.
+	var acquired atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		lm.Lock(2, key)
+		acquired.Store(true)
+		lm.Unlock(2, key)
+		close(done)
+	}()
+	if acquired.Load() {
+		t.Fatal("second transaction acquired the lock while held")
+	}
+	lm.Unlock(1, key)
+	<-done
+	if !acquired.Load() {
+		t.Fatal("waiter never acquired the lock")
+	}
+	if lm.Held(key) {
+		t.Error("lock should be free after both transactions")
+	}
+}
+
+func TestLockManagerReentrantAndUnheldUnlock(t *testing.T) {
+	lm := NewLockManager()
+	key := []byte("k")
+	lm.Lock(7, key)
+	lm.Lock(7, key) // re-acquire by the same transaction is a no-op
+	lm.Unlock(99, key)
+	if !lm.Held(key) {
+		t.Error("unlock by a non-holder must not release the lock")
+	}
+	lm.Unlock(7, key)
+	if lm.Held(key) {
+		t.Error("lock should be released")
+	}
+}
+
+func TestLockManagerConcurrentCounter(t *testing.T) {
+	lm := NewLockManager()
+	key := []byte("counter")
+	counter := 0
+	var wg sync.WaitGroup
+	const workers = 16
+	const iters = 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				tid := ID(id*1000 + i + 1)
+				lm.Lock(tid, key)
+				counter++
+				lm.Unlock(tid, key)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if counter != workers*iters {
+		t.Errorf("counter = %d, want %d (lost updates)", counter, workers*iters)
+	}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := w.Begin()
+	w.Append(LogRecord{Txn: t1, Kind: OpInsert, Dataset: "D", Partition: 2, Key: []byte("k1"), Value: []byte("v1")})
+	if err := w.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	// An uncommitted transaction: its operations must not be replayed.
+	t2 := w.Begin()
+	w.Append(LogRecord{Txn: t2, Kind: OpInsert, Dataset: "D", Partition: 0, Key: []byte("k2"), Value: []byte("v2")})
+	t3 := w.Begin()
+	w.Append(LogRecord{Txn: t3, Kind: OpDelete, Dataset: "D", Partition: 1, Key: []byte("k3")})
+	w.Commit(t3)
+	w.Close()
+
+	w2, err := OpenWAL(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var replayed []LogRecord
+	if err := w2.Replay(func(rec LogRecord) error {
+		replayed = append(replayed, rec)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 2 {
+		t.Fatalf("replayed %d records, want 2 (uncommitted ops skipped)", len(replayed))
+	}
+	if replayed[0].Kind != OpInsert || string(replayed[0].Key) != "k1" || string(replayed[0].Value) != "v1" || replayed[0].Partition != 2 {
+		t.Errorf("record 0 = %+v", replayed[0])
+	}
+	if replayed[1].Kind != OpDelete || string(replayed[1].Key) != "k3" {
+		t.Errorf("record 1 = %+v", replayed[1])
+	}
+	// New transaction ids continue after the replayed ones.
+	if id := w2.Begin(); id <= t3 {
+		t.Errorf("Begin after replay = %d, want > %d", id, t3)
+	}
+}
+
+func TestWALTruncate(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	tid := w.Begin()
+	w.Append(LogRecord{Txn: tid, Kind: OpInsert, Dataset: "D", Key: []byte("k"), Value: []byte("v")})
+	w.Commit(tid)
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	if err := w.Replay(func(LogRecord) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Errorf("replayed %d records after truncate", count)
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tid := w.Begin()
+	w.Append(LogRecord{Txn: tid, Kind: OpInsert, Dataset: "D", Key: []byte("k"), Value: []byte("v")})
+	w.Commit(tid)
+	// Simulate a torn write at the tail of the log.
+	w.file.Write([]byte{0x55, 0x01})
+	w.Close()
+
+	w2, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	count := 0
+	if err := w2.Replay(func(LogRecord) error { count++; return nil }); err != nil {
+		t.Fatalf("replay with torn tail: %v", err)
+	}
+	if count != 1 {
+		t.Errorf("replayed %d records, want 1", count)
+	}
+}
+
+func TestLogRecordRoundTrip(t *testing.T) {
+	rec := LogRecord{Txn: 42, Kind: OpInsert, Dataset: "MugshotUsers", Partition: 3, Key: []byte{1, 2, 3}, Value: []byte("payload")}
+	buf := encodeLogRecord(rec)
+	records, committed, err := decodeLog(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("decoded %d records", len(records))
+	}
+	got := records[0]
+	if got.Txn != rec.Txn || got.Kind != rec.Kind || got.Dataset != rec.Dataset ||
+		got.Partition != rec.Partition || string(got.Key) != string(rec.Key) || string(got.Value) != string(rec.Value) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if len(committed) != 0 {
+		t.Error("no commit records were written")
+	}
+}

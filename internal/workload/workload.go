@@ -1,0 +1,294 @@
+// Package workload generates the synthetic users / messages / tweets datasets
+// used by the paper's performance study (Section 5.3.1) and the query
+// parameters (selectivities, key ranges) for the Table 3 queries. Generation
+// is deterministic given a seed so benchmark runs are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asterixdb/internal/adm"
+)
+
+// Config scales the generated data. The paper used hundreds of gigabytes on a
+// 10-node cluster; benchmarks here use laptop-scale cardinalities — the shape
+// of the results (index vs scan, join degradation, encoding overheads) is
+// what is reproduced, not the absolute sizes.
+type Config struct {
+	Users    int
+	Messages int
+	Tweets   int
+	Seed     int64
+}
+
+// DefaultConfig is the scale used by the bench harness.
+var DefaultConfig = Config{Users: 2000, Messages: 10000, Tweets: 5000, Seed: 42}
+
+// Generator produces deterministic synthetic records.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New returns a generator for the given configuration.
+func New(cfg Config) *Generator {
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+var (
+	firstNames = []string{"Margarita", "Isbel", "Emory", "Nicholas", "Von", "Willis", "Suzanna", "Nila", "Woodrow", "Bram"}
+	lastNames  = []string{"Stoddard", "Dull", "Unk", "Stroh", "Kemble", "Wyche", "Tillson", "Milom", "Nehling", "Hatch"}
+	cities     = []string{"San Hugo", "Portland", "Irvine", "Mountain View", "Seattle", "Riverside", "San Jose", "Sunnyvale"}
+	states     = []string{"CA", "OR", "WA", "AZ", "NV"}
+	countries  = []string{"USA", "USA", "USA", "Canada", "Mexico"}
+	orgs       = []string{"Codetechno", "Hexviafind", "geomedia", "Zamcorporation", "Labzatron", "Kongreen", "physcane", "Salthex"}
+	words      = []string{"love", "big", "data", "systems", "tonight", "parallel", "database", "scalable", "asterix", "query",
+		"index", "storage", "feed", "ingest", "cluster", "social", "network", "platform", "fuzzy", "spatial"}
+	tags = []string{"big-data", "systems", "databases", "asterixdb", "nosql", "analytics", "social", "cloud"}
+)
+
+// baseEpochMillis is 2014-01-01T00:00:00Z, the start of the timestamp range.
+const baseEpochMillis = int64(1388534400000)
+
+// timestampRangeMillis spans 90 days of message timestamps.
+const timestampRangeMillis = int64(90 * 24 * 3600 * 1000)
+
+// User generates the i-th user record (ids start at 1).
+func (g *Generator) User(i int) *adm.Record {
+	rng := rand.New(rand.NewSource(g.cfg.Seed + int64(i)))
+	first := firstNames[rng.Intn(len(firstNames))]
+	last := lastNames[rng.Intn(len(lastNames))]
+	nFriends := 1 + rng.Intn(8)
+	friends := make([]adm.Value, nFriends)
+	for f := range friends {
+		friends[f] = adm.Int32(int32(1 + rng.Intn(g.cfg.Users)))
+	}
+	nJobs := 1 + rng.Intn(2)
+	jobs := make([]adm.Value, nJobs)
+	for j := range jobs {
+		job := adm.NewRecord(
+			adm.Field{Name: "organization-name", Value: adm.String(orgs[rng.Intn(len(orgs))])},
+			adm.Field{Name: "start-date", Value: adm.Date(int32(12000 + rng.Intn(4000)))},
+		)
+		if rng.Intn(2) == 0 {
+			job = job.Set("end-date", adm.Date(int32(16000+rng.Intn(500))))
+		}
+		jobs[j] = job
+	}
+	since := baseEpochMillis - int64(rng.Intn(4*365*24*3600))*1000
+	return adm.NewRecord(
+		adm.Field{Name: "id", Value: adm.Int32(int32(i))},
+		adm.Field{Name: "alias", Value: adm.String(fmt.Sprintf("%s%d", first, i))},
+		adm.Field{Name: "name", Value: adm.String(first + last)},
+		adm.Field{Name: "user-since", Value: adm.Datetime(since)},
+		adm.Field{Name: "address", Value: adm.NewRecord(
+			adm.Field{Name: "street", Value: adm.String(fmt.Sprintf("%d Main St", 1+rng.Intn(999)))},
+			adm.Field{Name: "city", Value: adm.String(cities[rng.Intn(len(cities))])},
+			adm.Field{Name: "state", Value: adm.String(states[rng.Intn(len(states))])},
+			adm.Field{Name: "zip", Value: adm.String(fmt.Sprintf("%05d", 90000+rng.Intn(9999)))},
+			adm.Field{Name: "country", Value: adm.String(countries[rng.Intn(len(countries))])},
+		)},
+		adm.Field{Name: "friend-ids", Value: &adm.UnorderedList{Items: friends}},
+		adm.Field{Name: "employment", Value: &adm.OrderedList{Items: jobs}},
+	)
+}
+
+// Message generates the i-th message record (ids start at 1). Message
+// timestamps are spread uniformly over a 90-day window starting 2014-01-01,
+// which is what the Table 3 selectivity parameters slice into.
+func (g *Generator) Message(i int) *adm.Record {
+	rng := rand.New(rand.NewSource(g.cfg.Seed*31 + int64(i)))
+	author := 1 + rng.Intn(maxInt(g.cfg.Users, 1))
+	nWords := 4 + rng.Intn(12)
+	text := ""
+	for w := 0; w < nWords; w++ {
+		text += " " + words[rng.Intn(len(words))]
+	}
+	nTags := 1 + rng.Intn(3)
+	tagItems := make([]adm.Value, nTags)
+	for t := range tagItems {
+		tagItems[t] = adm.String(tags[rng.Intn(len(tags))])
+	}
+	ts := baseEpochMillis + int64(i)*(timestampRangeMillis/int64(maxInt(g.cfg.Messages, 1)))
+	rec := adm.NewRecord(
+		adm.Field{Name: "message-id", Value: adm.Int32(int32(i))},
+		adm.Field{Name: "author-id", Value: adm.Int32(int32(author))},
+		adm.Field{Name: "timestamp", Value: adm.Datetime(ts)},
+		adm.Field{Name: "in-response-to", Value: responseTo(rng, i)},
+		adm.Field{Name: "sender-location", Value: adm.Point{X: 20 + rng.Float64()*30, Y: 70 + rng.Float64()*30}},
+		adm.Field{Name: "tags", Value: &adm.UnorderedList{Items: tagItems}},
+		adm.Field{Name: "message", Value: adm.String(text)},
+	)
+	return rec
+}
+
+func responseTo(rng *rand.Rand, i int) adm.Value {
+	if i <= 1 || rng.Intn(3) != 0 {
+		return adm.Null{}
+	}
+	return adm.Int32(int32(1 + rng.Intn(i-1)))
+}
+
+// Tweet generates the i-th tweet record, the third dataset of Table 2: like a
+// message but with a flat user sub-record and send-time field.
+func (g *Generator) Tweet(i int) *adm.Record {
+	rng := rand.New(rand.NewSource(g.cfg.Seed*77 + int64(i)))
+	text := ""
+	for w := 0; w < 6+rng.Intn(10); w++ {
+		text += " " + words[rng.Intn(len(words))]
+	}
+	return adm.NewRecord(
+		adm.Field{Name: "tweetid", Value: adm.Int64(int64(i))},
+		adm.Field{Name: "user", Value: adm.NewRecord(
+			adm.Field{Name: "screen-name", Value: adm.String(fmt.Sprintf("user%d", 1+rng.Intn(maxInt(g.cfg.Users, 1))))},
+			adm.Field{Name: "followers-count", Value: adm.Int32(int32(rng.Intn(100000)))},
+		)},
+		adm.Field{Name: "sender-location", Value: adm.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}},
+		adm.Field{Name: "send-time", Value: adm.Datetime(baseEpochMillis + int64(rng.Intn(90*24*3600))*1000)},
+		adm.Field{Name: "message-text", Value: adm.String(text)},
+	)
+}
+
+// Users generates all user records.
+func (g *Generator) Users() []*adm.Record {
+	out := make([]*adm.Record, g.cfg.Users)
+	for i := range out {
+		out[i] = g.User(i + 1)
+	}
+	return out
+}
+
+// Messages generates all message records.
+func (g *Generator) Messages() []*adm.Record {
+	out := make([]*adm.Record, g.cfg.Messages)
+	for i := range out {
+		out[i] = g.Message(i + 1)
+	}
+	return out
+}
+
+// Tweets generates all tweet records.
+func (g *Generator) Tweets() []*adm.Record {
+	out := make([]*adm.Record, g.cfg.Tweets)
+	for i := range out {
+		out[i] = g.Tweet(i + 1)
+	}
+	return out
+}
+
+// UserType returns the MugshotUserType record type (open).
+func UserType() *adm.RecordType {
+	address := &adm.RecordType{Name: "", Open: true, Fields: []adm.FieldType{
+		{Name: "street", Type: adm.Prim(adm.TagString)},
+		{Name: "city", Type: adm.Prim(adm.TagString)},
+		{Name: "state", Type: adm.Prim(adm.TagString)},
+		{Name: "zip", Type: adm.Prim(adm.TagString)},
+		{Name: "country", Type: adm.Prim(adm.TagString)},
+	}}
+	employment := &adm.RecordType{Name: "EmploymentType", Open: true, Fields: []adm.FieldType{
+		{Name: "organization-name", Type: adm.Prim(adm.TagString)},
+		{Name: "start-date", Type: adm.Prim(adm.TagDate)},
+		{Name: "end-date", Type: adm.Prim(adm.TagDate), Optional: true},
+	}}
+	return &adm.RecordType{Name: "MugshotUserType", Open: true, Fields: []adm.FieldType{
+		{Name: "id", Type: adm.Prim(adm.TagInt32)},
+		{Name: "alias", Type: adm.Prim(adm.TagString)},
+		{Name: "name", Type: adm.Prim(adm.TagString)},
+		{Name: "user-since", Type: adm.Prim(adm.TagDatetime)},
+		{Name: "address", Type: address},
+		{Name: "friend-ids", Type: &adm.UnorderedListType{Item: adm.Prim(adm.TagInt32)}},
+		{Name: "employment", Type: &adm.OrderedListType{Item: employment}},
+	}}
+}
+
+// KeyOnlyUserType returns the user type declaring only the primary key (the
+// "KeyOnly" open-type configuration of Table 2).
+func KeyOnlyUserType() *adm.RecordType {
+	return &adm.RecordType{Name: "MugshotUserType", Open: true, Fields: []adm.FieldType{
+		{Name: "id", Type: adm.Prim(adm.TagInt32)},
+	}}
+}
+
+// MessageType returns the MugshotMessageType record type (closed).
+func MessageType() *adm.RecordType {
+	return &adm.RecordType{Name: "MugshotMessageType", Open: false, Fields: []adm.FieldType{
+		{Name: "message-id", Type: adm.Prim(adm.TagInt32)},
+		{Name: "author-id", Type: adm.Prim(adm.TagInt32)},
+		{Name: "timestamp", Type: adm.Prim(adm.TagDatetime)},
+		{Name: "in-response-to", Type: adm.Prim(adm.TagInt32), Optional: true},
+		{Name: "sender-location", Type: adm.Prim(adm.TagPoint), Optional: true},
+		{Name: "tags", Type: &adm.UnorderedListType{Item: adm.Prim(adm.TagString)}},
+		{Name: "message", Type: adm.Prim(adm.TagString)},
+	}}
+}
+
+// KeyOnlyMessageType returns the message type declaring only the primary key.
+// It must be open so the undeclared fields are admitted.
+func KeyOnlyMessageType() *adm.RecordType {
+	return &adm.RecordType{Name: "MugshotMessageType", Open: true, Fields: []adm.FieldType{
+		{Name: "message-id", Type: adm.Prim(adm.TagInt32)},
+	}}
+}
+
+// TweetType returns the tweet record type.
+func TweetType() *adm.RecordType {
+	user := &adm.RecordType{Open: true, Fields: []adm.FieldType{
+		{Name: "screen-name", Type: adm.Prim(adm.TagString)},
+		{Name: "followers-count", Type: adm.Prim(adm.TagInt32)},
+	}}
+	return &adm.RecordType{Name: "TweetMessageType", Open: true, Fields: []adm.FieldType{
+		{Name: "tweetid", Type: adm.Prim(adm.TagInt64)},
+		{Name: "user", Type: user},
+		{Name: "sender-location", Type: adm.Prim(adm.TagPoint)},
+		{Name: "send-time", Type: adm.Prim(adm.TagDatetime)},
+		{Name: "message-text", Type: adm.Prim(adm.TagString)},
+	}}
+}
+
+// KeyOnlyTweetType returns the tweet type declaring only the primary key.
+func KeyOnlyTweetType() *adm.RecordType {
+	return &adm.RecordType{Name: "TweetMessageType", Open: true, Fields: []adm.FieldType{
+		{Name: "tweetid", Type: adm.Prim(adm.TagInt64)},
+	}}
+}
+
+// QueryParams are the Table 3 query parameters: the small and large
+// selectivity timestamp windows over the message dataset.
+type QueryParams struct {
+	// Small window selects ~300 records; Large ~3000 (joins) or ~30000
+	// (aggregates) at the paper's scale — here they are the same fractions of
+	// the generated data.
+	SmallLo, SmallHi adm.Datetime
+	LargeLo, LargeHi adm.Datetime
+	// LookupKey is a primary key present in the message dataset.
+	LookupKey adm.Int32
+}
+
+// Params derives selectivity windows from the generator's configuration: the
+// small window covers 1% of the messages, the large window 10%.
+func (g *Generator) Params() QueryParams {
+	per := timestampRangeMillis / int64(maxInt(g.cfg.Messages, 1))
+	smallCount := maxInt(g.cfg.Messages/100, 1)
+	largeCount := maxInt(g.cfg.Messages/10, 1)
+	return QueryParams{
+		SmallLo:   adm.Datetime(baseEpochMillis),
+		SmallHi:   adm.Datetime(baseEpochMillis + per*int64(smallCount)),
+		LargeLo:   adm.Datetime(baseEpochMillis),
+		LargeHi:   adm.Datetime(baseEpochMillis + per*int64(largeCount)),
+		LookupKey: adm.Int32(int32(g.cfg.Messages / 2)),
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"testing"
+
+	"asterixdb/internal/adm"
+)
+
+func TestGenerationIsDeterministicAndValid(t *testing.T) {
+	cfg := Config{Users: 50, Messages: 200, Tweets: 30, Seed: 9}
+	g1, g2 := New(cfg), New(cfg)
+	for i := 1; i <= 10; i++ {
+		if g1.User(i).String() != g2.User(i).String() {
+			t.Fatalf("user %d not deterministic", i)
+		}
+		if g1.Message(i).String() != g2.Message(i).String() {
+			t.Fatalf("message %d not deterministic", i)
+		}
+	}
+	userType, msgType := UserType(), MessageType()
+	for _, u := range g1.Users() {
+		if err := adm.Validate(u, userType); err != nil {
+			t.Fatalf("user does not validate: %v", err)
+		}
+	}
+	for _, m := range g1.Messages() {
+		if err := adm.Validate(m, msgType); err != nil {
+			t.Fatalf("message does not validate: %v", err)
+		}
+	}
+	if len(g1.Tweets()) != cfg.Tweets {
+		t.Errorf("tweets = %d", len(g1.Tweets()))
+	}
+	if err := adm.Validate(g1.Tweet(1), TweetType()); err != nil {
+		t.Errorf("tweet does not validate: %v", err)
+	}
+}
+
+func TestParamsSelectivities(t *testing.T) {
+	g := New(Config{Users: 100, Messages: 1000, Seed: 1})
+	p := g.Params()
+	if p.SmallHi <= p.SmallLo || p.LargeHi <= p.LargeLo {
+		t.Fatalf("bad windows: %+v", p)
+	}
+	countIn := func(lo, hi adm.Datetime) int {
+		n := 0
+		for _, m := range g.Messages() {
+			ts := m.Get("timestamp").(adm.Datetime)
+			if ts >= lo && ts <= hi {
+				n++
+			}
+		}
+		return n
+	}
+	small := countIn(p.SmallLo, p.SmallHi)
+	large := countIn(p.LargeLo, p.LargeHi)
+	if small == 0 || large == 0 || large <= small {
+		t.Errorf("selectivities wrong: small=%d large=%d", small, large)
+	}
+	// The small window targets ~1%, the large ~10%.
+	if small > 30 || large < 80 {
+		t.Errorf("selectivities off target: small=%d large=%d", small, large)
+	}
+}
+
+func TestKeyOnlyTypesDeclareOnlyPrimaryKey(t *testing.T) {
+	for _, rt := range []*adm.RecordType{KeyOnlyUserType(), KeyOnlyMessageType(), KeyOnlyTweetType()} {
+		if len(rt.Fields) != 1 || !rt.Open {
+			t.Errorf("KeyOnly type %q should be open with one declared field", rt.Name)
+		}
+	}
+}
