@@ -45,6 +45,11 @@ type Config struct {
 	Clock temporal.Clock
 	// OptimizerOptions tune the rule-based optimizer (ablation benchmarks).
 	OptimizerOptions algebra.Options
+	// UseInterpreter routes query execution through the materializing
+	// interpreter (engine.go) instead of the pipelined Hyracks executor. The
+	// interpreter is the reference semantics; differential tests run every
+	// query through both paths.
+	UseInterpreter bool
 }
 
 // Instance is one AsterixDB node-group: a Cluster Controller front-end plus
@@ -134,13 +139,20 @@ func (in *Instance) Dataset(name string) (*storage.Dataset, bool) {
 // Execute parses and executes one or more AQL statements and returns the
 // result of the last one.
 func (in *Instance) Execute(src string) (*Result, error) {
+	return in.executeWith(src, in.cfg.OptimizerOptions)
+}
+
+// executeWith runs statements under the given optimizer options. Options are
+// threaded through the compile call (never written back into the shared
+// config), so concurrent queries with different options do not race.
+func (in *Instance) executeWith(src string, opts algebra.Options) (*Result, error) {
 	stmts, err := aql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	var last *Result
 	for _, stmt := range stmts {
-		res, err := in.executeStatement(stmt)
+		res, err := in.executeStatement(stmt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -161,14 +173,16 @@ func (in *Instance) Query(src string) ([]adm.Value, error) {
 	return res.Values, nil
 }
 
-// QueryWithOptions executes a query with a temporary optimizer-option
+// QueryWithOptions executes a query with a per-call optimizer-option
 // override; the bench harness uses it to compare indexed and non-indexed
-// access paths on the same instance.
+// access paths on the same instance. It is safe to call concurrently with
+// Query.
 func (in *Instance) QueryWithOptions(src string, opts algebra.Options) ([]adm.Value, error) {
-	saved := in.cfg.OptimizerOptions
-	in.cfg.OptimizerOptions = opts
-	defer func() { in.cfg.OptimizerOptions = saved }()
-	return in.Query(src)
+	res, err := in.executeWith(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Values, nil
 }
 
 // Explain compiles a query and returns the optimized algebra plan and the
@@ -182,11 +196,14 @@ func (in *Instance) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	job := translator.BuildJob(plan, in.cfg.Partitions)
+	job, err := translator.BuildJob(plan, in, in.cfg.Partitions)
+	if err != nil {
+		return algebra.Explain(plan) + "\n\n(interpreted: " + err.Error() + ")", nil
+	}
 	return algebra.Explain(plan) + "\n\n" + job.Describe(), nil
 }
 
-// CompileJob compiles a query into its Hyracks job description.
+// CompileJob compiles a query into its executable Hyracks job.
 func (in *Instance) CompileJob(src string) (*hyracks.Job, *algebra.Plan, error) {
 	e, err := aql.ParseQuery(src)
 	if err != nil {
@@ -196,7 +213,11 @@ func (in *Instance) CompileJob(src string) (*hyracks.Job, *algebra.Plan, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	return translator.BuildJob(plan, in.cfg.Partitions), plan, nil
+	job, err := translator.BuildJob(plan, in, in.cfg.Partitions)
+	if err != nil {
+		return nil, nil, err
+	}
+	return job, plan, nil
 }
 
 // DatasetInfo implements algebra.Catalog.
@@ -232,7 +253,7 @@ func (in *Instance) DatasetInfo(dataverse, name string) algebra.DatasetInfo {
 // Statement execution
 // ----------------------------------------------------------------------------
 
-func (in *Instance) executeStatement(stmt aql.Statement) (*Result, error) {
+func (in *Instance) executeStatement(stmt aql.Statement, opts algebra.Options) (*Result, error) {
 	switch s := stmt.(type) {
 	case *aql.DataverseDecl:
 		in.mu.Lock()
@@ -300,7 +321,7 @@ func (in *Instance) executeStatement(stmt aql.Statement) (*Result, error) {
 	case *aql.LoadStatement:
 		return in.executeLoad(s)
 	case *aql.QueryStatement:
-		values, err := in.evaluateQuery(s.Body)
+		values, err := in.evaluateQuery(s.Body, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -728,15 +749,24 @@ func stringList(ss []string) *adm.OrderedList {
 // evaluateQuery evaluates a query expression. FLWOR queries (and aggregate
 // calls over FLWORs) are compiled and executed through the physical plan so
 // index access paths, hash joins and the aggregation split are used; other
-// expressions are evaluated directly.
-func (in *Instance) evaluateQuery(e aql.Expr) ([]adm.Value, error) {
-	if plan, err := translator.Compile(e, in, in.cfg.OptimizerOptions); err == nil {
-		values, err := in.executePlan(plan)
-		if err == nil {
+// expressions are evaluated directly. Compiled plans run as pipelined Hyracks
+// jobs by default; Config.UseInterpreter selects the materializing
+// interpreter instead (the differential-testing oracle).
+func (in *Instance) evaluateQuery(e aql.Expr, opts algebra.Options) ([]adm.Value, error) {
+	if plan, err := translator.Compile(e, in, opts); err == nil {
+		var values []adm.Value
+		var execErr error
+		if in.cfg.UseInterpreter {
+			values, execErr = in.executePlan(plan)
+		} else {
+			values, execErr = in.executeJob(plan)
+		}
+		if execErr == nil {
 			return values, nil
 		}
 		// Fall back to the interpreter for shapes the physical executor does
-		// not cover; the interpreter is the reference semantics.
+		// not cover; the full expression interpreter is the reference
+		// semantics.
 	}
 	v, err := expr.Eval(in.evalCtx, expr.Env{}, e)
 	if err != nil {

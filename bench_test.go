@@ -34,9 +34,12 @@ type benchEnv struct {
 
 	asterixSchema  *Instance
 	asterixKeyOnly *Instance
-	rowstore       *comparators.RowStore
-	docstore       *comparators.DocStore
-	scanstore      *comparators.ScanStore
+	// asterixInterp executes through the materializing interpreter oracle;
+	// the Executor benchmarks compare it against the Hyracks path.
+	asterixInterp *Instance
+	rowstore      *comparators.RowStore
+	docstore      *comparators.DocStore
+	scanstore     *comparators.ScanStore
 }
 
 var sharedEnv *benchEnv
@@ -51,12 +54,13 @@ func getEnv(b *testing.B) *benchEnv {
 	gen := workload.New(benchScale)
 	env := &benchEnv{gen: gen, params: gen.Params(), users: gen.Users(), messages: gen.Messages()}
 
-	mkInstance := func(enc adm.Encoding) *Instance {
+	mkInstance := func(enc adm.Encoding, useInterpreter bool) *Instance {
 		inst, err := Open(Config{
-			DataDir:    b.TempDir(),
-			Partitions: 4,
-			Encoding:   enc,
-			Clock:      temporal.FixedClock{T: time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)},
+			DataDir:        b.TempDir(),
+			Partitions:     4,
+			Encoding:       enc,
+			Clock:          temporal.FixedClock{T: time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)},
+			UseInterpreter: useInterpreter,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -90,8 +94,9 @@ create index msAuthorIdx on MugshotMessages(author-id) type btree;
 		}
 		return inst
 	}
-	env.asterixSchema = mkInstance(adm.SchemaEncoding)
-	env.asterixKeyOnly = mkInstance(adm.KeyOnlyEncoding)
+	env.asterixSchema = mkInstance(adm.SchemaEncoding, false)
+	env.asterixKeyOnly = mkInstance(adm.KeyOnlyEncoding, false)
+	env.asterixInterp = mkInstance(adm.SchemaEncoding, true)
 
 	env.rowstore = comparators.NewRowStore()
 	env.rowstore.LoadUsers(env.users)
@@ -216,6 +221,18 @@ func benchAsterixQuery(b *testing.B, inst *Instance, query string) {
 	}
 }
 
+// benchAsterixQueryOpts benchmarks a query under a per-call optimizer-option
+// override (QueryWithOptions threads the options through the compile call, so
+// the shared config is never mutated).
+func benchAsterixQueryOpts(b *testing.B, inst *Instance, query string, opts algebra.Options) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.QueryWithOptions(query, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchRangeScan covers the "Range Scan" and "— with IX" rows: the noIndex
 // variant disables the optimizer's index access path so every system scans.
 func BenchmarkTable3RangeScan(b *testing.B) {
@@ -228,16 +245,10 @@ func BenchmarkTable3RangeScan(b *testing.B) {
 			suffix = "WithIndex"
 		}
 		b.Run("AsterixSchema/"+suffix, func(b *testing.B) {
-			saved := env.asterixSchema.cfg.OptimizerOptions
-			env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisableIndexAccess: !withIndex}
-			defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
-			benchAsterixQuery(b, env.asterixSchema, query)
+			benchAsterixQueryOpts(b, env.asterixSchema, query, algebra.Options{DisableIndexAccess: !withIndex})
 		})
 		b.Run("AsterixKeyOnly/"+suffix, func(b *testing.B) {
-			saved := env.asterixKeyOnly.cfg.OptimizerOptions
-			env.asterixKeyOnly.cfg.OptimizerOptions = algebra.Options{DisableIndexAccess: !withIndex}
-			defer func() { env.asterixKeyOnly.cfg.OptimizerOptions = saved }()
-			benchAsterixQuery(b, env.asterixKeyOnly, query)
+			benchAsterixQueryOpts(b, env.asterixKeyOnly, query, algebra.Options{DisableIndexAccess: !withIndex})
 		})
 		b.Run("SystemX/"+suffix, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -279,10 +290,7 @@ func BenchmarkTable3SelectJoin(b *testing.B) {
 			}
 			query := env.joinQuery(sel.lo, sel.hi)
 			b.Run("AsterixSchema/"+suffix, func(b *testing.B) {
-				saved := env.asterixSchema.cfg.OptimizerOptions
-				env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisableIndexAccess: !withIndex}
-				defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
-				benchAsterixQuery(b, env.asterixSchema, query)
+				benchAsterixQueryOpts(b, env.asterixSchema, query, algebra.Options{DisableIndexAccess: !withIndex})
 			})
 			b.Run("SystemX/"+suffix, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
@@ -321,10 +329,7 @@ func BenchmarkTable3Aggregation(b *testing.B) {
 			}
 			query := env.aggQuery(sel.lo, sel.hi)
 			b.Run("AsterixSchema/"+suffix, func(b *testing.B) {
-				saved := env.asterixSchema.cfg.OptimizerOptions
-				env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisableIndexAccess: !withIndex}
-				defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
-				benchAsterixQuery(b, env.asterixSchema, query)
+				benchAsterixQueryOpts(b, env.asterixSchema, query, algebra.Options{DisableIndexAccess: !withIndex})
 			})
 			b.Run("SystemX/"+suffix, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
@@ -356,10 +361,7 @@ func BenchmarkTable3GroupedAggregation(b *testing.B) {
 		}
 		query := env.grpAggQuery(env.params.SmallLo, env.params.SmallHi)
 		b.Run("AsterixSchema/"+suffix, func(b *testing.B) {
-			saved := env.asterixSchema.cfg.OptimizerOptions
-			env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisableIndexAccess: !withIndex}
-			defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
-			benchAsterixQuery(b, env.asterixSchema, query)
+			benchAsterixQueryOpts(b, env.asterixSchema, query, algebra.Options{DisableIndexAccess: !withIndex})
 		})
 	}
 }
@@ -485,10 +487,7 @@ func BenchmarkAblationAggSplit(b *testing.B) {
 			name = "no-split"
 		}
 		b.Run(name, func(b *testing.B) {
-			saved := env.asterixSchema.cfg.OptimizerOptions
-			env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisableAggSplit: disable}
-			defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
-			benchAsterixQuery(b, env.asterixSchema, query)
+			benchAsterixQueryOpts(b, env.asterixSchema, query, algebra.Options{DisableAggSplit: disable})
 		})
 	}
 }
@@ -504,10 +503,7 @@ func BenchmarkAblationPKSort(b *testing.B) {
 			name = "no-pk-sort"
 		}
 		b.Run(name, func(b *testing.B) {
-			saved := env.asterixSchema.cfg.OptimizerOptions
-			env.asterixSchema.cfg.OptimizerOptions = algebra.Options{DisablePKSort: disable}
-			defer func() { env.asterixSchema.cfg.OptimizerOptions = saved }()
-			benchAsterixQuery(b, env.asterixSchema, query)
+			benchAsterixQueryOpts(b, env.asterixSchema, query, algebra.Options{DisablePKSort: disable})
 		})
 	}
 }
@@ -538,6 +534,34 @@ create dataset Msgs(M) primary key message-id;`); err != nil {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Executor comparison: pipelined Hyracks jobs vs. the materializing
+// interpreter oracle on the scan / join / aggregate / grouped-aggregate
+// workload (the acceptance bar for the compiled path: no slower than the
+// interpreter it replaced).
+// ----------------------------------------------------------------------------
+
+func BenchmarkExecutorHyracksVsInterpreter(b *testing.B) {
+	env := getEnv(b)
+	queries := []struct {
+		name  string
+		query string
+	}{
+		{"RangeScan", env.rangeQuery(env.params.LargeLo, env.params.LargeHi)},
+		{"Join", env.joinQuery(env.params.LargeLo, env.params.LargeHi)},
+		{"Aggregate", env.aggQuery(env.params.LargeLo, env.params.LargeHi)},
+		{"GroupedAggregate", env.grpAggQuery(env.params.LargeLo, env.params.LargeHi)},
+	}
+	for _, q := range queries {
+		b.Run(q.name+"/Hyracks", func(b *testing.B) {
+			benchAsterixQuery(b, env.asterixSchema, q.query)
+		})
+		b.Run(q.name+"/Interpreter", func(b *testing.B) {
+			benchAsterixQuery(b, env.asterixInterp, q.query)
 		})
 	}
 }

@@ -11,9 +11,13 @@ import (
 	"asterixdb/internal/storage"
 )
 
-// executePlan runs an optimized physical plan. Plan operators produce sets of
-// variable bindings (the runtime's tuples); the query's return expression is
-// applied at the distribute-result operator. Aggregate-wrapped plans return
+// executePlan runs an optimized physical plan with the materializing
+// interpreter: every operator buffers its complete output as a set of
+// variable bindings. It is no longer the default execution path (executeJob
+// streams tuples through a Hyracks job instead) but is kept, behind
+// Config.UseInterpreter, as the reference oracle the differential tests
+// compare the pipelined executor against. The query's return expression is
+// applied at the distribute-result operator; aggregate-wrapped plans return
 // the single aggregate value.
 func (in *Instance) executePlan(plan *algebra.Plan) ([]adm.Value, error) {
 	root := plan.Root
@@ -165,10 +169,6 @@ func (in *Instance) childEnvs(n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env
 // execClause reuses the interpreter's clause semantics for group-by, order-by
 // and limit over already-materialized bindings.
 func (in *Instance) execClause(envs []expr.Env, clause aql.FLWORClause) ([]expr.Env, error) {
-	fl := &aql.FLWORExpr{Clauses: []aql.FLWORClause{clause}}
-	_ = fl
-	// expr's clause application is unexported; replicate via a one-clause
-	// FLWOR whose for source is the binding set. Simpler: apply directly.
 	return expr.ApplyClause(in.evalCtx, envs, clause)
 }
 

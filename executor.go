@@ -1,0 +1,56 @@
+package asterixdb
+
+import (
+	"asterixdb/internal/adm"
+	"asterixdb/internal/algebra"
+	"asterixdb/internal/expr"
+	"asterixdb/internal/hyracks"
+	"asterixdb/internal/storage"
+	"asterixdb/internal/translator"
+)
+
+// This file is the Instance side of the compiled execution path: the
+// translator.Runtime hooks that give Hyracks jobs access to storage and the
+// evaluator, and executeJob, which runs an optimized plan as a pipelined
+// parallel dataflow (the default since the interpreter in engine.go became
+// the differential-testing oracle).
+
+// EvalContext implements translator.Runtime.
+func (in *Instance) EvalContext() *expr.Context { return in.evalCtx }
+
+// LookupDataset implements translator.Runtime: it resolves internal (stored,
+// partitioned) datasets. Metadata and external datasets report false and are
+// materialized through ReadDatasetRecords instead.
+func (in *Instance) LookupDataset(dataverse, name string) (*storage.Dataset, bool) {
+	if dataverse == "Metadata" {
+		return nil, false
+	}
+	return in.Dataset(name)
+}
+
+// ReadDatasetRecords implements translator.Runtime.
+func (in *Instance) ReadDatasetRecords(dataverse, name string) ([]*adm.Record, error) {
+	return in.readDataset(dataverse, name)
+}
+
+// executeJob lowers an optimized plan to a Hyracks job and executes it:
+// tuples stream through channel-connected per-partition operator instances
+// instead of being materialized between operators. Result tuples carry the
+// query's return value in column 0.
+func (in *Instance) executeJob(plan *algebra.Plan) ([]adm.Value, error) {
+	job, err := translator.BuildJob(plan, in, in.cfg.Partitions)
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := hyracks.Execute(job)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]adm.Value, 0, len(tuples))
+	for _, t := range tuples {
+		if len(t) > 0 {
+			out = append(out, t[0])
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,323 @@
+package asterixdb
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/algebra"
+	"asterixdb/internal/aql"
+	"asterixdb/internal/translator"
+)
+
+// encodeValues canonicalizes result values for comparison.
+func encodeValues(t *testing.T, vals []adm.Value) []string {
+	t.Helper()
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		b, err := adm.EncodeValue(nil, v)
+		if err != nil {
+			t.Fatalf("encode %v: %v", v, err)
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+func sameResults(t *testing.T, name string, hyracks, interp []adm.Value, ordered bool) {
+	t.Helper()
+	h, i := encodeValues(t, hyracks), encodeValues(t, interp)
+	if !ordered {
+		sort.Strings(h)
+		sort.Strings(i)
+	}
+	if len(h) != len(i) {
+		t.Fatalf("%s: hyracks returned %d values, interpreter %d", name, len(h), len(i))
+	}
+	for k := range h {
+		if h[k] != i[k] {
+			t.Errorf("%s: result %d differs between executors:\n  hyracks:     %q\n  interpreter: %q", name, k, h[k], i[k])
+		}
+	}
+}
+
+// differentialQueries is the paper's example workload plus shapes that
+// exercise each compiled operator: parallel scans, the secondary-index access
+// path, hybrid-hash and index-nested-loop joins, the broadcast nested-loop
+// join behind let-first queries, hash group-by, sort, limit/offset, and the
+// local/global aggregation split. Ordered queries sort on a unique key so
+// both executors must produce the exact sequence; unordered queries are
+// compared as multisets.
+var differentialQueries = []struct {
+	name    string
+	query   string
+	ordered bool
+}{
+	{"full-scan", `for $u in dataset MugshotUsers return $u;`, false},
+	{"range-index-scan", `
+for $user in dataset MugshotUsers
+where $user.user-since >= datetime('2010-07-22T00:00:00')
+  and $user.user-since <= datetime('2012-07-29T23:59:59')
+return $user;`, false},
+	{"equijoin", `
+for $user in dataset MugshotUsers
+for $message in dataset MugshotMessages
+where $message.author-id = $user.id
+  and $user.user-since >= datetime('2010-07-22T00:00:00')
+  and $user.user-since <= datetime('2012-07-29T23:59:59')
+return { "uname": $user.name, "message": $message.message };`, false},
+	{"indexnl-join", `
+for $user in dataset MugshotUsers
+for $message in dataset MugshotMessages
+where $message.author-id /*+ indexnl */ = $user.id
+return { "uname": $user.name, "message": $message.message };`, false},
+	{"group-by", `
+for $m in dataset MugshotMessages
+group by $aid := $m.author-id with $m
+return { "author": $aid, "cnt": count($m) };`, false},
+	{"group-order-limit", `
+for $msg in dataset MugshotMessages
+where $msg.timestamp >= datetime("2014-02-20T00:00:00")
+  and $msg.timestamp < datetime("2014-02-21T00:00:00")
+group by $aid := $msg.author-id with $msg
+let $cnt := count($msg)
+order by $cnt desc, $aid
+limit 3
+return { "author": $aid, "no messages": $cnt };`, true},
+	{"order-limit", `
+for $m in dataset MugshotMessages
+order by $m.message-id desc
+limit 3
+return $m.message-id;`, true},
+	{"order-limit-offset", `
+for $m in dataset MugshotMessages
+order by $m.message-id
+limit 2 offset 2
+return $m.message-id;`, true},
+	{"let-first-nested-loop", `
+let $cutoff := datetime("2014-01-01T00:00:00")
+for $m in dataset MugshotMessages
+where $m.timestamp >= $cutoff
+return $m.message-id;`, false},
+	{"nested-outer-join", `
+for $user in dataset MugshotUsers
+where $user.user-since >= datetime('2010-07-22T00:00:00')
+return {
+  "uname": $user.name,
+  "messages":
+    for $message in dataset MugshotMessages
+    where $message.author-id = $user.id
+    return $message.message
+};`, false},
+	{"fuzzy-join", `
+set simfunction "edit-distance";
+set simthreshold "3";
+for $msu in dataset MugshotUsers
+for $msm in dataset MugshotMessages
+where $msu.id = $msm.author-id
+  and (some $word in word-tokens($msm.message) satisfies $word ~= "tonight")
+return { "name": $msu.name, "message": $msm.message };`, false},
+	{"self-join", `
+for $a in dataset MugshotMessages
+for $b in dataset MugshotMessages
+where $a.author-id = $b.author-id
+return { "a": $a.message-id, "b": $b.message-id };`, false},
+	{"metadata-scan", `for $ds in dataset Metadata.Dataset return $ds;`, false},
+	{"agg-avg", `avg(for $m in dataset MugshotMessages return string-length($m.message))`, true},
+	{"agg-sum", `sum(for $m in dataset MugshotMessages return string-length($m.message))`, true},
+	{"agg-count", `count(for $m in dataset MugshotMessages return $m.message-id)`, true},
+	{"agg-min", `min(for $m in dataset MugshotMessages return $m.message-id)`, true},
+	{"agg-max", `max(for $m in dataset MugshotMessages return $m.timestamp)`, true},
+	{"agg-sql-count", `sql-count(for $m in dataset MugshotMessages return $m.in-response-to)`, true},
+	{"agg-over-index-path", `
+avg(
+  for $m in dataset MugshotMessages
+  where $m.timestamp >= datetime("2014-01-01T00:00:00")
+    and $m.timestamp < datetime("2014-04-01T00:00:00")
+  return string-length($m.message)
+)`, true},
+}
+
+// TestDifferentialHyracksVsInterpreter runs every query through the pipelined
+// Hyracks executor and through the materializing interpreter oracle and
+// asserts identical results, across the ablation option set.
+func TestDifferentialHyracksVsInterpreter(t *testing.T) {
+	inst := newTinySocial(t)
+	oracle, err := Open(Config{
+		DataDir:        t.TempDir(),
+		Partitions:     2,
+		Clock:          inst.cfg.Clock,
+		UseInterpreter: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { oracle.Close() })
+	if _, err := oracle.Execute(tinySocialDDL); err != nil {
+		t.Fatal(err)
+	}
+	loadTinySocial(t, oracle)
+
+	optionSets := map[string]algebra.Options{
+		"default":      {},
+		"no-index":     {DisableIndexAccess: true},
+		"no-agg-split": {DisableAggSplit: true},
+		"no-pk-sort":   {DisablePKSort: true},
+	}
+	for _, q := range differentialQueries {
+		for optName, opts := range optionSets {
+			hyRes, err := inst.QueryWithOptions(q.query, opts)
+			if err != nil {
+				t.Fatalf("%s/%s (hyracks): %v", q.name, optName, err)
+			}
+			orRes, err := oracle.QueryWithOptions(q.query, opts)
+			if err != nil {
+				t.Fatalf("%s/%s (interpreter): %v", q.name, optName, err)
+			}
+			sameResults(t, q.name+"/"+optName, hyRes, orRes, q.ordered)
+		}
+	}
+}
+
+// TestExecuteJobDirectly asserts the compiled job path really executes plans
+// (rather than silently deferring to the interpreter fallback): it compiles a
+// plan and runs it through executeJob and executePlan explicitly.
+func TestExecuteJobDirectly(t *testing.T) {
+	inst := newTinySocial(t)
+	for _, q := range []string{
+		`for $u in dataset MugshotUsers return $u.name`,
+		`avg(for $m in dataset MugshotMessages return string-length($m.message))`,
+	} {
+		e, err := aql.ParseQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := translator.Compile(e, inst, algebra.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobRes, err := inst.executeJob(plan)
+		if err != nil {
+			t.Fatalf("executeJob(%s): %v", q, err)
+		}
+		planRes, err := inst.executePlan(plan)
+		if err != nil {
+			t.Fatalf("executePlan(%s): %v", q, err)
+		}
+		sameResults(t, q, jobRes, planRes, false)
+	}
+}
+
+// TestSubplanSourceThroughExecutor covers user-defined functions as
+// datasource operators (Query 8/9's shape).
+func TestSubplanSourceThroughExecutor(t *testing.T) {
+	inst := newTinySocial(t)
+	if _, err := inst.Execute(`
+create function unemployed() {
+  for $msu in dataset MugshotUsers
+  where (every $e in $msu.employment satisfies not(is-null($e.end-date)))
+  return { "name": $msu.name, "address": $msu.address }
+};`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Query(`
+for $un in unemployed()
+where $un.address.zip = "98765"
+return $un;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("function query returned %d rows, want 2", len(res))
+	}
+}
+
+// TestConcurrentQueriesWithOptions exercises the QueryWithOptions data race
+// fixed by threading options through the compile call: concurrent queries
+// with different optimizer options on one instance must be safe (run under
+// -race).
+func TestConcurrentQueriesWithOptions(t *testing.T) {
+	inst := newTinySocial(t)
+	query := `
+for $m in dataset MugshotMessages
+where $m.timestamp >= datetime("2014-01-01T00:00:00")
+return $m.message-id;`
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				var res []adm.Value
+				var err error
+				if i%2 == 0 {
+					res, err = inst.QueryWithOptions(query, algebra.Options{DisableIndexAccess: true})
+				} else {
+					res, err = inst.Query(query)
+				}
+				if err != nil {
+					t.Errorf("worker %d: %v", i, err)
+					return
+				}
+				if len(res) != 4 {
+					t.Errorf("worker %d: got %d rows, want 4", i, len(res))
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestSelfJoinLargeDataset is the regression test for the scan-vs-scan
+// deadlock: a compiled self-join runs two pipelined scans of the same
+// dataset, and with more rows than the dataflow channels buffer, the probe
+// scan blocks mid-stream while the build scan must still finish. This hung
+// before ScanPartition moved its visitor outside the partition lock.
+func TestSelfJoinLargeDataset(t *testing.T) {
+	inst, err := Open(Config{DataDir: t.TempDir(), Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inst.Close() })
+	if _, err := inst.Execute(`
+create type N as closed { id: int32, k: int32 };
+create dataset Nums(N) primary key id;`); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := inst.Dataset("Nums")
+	var recs []*adm.Record
+	for i := 1; i <= 20000; i++ {
+		recs = append(recs, adm.NewRecord(
+			adm.Field{Name: "id", Value: adm.Int32(int32(i))},
+			adm.Field{Name: "k", Value: adm.Int32(int32(i % 100))},
+		))
+	}
+	if err := ds.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var res []adm.Value
+	var qerr error
+	go func() {
+		res, qerr = inst.Query(`
+for $a in dataset Nums
+for $b in dataset Nums
+where $a.id = $b.id and $a.id <= 3
+return $b.id;`)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("self-join deadlocked")
+	}
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if len(res) != 3 {
+		t.Fatalf("self-join returned %d rows, want 3", len(res))
+	}
+}

@@ -1,0 +1,3 @@
+module asterixdb
+
+go 1.24

@@ -441,6 +441,11 @@ func joinConjuncts(conjuncts []aql.Expr) aql.Expr {
 	return out
 }
 
+// VarsOf collects the variable names referenced by an expression. The
+// translator's job builder uses it to detect correlated subplan sources,
+// which cannot be compiled into a standalone datasource operator.
+func VarsOf(e aql.Expr) []string { return varsOf(e) }
+
 // varsOf collects the variable names referenced by an expression.
 func varsOf(e aql.Expr) []string {
 	var out []string

@@ -4,6 +4,42 @@
 // whose blocking edges partition the job into Stages; each Stage runs its
 // operator instances (one per partition) in parallel and Connectors
 // redistribute tuples between them.
+//
+// # Execution model
+//
+// Execute spawns one goroutine per operator instance (an operator with
+// parallelism N has N instances). Tuples stream between instances through
+// bounded channels; a Connector decides which consumer instance receives each
+// tuple (hash partitioning, replication, or partition-preserving one-to-one).
+// Operators with more than one input (the hybrid hash join) read from
+// numbered input ports: port 1 carries the blocking build side, port 0 the
+// streaming probe side.
+//
+// Tuples are never materialized between pipelined operators: a select feeding
+// an assign hands tuples over as they are produced, and only genuinely
+// blocking operators (sort, group, aggregate, the join build) buffer their
+// input. Tuples travel between instances in fixed-size frames (batches), as
+// in Hyracks proper, so the per-tuple channel cost is amortized across a
+// frame.
+//
+// # Cancellation
+//
+// The emit function handed to Operator.Run reports downstream demand: it
+// returns false once every consumer instance has returned, at which point the
+// producer should stop producing. This is how a LimitOp that has seen enough
+// tuples stops the datasource scans feeding it instead of draining them.
+// Internally each instance owns a done channel that is closed when its Run
+// returns; producers blocked on a full input channel select on that done
+// channel, so an early-returning consumer can never deadlock its upstream.
+//
+// # Determinism
+//
+// Results are gathered per sink-instance and concatenated in partition order,
+// so a shuffle-free pipeline (scan -> select -> assign -> sink over one-to-one
+// connectors) reproduces the storage scan order exactly. Connectors that merge
+// multiple producer instances into one consumer interleave tuples in arrival
+// order, which is nondeterministic; plans that need a total order sort above
+// the merge.
 package hyracks
 
 import (
@@ -12,6 +48,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"asterixdb/internal/adm"
 )
@@ -19,6 +56,29 @@ import (
 // Tuple is one row flowing between operators: a fixed-width slice of ADM
 // values whose column meaning is established by the producing operator.
 type Tuple []adm.Value
+
+// In iterates one operator instance's input port. It pulls tuple frames off
+// the port's channel and hands tuples out one at a time; Next reports false
+// when every producer has finished and the stream is exhausted.
+type In struct {
+	ch  <-chan []Tuple
+	cur []Tuple
+	idx int
+}
+
+// Next returns the next input tuple, or false at end of stream.
+func (in *In) Next() (Tuple, bool) {
+	for in.idx >= len(in.cur) {
+		f, ok := <-in.ch
+		if !ok {
+			return nil, false
+		}
+		in.cur, in.idx = f, 0
+	}
+	t := in.cur[in.idx]
+	in.idx++
+	return t, true
+}
 
 // ConnectorKind enumerates the connector types Hyracks provides.
 type ConnectorKind string
@@ -45,10 +105,12 @@ type Operator interface {
 	// before producing any output (e.g. sort, the build side of a hash join,
 	// a global aggregate).
 	Blocking() bool
-	// Run executes one instance of the operator for the given partition. The
-	// input channel is nil for source operators; the emit function forwards a
-	// tuple downstream.
-	Run(partition int, in <-chan Tuple, emit func(Tuple)) error
+	// Run executes one instance of the operator for the given partition.
+	// ins holds one tuple stream per input port (empty for source operators;
+	// ins[0] is the primary input). The emit function forwards a tuple
+	// downstream and returns false once no consumer wants further tuples,
+	// at which point Run should return early.
+	Run(partition int, ins []*In, emit func(Tuple) bool) error
 }
 
 // Connector routes tuples from a producer operator to a consumer operator.
@@ -58,11 +120,13 @@ type Connector struct {
 	HashColumns []int
 }
 
-// Edge wires the output of one operator to the input of another through a
-// connector.
+// Edge wires the output of one operator to an input port of another through a
+// connector. Port 0 is the primary input; the hybrid hash join reads its
+// build side from port 1.
 type Edge struct {
 	From      int // operator index
 	To        int // operator index
+	Port      int // consumer input port
 	Connector Connector
 }
 
@@ -79,9 +143,14 @@ func (j *Job) Add(op Operator) int {
 	return len(j.Operators) - 1
 }
 
-// Connect wires from -> to with the given connector.
+// Connect wires from -> to (input port 0) with the given connector.
 func (j *Job) Connect(from, to int, c Connector) {
-	j.Edges = append(j.Edges, Edge{From: from, To: to, Connector: c})
+	j.ConnectPort(from, to, 0, c)
+}
+
+// ConnectPort wires from -> to on the given consumer input port.
+func (j *Job) ConnectPort(from, to, port int, c Connector) {
+	j.Edges = append(j.Edges, Edge{From: from, To: to, Port: port, Connector: c})
 }
 
 // Describe renders the job in a compact textual form (one operator per line,
@@ -173,98 +242,258 @@ func (j *Job) topoOrder() ([]int, error) {
 	return order, nil
 }
 
+// frameSize is the number of tuples shipped per channel send. Like Hyracks'
+// fixed-size frames it amortizes the cross-instance handoff cost; it also
+// bounds how many tuples a producer buffers before a consumer sees them (and
+// therefore how far a scan overruns a limit's cancellation).
+const frameSize = 64
+
+// channelBuffer is the per-instance input channel capacity in frames. It
+// bounds how far a producer can run ahead of a consumer.
+const channelBuffer = 16
+
+// outPort is the producer-side state for one out edge: per-consumer-instance
+// frame buffers plus the channels and done signals of the consumer.
+type outPort struct {
+	edge      Edge
+	consumers []chan []Tuple
+	done      []chan struct{}
+	alive     *int32
+	bufs      [][]Tuple
+	scratch   []byte // reused hash-key encoding buffer
+}
+
+// send ships a full or final frame to consumer instance p, dropping it if
+// that instance already returned.
+func (o *outPort) send(p int) {
+	f := o.bufs[p]
+	if len(f) == 0 {
+		return
+	}
+	o.bufs[p] = nil
+	select {
+	case o.consumers[p] <- f:
+	case <-o.done[p]:
+		// Consumer instance finished early; the frame is discarded.
+	}
+}
+
+// push routes one tuple into the port's frame buffers, flushing frames as
+// they fill.
+func (o *outPort) push(producerPartition int, t Tuple) {
+	var p int
+	switch o.edge.Connector.Kind {
+	case MToNReplicating:
+		for p := range o.consumers {
+			o.bufs[p] = append(o.bufs[p], t)
+			if len(o.bufs[p]) >= frameSize {
+				o.send(p)
+			}
+		}
+		return
+	case MToNPartitioning, HashPartitioningShuffle:
+		p = o.hashPartition(t)
+	case MToNPartitioningMerging:
+		if len(o.edge.Connector.HashColumns) > 0 {
+			p = o.hashPartition(t)
+		} else {
+			p = 0 // pure N:1 merge into instance 0
+		}
+	default: // OneToOne, LocalityAwareMToNPartition
+		p = producerPartition % len(o.consumers)
+	}
+	o.bufs[p] = append(o.bufs[p], t)
+	if len(o.bufs[p]) >= frameSize {
+		o.send(p)
+	}
+}
+
+// flush ships every partially filled frame.
+func (o *outPort) flush() {
+	for p := range o.bufs {
+		o.send(p)
+	}
+}
+
 // Execute runs the job and returns the tuples emitted by sink operators
-// (operators with no outgoing edge), gathered across their partitions.
-// Each operator instance runs in its own goroutine; connectors are
-// implemented as channel fan-out/fan-in with hash partitioning, replication
-// or merging as requested.
+// (operators with no outgoing edge). Sink output is gathered per sink
+// instance and concatenated in partition order, so shuffle-free pipelines
+// produce deterministic results.
 func Execute(job *Job) ([]Tuple, error) {
 	if _, err := job.Stages(); err != nil {
 		return nil, err
 	}
-	// Channels feeding each operator instance.
-	inputs := make([][]chan Tuple, len(job.Operators))
-	producerCount := make([]int, len(job.Operators))
+	nOps := len(job.Operators)
+
+	// Splice structural passthrough operators out of the dataflow; they stay
+	// in the job description but cost nothing at run time.
+	edges, spliced := spliceEdges(job)
+
+	// Number of input ports per operator.
+	ports := make([]int, nOps)
+	for _, e := range edges {
+		if e.Port < 0 {
+			return nil, fmt.Errorf("hyracks: negative input port %d", e.Port)
+		}
+		if e.Port+1 > ports[e.To] {
+			ports[e.To] = e.Port + 1
+		}
+	}
+
+	// inputs[op][port][partition] feeds each instance; instDone[op][partition]
+	// is closed when that instance's Run returns, unblocking producers.
+	inputs := make([][][]chan []Tuple, nOps)
+	instDone := make([][]chan struct{}, nOps)
+	alive := make([]int32, nOps)
 	for i, op := range job.Operators {
-		inputs[i] = make([]chan Tuple, op.Parallelism())
-		for p := range inputs[i] {
-			inputs[i][p] = make(chan Tuple, 1024)
+		par := op.Parallelism()
+		if par <= 0 {
+			return nil, fmt.Errorf("hyracks: operator %s has parallelism %d", op.Name(), par)
+		}
+		if spliced[i] {
+			continue
+		}
+		alive[i] = int32(par)
+		inputs[i] = make([][]chan []Tuple, ports[i])
+		for q := range inputs[i] {
+			inputs[i][q] = make([]chan []Tuple, par)
+			for p := range inputs[i][q] {
+				inputs[i][q][p] = make(chan []Tuple, channelBuffer)
+			}
+		}
+		instDone[i] = make([]chan struct{}, par)
+		for p := range instDone[i] {
+			instDone[i][p] = make(chan struct{})
 		}
 	}
-	for _, e := range job.Edges {
-		producerCount[e.To] += job.Operators[e.From].Parallelism()
-	}
 
-	var mu sync.Mutex
-	var results []Tuple
-	var firstErr error
-	recordErr := func(err error) {
-		mu.Lock()
-		if firstErr == nil && err != nil {
-			firstErr = err
+	// remaining[op][port] counts producer instances still running; when it
+	// reaches zero the port's input channels are closed.
+	remaining := make([][]int, nOps)
+	for i := range remaining {
+		remaining[i] = make([]int, ports[i])
+	}
+	for _, e := range edges {
+		remaining[e.To][e.Port] += job.Operators[e.From].Parallelism()
+	}
+	// A declared port with no producers would never be closed: close it now so
+	// consumers see an immediate end of stream instead of deadlocking.
+	for i := range remaining {
+		for q, r := range remaining[i] {
+			if r == 0 {
+				for _, ch := range inputs[i][q] {
+					close(ch)
+				}
+			}
 		}
-		mu.Unlock()
 	}
-
-	// remaining producers per consumer; when it reaches zero the consumer's
-	// input channels are closed.
-	remaining := make([]int, len(job.Operators))
-	copy(remaining, producerCount)
 	var remainingMu sync.Mutex
-	producerDone := func(consumer int) {
+	producerDone := func(e Edge) {
 		remainingMu.Lock()
-		remaining[consumer]--
-		if remaining[consumer] == 0 {
-			for _, ch := range inputs[consumer] {
+		remaining[e.To][e.Port]--
+		if remaining[e.To][e.Port] == 0 {
+			for _, ch := range inputs[e.To][e.Port] {
 				close(ch)
 			}
 		}
 		remainingMu.Unlock()
 	}
 
+	var errMu sync.Mutex
+	var firstErr error
+	recordErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil && err != nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	// Per sink instance result buckets, concatenated in (operator, partition)
+	// order after the job drains.
+	sinkResults := make([][][]Tuple, nOps)
+	isSink := make([]bool, nOps)
+	for i, op := range job.Operators {
+		if !spliced[i] && len(outgoing(edges, i)) == 0 {
+			isSink[i] = true
+			sinkResults[i] = make([][]Tuple, op.Parallelism())
+		}
+	}
+
 	var wg sync.WaitGroup
 	for opIdx, op := range job.Operators {
-		outEdges := outgoing(job, opIdx)
+		if spliced[opIdx] {
+			continue
+		}
+		outEdges := outgoing(edges, opIdx)
 		for p := 0; p < op.Parallelism(); p++ {
 			wg.Add(1)
 			go func(opIdx, p int, op Operator, outEdges []Edge) {
 				defer wg.Done()
-				emit := func(t Tuple) {
-					if len(outEdges) == 0 {
-						mu.Lock()
-						results = append(results, t)
-						mu.Unlock()
-						return
-					}
-					for _, e := range outEdges {
-						routeTuple(job, e, p, t, inputs[e.To])
+				outs := make([]*outPort, len(outEdges))
+				for i, e := range outEdges {
+					outs[i] = &outPort{
+						edge:      e,
+						consumers: inputs[e.To][e.Port],
+						done:      instDone[e.To],
+						alive:     &alive[e.To],
+						bufs:      make([][]Tuple, len(inputs[e.To][e.Port])),
 					}
 				}
-				var in <-chan Tuple
-				if producerCount[opIdx] > 0 {
-					in = inputs[opIdx][p]
-				}
-				if err := op.Run(p, in, emit); err != nil {
-					recordErr(err)
-					// Drain the input so producers do not block forever.
-					if in != nil {
-						for range in {
+				var local []Tuple
+				emit := func(t Tuple) bool {
+					if len(outs) == 0 {
+						local = append(local, t)
+						return true
+					}
+					live := false
+					for _, o := range outs {
+						o.push(p, t)
+						if atomic.LoadInt32(o.alive) > 0 {
+							live = true
 						}
 					}
+					return live
 				}
+				ins := make([]*In, ports[opIdx])
+				for q := range ins {
+					ins[q] = &In{ch: inputs[opIdx][q][p]}
+				}
+				if err := op.Run(p, ins, emit); err != nil {
+					recordErr(err)
+				}
+				if isSink[opIdx] {
+					sinkResults[opIdx][p] = local
+				}
+				// Instance teardown: flush partial frames, unblock producers
+				// targeting this instance, then retire it as a producer.
+				for _, o := range outs {
+					o.flush()
+				}
+				close(instDone[opIdx][p])
+				atomic.AddInt32(&alive[opIdx], -1)
 				for _, e := range outEdges {
-					producerDone(e.To)
+					producerDone(e)
 				}
 			}(opIdx, p, op, outEdges)
 		}
 	}
 	wg.Wait()
+	var results []Tuple
+	for i := range job.Operators {
+		if !isSink[i] {
+			continue
+		}
+		for _, part := range sinkResults[i] {
+			results = append(results, part...)
+		}
+	}
 	return results, firstErr
 }
 
-func outgoing(job *Job, op int) []Edge {
+func outgoing(edges []Edge, op int) []Edge {
 	var out []Edge
-	for _, e := range job.Edges {
+	for _, e := range edges {
 		if e.From == op {
 			out = append(out, e)
 		}
@@ -272,27 +501,21 @@ func outgoing(job *Job, op int) []Edge {
 	return out
 }
 
-// routeTuple applies the edge's connector semantics to deliver a tuple from
-// producer partition p to the consumer's input channels.
-func routeTuple(job *Job, e Edge, producerPartition int, t Tuple, consumers []chan Tuple) {
-	switch e.Connector.Kind {
-	case OneToOne, LocalityAwareMToNPartition:
-		consumers[producerPartition%len(consumers)] <- t
-	case MToNReplicating:
-		for _, ch := range consumers {
-			ch <- t
+// hashPartition selects the consumer instance for a tuple by hashing the
+// connector's hash columns. It must be a pure function of the column values
+// so equal keys always land in the same instance; the port's scratch buffer
+// is reused across tuples to keep the key encoding allocation-free.
+func (o *outPort) hashPartition(t Tuple) int {
+	h := fnv.New32a()
+	for _, col := range o.edge.Connector.HashColumns {
+		if col < len(t) {
+			o.scratch = adm.EncodeKey(o.scratch[:0], t[col])
+			h.Write(o.scratch)
 		}
-	case MToNPartitioning, HashPartitioningShuffle, MToNPartitioningMerging:
-		h := fnv.New32a()
-		for _, col := range e.Connector.HashColumns {
-			if col < len(t) {
-				h.Write(adm.EncodeKey(nil, t[col]))
-			}
-		}
-		consumers[int(h.Sum32())%len(consumers)] <- t
-	default:
-		consumers[producerPartition%len(consumers)] <- t
 	}
+	// Reduce in uint32 space: int(Sum32()) is negative for large hashes on
+	// 32-bit platforms and Go's % would preserve the sign.
+	return int(h.Sum32() % uint32(len(o.consumers)))
 }
 
 // ----------------------------------------------------------------------------
@@ -300,17 +523,100 @@ func routeTuple(job *Job, e Edge, producerPartition int, t Tuple, consumers []ch
 //
 // Hyracks provides a library of operators (the paper counts 53); the subset
 // below covers what AQL physical plans need: source scans, select, assign
-// (projection / expression evaluation), sort, limit, hash group/aggregate,
-// local and global aggregation, nested-loop and hash joins, and index search
-// descriptors used by compiled access paths.
+// (projection / expression evaluation), flat-map (index nested-loop probes),
+// sort, limit, hash group/aggregate, local and global aggregation, and the
+// two-activity hybrid hash join.
 // ----------------------------------------------------------------------------
+
+// PassthroughOp forwards its input unchanged. It exists so structural
+// operators (the primary-key sort and primary-index search of the Figure 6
+// access path, whose work SearchSecondaryRange already performed) appear in
+// the job description; Execute splices non-sink passthroughs out of the
+// dataflow entirely, so they cost nothing at run time.
+type PassthroughOp struct {
+	Label      string
+	Partitions int
+}
+
+// Name implements Operator.
+func (o *PassthroughOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *PassthroughOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *PassthroughOp) Blocking() bool { return false }
+
+// Run implements Operator (used only when the passthrough is a sink or could
+// not be spliced).
+func (o *PassthroughOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
+	for {
+		t, more := ins[0].Next()
+		if !more {
+			return nil
+		}
+		if !emit(t) {
+			return nil
+		}
+	}
+}
+
+// spliceEdges returns the job's edge list with every spliceable passthrough
+// operator removed: its single port-0 input edge is fused with each of its
+// output edges. An operator is spliceable when it is a *PassthroughOp with
+// exactly one one-to-one input from a producer of equal parallelism and at
+// least one output edge (a passthrough sink still runs).
+func spliceEdges(job *Job) ([]Edge, []bool) {
+	edges := append([]Edge(nil), job.Edges...)
+	spliced := make([]bool, len(job.Operators))
+	for changed := true; changed; {
+		changed = false
+		for i, op := range job.Operators {
+			po, ok := op.(*PassthroughOp)
+			if !ok || spliced[i] {
+				continue
+			}
+			in, out := -1, 0
+			multiIn := false
+			for j := range edges {
+				if edges[j].To == i {
+					if in >= 0 {
+						multiIn = true
+					}
+					in = j
+				}
+				if edges[j].From == i {
+					out++
+				}
+			}
+			if multiIn || in < 0 || out == 0 {
+				continue
+			}
+			e := edges[in]
+			if e.Port != 0 || e.Connector.Kind != OneToOne ||
+				job.Operators[e.From].Parallelism() != po.Partitions {
+				continue
+			}
+			for j := range edges {
+				if edges[j].From == i {
+					edges[j].From = e.From
+				}
+			}
+			edges = append(edges[:in], edges[in+1:]...)
+			spliced[i] = true
+			changed = true
+		}
+	}
+	return edges, spliced
+}
 
 // SourceOp produces tuples from a per-partition source function.
 type SourceOp struct {
 	Label      string
 	Partitions int
-	// Produce is called once per partition and must call emit for every tuple.
-	Produce func(partition int, emit func(Tuple)) error
+	// Produce is called once per partition and must call emit for every
+	// tuple; when emit returns false the source should stop producing.
+	Produce func(partition int, emit func(Tuple) bool) error
 }
 
 // Name implements Operator.
@@ -323,7 +629,7 @@ func (o *SourceOp) Parallelism() int { return o.Partitions }
 func (o *SourceOp) Blocking() bool { return false }
 
 // Run implements Operator.
-func (o *SourceOp) Run(partition int, _ <-chan Tuple, emit func(Tuple)) error {
+func (o *SourceOp) Run(partition int, _ []*In, emit func(Tuple) bool) error {
 	return o.Produce(partition, emit)
 }
 
@@ -344,21 +650,24 @@ func (o *SelectOp) Parallelism() int { return o.Partitions }
 func (o *SelectOp) Blocking() bool { return false }
 
 // Run implements Operator.
-func (o *SelectOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
-	for t := range in {
+func (o *SelectOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
+	for {
+		t, more := ins[0].Next()
+		if !more {
+			return nil
+		}
 		ok, err := o.Pred(t)
 		if err != nil {
 			return err
 		}
-		if ok {
-			emit(t)
+		if ok && !emit(t) {
+			return nil
 		}
 	}
-	return nil
 }
 
 // AssignOp maps each input tuple to an output tuple (projection or computed
-// columns).
+// columns). Returning a nil tuple from Fn drops the input tuple.
 type AssignOp struct {
 	Label      string
 	Partitions int
@@ -375,17 +684,62 @@ func (o *AssignOp) Parallelism() int { return o.Partitions }
 func (o *AssignOp) Blocking() bool { return false }
 
 // Run implements Operator.
-func (o *AssignOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
-	for t := range in {
+func (o *AssignOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
+	for {
+		t, more := ins[0].Next()
+		if !more {
+			return nil
+		}
 		out, err := o.Fn(t)
 		if err != nil {
 			return err
 		}
-		if out != nil {
-			emit(out)
+		if out != nil && !emit(out) {
+			return nil
 		}
 	}
-	return nil
+}
+
+// FlatMapOp expands each input tuple into zero or more output tuples; the
+// compiled index nested-loop join probes a dataset index per input tuple with
+// it.
+type FlatMapOp struct {
+	Label      string
+	Partitions int
+	Fn         func(partition int, t Tuple, emit func(Tuple) bool) error
+}
+
+// Name implements Operator.
+func (o *FlatMapOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *FlatMapOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *FlatMapOp) Blocking() bool { return false }
+
+// Run implements Operator.
+func (o *FlatMapOp) Run(partition int, ins []*In, emit func(Tuple) bool) error {
+	stop := false
+	wrapped := func(t Tuple) bool {
+		if !emit(t) {
+			stop = true
+			return false
+		}
+		return true
+	}
+	for {
+		t, more := ins[0].Next()
+		if !more {
+			return nil
+		}
+		if err := o.Fn(partition, t, wrapped); err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
 }
 
 // SortOp sorts its input by the given columns (all ascending unless Desc).
@@ -406,9 +760,13 @@ func (o *SortOp) Parallelism() int { return o.Partitions }
 func (o *SortOp) Blocking() bool { return true }
 
 // Run implements Operator.
-func (o *SortOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
+func (o *SortOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
 	var rows []Tuple
-	for t := range in {
+	for {
+		t, more := ins[0].Next()
+		if !more {
+			break
+		}
 		rows = append(rows, t)
 	}
 	var sortErr error
@@ -433,17 +791,21 @@ func (o *SortOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
 		return sortErr
 	}
 	for _, t := range rows {
-		emit(t)
+		if !emit(t) {
+			return nil
+		}
 	}
 	return nil
 }
 
-// LimitOp forwards at most N tuples (per instance; plans constrain it to a
-// single partition for a global limit).
+// LimitOp skips Offset tuples, forwards at most N, and then returns, which
+// cancels the producers feeding it instead of draining them (per instance;
+// plans constrain it to a single partition for a global limit).
 type LimitOp struct {
 	Label      string
 	Partitions int
 	N          int
+	Offset     int
 }
 
 // Name implements Operator.
@@ -456,14 +818,21 @@ func (o *LimitOp) Parallelism() int { return o.Partitions }
 func (o *LimitOp) Blocking() bool { return false }
 
 // Run implements Operator.
-func (o *LimitOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
-	n := 0
-	for t := range in {
-		if n < o.N {
-			emit(t)
-			n++
+func (o *LimitOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
+	skipped, n := 0, 0
+	for n < o.N {
+		t, more := ins[0].Next()
+		if !more {
+			return nil
 		}
-		// keep draining so upstream operators do not block
+		if skipped < o.Offset {
+			skipped++
+			continue
+		}
+		if !emit(t) {
+			return nil
+		}
+		n++
 	}
 	return nil
 }
@@ -488,9 +857,13 @@ func (o *AggregateOp) Parallelism() int { return o.Partitions }
 func (o *AggregateOp) Blocking() bool { return true }
 
 // Run implements Operator.
-func (o *AggregateOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
+func (o *AggregateOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
 	var rows []Tuple
-	for t := range in {
+	for {
+		t, more := ins[0].Next()
+		if !more {
+			break
+		}
 		rows = append(rows, t)
 	}
 	out, err := o.Fold(rows)
@@ -523,11 +896,15 @@ func (o *HashGroupOp) Parallelism() int { return o.Partitions }
 func (o *HashGroupOp) Blocking() bool { return true }
 
 // Run implements Operator.
-func (o *HashGroupOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
+func (o *HashGroupOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
 	groups := map[string][]Tuple{}
 	keys := map[string]Tuple{}
 	var order []string
-	for t := range in {
+	for {
+		t, more := ins[0].Next()
+		if !more {
+			break
+		}
 		var kb []byte
 		key := make(Tuple, 0, len(o.KeyColumns))
 		for _, col := range o.KeyColumns {
@@ -546,22 +923,54 @@ func (o *HashGroupOp) Run(_ int, in <-chan Tuple, emit func(Tuple)) error {
 		if err != nil {
 			return err
 		}
-		if out != nil {
-			emit(out)
+		if out != nil && !emit(out) {
+			return nil
 		}
 	}
 	return nil
 }
 
-// HybridHashJoinOp joins two inputs on equality of key columns. The build
-// side is read from Build (a blocking activity); the probe side streams from
-// the operator's input channel. This mirrors the HybridHash Join operator's
-// two Activities (Join Build and Join Probe) described in Section 4.1.
+// GroupAllOp is a blocking operator over a whole partition: it gathers every
+// input tuple and hands the batch to Fn, which emits any number of output
+// tuples. The compiled group-by, order-by and plain-aggregate operators are
+// built on it so they can reuse the interpreter's clause semantics verbatim.
+type GroupAllOp struct {
+	Label      string
+	Partitions int
+	Fn         func(partition int, rows []Tuple, emit func(Tuple) bool) error
+}
+
+// Name implements Operator.
+func (o *GroupAllOp) Name() string { return o.Label }
+
+// Parallelism implements Operator.
+func (o *GroupAllOp) Parallelism() int { return o.Partitions }
+
+// Blocking implements Operator.
+func (o *GroupAllOp) Blocking() bool { return true }
+
+// Run implements Operator.
+func (o *GroupAllOp) Run(partition int, ins []*In, emit func(Tuple) bool) error {
+	var rows []Tuple
+	for {
+		t, more := ins[0].Next()
+		if !more {
+			break
+		}
+		rows = append(rows, t)
+	}
+	return o.Fn(partition, rows, emit)
+}
+
+// HybridHashJoinOp joins two inputs on equality of join keys. The build side
+// streams in on input port 1 and is fully consumed into a hash table first
+// (the blocking Join Build activity); the probe side then streams through
+// port 0 (Join Probe). This mirrors the HybridHash Join operator's two
+// Activities described in Section 4.1. Both sides must be partitioned on the
+// join key by their incoming connectors so equal keys meet in one instance.
 type HybridHashJoinOp struct {
 	Label      string
 	Partitions int
-	// Build produces the build-side tuples for this partition.
-	Build func(partition int, emit func(Tuple)) error
 	// BuildKey / ProbeKey extract the join keys.
 	BuildKey func(Tuple) adm.Value
 	ProbeKey func(Tuple) adm.Value
@@ -579,22 +988,34 @@ func (o *HybridHashJoinOp) Parallelism() int { return o.Partitions }
 func (o *HybridHashJoinOp) Blocking() bool { return true }
 
 // Run implements Operator.
-func (o *HybridHashJoinOp) Run(partition int, in <-chan Tuple, emit func(Tuple)) error {
-	// Join Build activity.
+func (o *HybridHashJoinOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
+	if len(ins) < 2 {
+		return fmt.Errorf("hyracks: %s requires a build input on port 1", o.Label)
+	}
+	// Join Build activity. The key-encoding buffer is reused across tuples;
+	// only the map-key insertion copies it.
 	table := map[string][]Tuple{}
-	err := o.Build(partition, func(t Tuple) {
-		k := string(adm.EncodeKey(nil, o.BuildKey(t)))
+	var scratch []byte
+	for {
+		t, more := ins[1].Next()
+		if !more {
+			break
+		}
+		scratch = adm.EncodeKey(scratch[:0], o.BuildKey(t))
+		k := string(scratch) // the only remaining per-tuple copy: the map key
 		table[k] = append(table[k], t)
-	})
-	if err != nil {
-		return err
 	}
 	// Join Probe activity.
-	for t := range in {
-		k := string(adm.EncodeKey(nil, o.ProbeKey(t)))
-		for _, b := range table[k] {
-			emit(o.Combine(t, b))
+	for {
+		t, more := ins[0].Next()
+		if !more {
+			return nil
+		}
+		scratch = adm.EncodeKey(scratch[:0], o.ProbeKey(t))
+		for _, b := range table[string(scratch)] {
+			if !emit(o.Combine(t, b)) {
+				return nil
+			}
 		}
 	}
-	return nil
 }

@@ -3,6 +3,7 @@ package hyracks
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"asterixdb/internal/adm"
@@ -16,9 +17,11 @@ func buildScanSelectAggJob(partitions, perPartition int) *Job {
 	src := job.Add(&SourceOp{
 		Label:      "source",
 		Partitions: partitions,
-		Produce: func(p int, emit func(Tuple)) error {
+		Produce: func(p int, emit func(Tuple) bool) error {
 			for i := 0; i < perPartition; i++ {
-				emit(Tuple{adm.Int64(int64(p*perPartition + i))})
+				if !emit(Tuple{adm.Int64(int64(p*perPartition + i))}) {
+					return nil
+				}
 			}
 			return nil
 		},
@@ -107,7 +110,7 @@ func TestDescribe(t *testing.T) {
 
 func TestCycleDetection(t *testing.T) {
 	job := &Job{}
-	a := job.Add(&SourceOp{Label: "a", Partitions: 1, Produce: func(int, func(Tuple)) error { return nil }})
+	a := job.Add(&SourceOp{Label: "a", Partitions: 1, Produce: func(int, func(Tuple) bool) error { return nil }})
 	b := job.Add(&SelectOp{Label: "b", Partitions: 1, Pred: func(Tuple) (bool, error) { return true, nil }})
 	job.Connect(a, b, Connector{Kind: OneToOne})
 	job.Connect(b, a, Connector{Kind: OneToOne})
@@ -123,9 +126,11 @@ func TestSortLimitAndHashGroup(t *testing.T) {
 	job := &Job{}
 	src := job.Add(&SourceOp{
 		Label: "source", Partitions: 2,
-		Produce: func(p int, emit func(Tuple)) error {
+		Produce: func(p int, emit func(Tuple) bool) error {
 			for i := 0; i < 50; i++ {
-				emit(Tuple{adm.Int32(int32(i % 5)), adm.Int32(int32(i))})
+				if !emit(Tuple{adm.Int32(int32(i % 5)), adm.Int32(int32(i))}) {
+					return nil
+				}
 			}
 			return nil
 		},
@@ -162,26 +167,34 @@ func TestHybridHashJoin(t *testing.T) {
 	job := &Job{}
 	probe := job.Add(&SourceOp{
 		Label: "probe", Partitions: 2,
-		Produce: func(p int, emit func(Tuple)) error {
+		Produce: func(p int, emit func(Tuple) bool) error {
 			for i := 0; i < 10; i++ {
-				emit(Tuple{adm.Int32(int32(i))})
+				if !emit(Tuple{adm.Int32(int32(i))}) {
+					return nil
+				}
+			}
+			return nil
+		},
+	})
+	build := job.Add(&SourceOp{
+		Label: "build", Partitions: 1,
+		Produce: func(p int, emit func(Tuple) bool) error {
+			for i := 0; i < 20; i += 2 {
+				if !emit(Tuple{adm.Int32(int32(i)), adm.String(fmt.Sprintf("even-%d", i))}) {
+					return nil
+				}
 			}
 			return nil
 		},
 	})
 	join := job.Add(&HybridHashJoinOp{
 		Label: "join", Partitions: 2,
-		Build: func(p int, emit func(Tuple)) error {
-			for i := 0; i < 20; i += 2 {
-				emit(Tuple{adm.Int32(int32(i)), adm.String(fmt.Sprintf("even-%d", i))})
-			}
-			return nil
-		},
 		BuildKey: func(t Tuple) adm.Value { return t[0] },
 		ProbeKey: func(t Tuple) adm.Value { return t[0] },
 		Combine:  func(probe, build Tuple) Tuple { return Tuple{probe[0], build[1]} },
 	})
 	job.Connect(probe, join, Connector{Kind: MToNPartitioning, HashColumns: []int{0}})
+	job.ConnectPort(build, join, 1, Connector{Kind: MToNPartitioning, HashColumns: []int{0}})
 	results, err := Execute(job)
 	if err != nil {
 		t.Fatal(err)
@@ -196,11 +209,83 @@ func TestOperatorError(t *testing.T) {
 	job := &Job{}
 	src := job.Add(&SourceOp{
 		Label: "source", Partitions: 1,
-		Produce: func(int, func(Tuple)) error { return fmt.Errorf("boom") },
+		Produce: func(int, func(Tuple) bool) error { return fmt.Errorf("boom") },
 	})
 	sink := job.Add(&AssignOp{Label: "assign", Partitions: 1, Fn: func(t Tuple) (Tuple, error) { return t, nil }})
 	job.Connect(src, sink, Connector{Kind: OneToOne})
 	if _, err := Execute(job); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("expected operator error, got %v", err)
+	}
+}
+
+// TestLimitCancelsUpstreamScan is the cancellation contract: once a limit has
+// forwarded its N tuples it returns, and the sources feeding it must observe
+// emit() == false and stop scanning instead of producing their entire input.
+func TestLimitCancelsUpstreamScan(t *testing.T) {
+	const partitions, perPartition, limitN = 2, 200_000, 5
+	var produced atomic.Int64
+	job := &Job{}
+	src := job.Add(&SourceOp{
+		Label: "source", Partitions: partitions,
+		Produce: func(p int, emit func(Tuple) bool) error {
+			for i := 0; i < perPartition; i++ {
+				produced.Add(1)
+				if !emit(Tuple{adm.Int64(int64(i))}) {
+					return nil
+				}
+			}
+			return nil
+		},
+	})
+	sel := job.Add(&SelectOp{
+		Label: "select", Partitions: partitions,
+		Pred: func(Tuple) (bool, error) { return true, nil },
+	})
+	limit := job.Add(&LimitOp{Label: "limit", Partitions: 1, N: limitN})
+	job.Connect(src, sel, Connector{Kind: OneToOne})
+	job.Connect(sel, limit, Connector{Kind: MToNPartitioningMerging})
+	results, err := Execute(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != limitN {
+		t.Fatalf("limit produced %d tuples, want %d", len(results), limitN)
+	}
+	total := int64(partitions * perPartition)
+	if got := produced.Load(); got >= total/2 {
+		t.Errorf("sources produced %d of %d tuples; limit should have cancelled the scans early", got, total)
+	}
+}
+
+// TestEarlyConsumerReturnDoesNotDeadlock exercises the per-instance done
+// channels: a consumer that errors out mid-stream must not leave producers
+// blocked on its input channel.
+func TestEarlyConsumerReturnDoesNotDeadlock(t *testing.T) {
+	job := &Job{}
+	src := job.Add(&SourceOp{
+		Label: "source", Partitions: 4,
+		Produce: func(p int, emit func(Tuple) bool) error {
+			for i := 0; i < 10_000; i++ {
+				if !emit(Tuple{adm.Int64(int64(i))}) {
+					return nil
+				}
+			}
+			return nil
+		},
+	})
+	n := 0
+	sink := job.Add(&AssignOp{
+		Label: "failing-assign", Partitions: 1,
+		Fn: func(t Tuple) (Tuple, error) {
+			n++
+			if n > 3 {
+				return nil, fmt.Errorf("synthetic failure")
+			}
+			return t, nil
+		},
+	})
+	job.Connect(src, sink, Connector{Kind: MToNPartitioningMerging})
+	if _, err := Execute(job); err == nil || !strings.Contains(err.Error(), "synthetic failure") {
+		t.Errorf("expected synthetic failure, got %v", err)
 	}
 }

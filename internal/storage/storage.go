@@ -598,28 +598,53 @@ func (d *Dataset) lookupPKBytes(pk []byte) (*adm.Record, bool, error) {
 	return rec, rec != nil, nil
 }
 
+// scanChunk is the number of records decoded per partition-lock acquisition
+// during a scan.
+const scanChunk = 64
+
 // ScanPartition visits every record in one partition in primary-key order.
+// Records are decoded in chunks under the partition lock and the visitor runs
+// outside it: a pipelined consumer may block inside visit (on a full dataflow
+// channel) without wedging the partition, and two scans of the same partition
+// (a compiled self-join) cannot deadlock. The scan is therefore not atomic
+// across the partition: records inserted mid-scan with keys beyond the scan
+// cursor are visited.
 func (d *Dataset) ScanPartition(part int, visit func(*adm.Record) bool) error {
 	if part < 0 || part >= len(d.partitions) {
 		return fmt.Errorf("storage: partition %d out of range", part)
 	}
 	p := d.partitions[part]
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	var decodeErr error
-	p.primary.Scan(func(_, raw []byte) bool {
-		val, _, err := d.ser.Decode(raw)
-		if err != nil {
-			decodeErr = err
-			return false
+	var from []byte
+	for {
+		var chunk []*adm.Record
+		var decodeErr error
+		p.mu.Lock()
+		p.primary.Range(from, nil, func(key, raw []byte) bool {
+			val, _, err := d.ser.Decode(raw)
+			if err != nil {
+				decodeErr = err
+				return false
+			}
+			from = append(from[:0], key...)
+			if rec, ok := val.(*adm.Record); ok {
+				chunk = append(chunk, rec)
+			}
+			return len(chunk) < scanChunk
+		})
+		p.mu.Unlock()
+		if decodeErr != nil {
+			return decodeErr
 		}
-		rec, ok := val.(*adm.Record)
-		if !ok {
-			return true
+		for _, rec := range chunk {
+			if !visit(rec) {
+				return nil
+			}
 		}
-		return visit(rec)
-	})
-	return decodeErr
+		if len(chunk) < scanChunk {
+			return nil
+		}
+		from = append(from, 0) // resume strictly after the last key seen
+	}
 }
 
 // Scan visits every record in the dataset (all partitions). Partitions are

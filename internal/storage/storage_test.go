@@ -381,3 +381,41 @@ func TestMergePolicyPlumbing(t *testing.T) {
 		t.Errorf("Count = %d", count)
 	}
 }
+
+// TestScanPartitionVisitorOutsideLock is the regression test for the
+// self-join deadlock: the scan visitor must run outside the partition lock,
+// so a visitor can itself scan the same partition (as two pipelined scan
+// operators over one dataset do when one blocks on the other's progress).
+func TestScanPartitionVisitorOutsideLock(t *testing.T) {
+	m := newTestManager(t)
+	ds := createMessages(t, m, adm.SchemaEncoding)
+	var recs []*adm.Record
+	for i := 1; i <= 300; i++ {
+		recs = append(recs, message(i, i%7, 1000, "body", 41, 80))
+	}
+	if err := ds.InsertBatch(recs); err != nil {
+		t.Fatal(err)
+	}
+	outer, inner := 0, 0
+	err := ds.ScanPartition(0, func(*adm.Record) bool {
+		outer++
+		if outer == 1 {
+			if err := ds.ScanPartition(0, func(*adm.Record) bool {
+				inner++
+				return true
+			}); err != nil {
+				t.Fatalf("nested scan: %v", err)
+			}
+			if inner == 0 {
+				t.Fatal("nested scan saw no records")
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outer == 0 {
+		t.Fatal("outer scan saw no records")
+	}
+}

@@ -1,0 +1,1022 @@
+package translator
+
+import (
+	"fmt"
+	"strings"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/algebra"
+	"asterixdb/internal/aql"
+	"asterixdb/internal/expr"
+	"asterixdb/internal/hyracks"
+	"asterixdb/internal/storage"
+)
+
+// BuildJob converts an optimized physical plan into an executable Hyracks
+// job: every operator in the returned job carries a runnable closure over the
+// runtime's storage partitions and the expression evaluator, wired with the
+// connector structure of Figure 6. Plans the job generator cannot express
+// (correlated subplan sources, r-tree access paths) report an error; the
+// engine falls back to the reference interpreter for those.
+func BuildJob(plan *algebra.Plan, rt Runtime, partitions int) (*hyracks.Job, error) {
+	if partitions <= 0 {
+		partitions = 1
+	}
+	if plan.Root == nil || plan.Root.Kind != algebra.OpDistribute {
+		return nil, fmt.Errorf("translator: plan has no distribute-result root")
+	}
+	b := &jobBuilder{
+		job:        &hyracks.Job{},
+		rt:         rt,
+		partitions: partitions,
+		ctx:        rt.EvalContext(),
+		query:      plan.Query,
+	}
+	if _, err := b.buildDistribute(plan.Root); err != nil {
+		return nil, err
+	}
+	return b.job, nil
+}
+
+// jobBuilder accumulates operators and connectors while walking a plan tree
+// bottom-up.
+type jobBuilder struct {
+	job        *hyracks.Job
+	rt         Runtime
+	partitions int
+	ctx        *expr.Context
+	query      *aql.FLWORExpr
+}
+
+// stream describes the output of a built subtree: the producing operator,
+// its parallelism, and the tuple schema it emits.
+type stream struct {
+	op     int
+	par    int
+	schema Schema
+}
+
+// connect wires prev -> op on port 0 with the given connector and returns the
+// new stream.
+func (b *jobBuilder) connect(prev stream, op int, par int, schema Schema, c hyracks.Connector) stream {
+	b.job.Connect(prev.op, op, c)
+	return stream{op: op, par: par, schema: schema}
+}
+
+// gatherConnector merges an N-way stream into a single consumer instance.
+func gatherConnector(par int) hyracks.Connector {
+	if par == 1 {
+		return hyracks.Connector{Kind: hyracks.OneToOne}
+	}
+	return hyracks.Connector{Kind: hyracks.MToNPartitioningMerging}
+}
+
+// bindInto overwrites env with the tuple's bindings under the schema.
+func bindInto(env expr.Env, schema Schema, t hyracks.Tuple) {
+	for i, name := range schema {
+		if i < len(t) && t[i] != nil {
+			env[name] = t[i]
+		} else {
+			delete(env, name)
+		}
+	}
+}
+
+// envBinder returns a per-partition tuple-to-environment binder that reuses
+// one map per operator instance. The evaluator never retains an environment
+// beyond the Eval call (Env.With copies), so streaming operators can
+// overwrite the same map for every tuple instead of allocating one each —
+// the dominant per-tuple cost otherwise. Operators that materialize
+// environments (group-by, sort) must use Schema.Env instead.
+func envBinder(schema Schema, par int) func(p int, t hyracks.Tuple) expr.Env {
+	envs := make([]expr.Env, par)
+	return func(p int, t hyracks.Tuple) expr.Env {
+		env := envs[p]
+		if env == nil {
+			env = make(expr.Env, len(schema)+4)
+			envs[p] = env
+		}
+		bindInto(env, schema, t)
+		return env
+	}
+}
+
+func (b *jobBuilder) build(n *algebra.Node) (stream, error) {
+	switch n.Kind {
+	case algebra.OpScan:
+		return b.buildScan(n)
+	case algebra.OpSubplan:
+		return b.buildSubplan(n)
+	case algebra.OpIndexSearch:
+		return b.buildIndexSearch(n)
+	case algebra.OpSortPK:
+		return b.buildPassthrough(n.Inputs[0], "sort(primary-keys)")
+	case algebra.OpPrimarySearch:
+		return b.buildPassthrough(n.Inputs[0], fmt.Sprintf("btree-search(%s)", n.Dataset))
+	case algebra.OpSelect:
+		return b.buildSelect(n)
+	case algebra.OpAssign:
+		return b.buildAssign(n)
+	case algebra.OpJoin:
+		return b.buildJoin(n)
+	case algebra.OpGroupBy:
+		return b.buildGroupBy(n)
+	case algebra.OpOrder:
+		return b.buildOrder(n)
+	case algebra.OpLimit:
+		return b.buildLimit(n)
+	case algebra.OpLocalAgg:
+		return b.buildLocalAgg(n)
+	case algebra.OpGlobalAgg:
+		return b.buildGlobalAgg(n)
+	case algebra.OpAggregate:
+		return b.buildAggregate(n)
+	}
+	return stream{}, fmt.Errorf("translator: no executable operator for %s", n.Kind)
+}
+
+// buildInput builds the node's primary input, or a constant single-empty-
+// tuple source for input-less operators (queries that begin with let
+// clauses).
+func (b *jobBuilder) buildInput(n *algebra.Node) (stream, error) {
+	if len(n.Inputs) == 0 {
+		op := b.job.Add(&hyracks.SourceOp{
+			Label:      "empty-tuple-source",
+			Partitions: 1,
+			Produce: func(_ int, emit func(hyracks.Tuple) bool) error {
+				emit(hyracks.Tuple{})
+				return nil
+			},
+		})
+		return stream{op: op, par: 1, schema: Schema{}}, nil
+	}
+	return b.build(n.Inputs[0])
+}
+
+// ----------------------------------------------------------------------------
+// Sources
+// ----------------------------------------------------------------------------
+
+func (b *jobBuilder) buildScan(n *algebra.Node) (stream, error) {
+	schema := Schema{n.Variable}
+	if ds, ok := b.rt.LookupDataset(n.Dataverse, n.Dataset); ok {
+		// Internal dataset: one scan instance per storage partition.
+		op := b.job.Add(&hyracks.SourceOp{
+			Label:      fmt.Sprintf("datasource-scan(%s)", n.Dataset),
+			Partitions: b.partitions,
+			Produce: func(p int, emit func(hyracks.Tuple) bool) error {
+				return ds.ScanPartition(p, func(rec *adm.Record) bool {
+					return emit(hyracks.Tuple{rec})
+				})
+			},
+		})
+		return stream{op: op, par: b.partitions, schema: schema}, nil
+	}
+	// Metadata and external datasets have no storage partitions; the runtime
+	// materializes them into a single-instance source. Unknown datasets
+	// surface their error when the job runs, like the interpreter.
+	dataverse, dataset := n.Dataverse, n.Dataset
+	op := b.job.Add(&hyracks.SourceOp{
+		Label:      fmt.Sprintf("datasource-scan(%s)", n.Dataset),
+		Partitions: 1,
+		Produce: func(_ int, emit func(hyracks.Tuple) bool) error {
+			recs, err := b.rt.ReadDatasetRecords(dataverse, dataset)
+			if err != nil {
+				return err
+			}
+			for _, rec := range recs {
+				if !emit(hyracks.Tuple{rec}) {
+					return nil
+				}
+			}
+			return nil
+		},
+	})
+	return stream{op: op, par: 1, schema: schema}, nil
+}
+
+func (b *jobBuilder) buildSubplan(n *algebra.Node) (stream, error) {
+	src := n.Exprs[0]
+	if vars := algebra.VarsOf(src); len(vars) > 0 {
+		// A source that references other plan variables (e.g. iterating a
+		// field of an outer binding) cannot run as a standalone datasource.
+		return stream{}, fmt.Errorf("translator: correlated subplan source references $%s", vars[0])
+	}
+	op := b.job.Add(&hyracks.SourceOp{
+		Label:      "subplan",
+		Partitions: 1,
+		Produce: func(_ int, emit func(hyracks.Tuple) bool) error {
+			v, err := expr.Eval(b.ctx, expr.Env{}, src)
+			if err != nil {
+				return err
+			}
+			var items []adm.Value
+			switch l := v.(type) {
+			case *adm.OrderedList:
+				items = l.Items
+			case *adm.UnorderedList:
+				items = l.Items
+			default:
+				items = []adm.Value{v}
+			}
+			for _, it := range items {
+				if !emit(hyracks.Tuple{it}) {
+					return nil
+				}
+			}
+			return nil
+		},
+	})
+	return stream{op: op, par: 1, schema: Schema{n.Variable}}, nil
+}
+
+func (b *jobBuilder) buildIndexSearch(n *algebra.Node) (stream, error) {
+	ds, ok := b.rt.LookupDataset(n.Dataverse, n.Dataset)
+	if !ok {
+		return stream{}, fmt.Errorf("translator: dataset %q has no stored partitions for index search", n.Dataset)
+	}
+	index, loExpr, hiExpr := n.Index, n.LoExpr, n.HiExpr
+	op := b.job.Add(&hyracks.SourceOp{
+		Label:      fmt.Sprintf("btree-search(%s)", index),
+		Partitions: 1,
+		Produce: func(_ int, emit func(hyracks.Tuple) bool) error {
+			var lo, hi adm.Value
+			if loExpr != nil {
+				v, err := expr.Eval(b.ctx, expr.Env{}, loExpr)
+				if err != nil {
+					return err
+				}
+				lo = v
+			}
+			if hiExpr != nil {
+				v, err := expr.Eval(b.ctx, expr.Env{}, hiExpr)
+				if err != nil {
+					return err
+				}
+				hi = v
+			}
+			recs, err := ds.SearchSecondaryRange(index, lo, hi)
+			if err != nil {
+				return err
+			}
+			for _, rec := range recs {
+				if !emit(hyracks.Tuple{rec}) {
+					return nil
+				}
+			}
+			return nil
+		},
+	})
+	return stream{op: op, par: 1, schema: Schema{n.Variable}}, nil
+}
+
+// buildPassthrough adds a structural identity operator. The secondary-index
+// access path keeps its Figure 6 shape (sort of primary keys, primary-index
+// search) even though SearchSecondaryRange already performed both steps;
+// Execute splices these out of the running dataflow.
+func (b *jobBuilder) buildPassthrough(input *algebra.Node, label string) (stream, error) {
+	in, err := b.build(input)
+	if err != nil {
+		return stream{}, err
+	}
+	op := b.job.Add(&hyracks.PassthroughOp{Label: label, Partitions: in.par})
+	return b.connect(in, op, in.par, in.schema, hyracks.Connector{Kind: hyracks.OneToOne}), nil
+}
+
+// ----------------------------------------------------------------------------
+// Pipelined operators
+// ----------------------------------------------------------------------------
+
+func (b *jobBuilder) buildSelect(n *algebra.Node) (stream, error) {
+	in, err := b.buildInput(n)
+	if err != nil {
+		return stream{}, err
+	}
+	cond, schema := n.Condition, in.schema
+	bind := envBinder(schema, in.par)
+	op := b.job.Add(&hyracks.FlatMapOp{
+		Label:      "select",
+		Partitions: in.par,
+		Fn: func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+			keep, err := expr.EvalBool(b.ctx, bind(p, t), cond)
+			if err != nil {
+				return err
+			}
+			if keep {
+				emit(t)
+			}
+			return nil
+		},
+	})
+	return b.connect(in, op, in.par, schema, hyracks.Connector{Kind: hyracks.OneToOne}), nil
+}
+
+func (b *jobBuilder) buildAssign(n *algebra.Node) (stream, error) {
+	in, err := b.buildInput(n)
+	if err != nil {
+		return stream{}, err
+	}
+	vars, exprs, inSchema := n.Vars, n.Exprs, in.schema
+	outSchema := append(append(Schema{}, inSchema...), vars...)
+	bind := envBinder(inSchema, in.par)
+	op := b.job.Add(&hyracks.FlatMapOp{
+		Label:      "assign",
+		Partitions: in.par,
+		Fn: func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+			env := bind(p, t)
+			out := make(hyracks.Tuple, len(t), len(t)+len(vars))
+			copy(out, t)
+			for i, v := range vars {
+				val, err := expr.Eval(b.ctx, env, exprs[i])
+				if err != nil {
+					return err
+				}
+				env[v] = val // later expressions see earlier assignments
+				out = append(out, val)
+			}
+			emit(out)
+			return nil
+		},
+	})
+	return b.connect(in, op, in.par, outSchema, hyracks.Connector{Kind: hyracks.OneToOne}), nil
+}
+
+// ----------------------------------------------------------------------------
+// Joins
+// ----------------------------------------------------------------------------
+
+func (b *jobBuilder) buildJoin(n *algebra.Node) (stream, error) {
+	left, err := b.build(n.Inputs[0])
+	if err != nil {
+		return stream{}, err
+	}
+	method := n.Method
+	if (method == algebra.HybridHashJoin || method == algebra.IndexNestedLoop) &&
+		(n.LeftKey == nil || n.RightKey == nil) {
+		method = algebra.NestedLoopJoin
+	}
+	if method == algebra.IndexNestedLoop {
+		if s, ok, err := b.buildIndexNLJoin(n, left); err != nil || ok {
+			return s, err
+		}
+		// The right side has no usable primary key or index: degrade to a
+		// hybrid hash join, like the interpreter's fallback.
+		method = algebra.HybridHashJoin
+	}
+	if method == algebra.HybridHashJoin {
+		return b.buildHashJoin(n, left)
+	}
+	return b.buildNestedLoopJoin(n, left)
+}
+
+// keyAssign appends the evaluated join key as a synthetic trailing column so
+// partitioning connectors can hash on it. Tuples whose key is NULL or MISSING
+// are dropped, matching equijoin semantics.
+func (b *jobBuilder) keyAssign(in stream, key aql.Expr, label string) stream {
+	inSchema := in.schema
+	outSchema := append(append(Schema{}, inSchema...), "#join-key")
+	bind := envBinder(inSchema, in.par)
+	op := b.job.Add(&hyracks.FlatMapOp{
+		Label:      label,
+		Partitions: in.par,
+		Fn: func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+			v, err := expr.Eval(b.ctx, bind(p, t), key)
+			if err != nil {
+				return err
+			}
+			if adm.IsUnknown(v) {
+				return nil // drop: unknown keys never join
+			}
+			out := make(hyracks.Tuple, len(t), len(t)+1)
+			copy(out, t)
+			emit(append(out, v))
+			return nil
+		},
+	})
+	return b.connect(in, op, in.par, outSchema, hyracks.Connector{Kind: hyracks.OneToOne})
+}
+
+// buildHashJoin wires the paper's hybrid hash join: both sides are hash-
+// partitioned on the join key (the probe into port 0, the build into port 1)
+// so equal keys meet in the same join instance.
+func (b *jobBuilder) buildHashJoin(n *algebra.Node, left stream) (stream, error) {
+	right, err := b.build(n.Inputs[1])
+	if err != nil {
+		return stream{}, err
+	}
+	probe := b.keyAssign(left, n.LeftKey, "assign(probe-key)")
+	build := b.keyAssign(right, n.RightKey, "assign(build-key)")
+	probeCol, buildCol := len(left.schema), len(right.schema)
+	outSchema := append(append(Schema{}, left.schema...), right.schema...)
+	join := b.job.Add(&hyracks.HybridHashJoinOp{
+		Label:      fmt.Sprintf("join(%s)", algebra.HybridHashJoin),
+		Partitions: b.partitions,
+		ProbeKey:   func(t hyracks.Tuple) adm.Value { return t[probeCol] },
+		BuildKey:   func(t hyracks.Tuple) adm.Value { return t[buildCol] },
+		Combine: func(p, bd hyracks.Tuple) hyracks.Tuple {
+			out := make(hyracks.Tuple, 0, probeCol+buildCol)
+			out = append(out, p[:probeCol]...)
+			return append(out, bd[:buildCol]...)
+		},
+	})
+	b.job.Connect(probe.op, join, hyracks.Connector{Kind: hyracks.MToNPartitioning, HashColumns: []int{probeCol}})
+	b.job.ConnectPort(build.op, join, 1, hyracks.Connector{Kind: hyracks.MToNPartitioning, HashColumns: []int{buildCol}})
+	return stream{op: join, par: b.partitions, schema: outSchema}, nil
+}
+
+// buildIndexNLJoin compiles the /*+ indexnl */ join: for every probe tuple it
+// looks the join key up in the right dataset's primary index or a secondary
+// B+-tree index. It reports ok=false when the right side is not index-
+// probeable, in which case the caller degrades to a hash join.
+func (b *jobBuilder) buildIndexNLJoin(n *algebra.Node, left stream) (stream, bool, error) {
+	rightNode := n.Inputs[1]
+	if rightNode.Kind != algebra.OpScan {
+		return stream{}, false, nil
+	}
+	ds, ok := b.rt.LookupDataset(rightNode.Dataverse, rightNode.Dataset)
+	if !ok {
+		return stream{}, false, nil
+	}
+	field, ok := fieldOfVar(n.RightKey, rightNode.Variable)
+	if !ok {
+		return stream{}, false, nil
+	}
+	spec := ds.Spec()
+	pkProbe := len(spec.PrimaryKey) == 1 && spec.PrimaryKey[0] == field
+	indexName := ""
+	if !pkProbe {
+		ix, found := ds.IndexOnField(field, storage.BTreeIndex)
+		if !found {
+			return stream{}, false, nil
+		}
+		indexName = ix.Name
+	}
+	leftKey, leftSchema := n.LeftKey, left.schema
+	outSchema := append(append(Schema{}, left.schema...), rightNode.Variable)
+	bind := envBinder(leftSchema, left.par)
+	op := b.job.Add(&hyracks.FlatMapOp{
+		Label:      fmt.Sprintf("join(%s)", algebra.IndexNestedLoop),
+		Partitions: left.par,
+		Fn: func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+			v, err := expr.Eval(b.ctx, bind(p, t), leftKey)
+			if err != nil {
+				return err
+			}
+			if adm.IsUnknown(v) {
+				return nil
+			}
+			var matches []*adm.Record
+			if pkProbe {
+				rec, found, err := ds.LookupPK(v)
+				if err != nil {
+					return err
+				}
+				if found {
+					matches = []*adm.Record{rec}
+				}
+			} else {
+				matches, err = ds.SearchSecondaryRange(indexName, v, v)
+				if err != nil {
+					return err
+				}
+			}
+			for _, m := range matches {
+				out := make(hyracks.Tuple, len(t), len(t)+1)
+				copy(out, t)
+				if !emit(append(out, m)) {
+					return nil
+				}
+			}
+			return nil
+		},
+	})
+	s := b.connect(left, op, left.par, outSchema, hyracks.Connector{Kind: hyracks.OneToOne})
+	return s, true, nil
+}
+
+// crossJoinOp is the nested-loop (cross product) join: the right side is
+// broadcast to every instance over input port 1 and buffered, then each probe
+// tuple from port 0 is combined with every buffered right tuple. A residual
+// select above applies any non-equi predicate.
+type crossJoinOp struct {
+	label string
+	par   int
+}
+
+func (o *crossJoinOp) Name() string     { return o.label }
+func (o *crossJoinOp) Parallelism() int { return o.par }
+func (o *crossJoinOp) Blocking() bool   { return true }
+func (o *crossJoinOp) Run(_ int, ins []*hyracks.In, emit func(hyracks.Tuple) bool) error {
+	if len(ins) < 2 {
+		return fmt.Errorf("hyracks: %s requires a build input on port 1", o.label)
+	}
+	var right []hyracks.Tuple
+	for {
+		t, more := ins[1].Next()
+		if !more {
+			break
+		}
+		right = append(right, t)
+	}
+	for {
+		t, more := ins[0].Next()
+		if !more {
+			return nil
+		}
+		for _, r := range right {
+			out := make(hyracks.Tuple, 0, len(t)+len(r))
+			out = append(out, t...)
+			out = append(out, r...)
+			if !emit(out) {
+				return nil
+			}
+		}
+	}
+}
+
+func (b *jobBuilder) buildNestedLoopJoin(n *algebra.Node, left stream) (stream, error) {
+	right, err := b.build(n.Inputs[1])
+	if err != nil {
+		return stream{}, err
+	}
+	outSchema := append(append(Schema{}, left.schema...), right.schema...)
+	join := b.job.Add(&crossJoinOp{
+		label: fmt.Sprintf("join(%s)", algebra.NestedLoopJoin),
+		par:   left.par,
+	})
+	b.job.Connect(left.op, join, hyracks.Connector{Kind: hyracks.OneToOne})
+	b.job.ConnectPort(right.op, join, 1, hyracks.Connector{Kind: hyracks.MToNReplicating})
+	return stream{op: join, par: left.par, schema: outSchema}, nil
+}
+
+// ----------------------------------------------------------------------------
+// Group, order, limit
+// ----------------------------------------------------------------------------
+
+// buildGroupBy hash-partitions the input on its grouping keys and applies the
+// interpreter's group-by semantics within each partition; co-partitioning
+// guarantees each group is complete in exactly one instance.
+func (b *jobBuilder) buildGroupBy(n *algebra.Node) (stream, error) {
+	in, err := b.buildInput(n)
+	if err != nil {
+		return stream{}, err
+	}
+	keys := n.GroupKeys
+	inSchema := in.schema
+	// Synthetic key columns for the shuffle.
+	shuffleSchema := append(Schema{}, inSchema...)
+	cols := make([]int, len(keys))
+	for i := range keys {
+		cols[i] = len(inSchema) + i
+		shuffleSchema = append(shuffleSchema, fmt.Sprintf("#group-key-%d", i))
+	}
+	bind := envBinder(inSchema, in.par)
+	keyOp := b.job.Add(&hyracks.FlatMapOp{
+		Label:      "assign(group-keys)",
+		Partitions: in.par,
+		Fn: func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+			env := bind(p, t)
+			out := make(hyracks.Tuple, len(t), len(t)+len(keys))
+			copy(out, t)
+			for _, k := range keys {
+				v, err := expr.Eval(b.ctx, env, k.Expr)
+				if err != nil {
+					return err
+				}
+				out = append(out, v)
+			}
+			emit(out)
+			return nil
+		},
+	})
+	keyed := b.connect(in, keyOp, in.par, shuffleSchema, hyracks.Connector{Kind: hyracks.OneToOne})
+
+	// The with-variables' tuple columns, resolved against the input schema.
+	withCols := make([]int, len(n.GroupWith))
+	for i, w := range n.GroupWith {
+		col, ok := columnOfVariable(&aql.VariableRef{Name: w}, inSchema)
+		if !ok {
+			return stream{}, fmt.Errorf("translator: group-by with-variable $%s is not bound", w)
+		}
+		withCols[i] = col
+	}
+	outSchema := Schema{}
+	for _, k := range keys {
+		outSchema = append(outSchema, k.Var)
+	}
+	outSchema = append(outSchema, n.GroupWith...)
+	// Group over tuples with the library's HashGroupOp: the key values were
+	// computed by the assign above (so the shuffle and the grouping agree),
+	// and each with-variable becomes the bag of its column's values across
+	// the group, exactly the interpreter's applyGroupBy semantics in
+	// first-encounter order.
+	// A single-partition input needs no repartitioning: every group is
+	// already complete in the one instance, so skip the shuffle.
+	groupPar := b.partitions
+	groupConn := hyracks.Connector{Kind: hyracks.HashPartitioningShuffle, HashColumns: cols}
+	if in.par == 1 {
+		groupPar = 1
+		groupConn = hyracks.Connector{Kind: hyracks.OneToOne}
+	}
+	groupOp := b.job.Add(&hyracks.HashGroupOp{
+		Label:      "hash-group-by",
+		Partitions: groupPar,
+		KeyColumns: cols,
+		Reduce: func(key hyracks.Tuple, rows []hyracks.Tuple) (hyracks.Tuple, error) {
+			out := make(hyracks.Tuple, 0, len(keys)+len(withCols))
+			out = append(out, key...)
+			for _, c := range withCols {
+				items := make([]adm.Value, len(rows))
+				for i, r := range rows {
+					items[i] = r[c]
+				}
+				out = append(out, &adm.OrderedList{Items: items})
+			}
+			return out, nil
+		},
+	})
+	return b.connect(keyed, groupOp, groupPar, outSchema, groupConn), nil
+}
+
+func (b *jobBuilder) buildOrder(n *algebra.Node) (stream, error) {
+	in, err := b.buildInput(n)
+	if err != nil {
+		return stream{}, err
+	}
+	schema := in.schema
+	// Fast path: every order term is a bare variable, so the sort keys are
+	// existing tuple columns and the stock SortOp compares them directly (the
+	// same stable sort and adm.Compare semantics as the interpreter's
+	// applyOrderBy, without materializing environments).
+	colSort := true
+	sortCols := make([]int, len(n.OrderTerms))
+	sortDesc := make([]bool, len(n.OrderTerms))
+	for i, term := range n.OrderTerms {
+		col, ok := columnOfVariable(term.Expr, schema)
+		if !ok {
+			colSort = false
+			break
+		}
+		sortCols[i], sortDesc[i] = col, term.Desc
+	}
+	if colSort {
+		op := b.job.Add(&hyracks.SortOp{
+			Label:      "sort",
+			Partitions: 1,
+			Columns:    sortCols,
+			Desc:       sortDesc,
+		})
+		return b.connect(in, op, 1, schema, gatherConnector(in.par)), nil
+	}
+	clause := &aql.OrderByClause{Terms: n.OrderTerms}
+	op := b.job.Add(&hyracks.GroupAllOp{
+		Label:      "sort",
+		Partitions: 1,
+		Fn: func(_ int, rows []hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+			envs := make([]expr.Env, len(rows))
+			for i, t := range rows {
+				envs[i] = schema.Env(t)
+			}
+			ordered, err := expr.ApplyClause(b.ctx, envs, clause)
+			if err != nil {
+				return err
+			}
+			for _, env := range ordered {
+				if !emit(schema.Tuple(env)) {
+					return nil
+				}
+			}
+			return nil
+		},
+	})
+	return b.connect(in, op, 1, schema, gatherConnector(in.par)), nil
+}
+
+// buildLimit compiles the limit clause onto the library's cancelling
+// LimitOp. Limit and offset expressions never see tuple bindings (the
+// interpreter's applyLimit evaluates them in an empty environment too), so
+// they are folded to constants here at build time.
+func (b *jobBuilder) buildLimit(n *algebra.Node) (stream, error) {
+	in, err := b.buildInput(n)
+	if err != nil {
+		return stream{}, err
+	}
+	limV, err := expr.Eval(b.ctx, expr.Env{}, n.LimitExpr)
+	if err != nil {
+		return stream{}, err
+	}
+	lim, ok := adm.NumericAsInt64(limV)
+	if !ok {
+		return stream{}, fmt.Errorf("translator: limit must be numeric")
+	}
+	offset := int64(0)
+	if n.OffsetExpr != nil {
+		offV, err := expr.Eval(b.ctx, expr.Env{}, n.OffsetExpr)
+		if err != nil {
+			return stream{}, err
+		}
+		offset, _ = adm.NumericAsInt64(offV)
+	}
+	op := b.job.Add(&hyracks.LimitOp{
+		Label:      "limit",
+		Partitions: 1,
+		N:          int(max(lim, 0)),
+		Offset:     int(max(offset, 0)),
+	})
+	return b.connect(in, op, 1, in.schema, gatherConnector(in.par)), nil
+}
+
+// ----------------------------------------------------------------------------
+// Aggregation
+// ----------------------------------------------------------------------------
+
+// aggSchema is the synthetic single-column schema aggregate results flow in.
+var aggSchema = Schema{"#agg"}
+
+// aggPartial is the local half of the aggregation split: a per-partition
+// partial state mirroring the builtin aggregate's null semantics.
+// Layout: count -> {n}; sum/avg -> {sum, n, bad}; min/max -> {best, present, bad}.
+func (b *jobBuilder) aggPartial(fn string, ret aql.Expr, schema Schema) func(rows []hyracks.Tuple) (hyracks.Tuple, error) {
+	base := strings.TrimPrefix(fn, "sql-")
+	sql := strings.HasPrefix(fn, "sql-")
+	return func(rows []hyracks.Tuple) (hyracks.Tuple, error) {
+		env := make(expr.Env, len(schema)+1)
+		items := make([]adm.Value, 0, len(rows))
+		for _, t := range rows {
+			bindInto(env, schema, t)
+			v, err := expr.Eval(b.ctx, env, ret)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, v)
+		}
+		switch base {
+		case "count":
+			return hyracks.Tuple{adm.Int64(len(items))}, nil
+		case "sum", "avg":
+			sum, n, bad := 0.0, int64(0), false
+			for _, it := range items {
+				if adm.IsUnknown(it) {
+					if sql {
+						continue
+					}
+					bad = true
+					break
+				}
+				d, ok := adm.NumericAsDouble(it)
+				if !ok {
+					bad = true
+					break
+				}
+				sum += d
+				n++
+			}
+			return hyracks.Tuple{adm.Double(sum), adm.Int64(n), adm.Boolean(bad)}, nil
+		case "min", "max":
+			var best adm.Value
+			bad := false
+			for _, it := range items {
+				if adm.IsUnknown(it) {
+					if sql {
+						continue
+					}
+					bad = true
+					break
+				}
+				if best == nil {
+					best = it
+					continue
+				}
+				c, err := adm.Compare(it, best)
+				if err != nil {
+					bad = true
+					break
+				}
+				if (base == "max" && c > 0) || (base == "min" && c < 0) {
+					best = it
+				}
+			}
+			present := best != nil
+			if best == nil {
+				best = adm.Null{}
+			}
+			return hyracks.Tuple{best, adm.Boolean(present), adm.Boolean(bad)}, nil
+		}
+		return nil, fmt.Errorf("translator: no partial aggregate for %q", fn)
+	}
+}
+
+// aggCombine is the global half: it merges the per-partition partials into
+// the final aggregate value.
+func aggCombine(fn string) func(rows []hyracks.Tuple) (hyracks.Tuple, error) {
+	base := strings.TrimPrefix(fn, "sql-")
+	return func(rows []hyracks.Tuple) (hyracks.Tuple, error) {
+		switch base {
+		case "count":
+			total := int64(0)
+			for _, t := range rows {
+				n, _ := adm.NumericAsInt64(t[0])
+				total += n
+			}
+			return hyracks.Tuple{adm.Int64(total)}, nil
+		case "sum", "avg":
+			sum, n := 0.0, int64(0)
+			for _, t := range rows {
+				if bool(t[2].(adm.Boolean)) {
+					return hyracks.Tuple{adm.Null{}}, nil
+				}
+				d, _ := adm.NumericAsDouble(t[0])
+				c, _ := adm.NumericAsInt64(t[1])
+				sum += d
+				n += c
+			}
+			if n == 0 {
+				return hyracks.Tuple{adm.Null{}}, nil
+			}
+			if base == "avg" {
+				return hyracks.Tuple{adm.Double(sum / float64(n))}, nil
+			}
+			return hyracks.Tuple{adm.Double(sum)}, nil
+		case "min", "max":
+			var best adm.Value
+			for _, t := range rows {
+				if bool(t[2].(adm.Boolean)) {
+					return hyracks.Tuple{adm.Null{}}, nil
+				}
+				if !bool(t[1].(adm.Boolean)) {
+					continue
+				}
+				if best == nil {
+					best = t[0]
+					continue
+				}
+				c, err := adm.Compare(t[0], best)
+				if err != nil {
+					return hyracks.Tuple{adm.Null{}}, nil
+				}
+				if (base == "max" && c > 0) || (base == "min" && c < 0) {
+					best = t[0]
+				}
+			}
+			if best == nil {
+				best = adm.Null{}
+			}
+			return hyracks.Tuple{best}, nil
+		}
+		return nil, fmt.Errorf("translator: no global aggregate for %q", fn)
+	}
+}
+
+func (b *jobBuilder) buildLocalAgg(n *algebra.Node) (stream, error) {
+	in, err := b.buildInput(n)
+	if err != nil {
+		return stream{}, err
+	}
+	if b.query == nil {
+		return stream{}, fmt.Errorf("translator: aggregate plan has no source query")
+	}
+	op := b.job.Add(&hyracks.AggregateOp{
+		Label:      fmt.Sprintf("aggregate(local-%s)", n.AggFunc),
+		Partitions: in.par,
+		Fold:       b.aggPartial(n.AggFunc, b.query.Return, in.schema),
+	})
+	return b.connect(in, op, in.par, aggSchema, hyracks.Connector{Kind: hyracks.OneToOne}), nil
+}
+
+func (b *jobBuilder) buildGlobalAgg(n *algebra.Node) (stream, error) {
+	in, err := b.buildInput(n)
+	if err != nil {
+		return stream{}, err
+	}
+	op := b.job.Add(&hyracks.AggregateOp{
+		Label:      fmt.Sprintf("aggregate(global-%s)", n.AggFunc),
+		Partitions: 1,
+		Fold:       aggCombine(n.AggFunc),
+	})
+	// The n:1 replicating connector of Figure 6 gathers the partials.
+	return b.connect(in, op, 1, aggSchema, hyracks.Connector{Kind: hyracks.MToNReplicating}), nil
+}
+
+// buildAggregate is the unsplit aggregate (ablation path): gather everything
+// into one instance and apply the builtin aggregate exactly like the
+// interpreter.
+func (b *jobBuilder) buildAggregate(n *algebra.Node) (stream, error) {
+	in, err := b.buildInput(n)
+	if err != nil {
+		return stream{}, err
+	}
+	if b.query == nil {
+		return stream{}, fmt.Errorf("translator: aggregate plan has no source query")
+	}
+	fn, ret, schema := n.AggFunc, b.query.Return, in.schema
+	op := b.job.Add(&hyracks.AggregateOp{
+		Label:      fmt.Sprintf("aggregate(%s)", fn),
+		Partitions: 1,
+		Fold: func(rows []hyracks.Tuple) (hyracks.Tuple, error) {
+			env := make(expr.Env, len(schema)+1)
+			items := make([]adm.Value, 0, len(rows))
+			for _, t := range rows {
+				bindInto(env, schema, t)
+				v, err := expr.Eval(b.ctx, env, ret)
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, v)
+			}
+			call := &aql.CallExpr{Func: fn, Args: []aql.Expr{&aql.Literal{Value: &adm.OrderedList{Items: items}}}}
+			v, err := expr.Eval(b.ctx, expr.Env{}, call)
+			if err != nil {
+				return nil, err
+			}
+			return hyracks.Tuple{v}, nil
+		},
+	})
+	return b.connect(in, op, 1, aggSchema, gatherConnector(in.par)), nil
+}
+
+// ----------------------------------------------------------------------------
+// Distribute
+// ----------------------------------------------------------------------------
+
+// buildDistribute caps the job: for ordinary queries it evaluates the FLWOR's
+// return expression over each binding tuple; for aggregate-wrapped plans the
+// aggregate value passes through unchanged.
+func (b *jobBuilder) buildDistribute(n *algebra.Node) (stream, error) {
+	child := n.Inputs[0]
+	in, err := b.build(child)
+	if err != nil {
+		return stream{}, err
+	}
+	aggregated := child.Kind == algebra.OpGlobalAgg || child.Kind == algebra.OpAggregate
+	if !aggregated && b.query == nil {
+		return stream{}, fmt.Errorf("translator: plan has no source query for distribute-result")
+	}
+	var fn func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error
+	switch {
+	case aggregated:
+		// The aggregate value already sits alone in column 0.
+	default:
+		ret, schema := b.query.Return, in.schema
+		if col, ok := columnOfVariable(ret, schema); ok {
+			// "return $m" needs no evaluation: project the column. A width-1
+			// tuple is already in result layout and passes through untouched.
+			if col != 0 || len(schema) != 1 {
+				fn = func(_ int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+					emit(hyracks.Tuple{t[col]})
+					return nil
+				}
+			}
+			break
+		}
+		bind := envBinder(schema, in.par)
+		fn = func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+			v, err := expr.Eval(b.ctx, bind(p, t), ret)
+			if err != nil {
+				return err
+			}
+			emit(hyracks.Tuple{v})
+			return nil
+		}
+	}
+	var op int
+	if fn == nil {
+		op = b.job.Add(&hyracks.PassthroughOp{Label: "distribute-result", Partitions: in.par})
+	} else {
+		op = b.job.Add(&hyracks.FlatMapOp{
+			Label:      "distribute-result",
+			Partitions: in.par,
+			Fn:         fn,
+		})
+	}
+	return b.connect(in, op, in.par, Schema{"#result"}, hyracks.Connector{Kind: hyracks.OneToOne}), nil
+}
+
+// columnOfVariable reports the tuple column a bare variable-reference
+// expression reads from; later schema columns shadow earlier ones, like
+// environment binding order.
+func columnOfVariable(e aql.Expr, schema Schema) (int, bool) {
+	vr, ok := e.(*aql.VariableRef)
+	if !ok {
+		return 0, false
+	}
+	for i := len(schema) - 1; i >= 0; i-- {
+		if schema[i] == vr.Name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// fieldOfVar recognizes expressions of the form $var.field and returns the
+// field name.
+func fieldOfVar(e aql.Expr, variable string) (string, bool) {
+	fa, ok := e.(*aql.FieldAccess)
+	if !ok {
+		return "", false
+	}
+	vr, ok := fa.Base.(*aql.VariableRef)
+	if !ok || vr.Name != variable {
+		return "", false
+	}
+	return fa.Field, true
+}

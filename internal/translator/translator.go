@@ -1,17 +1,78 @@
 // Package translator turns AQL query expressions into optimized algebra plans
-// and Hyracks job descriptions (the code-generation step of Section 4.2).
-// The job descriptions carry the operator and connector structure of
-// Figure 6; the engine executes the corresponding physical plan with the
-// storage layer's access paths and the expr evaluator.
+// and executable Hyracks jobs (the code-generation step of Section 4.2).
+//
+// The pipeline is:
+//
+//	AQL FLWOR  --algebra.Build-->  logical plan
+//	           --algebra.Optimize-->  physical plan (access paths, join
+//	                                  methods, aggregation split)
+//	           --BuildJob-->  hyracks.Job of runnable operator instances
+//	           --hyracks.Execute-->  result tuples
+//
+// BuildJob maps every physical operator to a concrete Hyracks operator:
+// datasource scans read storage partitions in parallel, selects and assigns
+// evaluate AQL expressions against tuple schemas, joins are hybrid-hash
+// (build side wired to input port 1 through a partitioning connector),
+// index nested-loop or broadcast nested-loop, group-by hash-partitions on its
+// keys, and aggregates split into per-partition local and single global
+// halves exactly as in Figure 6. A Schema tracks which tuple column carries
+// which plan variable so expressions compiled from the query can be evaluated
+// against flowing tuples.
 package translator
 
 import (
 	"fmt"
 
+	"asterixdb/internal/adm"
 	"asterixdb/internal/algebra"
 	"asterixdb/internal/aql"
+	"asterixdb/internal/expr"
 	"asterixdb/internal/hyracks"
+	"asterixdb/internal/storage"
 )
+
+// Runtime is what a compiled job needs from the hosting instance when it
+// runs: dataset access for scans and index probes, plus the expression
+// evaluation context (clock, similarity settings, user functions, dataset
+// reader for correlated subqueries).
+type Runtime interface {
+	// EvalContext returns the instance's expression evaluation context.
+	EvalContext() *expr.Context
+	// LookupDataset resolves an internal (stored, partitioned) dataset.
+	// It reports false for external datasets and the Metadata dataverse.
+	LookupDataset(dataverse, name string) (*storage.Dataset, bool)
+	// ReadDatasetRecords materializes a dataset that has no storage
+	// partitions: external datasets and the Metadata datasets. It reports an
+	// error for datasets that do not exist.
+	ReadDatasetRecords(dataverse, name string) ([]*adm.Record, error)
+}
+
+// Schema maps plan variables to tuple columns: column i of a tuple carries
+// the value bound to variable Schema[i]. It is the bridge between the
+// algebra's named variables and the runtime's positional tuples.
+type Schema []string
+
+// Env converts a tuple into a variable-binding environment for the
+// expression evaluator. Columns holding nil (possible for synthetic columns)
+// are left unbound, matching the interpreter's sparse environments.
+func (s Schema) Env(t hyracks.Tuple) expr.Env {
+	env := make(expr.Env, len(s))
+	for i, name := range s {
+		if i < len(t) && t[i] != nil {
+			env[name] = t[i]
+		}
+	}
+	return env
+}
+
+// Tuple converts an environment back into a tuple laid out by the schema.
+func (s Schema) Tuple(env expr.Env) hyracks.Tuple {
+	t := make(hyracks.Tuple, len(s))
+	for i, name := range s {
+		t[i] = env[name]
+	}
+	return t
+}
 
 // Compile builds and optimizes the algebra plan for a FLWOR query. When the
 // query is a single aggregate call wrapped around a FLWOR (Query 10's shape),
@@ -45,100 +106,4 @@ func isAggregate(name string) bool {
 		return true
 	}
 	return false
-}
-
-// BuildJob converts an optimized plan into a Hyracks job description whose
-// operators and connectors mirror the plan's physical structure. The job is a
-// description (its operators carry no runnable closures); the engine executes
-// the plan against storage and wires live closures where needed. Describe()
-// on the returned job reproduces the structure of Figure 6 for Query 10.
-func BuildJob(plan *algebra.Plan, partitions int) *hyracks.Job {
-	job := &hyracks.Job{}
-	buildJobNode(job, plan.Root, partitions)
-	return job
-}
-
-// buildJobNode appends the operators for n (bottom-up) and returns the index
-// of the operator producing n's output.
-func buildJobNode(job *hyracks.Job, n *algebra.Node, partitions int) int {
-	if n == nil {
-		return -1
-	}
-	var inputIdx []int
-	for _, in := range n.Inputs {
-		inputIdx = append(inputIdx, buildJobNode(job, in, partitions))
-	}
-	par := partitions
-	label := ""
-	connector := hyracks.Connector{Kind: hyracks.OneToOne}
-	switch n.Kind {
-	case algebra.OpScan:
-		label = fmt.Sprintf("datasource-scan(%s)", n.Dataset)
-	case algebra.OpIndexSearch:
-		label = fmt.Sprintf("btree-search(%s)", n.Index)
-	case algebra.OpRTreeSearch:
-		label = fmt.Sprintf("rtree-search(%s)", n.Index)
-	case algebra.OpSortPK:
-		label = "sort(primary-keys)"
-	case algebra.OpPrimarySearch:
-		label = fmt.Sprintf("btree-search(%s)", n.Dataset)
-	case algebra.OpSelect:
-		label = "select"
-	case algebra.OpAssign:
-		label = "assign"
-	case algebra.OpJoin:
-		label = fmt.Sprintf("join(%s)", n.Method)
-		connector = hyracks.Connector{Kind: hyracks.MToNPartitioning}
-	case algebra.OpGroupBy:
-		label = "hash-group-by"
-		connector = hyracks.Connector{Kind: hyracks.HashPartitioningShuffle}
-	case algebra.OpOrder:
-		label = "sort"
-	case algebra.OpLimit:
-		label = "limit"
-		par = 1
-	case algebra.OpLocalAgg:
-		label = fmt.Sprintf("aggregate(local-%s)", n.AggFunc)
-	case algebra.OpGlobalAgg:
-		label = fmt.Sprintf("aggregate(global-%s)", n.AggFunc)
-		par = 1
-		connector = hyracks.Connector{Kind: hyracks.MToNReplicating}
-	case algebra.OpAggregate:
-		label = fmt.Sprintf("aggregate(%s)", n.AggFunc)
-		par = 1
-	case algebra.OpSubplan:
-		label = "subplan"
-	case algebra.OpDistribute:
-		label = "distribute-result"
-		par = 1
-	default:
-		label = string(n.Kind)
-	}
-	idx := job.Add(&descriptorOp{label: label, partitions: par})
-	for _, in := range inputIdx {
-		if in >= 0 {
-			job.Connect(in, idx, connector)
-		}
-	}
-	return idx
-}
-
-// descriptorOp is a structural placeholder operator used in job descriptions.
-type descriptorOp struct {
-	label      string
-	partitions int
-}
-
-// Name implements hyracks.Operator.
-func (d *descriptorOp) Name() string { return d.label }
-
-// Parallelism implements hyracks.Operator.
-func (d *descriptorOp) Parallelism() int { return d.partitions }
-
-// Blocking implements hyracks.Operator.
-func (d *descriptorOp) Blocking() bool { return false }
-
-// Run implements hyracks.Operator. Descriptor operators are not executable.
-func (d *descriptorOp) Run(int, <-chan hyracks.Tuple, func(hyracks.Tuple)) error {
-	return fmt.Errorf("translator: %s is a job description operator, not executable", d.label)
 }
