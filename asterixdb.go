@@ -227,14 +227,17 @@ func (in *Instance) DatasetInfo(dataverse, name string) algebra.DatasetInfo {
 	e, ok := in.datasets[name]
 	if !ok || e.internal == nil {
 		return algebra.DatasetInfo{Exists: ok, Partitions: in.cfg.Partitions,
-			BTreeIndexes: map[string]string{}, RTreeIndexes: map[string]string{}, InvertedIndexes: map[string]string{}}
+			BTreeIndexes: map[string]string{}, RTreeIndexes: map[string]string{},
+			KeywordIndexes: map[string]string{}, NGramIndexes: map[string]string{}, NGramLengths: map[string]int{}}
 	}
 	info := algebra.DatasetInfo{
-		Exists:          true,
-		Partitions:      in.cfg.Partitions,
-		BTreeIndexes:    map[string]string{},
-		RTreeIndexes:    map[string]string{},
-		InvertedIndexes: map[string]string{},
+		Exists:         true,
+		Partitions:     in.cfg.Partitions,
+		BTreeIndexes:   map[string]string{},
+		RTreeIndexes:   map[string]string{},
+		KeywordIndexes: map[string]string{},
+		NGramIndexes:   map[string]string{},
+		NGramLengths:   map[string]int{},
 	}
 	for _, ix := range e.internal.Indexes() {
 		switch ix.Kind {
@@ -242,8 +245,11 @@ func (in *Instance) DatasetInfo(dataverse, name string) algebra.DatasetInfo {
 			info.BTreeIndexes[ix.Fields[0]] = ix.Name
 		case storage.RTreeIndex:
 			info.RTreeIndexes[ix.Fields[0]] = ix.Name
-		case storage.KeywordIndex, storage.NGramIndex:
-			info.InvertedIndexes[ix.Fields[0]] = ix.Name
+		case storage.KeywordIndex:
+			info.KeywordIndexes[ix.Fields[0]] = ix.Name
+		case storage.NGramIndex:
+			info.NGramIndexes[ix.Fields[0]] = ix.Name
+			info.NGramLengths[ix.Fields[0]] = ix.GramLength
 		}
 	}
 	return info
@@ -752,21 +758,21 @@ func stringList(ss []string) *adm.OrderedList {
 // expressions are evaluated directly. Compiled plans run as pipelined Hyracks
 // jobs by default; Config.UseInterpreter selects the materializing
 // interpreter instead (the differential-testing oracle).
+//
+// The expression-interpreter fallback below is taken only when the query
+// cannot be planned at all (a non-FLWOR expression, or a shape algebra.Build
+// rejects such as positional variables) or when BuildJob cannot express the
+// plan — which, now that every access path and correlated unnest compiles, is
+// a bug rather than an expected path. Runtime errors from an executing job
+// are real errors and propagate.
 func (in *Instance) evaluateQuery(e aql.Expr, opts algebra.Options) ([]adm.Value, error) {
 	if plan, err := translator.Compile(e, in, opts); err == nil {
-		var values []adm.Value
-		var execErr error
 		if in.cfg.UseInterpreter {
-			values, execErr = in.executePlan(plan)
-		} else {
-			values, execErr = in.executeJob(plan)
+			return in.executePlan(plan)
 		}
-		if execErr == nil {
-			return values, nil
+		if job, err := translator.BuildJob(plan, in, in.cfg.Partitions); err == nil {
+			return in.runJob(job)
 		}
-		// Fall back to the interpreter for shapes the physical executor does
-		// not cover; the full expression interpreter is the reference
-		// semantics.
 	}
 	v, err := expr.Eval(in.evalCtx, expr.Env{}, e)
 	if err != nil {

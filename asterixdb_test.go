@@ -59,6 +59,7 @@ create index msTimestampIdx on MugshotMessages(timestamp);
 create index msAuthorIdx on MugshotMessages(author-id) type btree;
 create index msSenderLocIndex on MugshotMessages(sender-location) type rtree;
 create index msMessageIdx on MugshotMessages(message) type keyword;
+create index msMessageNGramIdx on MugshotMessages(message) type ngram(3);
 `
 
 func newTinySocial(t testing.TB) *Instance {

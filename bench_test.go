@@ -80,6 +80,9 @@ create dataset MugshotUsers(MugshotUserType) primary key id;
 create dataset MugshotMessages(MugshotMessageType) primary key message-id;
 create index msTimestampIdx on MugshotMessages(timestamp);
 create index msAuthorIdx on MugshotMessages(author-id) type btree;
+create index msSenderLocIdx on MugshotMessages(sender-location) type rtree;
+create index msMessageKwIdx on MugshotMessages(message) type keyword;
+create index msMessageNgIdx on MugshotMessages(message) type ngram(3);
 `
 		if _, err := inst.Execute(ddl); err != nil {
 			b.Fatal(err)
@@ -137,6 +140,35 @@ avg(
   where $m.timestamp >= %s and $m.timestamp <= %s
   return string-length($m.message)
 )`, lo, hi)
+}
+
+// spatialQuery selects the messages sent from a probe rectangle covering
+// roughly one ninth of the generator's sender-location space; with the index
+// enabled it compiles into the per-partition R-tree access path.
+func (e *benchEnv) spatialQuery() string {
+	return `
+for $m in dataset MugshotMessages
+where spatial-intersect($m.sender-location, create-rectangle(create-point(25.0, 75.0), create-point(35.0, 85.0)))
+return $m.message-id;`
+}
+
+// similarityQuery selects messages whose text contains a probe substring;
+// with the index enabled it compiles into the per-partition ngram
+// inverted-index access path ("data" also matches inside "database").
+func (e *benchEnv) similarityQuery() string {
+	return `
+for $m in dataset MugshotMessages
+where contains($m.message, "data")
+return $m.message-id;`
+}
+
+// keywordQuery selects messages containing an exact word token; with the
+// index enabled it compiles into the per-partition keyword access path.
+func (e *benchEnv) keywordQuery() string {
+	return `
+for $m in dataset MugshotMessages
+where (some $w in word-tokens($m.message) satisfies $w = "tonight")
+return $m.message-id;`
 }
 
 func (e *benchEnv) grpAggQuery(lo, hi adm.Datetime) string {
@@ -439,6 +471,38 @@ func BenchmarkFigure6JobCompilation(b *testing.B) {
 }
 
 // ----------------------------------------------------------------------------
+// Spatial and similarity queries (the access paths newly compiled into
+// per-partition Hyracks jobs): each case runs with the index access path
+// disabled (full scan + predicate) and enabled (R-tree / inverted index).
+// ----------------------------------------------------------------------------
+
+func benchIndexToggle(b *testing.B, query string) {
+	b.Helper()
+	env := getEnv(b)
+	for _, withIndex := range []bool{false, true} {
+		suffix := "NoIndex"
+		if withIndex {
+			suffix = "WithIndex"
+		}
+		b.Run(suffix, func(b *testing.B) {
+			benchAsterixQueryOpts(b, env.asterixSchema, query, algebra.Options{DisableIndexAccess: !withIndex})
+		})
+	}
+}
+
+func BenchmarkSpatialQuery(b *testing.B) {
+	benchIndexToggle(b, getEnv(b).spatialQuery())
+}
+
+func BenchmarkSimilarityQuery(b *testing.B) {
+	benchIndexToggle(b, getEnv(b).similarityQuery())
+}
+
+func BenchmarkKeywordQuery(b *testing.B) {
+	benchIndexToggle(b, getEnv(b).keywordQuery())
+}
+
+// ----------------------------------------------------------------------------
 // Scale-out (Section 4.1's cluster anecdote, simulated via partitions)
 // ----------------------------------------------------------------------------
 
@@ -555,6 +619,8 @@ func BenchmarkExecutorHyracksVsInterpreter(b *testing.B) {
 		{"Join", env.joinQuery(env.params.LargeLo, env.params.LargeHi)},
 		{"Aggregate", env.aggQuery(env.params.LargeLo, env.params.LargeHi)},
 		{"GroupedAggregate", env.grpAggQuery(env.params.LargeLo, env.params.LargeHi)},
+		{"Spatial", env.spatialQuery()},
+		{"Similarity", env.similarityQuery()},
 	}
 	for _, q := range queries {
 		b.Run(q.name+"/Hyracks", func(b *testing.B) {

@@ -114,6 +114,8 @@ create type MugshotMessageType as closed {
 create dataset MugshotUsers(MugshotUserType) primary key id;
 create dataset MugshotMessages(MugshotMessageType) primary key message-id;
 create index msTimestampIdx on MugshotMessages(timestamp);
+create index msSenderLocIdx on MugshotMessages(sender-location) type rtree;
+create index msMessageNgIdx on MugshotMessages(message) type ngram(3);
 `); err != nil {
 		log.Fatal(err)
 	}
@@ -256,6 +258,28 @@ func (b *bench) table3() {
 		timeQuery(func() { b.rowstore.Aggregate(p.LargeLo, p.LargeHi, true) }),
 		timeQuery(func() { b.scan.Aggregate(p.LargeLo, p.LargeHi) }),
 		timeQuery(func() { b.docstore.AggregateMapReduce(p.LargeLo, p.LargeHi, true) }))
+
+	// Spatial and similarity selections, Asterix-only (the comparator stores
+	// have no spatial or text indexes): the newly compiled R-tree and ngram
+	// inverted-index access paths against the full-scan baseline.
+	rowAst := func(name string, schema, keyonly time.Duration) {
+		fmt.Printf("%-22s %12s %12s %12s %12s %12s\n",
+			name, schema.Round(time.Microsecond), keyonly.Round(time.Microsecond), "-", "-", "-")
+	}
+	spatialQ := `for $m in dataset MugshotMessages where spatial-intersect($m.sender-location, create-rectangle(create-point(25.0, 75.0), create-point(35.0, 85.0))) return $m.message-id;`
+	simQ := `for $m in dataset MugshotMessages where contains($m.message, "data") return $m.message-id;`
+	rowAst("Spatial",
+		b.asterixLatency(b.schema, spatialQ, false),
+		b.asterixLatency(b.keyonly, spatialQ, false))
+	rowAst("  -- with IX",
+		b.asterixLatency(b.schema, spatialQ, true),
+		b.asterixLatency(b.keyonly, spatialQ, true))
+	rowAst("Similarity",
+		b.asterixLatency(b.schema, simQ, false),
+		b.asterixLatency(b.keyonly, simQ, false))
+	rowAst("  -- with IX",
+		b.asterixLatency(b.schema, simQ, true),
+		b.asterixLatency(b.keyonly, simQ, true))
 }
 
 func (b *bench) table4() {

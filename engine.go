@@ -91,10 +91,16 @@ func (in *Instance) executeNode(n *algebra.Node, query *aql.FLWORExpr) ([]expr.E
 		return in.execScan(n)
 	case algebra.OpSubplan:
 		return in.execSubplan(n)
+	case algebra.OpUnnest:
+		return in.execUnnest(n, query)
 	case algebra.OpIndexSearch:
 		return in.execIndexSearch(n)
+	case algebra.OpRTreeSearch:
+		return in.execRTreeSearch(n)
+	case algebra.OpInvertedSearch:
+		return in.execInvertedSearch(n)
 	case algebra.OpSortPK, algebra.OpPrimarySearch:
-		// The storage layer's SearchSecondaryRange already performs the
+		// The storage layer's materializing Search* calls already perform the
 		// PK sort, primary lookup and fetch; these operators are structural.
 		return in.executeNode(n.Inputs[0], query)
 	case algebra.OpSelect:
@@ -176,18 +182,18 @@ func (in *Instance) execClause(envs []expr.Env, clause aql.FLWORClause) ([]expr.
 // partition — the per-partition operator instances of the runtime) and binds
 // each record to the scan variable.
 func (in *Instance) execScan(n *algebra.Node) ([]expr.Env, error) {
-	in.mu.RLock()
-	e, ok := in.datasets[n.Dataset]
-	in.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", n.Dataset)
-	}
 	if n.Dataverse == "Metadata" {
 		recs, err := in.metadataRecords(n.Dataset)
 		if err != nil {
 			return nil, err
 		}
 		return bindRecords(n.Variable, recs), nil
+	}
+	in.mu.RLock()
+	e, ok := in.datasets[n.Dataset]
+	in.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", n.Dataset)
 	}
 	if e.external != nil {
 		recs, err := e.external.ReadAll()
@@ -229,15 +235,7 @@ func (in *Instance) execSubplan(n *algebra.Node) ([]expr.Env, error) {
 	if err != nil {
 		return nil, err
 	}
-	var items []adm.Value
-	switch l := v.(type) {
-	case *adm.OrderedList:
-		items = l.Items
-	case *adm.UnorderedList:
-		items = l.Items
-	default:
-		items = []adm.Value{v}
-	}
+	items := expr.IterationItems(v)
 	out := make([]expr.Env, 0, len(items))
 	for _, it := range items {
 		out = append(out, expr.Env{n.Variable: it})
@@ -272,6 +270,73 @@ func (in *Instance) execIndexSearch(n *algebra.Node) ([]expr.Env, error) {
 		return nil, err
 	}
 	return bindRecords(n.Variable, recs), nil
+}
+
+// execRTreeSearch runs the spatial access path: the probe expression's MBR
+// filters each partition's R-tree, and the post-validation select above
+// re-applies the exact spatial-intersect predicate.
+func (in *Instance) execRTreeSearch(n *algebra.Node) ([]expr.Env, error) {
+	ds, ok := in.Dataset(n.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", n.Dataset)
+	}
+	v, err := expr.Eval(in.evalCtx, expr.Env{}, n.ProbeExpr)
+	if err != nil {
+		return nil, err
+	}
+	mbr, ok := storage.SpatialProbeMBR(v)
+	if !ok {
+		return nil, nil // unknown or non-spatial probe matches nothing
+	}
+	recs, err := ds.SearchSecondaryRTree(n.Index, mbr)
+	if err != nil {
+		return nil, err
+	}
+	return bindRecords(n.Variable, recs), nil
+}
+
+// execInvertedSearch runs the inverted-index access path: the probe's tokens
+// (keyword index) or grams (ngram index) produce a conservative candidate
+// set, and the post-validation select above re-applies the exact predicate.
+func (in *Instance) execInvertedSearch(n *algebra.Node) ([]expr.Env, error) {
+	ds, ok := in.Dataset(n.Dataset)
+	if !ok {
+		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", n.Dataset)
+	}
+	v, err := expr.Eval(in.evalCtx, expr.Env{}, n.ProbeExpr)
+	if err != nil {
+		return nil, err
+	}
+	s, ok := storage.StringProbe(v)
+	if !ok {
+		return nil, nil // unknown or non-string probe matches nothing
+	}
+	recs, err := ds.SearchSecondaryConjunctive(n.Index, s)
+	if err != nil {
+		return nil, err
+	}
+	return bindRecords(n.Variable, recs), nil
+}
+
+// execUnnest evaluates a correlated subplan source (for $y in $x.list) under
+// each input binding, mirroring the interpreter's for-clause semantics: an
+// unknown source contributes nothing, a non-list source contributes itself.
+func (in *Instance) execUnnest(n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	envs, err := in.childEnvs(n, query)
+	if err != nil {
+		return nil, err
+	}
+	var out []expr.Env
+	for _, env := range envs {
+		v, err := expr.Eval(in.evalCtx, env, n.Exprs[0])
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range expr.IterationItems(v) {
+			out = append(out, env.With(n.Variable, it))
+		}
+	}
+	return out, nil
 }
 
 func bindRecords(variable string, recs []*adm.Record) []expr.Env {

@@ -42,6 +42,14 @@ func (in *Instance) executeJob(plan *algebra.Plan) ([]adm.Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	return in.runJob(job)
+}
+
+// runJob executes an already-built Hyracks job. evaluateQuery calls it
+// directly so that a job-build failure (plan not expressible) can fall back
+// to the expression interpreter while runtime errors from an executing job
+// propagate to the caller.
+func (in *Instance) runJob(job *hyracks.Job) ([]adm.Value, error) {
 	tuples, err := hyracks.Execute(job)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,244 @@
+package asterixdb
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/algebra"
+	"asterixdb/internal/temporal"
+)
+
+// This file is the randomized differential-testing harness: it generates
+// random datasets (ints, strings, points, nested lists), draws queries from
+// templates covering every compiled access path — scan/filter, B+-tree range,
+// R-tree spatial, inverted-index text search, correlated unnest, hash and
+// index-nested-loop joins, group-by, aggregation, order/limit — and asserts
+// that the pipelined Hyracks executor and the materializing interpreter
+// oracle agree on every query under every optimizer-option set. It runs both
+// as a seeded deterministic test (TestDifferentialFuzzSeeded) and as a native
+// fuzz target (go test -fuzz=FuzzDifferential).
+
+// fuzzVocab is the text vocabulary; small enough that keyword, ngram and
+// equality probes regularly hit.
+var fuzzVocab = []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel", "india", "juliet"}
+
+const fuzzDDL = `
+create type FuzzRecType as closed {
+  id: int32,
+  cat: int32,
+  score: int32,
+  text: string,
+  loc: point,
+  tags: [string]
+}
+create dataset FuzzA(FuzzRecType) primary key id;
+create dataset FuzzB(FuzzRecType) primary key id;
+create index faScoreIdx on FuzzA(score);
+create index faLocIdx on FuzzA(loc) type rtree;
+create index faTextKwIdx on FuzzA(text) type keyword;
+create index faTextNgIdx on FuzzA(text) type ngram(3);
+create index fbCatIdx on FuzzB(cat);
+`
+
+// fuzzRecord builds one random record. Every field the query templates touch
+// is drawn from a range narrow enough that predicates select non-trivial
+// subsets.
+func fuzzRecord(rng *rand.Rand, id int) *adm.Record {
+	nWords := 2 + rng.Intn(5)
+	words := make([]string, nWords)
+	for i := range words {
+		words[i] = fuzzVocab[rng.Intn(len(fuzzVocab))]
+	}
+	nTags := rng.Intn(4)
+	tags := make([]adm.Value, nTags)
+	for i := range tags {
+		tags[i] = adm.String(fuzzVocab[rng.Intn(len(fuzzVocab))])
+	}
+	return adm.NewRecord(
+		adm.Field{Name: "id", Value: adm.Int32(int32(id))},
+		adm.Field{Name: "cat", Value: adm.Int32(int32(rng.Intn(8)))},
+		adm.Field{Name: "score", Value: adm.Int32(int32(rng.Intn(1000)))},
+		adm.Field{Name: "text", Value: adm.String(strings.Join(words, " "))},
+		adm.Field{Name: "loc", Value: adm.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}},
+		adm.Field{Name: "tags", Value: &adm.OrderedList{Items: tags}},
+	)
+}
+
+// buildFuzzPair creates the Hyracks instance and the interpreter-oracle
+// instance over identical random data, applying the same interleaved inserts,
+// overwrites, deletes and an LSM flush to both.
+func buildFuzzPair(t testing.TB, rng *rand.Rand) (*Instance, *Instance) {
+	t.Helper()
+	clock := temporal.FixedClock{T: time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)}
+	mk := func(useInterpreter bool) *Instance {
+		inst, err := Open(Config{
+			DataDir:        t.TempDir(),
+			Partitions:     3,
+			Clock:          clock,
+			UseInterpreter: useInterpreter,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { inst.Close() })
+		if _, err := inst.Execute(fuzzDDL); err != nil {
+			t.Fatal(err)
+		}
+		return inst
+	}
+	hy, oracle := mk(false), mk(true)
+
+	nA, nB := 40+rng.Intn(60), 20+rng.Intn(40)
+	var batchA, batchB []*adm.Record
+	for i := 1; i <= nA; i++ {
+		batchA = append(batchA, fuzzRecord(rng, i))
+	}
+	for i := 1; i <= nB; i++ {
+		batchB = append(batchB, fuzzRecord(rng, i))
+	}
+	// Overwrites (duplicate primary keys replace the old record and its
+	// secondary entries) and deletes exercise index maintenance.
+	var overwrites []*adm.Record
+	for i := 0; i < 8; i++ {
+		overwrites = append(overwrites, fuzzRecord(rng, 1+rng.Intn(nA)))
+	}
+	var deletes []int32
+	for i := 0; i < 6; i++ {
+		deletes = append(deletes, int32(1+rng.Intn(nA)))
+	}
+	for _, inst := range []*Instance{hy, oracle} {
+		dsA, _ := inst.Dataset("FuzzA")
+		dsB, _ := inst.Dataset("FuzzB")
+		if err := dsA.InsertBatch(batchA); err != nil {
+			t.Fatal(err)
+		}
+		if err := dsB.InsertBatch(batchB); err != nil {
+			t.Fatal(err)
+		}
+		if err := dsA.InsertBatch(overwrites); err != nil {
+			t.Fatal(err)
+		}
+		if err := dsA.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range deletes {
+			if _, err := dsA.Delete(adm.Int32(id)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return hy, oracle
+}
+
+// fuzzQueries draws one query per template, parameterized by the rng. Ordered
+// queries sort on a unique key so both executors must produce the exact
+// sequence; the rest are compared as multisets.
+func fuzzQueries(rng *rand.Rand) []struct {
+	name    string
+	query   string
+	ordered bool
+} {
+	word := func() string { return fuzzVocab[rng.Intn(len(fuzzVocab))] }
+	lo := rng.Intn(900)
+	hi := lo + rng.Intn(1000-lo)
+	x1, y1 := rng.Float64()*100, rng.Float64()*100
+	x2, y2 := x1+rng.Float64()*40, y1+rng.Float64()*40
+	sub := word()
+	sub = sub[:3+rng.Intn(len(sub)-2)] // random prefix, at least gram length
+	return []struct {
+		name    string
+		query   string
+		ordered bool
+	}{
+		{"scan-filter", fmt.Sprintf(`for $r in dataset FuzzA where $r.cat = %d return $r;`, rng.Intn(8)), false},
+		{"btree-range", fmt.Sprintf(`for $r in dataset FuzzA where $r.score >= %d and $r.score <= %d return $r.id;`, lo, hi), false},
+		{"rtree-spatial", fmt.Sprintf(
+			`for $r in dataset FuzzA where spatial-intersect($r.loc, create-rectangle(create-point(%.4f, %.4f), create-point(%.4f, %.4f))) return $r.id;`,
+			x1, y1, x2, y2), false},
+		{"contains-ngram", fmt.Sprintf(`for $r in dataset FuzzA where contains($r.text, "%s") return $r.id;`, sub), false},
+		{"keyword-some", fmt.Sprintf(`for $r in dataset FuzzA where (some $w in word-tokens($r.text) satisfies $w = "%s") return $r.id;`, word()), false},
+		{"unnest", `for $r in dataset FuzzA for $t in $r.tags return { "id": $r.id, "t": $t };`, false},
+		{"unnest-filter", fmt.Sprintf(`for $r in dataset FuzzA for $t in $r.tags where $t = "%s" return $r.id;`, word()), false},
+		{"hash-join", fmt.Sprintf(
+			`for $a in dataset FuzzA for $b in dataset FuzzB where $a.cat = $b.cat and $a.score >= %d return { "a": $a.id, "b": $b.id };`, lo), false},
+		{"indexnl-join", `for $a in dataset FuzzA for $b in dataset FuzzB where $a.cat /*+ indexnl */ = $b.cat return { "a": $a.id, "b": $b.id };`, false},
+		{"group-by", `for $r in dataset FuzzA group by $c := $r.cat with $r return { "c": $c, "n": count($r) };`, false},
+		{"agg-sum", fmt.Sprintf(`sum(for $r in dataset FuzzA where $r.score <= %d return $r.score)`, hi), true},
+		{"agg-avg", `avg(for $r in dataset FuzzB return $r.score)`, true},
+		{"order-limit", fmt.Sprintf(`for $r in dataset FuzzA order by $r.id desc limit %d return $r.id;`, 1+rng.Intn(20)), true},
+	}
+}
+
+// fuzzOptionSets are the optimizer-option sets every query runs under.
+var fuzzOptionSets = []struct {
+	name string
+	opts algebra.Options
+}{
+	{"default", algebra.Options{}},
+	{"no-index", algebra.Options{DisableIndexAccess: true}},
+	{"no-pk-sort", algebra.Options{DisablePKSort: true}},
+	{"no-agg-split", algebra.Options{DisableAggSplit: true}},
+}
+
+// runDifferentialFuzz is one harness iteration: build both instances from the
+// seed, then assert compiled-vs-interpreter parity for every (template,
+// option-set) pair, and that every template compiles into a Hyracks job (no
+// interpreter fallback on any access path).
+func runDifferentialFuzz(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	hy, oracle := buildFuzzPair(t, rng)
+	for _, q := range fuzzQueries(rng) {
+		if _, _, err := hy.CompileJob(q.query); err != nil {
+			t.Errorf("seed %d %s: BuildJob failed (would fall back to the interpreter): %v", seed, q.name, err)
+			continue
+		}
+		perOption := map[string][]adm.Value{}
+		for _, os := range fuzzOptionSets {
+			hyRes, err := hy.QueryWithOptions(q.query, os.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s/%s (hyracks): %v", seed, q.name, os.name, err)
+			}
+			orRes, err := oracle.QueryWithOptions(q.query, os.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s/%s (interpreter): %v", seed, q.name, os.name, err)
+			}
+			sameResults(t, fmt.Sprintf("seed %d %s/%s", seed, q.name, os.name), hyRes, orRes, q.ordered)
+			perOption[os.name] = hyRes
+		}
+		// Index-vs-scan cross-check: the access-path rewrite must not change
+		// results. This catches an unsound rewrite (candidate set not a
+		// superset) that compiled-vs-interpreter parity alone would miss,
+		// since both executors share the same plan.
+		sameResults(t, fmt.Sprintf("seed %d %s index-vs-scan", seed, q.name),
+			perOption["default"], perOption["no-index"], q.ordered)
+	}
+}
+
+// TestDifferentialFuzzSeeded is the deterministic face of the harness: a
+// fixed set of seeds that runs on every go test invocation.
+func TestDifferentialFuzzSeeded(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			runDifferentialFuzz(t, seed)
+		})
+	}
+}
+
+// FuzzDifferential is the native fuzz target: the fuzzer explores seeds and
+// every seed deterministically derives the datasets, the mutation interleaving
+// and the query parameters. Run with
+//
+//	go test -run='^$' -fuzz=FuzzDifferential -fuzztime=15s .
+func FuzzDifferential(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(20140301))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runDifferentialFuzz(t, seed)
+	})
+}

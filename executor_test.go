@@ -2,6 +2,7 @@ package asterixdb
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"asterixdb/internal/adm"
 	"asterixdb/internal/algebra"
 	"asterixdb/internal/aql"
+	"asterixdb/internal/hyracks"
 	"asterixdb/internal/translator"
 )
 
@@ -124,6 +126,53 @@ for $a in dataset MugshotMessages
 for $b in dataset MugshotMessages
 where $a.author-id = $b.author-id
 return { "a": $a.message-id, "b": $b.message-id };`, false},
+	{"rtree-spatial", `
+for $m in dataset MugshotMessages
+where spatial-intersect($m.sender-location, create-rectangle(create-point(41.0, 80.0), create-point(42.0, 81.0)))
+return $m.message-id;`, false},
+	{"rtree-spatial-circle", `
+for $m in dataset MugshotMessages
+where spatial-intersect($m.sender-location, create-circle(create-point(41.66, 80.88), 0.5))
+return $m.message-id;`, false},
+	{"contains-ngram", `
+for $m in dataset MugshotMessages
+where contains($m.message, "data")
+return $m.message-id;`, false},
+	{"keyword-some", `
+for $m in dataset MugshotMessages
+where (some $w in word-tokens($m.message) satisfies $w = "tonight")
+return $m.message-id;`, false},
+	{"unnest-tags", `
+for $m in dataset MugshotMessages
+for $t in $m.tags
+return { "id": $m.message-id, "tag": $t };`, false},
+	{"unnest-filter", `
+for $m in dataset MugshotMessages
+for $t in $m.tags
+where $t = "big-data"
+return $m.message-id;`, false},
+	{"unnest-group", `
+for $m in dataset MugshotMessages
+for $t in $m.tags
+group by $tag := $t with $m
+return { "tag": $tag, "cnt": count($m) };`, false},
+	{"unnest-employment", `
+for $u in dataset MugshotUsers
+for $e in $u.employment
+return { "u": $u.id, "org": $e.organization-name };`, false},
+	// An uncorrelated nested-FLWOR source must compile as a standalone
+	// subplan source: its own bound variables are not free references.
+	{"subplan-nested-flwor", `
+for $c in (for $x in dataset MugshotMessages return $x.message-id)
+return $c;`, false},
+	// The nested FLWOR is correlated only through its group-by key: the
+	// FreeVarsOf walk behind Build's correlation check must cover group-by/
+	// order-by/limit clauses of nested FLWORs or this source is misclassified
+	// as uncorrelated and evaluated in an empty environment.
+	{"unnest-nested-flwor", `
+for $u in dataset MugshotUsers
+for $c in (for $x in dataset MugshotMessages group by $same := ($x.author-id = $u.id) with $x return count($x))
+return { "u": $u.id, "c": $c };`, false},
 	{"metadata-scan", `for $ds in dataset Metadata.Dataset return $ds;`, false},
 	{"agg-avg", `avg(for $m in dataset MugshotMessages return string-length($m.message))`, true},
 	{"agg-sum", `sum(for $m in dataset MugshotMessages return string-length($m.message))`, true},
@@ -269,6 +318,92 @@ return $m.message-id;`
 		}(i)
 	}
 	wg.Wait()
+}
+
+// TestEveryDifferentialQueryCompilesToAJob asserts that BuildJob can express
+// every differential query (the "no interpreter fallback" guarantee): a
+// parseable, optimizable query that fails to compile into a Hyracks job is a
+// bug, not a fallback. Queries with a set-statement prologue are skipped
+// because CompileJob accepts a single query expression.
+func TestEveryDifferentialQueryCompilesToAJob(t *testing.T) {
+	inst := newTinySocial(t)
+	for _, q := range differentialQueries {
+		if strings.Contains(q.query, "set sim") {
+			continue
+		}
+		if _, _, err := inst.CompileJob(q.query); err != nil {
+			t.Errorf("%s: BuildJob failed (would fall back to the interpreter): %v", q.name, err)
+		}
+	}
+}
+
+// findOp returns the parallelism of the first job operator whose name starts
+// with the given prefix, or -1 when no such operator exists.
+func findOp(job *hyracks.Job, prefix string) int {
+	for _, op := range job.Operators {
+		if strings.HasPrefix(op.Name(), prefix) {
+			return op.Parallelism()
+		}
+	}
+	return -1
+}
+
+// TestCompiledAccessPathsRunPerPartition is the parallelism regression test:
+// every secondary-index access path must compile into per-partition
+// secondary-search -> PK-sort -> primary-search stages (parallelism = the
+// instance's partition count), not a parallelism-1 materialized source.
+func TestCompiledAccessPathsRunPerPartition(t *testing.T) {
+	inst := newTinySocial(t) // Partitions: 2
+	const parts = 2
+	cases := []struct {
+		name      string
+		query     string
+		secondary string
+	}{
+		{"btree", `
+for $m in dataset MugshotMessages
+where $m.timestamp >= datetime("2014-01-01T00:00:00") and $m.timestamp < datetime("2014-04-01T00:00:00")
+return $m;`, "btree-search(msTimestampIdx)"},
+		{"rtree", `
+for $m in dataset MugshotMessages
+where spatial-intersect($m.sender-location, create-rectangle(create-point(41.0, 80.0), create-point(42.0, 81.0)))
+return $m.message-id;`, "rtree-search(msSenderLocIndex)"},
+		{"inverted-ngram", `
+for $m in dataset MugshotMessages
+where contains($m.message, "data")
+return $m.message-id;`, "inverted-search(msMessageNGramIdx)"},
+		{"inverted-keyword", `
+for $m in dataset MugshotMessages
+where (some $w in word-tokens($m.message) satisfies $w = "tonight")
+return $m.message-id;`, "inverted-search(msMessageIdx)"},
+	}
+	for _, c := range cases {
+		job, _, err := inst.CompileJob(c.query)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		for _, stage := range []string{c.secondary, "sort(primary-keys)", "btree-search(MugshotMessages)"} {
+			par := findOp(job, stage)
+			if par < 0 {
+				t.Errorf("%s: job is missing stage %q:\n%s", c.name, stage, job.Describe())
+				continue
+			}
+			if par != parts {
+				t.Errorf("%s: stage %q runs at parallelism %d, want %d (per-partition)", c.name, stage, par, parts)
+			}
+		}
+	}
+	// The correlated unnest compiles as a partitioned operator over the scan.
+	job, _, err := inst.CompileJob(`
+for $m in dataset MugshotMessages
+for $t in $m.tags
+return { "id": $m.message-id, "tag": $t };`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par := findOp(job, "unnest($t)"); par != parts {
+		t.Errorf("unnest operator parallelism = %d, want %d:\n%s", par, parts, job.Describe())
+	}
 }
 
 // TestSelfJoinLargeDataset is the regression test for the scan-vs-scan

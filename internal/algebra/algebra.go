@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"asterixdb/internal/adm"
 	"asterixdb/internal/aql"
 )
 
@@ -21,22 +22,24 @@ type OpKind string
 
 // Operator kinds.
 const (
-	OpScan          OpKind = "datasource-scan"
-	OpSelect        OpKind = "select"
-	OpAssign        OpKind = "assign"
-	OpJoin          OpKind = "join"
-	OpGroupBy       OpKind = "group-by"
-	OpOrder         OpKind = "order"
-	OpLimit         OpKind = "limit"
-	OpAggregate     OpKind = "aggregate"
-	OpSubplan       OpKind = "subplan"
-	OpDistribute    OpKind = "distribute-result"
-	OpIndexSearch   OpKind = "btree-search-secondary"
-	OpRTreeSearch   OpKind = "rtree-search-secondary"
-	OpPrimarySearch OpKind = "btree-search-primary"
-	OpSortPK        OpKind = "sort-primary-keys"
-	OpLocalAgg      OpKind = "aggregate-local"
-	OpGlobalAgg     OpKind = "aggregate-global"
+	OpScan           OpKind = "datasource-scan"
+	OpSelect         OpKind = "select"
+	OpAssign         OpKind = "assign"
+	OpJoin           OpKind = "join"
+	OpGroupBy        OpKind = "group-by"
+	OpOrder          OpKind = "order"
+	OpLimit          OpKind = "limit"
+	OpAggregate      OpKind = "aggregate"
+	OpSubplan        OpKind = "subplan"
+	OpUnnest         OpKind = "unnest"
+	OpDistribute     OpKind = "distribute-result"
+	OpIndexSearch    OpKind = "btree-search-secondary"
+	OpRTreeSearch    OpKind = "rtree-search-secondary"
+	OpInvertedSearch OpKind = "inverted-search-secondary"
+	OpPrimarySearch  OpKind = "btree-search-primary"
+	OpSortPK         OpKind = "sort-primary-keys"
+	OpLocalAgg       OpKind = "aggregate-local"
+	OpGlobalAgg      OpKind = "aggregate-global"
 )
 
 // JoinMethod is the physical join algorithm.
@@ -64,6 +67,11 @@ type Node struct {
 	LoExpr, HiExpr aql.Expr
 	LoInclusive    bool
 	HiInclusive    bool
+	// ProbeExpr is the probe argument of an r-tree or inverted-index search:
+	// the spatial value whose MBR filters the r-tree, or the string whose
+	// tokens/grams filter the inverted index. It never references the scan
+	// variable, so it can be evaluated in an empty environment at run time.
+	ProbeExpr aql.Expr
 
 	// Select / assign / aggregate fields.
 	Condition aql.Expr
@@ -105,8 +113,14 @@ type DatasetInfo struct {
 	BTreeIndexes map[string]string
 	// RTreeIndexes maps indexed field name -> index name.
 	RTreeIndexes map[string]string
-	// InvertedIndexes maps indexed field name -> index name.
-	InvertedIndexes map[string]string
+	// KeywordIndexes maps indexed field name -> keyword inverted index name.
+	KeywordIndexes map[string]string
+	// NGramIndexes maps indexed field name -> ngram inverted index name, with
+	// the gram length in NGramLengths. A contains() predicate can use the
+	// index only when its probe is at least the gram length long (shorter
+	// probes produce no grams and the index could not bound the candidates).
+	NGramIndexes map[string]string
+	NGramLengths map[string]int
 }
 
 // Catalog resolves dataset metadata for the optimizer.
@@ -120,13 +134,29 @@ type Catalog interface {
 
 // Build translates a FLWOR expression into an (unoptimized) logical plan:
 // a left-deep tree of scans and joins with selects on top, followed by the
-// group/order/limit/distribute pipeline.
+// group/order/limit/distribute pipeline. A for-clause over a non-dataset
+// source that references earlier bindings (for $y in $x.list) becomes an
+// unnest operator over the current pipeline instead of a standalone source.
 func Build(fl *aql.FLWORExpr) (*Plan, error) {
 	var root *Node
 	var pendingWhere []aql.Expr
+	// bound tracks the plan variables in scope after each clause, so a
+	// for-clause source can be classified as correlated (unnest) or free-
+	// standing (subplan source).
+	bound := map[string]bool{}
 	for _, clause := range fl.Clauses {
 		switch c := clause.(type) {
 		case *aql.ForClause:
+			if c.PosVar != "" {
+				// Positional variables have no physical operator; the engine
+				// evaluates these queries with the expression interpreter.
+				return nil, fmt.Errorf("algebra: positional variable $%s is not compilable", c.PosVar)
+			}
+			if _, isDataset := c.Source.(*aql.DatasetRef); !isDataset && root != nil && referencesAny(c.Source, bound) {
+				root = &Node{Kind: OpUnnest, Inputs: []*Node{root}, Variable: c.Var, Exprs: []aql.Expr{c.Source}}
+				bound[c.Var] = true
+				continue
+			}
 			scan := buildSource(c)
 			if root == nil {
 				root = scan
@@ -134,8 +164,10 @@ func Build(fl *aql.FLWORExpr) (*Plan, error) {
 				root = &Node{Kind: OpJoin, Method: NestedLoopJoin, Inputs: []*Node{root, scan},
 					LeftVar: firstVar(root), RightVar: c.Var}
 			}
+			bound[c.Var] = true
 		case *aql.LetClause:
 			root = &Node{Kind: OpAssign, Inputs: inputsOf(root), Vars: []string{c.Var}, Exprs: []aql.Expr{c.Expr}}
+			bound[c.Var] = true
 		case *aql.WhereClause:
 			if root == nil {
 				pendingWhere = append(pendingWhere, c.Cond)
@@ -144,6 +176,13 @@ func Build(fl *aql.FLWORExpr) (*Plan, error) {
 			root = &Node{Kind: OpSelect, Inputs: []*Node{root}, Condition: c.Cond}
 		case *aql.GroupByClause:
 			root = &Node{Kind: OpGroupBy, Inputs: inputsOf(root), GroupKeys: c.Keys, GroupWith: c.With}
+			bound = map[string]bool{}
+			for _, k := range c.Keys {
+				bound[k.Var] = true
+			}
+			for _, w := range c.With {
+				bound[w] = true
+			}
 		case *aql.OrderByClause:
 			root = &Node{Kind: OpOrder, Inputs: inputsOf(root), OrderTerms: c.Terms}
 		case *aql.LimitClause:
@@ -176,6 +215,125 @@ func buildSource(c *aql.ForClause) *Node {
 	// Iteration over a non-dataset expression becomes a subplan source that
 	// the engine evaluates with the interpreter.
 	return &Node{Kind: OpSubplan, Variable: c.Var, Exprs: []aql.Expr{c.Source}}
+}
+
+// referencesAny reports whether the expression has a free reference to any of
+// the given variables. Variables the expression binds itself (a nested
+// FLWOR's for/let variables, quantified variables) are not free, so an
+// independent subquery source is not misclassified as correlated.
+func referencesAny(e aql.Expr, vars map[string]bool) bool {
+	for _, v := range FreeVarsOf(e) {
+		if vars[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// FreeVarsOf collects the variable names referenced by an expression that the
+// expression does not bind itself: nested FLWOR for/let/group-by bindings and
+// quantified variables are in scope only inside the expression. The job
+// builder uses it to decide whether a subplan source can run standalone
+// (evaluated in an empty environment) or needs the enclosing bindings.
+func FreeVarsOf(e aql.Expr) []string { return collectVars(e, true) }
+
+// varsOf collects every variable name referenced by an expression, including
+// ones the expression binds itself — a conservative over-approximation the
+// rewrite rules use to check that a probe or join key does not depend on the
+// scan variable (FreeVarsOf is the scope-aware variant the job builder uses).
+func varsOf(e aql.Expr) []string { return collectVars(e, false) }
+
+// collectVars is the one AST walker behind varsOf and FreeVarsOf: with scoped
+// set, variables bound inside the expression are tracked and excluded;
+// without it every reference is reported.
+func collectVars(e aql.Expr, scoped bool) []string {
+	var out []string
+	reported := map[string]bool{}
+	var walk func(e aql.Expr, bound map[string]bool)
+	bind := func(bound map[string]bool, names ...string) map[string]bool {
+		if !scoped {
+			return bound
+		}
+		next := make(map[string]bool, len(bound)+len(names))
+		for k := range bound {
+			next[k] = true
+		}
+		for _, n := range names {
+			if n != "" {
+				next[n] = true
+			}
+		}
+		return next
+	}
+	walk = func(e aql.Expr, bound map[string]bool) {
+		switch x := e.(type) {
+		case *aql.VariableRef:
+			if !bound[x.Name] && !reported[x.Name] {
+				reported[x.Name] = true
+				out = append(out, x.Name)
+			}
+		case *aql.FieldAccess:
+			walk(x.Base, bound)
+		case *aql.IndexAccess:
+			walk(x.Base, bound)
+			walk(x.Index, bound)
+		case *aql.BinaryExpr:
+			walk(x.Left, bound)
+			walk(x.Right, bound)
+		case *aql.UnaryExpr:
+			walk(x.Operand, bound)
+		case *aql.CallExpr:
+			for _, a := range x.Args {
+				walk(a, bound)
+			}
+		case *aql.RecordConstructor:
+			for _, f := range x.Fields {
+				walk(f.Value, bound)
+			}
+		case *aql.ListConstructor:
+			for _, it := range x.Items {
+				walk(it, bound)
+			}
+		case *aql.QuantifiedExpr:
+			walk(x.Source, bound)
+			walk(x.Satisfies, bind(bound, x.Var))
+		case *aql.IfExpr:
+			walk(x.Cond, bound)
+			walk(x.Then, bound)
+			walk(x.Else, bound)
+		case *aql.FLWORExpr:
+			inner := bind(bound)
+			for _, c := range x.Clauses {
+				switch cl := c.(type) {
+				case *aql.ForClause:
+					walk(cl.Source, inner)
+					inner = bind(inner, cl.Var, cl.PosVar)
+				case *aql.LetClause:
+					walk(cl.Expr, inner)
+					inner = bind(inner, cl.Var)
+				case *aql.WhereClause:
+					walk(cl.Cond, inner)
+				case *aql.GroupByClause:
+					var names []string
+					for _, k := range cl.Keys {
+						walk(k.Expr, inner)
+						names = append(names, k.Var)
+					}
+					inner = bind(inner, append(names, cl.With...)...)
+				case *aql.OrderByClause:
+					for _, term := range cl.Terms {
+						walk(term.Expr, inner)
+					}
+				case *aql.LimitClause:
+					walk(cl.Limit, inner)
+					walk(cl.Offset, inner)
+				}
+			}
+			walk(x.Return, inner)
+		}
+	}
+	walk(e, map[string]bool{})
+	return out
 }
 
 func firstVar(n *Node) string {
@@ -270,9 +428,12 @@ func rewriteJoins(n *Node, cat Catalog) *Node {
 }
 
 // rewriteIndexAccess replaces select-over-scan with the Figure 6 access path
-// when the selection has a range or equality predicate on a field with a
-// secondary B+-tree index: secondary search -> sort PKs -> primary search ->
-// post-validation select.
+// when the selection has an index-usable predicate: a range or equality
+// predicate on a field with a secondary B+-tree index, a spatial-intersect
+// predicate on a field with an R-tree index, or a contains / tokenized-
+// equality predicate on a field with an inverted (ngram / keyword) index.
+// The rewritten chain is always secondary search -> sort PKs -> primary
+// search -> post-validation select.
 func rewriteIndexAccess(n *Node, cat Catalog, opts Options) *Node {
 	if n == nil {
 		return nil
@@ -285,30 +446,49 @@ func rewriteIndexAccess(n *Node, cat Catalog, opts Options) *Node {
 	}
 	scan := n.Inputs[0]
 	info := cat.DatasetInfo(scan.Dataverse, scan.Dataset)
-	if !info.Exists || len(info.BTreeIndexes) == 0 {
+	if !info.Exists {
 		return n
 	}
-	rng, field, ok := extractRange(n.Condition, scan.Variable)
-	if !ok {
-		return n
+	if rng, field, ok := extractRange(n.Condition, scan.Variable); ok {
+		if indexName, found := info.BTreeIndexes[field]; found {
+			secondary := &Node{
+				Kind: OpIndexSearch, Dataset: scan.Dataset, Dataverse: scan.Dataverse,
+				Index: indexName, Variable: scan.Variable,
+				LoExpr: rng.lo, HiExpr: rng.hi, LoInclusive: rng.loInc, HiInclusive: rng.hiInc,
+			}
+			return indexChain(secondary, scan, n.Condition, opts)
+		}
 	}
-	indexName, ok := info.BTreeIndexes[field]
-	if !ok {
-		return n
+	if probe, field, ok := extractSpatialProbe(n.Condition, scan.Variable); ok {
+		if indexName, found := info.RTreeIndexes[field]; found {
+			secondary := &Node{
+				Kind: OpRTreeSearch, Dataset: scan.Dataset, Dataverse: scan.Dataverse,
+				Index: indexName, Variable: scan.Variable, ProbeExpr: probe,
+			}
+			return indexChain(secondary, scan, n.Condition, opts)
+		}
 	}
-	secondary := &Node{
-		Kind: OpIndexSearch, Dataset: scan.Dataset, Dataverse: scan.Dataverse,
-		Index: indexName, Variable: scan.Variable,
-		LoExpr: rng.lo, HiExpr: rng.hi, LoInclusive: rng.loInc, HiInclusive: rng.hiInc,
+	if probe, indexName, ok := extractInvertedProbe(n.Condition, scan.Variable, info); ok {
+		secondary := &Node{
+			Kind: OpInvertedSearch, Dataset: scan.Dataset, Dataverse: scan.Dataverse,
+			Index: indexName, Variable: scan.Variable, ProbeExpr: probe,
+		}
+		return indexChain(secondary, scan, n.Condition, opts)
 	}
-	var chain *Node = secondary
+	return n
+}
+
+// indexChain wraps a secondary-index search in the rest of the Figure 6
+// access path: the primary-key sort (unless ablated), the primary-index
+// search, and the post-validation select that re-applies the whole original
+// predicate.
+func indexChain(secondary, scan *Node, cond aql.Expr, opts Options) *Node {
+	chain := secondary
 	if !opts.DisablePKSort {
 		chain = &Node{Kind: OpSortPK, Inputs: []*Node{chain}}
 	}
 	primary := &Node{Kind: OpPrimarySearch, Inputs: []*Node{chain}, Dataset: scan.Dataset, Dataverse: scan.Dataverse, Variable: scan.Variable}
-	// Post-validation select re-applies the whole original predicate, exactly
-	// like the select operator above the primary search in Figure 6.
-	return &Node{Kind: OpSelect, Inputs: []*Node{primary}, Condition: n.Condition}
+	return &Node{Kind: OpSelect, Inputs: []*Node{primary}, Condition: cond}
 }
 
 // rewriteAggSplit splits a top-level aggregate query (e.g. Query 10's avg)
@@ -404,6 +584,119 @@ func extractRange(cond aql.Expr, scanVar string) (rangeBounds, string, bool) {
 	return rb, field, found
 }
 
+// extractSpatialProbe looks for a conjunct of the form
+// spatial-intersect($var.field, probe) (either argument order) where the
+// probe does not reference the scan variable, and returns the probe
+// expression and field name. The R-tree search filters on the probe's MBR and
+// the post-validation select re-applies the exact predicate, so any spatial
+// probe type is admissible.
+func extractSpatialProbe(cond aql.Expr, scanVar string) (aql.Expr, string, bool) {
+	for _, c := range splitConjuncts(cond) {
+		call, ok := c.(*aql.CallExpr)
+		if !ok || call.Func != "spatial-intersect" || len(call.Args) != 2 {
+			continue
+		}
+		for i := 0; i < 2; i++ {
+			field, isField := fieldAccessOf(call.Args[i], scanVar)
+			if !isField {
+				continue
+			}
+			probe := call.Args[1-i]
+			if contains(varsOf(probe), scanVar) {
+				continue
+			}
+			return probe, field, true
+		}
+	}
+	return nil, "", false
+}
+
+// extractInvertedProbe looks for a conjunct an inverted index can answer
+// conservatively (candidates are a superset of the true matches; the
+// post-validation select re-applies the exact predicate):
+//
+//   - contains($var.field, "literal") with an ngram index on the field, when
+//     the literal is at least gram-length characters long (shorter probes
+//     produce no grams, so the index could not bound the candidate set);
+//   - some $w in word-tokens($var.field) satisfies $w = probe with a keyword
+//     index on the field, for any probe not referencing the bound variables.
+//
+// It returns the probe expression and the index name to search.
+func extractInvertedProbe(cond aql.Expr, scanVar string, info DatasetInfo) (aql.Expr, string, bool) {
+	for _, c := range splitConjuncts(cond) {
+		switch x := c.(type) {
+		case *aql.CallExpr:
+			if x.Func != "contains" || len(x.Args) != 2 {
+				continue
+			}
+			field, ok := fieldAccessOf(x.Args[0], scanVar)
+			if !ok {
+				continue
+			}
+			indexName, found := info.NGramIndexes[field]
+			if !found {
+				continue
+			}
+			lit, ok := x.Args[1].(*aql.Literal)
+			if !ok {
+				continue
+			}
+			s, ok := lit.Value.(adm.String)
+			if !ok || len([]rune(string(s))) < info.NGramLengths[field] {
+				continue
+			}
+			return x.Args[1], indexName, true
+		case *aql.QuantifiedExpr:
+			if x.Every {
+				continue
+			}
+			src, ok := x.Source.(*aql.CallExpr)
+			if !ok || src.Func != "word-tokens" || len(src.Args) != 1 {
+				continue
+			}
+			field, ok := fieldAccessOf(src.Args[0], scanVar)
+			if !ok {
+				continue
+			}
+			indexName, found := info.KeywordIndexes[field]
+			if !found {
+				continue
+			}
+			be, ok := x.Satisfies.(*aql.BinaryExpr)
+			if !ok || be.Op != aql.OpEq {
+				continue
+			}
+			for _, pair := range [][2]aql.Expr{{be.Left, be.Right}, {be.Right, be.Left}} {
+				vr, ok := pair[0].(*aql.VariableRef)
+				if !ok || vr.Name != x.Var {
+					continue
+				}
+				probe := pair[1]
+				vars := varsOf(probe)
+				if contains(vars, scanVar) || contains(vars, x.Var) {
+					continue
+				}
+				return probe, indexName, true
+			}
+		}
+	}
+	return nil, "", false
+}
+
+// fieldAccessOf recognizes expressions of the form $var.field and returns the
+// field name.
+func fieldAccessOf(e aql.Expr, variable string) (string, bool) {
+	fa, ok := e.(*aql.FieldAccess)
+	if !ok {
+		return "", false
+	}
+	vr, ok := fa.Base.(*aql.VariableRef)
+	if !ok || vr.Name != variable {
+		return "", false
+	}
+	return fa.Field, true
+}
+
 func reverseOp(op aql.BinaryOp) aql.BinaryOp {
 	switch op {
 	case aql.OpGe:
@@ -438,66 +731,6 @@ func joinConjuncts(conjuncts []aql.Expr) aql.Expr {
 	for _, c := range conjuncts[1:] {
 		out = &aql.BinaryExpr{Op: aql.OpAnd, Left: out, Right: c}
 	}
-	return out
-}
-
-// VarsOf collects the variable names referenced by an expression. The
-// translator's job builder uses it to detect correlated subplan sources,
-// which cannot be compiled into a standalone datasource operator.
-func VarsOf(e aql.Expr) []string { return varsOf(e) }
-
-// varsOf collects the variable names referenced by an expression.
-func varsOf(e aql.Expr) []string {
-	var out []string
-	var walk func(aql.Expr)
-	walk = func(e aql.Expr) {
-		switch x := e.(type) {
-		case *aql.VariableRef:
-			out = append(out, x.Name)
-		case *aql.FieldAccess:
-			walk(x.Base)
-		case *aql.IndexAccess:
-			walk(x.Base)
-			walk(x.Index)
-		case *aql.BinaryExpr:
-			walk(x.Left)
-			walk(x.Right)
-		case *aql.UnaryExpr:
-			walk(x.Operand)
-		case *aql.CallExpr:
-			for _, a := range x.Args {
-				walk(a)
-			}
-		case *aql.RecordConstructor:
-			for _, f := range x.Fields {
-				walk(f.Value)
-			}
-		case *aql.ListConstructor:
-			for _, it := range x.Items {
-				walk(it)
-			}
-		case *aql.QuantifiedExpr:
-			walk(x.Source)
-			walk(x.Satisfies)
-		case *aql.IfExpr:
-			walk(x.Cond)
-			walk(x.Then)
-			walk(x.Else)
-		case *aql.FLWORExpr:
-			for _, c := range x.Clauses {
-				switch cl := c.(type) {
-				case *aql.ForClause:
-					walk(cl.Source)
-				case *aql.LetClause:
-					walk(cl.Expr)
-				case *aql.WhereClause:
-					walk(cl.Cond)
-				}
-			}
-			walk(x.Return)
-		}
-	}
-	walk(e)
 	return out
 }
 
@@ -540,6 +773,8 @@ func describeNode(n *Node) string {
 		return fmt.Sprintf("btree-search (secondary %s on %s)", n.Index, n.Dataset)
 	case OpRTreeSearch:
 		return fmt.Sprintf("rtree-search (secondary %s on %s)", n.Index, n.Dataset)
+	case OpInvertedSearch:
+		return fmt.Sprintf("inverted-search (secondary %s on %s)", n.Index, n.Dataset)
 	case OpSortPK:
 		return "sort (primary keys)"
 	case OpPrimarySearch:
@@ -568,6 +803,8 @@ func describeNode(n *Node) string {
 		return fmt.Sprintf("aggregate (%s)", n.AggFunc)
 	case OpSubplan:
 		return "subplan"
+	case OpUnnest:
+		return fmt.Sprintf("unnest $%s", n.Variable)
 	case OpDistribute:
 		return "distribute-result"
 	}

@@ -7,7 +7,8 @@ import (
 	"asterixdb/internal/aql"
 )
 
-// fakeCatalog exposes one dataset with a timestamp B+-tree index.
+// fakeCatalog exposes one dataset with timestamp B+-tree, sender-location
+// R-tree, and message keyword/ngram indexes.
 type fakeCatalog struct{}
 
 func (fakeCatalog) DatasetInfo(_, name string) DatasetInfo {
@@ -15,9 +16,14 @@ func (fakeCatalog) DatasetInfo(_, name string) DatasetInfo {
 		return DatasetInfo{}
 	}
 	info := DatasetInfo{Exists: true, Partitions: 4,
-		BTreeIndexes: map[string]string{}, RTreeIndexes: map[string]string{}, InvertedIndexes: map[string]string{}}
+		BTreeIndexes: map[string]string{}, RTreeIndexes: map[string]string{},
+		KeywordIndexes: map[string]string{}, NGramIndexes: map[string]string{}, NGramLengths: map[string]int{}}
 	if name == "MugshotMessages" {
 		info.BTreeIndexes["timestamp"] = "msTimestampIdx"
+		info.RTreeIndexes["sender-location"] = "msSenderLocIndex"
+		info.KeywordIndexes["message"] = "msMessageIdx"
+		info.NGramIndexes["message"] = "msMessageNGramIdx"
+		info.NGramLengths["message"] = 3
 	}
 	return info
 }
@@ -65,6 +71,91 @@ where $m.author-id = 7
 return $m;`, Options{})
 	if strings.Contains(Explain(plan), "btree-search (secondary") {
 		t.Error("index access path introduced for unindexed field")
+	}
+}
+
+func TestRTreeAccessPathRewrite(t *testing.T) {
+	plan := compile(t, `
+for $m in dataset MugshotMessages
+where spatial-intersect($m.sender-location, create-rectangle(create-point(41.0, 80.0), create-point(42.0, 81.0)))
+return $m;`, Options{})
+	explain := Explain(plan)
+	for _, want := range []string{"rtree-search (secondary msSenderLocIndex", "sort (primary keys)", "btree-search (primary MugshotMessages)", "select"} {
+		if !strings.Contains(explain, want) {
+			t.Errorf("explain missing %q:\n%s", want, explain)
+		}
+	}
+	// Reversed argument order also qualifies.
+	plan = compile(t, `
+for $m in dataset MugshotMessages
+where spatial-intersect(create-point(41.0, 80.0), $m.sender-location)
+return $m;`, Options{})
+	if !strings.Contains(Explain(plan), "rtree-search (secondary") {
+		t.Errorf("reversed spatial-intersect not rewritten:\n%s", Explain(plan))
+	}
+}
+
+func TestInvertedAccessPathRewrite(t *testing.T) {
+	// contains with a long-enough literal uses the ngram index.
+	plan := compile(t, `
+for $m in dataset MugshotMessages
+where contains($m.message, "data")
+return $m;`, Options{})
+	if !strings.Contains(Explain(plan), "inverted-search (secondary msMessageNGramIdx") {
+		t.Errorf("contains not rewritten to ngram search:\n%s", Explain(plan))
+	}
+	// A probe shorter than the gram length cannot bound the candidates.
+	plan = compile(t, `
+for $m in dataset MugshotMessages
+where contains($m.message, "da")
+return $m;`, Options{})
+	if strings.Contains(Explain(plan), "inverted-search") {
+		t.Errorf("short contains probe must not use the ngram index:\n%s", Explain(plan))
+	}
+	// Tokenized equality uses the keyword index.
+	plan = compile(t, `
+for $m in dataset MugshotMessages
+where (some $w in word-tokens($m.message) satisfies $w = "tonight")
+return $m;`, Options{})
+	if !strings.Contains(Explain(plan), "inverted-search (secondary msMessageIdx") {
+		t.Errorf("tokenized equality not rewritten to keyword search:\n%s", Explain(plan))
+	}
+	// DisableIndexAccess keeps the scan.
+	plan = compile(t, `
+for $m in dataset MugshotMessages
+where contains($m.message, "data")
+return $m;`, Options{DisableIndexAccess: true})
+	if strings.Contains(Explain(plan), "inverted-search") {
+		t.Error("inverted access path introduced despite being disabled")
+	}
+}
+
+func TestCorrelatedUnnestBecomesOperator(t *testing.T) {
+	plan := compile(t, `
+for $m in dataset MugshotMessages
+for $t in $m.tags
+return $t;`, Options{})
+	if !strings.Contains(Explain(plan), "unnest $t") {
+		t.Errorf("correlated for-clause not compiled as unnest:\n%s", Explain(plan))
+	}
+	// An uncorrelated non-dataset source stays a standalone subplan source.
+	plan = compile(t, `
+for $m in dataset MugshotMessages
+for $x in [1, 2, 3]
+return $x;`, Options{})
+	explain := Explain(plan)
+	if !strings.Contains(explain, "subplan") || strings.Contains(explain, "unnest") {
+		t.Errorf("uncorrelated list source should stay a subplan source:\n%s", explain)
+	}
+}
+
+func TestPositionalVariableIsNotCompilable(t *testing.T) {
+	e, err := aql.ParseQuery(`for $m at $i in dataset MugshotMessages return $i;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(e.(*aql.FLWORExpr)); err == nil {
+		t.Error("positional variable should be rejected by Build (engine falls back to the expression interpreter)")
 	}
 }
 

@@ -200,6 +200,20 @@ func listItems(v adm.Value) ([]adm.Value, bool) {
 	return nil, false
 }
 
+// IterationItems returns the items a for-clause iterates for a source value:
+// the elements of a list, nothing for NULL/MISSING, or the value itself as a
+// singleton. The compiled unnest and subplan operators share it so their
+// semantics cannot drift from the interpreter's for-clause.
+func IterationItems(v adm.Value) []adm.Value {
+	if items, ok := listItems(v); ok {
+		return items
+	}
+	if adm.IsUnknown(v) {
+		return nil
+	}
+	return []adm.Value{v}
+}
+
 // ----------------------------------------------------------------------------
 // Operators
 // ----------------------------------------------------------------------------
@@ -491,14 +505,7 @@ func applyClause(ctx *Context, envs []Env, clause aql.FLWORClause) ([]Env, error
 			if err != nil {
 				return nil, err
 			}
-			items, ok := listItems(src)
-			if !ok {
-				if adm.IsUnknown(src) {
-					continue
-				}
-				items = []adm.Value{src}
-			}
-			for i, item := range items {
+			for i, item := range IterationItems(src) {
 				e := env.With(c.Var, item)
 				if c.PosVar != "" {
 					e = e.With(c.PosVar, adm.Int64(i+1))
@@ -910,6 +917,28 @@ func init() {
 			}
 			return adm.Point{X: x, Y: y}, nil
 		},
+		"create-rectangle": func(c *Context, a []adm.Value) (adm.Value, error) {
+			if len(a) < 2 {
+				return adm.Null{}, nil
+			}
+			ll, ok1 := a[0].(adm.Point)
+			ur, ok2 := a[1].(adm.Point)
+			if !ok1 || !ok2 {
+				return adm.Null{}, nil
+			}
+			return adm.Rectangle{LowerLeft: ll, UpperRight: ur}, nil
+		},
+		"create-circle": func(c *Context, a []adm.Value) (adm.Value, error) {
+			if len(a) < 2 {
+				return adm.Null{}, nil
+			}
+			center, ok1 := a[0].(adm.Point)
+			r, ok2 := adm.NumericAsDouble(a[1])
+			if !ok1 || !ok2 {
+				return adm.Null{}, nil
+			}
+			return adm.Circle{Center: center, Radius: r}, nil
+		},
 
 		// Temporal functions.
 		"current-datetime": func(c *Context, a []adm.Value) (adm.Value, error) {
@@ -921,11 +950,13 @@ func init() {
 		"current-time": func(c *Context, a []adm.Value) (adm.Value, error) {
 			return temporal.CurrentTime(c.Clock), nil
 		},
-		"datetime": constructorFunc("datetime"),
-		"date":     constructorFunc("date"),
-		"time":     constructorFunc("time"),
-		"duration": constructorFunc("duration"),
-		"point":    constructorFunc("point"),
+		"datetime":  constructorFunc("datetime"),
+		"date":      constructorFunc("date"),
+		"time":      constructorFunc("time"),
+		"duration":  constructorFunc("duration"),
+		"point":     constructorFunc("point"),
+		"rectangle": constructorFunc("rectangle"),
+		"circle":    constructorFunc("circle"),
 		"interval-bin": func(c *Context, a []adm.Value) (adm.Value, error) {
 			if len(a) < 3 {
 				return adm.Null{}, nil

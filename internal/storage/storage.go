@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"asterixdb/internal/adm"
@@ -598,6 +599,227 @@ func (d *Dataset) lookupPKBytes(pk []byte) (*adm.Record, bool, error) {
 	return rec, rec != nil, nil
 }
 
+// PartitionCount returns the number of storage partitions.
+func (d *Dataset) PartitionCount() int { return len(d.partitions) }
+
+// FetchPKPartition fetches and decodes the record stored under the encoded
+// primary key in one partition. Secondary indexes are partition-local and
+// co-located with their records, so an encoded key obtained from partition
+// p's secondary index always resolves in partition p's primary index: this is
+// the primary-search stage of the compiled per-partition access path.
+func (d *Dataset) FetchPKPartition(part int, pk []byte) (*adm.Record, bool, error) {
+	if part < 0 || part >= len(d.partitions) {
+		return nil, false, fmt.Errorf("storage: partition %d out of range", part)
+	}
+	p := d.partitions[part]
+	p.mu.Lock()
+	raw, ok := p.primary.Get(pk)
+	p.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	val, _, err := d.ser.Decode(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	rec, _ := val.(*adm.Record)
+	return rec, rec != nil, nil
+}
+
+// SearchSecondaryRangePartition visits the encoded primary keys in one
+// partition's secondary B+-tree whose secondary key lies in [lo, hi] (either
+// bound may be nil for an open range). Keys are collected under the partition
+// latch and visited outside it, so a pipelined consumer may block inside
+// visit without wedging the partition. This is the per-partition secondary-
+// search stage of the compiled access path; callers sort the keys, fetch the
+// records, and post-validate.
+func (d *Dataset) SearchSecondaryRangePartition(part int, indexName string, lo, hi adm.Value, visit func(pk []byte) bool) error {
+	ix, ok := d.IndexByName(indexName)
+	if !ok {
+		return fmt.Errorf("storage: no index %q on %q", indexName, d.spec.Name)
+	}
+	if ix.Kind != BTreeIndex {
+		return fmt.Errorf("storage: index %q is not a btree index", indexName)
+	}
+	if part < 0 || part >= len(d.partitions) {
+		return fmt.Errorf("storage: partition %d out of range", part)
+	}
+	var loKey, hiKey []byte
+	if lo != nil {
+		loKey = adm.EncodeKey(nil, lo)
+	}
+	if hi != nil {
+		hiKey = append(adm.EncodeKey(nil, hi), 0xFF) // include any PK suffix
+	}
+	p := d.partitions[part]
+	var pks [][]byte
+	p.mu.Lock()
+	if tree := p.btrees[indexName]; tree != nil {
+		tree.Range(loKey, hiKey, func(_, pk []byte) bool {
+			pks = append(pks, append([]byte(nil), pk...))
+			return true
+		})
+	}
+	p.mu.Unlock()
+	for _, pk := range pks {
+		if !visit(pk) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SearchRTreePartition visits the encoded primary keys in one partition's
+// R-tree index whose stored MBR intersects the probe rectangle. Like the
+// B+-tree variant, keys are collected under the partition latch and visited
+// outside it.
+func (d *Dataset) SearchRTreePartition(part int, indexName string, probe adm.Rectangle, visit func(pk []byte) bool) error {
+	ix, ok := d.IndexByName(indexName)
+	if !ok || ix.Kind != RTreeIndex {
+		return fmt.Errorf("storage: no rtree index %q on %q", indexName, d.spec.Name)
+	}
+	if part < 0 || part >= len(d.partitions) {
+		return fmt.Errorf("storage: partition %d out of range", part)
+	}
+	probeRect := rectFromADM(probe)
+	p := d.partitions[part]
+	var pks [][]byte
+	p.mu.Lock()
+	if tree := p.rtrees[indexName]; tree != nil {
+		tree.SearchIntersect(probeRect, func(e rtree.Entry) bool {
+			pks = append(pks, append([]byte(nil), e.Value...))
+			return true
+		})
+	}
+	p.mu.Unlock()
+	for _, pk := range pks {
+		if !visit(pk) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// SearchInvertedPartition visits the encoded primary keys in one partition's
+// inverted index that conservatively match the probe: for a keyword index,
+// documents containing every token of the probe; for an ngram index,
+// documents containing every (unpadded) gram of the probe. Both candidate
+// sets are supersets of the records satisfying tokenized-equality and
+// substring (contains) predicates respectively, so callers post-validate.
+// A probe shorter than the gram length produces no grams — the index cannot
+// bound the candidate set — and is reported as an error.
+func (d *Dataset) SearchInvertedPartition(part int, indexName, probe string, visit func(pk []byte) bool) error {
+	ix, ok := d.IndexByName(indexName)
+	if !ok || (ix.Kind != KeywordIndex && ix.Kind != NGramIndex) {
+		return fmt.Errorf("storage: no inverted index %q on %q", indexName, d.spec.Name)
+	}
+	if part < 0 || part >= len(d.partitions) {
+		return fmt.Errorf("storage: partition %d out of range", part)
+	}
+	var grams []string
+	if ix.Kind == NGramIndex {
+		grams = substringGrams(probe, ix.GramLength)
+		if len(grams) == 0 {
+			return fmt.Errorf("storage: inverted probe %q is shorter than gram length %d", probe, ix.GramLength)
+		}
+	}
+	p := d.partitions[part]
+	var pks [][]byte
+	p.mu.Lock()
+	if t := p.inverted[indexName]; t != nil {
+		if ix.Kind == KeywordIndex {
+			pks = t.Lookup(probe)
+		} else {
+			pks = t.LookupAll(grams)
+		}
+	}
+	p.mu.Unlock()
+	for _, pk := range pks {
+		if !visit(pk) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// substringGrams returns the unpadded lower-cased k-grams of s. Unlike
+// fuzzy.NGramTokens it does not pad the ends: every gram of a substring probe
+// is then guaranteed to appear among the indexed (padded) grams of any text
+// containing the probe, which is what makes the conjunctive candidate set a
+// superset of the true contains() matches.
+func substringGrams(s string, k int) []string {
+	runes := []rune(strings.ToLower(s))
+	if k <= 0 || len(runes) < k {
+		return nil
+	}
+	grams := make([]string, 0, len(runes)-k+1)
+	for i := 0; i+k <= len(runes); i++ {
+		grams = append(grams, string(runes[i:i+k]))
+	}
+	return grams
+}
+
+// SearchSecondaryConjunctive runs the inverted-index access path across every
+// partition and materializes the candidate records in primary-key order: the
+// reference-interpreter counterpart of the per-partition pipeline the
+// compiled jobs run. Callers post-validate the exact predicate.
+func (d *Dataset) SearchSecondaryConjunctive(indexName, probe string) ([]*adm.Record, error) {
+	return d.collectAndFetch(func(part int, visit func(pk []byte) bool) error {
+		return d.SearchInvertedPartition(part, indexName, probe, visit)
+	})
+}
+
+// collectAndFetch is the materializing half of every secondary access path:
+// it runs a per-partition primary-key producer across all partitions, sorts
+// the keys (the sort operator between the two searches in Figure 6), and
+// fetches the records from the primary indexes. Callers post-validate.
+func (d *Dataset) collectAndFetch(producer func(part int, visit func(pk []byte) bool) error) ([]*adm.Record, error) {
+	var pks [][]byte
+	for part := range d.partitions {
+		err := producer(part, func(pk []byte) bool {
+			pks = append(pks, pk)
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(pks, func(i, j int) bool { return string(pks[i]) < string(pks[j]) })
+	out := make([]*adm.Record, 0, len(pks))
+	for _, pk := range pks {
+		rec, ok, err := d.lookupPKBytes(pk)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// SpatialProbeMBR normalizes an evaluated spatial probe for an R-tree search:
+// it reports false for unknown or non-spatial values (the predicate above
+// would be false/null everywhere). Both executors share it so the compiled
+// path cannot drift from the interpreter oracle.
+func SpatialProbeMBR(v adm.Value) (adm.Rectangle, bool) {
+	if v == nil || adm.IsUnknown(v) {
+		return adm.Rectangle{}, false
+	}
+	mbr, err := spatial.MBR(v)
+	if err != nil {
+		return adm.Rectangle{}, false
+	}
+	return mbr, true
+}
+
+// StringProbe normalizes an evaluated inverted-index probe: it reports false
+// for unknown or non-string values, which match nothing.
+func StringProbe(v adm.Value) (string, bool) {
+	s, ok := v.(adm.String)
+	return string(s), ok
+}
+
 // scanChunk is the number of records decoded per partition-lock acquisition
 // during a scan.
 const scanChunk = 64
@@ -722,42 +944,16 @@ func (d *Dataset) SearchSecondaryRange(indexName string, lo, hi adm.Value) ([]*a
 	if !ok {
 		return nil, fmt.Errorf("storage: no index %q on %q", indexName, d.spec.Name)
 	}
-	if ix.Kind != BTreeIndex {
-		return nil, fmt.Errorf("storage: index %q is not a btree index", indexName)
-	}
-	var loKey, hiKey []byte
-	if lo != nil {
-		loKey = adm.EncodeKey(nil, lo)
-	}
-	if hi != nil {
-		hiKey = append(adm.EncodeKey(nil, hi), 0xFF) // include any PK suffix
-	}
 	// Secondary lookups are routed to all partitions (the matching data could
 	// be in any partition) and produce primary keys.
-	var pks [][]byte
-	for _, p := range d.partitions {
-		p.mu.Lock()
-		tree := p.btrees[indexName]
-		if tree != nil {
-			tree.Range(loKey, hiKey, func(_, pk []byte) bool {
-				pks = append(pks, append([]byte(nil), pk...))
-				return true
-			})
-		}
-		p.mu.Unlock()
+	recs, err := d.collectAndFetch(func(part int, visit func(pk []byte) bool) error {
+		return d.SearchSecondaryRangePartition(part, indexName, lo, hi, visit)
+	})
+	if err != nil {
+		return nil, err
 	}
-	// Sort the primary keys to improve the primary index access pattern
-	// (the sort operator between the two searches in Figure 6).
-	sort.Slice(pks, func(i, j int) bool { return string(pks[i]) < string(pks[j]) })
-	out := make([]*adm.Record, 0, len(pks))
-	for _, pk := range pks {
-		rec, ok, err := d.lookupPKBytes(pk)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			continue
-		}
+	out := recs[:0]
+	for _, rec := range recs {
 		// Post-validation select: the record fetched from the primary index
 		// must still satisfy the secondary-key predicate.
 		v := rec.Get(ix.Fields[0])
@@ -784,32 +980,14 @@ func (d *Dataset) SearchSecondaryRTree(indexName string, probe adm.Rectangle) ([
 	if !ok || ix.Kind != RTreeIndex {
 		return nil, fmt.Errorf("storage: no rtree index %q on %q", indexName, d.spec.Name)
 	}
-	probeRect := rectFromADM(probe)
-	seen := map[string]bool{}
-	var pks [][]byte
-	for _, p := range d.partitions {
-		p.mu.Lock()
-		if tree := p.rtrees[indexName]; tree != nil {
-			tree.SearchIntersect(probeRect, func(e rtree.Entry) bool {
-				if !seen[string(e.Value)] {
-					seen[string(e.Value)] = true
-					pks = append(pks, append([]byte(nil), e.Value...))
-				}
-				return true
-			})
-		}
-		p.mu.Unlock()
+	recs, err := d.collectAndFetch(func(part int, visit func(pk []byte) bool) error {
+		return d.SearchRTreePartition(part, indexName, probe, visit)
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(pks, func(i, j int) bool { return string(pks[i]) < string(pks[j]) })
-	var out []*adm.Record
-	for _, pk := range pks {
-		rec, ok, err := d.lookupPKBytes(pk)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			continue
-		}
+	out := recs[:0]
+	for _, rec := range recs {
 		v := rec.Get(ix.Fields[0])
 		intersects, err := spatial.Intersect(v, probe)
 		if err != nil || !intersects {
@@ -828,36 +1006,23 @@ func (d *Dataset) SearchSecondaryInverted(indexName, probe string, minMatches in
 	if !ok || (ix.Kind != KeywordIndex && ix.Kind != NGramIndex) {
 		return nil, fmt.Errorf("storage: no inverted index %q on %q", indexName, d.spec.Name)
 	}
-	seen := map[string]bool{}
-	var pks [][]byte
-	for _, p := range d.partitions {
+	return d.collectAndFetch(func(part int, visit func(pk []byte) bool) error {
+		p := d.partitions[part]
+		var pks [][]byte
 		p.mu.Lock()
 		if t := p.inverted[indexName]; t != nil {
-			var keys [][]byte
 			if ix.Kind == KeywordIndex {
-				keys = t.Lookup(probe)
+				pks = t.Lookup(probe)
 			} else {
-				keys = t.LookupAny(invidx.NGramTokenizer(ix.GramLength)(probe), minMatches)
-			}
-			for _, k := range keys {
-				if !seen[string(k)] {
-					seen[string(k)] = true
-					pks = append(pks, k)
-				}
+				pks = t.LookupAny(invidx.NGramTokenizer(ix.GramLength)(probe), minMatches)
 			}
 		}
 		p.mu.Unlock()
-	}
-	sort.Slice(pks, func(i, j int) bool { return string(pks[i]) < string(pks[j]) })
-	var out []*adm.Record
-	for _, pk := range pks {
-		rec, ok, err := d.lookupPKBytes(pk)
-		if err != nil {
-			return nil, err
+		for _, pk := range pks {
+			if !visit(pk) {
+				return nil
+			}
 		}
-		if ok {
-			out = append(out, rec)
-		}
-	}
-	return out, nil
+		return nil
+	})
 }

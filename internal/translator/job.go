@@ -3,6 +3,7 @@ package translator
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"asterixdb/internal/adm"
 	"asterixdb/internal/algebra"
@@ -15,9 +16,14 @@ import (
 // BuildJob converts an optimized physical plan into an executable Hyracks
 // job: every operator in the returned job carries a runnable closure over the
 // runtime's storage partitions and the expression evaluator, wired with the
-// connector structure of Figure 6. Plans the job generator cannot express
-// (correlated subplan sources, r-tree access paths) report an error; the
-// engine falls back to the reference interpreter for those.
+// connector structure of Figure 6. Every access path compiles to partitioned
+// operators: B+-tree, R-tree, and inverted-index secondary searches each run
+// as per-partition secondary-search -> PK-sort -> primary-search stages, and
+// correlated subplan sources (for $y in $x.list) compile to an unnest
+// operator. BuildJob reports an error only for plans that genuinely have no
+// physical operator (a non-compilable plan is produced only for expressions
+// algebra.Build rejects, such as positional variables); the engine falls back
+// to the reference expression interpreter for those.
 func BuildJob(plan *algebra.Plan, rt Runtime, partitions int) (*hyracks.Job, error) {
 	if partitions <= 0 {
 		partitions = 1
@@ -107,12 +113,18 @@ func (b *jobBuilder) build(n *algebra.Node) (stream, error) {
 		return b.buildScan(n)
 	case algebra.OpSubplan:
 		return b.buildSubplan(n)
+	case algebra.OpUnnest:
+		return b.buildUnnest(n)
 	case algebra.OpIndexSearch:
 		return b.buildIndexSearch(n)
+	case algebra.OpRTreeSearch:
+		return b.buildRTreeSearch(n)
+	case algebra.OpInvertedSearch:
+		return b.buildInvertedSearch(n)
 	case algebra.OpSortPK:
-		return b.buildPassthrough(n.Inputs[0], "sort(primary-keys)")
+		return b.buildSortPK(n)
 	case algebra.OpPrimarySearch:
-		return b.buildPassthrough(n.Inputs[0], fmt.Sprintf("btree-search(%s)", n.Dataset))
+		return b.buildPrimarySearch(n)
 	case algebra.OpSelect:
 		return b.buildSelect(n)
 	case algebra.OpAssign:
@@ -197,9 +209,10 @@ func (b *jobBuilder) buildScan(n *algebra.Node) (stream, error) {
 
 func (b *jobBuilder) buildSubplan(n *algebra.Node) (stream, error) {
 	src := n.Exprs[0]
-	if vars := algebra.VarsOf(src); len(vars) > 0 {
-		// A source that references other plan variables (e.g. iterating a
-		// field of an outer binding) cannot run as a standalone datasource.
+	if vars := algebra.FreeVarsOf(src); len(vars) > 0 {
+		// A source with free variable references (e.g. iterating a field of an
+		// outer binding) cannot run as a standalone datasource; algebra.Build
+		// compiles those as unnest operators, so this is only a safety net.
 		return stream{}, fmt.Errorf("translator: correlated subplan source references $%s", vars[0])
 	}
 	op := b.job.Add(&hyracks.SourceOp{
@@ -210,16 +223,7 @@ func (b *jobBuilder) buildSubplan(n *algebra.Node) (stream, error) {
 			if err != nil {
 				return err
 			}
-			var items []adm.Value
-			switch l := v.(type) {
-			case *adm.OrderedList:
-				items = l.Items
-			case *adm.UnorderedList:
-				items = l.Items
-			default:
-				items = []adm.Value{v}
-			}
-			for _, it := range items {
+			for _, it := range expr.IterationItems(v) {
 				if !emit(hyracks.Tuple{it}) {
 					return nil
 				}
@@ -230,57 +234,216 @@ func (b *jobBuilder) buildSubplan(n *algebra.Node) (stream, error) {
 	return stream{op: op, par: 1, schema: Schema{n.Variable}}, nil
 }
 
-func (b *jobBuilder) buildIndexSearch(n *algebra.Node) (stream, error) {
-	ds, ok := b.rt.LookupDataset(n.Dataverse, n.Dataset)
-	if !ok {
-		return stream{}, fmt.Errorf("translator: dataset %q has no stored partitions for index search", n.Dataset)
+// buildUnnest compiles a correlated subplan source (for $y in $x.list): for
+// every input tuple it evaluates the source expression under the tuple's
+// bindings and emits one widened tuple per item, mirroring the interpreter's
+// for-clause semantics (an unknown source contributes nothing; a non-list
+// source contributes itself).
+func (b *jobBuilder) buildUnnest(n *algebra.Node) (stream, error) {
+	in, err := b.buildInput(n)
+	if err != nil {
+		return stream{}, err
 	}
-	index, loExpr, hiExpr := n.Index, n.LoExpr, n.HiExpr
-	op := b.job.Add(&hyracks.SourceOp{
-		Label:      fmt.Sprintf("btree-search(%s)", index),
-		Partitions: 1,
-		Produce: func(_ int, emit func(hyracks.Tuple) bool) error {
-			var lo, hi adm.Value
-			if loExpr != nil {
-				v, err := expr.Eval(b.ctx, expr.Env{}, loExpr)
-				if err != nil {
-					return err
-				}
-				lo = v
-			}
-			if hiExpr != nil {
-				v, err := expr.Eval(b.ctx, expr.Env{}, hiExpr)
-				if err != nil {
-					return err
-				}
-				hi = v
-			}
-			recs, err := ds.SearchSecondaryRange(index, lo, hi)
+	src, inSchema := n.Exprs[0], in.schema
+	outSchema := append(append(Schema{}, inSchema...), n.Variable)
+	bind := envBinder(inSchema, in.par)
+	op := b.job.Add(&hyracks.FlatMapOp{
+		Label:      fmt.Sprintf("unnest($%s)", n.Variable),
+		Partitions: in.par,
+		Fn: func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+			v, err := expr.Eval(b.ctx, bind(p, t), src)
 			if err != nil {
 				return err
 			}
-			for _, rec := range recs {
-				if !emit(hyracks.Tuple{rec}) {
+			for _, it := range expr.IterationItems(v) {
+				out := make(hyracks.Tuple, len(t), len(t)+1)
+				copy(out, t)
+				if !emit(append(out, it)) {
 					return nil
 				}
 			}
 			return nil
 		},
 	})
-	return stream{op: op, par: 1, schema: Schema{n.Variable}}, nil
+	return b.connect(in, op, in.par, outSchema, hyracks.Connector{Kind: hyracks.OneToOne}), nil
 }
 
-// buildPassthrough adds a structural identity operator. The secondary-index
-// access path keeps its Figure 6 shape (sort of primary keys, primary-index
-// search) even though SearchSecondaryRange already performed both steps;
-// Execute splices these out of the running dataflow.
-func (b *jobBuilder) buildPassthrough(input *algebra.Node, label string) (stream, error) {
-	in, err := b.build(input)
+// pkSchema is the synthetic single-column schema that encoded primary keys
+// flow in between the stages of the secondary-index access path.
+var pkSchema = Schema{"#pk"}
+
+// buildIndexSearch is the first stage of the compiled secondary B+-tree
+// access path: one search instance per storage partition, each searching its
+// partition-local secondary index and emitting the matching encoded primary
+// keys. The PK sort and primary search stages above run per-partition too, so
+// the whole access path executes at full parallelism.
+func (b *jobBuilder) buildIndexSearch(n *algebra.Node) (stream, error) {
+	ds, ok := b.rt.LookupDataset(n.Dataverse, n.Dataset)
+	if !ok {
+		return stream{}, fmt.Errorf("translator: dataset %q has no stored partitions for index search", n.Dataset)
+	}
+	index, loExpr, hiExpr := n.Index, n.LoExpr, n.HiExpr
+	// The bounds are evaluated once per job (not once per partition instance):
+	// a volatile bound such as current-datetime() must not make the instances
+	// search different ranges.
+	bounds := onceValue(func() ([2]adm.Value, error) {
+		var lohi [2]adm.Value
+		for i, e := range []aql.Expr{loExpr, hiExpr} {
+			if e == nil {
+				continue
+			}
+			v, err := expr.Eval(b.ctx, expr.Env{}, e)
+			if err != nil {
+				return lohi, err
+			}
+			lohi[i] = v
+		}
+		return lohi, nil
+	})
+	op := b.job.Add(&hyracks.SourceOp{
+		Label:      fmt.Sprintf("btree-search(%s)", index),
+		Partitions: b.partitions,
+		Produce: func(p int, emit func(hyracks.Tuple) bool) error {
+			lohi, err := bounds()
+			if err != nil {
+				return err
+			}
+			return ds.SearchSecondaryRangePartition(p, index, lohi[0], lohi[1], func(pk []byte) bool {
+				return emit(hyracks.Tuple{adm.Binary(pk)})
+			})
+		},
+	})
+	return stream{op: op, par: b.partitions, schema: pkSchema}, nil
+}
+
+// onceValue wraps a computation so every partition instance of a search
+// operator shares one evaluation (and one result) per job run.
+func onceValue[T any](f func() (T, error)) func() (T, error) {
+	var once sync.Once
+	var v T
+	var err error
+	return func() (T, error) {
+		once.Do(func() { v, err = f() })
+		return v, err
+	}
+}
+
+// buildRTreeSearch is the R-tree analogue of buildIndexSearch: each instance
+// searches its partition-local R-tree with the MBR of the probe value and
+// emits matching primary keys. An unknown or non-spatial probe matches
+// nothing (the predicate above would evaluate to false/null everywhere).
+func (b *jobBuilder) buildRTreeSearch(n *algebra.Node) (stream, error) {
+	ds, ok := b.rt.LookupDataset(n.Dataverse, n.Dataset)
+	if !ok {
+		return stream{}, fmt.Errorf("translator: dataset %q has no stored partitions for rtree search", n.Dataset)
+	}
+	index, probeExpr := n.Index, n.ProbeExpr
+	probe := onceValue(func() (adm.Value, error) {
+		return expr.Eval(b.ctx, expr.Env{}, probeExpr)
+	})
+	op := b.job.Add(&hyracks.SourceOp{
+		Label:      fmt.Sprintf("rtree-search(%s)", index),
+		Partitions: b.partitions,
+		Produce: func(p int, emit func(hyracks.Tuple) bool) error {
+			v, err := probe()
+			if err != nil {
+				return err
+			}
+			mbr, ok := storage.SpatialProbeMBR(v)
+			if !ok {
+				return nil // unknown or non-spatial probe matches nothing
+			}
+			return ds.SearchRTreePartition(p, index, mbr, func(pk []byte) bool {
+				return emit(hyracks.Tuple{adm.Binary(pk)})
+			})
+		},
+	})
+	return stream{op: op, par: b.partitions, schema: pkSchema}, nil
+}
+
+// buildInvertedSearch is the inverted-index analogue of buildIndexSearch:
+// each instance probes its partition-local keyword or ngram index for the
+// conservative candidate set (every token / every gram of the probe) and
+// emits matching primary keys; the select above post-validates the exact
+// predicate. An unknown or non-string probe matches nothing.
+func (b *jobBuilder) buildInvertedSearch(n *algebra.Node) (stream, error) {
+	ds, ok := b.rt.LookupDataset(n.Dataverse, n.Dataset)
+	if !ok {
+		return stream{}, fmt.Errorf("translator: dataset %q has no stored partitions for inverted search", n.Dataset)
+	}
+	index, probeExpr := n.Index, n.ProbeExpr
+	probe := onceValue(func() (adm.Value, error) {
+		return expr.Eval(b.ctx, expr.Env{}, probeExpr)
+	})
+	op := b.job.Add(&hyracks.SourceOp{
+		Label:      fmt.Sprintf("inverted-search(%s)", index),
+		Partitions: b.partitions,
+		Produce: func(p int, emit func(hyracks.Tuple) bool) error {
+			v, err := probe()
+			if err != nil {
+				return err
+			}
+			s, ok := storage.StringProbe(v)
+			if !ok {
+				return nil // unknown or non-string probe matches nothing
+			}
+			return ds.SearchInvertedPartition(p, index, s, func(pk []byte) bool {
+				return emit(hyracks.Tuple{adm.Binary(pk)})
+			})
+		},
+	})
+	return stream{op: op, par: b.partitions, schema: pkSchema}, nil
+}
+
+// buildSortPK compiles the sort between the secondary and primary index
+// searches: a per-partition blocking sort of the encoded primary keys, which
+// turns the primary-search stage's lookups into a sequential access pattern.
+func (b *jobBuilder) buildSortPK(n *algebra.Node) (stream, error) {
+	in, err := b.build(n.Inputs[0])
 	if err != nil {
 		return stream{}, err
 	}
-	op := b.job.Add(&hyracks.PassthroughOp{Label: label, Partitions: in.par})
+	op := b.job.Add(&hyracks.SortOp{
+		Label:      "sort(primary-keys)",
+		Partitions: in.par,
+		Columns:    []int{0},
+	})
 	return b.connect(in, op, in.par, in.schema, hyracks.Connector{Kind: hyracks.OneToOne}), nil
+}
+
+// buildPrimarySearch compiles the primary-index search stage: each instance
+// resolves the encoded primary keys flowing from its partition's secondary
+// search against the same partition's primary B+-tree (secondary indexes are
+// co-located with their records, so instance p only ever touches partition p)
+// and emits the fetched records.
+func (b *jobBuilder) buildPrimarySearch(n *algebra.Node) (stream, error) {
+	in, err := b.build(n.Inputs[0])
+	if err != nil {
+		return stream{}, err
+	}
+	ds, ok := b.rt.LookupDataset(n.Dataverse, n.Dataset)
+	if !ok {
+		return stream{}, fmt.Errorf("translator: dataset %q has no stored partitions for primary search", n.Dataset)
+	}
+	op := b.job.Add(&hyracks.FlatMapOp{
+		Label:      fmt.Sprintf("btree-search(%s)", n.Dataset),
+		Partitions: in.par,
+		Fn: func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+			pk, ok := t[0].(adm.Binary)
+			if !ok {
+				return fmt.Errorf("translator: primary search expected an encoded key, got %s", t[0].Tag())
+			}
+			rec, found, err := ds.FetchPKPartition(p, pk)
+			if err != nil {
+				return err
+			}
+			if found {
+				emit(hyracks.Tuple{rec})
+			}
+			return nil
+		},
+	})
+	return b.connect(in, op, in.par, Schema{n.Variable}, hyracks.Connector{Kind: hyracks.OneToOne}), nil
 }
 
 // ----------------------------------------------------------------------------
