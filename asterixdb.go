@@ -1,16 +1,44 @@
-// Package asterixdb is an embeddable Go implementation of the AsterixDB Big
-// Data Management System described in "AsterixDB: A Scalable, Open Source
-// BDMS" (VLDB 2014). An Instance owns the metadata catalog, the partitioned
-// LSM storage layer, the AQL compiler (parser, Algebricks-style optimizer,
-// Hyracks job generation) and the runtime, and executes AQL statements:
+// Package asterixdb is a Go implementation of the AsterixDB Big Data
+// Management System described in "AsterixDB: A Scalable, Open Source BDMS"
+// (VLDB 2014). An Instance owns the metadata catalog, the partitioned LSM
+// storage layer, the AQL compiler (parser, Algebricks-style optimizer,
+// Hyracks job generation) and the runtime.
+//
+// # Executing statements
+//
+// The primary entry points are context-aware. ExecuteContext runs one or
+// more AQL statements and materializes the result of the last one;
+// QueryStream runs a query and returns a pull-based Cursor whose rows stream
+// out of the executing Hyracks job as they are produced, holding only a
+// bounded number of tuples in flight:
 //
 //	inst, _ := asterixdb.Open(asterixdb.Config{DataDir: dir})
 //	defer inst.Close()
-//	inst.Execute(`create dataverse TinySocial;`)
-//	res, _ := inst.Execute(`for $u in dataset MugshotUsers return $u.name`)
+//	inst.ExecuteContext(ctx, `create dataverse TinySocial;`)
+//
+//	cur, _ := inst.QueryStream(ctx, `for $u in dataset MugshotUsers return $u.name`)
+//	defer cur.Close()
+//	for cur.Next() {
+//		fmt.Println(cur.Value())
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// Closing a cursor early — or cancelling its context — propagates through
+// the runtime's upstream-cancellation machinery and stops the scans feeding
+// the job. Execute, Query and QueryWithOptions are compatibility wrappers
+// that drain a cursor to completion.
+//
+// Errors returned by the API are typed: sentinels ErrNotFound and ErrExists
+// match via errors.Is, and *Error carries a stable Code (see errors.go).
+//
+// The internal/server package exposes an Instance over HTTP with the paper's
+// synchronous, asynchronous and deferred result-delivery modes, and
+// cmd/asterixd is the server binary.
 package asterixdb
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -65,7 +93,11 @@ type Instance struct {
 	types            map[string]*adm.RecordType
 	datasets         map[string]*datasetEntry
 	functions        map[string]expr.UserFunction
-	evalCtx          *expr.Context
+	// typeDataverse / functionDataverse record which dataverse each type and
+	// function was created in, so drop dataverse can clean them up.
+	typeDataverse     map[string]string
+	functionDataverse map[string]string
+	evalCtx           *expr.Context
 }
 
 // datasetEntry tracks one dataset: either an internal (stored) dataset or an
@@ -102,12 +134,14 @@ func Open(cfg Config) (*Instance, error) {
 		return nil, err
 	}
 	inst := &Instance{
-		cfg:        cfg,
-		store:      store,
-		dataverses: map[string]bool{"Metadata": true, "Default": true},
-		types:      map[string]*adm.RecordType{},
-		datasets:   map[string]*datasetEntry{},
-		functions:  map[string]expr.UserFunction{},
+		cfg:               cfg,
+		store:             store,
+		dataverses:        map[string]bool{"Metadata": true, "Default": true},
+		types:             map[string]*adm.RecordType{},
+		datasets:          map[string]*datasetEntry{},
+		functions:         map[string]expr.UserFunction{},
+		typeDataverse:     map[string]string{},
+		functionDataverse: map[string]string{},
 	}
 	inst.currentDataverse = "Default"
 	ctx := expr.NewContext()
@@ -136,23 +170,34 @@ func (in *Instance) Dataset(name string) (*storage.Dataset, bool) {
 	return nil, false
 }
 
-// Execute parses and executes one or more AQL statements and returns the
-// result of the last one.
+// ExecuteContext parses and executes one or more AQL statements under ctx
+// and returns the materialized result of the last one. Query results drain
+// through the streaming execution path; cancelling ctx mid-query terminates
+// the running job and returns ctx's error.
+func (in *Instance) ExecuteContext(ctx context.Context, src string) (*Result, error) {
+	return in.executeWith(ctx, src, in.cfg.OptimizerOptions)
+}
+
+// Execute is ExecuteContext without cancellation — a compatibility wrapper
+// kept for embedders and tests predating the context-aware API.
 func (in *Instance) Execute(src string) (*Result, error) {
-	return in.executeWith(src, in.cfg.OptimizerOptions)
+	return in.ExecuteContext(context.Background(), src)
 }
 
 // executeWith runs statements under the given optimizer options. Options are
 // threaded through the compile call (never written back into the shared
 // config), so concurrent queries with different options do not race.
-func (in *Instance) executeWith(src string, opts algebra.Options) (*Result, error) {
+func (in *Instance) executeWith(ctx context.Context, src string, opts algebra.Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	stmts, err := aql.Parse(src)
 	if err != nil {
-		return nil, err
+		return nil, syntaxError(err)
 	}
 	var last *Result
 	for _, stmt := range stmts {
-		res, err := in.executeStatement(stmt, opts)
+		res, err := in.executeStatement(ctx, stmt, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -178,7 +223,7 @@ func (in *Instance) Query(src string) ([]adm.Value, error) {
 // access paths on the same instance. It is safe to call concurrently with
 // Query.
 func (in *Instance) QueryWithOptions(src string, opts algebra.Options) ([]adm.Value, error) {
-	res, err := in.executeWith(src, opts)
+	res, err := in.executeWith(context.Background(), src, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -259,13 +304,16 @@ func (in *Instance) DatasetInfo(dataverse, name string) algebra.DatasetInfo {
 // Statement execution
 // ----------------------------------------------------------------------------
 
-func (in *Instance) executeStatement(stmt aql.Statement, opts algebra.Options) (*Result, error) {
+func (in *Instance) executeStatement(ctx context.Context, stmt aql.Statement, opts algebra.Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch s := stmt.(type) {
 	case *aql.DataverseDecl:
 		in.mu.Lock()
 		defer in.mu.Unlock()
 		if !in.dataverses[s.Name] {
-			return nil, fmt.Errorf("asterixdb: dataverse %q does not exist", s.Name)
+			return nil, errf(CodeNotFound, "asterixdb: dataverse %q does not exist", s.Name)
 		}
 		in.currentDataverse = s.Name
 		return &Result{Kind: "ddl"}, nil
@@ -273,7 +321,7 @@ func (in *Instance) executeStatement(stmt aql.Statement, opts algebra.Options) (
 		in.mu.Lock()
 		defer in.mu.Unlock()
 		if in.dataverses[s.Name] && !s.IfNotExists {
-			return nil, fmt.Errorf("asterixdb: dataverse %q already exists", s.Name)
+			return nil, errf(CodeExists, "asterixdb: dataverse %q already exists", s.Name)
 		}
 		in.dataverses[s.Name] = true
 		return &Result{Kind: "ddl"}, nil
@@ -284,10 +332,14 @@ func (in *Instance) executeStatement(stmt aql.Statement, opts algebra.Options) (
 	case *aql.DropType:
 		in.mu.Lock()
 		defer in.mu.Unlock()
-		if _, ok := in.types[s.Name]; !ok && !s.IfExists {
-			return nil, fmt.Errorf("asterixdb: type %q does not exist", s.Name)
+		if _, ok := in.types[s.Name]; !ok {
+			if s.IfExists {
+				return &Result{Kind: "ddl"}, nil
+			}
+			return nil, errf(CodeNotFound, "asterixdb: type %q does not exist", s.Name)
 		}
 		delete(in.types, s.Name)
+		delete(in.typeDataverse, s.Name)
 		return &Result{Kind: "ddl"}, nil
 	case *aql.CreateDataset:
 		return in.createDataset(s)
@@ -298,9 +350,9 @@ func (in *Instance) executeStatement(stmt aql.Statement, opts algebra.Options) (
 	case *aql.DropIndex:
 		ds, ok := in.Dataset(s.Dataset)
 		if !ok {
-			return nil, fmt.Errorf("asterixdb: dataset %q does not exist", s.Dataset)
+			return nil, errf(CodeNotFound, "asterixdb: dataset %q does not exist", s.Dataset)
 		}
-		if err := ds.DropIndex(s.Name); err != nil && !s.IfExists {
+		if err := ds.DropIndex(s.Name); err != nil && !(s.IfExists && errors.Is(err, storage.ErrNotFound)) {
 			return nil, err
 		}
 		return &Result{Kind: "ddl"}, nil
@@ -308,11 +360,19 @@ func (in *Instance) executeStatement(stmt aql.Statement, opts algebra.Options) (
 		in.mu.Lock()
 		defer in.mu.Unlock()
 		in.functions[s.Name] = expr.UserFunction{Params: s.Params, Body: s.Body}
+		in.functionDataverse[s.Name] = in.currentDataverse
 		return &Result{Kind: "ddl"}, nil
 	case *aql.DropFunction:
 		in.mu.Lock()
 		defer in.mu.Unlock()
+		if _, ok := in.functions[s.Name]; !ok {
+			if s.IfExists {
+				return &Result{Kind: "ddl"}, nil
+			}
+			return nil, errf(CodeNotFound, "asterixdb: function %q does not exist", s.Name)
+		}
 		delete(in.functions, s.Name)
+		delete(in.functionDataverse, s.Name)
 		return &Result{Kind: "ddl"}, nil
 	case *aql.CreateFeed, *aql.DropFeed, *aql.ConnectFeed, *aql.DisconnectFeed:
 		// Feed lifecycle is managed by the feeds package (see Feeds()); the
@@ -327,21 +387,25 @@ func (in *Instance) executeStatement(stmt aql.Statement, opts algebra.Options) (
 	case *aql.LoadStatement:
 		return in.executeLoad(s)
 	case *aql.QueryStatement:
-		values, err := in.evaluateQuery(s.Body, opts)
+		values, err := in.evaluateQuery(ctx, s.Body, opts)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Kind: "query", Values: values, Count: len(values)}, nil
 	}
-	return nil, fmt.Errorf("asterixdb: unsupported statement %T", stmt)
+	return nil, errf(CodeInvalid, "asterixdb: unsupported statement %T", stmt)
 }
 
+// dropDataverse removes a dataverse and everything scoped to it: its
+// datasets (and their storage), its types and its functions. Dropping a
+// dataverse another object's dataverse merely referenced does not touch
+// objects created elsewhere.
 func (in *Instance) dropDataverse(s *aql.DropDataverse) (*Result, error) {
 	in.mu.Lock()
 	exists := in.dataverses[s.Name]
 	if !exists && !s.IfExists {
 		in.mu.Unlock()
-		return nil, fmt.Errorf("asterixdb: dataverse %q does not exist", s.Name)
+		return nil, errf(CodeNotFound, "asterixdb: dataverse %q does not exist", s.Name)
 	}
 	var toDrop []string
 	for name, e := range in.datasets {
@@ -351,6 +415,18 @@ func (in *Instance) dropDataverse(s *aql.DropDataverse) (*Result, error) {
 	}
 	for _, name := range toDrop {
 		delete(in.datasets, name)
+	}
+	for name, dv := range in.typeDataverse {
+		if dv == s.Name {
+			delete(in.types, name)
+			delete(in.typeDataverse, name)
+		}
+	}
+	for name, dv := range in.functionDataverse {
+		if dv == s.Name {
+			delete(in.functions, name)
+			delete(in.functionDataverse, name)
+		}
 	}
 	if s.Name != "Default" && s.Name != "Metadata" {
 		delete(in.dataverses, s.Name)
@@ -376,10 +452,16 @@ func (in *Instance) createType(s *aql.CreateType) (*Result, error) {
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	if _, exists := in.types[s.Name]; exists && !s.IfNotExists {
-		return nil, fmt.Errorf("asterixdb: type %q already exists", s.Name)
+	if _, exists := in.types[s.Name]; exists {
+		if s.IfNotExists {
+			// A genuine no-op: the existing definition and its dataverse
+			// scoping are untouched.
+			return &Result{Kind: "ddl"}, nil
+		}
+		return nil, errf(CodeExists, "asterixdb: type %q already exists", s.Name)
 	}
 	in.types[s.Name] = rt
+	in.typeDataverse[s.Name] = in.currentDataverse
 	return &Result{Kind: "ddl"}, nil
 }
 
@@ -440,10 +522,10 @@ func (in *Instance) createDataset(s *aql.CreateDataset) (*Result, error) {
 		if s.IfNotExists {
 			return &Result{Kind: "ddl"}, nil
 		}
-		return nil, fmt.Errorf("asterixdb: dataset %q already exists", s.Name)
+		return nil, errf(CodeExists, "asterixdb: dataset %q already exists", s.Name)
 	}
 	if !typeOK {
-		return nil, fmt.Errorf("asterixdb: unknown type %q", s.TypeName)
+		return nil, errf(CodeNotFound, "asterixdb: unknown type %q", s.TypeName)
 	}
 	entry := &datasetEntry{name: s.Name, typeName: s.TypeName, dataverse: dataverse}
 	if s.External {
@@ -478,7 +560,7 @@ func (in *Instance) dropDataset(s *aql.DropDataset) (*Result, error) {
 		if s.IfExists {
 			return &Result{Kind: "ddl"}, nil
 		}
-		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", s.Name)
+		return nil, errf(CodeNotFound, "asterixdb: dataset %q does not exist", s.Name)
 	}
 	delete(in.datasets, s.Name)
 	in.mu.Unlock()
@@ -493,7 +575,7 @@ func (in *Instance) dropDataset(s *aql.DropDataset) (*Result, error) {
 func (in *Instance) createIndex(s *aql.CreateIndex) (*Result, error) {
 	ds, ok := in.Dataset(s.Dataset)
 	if !ok {
-		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", s.Dataset)
+		return nil, errf(CodeNotFound, "asterixdb: dataset %q does not exist", s.Dataset)
 	}
 	kind := storage.BTreeIndex
 	switch s.Kind {
@@ -505,7 +587,7 @@ func (in *Instance) createIndex(s *aql.CreateIndex) (*Result, error) {
 		kind = storage.NGramIndex
 	}
 	err := ds.CreateIndex(storage.IndexSpec{Name: s.Name, Fields: s.Fields, Kind: kind, GramLength: s.GramLength})
-	if err != nil && s.IfNotExists && strings.Contains(err.Error(), "already exists") {
+	if err != nil && s.IfNotExists && errors.Is(err, storage.ErrExists) {
 		return &Result{Kind: "ddl"}, nil
 	}
 	if err != nil {
@@ -521,7 +603,7 @@ func (in *Instance) setParameter(s *aql.SetStatement) (*Result, error) {
 	case "simthreshold":
 		f, err := strconv.ParseFloat(s.Value, 64)
 		if err != nil {
-			return nil, fmt.Errorf("asterixdb: bad simthreshold %q", s.Value)
+			return nil, errf(CodeInvalid, "asterixdb: bad simthreshold %q", s.Value)
 		}
 		in.evalCtx.SimThreshold = f
 	default:
@@ -533,7 +615,7 @@ func (in *Instance) setParameter(s *aql.SetStatement) (*Result, error) {
 func (in *Instance) executeInsert(s *aql.InsertStatement) (*Result, error) {
 	ds, ok := in.Dataset(s.Dataset)
 	if !ok {
-		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", s.Dataset)
+		return nil, errf(CodeNotFound, "asterixdb: dataset %q does not exist", s.Dataset)
 	}
 	v, err := expr.Eval(in.evalCtx, expr.Env{}, s.Body)
 	if err != nil {
@@ -556,7 +638,7 @@ func (in *Instance) executeInsert(s *aql.InsertStatement) (*Result, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("asterixdb: insert body must produce a record, got %s", v.Tag())
+		return nil, errf(CodeInvalid, "asterixdb: insert body must produce a record, got %s", v.Tag())
 	}
 	if err := ds.InsertBatch(recs); err != nil {
 		return nil, err
@@ -567,7 +649,7 @@ func (in *Instance) executeInsert(s *aql.InsertStatement) (*Result, error) {
 func (in *Instance) executeDelete(s *aql.DeleteStatement) (*Result, error) {
 	ds, ok := in.Dataset(s.Dataset)
 	if !ok {
-		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", s.Dataset)
+		return nil, errf(CodeNotFound, "asterixdb: dataset %q does not exist", s.Dataset)
 	}
 	spec := ds.Spec()
 	// Collect matching primary keys, then delete them.
@@ -605,7 +687,7 @@ func (in *Instance) executeDelete(s *aql.DeleteStatement) (*Result, error) {
 func (in *Instance) executeLoad(s *aql.LoadStatement) (*Result, error) {
 	ds, ok := in.Dataset(s.Dataset)
 	if !ok {
-		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", s.Dataset)
+		return nil, errf(CodeNotFound, "asterixdb: dataset %q does not exist", s.Dataset)
 	}
 	ext, err := external.NewDataset(ds.Spec().Type, s.Adaptor, s.Properties)
 	if err != nil {
@@ -635,7 +717,7 @@ func (in *Instance) readDataset(dataverse, name string) ([]*adm.Record, error) {
 	e, ok := in.datasets[name]
 	in.mu.RUnlock()
 	if !ok {
-		return nil, fmt.Errorf("asterixdb: dataset %q does not exist", name)
+		return nil, errf(CodeNotFound, "asterixdb: dataset %q does not exist", name)
 	}
 	if e.external != nil {
 		return e.external.ReadAll()
@@ -697,6 +779,7 @@ func (in *Instance) metadataRecords(name string) ([]*adm.Record, error) {
 			}
 			spec := e.internal.Spec()
 			out = append(out, adm.NewRecord(
+				adm.Field{Name: "DataverseName", Value: adm.String(e.dataverse)},
 				adm.Field{Name: "DatasetName", Value: adm.String(n)},
 				adm.Field{Name: "IndexName", Value: adm.String(n)},
 				adm.Field{Name: "IndexStructure", Value: adm.String("BTREE")},
@@ -704,13 +787,18 @@ func (in *Instance) metadataRecords(name string) ([]*adm.Record, error) {
 				adm.Field{Name: "SearchKey", Value: stringList(spec.PrimaryKey)},
 			))
 			for _, ix := range e.internal.Indexes() {
-				out = append(out, adm.NewRecord(
-					adm.Field{Name: "DatasetName", Value: adm.String(n)},
-					adm.Field{Name: "IndexName", Value: adm.String(ix.Name)},
-					adm.Field{Name: "IndexStructure", Value: adm.String(strings.ToUpper(string(ix.Kind)))},
-					adm.Field{Name: "IsPrimary", Value: adm.Boolean(false)},
-					adm.Field{Name: "SearchKey", Value: stringList(ix.Fields)},
-				))
+				fields := []adm.Field{
+					{Name: "DataverseName", Value: adm.String(e.dataverse)},
+					{Name: "DatasetName", Value: adm.String(n)},
+					{Name: "IndexName", Value: adm.String(ix.Name)},
+					{Name: "IndexStructure", Value: adm.String(strings.ToUpper(string(ix.Kind)))},
+					{Name: "IsPrimary", Value: adm.Boolean(false)},
+					{Name: "SearchKey", Value: stringList(ix.Fields)},
+				}
+				if ix.Kind == storage.NGramIndex {
+					fields = append(fields, adm.Field{Name: "GramLength", Value: adm.Int32(int32(ix.GramLength))})
+				}
+				out = append(out, adm.NewRecord(fields...))
 			}
 		}
 	case "Datatype":
@@ -721,6 +809,7 @@ func (in *Instance) metadataRecords(name string) ([]*adm.Record, error) {
 		sort.Strings(names)
 		for _, n := range names {
 			out = append(out, adm.NewRecord(
+				adm.Field{Name: "DataverseName", Value: adm.String(in.typeDataverse[n])},
 				adm.Field{Name: "DatatypeName", Value: adm.String(n)},
 				adm.Field{Name: "Derived", Value: adm.String(in.types[n].Describe())},
 			))
@@ -734,12 +823,13 @@ func (in *Instance) metadataRecords(name string) ([]*adm.Record, error) {
 		for _, n := range names {
 			fn := in.functions[n]
 			out = append(out, adm.NewRecord(
+				adm.Field{Name: "DataverseName", Value: adm.String(in.functionDataverse[n])},
 				adm.Field{Name: "Name", Value: adm.String(n)},
 				adm.Field{Name: "Arity", Value: adm.Int32(int32(len(fn.Params)))},
 			))
 		}
 	default:
-		return nil, fmt.Errorf("asterixdb: unknown Metadata dataset %q", name)
+		return nil, errf(CodeNotFound, "asterixdb: unknown Metadata dataset %q", name)
 	}
 	return out, nil
 }
@@ -752,36 +842,14 @@ func stringList(ss []string) *adm.OrderedList {
 	return &adm.OrderedList{Items: items}
 }
 
-// evaluateQuery evaluates a query expression. FLWOR queries (and aggregate
-// calls over FLWORs) are compiled and executed through the physical plan so
-// index access paths, hash joins and the aggregation split are used; other
-// expressions are evaluated directly. Compiled plans run as pipelined Hyracks
-// jobs by default; Config.UseInterpreter selects the materializing
-// interpreter instead (the differential-testing oracle).
-//
-// The expression-interpreter fallback below is taken only when the query
-// cannot be planned at all (a non-FLWOR expression, or a shape algebra.Build
-// rejects such as positional variables) or when BuildJob cannot express the
-// plan — which, now that every access path and correlated unnest compiles, is
-// a bug rather than an expected path. Runtime errors from an executing job
-// are real errors and propagate.
-func (in *Instance) evaluateQuery(e aql.Expr, opts algebra.Options) ([]adm.Value, error) {
-	if plan, err := translator.Compile(e, in, opts); err == nil {
-		if in.cfg.UseInterpreter {
-			return in.executePlan(plan)
-		}
-		if job, err := translator.BuildJob(plan, in, in.cfg.Partitions); err == nil {
-			return in.runJob(job)
-		}
-	}
-	v, err := expr.Eval(in.evalCtx, expr.Env{}, e)
+// evaluateQuery materializes a query expression's results by opening a
+// cursor (see queryCursor in stream.go for path selection: compiled
+// streaming job, interpreter oracle, or expression fallback) and draining
+// it. Streaming consumers use Instance.QueryStream instead.
+func (in *Instance) evaluateQuery(ctx context.Context, e aql.Expr, opts algebra.Options) ([]adm.Value, error) {
+	cur, err := in.queryCursor(ctx, e, opts)
 	if err != nil {
 		return nil, err
 	}
-	if items, ok := v.(*adm.OrderedList); ok {
-		if _, isFLWOR := e.(*aql.FLWORExpr); isFLWOR {
-			return items.Items, nil
-		}
-	}
-	return []adm.Value{v}, nil
+	return cur.drain()
 }

@@ -1,0 +1,190 @@
+package asterixdb
+
+import (
+	"errors"
+	"testing"
+
+	"asterixdb/internal/adm"
+)
+
+// TestTypedErrors pins the API's error contract: sentinel matching via
+// errors.Is and stable codes via errors.As / ErrorCode.
+func TestTypedErrors(t *testing.T) {
+	inst := newTinySocial(t)
+
+	_, err := inst.Query(`for $x in dataset NoSuchDataset return $x;`)
+	if !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown dataset: errors.Is(err, ErrNotFound) is false for %v", err)
+	}
+	if ErrorCode(err) != CodeNotFound {
+		t.Errorf("unknown dataset: code = %q", ErrorCode(err))
+	}
+
+	_, err = inst.Execute(`create dataset MugshotUsers(MugshotUserType) primary key id;`)
+	if !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate dataset: errors.Is(err, ErrExists) is false for %v", err)
+	}
+
+	// Index duplicates surface the storage sentinel through the catalog.
+	_, err = inst.Execute(`create index msUserSinceIdx on MugshotUsers(user-since);`)
+	if !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate index: errors.Is(err, ErrExists) is false for %v", err)
+	}
+	// ... and "if not exists" swallows exactly that error.
+	if _, err := inst.Execute(`create index msUserSinceIdx if not exists on MugshotUsers(user-since);`); err != nil {
+		t.Errorf("if not exists should swallow the duplicate: %v", err)
+	}
+
+	_, err = inst.Execute(`this is not aql;`)
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Code != CodeSyntax {
+		t.Errorf("parse failure should carry CodeSyntax, got %v", err)
+	}
+}
+
+// TestDropFunctionSemantics: dropping a missing function errors without
+// "if exists" and succeeds with it.
+func TestDropFunctionSemantics(t *testing.T) {
+	inst := newTinySocial(t)
+	if _, err := inst.Execute(`drop function nosuch;`); !errors.Is(err, ErrNotFound) {
+		t.Errorf("drop missing function = %v, want ErrNotFound", err)
+	}
+	if _, err := inst.Execute(`drop function nosuch if exists;`); err != nil {
+		t.Errorf("drop missing function if exists = %v, want nil", err)
+	}
+	if _, err := inst.Execute(`create function f() { 1 };`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Execute(`drop function f;`); err != nil {
+		t.Errorf("drop existing function = %v", err)
+	}
+	if _, err := inst.Execute(`drop function f;`); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second drop = %v, want ErrNotFound", err)
+	}
+}
+
+// TestCreateTypeIfNotExistsIsNoOp: re-creating an existing type with
+// "if not exists" from another dataverse must neither replace the definition
+// nor re-scope it (a later drop of that dataverse must not take the type
+// with it).
+func TestCreateTypeIfNotExistsIsNoOp(t *testing.T) {
+	inst := newTinySocial(t)
+	if _, err := inst.Execute(`
+create dataverse Other;
+use dataverse Other;
+create type MugshotUserType if not exists as closed { bogus: int32 };
+use dataverse TinySocial;
+drop dataverse Other;`); err != nil {
+		t.Fatal(err)
+	}
+	// The original type survives the drop of Other and still types its users.
+	res, err := inst.Query(`for $u in dataset MugshotUsers return $u.name;`)
+	if err != nil || len(res) != 4 {
+		t.Fatalf("MugshotUserType damaged by if-not-exists re-create: %v %v", res, err)
+	}
+	if _, err := inst.Execute(`drop type MugshotUserType;`); err != nil {
+		t.Errorf("type should still exist in TinySocial: %v", err)
+	}
+}
+
+// TestQueryOrderDeterministic: the materializing wrappers keep the
+// pre-streaming deterministic gather — identical queries return identical
+// sequences even over multi-partition scans.
+func TestQueryOrderDeterministic(t *testing.T) {
+	inst := newTinySocial(t)
+	first, err := inst.Query(`for $m in dataset MugshotMessages return $m.message-id;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := inst.Query(`for $m in dataset MugshotMessages return $m.message-id;`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, "repeat-order", again, first, true)
+	}
+}
+
+func TestDropTypeSemantics(t *testing.T) {
+	inst := newTinySocial(t)
+	if _, err := inst.Execute(`drop type NoSuchType;`); !errors.Is(err, ErrNotFound) {
+		t.Errorf("drop missing type = %v, want ErrNotFound", err)
+	}
+	if _, err := inst.Execute(`drop type NoSuchType if exists;`); err != nil {
+		t.Errorf("drop missing type if exists = %v, want nil", err)
+	}
+}
+
+// TestDropDataverseScopesTypesAndFunctions: dropping a dataverse removes the
+// types and functions created in it — and only those.
+func TestDropDataverseScopesTypesAndFunctions(t *testing.T) {
+	inst := newTinySocial(t)
+	if _, err := inst.Execute(`
+create dataverse Scratch;
+use dataverse Scratch;
+create type ScratchType as closed { id: int32 };
+create function scratchfn() { 42 };
+use dataverse TinySocial;
+drop dataverse Scratch;`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Execute(`drop type ScratchType;`); !errors.Is(err, ErrNotFound) {
+		t.Errorf("type should have been dropped with its dataverse, got %v", err)
+	}
+	if _, err := inst.Execute(`drop function scratchfn;`); !errors.Is(err, ErrNotFound) {
+		t.Errorf("function should have been dropped with its dataverse, got %v", err)
+	}
+	// Objects in other dataverses survive.
+	if _, err := inst.Execute(`drop type MugshotUserType;`); err != nil {
+		t.Errorf("TinySocial types must survive dropping Scratch: %v", err)
+	}
+}
+
+// TestMetadataIndexRecords: the catalog-as-data records carry DataverseName,
+// and ngram indexes expose their gram length (Metadata is AsterixDB data).
+func TestMetadataIndexRecords(t *testing.T) {
+	inst := newTinySocial(t)
+	res, err := inst.Query(`
+for $ix in dataset Metadata.Index
+where $ix.IndexName = "msMessageNGramIdx"
+return $ix;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("found %d records for msMessageNGramIdx, want 1", len(res))
+	}
+	rec := res[0].(*adm.Record)
+	if dv := rec.Get("DataverseName"); string(dv.(adm.String)) != "TinySocial" {
+		t.Errorf("DataverseName = %v", dv)
+	}
+	if gl, ok := adm.NumericAsInt64(rec.Get("GramLength")); !ok || gl != 3 {
+		t.Errorf("GramLength = %v", rec.Get("GramLength"))
+	}
+	// Non-ngram indexes carry no GramLength but do carry the dataverse.
+	res, err = inst.Query(`
+for $ix in dataset Metadata.Index
+where $ix.IndexName = "msTimestampIdx"
+return $ix;`)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("msTimestampIdx: %v %v", res, err)
+	}
+	rec = res[0].(*adm.Record)
+	if rec.Has("GramLength") {
+		t.Error("btree index should not carry GramLength")
+	}
+	if !rec.Has("DataverseName") {
+		t.Error("index record missing DataverseName")
+	}
+	// Queries can select indexes by dataverse, the paper's Query 1 shape.
+	res, err = inst.Query(`
+for $ix in dataset Metadata.Index
+where $ix.DataverseName = "TinySocial" and $ix.IsPrimary = false
+return $ix.IndexName;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Errorf("found %d secondary indexes in TinySocial, want 6", len(res))
+	}
+}

@@ -1,6 +1,7 @@
 package asterixdb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -20,6 +21,15 @@ import (
 // applied at the distribute-result operator; aggregate-wrapped plans return
 // the single aggregate value.
 func (in *Instance) executePlan(plan *algebra.Plan) ([]adm.Value, error) {
+	return in.executePlanContext(context.Background(), plan)
+}
+
+// executePlanContext is executePlan with cancellation checked at operator
+// boundaries: because every interpreter operator materializes its whole
+// output, that is the natural granularity (a long scan still runs to
+// completion before the cancellation is observed — the streaming executor is
+// the path with mid-operator cancellation).
+func (in *Instance) executePlanContext(ctx context.Context, plan *algebra.Plan) ([]adm.Value, error) {
 	root := plan.Root
 	if root.Kind != algebra.OpDistribute {
 		return nil, fmt.Errorf("asterixdb: plan has no distribute-result root")
@@ -30,7 +40,7 @@ func (in *Instance) executePlan(plan *algebra.Plan) ([]adm.Value, error) {
 	switch child.Kind {
 	case algebra.OpGlobalAgg:
 		local := child.Inputs[0]
-		envs, err := in.executeNode(local.Inputs[0], plan.Query)
+		envs, err := in.executeNode(ctx, local.Inputs[0], plan.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -40,7 +50,7 @@ func (in *Instance) executePlan(plan *algebra.Plan) ([]adm.Value, error) {
 		}
 		return []adm.Value{v}, nil
 	case algebra.OpAggregate:
-		envs, err := in.executeNode(child.Inputs[0], plan.Query)
+		envs, err := in.executeNode(ctx, child.Inputs[0], plan.Query)
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +61,7 @@ func (in *Instance) executePlan(plan *algebra.Plan) ([]adm.Value, error) {
 		return []adm.Value{v}, nil
 	}
 
-	envs, err := in.executeNode(child, plan.Query)
+	envs, err := in.executeNode(ctx, child, plan.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -85,14 +95,17 @@ func (in *Instance) applyAggregate(fn string, envs []expr.Env, query *aql.FLWORE
 
 // executeNode evaluates one plan operator and returns the variable bindings
 // it produces.
-func (in *Instance) executeNode(n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+func (in *Instance) executeNode(ctx context.Context, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch n.Kind {
 	case algebra.OpScan:
 		return in.execScan(n)
 	case algebra.OpSubplan:
 		return in.execSubplan(n)
 	case algebra.OpUnnest:
-		return in.execUnnest(n, query)
+		return in.execUnnest(ctx, n, query)
 	case algebra.OpIndexSearch:
 		return in.execIndexSearch(n)
 	case algebra.OpRTreeSearch:
@@ -102,9 +115,9 @@ func (in *Instance) executeNode(n *algebra.Node, query *aql.FLWORExpr) ([]expr.E
 	case algebra.OpSortPK, algebra.OpPrimarySearch:
 		// The storage layer's materializing Search* calls already perform the
 		// PK sort, primary lookup and fetch; these operators are structural.
-		return in.executeNode(n.Inputs[0], query)
+		return in.executeNode(ctx, n.Inputs[0], query)
 	case algebra.OpSelect:
-		envs, err := in.childEnvs(n, query)
+		envs, err := in.childEnvs(ctx, n, query)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +133,7 @@ func (in *Instance) executeNode(n *algebra.Node, query *aql.FLWORExpr) ([]expr.E
 		}
 		return out, nil
 	case algebra.OpAssign:
-		envs, err := in.childEnvs(n, query)
+		envs, err := in.childEnvs(ctx, n, query)
 		if err != nil {
 			return nil, err
 		}
@@ -138,38 +151,38 @@ func (in *Instance) executeNode(n *algebra.Node, query *aql.FLWORExpr) ([]expr.E
 		}
 		return out, nil
 	case algebra.OpJoin:
-		return in.execJoin(n, query)
+		return in.execJoin(ctx, n, query)
 	case algebra.OpGroupBy:
-		envs, err := in.childEnvs(n, query)
+		envs, err := in.childEnvs(ctx, n, query)
 		if err != nil {
 			return nil, err
 		}
 		return in.execClause(envs, &aql.GroupByClause{Keys: n.GroupKeys, With: n.GroupWith})
 	case algebra.OpOrder:
-		envs, err := in.childEnvs(n, query)
+		envs, err := in.childEnvs(ctx, n, query)
 		if err != nil {
 			return nil, err
 		}
 		return in.execClause(envs, &aql.OrderByClause{Terms: n.OrderTerms})
 	case algebra.OpLimit:
-		envs, err := in.childEnvs(n, query)
+		envs, err := in.childEnvs(ctx, n, query)
 		if err != nil {
 			return nil, err
 		}
 		return in.execClause(envs, &aql.LimitClause{Limit: n.LimitExpr, Offset: n.OffsetExpr})
 	case algebra.OpLocalAgg, algebra.OpGlobalAgg, algebra.OpAggregate:
-		return in.executeNode(n.Inputs[0], query)
+		return in.executeNode(ctx, n.Inputs[0], query)
 	}
 	return nil, fmt.Errorf("asterixdb: unsupported physical operator %s", n.Kind)
 }
 
 // childEnvs evaluates the node's input, or starts from a single empty binding
 // when the node has no input (a query that begins with let clauses).
-func (in *Instance) childEnvs(n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+func (in *Instance) childEnvs(ctx context.Context, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
 	if len(n.Inputs) == 0 {
 		return []expr.Env{{}}, nil
 	}
-	return in.executeNode(n.Inputs[0], query)
+	return in.executeNode(ctx, n.Inputs[0], query)
 }
 
 // execClause reuses the interpreter's clause semantics for group-by, order-by
@@ -321,8 +334,8 @@ func (in *Instance) execInvertedSearch(n *algebra.Node) ([]expr.Env, error) {
 // execUnnest evaluates a correlated subplan source (for $y in $x.list) under
 // each input binding, mirroring the interpreter's for-clause semantics: an
 // unknown source contributes nothing, a non-list source contributes itself.
-func (in *Instance) execUnnest(n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
-	envs, err := in.childEnvs(n, query)
+func (in *Instance) execUnnest(ctx context.Context, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	envs, err := in.childEnvs(ctx, n, query)
 	if err != nil {
 		return nil, err
 	}
@@ -352,19 +365,19 @@ func bindRecords(variable string, recs []*adm.Record) []expr.Env {
 // joins probe the right side's primary or secondary index per left binding;
 // other joins fall back to a nested loop with the residual predicate applied
 // by the select above them.
-func (in *Instance) execJoin(n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
-	left, err := in.executeNode(n.Inputs[0], query)
+func (in *Instance) execJoin(ctx context.Context, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	left, err := in.executeNode(ctx, n.Inputs[0], query)
 	if err != nil {
 		return nil, err
 	}
 	if n.Method == algebra.IndexNestedLoop || n.Method == algebra.HybridHashJoin {
 		if n.LeftKey == nil || n.RightKey == nil {
-			return in.nestedLoopJoin(left, n, query)
+			return in.nestedLoopJoin(ctx, left, n, query)
 		}
 	}
 	switch n.Method {
 	case algebra.HybridHashJoin:
-		right, err := in.executeNode(n.Inputs[1], query)
+		right, err := in.executeNode(ctx, n.Inputs[1], query)
 		if err != nil {
 			return nil, err
 		}
@@ -403,30 +416,30 @@ func (in *Instance) execJoin(n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env,
 		}
 		return out, nil
 	case algebra.IndexNestedLoop:
-		return in.indexNestedLoopJoin(left, n, query)
+		return in.indexNestedLoopJoin(ctx, left, n, query)
 	default:
-		return in.nestedLoopJoin(left, n, query)
+		return in.nestedLoopJoin(ctx, left, n, query)
 	}
 }
 
 // indexNestedLoopJoin probes the right-hand dataset's primary key (or a
 // secondary index) for each left binding — the join method selected by the
 // /*+ indexnl */ hint in Query 14.
-func (in *Instance) indexNestedLoopJoin(left []expr.Env, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+func (in *Instance) indexNestedLoopJoin(ctx context.Context, left []expr.Env, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
 	rightNode := n.Inputs[1]
 	if rightNode.Kind != algebra.OpScan {
-		return in.hashJoinFallback(left, n, query)
+		return in.hashJoinFallback(ctx, left, n, query)
 	}
 	ds, ok := in.Dataset(rightNode.Dataset)
 	if !ok {
-		return in.hashJoinFallback(left, n, query)
+		return in.hashJoinFallback(ctx, left, n, query)
 	}
 	spec := ds.Spec()
 	// The probe works when the right key is the right dataset's primary key
 	// or a field with a secondary B+-tree index.
 	rightField, ok := fieldOfVar(n.RightKey, rightNode.Variable)
 	if !ok {
-		return in.hashJoinFallback(left, n, query)
+		return in.hashJoinFallback(ctx, left, n, query)
 	}
 	var out []expr.Env
 	for _, env := range left {
@@ -452,7 +465,7 @@ func (in *Instance) indexNestedLoopJoin(left []expr.Env, n *algebra.Node, query 
 				return nil, err
 			}
 		} else {
-			return in.hashJoinFallback(left, n, query)
+			return in.hashJoinFallback(ctx, left, n, query)
 		}
 		for _, m := range matches {
 			out = append(out, env.With(rightNode.Variable, m))
@@ -461,15 +474,15 @@ func (in *Instance) indexNestedLoopJoin(left []expr.Env, n *algebra.Node, query 
 	return out, nil
 }
 
-func (in *Instance) hashJoinFallback(left []expr.Env, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+func (in *Instance) hashJoinFallback(ctx context.Context, left []expr.Env, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
 	copyNode := *n
 	copyNode.Method = algebra.HybridHashJoin
-	return in.execJoin(&copyNode, query)
+	return in.execJoin(ctx, &copyNode, query)
 }
 
 // nestedLoopJoin is the cross product; the residual predicate above filters.
-func (in *Instance) nestedLoopJoin(left []expr.Env, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
-	right, err := in.executeNode(n.Inputs[1], query)
+func (in *Instance) nestedLoopJoin(ctx context.Context, left []expr.Env, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
+	right, err := in.executeNode(ctx, n.Inputs[1], query)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,95 @@
+package asterixdb
+
+import (
+	"errors"
+	"fmt"
+
+	"asterixdb/internal/storage"
+)
+
+// Sentinel errors forming the API's error contract. They are aliases of the
+// storage layer's sentinels, so an error that bubbles up from storage and an
+// error minted by the catalog both satisfy the same errors.Is checks:
+//
+//	if errors.Is(err, asterixdb.ErrNotFound) { ... }
+var (
+	// ErrNotFound reports that a dataverse, type, dataset, index or function
+	// named by a statement does not exist.
+	ErrNotFound = storage.ErrNotFound
+	// ErrExists reports that a DDL statement names an object that already
+	// exists (without "if not exists").
+	ErrExists = storage.ErrExists
+)
+
+// Error codes carried by Error.Code. The HTTP service layer maps them onto
+// status codes; embedders can switch on them without parsing messages.
+const (
+	// CodeNotFound: a named object does not exist (HTTP 404).
+	CodeNotFound = "not-found"
+	// CodeExists: a named object already exists (HTTP 409).
+	CodeExists = "exists"
+	// CodeSyntax: the statement text failed to parse (HTTP 400).
+	CodeSyntax = "syntax"
+	// CodeInvalid: the statement parsed but is semantically invalid —
+	// a bad parameter value, an insert body that is not a record (HTTP 400).
+	CodeInvalid = "invalid"
+	// CodeInternal: everything else (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// Error is the typed error the public API returns: a stable machine-readable
+// Code plus a human-readable Message. It matches the exported sentinels via
+// errors.Is, so both styles of handling work:
+//
+//	var ae *asterixdb.Error
+//	if errors.As(err, &ae) && ae.Code == asterixdb.CodeSyntax { ... }
+//	if errors.Is(err, asterixdb.ErrNotFound) { ... }
+type Error struct {
+	Code    string
+	Message string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Message }
+
+// Is reports whether the error's code corresponds to a sentinel, making
+// errors.Is(err, ErrNotFound) work on typed errors that do not wrap the
+// sentinel directly.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrNotFound:
+		return e.Code == CodeNotFound
+	case ErrExists:
+		return e.Code == CodeExists
+	}
+	return false
+}
+
+// errf mints a typed error with the given code.
+func errf(code, format string, args ...any) error {
+	return &Error{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// syntaxError wraps a parse failure so the service layer can answer 400.
+func syntaxError(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &Error{Code: CodeSyntax, Message: err.Error()}
+}
+
+// ErrorCode classifies any error returned by the API into one of the Code
+// constants, unwrapping typed errors and storage sentinels.
+func ErrorCode(err error) string {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae.Code
+	}
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return CodeNotFound
+	case errors.Is(err, ErrExists):
+		return CodeExists
+	}
+	return CodeInternal
+}

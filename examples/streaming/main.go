@@ -1,0 +1,80 @@
+// Command streaming demonstrates the context-aware statement API: a
+// QueryStream cursor pulling rows out of a running Hyracks job, early
+// termination by Close (which cancels the scans feeding the job), and
+// context cancellation with a deadline.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"asterixdb"
+	"asterixdb/internal/adm"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "asterix-streaming")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	inst, err := asterixdb.Open(asterixdb.Config{DataDir: dir, Partitions: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	ctx := context.Background()
+	// ExecuteContext is Execute with cancellation; DDL and bulk load here.
+	if _, err := inst.ExecuteContext(ctx, `
+create type EventType as closed { id: int32, kind: string };
+create dataset Events(EventType) primary key id;`); err != nil {
+		log.Fatal(err)
+	}
+	ds, _ := inst.Dataset("Events")
+	kinds := []string{"click", "view", "purchase"}
+	recs := make([]*adm.Record, 0, 10000)
+	for i := 1; i <= 10000; i++ {
+		recs = append(recs, adm.NewRecord(
+			adm.Field{Name: "id", Value: adm.Int32(int32(i))},
+			adm.Field{Name: "kind", Value: adm.String(kinds[i%3])},
+		))
+	}
+	if err := ds.InsertBatch(recs); err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream a query and stop after five rows: Close terminates the job's
+	// scans instead of letting them run to completion.
+	fmt.Println("=== first five purchases (early Close) ===")
+	cur, err := inst.QueryStream(ctx, `
+for $e in dataset Events where $e.kind = "purchase" return $e.id;`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 5 && cur.Next(); i++ {
+		fmt.Println("  ", cur.Value())
+	}
+	cur.Close() // stops the scans; no goroutines left behind
+
+	// A deadline bounds a query end to end; an expired context surfaces as
+	// Cursor.Err.
+	fmt.Println("=== counting with a deadline ===")
+	tctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	cur, err = inst.QueryStream(tctx, `count(for $e in dataset Events return $e)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cur.Close()
+	for cur.Next() {
+		fmt.Println("   total events:", cur.Value())
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

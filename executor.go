@@ -45,10 +45,11 @@ func (in *Instance) executeJob(plan *algebra.Plan) ([]adm.Value, error) {
 	return in.runJob(job)
 }
 
-// runJob executes an already-built Hyracks job. evaluateQuery calls it
-// directly so that a job-build failure (plan not expressible) can fall back
-// to the expression interpreter while runtime errors from an executing job
-// propagate to the caller.
+// runJob executes an already-built Hyracks job to completion and
+// materializes its result column. The default query path no longer goes
+// through it — queryCursor (stream.go) feeds a Cursor straight from
+// hyracks.ExecuteStream — but executeJob and the direct-execution tests use
+// it for a fully materialized run with deterministic per-partition gather.
 func (in *Instance) runJob(job *hyracks.Job) ([]adm.Value, error) {
 	tuples, err := hyracks.Execute(job)
 	if err != nil {

@@ -1,0 +1,171 @@
+package adm
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// AppendJSON appends the JSON rendering of v to dst and returns the extended
+// slice. It is the wire format of the HTTP service layer's NDJSON result
+// streams, so the mapping favors plain JSON consumers over round-tripping:
+//
+//   - records render as objects (field order preserved) and both list kinds
+//     as arrays;
+//   - MISSING and NULL both render as null (JSON has no MISSING);
+//   - temporal values render as ISO strings ("2014-02-20T08:00:00.000",
+//     "P30D"), spatial points as [x, y] pairs and the other spatial types as
+//     objects of points;
+//   - NaN and the infinities, which JSON cannot carry, render as null;
+//   - binary renders as lowercase hex and UUIDs in canonical form.
+func AppendJSON(dst []byte, v Value) []byte {
+	switch x := v.(type) {
+	case Missing, Null:
+		return append(dst, "null"...)
+	case Boolean:
+		if x {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case Int8:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case Int16:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case Int32:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case Int64:
+		return strconv.AppendInt(dst, int64(x), 10)
+	case Float:
+		return appendJSONFloat(dst, float64(x), 32)
+	case Double:
+		return appendJSONFloat(dst, float64(x), 64)
+	case String:
+		return appendJSONString(dst, string(x))
+	case Binary:
+		return appendJSONString(dst, fmt.Sprintf("%x", []byte(x)))
+	case UUID:
+		return appendJSONString(dst, fmt.Sprintf("%x-%x-%x-%x-%x", x[0:4], x[4:6], x[6:8], x[8:10], x[10:16]))
+	case Date:
+		t := epochDate.AddDate(0, 0, int(x))
+		return appendJSONString(dst, fmt.Sprintf("%04d-%02d-%02d", t.Year(), t.Month(), t.Day()))
+	case Time:
+		ms := int64(x)
+		h, ms := ms/3600000, ms%3600000
+		m, ms := ms/60000, ms%60000
+		s, ms := ms/1000, ms%1000
+		return appendJSONString(dst, fmt.Sprintf("%02d:%02d:%02d.%03d", h, m, s, ms))
+	case Datetime:
+		t := time.UnixMilli(int64(x)).UTC()
+		return appendJSONString(dst, fmt.Sprintf("%04d-%02d-%02dT%02d:%02d:%02d.%03d",
+			t.Year(), t.Month(), t.Day(), t.Hour(), t.Minute(), t.Second(), t.Nanosecond()/1e6))
+	case Duration:
+		return appendJSONString(dst, formatDuration(x.Months, x.Millis))
+	case YearMonthDuration:
+		return appendJSONString(dst, formatDuration(int32(x), 0))
+	case DayTimeDuration:
+		return appendJSONString(dst, formatDuration(0, int64(x)))
+	case Interval:
+		dst = append(dst, `{"start":`...)
+		dst = AppendJSON(dst, intervalBound(x.PointTag, x.Start))
+		dst = append(dst, `,"end":`...)
+		dst = AppendJSON(dst, intervalBound(x.PointTag, x.End))
+		return append(dst, '}')
+	case Point:
+		return appendJSONPoint(dst, x)
+	case Line:
+		dst = append(dst, `{"a":`...)
+		dst = appendJSONPoint(dst, x.A)
+		dst = append(dst, `,"b":`...)
+		dst = appendJSONPoint(dst, x.B)
+		return append(dst, '}')
+	case Rectangle:
+		dst = append(dst, `{"lower-left":`...)
+		dst = appendJSONPoint(dst, x.LowerLeft)
+		dst = append(dst, `,"upper-right":`...)
+		dst = appendJSONPoint(dst, x.UpperRight)
+		return append(dst, '}')
+	case Circle:
+		dst = append(dst, `{"center":`...)
+		dst = appendJSONPoint(dst, x.Center)
+		dst = append(dst, `,"radius":`...)
+		dst = appendJSONFloat(dst, x.Radius, 64)
+		return append(dst, '}')
+	case Polygon:
+		dst = append(dst, '[')
+		for i, p := range x.Points {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONPoint(dst, p)
+		}
+		return append(dst, ']')
+	case *Record:
+		dst = append(dst, '{')
+		for i, f := range x.Fields {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, f.Name)
+			dst = append(dst, ':')
+			dst = AppendJSON(dst, f.Value)
+		}
+		return append(dst, '}')
+	case *OrderedList:
+		return appendJSONList(dst, x.Items)
+	case *UnorderedList:
+		return appendJSONList(dst, x.Items)
+	}
+	// Unknown value kinds degrade to their ADM text as a JSON string rather
+	// than emitting invalid JSON.
+	return appendJSONString(dst, v.String())
+}
+
+func appendJSONList(dst []byte, items []Value) []byte {
+	dst = append(dst, '[')
+	for i, it := range items {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = AppendJSON(dst, it)
+	}
+	return append(dst, ']')
+}
+
+func appendJSONPoint(dst []byte, p Point) []byte {
+	dst = append(dst, '[')
+	dst = appendJSONFloat(dst, p.X, 64)
+	dst = append(dst, ',')
+	dst = appendJSONFloat(dst, p.Y, 64)
+	return append(dst, ']')
+}
+
+func appendJSONFloat(dst []byte, f float64, bits int) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, "null"...)
+	}
+	return strconv.AppendFloat(dst, f, 'g', -1, bits)
+}
+
+// appendJSONString appends s as a JSON string literal. encoding/json does
+// the escaping (strconv.Quote escapes non-ASCII in Go syntax, which is not
+// valid JSON).
+func appendJSONString(dst []byte, s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return append(dst, `""`...)
+	}
+	return append(dst, b...)
+}
+
+func intervalBound(tag TypeTag, chronon int64) Value {
+	switch tag {
+	case TagDate:
+		return Date(chronon)
+	case TagTime:
+		return Time(chronon)
+	default:
+		return Datetime(chronon)
+	}
+}

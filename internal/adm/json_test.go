@@ -1,0 +1,66 @@
+package adm
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+// TestAppendJSONIsValidJSON renders one value of every kind and asserts the
+// output parses as JSON.
+func TestAppendJSONIsValidJSON(t *testing.T) {
+	values := []Value{
+		Missing{}, Null{}, Boolean(true),
+		Int8(-1), Int16(2), Int32(-3), Int64(4),
+		Float(1.5), Double(math.Pi), Double(math.NaN()), Double(math.Inf(1)),
+		String("hello \"world\"\nnon-ascii: é"),
+		Binary{0xde, 0xad}, UUID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		Date(16121), Time(30600000),
+		Datetime(time.Date(2014, 2, 20, 8, 0, 0, 0, time.UTC).UnixMilli()),
+		Duration{Months: 14, Millis: 90061007},
+		YearMonthDuration(25), DayTimeDuration(86400000),
+		Interval{PointTag: TagDatetime, Start: 0, End: 1000},
+		Point{X: 41.66, Y: 80.87},
+		Line{A: Point{0, 0}, B: Point{1, 1}},
+		Rectangle{LowerLeft: Point{0, 0}, UpperRight: Point{2, 2}},
+		Circle{Center: Point{1, 1}, Radius: 0.5},
+		Polygon{Points: []Point{{0, 0}, {1, 0}, {0, 1}}},
+		NewRecord(
+			Field{Name: "id", Value: Int32(7)},
+			Field{Name: "loc", Value: Point{1, 2}},
+			Field{Name: "tags", Value: &UnorderedList{Items: []Value{String("a"), String("b")}}},
+		),
+		&OrderedList{Items: []Value{Int32(1), Null{}, String("x")}},
+	}
+	for _, v := range values {
+		b := AppendJSON(nil, v)
+		var out any
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Errorf("%s: invalid JSON %q: %v", v.Tag(), b, err)
+		}
+	}
+}
+
+func TestAppendJSONShapes(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Missing{}, `null`},
+		{Int32(42), `42`},
+		{String("hi"), `"hi"`},
+		{Datetime(time.Date(2014, 2, 20, 8, 0, 0, 0, time.UTC).UnixMilli()), `"2014-02-20T08:00:00.000"`},
+		{Date(0), `"1970-01-01"`},
+		{Point{X: 1.5, Y: -2}, `[1.5,-2]`},
+		{Double(math.NaN()), `null`},
+		{NewRecord(Field{Name: "a", Value: Int32(1)}, Field{Name: "b", Value: Null{}}), `{"a":1,"b":null}`},
+		{&UnorderedList{Items: []Value{Int32(1), Int32(2)}}, `[1,2]`},
+		{DayTimeDuration(86400000), `"P1D"`},
+	}
+	for _, c := range cases {
+		if got := string(AppendJSON(nil, c.v)); got != c.want {
+			t.Errorf("AppendJSON(%s) = %s, want %s", c.v, got, c.want)
+		}
+	}
+}

@@ -137,8 +137,11 @@ type CreateFunction struct {
 	Body   Expr
 }
 
-// DropFunction is "drop function <name>;".
-type DropFunction struct{ Name string }
+// DropFunction is "drop function <name> [if exists];".
+type DropFunction struct {
+	Name     string
+	IfExists bool
+}
 
 // CreateFeed is "create feed <name> using <adaptor> ((...));".
 type CreateFeed struct {

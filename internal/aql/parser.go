@@ -626,7 +626,11 @@ func (p *parser) parseDrop() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &DropFunction{Name: name}, nil
+		ie, err := p.parseIfExists()
+		if err != nil {
+			return nil, err
+		}
+		return &DropFunction{Name: name, IfExists: ie}, nil
 	case p.atKeyword("feed"):
 		p.advance()
 		name, err := p.expectIdent()

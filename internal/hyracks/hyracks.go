@@ -32,23 +32,31 @@
 // returns; producers blocked on a full input channel select on that done
 // channel, so an early-returning consumer can never deadlock its upstream.
 //
+// # Streaming
+//
+// ExecuteStream is the primary entry point: it starts the job and returns a
+// pull-based frame Cursor fed by a bounded channel, so result size never
+// dictates memory. Closing the cursor, or cancelling its context, re-uses the
+// emit-demand machinery above to stop the whole job. Execute is the
+// materializing wrapper that drains a cursor to completion.
+//
 // # Determinism
 //
-// Results are gathered per sink-instance and concatenated in partition order,
-// so a shuffle-free pipeline (scan -> select -> assign -> sink over one-to-one
-// connectors) reproduces the storage scan order exactly. Connectors that merge
-// multiple producer instances into one consumer interleave tuples in arrival
-// order, which is nondeterministic; plans that need a total order sort above
-// the merge.
+// Execute gathers sink output per sink-instance and concatenates it in
+// partition order, so a shuffle-free pipeline (scan -> select -> assign ->
+// sink over one-to-one connectors) reproduces the storage scan order exactly.
+// A Cursor delivers frames in arrival order across sink instances (emit order
+// within an instance), so multi-instance sinks interleave nondeterministically
+// — the same contract as a merging connector; plans that need a total order
+// end in a parallelism-1 sort, whose stream is deterministic.
 package hyracks
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"asterixdb/internal/adm"
 )
@@ -316,179 +324,37 @@ func (o *outPort) flush() {
 }
 
 // Execute runs the job and returns the tuples emitted by sink operators
-// (operators with no outgoing edge). Sink output is gathered per sink
-// instance and concatenated in partition order, so shuffle-free pipelines
-// produce deterministic results.
+// (operators with no outgoing edge). It drains an ExecuteStream cursor and
+// re-buckets frames per sink instance, so output is concatenated in
+// (operator, partition) order and shuffle-free pipelines produce
+// deterministic results, exactly as before the streaming API existed.
+// Callers that do not need the whole result materialized should use
+// ExecuteStream directly.
 func Execute(job *Job) ([]Tuple, error) {
-	if _, err := job.Stages(); err != nil {
+	cur, err := ExecuteStream(context.Background(), job)
+	if err != nil {
 		return nil, err
 	}
-	nOps := len(job.Operators)
-
-	// Splice structural passthrough operators out of the dataflow; they stay
-	// in the job description but cost nothing at run time.
-	edges, spliced := spliceEdges(job)
-
-	// Number of input ports per operator.
-	ports := make([]int, nOps)
-	for _, e := range edges {
-		if e.Port < 0 {
-			return nil, fmt.Errorf("hyracks: negative input port %d", e.Port)
+	buckets := make(map[int][][]Tuple) // sink op -> per-partition tuples
+	for {
+		f, ok := cur.NextFrame()
+		if !ok {
+			break
 		}
-		if e.Port+1 > ports[e.To] {
-			ports[e.To] = e.Port + 1
+		parts := buckets[f.Op]
+		if parts == nil {
+			parts = make([][]Tuple, job.Operators[f.Op].Parallelism())
+			buckets[f.Op] = parts
 		}
+		parts[f.Partition] = append(parts[f.Partition], f.Tuples...)
 	}
-
-	// inputs[op][port][partition] feeds each instance; instDone[op][partition]
-	// is closed when that instance's Run returns, unblocking producers.
-	inputs := make([][][]chan []Tuple, nOps)
-	instDone := make([][]chan struct{}, nOps)
-	alive := make([]int32, nOps)
-	for i, op := range job.Operators {
-		par := op.Parallelism()
-		if par <= 0 {
-			return nil, fmt.Errorf("hyracks: operator %s has parallelism %d", op.Name(), par)
-		}
-		if spliced[i] {
-			continue
-		}
-		alive[i] = int32(par)
-		inputs[i] = make([][]chan []Tuple, ports[i])
-		for q := range inputs[i] {
-			inputs[i][q] = make([]chan []Tuple, par)
-			for p := range inputs[i][q] {
-				inputs[i][q][p] = make(chan []Tuple, channelBuffer)
-			}
-		}
-		instDone[i] = make([]chan struct{}, par)
-		for p := range instDone[i] {
-			instDone[i][p] = make(chan struct{})
-		}
-	}
-
-	// remaining[op][port] counts producer instances still running; when it
-	// reaches zero the port's input channels are closed.
-	remaining := make([][]int, nOps)
-	for i := range remaining {
-		remaining[i] = make([]int, ports[i])
-	}
-	for _, e := range edges {
-		remaining[e.To][e.Port] += job.Operators[e.From].Parallelism()
-	}
-	// A declared port with no producers would never be closed: close it now so
-	// consumers see an immediate end of stream instead of deadlocking.
-	for i := range remaining {
-		for q, r := range remaining[i] {
-			if r == 0 {
-				for _, ch := range inputs[i][q] {
-					close(ch)
-				}
-			}
-		}
-	}
-	var remainingMu sync.Mutex
-	producerDone := func(e Edge) {
-		remainingMu.Lock()
-		remaining[e.To][e.Port]--
-		if remaining[e.To][e.Port] == 0 {
-			for _, ch := range inputs[e.To][e.Port] {
-				close(ch)
-			}
-		}
-		remainingMu.Unlock()
-	}
-
-	var errMu sync.Mutex
-	var firstErr error
-	recordErr := func(err error) {
-		errMu.Lock()
-		if firstErr == nil && err != nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
-
-	// Per sink instance result buckets, concatenated in (operator, partition)
-	// order after the job drains.
-	sinkResults := make([][][]Tuple, nOps)
-	isSink := make([]bool, nOps)
-	for i, op := range job.Operators {
-		if !spliced[i] && len(outgoing(edges, i)) == 0 {
-			isSink[i] = true
-			sinkResults[i] = make([][]Tuple, op.Parallelism())
-		}
-	}
-
-	var wg sync.WaitGroup
-	for opIdx, op := range job.Operators {
-		if spliced[opIdx] {
-			continue
-		}
-		outEdges := outgoing(edges, opIdx)
-		for p := 0; p < op.Parallelism(); p++ {
-			wg.Add(1)
-			go func(opIdx, p int, op Operator, outEdges []Edge) {
-				defer wg.Done()
-				outs := make([]*outPort, len(outEdges))
-				for i, e := range outEdges {
-					outs[i] = &outPort{
-						edge:      e,
-						consumers: inputs[e.To][e.Port],
-						done:      instDone[e.To],
-						alive:     &alive[e.To],
-						bufs:      make([][]Tuple, len(inputs[e.To][e.Port])),
-					}
-				}
-				var local []Tuple
-				emit := func(t Tuple) bool {
-					if len(outs) == 0 {
-						local = append(local, t)
-						return true
-					}
-					live := false
-					for _, o := range outs {
-						o.push(p, t)
-						if atomic.LoadInt32(o.alive) > 0 {
-							live = true
-						}
-					}
-					return live
-				}
-				ins := make([]*In, ports[opIdx])
-				for q := range ins {
-					ins[q] = &In{ch: inputs[opIdx][q][p]}
-				}
-				if err := op.Run(p, ins, emit); err != nil {
-					recordErr(err)
-				}
-				if isSink[opIdx] {
-					sinkResults[opIdx][p] = local
-				}
-				// Instance teardown: flush partial frames, unblock producers
-				// targeting this instance, then retire it as a producer.
-				for _, o := range outs {
-					o.flush()
-				}
-				close(instDone[opIdx][p])
-				atomic.AddInt32(&alive[opIdx], -1)
-				for _, e := range outEdges {
-					producerDone(e)
-				}
-			}(opIdx, p, op, outEdges)
-		}
-	}
-	wg.Wait()
 	var results []Tuple
 	for i := range job.Operators {
-		if !isSink[i] {
-			continue
-		}
-		for _, part := range sinkResults[i] {
+		for _, part := range buckets[i] {
 			results = append(results, part...)
 		}
 	}
-	return results, firstErr
+	return results, cur.Err()
 }
 
 func outgoing(edges []Edge, op int) []Edge {

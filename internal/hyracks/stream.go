@@ -1,0 +1,340 @@
+package hyracks
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the streaming face of the runtime: ExecuteStream runs a job
+// and hands its sink output back as a pull-based frame cursor instead of a
+// materialized [][]Tuple slab. Execute (hyracks.go) is now a thin wrapper
+// that drains a cursor and restores the deterministic per-instance gather
+// order the materializing API always had.
+
+// streamBuffer is the capacity, in frames, of the channel connecting the
+// job's sink instances to the cursor. Together with the per-edge channel
+// buffers it bounds how many tuples a job holds in flight ahead of a slow
+// consumer: O(frameSize x (operators + streamBuffer)), never the full result.
+const streamBuffer = 8
+
+// Frame is one batch of sink output: the tuples one sink instance emitted in
+// order, tagged with the sink operator index and instance partition so a
+// consumer that wants the materializing API's deterministic (operator,
+// partition) gather order can rebuild it.
+type Frame struct {
+	// Op is the sink operator's index in Job.Operators.
+	Op int
+	// Partition is the sink instance that produced the frame.
+	Partition int
+	// Tuples holds the frame's tuples in emit order.
+	Tuples []Tuple
+}
+
+// Cursor is a pull-based stream over an executing job's sink output. Frames
+// arrive in completion order across sink instances (within one instance,
+// emit order is preserved); a single-instance sink therefore yields a fully
+// deterministic stream. The consumer must call Close (or cancel the context
+// passed to ExecuteStream) to release the job's goroutines; closing
+// mid-stream propagates through the runtime's upstream-cancellation
+// machinery and stops the scans feeding the job.
+type Cursor struct {
+	frames chan Frame
+	// closed tells sink instances to stop producing; their emit functions
+	// return false, which cascades cancellation upstream.
+	closed    chan struct{}
+	closeOnce sync.Once
+	// done is closed once every operator goroutine has exited and err is
+	// final.
+	done chan struct{}
+
+	mu     sync.Mutex
+	jobErr error // first operator error
+	ctxErr error // context cancellation, if it ended the stream
+
+	stopped atomic.Bool // set by Close: Next must not serve buffered tuples
+	cur     Frame
+	idx     int
+}
+
+// NextFrame returns the next sink output frame, or false once the stream is
+// exhausted (job finished, cursor closed, or context cancelled). Check Err
+// after the final frame.
+func (c *Cursor) NextFrame() (Frame, bool) {
+	f, ok := <-c.frames
+	return f, ok
+}
+
+// Next returns the next sink tuple, iterating frames transparently.
+func (c *Cursor) Next() (Tuple, bool) {
+	if c.stopped.Load() {
+		return nil, false
+	}
+	for c.idx >= len(c.cur.Tuples) {
+		f, ok := c.NextFrame()
+		if !ok {
+			return nil, false
+		}
+		c.cur, c.idx = f, 0
+	}
+	t := c.cur.Tuples[c.idx]
+	c.idx++
+	return t, true
+}
+
+// Err returns the error that terminated the stream: the context's error if
+// cancellation ended it, otherwise the first operator error, otherwise nil.
+// It is fully determined once Next/NextFrame has returned false.
+func (c *Cursor) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ctxErr != nil {
+		return c.ctxErr
+	}
+	return c.jobErr
+}
+
+// Close stops the job: sink instances observe the close on their next emit,
+// return, and cancellation cascades to the sources. Close blocks until every
+// operator goroutine has exited (so a caller asserting goroutine counts can
+// rely on it) and returns the first operator error, if any. It is idempotent
+// and safe to call concurrently with Next.
+func (c *Cursor) Close() error {
+	c.stopped.Store(true)
+	c.closeOnce.Do(func() { close(c.closed) })
+	<-c.done
+	// Drain any frames buffered between the sinks and the consumer so the
+	// channel's memory is released promptly.
+	for range c.frames {
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobErr
+}
+
+func (c *Cursor) recordJobErr(err error) {
+	if err == nil {
+		return
+	}
+	c.mu.Lock()
+	if c.jobErr == nil {
+		c.jobErr = err
+	}
+	c.mu.Unlock()
+}
+
+// ExecuteStream starts the job and returns a Cursor over its sink output.
+// Execution is identical to Execute — one goroutine per operator instance,
+// frame-batched bounded channels, upstream cancellation — except that sink
+// instances feed the cursor's bounded channel instead of buffering their
+// output, so a pure streaming pipeline holds only O(frame x operators)
+// tuples in flight regardless of result size. Cancelling ctx or closing the
+// cursor terminates the job's goroutines.
+func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, err := job.Stages(); err != nil {
+		return nil, err
+	}
+	nOps := len(job.Operators)
+
+	// Splice structural passthrough operators out of the dataflow; they stay
+	// in the job description but cost nothing at run time.
+	edges, spliced := spliceEdges(job)
+
+	// Number of input ports per operator.
+	ports := make([]int, nOps)
+	for _, e := range edges {
+		if e.Port < 0 {
+			return nil, fmt.Errorf("hyracks: negative input port %d", e.Port)
+		}
+		if e.Port+1 > ports[e.To] {
+			ports[e.To] = e.Port + 1
+		}
+	}
+
+	// inputs[op][port][partition] feeds each instance; instDone[op][partition]
+	// is closed when that instance's Run returns, unblocking producers.
+	inputs := make([][][]chan []Tuple, nOps)
+	instDone := make([][]chan struct{}, nOps)
+	alive := make([]int32, nOps)
+	for i, op := range job.Operators {
+		par := op.Parallelism()
+		if par <= 0 {
+			return nil, fmt.Errorf("hyracks: operator %s has parallelism %d", op.Name(), par)
+		}
+		if spliced[i] {
+			continue
+		}
+		alive[i] = int32(par)
+		inputs[i] = make([][]chan []Tuple, ports[i])
+		for q := range inputs[i] {
+			inputs[i][q] = make([]chan []Tuple, par)
+			for p := range inputs[i][q] {
+				inputs[i][q][p] = make(chan []Tuple, channelBuffer)
+			}
+		}
+		instDone[i] = make([]chan struct{}, par)
+		for p := range instDone[i] {
+			instDone[i][p] = make(chan struct{})
+		}
+	}
+
+	// remaining[op][port] counts producer instances still running; when it
+	// reaches zero the port's input channels are closed.
+	remaining := make([][]int, nOps)
+	for i := range remaining {
+		remaining[i] = make([]int, ports[i])
+	}
+	for _, e := range edges {
+		remaining[e.To][e.Port] += job.Operators[e.From].Parallelism()
+	}
+	// A declared port with no producers would never be closed: close it now so
+	// consumers see an immediate end of stream instead of deadlocking.
+	for i := range remaining {
+		for q, r := range remaining[i] {
+			if r == 0 {
+				for _, ch := range inputs[i][q] {
+					close(ch)
+				}
+			}
+		}
+	}
+	var remainingMu sync.Mutex
+	producerDone := func(e Edge) {
+		remainingMu.Lock()
+		remaining[e.To][e.Port]--
+		if remaining[e.To][e.Port] == 0 {
+			for _, ch := range inputs[e.To][e.Port] {
+				close(ch)
+			}
+		}
+		remainingMu.Unlock()
+	}
+
+	cur := &Cursor{
+		frames: make(chan Frame, streamBuffer),
+		closed: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+
+	isSink := make([]bool, nOps)
+	for i := range job.Operators {
+		if !spliced[i] && len(outgoing(edges, i)) == 0 {
+			isSink[i] = true
+		}
+	}
+
+	var wg sync.WaitGroup
+	for opIdx, op := range job.Operators {
+		if spliced[opIdx] {
+			continue
+		}
+		outEdges := outgoing(edges, opIdx)
+		for p := 0; p < op.Parallelism(); p++ {
+			wg.Add(1)
+			go func(opIdx, p int, op Operator, outEdges []Edge) {
+				defer wg.Done()
+				outs := make([]*outPort, len(outEdges))
+				for i, e := range outEdges {
+					outs[i] = &outPort{
+						edge:      e,
+						consumers: inputs[e.To][e.Port],
+						done:      instDone[e.To],
+						alive:     &alive[e.To],
+						bufs:      make([][]Tuple, len(inputs[e.To][e.Port])),
+					}
+				}
+				// Sink instances batch their output into frames and feed the
+				// cursor; emit reports false once the cursor is closed, which
+				// is how cancellation enters the job. The instance's first
+				// frame is flushed eagerly (one tuple) so time-to-first-row
+				// tracks the first tuple produced, not the first full frame.
+				var sinkBuf []Tuple
+				sinkStopped := false
+				sinkSentFirst := false
+				sendFrame := func() bool {
+					if len(sinkBuf) == 0 {
+						return !sinkStopped
+					}
+					f := Frame{Op: opIdx, Partition: p, Tuples: sinkBuf}
+					sinkBuf = nil
+					select {
+					case cur.frames <- f:
+						sinkSentFirst = true
+						return true
+					case <-cur.closed:
+						sinkStopped = true
+						return false
+					}
+				}
+				emit := func(t Tuple) bool {
+					if len(outs) == 0 {
+						if sinkStopped {
+							return false
+						}
+						sinkBuf = append(sinkBuf, t)
+						if len(sinkBuf) >= frameSize || !sinkSentFirst {
+							return sendFrame()
+						}
+						return true
+					}
+					live := false
+					for _, o := range outs {
+						o.push(p, t)
+						if atomic.LoadInt32(o.alive) > 0 {
+							live = true
+						}
+					}
+					return live
+				}
+				ins := make([]*In, ports[opIdx])
+				for q := range ins {
+					ins[q] = &In{ch: inputs[opIdx][q][p]}
+				}
+				if err := op.Run(p, ins, emit); err != nil {
+					cur.recordJobErr(err)
+				}
+				if isSink[opIdx] {
+					sendFrame() // flush the final partial frame
+				}
+				// Instance teardown: flush partial frames, unblock producers
+				// targeting this instance, then retire it as a producer.
+				for _, o := range outs {
+					o.flush()
+				}
+				close(instDone[opIdx][p])
+				atomic.AddInt32(&alive[opIdx], -1)
+				for _, e := range outEdges {
+					producerDone(e)
+				}
+			}(opIdx, p, op, outEdges)
+		}
+	}
+
+	// Context watcher: cancellation closes the cursor, which stops the sinks
+	// and cascades upstream exactly like an explicit Close.
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-ctx.Done():
+			cur.mu.Lock()
+			cur.ctxErr = ctx.Err()
+			cur.mu.Unlock()
+			cur.closeOnce.Do(func() { close(cur.closed) })
+		case <-cur.done:
+		}
+	}()
+
+	// Completion: once every instance has exited the stream is final.
+	go func() {
+		wg.Wait()
+		close(cur.done)
+		<-watcherDone
+		close(cur.frames)
+	}()
+	return cur, nil
+}

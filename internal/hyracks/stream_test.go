@@ -1,0 +1,202 @@
+package hyracks
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asterixdb/internal/adm"
+)
+
+// intSourceJob builds a scan -> select pipeline whose sources count every
+// produced tuple, for asserting how far production ran.
+func intSourceJob(partitions, perPartition int, produced *atomic.Int64) *Job {
+	job := &Job{}
+	src := job.Add(&SourceOp{
+		Label: "source", Partitions: partitions,
+		Produce: func(p int, emit func(Tuple) bool) error {
+			for i := 0; i < perPartition; i++ {
+				produced.Add(1)
+				if !emit(Tuple{adm.Int64(int64(p*perPartition + i))}) {
+					return nil
+				}
+			}
+			return nil
+		},
+	})
+	sel := job.Add(&SelectOp{
+		Label: "select", Partitions: partitions,
+		Pred: func(Tuple) (bool, error) { return true, nil },
+	})
+	job.Connect(src, sel, Connector{Kind: OneToOne})
+	return job
+}
+
+func TestExecuteStreamDrainsCompletely(t *testing.T) {
+	var produced atomic.Int64
+	cur, err := ExecuteStream(context.Background(), intSourceJob(3, 500, &produced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	n := 0
+	for {
+		_, ok := cur.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 3*500 {
+		t.Errorf("streamed %d tuples, want %d", n, 3*500)
+	}
+}
+
+// TestExecuteStreamBoundedInFlight is the no-materialization guarantee: with
+// the consumer paused after the first frame, the sources must stall once the
+// per-edge channel buffers and the cursor's frame buffer fill, far short of
+// the full input.
+func TestExecuteStreamBoundedInFlight(t *testing.T) {
+	const partitions, perPartition = 2, 500_000
+	var produced atomic.Int64
+	cur, err := ExecuteStream(context.Background(), intSourceJob(partitions, perPartition, &produced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	if _, ok := cur.Next(); !ok {
+		t.Fatalf("no first tuple: %v", cur.Err())
+	}
+	// Let producers run as far as the buffers allow, then check they stalled.
+	time.Sleep(100 * time.Millisecond)
+	// Upper bound on tuples in flight: every channel hop (per partition) plus
+	// the shared frame channel, all frame-batched, plus a frame being built in
+	// each instance. The pipeline has 2 hops (source->select, select->cursor).
+	bound := int64(partitions * (2*channelBuffer + streamBuffer + 4) * frameSize)
+	if got := produced.Load(); got > bound {
+		t.Errorf("sources produced %d tuples against a paused consumer; want <= %d (bounded in-flight)", got, bound)
+	}
+}
+
+// TestExecuteStreamCloseStopsSources asserts the cancellation contract:
+// closing the cursor early terminates every operator goroutine (Close blocks
+// until they exit) without draining the scans.
+func TestExecuteStreamCloseStopsSources(t *testing.T) {
+	const partitions, perPartition = 4, 1_000_000
+	var produced atomic.Int64
+	cur, err := ExecuteStream(context.Background(), intSourceJob(partitions, perPartition, &produced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := cur.Next(); !ok {
+			t.Fatalf("stream ended early: %v", cur.Err())
+		}
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(partitions * perPartition)
+	if got := produced.Load(); got >= total/2 {
+		t.Errorf("sources produced %d of %d tuples after early Close; cancellation should have stopped them", got, total)
+	}
+	if _, ok := cur.Next(); ok {
+		t.Error("Next returned a tuple after Close")
+	}
+}
+
+func TestExecuteStreamContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var produced atomic.Int64
+	cur, err := ExecuteStream(ctx, intSourceJob(2, 1_000_000, &produced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	for i := 0; i < 5; i++ {
+		if _, ok := cur.Next(); !ok {
+			t.Fatalf("stream ended early: %v", cur.Err())
+		}
+	}
+	cancel()
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+	}
+	if err := cur.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+func TestExecuteStreamOperatorError(t *testing.T) {
+	job := &Job{}
+	src := job.Add(&SourceOp{
+		Label: "source", Partitions: 1,
+		Produce: func(int, func(Tuple) bool) error { return fmt.Errorf("boom") },
+	})
+	sink := job.Add(&AssignOp{Label: "assign", Partitions: 1, Fn: func(t Tuple) (Tuple, error) { return t, nil }})
+	job.Connect(src, sink, Connector{Kind: OneToOne})
+	cur, err := ExecuteStream(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+	}
+	if err := cur.Err(); err == nil || err.Error() != "boom" {
+		t.Errorf("Err() = %v, want boom", err)
+	}
+	if err := cur.Close(); err == nil {
+		t.Error("Close should report the operator error")
+	}
+}
+
+// TestExecuteStreamSingleSinkOrderDeterministic: a parallelism-1 sort sink
+// must stream its tuples in sorted order — the ordered-query guarantee.
+func TestExecuteStreamSingleSinkOrderDeterministic(t *testing.T) {
+	job := &Job{}
+	src := job.Add(&SourceOp{
+		Label: "source", Partitions: 3,
+		Produce: func(p int, emit func(Tuple) bool) error {
+			for i := 0; i < 100; i++ {
+				if !emit(Tuple{adm.Int64(int64(i*3 + p))}) {
+					return nil
+				}
+			}
+			return nil
+		},
+	})
+	sorted := job.Add(&SortOp{Label: "sort", Partitions: 1, Columns: []int{0}})
+	job.Connect(src, sorted, Connector{Kind: MToNPartitioningMerging})
+	cur, err := ExecuteStream(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	prev := int64(-1)
+	n := 0
+	for {
+		tup, ok := cur.Next()
+		if !ok {
+			break
+		}
+		v, _ := adm.NumericAsInt64(tup[0])
+		if v <= prev {
+			t.Fatalf("stream out of order: %d after %d", v, prev)
+		}
+		prev = v
+		n++
+	}
+	if n != 300 {
+		t.Errorf("streamed %d tuples, want 300", n)
+	}
+}

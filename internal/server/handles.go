@@ -1,0 +1,188 @@
+package server
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+
+	"asterixdb/internal/adm"
+)
+
+// Result-handle states for asynchronous and deferred queries.
+const (
+	statusRunning = "running"
+	statusSuccess = "success"
+	statusFailed  = "failed"
+)
+
+// handle is one asynchronous or deferred query's server-side state: its
+// lifecycle status and, once finished, either the materialized result values
+// or the error.
+type handle struct {
+	id      string
+	mode    string
+	created time.Time
+
+	mu     sync.Mutex
+	status string
+	values []adm.Value
+	err    error
+}
+
+func (h *handle) finish(values []adm.Value, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err != nil {
+		h.status, h.err = statusFailed, err
+		return
+	}
+	h.status, h.values = statusSuccess, values
+}
+
+// snapshot returns the handle's current status, values and error.
+func (h *handle) snapshot() (string, []adm.Value, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.status, h.values, h.err
+}
+
+// handleTable stores result handles and evicts them when their TTL expires
+// (measured from creation, refreshed on every access, so a client that keeps
+// polling does not lose its handle). Fetching a result also evicts: results
+// are delivered exactly once, as in the paper's deferred mode.
+type handleTable struct {
+	ttl time.Duration
+	now func() time.Time
+
+	mu      sync.Mutex
+	entries map[string]*handle
+	touched map[string]time.Time
+
+	stop    chan struct{}
+	stopped sync.Once
+}
+
+func newHandleTable(ttl time.Duration, now func() time.Time) *handleTable {
+	if now == nil {
+		now = time.Now
+	}
+	t := &handleTable{
+		ttl:     ttl,
+		now:     now,
+		entries: map[string]*handle{},
+		touched: map[string]time.Time{},
+		stop:    make(chan struct{}),
+	}
+	go t.janitor()
+	return t
+}
+
+// create registers a new handle in the running state.
+func (t *handleTable) create(mode string) *handle {
+	h := &handle{id: newHandleID(), mode: mode, created: t.now(), status: statusRunning}
+	t.mu.Lock()
+	t.entries[h.id] = h
+	t.touched[h.id] = h.created
+	t.mu.Unlock()
+	return h
+}
+
+// get returns the handle and refreshes its TTL; expired handles are gone.
+func (t *handleTable) get(id string) (*handle, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.entries[id]
+	if !ok {
+		return nil, false
+	}
+	if t.now().Sub(t.touched[id]) > t.ttl {
+		delete(t.entries, id)
+		delete(t.touched, id)
+		return nil, false
+	}
+	t.touched[id] = t.now()
+	return h, true
+}
+
+// take atomically claims a finished handle for result delivery: when the
+// handle exists and has finished, it is removed from the table and returned
+// with taken=true, so of two concurrent fetches exactly one delivers. A
+// still-running handle is returned un-evicted with taken=false; a missing or
+// expired handle reports ok=false.
+func (t *handleTable) take(id string) (h *handle, ok, taken bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok = t.entries[id]
+	if !ok {
+		return nil, false, false
+	}
+	if t.now().Sub(t.touched[id]) > t.ttl {
+		delete(t.entries, id)
+		delete(t.touched, id)
+		return nil, false, false
+	}
+	h.mu.Lock()
+	finished := h.status != statusRunning
+	h.mu.Unlock()
+	if !finished {
+		t.touched[id] = t.now()
+		return h, true, false
+	}
+	delete(t.entries, id)
+	delete(t.touched, id)
+	return h, true, true
+}
+
+// evict removes a handle (result delivered, or delivery failed for good).
+func (t *handleTable) evict(id string) {
+	t.mu.Lock()
+	delete(t.entries, id)
+	delete(t.touched, id)
+	t.mu.Unlock()
+}
+
+// sweep drops every expired handle; the janitor calls it periodically so
+// abandoned handles do not pin their results forever.
+func (t *handleTable) sweep() {
+	now := t.now()
+	t.mu.Lock()
+	for id, at := range t.touched {
+		if now.Sub(at) > t.ttl {
+			delete(t.entries, id)
+			delete(t.touched, id)
+		}
+	}
+	t.mu.Unlock()
+}
+
+func (t *handleTable) janitor() {
+	interval := t.ttl / 2
+	if interval < time.Second {
+		interval = time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			t.sweep()
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+func (t *handleTable) close() {
+	t.stopped.Do(func() { close(t.stop) })
+}
+
+func newHandleID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a zero handle is
+		// still functional (just predictable) if it somehow does.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,391 @@
+// Package server exposes an asterixdb.Instance over HTTP, following the
+// paper's Cluster-Controller API shape (Section 4): clients POST AQL to
+// statement endpoints and results stream back as NDJSON. Three
+// result-delivery modes are supported on /query, as in the paper:
+//
+//   - synchronous (default): the response body streams results as the
+//     executing job produces them, chunk-flushed so the first rows arrive
+//     before the scan finishes;
+//   - asynchronous: the response returns a handle immediately; the client
+//     polls /query/status and fetches /query/result when done;
+//   - deferred: the query runs to completion, then a handle to the stored
+//     result is returned and fetched once via /query/result.
+//
+// Handles live in a TTL-evicting table; fetching a result evicts its handle
+// (exactly-once delivery). Errors map the asterixdb typed-error contract
+// onto status codes: not-found 404, exists 409, syntax/invalid 400,
+// everything else 500, with a JSON body {"error":{"code","message"}}.
+//
+// Endpoints:
+//
+//	POST /query?mode=synchronous|asynchronous|deferred   AQL query text
+//	GET  /query/status?handle=...                        poll an async handle
+//	GET  /query/result?handle=...                        fetch + evict a handle
+//	POST /ddl                                            DDL statements
+//	POST /update                                         insert/delete/load
+//	POST /explain                                        optimized plan + job (text)
+//	GET  /health                                         liveness probe
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"asterixdb"
+	"asterixdb/internal/adm"
+)
+
+// Options configure a Server.
+type Options struct {
+	// HandleTTL is how long an untouched async/deferred result handle
+	// survives before eviction (default 2 minutes).
+	HandleTTL time.Duration
+	// FlushEvery is the number of NDJSON lines written between explicit
+	// flushes of a synchronous stream (default 64, one per frame).
+	FlushEvery int
+	// MaxBodyBytes caps statement bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// Now overrides the handle table's clock (tests).
+	Now func() time.Time
+}
+
+// Server is the HTTP face of one AsterixDB instance.
+type Server struct {
+	inst    *asterixdb.Instance
+	opts    Options
+	mux     *http.ServeMux
+	handles *handleTable
+	// async tracks detached asynchronous-query goroutines so Close can wait
+	// for them before the caller tears down the instance under their feet.
+	async sync.WaitGroup
+}
+
+// New wraps an instance in a Server. The caller keeps ownership of the
+// instance; Server.Close stops the handle janitor but does not close the
+// instance.
+func New(inst *asterixdb.Instance, opts Options) *Server {
+	if opts.HandleTTL <= 0 {
+		opts.HandleTTL = 2 * time.Minute
+	}
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = 64
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	s := &Server{
+		inst:    inst,
+		opts:    opts,
+		mux:     http.NewServeMux(),
+		handles: newHandleTable(opts.HandleTTL, opts.Now),
+	}
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("GET /query/status", s.handleStatus)
+	s.mux.HandleFunc("GET /query/result", s.handleResult)
+	s.mux.HandleFunc("POST /ddl", s.handleDDL)
+	s.mux.HandleFunc("POST /update", s.handleUpdate)
+	s.mux.HandleFunc("POST /explain", s.handleExplain)
+	s.mux.HandleFunc("GET /health", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close waits for detached asynchronous queries to finish and stops the
+// handle table's eviction janitor. Call it before closing the instance.
+func (s *Server) Close() error {
+	s.async.Wait()
+	s.handles.close()
+	return nil
+}
+
+// ----------------------------------------------------------------------------
+// Statement endpoints
+// ----------------------------------------------------------------------------
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	src, err := s.readBody(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	mode := r.URL.Query().Get("mode")
+	switch mode {
+	case "", "synchronous":
+		s.querySynchronous(w, r, src)
+	case "asynchronous":
+		s.queryAsynchronous(w, src)
+	case "deferred":
+		s.queryDeferred(w, r, src)
+	default:
+		writeError(w, &asterixdb.Error{Code: asterixdb.CodeInvalid,
+			Message: fmt.Sprintf("unknown mode %q (want synchronous, asynchronous or deferred)", mode)})
+	}
+}
+
+// querySynchronous streams results as the job produces them. The first row
+// is prefetched before the status line goes out, so an error that strikes
+// before any output (unknown dataset, failed compile, a runtime error on the
+// first tuple) still maps onto a real status code. Once streaming has begun
+// the status can no longer change; a mid-stream failure is reported as a
+// final NDJSON error line ({"error":{...}}), which clients detect by its
+// shape.
+func (s *Server) querySynchronous(w http.ResponseWriter, r *http.Request, src string) {
+	cur, err := s.inst.QueryStream(r.Context(), src)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer cur.Close()
+	hasFirst := cur.Next()
+	if !hasFirst {
+		if err := cur.Err(); err != nil && !isContextEnd(err) {
+			writeError(w, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	s.streamCursor(w, cur, hasFirst)
+}
+
+// queryAsynchronous registers a handle and runs the query in the background;
+// the client polls /query/status and fetches /query/result. The background
+// execution deliberately detaches from the request context — the whole point
+// of the mode is that the client disconnects while the query runs.
+func (s *Server) queryAsynchronous(w http.ResponseWriter, src string) {
+	h := s.handles.create("asynchronous")
+	s.async.Add(1)
+	go func() {
+		defer s.async.Done()
+		res, err := s.inst.ExecuteContext(context.Background(), src)
+		if err != nil {
+			h.finish(nil, err)
+			return
+		}
+		h.finish(res.Values, nil)
+	}()
+	writeJSONStatus(w, http.StatusAccepted, map[string]any{"handle": h.id, "status": statusRunning})
+}
+
+// queryDeferred runs the query to completion, stores the result under a
+// handle, and returns the handle; the client fetches the result exactly once.
+func (s *Server) queryDeferred(w http.ResponseWriter, r *http.Request, src string) {
+	res, err := s.inst.ExecuteContext(r.Context(), src)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	h := s.handles.create("deferred")
+	h.finish(res.Values, nil)
+	writeJSON(w, map[string]any{"handle": h.id, "status": statusSuccess})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	h, ok := s.handles.get(r.URL.Query().Get("handle"))
+	if !ok {
+		writeError(w, &asterixdb.Error{Code: asterixdb.CodeNotFound, Message: "unknown or expired handle"})
+		return
+	}
+	status, _, err := h.snapshot()
+	body := map[string]any{"handle": h.id, "status": status}
+	if err != nil {
+		body["error"] = errorBody(err)
+	}
+	writeJSON(w, body)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("handle")
+	// take is atomic: of two concurrent fetches, exactly one gets the
+	// finished handle (taken=true); the other sees not-found.
+	h, ok, taken := s.handles.take(id)
+	if !ok {
+		writeError(w, &asterixdb.Error{Code: asterixdb.CodeNotFound, Message: "unknown or expired handle"})
+		return
+	}
+	if !taken {
+		writeJSONStatus(w, http.StatusConflict, map[string]any{"handle": h.id, "status": statusRunning,
+			"error": map[string]any{"code": "running", "message": "query still running; poll /query/status"}})
+		return
+	}
+	status, values, err := h.snapshot()
+	switch status {
+	case statusFailed:
+		writeError(w, err)
+	default:
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		bw := bufio.NewWriter(w)
+		var line []byte
+		for _, v := range values {
+			line = adm.AppendJSON(line[:0], v)
+			bw.Write(line)
+			bw.WriteByte('\n')
+		}
+		bw.Flush()
+	}
+}
+
+func (s *Server) handleDDL(w http.ResponseWriter, r *http.Request) {
+	src, err := s.readBody(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if _, err := s.inst.ExecuteContext(r.Context(), src); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"status": "success"})
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	src, err := s.readBody(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, err := s.inst.ExecuteContext(r.Context(), src)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"status": "success", "kind": res.Kind, "count": res.Count})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	src, err := s.readBody(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	plan, err := s.inst.Explain(src)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, plan)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{"status": "ok"})
+}
+
+// ----------------------------------------------------------------------------
+// Wire helpers
+// ----------------------------------------------------------------------------
+
+func (s *Server) readBody(r *http.Request) (string, error) {
+	defer r.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxBodyBytes+1))
+	if err != nil {
+		return "", &asterixdb.Error{Code: asterixdb.CodeInvalid, Message: "reading request body: " + err.Error()}
+	}
+	if int64(len(b)) > s.opts.MaxBodyBytes {
+		return "", &asterixdb.Error{Code: asterixdb.CodeInvalid,
+			Message: fmt.Sprintf("statement body exceeds %d bytes", s.opts.MaxBodyBytes)}
+	}
+	return string(b), nil
+}
+
+// streamCursor writes the cursor as NDJSON with chunked flushes, so a client
+// reading a long result sees rows while the job is still running. hasFirst
+// reports whether the caller already advanced the cursor to a prefetched
+// first value.
+func (s *Server) streamCursor(w http.ResponseWriter, cur *asterixdb.Cursor, hasFirst bool) {
+	flusher, _ := w.(http.Flusher)
+	bw := bufio.NewWriter(w)
+	var line []byte
+	n := 0
+	for hasFirst || cur.Next() {
+		hasFirst = false
+		line = adm.AppendJSON(line[:0], cur.Value())
+		bw.Write(line)
+		bw.WriteByte('\n')
+		n++
+		if n%s.opts.FlushEvery == 0 {
+			bw.Flush()
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	if err := cur.Err(); err != nil && !isContextEnd(err) {
+		// Headers are out; report the failure as a trailing NDJSON error line.
+		line = line[:0]
+		line = append(line, `{"error":`...)
+		line = appendErrorJSON(line, err)
+		line = append(line, '}', '\n')
+		bw.Write(line)
+	}
+	bw.Flush()
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// isContextEnd reports whether the error is the request context ending —
+// the client cancelled or its deadline expired — which deserves no error
+// payload of its own.
+func isContextEnd(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	switch asterixdb.ErrorCode(err) {
+	case asterixdb.CodeNotFound:
+		return http.StatusNotFound
+	case asterixdb.CodeExists:
+		return http.StatusConflict
+	case asterixdb.CodeSyntax, asterixdb.CodeInvalid:
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+func errorBody(err error) map[string]any {
+	return map[string]any{"code": asterixdb.ErrorCode(err), "message": err.Error()}
+}
+
+func appendErrorJSON(dst []byte, err error) []byte {
+	rec := adm.NewRecord(
+		adm.Field{Name: "code", Value: adm.String(asterixdb.ErrorCode(err))},
+		adm.Field{Name: "message", Value: adm.String(err.Error())},
+	)
+	return adm.AppendJSON(dst, rec)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSONStatus(w, statusFor(err), map[string]any{"error": errorBody(err)})
+}
+
+// writeJSONStatus sets the Content-Type before the status line goes out
+// (headers written after WriteHeader are silently dropped).
+func writeJSONStatus(w http.ResponseWriter, status int, body map[string]any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSON(w, body)
+}
+
+func writeJSON(w http.ResponseWriter, body map[string]any) {
+	if w.Header().Get("Content-Type") == "" {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		b = []byte(`{"error":{"code":"internal","message":"encoding response"}}`)
+	}
+	b = append(b, '\n')
+	w.Write(b)
+}

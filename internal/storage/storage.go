@@ -8,6 +8,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -22,6 +23,15 @@ import (
 	"asterixdb/internal/rtree"
 	"asterixdb/internal/spatial"
 	"asterixdb/internal/txn"
+)
+
+// Sentinel errors for catalog lookups. Callers match them with errors.Is;
+// the messages read as suffixes of the wrapped "storage: <object> ..." text.
+var (
+	// ErrExists reports that a dataset or index with the given name exists.
+	ErrExists = errors.New("already exists")
+	// ErrNotFound reports that a dataset or index does not exist.
+	ErrNotFound = errors.New("does not exist")
 )
 
 // IndexKind enumerates secondary index kinds.
@@ -116,7 +126,7 @@ func (m *Manager) CreateDataset(spec DatasetSpec) (*Dataset, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, exists := m.datasets[spec.Name]; exists {
-		return nil, fmt.Errorf("storage: dataset %q already exists", spec.Name)
+		return nil, fmt.Errorf("storage: dataset %q: %w", spec.Name, ErrExists)
 	}
 	ds := &Dataset{
 		spec:    spec,
@@ -166,7 +176,7 @@ func (m *Manager) DropDataset(name string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.datasets[name]; !ok {
-		return fmt.Errorf("storage: dataset %q does not exist", name)
+		return fmt.Errorf("storage: dataset %q: %w", name, ErrNotFound)
 	}
 	delete(m.datasets, name)
 	return os.RemoveAll(filepath.Join(m.dir, name))
@@ -288,7 +298,7 @@ func (d *Dataset) CreateIndex(spec IndexSpec) error {
 	for _, ix := range d.indexes {
 		if ix.Name == spec.Name {
 			d.mu.Unlock()
-			return fmt.Errorf("storage: index %q already exists on %q", spec.Name, d.spec.Name)
+			return fmt.Errorf("storage: index %q on %q: %w", spec.Name, d.spec.Name, ErrExists)
 		}
 	}
 	if spec.Kind == NGramIndex && spec.GramLength <= 0 {
@@ -355,7 +365,7 @@ func (d *Dataset) DropIndex(name string) error {
 			return nil
 		}
 	}
-	return fmt.Errorf("storage: index %q does not exist on %q", name, d.spec.Name)
+	return fmt.Errorf("storage: index %q on %q: %w", name, d.spec.Name, ErrNotFound)
 }
 
 // PrimaryKeyOf extracts and encodes the record's primary key.

@@ -1,0 +1,268 @@
+package asterixdb
+
+import (
+	"context"
+	"sort"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/algebra"
+	"asterixdb/internal/aql"
+	"asterixdb/internal/expr"
+	"asterixdb/internal/hyracks"
+	"asterixdb/internal/translator"
+)
+
+// Cursor is a pull-based stream of query result values:
+//
+//	cur, err := inst.QueryStream(ctx, src)
+//	if err != nil { ... }
+//	defer cur.Close()
+//	for cur.Next() {
+//		use(cur.Value())
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// For compiled queries the cursor is fed directly by the executing Hyracks
+// job through a bounded frame channel, so only O(frame x operators) tuples
+// are in flight at any time regardless of result size; closing the cursor
+// early (or cancelling the context it was opened under) stops the scans
+// feeding the job. Queries that run through the interpreter oracle or the
+// expression fallback are materialized up front into a single-batch cursor,
+// so every query presents the same interface.
+//
+// A Cursor is not safe for concurrent use; Close is idempotent.
+type Cursor struct {
+	ctx    context.Context
+	stream *hyracks.Cursor // streaming compiled job, or nil
+	batch  []adm.Value     // materialized fallback when stream is nil
+	idx    int
+
+	val  adm.Value
+	err  error
+	done bool
+}
+
+// Next advances to the next result value, reporting false at end of stream,
+// on error, on cancellation of the cursor's context, or after Close. When it
+// returns false, Err separates exhaustion from failure.
+func (c *Cursor) Next() bool {
+	if c.done {
+		return false
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.finish(err)
+		return false
+	}
+	if c.stream == nil {
+		if c.idx >= len(c.batch) {
+			c.finish(nil)
+			return false
+		}
+		c.val = c.batch[c.idx]
+		c.idx++
+		return true
+	}
+	for {
+		t, ok := c.stream.Next()
+		if !ok {
+			c.finish(c.stream.Err())
+			return false
+		}
+		if len(t) > 0 {
+			c.val = t[0]
+			return true
+		}
+	}
+}
+
+// Value returns the result the last successful Next advanced to.
+func (c *Cursor) Value() adm.Value { return c.val }
+
+// Err returns the error that terminated the stream, if any. A cursor closed
+// early by its consumer reports nil; one ended by context cancellation
+// reports the context's error.
+func (c *Cursor) Err() error { return c.err }
+
+// Close releases the cursor: a streaming cursor's job goroutines are
+// cancelled and Close blocks until they exit. Safe to call more than once.
+func (c *Cursor) Close() error {
+	if c.done {
+		return nil
+	}
+	c.finish(nil)
+	return nil
+}
+
+func (c *Cursor) finish(err error) {
+	c.done = true
+	if c.err == nil {
+		c.err = err
+	}
+	if c.stream != nil {
+		closeErr := c.stream.Close()
+		if c.err == nil {
+			c.err = closeErr
+		}
+		c.stream = nil
+	}
+	c.batch = nil
+}
+
+// drain exhausts the cursor and returns every value, the materializing
+// compatibility path behind Execute/Query. A freshly opened streaming cursor
+// is drained frame-by-frame and re-bucketed in (sink operator, partition)
+// order — the same deterministic gather hyracks.Execute performs — so the
+// compatibility wrappers keep the pre-streaming result order (a shuffle-free
+// scan reproduces storage order exactly). A partially consumed cursor falls
+// back to arrival order for the remainder.
+func (c *Cursor) drain() ([]adm.Value, error) {
+	if c.stream == nil && c.err == nil && !c.done {
+		// Fast path: a single-batch cursor's values are already materialized.
+		if err := c.ctx.Err(); err != nil {
+			c.finish(err)
+			return nil, err
+		}
+		out := c.batch[c.idx:]
+		c.finish(nil)
+		return out, nil
+	}
+	if c.stream != nil && !c.done {
+		buckets := map[int]map[int][]adm.Value{} // sink op -> partition -> values
+		for {
+			if err := c.ctx.Err(); err != nil {
+				c.finish(err)
+				return nil, err
+			}
+			f, ok := c.stream.NextFrame()
+			if !ok {
+				break
+			}
+			parts := buckets[f.Op]
+			if parts == nil {
+				parts = map[int][]adm.Value{}
+				buckets[f.Op] = parts
+			}
+			for _, t := range f.Tuples {
+				if len(t) > 0 {
+					parts[f.Partition] = append(parts[f.Partition], t[0])
+				}
+			}
+		}
+		c.finish(c.stream.Err())
+		if err := c.Err(); err != nil {
+			return nil, err
+		}
+		var out []adm.Value
+		for _, op := range sortedIntKeys(buckets) {
+			parts := buckets[op]
+			for _, p := range sortedIntKeys(parts) {
+				out = append(out, parts[p]...)
+			}
+		}
+		return out, nil
+	}
+	var out []adm.Value
+	for c.Next() {
+		out = append(out, c.Value())
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func sortedIntKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// batchCursor wraps already-materialized values in the uniform Cursor API.
+func batchCursor(ctx context.Context, values []adm.Value) *Cursor {
+	return &Cursor{ctx: ctx, batch: values}
+}
+
+// QueryStream executes AQL statements and returns a streaming Cursor over
+// the final statement's results. Leading statements (use dataverse, set,
+// DDL, updates) execute to completion first; the last statement is typically
+// a query, whose compiled job streams into the cursor as it runs. A final
+// non-query statement yields an empty cursor. The caller must Close the
+// cursor; cancelling ctx also terminates the stream.
+func (in *Instance) QueryStream(ctx context.Context, src string) (*Cursor, error) {
+	return in.queryStreamWith(ctx, src, in.cfg.OptimizerOptions)
+}
+
+func (in *Instance) queryStreamWith(ctx context.Context, src string, opts algebra.Options) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stmts, err := aql.Parse(src)
+	if err != nil {
+		return nil, syntaxError(err)
+	}
+	if len(stmts) == 0 {
+		return batchCursor(ctx, nil), nil
+	}
+	for _, stmt := range stmts[:len(stmts)-1] {
+		if _, err := in.executeStatement(ctx, stmt, opts); err != nil {
+			return nil, err
+		}
+	}
+	last := stmts[len(stmts)-1]
+	if q, ok := last.(*aql.QueryStatement); ok {
+		return in.queryCursor(ctx, q.Body, opts)
+	}
+	res, err := in.executeStatement(ctx, last, opts)
+	if err != nil {
+		return nil, err
+	}
+	return batchCursor(ctx, res.Values), nil
+}
+
+// queryCursor opens a cursor over one query expression. FLWOR queries (and
+// aggregate calls over FLWORs) compile into physical plans so index access
+// paths, hash joins and the aggregation split are used; compiled plans run
+// as pipelined Hyracks jobs feeding the cursor directly. Behind
+// Config.UseInterpreter the materializing interpreter (the
+// differential-testing oracle) produces a single-batch cursor instead.
+//
+// The expression-interpreter fallback is taken only when the query cannot be
+// planned at all (a non-FLWOR expression, or a shape algebra.Build rejects
+// such as positional variables) or when BuildJob cannot express the plan —
+// which, now that every access path and correlated unnest compiles, is a bug
+// rather than an expected path. Runtime errors from an executing job are
+// real errors and propagate through Cursor.Err.
+func (in *Instance) queryCursor(ctx context.Context, e aql.Expr, opts algebra.Options) (*Cursor, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if plan, err := translator.Compile(e, in, opts); err == nil {
+		if in.cfg.UseInterpreter {
+			values, err := in.executePlanContext(ctx, plan)
+			if err != nil {
+				return nil, err
+			}
+			return batchCursor(ctx, values), nil
+		}
+		if job, err := translator.BuildJob(plan, in, in.cfg.Partitions); err == nil {
+			fc, err := hyracks.ExecuteStream(ctx, job)
+			if err != nil {
+				return nil, err
+			}
+			return &Cursor{ctx: ctx, stream: fc}, nil
+		}
+	}
+	v, err := expr.Eval(in.evalCtx, expr.Env{}, e)
+	if err != nil {
+		return nil, err
+	}
+	if items, ok := v.(*adm.OrderedList); ok {
+		if _, isFLWOR := e.(*aql.FLWORExpr); isFLWOR {
+			return batchCursor(ctx, items.Items), nil
+		}
+	}
+	return batchCursor(ctx, []adm.Value{v}), nil
+}
