@@ -40,6 +40,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -68,6 +70,13 @@ type Config struct {
 	Journaled bool
 	// MemBudget is the per-partition LSM in-memory component budget in bytes.
 	MemBudget int
+	// MemoryBudget is the per-query memory budget in bytes for blocking
+	// runtime operators (sort, hybrid hash join, hash group-by). When a
+	// query's working set exceeds it the operators spill to run files under
+	// DataDir and complete out-of-core instead of growing without bound.
+	// Zero means unconstrained; when zero, the ASTERIXDB_MEMORY_BUDGET
+	// environment variable (bytes) applies if set.
+	MemoryBudget int64
 	// Clock overrides the clock behind current-datetime(); tests and
 	// benchmarks use a fixed clock for determinism.
 	Clock temporal.Clock
@@ -124,6 +133,13 @@ type Result struct {
 func Open(cfg Config) (*Instance, error) {
 	if cfg.Partitions <= 0 {
 		cfg.Partitions = storage.DefaultPartitions
+	}
+	if cfg.MemoryBudget == 0 {
+		if env := os.Getenv("ASTERIXDB_MEMORY_BUDGET"); env != "" {
+			if n, err := strconv.ParseInt(env, 10, 64); err == nil && n > 0 {
+				cfg.MemoryBudget = n
+			}
+		}
 	}
 	store, err := storage.NewManager(cfg.DataDir, storage.Options{
 		Partitions: cfg.Partitions,
@@ -230,6 +246,27 @@ func (in *Instance) QueryWithOptions(src string, opts algebra.Options) ([]adm.Va
 	return res.Values, nil
 }
 
+// jobOptions assembles the job-generation options from the instance config:
+// parallelism, the per-query memory budget, and the spill directory (under
+// DataDir, so run files live next to the data they spill).
+func (in *Instance) jobOptions() translator.JobOptions {
+	return translator.JobOptions{
+		Partitions:   in.cfg.Partitions,
+		MemoryBudget: in.cfg.MemoryBudget,
+		SpillDir:     in.SpillDir(),
+	}
+}
+
+// SpillDir returns the directory under which queries create their run files
+// when blocking operators exceed the configured MemoryBudget. Each job uses
+// a private subdirectory that is removed when the job ends. The dot-name
+// keeps it out of the dataset namespace: datasets store under
+// DataDir/<name>, and AQL identifiers cannot begin with a dot, so a dataset
+// can never collide with (or be dropped onto) the spill tree.
+func (in *Instance) SpillDir() string {
+	return filepath.Join(in.cfg.DataDir, ".spill")
+}
+
 // Explain compiles a query and returns the optimized algebra plan and the
 // Hyracks job description (Figure 6's shape for Query 10).
 func (in *Instance) Explain(src string) (string, error) {
@@ -241,7 +278,7 @@ func (in *Instance) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	job, err := translator.BuildJob(plan, in, in.cfg.Partitions)
+	job, err := translator.BuildJob(plan, in, in.jobOptions())
 	if err != nil {
 		return algebra.Explain(plan) + "\n\n(interpreted: " + err.Error() + ")", nil
 	}
@@ -258,7 +295,7 @@ func (in *Instance) CompileJob(src string) (*hyracks.Job, *algebra.Plan, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	job, err := translator.BuildJob(plan, in, in.cfg.Partitions)
+	job, err := translator.BuildJob(plan, in, in.jobOptions())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -10,7 +10,9 @@
 package asterixdb
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 	"time"
 
@@ -608,6 +610,98 @@ create dataset Msgs(M) primary key message-id;`); err != nil {
 // workload (the acceptance bar for the compiled path: no slower than the
 // interpreter it replaced).
 // ----------------------------------------------------------------------------
+
+// ----------------------------------------------------------------------------
+// Out-of-core runtime: scan-join / sort / group-by under memory budgets.
+// The same queries run unconstrained and at budgets that force spilling; the
+// measurements (latency plus the job's spill counters) are written to
+// BENCH_spill.json as a degradation trajectory — the acceptance shape is
+// graceful slowdown under pressure, never failure.
+// ----------------------------------------------------------------------------
+
+func newSpillBenchInstance(b *testing.B, budget int64) *Instance {
+	b.Helper()
+	inst, err := Open(Config{
+		DataDir:      b.TempDir(),
+		Partitions:   4,
+		MemoryBudget: budget,
+		Clock:        temporal.FixedClock{T: time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { inst.Close() })
+	if _, err := inst.Execute(workload.SpillBenchDDL); err != nil {
+		b.Fatal(err)
+	}
+	gen := workload.New(workload.Config{Users: 300, Messages: 4000, Seed: 9})
+	usersDS, _ := inst.Dataset("MugshotUsers")
+	if err := usersDS.InsertBatch(gen.Users()); err != nil {
+		b.Fatal(err)
+	}
+	msgsDS, _ := inst.Dataset("MugshotMessages")
+	if err := msgsDS.InsertBatch(gen.Messages()); err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkSpillBudgets measures every workload at every budget level and
+// writes the BENCH_spill.json trajectory when done.
+func BenchmarkSpillBudgets(b *testing.B) {
+	// Neutralize an env-driven budget so the unconstrained level really is.
+	b.Setenv("ASTERIXDB_MEMORY_BUDGET", "")
+	// The framework re-invokes each sub-benchmark with growing b.N; keep one
+	// row per (workload, budget) — the final, longest measurement wins.
+	measured := map[string]workload.SpillTrajectoryRow{}
+	var order []string
+	for _, budget := range workload.SpillBudgetLevels {
+		inst := newSpillBenchInstance(b, budget)
+		for _, q := range workload.SpillBenchQueries {
+			q := q
+			label := fmt.Sprintf("%s/budget-%dKiB", q.Name, budget>>10)
+			b.Run(label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := inst.Query(q.Query); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// One instrumented run outside the timing loop collects the
+				// job's spill counters for the trajectory file.
+				b.StopTimer()
+				job, _, err := inst.CompileJob(q.Query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := inst.runJob(job)
+				if err != nil {
+					b.Fatal(err)
+				}
+				row := workload.NewSpillRow(q.Name, budget, b.Elapsed().Nanoseconds()/int64(b.N),
+					job.FrameSize, len(res), job.Spill)
+				if _, seen := measured[label]; !seen {
+					order = append(order, label)
+				}
+				measured[label] = row
+				b.StartTimer()
+			})
+		}
+	}
+	if len(measured) == len(workload.SpillBudgetLevels)*len(workload.SpillBenchQueries) {
+		rows := make([]workload.SpillTrajectoryRow, 0, len(order))
+		for _, label := range order {
+			rows = append(rows, measured[label])
+		}
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_spill.json", append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote BENCH_spill.json (%d rows)", len(rows))
+	}
+}
 
 func BenchmarkExecutorHyracksVsInterpreter(b *testing.B) {
 	env := getEnv(b)

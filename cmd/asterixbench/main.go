@@ -9,10 +9,12 @@
 //	asterixbench -table 3            # query response times
 //	asterixbench -table 4            # insert times
 //	asterixbench -figure 6           # compiled job for Query 10
+//	asterixbench -spill              # out-of-core runtime under memory budgets
 //	asterixbench -all                # everything
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -23,12 +25,14 @@ import (
 	"asterixdb/internal/adm"
 	"asterixdb/internal/algebra"
 	"asterixdb/internal/comparators"
+	"asterixdb/internal/hyracks"
 	"asterixdb/internal/workload"
 )
 
 var (
 	tableFlag  = flag.Int("table", 0, "table number to regenerate (2, 3 or 4)")
 	figureFlag = flag.Int("figure", 0, "figure number to regenerate (6)")
+	spillFlag  = flag.Bool("spill", false, "benchmark scan-join/sort/group-by under memory budgets (writes BENCH_spill.json)")
 	allFlag    = flag.Bool("all", false, "regenerate every table and figure")
 	usersFlag  = flag.Int("users", 1000, "number of synthetic users")
 	msgsFlag   = flag.Int("messages", 5000, "number of synthetic messages")
@@ -51,7 +55,7 @@ type bench struct {
 
 func main() {
 	flag.Parse()
-	if !*allFlag && *tableFlag == 0 && *figureFlag == 0 {
+	if !*allFlag && *tableFlag == 0 && *figureFlag == 0 && !*spillFlag {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -68,6 +72,9 @@ func main() {
 	}
 	if *allFlag || *figureFlag == 6 {
 		b.figure6()
+	}
+	if *allFlag || *spillFlag {
+		b.spillTable()
 	}
 }
 
@@ -347,4 +354,74 @@ func (b *bench) figure6() {
 		log.Fatal(err)
 	}
 	fmt.Println(out)
+}
+
+// spillTable benchmarks the out-of-core runtime: the shared workload
+// definitions (internal/workload spillbench.go) run unconstrained and under
+// memory budgets that force the blocking operators to spill. The
+// latency/spill-counter trajectory is printed and written to
+// BENCH_spill.json; the expected shape is graceful degradation (more runs,
+// more passes, higher latency) rather than failure.
+func (b *bench) spillTable() {
+	// Neutralize an env-driven budget so the unconstrained level really is
+	// unconstrained (otherwise the budget_bytes=0 baseline row would spill).
+	os.Unsetenv("ASTERIXDB_MEMORY_BUDGET")
+	fmt.Println("\n== Out-of-core runtime: latency under per-query memory budgets ==")
+	fmt.Printf("%-12s %14s %14s %10s %14s %14s\n", "workload", "budget", "latency", "runs", "spilled", "peak resident")
+	var rows []workload.SpillTrajectoryRow
+	for _, budget := range workload.SpillBudgetLevels {
+		dir, err := os.MkdirTemp("", "asterixbench-spill")
+		if err != nil {
+			log.Fatal(err)
+		}
+		b.tmpDirs = append(b.tmpDirs, dir)
+		inst, err := asterixdb.Open(asterixdb.Config{DataDir: dir, Partitions: 4, MemoryBudget: budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := inst.Execute(workload.SpillBenchDDL); err != nil {
+			log.Fatal(err)
+		}
+		usersDS, _ := inst.Dataset("MugshotUsers")
+		if err := usersDS.InsertBatch(b.users); err != nil {
+			log.Fatal(err)
+		}
+		msgsDS, _ := inst.Dataset("MugshotMessages")
+		if err := msgsDS.InsertBatch(b.messages); err != nil {
+			log.Fatal(err)
+		}
+		for _, q := range workload.SpillBenchQueries {
+			lat := timeQuery(func() {
+				if _, err := inst.Query(q.Query); err != nil {
+					log.Fatal(err)
+				}
+			})
+			// One instrumented run collects the job's spill counters.
+			job, _, err := inst.CompileJob(q.Query)
+			if err != nil {
+				log.Fatal(err)
+			}
+			tuples, err := hyracks.Execute(job)
+			if err != nil {
+				log.Fatal(err)
+			}
+			row := workload.NewSpillRow(q.Name, budget, lat.Nanoseconds(), job.FrameSize, len(tuples), job.Spill)
+			rows = append(rows, row)
+			budgetLabel := "unlimited"
+			if budget > 0 {
+				budgetLabel = fmt.Sprintf("%dKiB", budget>>10)
+			}
+			fmt.Printf("%-12s %14s %14s %10d %14d %14d\n",
+				q.Name, budgetLabel, lat.Round(time.Microsecond), row.RunsCreated, row.TuplesSpilled, row.PeakResidentBytes)
+		}
+		inst.Close()
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_spill.json", append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote BENCH_spill.json")
 }

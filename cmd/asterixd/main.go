@@ -34,6 +34,9 @@ var (
 	partitionsFlag = flag.Int("partitions", 0, "storage partitions (default 4)")
 	journaledFlag  = flag.Bool("journaled", false, "sync the WAL on every commit")
 	ttlFlag        = flag.Duration("handle-ttl", 2*time.Minute, "async/deferred result handle TTL")
+	memBudgetFlag  = flag.Int64("memory-budget", 0,
+		"per-query memory budget in bytes for blocking operators (sort, join build, group-by); "+
+			"queries exceeding it spill to run files under <data>/.spill; 0 = unconstrained")
 )
 
 func main() {
@@ -44,9 +47,10 @@ func main() {
 		os.Exit(2)
 	}
 	inst, err := asterixdb.Open(asterixdb.Config{
-		DataDir:    *dataFlag,
-		Partitions: *partitionsFlag,
-		Journaled:  *journaledFlag,
+		DataDir:      *dataFlag,
+		Partitions:   *partitionsFlag,
+		Journaled:    *journaledFlag,
+		MemoryBudget: *memBudgetFlag,
 	})
 	if err != nil {
 		log.Fatalf("asterixd: open instance: %v", err)

@@ -38,7 +38,7 @@ func (in *Instance) ReadDatasetRecords(dataverse, name string) ([]*adm.Record, e
 // instead of being materialized between operators. Result tuples carry the
 // query's return value in column 0.
 func (in *Instance) executeJob(plan *algebra.Plan) ([]adm.Value, error) {
-	job, err := translator.BuildJob(plan, in, in.cfg.Partitions)
+	job, err := translator.BuildJob(plan, in, in.jobOptions())
 	if err != nil {
 		return nil, err
 	}

@@ -70,16 +70,24 @@ func fuzzRecord(rng *rand.Rand, id int) *adm.Record {
 
 // buildFuzzPair creates the Hyracks instance and the interpreter-oracle
 // instance over identical random data, applying the same interleaved inserts,
-// overwrites, deletes and an LSM flush to both.
-func buildFuzzPair(t testing.TB, rng *rand.Rand) (*Instance, *Instance) {
+// overwrites, deletes and an LSM flush to both. A non-zero memoryBudget
+// constrains the Hyracks instance's blocking operators (the oracle stays
+// unconstrained — the interpreter never spills), so the whole template suite
+// doubles as an out-of-core differential test.
+func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance, *Instance) {
 	t.Helper()
 	clock := temporal.FixedClock{T: time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)}
 	mk := func(useInterpreter bool) *Instance {
+		budget := memoryBudget
+		if useInterpreter {
+			budget = 0
+		}
 		inst, err := Open(Config{
 			DataDir:        t.TempDir(),
 			Partitions:     3,
 			Clock:          clock,
 			UseInterpreter: useInterpreter,
+			MemoryBudget:   budget,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -189,8 +197,15 @@ var fuzzOptionSets = []struct {
 // option-set) pair, and that every template compiles into a Hyracks job (no
 // interpreter fallback on any access path).
 func runDifferentialFuzz(t *testing.T, seed int64) {
+	runDifferentialFuzzBudget(t, seed, 0)
+}
+
+// runDifferentialFuzzBudget is runDifferentialFuzz with the Hyracks side
+// running under a per-query memory budget, so joins, sorts and group-bys
+// spill mid-template and must still match the unconstrained oracle.
+func runDifferentialFuzzBudget(t *testing.T, seed, memoryBudget int64) {
 	rng := rand.New(rand.NewSource(seed))
-	hy, oracle := buildFuzzPair(t, rng)
+	hy, oracle := buildFuzzPair(t, rng, memoryBudget)
 	for _, q := range fuzzQueries(rng) {
 		if _, _, err := hy.CompileJob(q.query); err != nil {
 			t.Errorf("seed %d %s: BuildJob failed (would fall back to the interpreter): %v", seed, q.name, err)
@@ -226,6 +241,22 @@ func TestDifferentialFuzzSeeded(t *testing.T) {
 		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
 			runDifferentialFuzz(t, seed)
 		})
+	}
+}
+
+// TestDifferentialFuzzSpillSeeded reruns the seeded harness with memory
+// budgets small enough that every blocking operator spills (the 4KiB budget
+// shares out to well under one frame of fuzz records per instance, forcing
+// multi-round spilling and recursive repartitioning); results must still
+// match the unconstrained interpreter oracle exactly.
+func TestDifferentialFuzzSpillSeeded(t *testing.T) {
+	for _, budget := range []int64{4 << 10, 64 << 10} {
+		for _, seed := range []int64{7, 42} {
+			budget, seed := budget, seed
+			t.Run(fmt.Sprintf("budget-%dKiB/seed-%d", budget>>10, seed), func(t *testing.T) {
+				runDifferentialFuzzBudget(t, seed, budget)
+			})
+		}
 	}
 }
 

@@ -59,6 +59,7 @@ import (
 	"strings"
 
 	"asterixdb/internal/adm"
+	"asterixdb/internal/runfile"
 )
 
 // Tuple is one row flowing between operators: a fixed-width slice of ADM
@@ -143,6 +144,14 @@ type Edge struct {
 type Job struct {
 	Operators []Operator
 	Edges     []Edge
+	// FrameSize overrides the number of tuples shipped per channel send.
+	// Zero means the default; the translator derives a smaller frame from the
+	// job's memory budget so tiny-budget runs exercise real frame boundaries.
+	FrameSize int
+	// Spill is the job's run-file manager when a memory budget is configured.
+	// The runtime closes it after the last operator instance exits — on every
+	// termination path — which removes any run files still on disk.
+	Spill *runfile.Manager
 }
 
 // Add appends an operator and returns its index.
@@ -250,11 +259,30 @@ func (j *Job) topoOrder() ([]int, error) {
 	return order, nil
 }
 
-// frameSize is the number of tuples shipped per channel send. Like Hyracks'
-// fixed-size frames it amortizes the cross-instance handoff cost; it also
-// bounds how many tuples a producer buffers before a consumer sees them (and
-// therefore how far a scan overruns a limit's cancellation).
-const frameSize = 64
+// defaultFrameSize is the number of tuples shipped per channel send when the
+// job does not set its own FrameSize. Like Hyracks' fixed-size frames it
+// amortizes the cross-instance handoff cost; it also bounds how many tuples a
+// producer buffers before a consumer sees them (and therefore how far a scan
+// overruns a limit's cancellation).
+const defaultFrameSize = 64
+
+// FrameSizeForBudget derives a job frame size (in tuples) from a memory
+// budget (in bytes): unconstrained jobs use the default, constrained jobs
+// shrink the frame so in-flight channel buffers scale down with the budget
+// and tiny-budget tests cross real frame boundaries deterministically.
+func FrameSizeForBudget(budget int64) int {
+	if budget <= 0 {
+		return defaultFrameSize
+	}
+	fs := int(budget / 4096)
+	if fs < 4 {
+		return 4
+	}
+	if fs > defaultFrameSize {
+		return defaultFrameSize
+	}
+	return fs
+}
 
 // channelBuffer is the per-instance input channel capacity in frames. It
 // bounds how far a producer can run ahead of a consumer.
@@ -268,6 +296,7 @@ type outPort struct {
 	done      []chan struct{}
 	alive     *int32
 	bufs      [][]Tuple
+	frameSize int
 	scratch   []byte // reused hash-key encoding buffer
 }
 
@@ -294,7 +323,7 @@ func (o *outPort) push(producerPartition int, t Tuple) {
 	case MToNReplicating:
 		for p := range o.consumers {
 			o.bufs[p] = append(o.bufs[p], t)
-			if len(o.bufs[p]) >= frameSize {
+			if len(o.bufs[p]) >= o.frameSize {
 				o.send(p)
 			}
 		}
@@ -311,7 +340,7 @@ func (o *outPort) push(producerPartition int, t Tuple) {
 		p = producerPartition % len(o.consumers)
 	}
 	o.bufs[p] = append(o.bufs[p], t)
-	if len(o.bufs[p]) >= frameSize {
+	if len(o.bufs[p]) >= o.frameSize {
 		o.send(p)
 	}
 }
@@ -609,11 +638,17 @@ func (o *FlatMapOp) Run(partition int, ins []*In, emit func(Tuple) bool) error {
 }
 
 // SortOp sorts its input by the given columns (all ascending unless Desc).
+// With a Spill budget it runs as an external merge sort: in-memory sorted
+// runs are spilled to run files at the budget and merged on emit; without
+// one it buffers and sorts the whole partition in memory as before.
 type SortOp struct {
 	Label      string
 	Partitions int
 	Columns    []int
 	Desc       []bool
+	// Spill is the operator's share of the job memory budget; nil means
+	// unconstrained in-memory sorting.
+	Spill *runfile.Budget
 }
 
 // Name implements Operator.
@@ -625,8 +660,43 @@ func (o *SortOp) Parallelism() int { return o.Partitions }
 // Blocking implements Operator.
 func (o *SortOp) Blocking() bool { return true }
 
+// compareTuples orders two tuples by the operator's sort columns.
+func (o *SortOp) compareTuples(a, b Tuple) (int, error) {
+	for k, col := range o.Columns {
+		c, err := adm.Compare(a[col], b[col])
+		if err != nil {
+			return 0, err
+		}
+		if c == 0 {
+			continue
+		}
+		if len(o.Desc) > k && o.Desc[k] {
+			return -c, nil
+		}
+		return c, nil
+	}
+	return 0, nil
+}
+
+// sortRows stably sorts rows in place by the operator's sort columns.
+func (o *SortOp) sortRows(rows []Tuple) error {
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		c, err := o.compareTuples(rows[i], rows[j])
+		if err != nil {
+			sortErr = err
+			return false
+		}
+		return c < 0
+	})
+	return sortErr
+}
+
 // Run implements Operator.
 func (o *SortOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
+	if o.Spill != nil {
+		return o.runExternal(ins, emit)
+	}
 	var rows []Tuple
 	for {
 		t, more := ins[0].Next()
@@ -635,26 +705,8 @@ func (o *SortOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
 		}
 		rows = append(rows, t)
 	}
-	var sortErr error
-	sort.SliceStable(rows, func(i, j int) bool {
-		for k, col := range o.Columns {
-			c, err := adm.Compare(rows[i][col], rows[j][col])
-			if err != nil {
-				sortErr = err
-				return false
-			}
-			if c == 0 {
-				continue
-			}
-			if len(o.Desc) > k && o.Desc[k] {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	if sortErr != nil {
-		return sortErr
+	if err := o.sortRows(rows); err != nil {
+		return err
 	}
 	for _, t := range rows {
 		if !emit(t) {
@@ -744,12 +796,19 @@ func (o *AggregateOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
 
 // HashGroupOp groups its input by key columns and emits one tuple per group
 // produced by the Reduce function (the HashGroup operator from the paper's
-// aggregation operators).
+// aggregation operators). With a Spill budget it pre-aggregates with
+// spillable hash partitions: under memory pressure a victim partition's raw
+// tuples move to a run file and are re-aggregated per spilled partition
+// afterwards (recursively repartitioned if a partition alone exceeds the
+// budget).
 type HashGroupOp struct {
 	Label      string
 	Partitions int
 	KeyColumns []int
 	Reduce     func(key Tuple, rows []Tuple) (Tuple, error)
+	// Spill is the operator's share of the job memory budget; nil means
+	// unconstrained in-memory grouping.
+	Spill *runfile.Budget
 }
 
 // Name implements Operator.
@@ -763,6 +822,9 @@ func (o *HashGroupOp) Blocking() bool { return true }
 
 // Run implements Operator.
 func (o *HashGroupOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
+	if o.Spill != nil {
+		return o.runSpilling(ins, emit)
+	}
 	groups := map[string][]Tuple{}
 	keys := map[string]Tuple{}
 	var order []string
@@ -834,6 +896,14 @@ func (o *GroupAllOp) Run(partition int, ins []*In, emit func(Tuple) bool) error 
 // port 0 (Join Probe). This mirrors the HybridHash Join operator's two
 // Activities described in Section 4.1. Both sides must be partitioned on the
 // join key by their incoming connectors so equal keys meet in one instance.
+//
+// With a Spill budget the operator runs as a robust dynamic hybrid hash
+// join (Jahangiri et al., "Design Trade-offs for a Robust Dynamic Hybrid
+// Hash Join"): the build side splits into intra-instance partitions, victim
+// partitions spill to run files under memory pressure, probe tuples destined
+// for spilled partitions are deferred to their own run files, and spilled
+// pairs are joined recursively with level-salted rehashing — falling back to
+// a budget-chunked block nested-loop join on pathological skew.
 type HybridHashJoinOp struct {
 	Label      string
 	Partitions int
@@ -842,6 +912,9 @@ type HybridHashJoinOp struct {
 	ProbeKey func(Tuple) adm.Value
 	// Combine merges a probe tuple with a matching build tuple.
 	Combine func(probe, build Tuple) Tuple
+	// Spill is the operator's share of the job memory budget; nil means the
+	// build side is buffered entirely in memory.
+	Spill *runfile.Budget
 }
 
 // Name implements Operator.
@@ -857,6 +930,9 @@ func (o *HybridHashJoinOp) Blocking() bool { return true }
 func (o *HybridHashJoinOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
 	if len(ins) < 2 {
 		return fmt.Errorf("hyracks: %s requires a build input on port 1", o.Label)
+	}
+	if o.Spill != nil {
+		return o.runSpilling(ins, emit)
 	}
 	// Join Build activity. The key-encoding buffer is reused across tuples;
 	// only the map-key insertion copies it.

@@ -138,6 +138,10 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 	if _, err := job.Stages(); err != nil {
 		return nil, err
 	}
+	frameSize := job.FrameSize
+	if frameSize <= 0 {
+		frameSize = defaultFrameSize
+	}
 	nOps := len(job.Operators)
 
 	// Splice structural passthrough operators out of the dataflow; they stay
@@ -245,6 +249,7 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 						done:      instDone[e.To],
 						alive:     &alive[e.To],
 						bufs:      make([][]Tuple, len(inputs[e.To][e.Port])),
+						frameSize: frameSize,
 					}
 				}
 				// Sink instances batch their output into frames and feed the
@@ -329,9 +334,17 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 		}
 	}()
 
-	// Completion: once every instance has exited the stream is final.
+	// Completion: once every instance has exited the stream is final. The
+	// job's spill manager (if any) is closed first, removing any run files
+	// an operator left behind — this runs on every termination path, so a
+	// caller that has observed Close/done can rely on zero leaked files.
 	go func() {
 		wg.Wait()
+		if job.Spill != nil {
+			if err := job.Spill.Close(); err != nil {
+				cur.recordJobErr(err)
+			}
+		}
 		close(cur.done)
 		<-watcherDone
 		close(cur.frames)

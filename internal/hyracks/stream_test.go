@@ -78,7 +78,7 @@ func TestExecuteStreamBoundedInFlight(t *testing.T) {
 	// Upper bound on tuples in flight: every channel hop (per partition) plus
 	// the shared frame channel, all frame-batched, plus a frame being built in
 	// each instance. The pipeline has 2 hops (source->select, select->cursor).
-	bound := int64(partitions * (2*channelBuffer + streamBuffer + 4) * frameSize)
+	bound := int64(partitions * (2*channelBuffer + streamBuffer + 4) * defaultFrameSize)
 	if got := produced.Load(); got > bound {
 		t.Errorf("sources produced %d tuples against a paused consumer; want <= %d (bounded in-flight)", got, bound)
 	}

@@ -10,8 +10,25 @@ import (
 	"asterixdb/internal/aql"
 	"asterixdb/internal/expr"
 	"asterixdb/internal/hyracks"
+	"asterixdb/internal/runfile"
 	"asterixdb/internal/storage"
 )
+
+// JobOptions configures job generation.
+type JobOptions struct {
+	// Partitions is the storage partition count (job parallelism).
+	Partitions int
+	// MemoryBudget is the per-job memory budget in bytes for blocking
+	// operators, divided evenly among the instances of the job's spillable
+	// operators (sort, hybrid hash join, hash group-by). Zero means
+	// unconstrained. It also derives the job's frame size, so constrained
+	// jobs ship proportionally smaller frames.
+	MemoryBudget int64
+	// SpillDir is the directory run files are created under when operators
+	// spill (a job-private subdirectory is created lazily). Empty falls back
+	// to the system temp directory.
+	SpillDir string
+}
 
 // BuildJob converts an optimized physical plan into an executable Hyracks
 // job: every operator in the returned job carries a runnable closure over the
@@ -24,9 +41,14 @@ import (
 // physical operator (a non-compilable plan is produced only for expressions
 // algebra.Build rejects, such as positional variables); the engine falls back
 // to the reference expression interpreter for those.
-func BuildJob(plan *algebra.Plan, rt Runtime, partitions int) (*hyracks.Job, error) {
-	if partitions <= 0 {
-		partitions = 1
+//
+// When opts.MemoryBudget is set, the job runs out-of-core: the budget is
+// divided among the blocking operators' instances, each of which spills to
+// run files (managed by the job's runfile.Manager, closed by the runtime on
+// every termination path) instead of growing past its share.
+func BuildJob(plan *algebra.Plan, rt Runtime, opts JobOptions) (*hyracks.Job, error) {
+	if opts.Partitions <= 0 {
+		opts.Partitions = 1
 	}
 	if plan.Root == nil || plan.Root.Kind != algebra.OpDistribute {
 		return nil, fmt.Errorf("translator: plan has no distribute-result root")
@@ -34,14 +56,58 @@ func BuildJob(plan *algebra.Plan, rt Runtime, partitions int) (*hyracks.Job, err
 	b := &jobBuilder{
 		job:        &hyracks.Job{},
 		rt:         rt,
-		partitions: partitions,
+		partitions: opts.Partitions,
 		ctx:        rt.EvalContext(),
 		query:      plan.Query,
 	}
 	if _, err := b.buildDistribute(plan.Root); err != nil {
 		return nil, err
 	}
+	assignMemoryBudget(b.job, opts)
 	return b.job, nil
+}
+
+// assignMemoryBudget divides the job's memory budget evenly among the
+// instances of its spillable blocking operators and attaches the job's spill
+// manager, turning the blocking operators into their out-of-core variants.
+// It also derives the job frame size from the budget so channel buffering
+// scales down with it.
+func assignMemoryBudget(job *hyracks.Job, opts JobOptions) {
+	if opts.MemoryBudget <= 0 {
+		return
+	}
+	job.FrameSize = hyracks.FrameSizeForBudget(opts.MemoryBudget)
+	instances := 0
+	for _, op := range job.Operators {
+		switch o := op.(type) {
+		case *hyracks.SortOp:
+			instances += o.Partitions
+		case *hyracks.HybridHashJoinOp:
+			instances += o.Partitions
+		case *hyracks.HashGroupOp:
+			instances += o.Partitions
+		}
+	}
+	if instances == 0 {
+		return
+	}
+	mgr := runfile.NewManager(opts.SpillDir, opts.MemoryBudget)
+	job.Spill = mgr
+	share := opts.MemoryBudget / int64(instances)
+	if share < 1 {
+		share = 1
+	}
+	budget := &runfile.Budget{M: mgr, PerInstance: share}
+	for _, op := range job.Operators {
+		switch o := op.(type) {
+		case *hyracks.SortOp:
+			o.Spill = budget
+		case *hyracks.HybridHashJoinOp:
+			o.Spill = budget
+		case *hyracks.HashGroupOp:
+			o.Spill = budget
+		}
+	}
 }
 
 // jobBuilder accumulates operators and connectors while walking a plan tree
@@ -52,6 +118,10 @@ type jobBuilder struct {
 	partitions int
 	ctx        *expr.Context
 	query      *aql.FLWORExpr
+	// scanBounds holds per-scan emit bounds pushed down from a limit clause
+	// (offset+limit per partition): buildLimit records them before building
+	// its input, and buildScan caps each partition's scan accordingly.
+	scanBounds map[*algebra.Node]int
 }
 
 // stream describes the output of a built subtree: the producing operator,
@@ -171,13 +241,22 @@ func (b *jobBuilder) buildInput(n *algebra.Node) (stream, error) {
 
 func (b *jobBuilder) buildScan(n *algebra.Node) (stream, error) {
 	schema := Schema{n.Variable}
+	bound, bounded := b.scanBounds[n]
 	if ds, ok := b.rt.LookupDataset(n.Dataverse, n.Dataset); ok {
-		// Internal dataset: one scan instance per storage partition.
+		// Internal dataset: one scan instance per storage partition. A
+		// pushed-down limit bound stops each partition's scan at exactly
+		// offset+limit emitted records, instead of overrunning by a frame
+		// until the limit's upstream cancellation arrives.
 		op := b.job.Add(&hyracks.SourceOp{
 			Label:      fmt.Sprintf("datasource-scan(%s)", n.Dataset),
 			Partitions: b.partitions,
 			Produce: func(p int, emit func(hyracks.Tuple) bool) error {
+				emitted := 0
 				return ds.ScanPartition(p, func(rec *adm.Record) bool {
+					if bounded && emitted >= bound {
+						return false
+					}
+					emitted++
 					return emit(hyracks.Tuple{rec})
 				})
 			},
@@ -195,6 +274,9 @@ func (b *jobBuilder) buildScan(n *algebra.Node) (stream, error) {
 			recs, err := b.rt.ReadDatasetRecords(dataverse, dataset)
 			if err != nil {
 				return err
+			}
+			if bounded && bound < len(recs) {
+				recs = recs[:bound]
 			}
 			for _, rec := range recs {
 				if !emit(hyracks.Tuple{rec}) {
@@ -801,16 +883,18 @@ func (b *jobBuilder) buildGroupBy(n *algebra.Node) (stream, error) {
 	return b.connect(keyed, groupOp, groupPar, outSchema, groupConn), nil
 }
 
+// buildOrder compiles order-by onto the library's SortOp so every sort —
+// bare-variable and computed terms alike — gets the external merge sort
+// under a memory budget. Bare-variable terms sort existing tuple columns
+// directly; other terms are evaluated once per tuple into synthetic trailing
+// columns by an assign below the sort, mirroring the interpreter's
+// applyOrderBy (keys evaluated once, then a stable adm.Compare sort).
 func (b *jobBuilder) buildOrder(n *algebra.Node) (stream, error) {
 	in, err := b.buildInput(n)
 	if err != nil {
 		return stream{}, err
 	}
 	schema := in.schema
-	// Fast path: every order term is a bare variable, so the sort keys are
-	// existing tuple columns and the stock SortOp compares them directly (the
-	// same stable sort and adm.Compare semantics as the interpreter's
-	// applyOrderBy, without materializing environments).
 	colSort := true
 	sortCols := make([]int, len(n.OrderTerms))
 	sortDesc := make([]bool, len(n.OrderTerms))
@@ -822,48 +906,60 @@ func (b *jobBuilder) buildOrder(n *algebra.Node) (stream, error) {
 		}
 		sortCols[i], sortDesc[i] = col, term.Desc
 	}
-	if colSort {
-		op := b.job.Add(&hyracks.SortOp{
-			Label:      "sort",
-			Partitions: 1,
-			Columns:    sortCols,
-			Desc:       sortDesc,
+	sortIn, outSchema := in, schema
+	if !colSort {
+		terms := n.OrderTerms
+		outSchema = append(Schema{}, schema...)
+		for i, term := range terms {
+			sortCols[i], sortDesc[i] = len(schema)+i, term.Desc
+			outSchema = append(outSchema, fmt.Sprintf("#order-key-%d", i))
+		}
+		bind := envBinder(schema, in.par)
+		keyOp := b.job.Add(&hyracks.FlatMapOp{
+			Label:      "assign(order-keys)",
+			Partitions: in.par,
+			Fn: func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+				env := bind(p, t)
+				out := make(hyracks.Tuple, len(t), len(t)+len(terms))
+				copy(out, t)
+				for _, term := range terms {
+					v, err := expr.Eval(b.ctx, env, term.Expr)
+					if err != nil {
+						return err
+					}
+					out = append(out, v)
+				}
+				emit(out)
+				return nil
+			},
 		})
-		return b.connect(in, op, 1, schema, gatherConnector(in.par)), nil
+		sortIn = b.connect(in, keyOp, in.par, outSchema, hyracks.Connector{Kind: hyracks.OneToOne})
 	}
-	clause := &aql.OrderByClause{Terms: n.OrderTerms}
-	op := b.job.Add(&hyracks.GroupAllOp{
+	op := b.job.Add(&hyracks.SortOp{
 		Label:      "sort",
 		Partitions: 1,
-		Fn: func(_ int, rows []hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
-			envs := make([]expr.Env, len(rows))
-			for i, t := range rows {
-				envs[i] = schema.Env(t)
-			}
-			ordered, err := expr.ApplyClause(b.ctx, envs, clause)
-			if err != nil {
-				return err
-			}
-			for _, env := range ordered {
-				if !emit(schema.Tuple(env)) {
-					return nil
-				}
-			}
-			return nil
-		},
+		Columns:    sortCols,
+		Desc:       sortDesc,
 	})
-	return b.connect(in, op, 1, schema, gatherConnector(in.par)), nil
+	// The synthetic key columns ride along in the output schema; downstream
+	// operators resolve variables by name, so the extra trailing columns are
+	// inert.
+	return b.connect(sortIn, op, 1, outSchema, gatherConnector(sortIn.par)), nil
 }
 
 // buildLimit compiles the limit clause onto the library's cancelling
 // LimitOp. Limit and offset expressions never see tuple bindings (the
 // interpreter's applyLimit evaluates them in an empty environment too), so
 // they are folded to constants here at build time.
+//
+// When the limit sits directly above a scan (possibly through assign
+// operators, which are exactly one-to-one), the bound offset+limit is pushed
+// into the scan itself: each partition's scan stops emitting at the bound
+// instead of overrunning by a frame until cancellation propagates back.
+// Selects, unnests, joins and blocking operators between the limit and the
+// scan block the pushdown — they change cardinality, so the scan cannot know
+// how many records the limit needs.
 func (b *jobBuilder) buildLimit(n *algebra.Node) (stream, error) {
-	in, err := b.buildInput(n)
-	if err != nil {
-		return stream{}, err
-	}
 	limV, err := expr.Eval(b.ctx, expr.Env{}, n.LimitExpr)
 	if err != nil {
 		return stream{}, err
@@ -880,6 +976,21 @@ func (b *jobBuilder) buildLimit(n *algebra.Node) (stream, error) {
 		}
 		offset, _ = adm.NumericAsInt64(offV)
 	}
+	// Push the bound down only when offset+limit is sane: a huge limit used
+	// as an "unbounded" idiom could overflow the sum (or an int on 32-bit
+	// platforms) into a scan-nothing bound, and gains nothing from pushdown.
+	if bound := max(lim, 0) + max(offset, 0); bound >= 0 && bound <= 1<<31-1 {
+		if scan := limitPushdownScan(n); scan != nil {
+			if b.scanBounds == nil {
+				b.scanBounds = map[*algebra.Node]int{}
+			}
+			b.scanBounds[scan] = int(bound)
+		}
+	}
+	in, err := b.buildInput(n)
+	if err != nil {
+		return stream{}, err
+	}
 	op := b.job.Add(&hyracks.LimitOp{
 		Label:      "limit",
 		Partitions: 1,
@@ -887,6 +998,31 @@ func (b *jobBuilder) buildLimit(n *algebra.Node) (stream, error) {
 		Offset:     int(max(offset, 0)),
 	})
 	return b.connect(in, op, 1, in.schema, gatherConnector(in.par)), nil
+}
+
+// limitPushdownScan walks from a limit node toward its source and returns
+// the scan the bound may be pushed into, or nil when any operator on the way
+// is not exactly one-to-one (a select drops tuples, an unnest multiplies
+// them, joins and blocking operators reshape the stream entirely).
+func limitPushdownScan(n *algebra.Node) *algebra.Node {
+	if len(n.Inputs) != 1 {
+		return nil
+	}
+	cur := n.Inputs[0]
+	for cur != nil {
+		switch cur.Kind {
+		case algebra.OpAssign:
+			if len(cur.Inputs) != 1 {
+				return nil
+			}
+			cur = cur.Inputs[0]
+		case algebra.OpScan:
+			return cur
+		default:
+			return nil
+		}
+	}
+	return nil
 }
 
 // ----------------------------------------------------------------------------

@@ -1,0 +1,77 @@
+package workload
+
+import "asterixdb/internal/runfile"
+
+// This file is the shared definition of the out-of-core benchmark: the
+// budget sweep, the workload queries, the DDL, and the BENCH_spill.json row
+// schema are used by both the go-test benchmark (BenchmarkSpillBudgets) and
+// the asterixbench CLI (-spill), so the two writers can never drift into
+// incompatible trajectory formats.
+
+// SpillBudgetLevels is the budget sweep: unconstrained, lightly
+// constrained, heavily constrained.
+var SpillBudgetLevels = []int64{0, 256 << 10, 32 << 10}
+
+// SpillBenchDDL creates the Mugshot datasets the spill queries run over.
+const SpillBenchDDL = `
+create type SpillBenchUserType as closed { id: int32, alias: string, name: string, user-since: datetime,
+  address: { street: string, city: string, state: string, zip: string, country: string },
+  friend-ids: {{ int32 }}, employment: [{ organization-name: string, start-date: date, end-date: date? }] }
+create type SpillBenchMsgType as closed { message-id: int32, author-id: int32, timestamp: datetime, in-response-to: int32?,
+  sender-location: point?, tags: {{ string }}, message: string }
+create dataset MugshotUsers(SpillBenchUserType) primary key id;
+create dataset MugshotMessages(SpillBenchMsgType) primary key message-id;`
+
+// SpillBenchQueries are one workload per spillable blocking operator.
+var SpillBenchQueries = []struct {
+	Name  string
+	Query string
+}{
+	{"scan-join", `
+for $u in dataset MugshotUsers
+for $m in dataset MugshotMessages
+where $m.author-id = $u.id
+return { "u": $u.id, "m": $m.message-id };`},
+	{"sort", `
+for $m in dataset MugshotMessages
+order by $m.message, $m.message-id
+return $m.message-id;`},
+	{"group-by", `
+for $m in dataset MugshotMessages
+group by $a := $m.author-id with $m
+return { "a": $a, "n": count($m) };`},
+}
+
+// SpillTrajectoryRow is one measurement in BENCH_spill.json.
+type SpillTrajectoryRow struct {
+	Workload          string `json:"workload"`
+	BudgetBytes       int64  `json:"budget_bytes"`
+	NsPerOp           int64  `json:"ns_per_op"`
+	FrameSize         int    `json:"frame_size"`
+	RunsCreated       int    `json:"runs_created"`
+	TuplesSpilled     int64  `json:"tuples_spilled"`
+	BytesSpilled      int64  `json:"bytes_spilled"`
+	PeakResidentBytes int64  `json:"peak_resident_bytes"`
+	Rows              int    `json:"rows"`
+}
+
+// NewSpillRow assembles one trajectory row from a measured latency and the
+// executed job's spill counters (spill is nil for unconstrained jobs), so
+// both BENCH_spill.json writers fill the stats fields identically.
+func NewSpillRow(name string, budgetBytes, nsPerOp int64, frameSize, resultRows int, spill *runfile.Manager) SpillTrajectoryRow {
+	row := SpillTrajectoryRow{
+		Workload:    name,
+		BudgetBytes: budgetBytes,
+		NsPerOp:     nsPerOp,
+		FrameSize:   frameSize,
+		Rows:        resultRows,
+	}
+	if spill != nil {
+		st := spill.Stats()
+		row.RunsCreated = st.RunsCreated
+		row.TuplesSpilled = st.TuplesSpilled
+		row.BytesSpilled = st.BytesSpilled
+		row.PeakResidentBytes = st.PeakResident
+	}
+	return row
+}

@@ -247,7 +247,7 @@ func (in *Instance) queryCursor(ctx context.Context, e aql.Expr, opts algebra.Op
 			}
 			return batchCursor(ctx, values), nil
 		}
-		if job, err := translator.BuildJob(plan, in, in.cfg.Partitions); err == nil {
+		if job, err := translator.BuildJob(plan, in, in.jobOptions()); err == nil {
 			fc, err := hyracks.ExecuteStream(ctx, job)
 			if err != nil {
 				return nil, err
