@@ -87,6 +87,12 @@ type Config struct {
 	// interpreter is the reference semantics; differential tests run every
 	// query through both paths.
 	UseInterpreter bool
+	// DisableFusion turns off the job-build-time operator fusion pass that
+	// collapses one-to-one pipelined operator chains into a single fused
+	// operator per partition. Fusion is on by default; differential tests and
+	// the read-path benchmarks use this knob to compare fused and unfused
+	// execution of the same plans.
+	DisableFusion bool
 }
 
 // Instance is one AsterixDB node-group: a Cluster Controller front-end plus
@@ -251,9 +257,10 @@ func (in *Instance) QueryWithOptions(src string, opts algebra.Options) ([]adm.Va
 // DataDir, so run files live next to the data they spill).
 func (in *Instance) jobOptions() translator.JobOptions {
 	return translator.JobOptions{
-		Partitions:   in.cfg.Partitions,
-		MemoryBudget: in.cfg.MemoryBudget,
-		SpillDir:     in.SpillDir(),
+		Partitions:    in.cfg.Partitions,
+		MemoryBudget:  in.cfg.MemoryBudget,
+		SpillDir:      in.SpillDir(),
+		DisableFusion: in.cfg.DisableFusion,
 	}
 }
 

@@ -14,11 +14,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"time"
 
 	"asterixdb"
@@ -30,12 +32,14 @@ import (
 )
 
 var (
-	tableFlag  = flag.Int("table", 0, "table number to regenerate (2, 3 or 4)")
-	figureFlag = flag.Int("figure", 0, "figure number to regenerate (6)")
-	spillFlag  = flag.Bool("spill", false, "benchmark scan-join/sort/group-by under memory budgets (writes BENCH_spill.json)")
-	allFlag    = flag.Bool("all", false, "regenerate every table and figure")
-	usersFlag  = flag.Int("users", 1000, "number of synthetic users")
-	msgsFlag   = flag.Int("messages", 5000, "number of synthetic messages")
+	tableFlag    = flag.Int("table", 0, "table number to regenerate (2, 3 or 4)")
+	figureFlag   = flag.Int("figure", 0, "figure number to regenerate (6)")
+	spillFlag    = flag.Bool("spill", false, "benchmark scan-join/sort/group-by under memory budgets (writes BENCH_spill.json)")
+	readpathFlag = flag.Bool("readpath", false, "benchmark scan throughput / first-row latency / fusion (writes BENCH_readpath.json)")
+	readpathMax  = flag.Int("readpath-max", 1_000_000, "largest dataset size the -readpath sweep builds")
+	allFlag      = flag.Bool("all", false, "regenerate every table and figure")
+	usersFlag    = flag.Int("users", 1000, "number of synthetic users")
+	msgsFlag     = flag.Int("messages", 5000, "number of synthetic messages")
 )
 
 type bench struct {
@@ -55,7 +59,7 @@ type bench struct {
 
 func main() {
 	flag.Parse()
-	if !*allFlag && *tableFlag == 0 && *figureFlag == 0 && !*spillFlag {
+	if !*allFlag && *tableFlag == 0 && *figureFlag == 0 && !*spillFlag && !*readpathFlag {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +79,9 @@ func main() {
 	}
 	if *allFlag || *spillFlag {
 		b.spillTable()
+	}
+	if *allFlag || *readpathFlag {
+		b.readpathTable()
 	}
 }
 
@@ -424,4 +431,147 @@ func (b *bench) spillTable() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nwrote BENCH_spill.json")
+}
+
+// readpathTable benchmarks the streaming read path: full-scan throughput
+// across dataset sizes (per-record time must stay flat — the resumable LSM
+// iterator removed the per-chunk Range-restart cost), time-to-first-row on a
+// limit-over-scan, and the fused-vs-unfused latency of a pipelined chain.
+// Results print as a table and land in BENCH_readpath.json.
+func (b *bench) readpathTable() {
+	os.Unsetenv("ASTERIXDB_MEMORY_BUDGET")
+	fmt.Println("\n== Read path: iterator-based scans + operator fusion ==")
+	fmt.Printf("%-18s %12s %14s %14s\n", "workload", "records", "median", "per record")
+	var rows []workload.ReadPathRow
+
+	report := func(name string, records int, d time.Duration, resultRows int, perRecord bool) {
+		row := workload.ReadPathRow{Workload: name, Records: records, Ns: d.Nanoseconds(), Rows: resultRows}
+		per := ""
+		if perRecord {
+			row.NsPerRecord = float64(d.Nanoseconds()) / float64(records)
+			per = fmt.Sprintf("%.0f ns", row.NsPerRecord)
+		}
+		rows = append(rows, row)
+		fmt.Printf("%-18s %12d %14s %14s\n", name, records, d.Round(time.Microsecond), per)
+	}
+
+	// median runs fn reps times after one warmup and returns the median.
+	median := func(reps int, fn func() time.Duration) time.Duration {
+		fn() // warmup: page in components, settle the allocator
+		ds := make([]time.Duration, reps)
+		for i := range ds {
+			ds[i] = fn()
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		return ds[len(ds)/2]
+	}
+
+	mk := func(n int, disableFusion bool) *asterixdb.Instance {
+		dir, err := os.MkdirTemp("", "asterixbench-readpath")
+		if err != nil {
+			log.Fatal(err)
+		}
+		b.tmpDirs = append(b.tmpDirs, dir)
+		inst, err := asterixdb.Open(asterixdb.Config{DataDir: dir, Partitions: 4, DisableFusion: disableFusion})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := inst.Execute(workload.ReadPathDDL); err != nil {
+			log.Fatal(err)
+		}
+		ds, _ := inst.Dataset("Big")
+		const chunk = 10_000
+		for lo := 1; lo <= n; lo += chunk {
+			hi := lo + chunk - 1
+			if hi > n {
+				hi = n
+			}
+			recs := make([]*adm.Record, 0, hi-lo+1)
+			for i := lo; i <= hi; i++ {
+				recs = append(recs, adm.NewRecord(
+					adm.Field{Name: "id", Value: adm.Int32(int32(i))},
+					adm.Field{Name: "k", Value: adm.Int32(int32(i % 100))},
+				))
+			}
+			if err := ds.InsertBatch(recs); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return inst
+	}
+
+	drain := func(inst *asterixdb.Instance, query string) (time.Duration, int) {
+		start := time.Now()
+		cur, err := inst.QueryStream(context.Background(), query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := 0
+		for cur.Next() {
+			n++
+		}
+		if err := cur.Err(); err != nil {
+			log.Fatal(err)
+		}
+		cur.Close()
+		return time.Since(start), n
+	}
+
+	for _, n := range workload.ReadPathSizes {
+		if n > *readpathMax {
+			continue
+		}
+		inst := mk(n, false)
+		resultRows := 0
+		d := median(5, func() time.Duration {
+			dd, rr := drain(inst, workload.ReadPathScanQuery)
+			resultRows = rr
+			return dd
+		})
+		report("full-scan", n, d, resultRows, true)
+
+		d = median(5, func() time.Duration {
+			start := time.Now()
+			cur, err := inst.QueryStream(context.Background(), workload.ReadPathFirstRowQuery)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !cur.Next() {
+				log.Fatal("no first row")
+			}
+			elapsed := time.Since(start)
+			cur.Close()
+			return elapsed
+		})
+		report("first-row", n, d, 1, false)
+
+		// Fused vs unfused pipeline at the middle size only: the comparison
+		// is per-tuple overhead, one size suffices.
+		if n == 100_000 {
+			unfused := mk(n, true)
+			for _, m := range []struct {
+				name string
+				inst *asterixdb.Instance
+			}{{"pipeline-fused", inst}, {"pipeline-unfused", unfused}} {
+				resultRows = 0
+				d := median(5, func() time.Duration {
+					dd, rr := drain(m.inst, workload.ReadPathPipelineQuery)
+					resultRows = rr
+					return dd
+				})
+				report(m.name, n, d, resultRows, true)
+			}
+			unfused.Close()
+		}
+		inst.Close()
+	}
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_readpath.json", append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwrote BENCH_readpath.json")
 }

@@ -68,16 +68,18 @@ func fuzzRecord(rng *rand.Rand, id int) *adm.Record {
 	)
 }
 
-// buildFuzzPair creates the Hyracks instance and the interpreter-oracle
-// instance over identical random data, applying the same interleaved inserts,
-// overwrites, deletes and an LSM flush to both. A non-zero memoryBudget
-// constrains the Hyracks instance's blocking operators (the oracle stays
-// unconstrained — the interpreter never spills), so the whole template suite
-// doubles as an out-of-core differential test.
-func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance, *Instance) {
+// buildFuzzPair creates the Hyracks instance, a fusion-disabled Hyracks
+// instance, and the interpreter-oracle instance over identical random data,
+// applying the same interleaved inserts, overwrites, deletes and an LSM flush
+// to all three. A non-zero memoryBudget constrains the Hyracks instances'
+// blocking operators (the oracle stays unconstrained — the interpreter never
+// spills), so the whole template suite doubles as an out-of-core differential
+// test; the no-fusion instance makes it a fused-vs-unfused differential test
+// as well.
+func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance, *Instance, *Instance) {
 	t.Helper()
 	clock := temporal.FixedClock{T: time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)}
-	mk := func(useInterpreter bool) *Instance {
+	mk := func(useInterpreter, disableFusion bool) *Instance {
 		budget := memoryBudget
 		if useInterpreter {
 			budget = 0
@@ -88,6 +90,7 @@ func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance,
 			Clock:          clock,
 			UseInterpreter: useInterpreter,
 			MemoryBudget:   budget,
+			DisableFusion:  disableFusion,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -98,7 +101,7 @@ func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance,
 		}
 		return inst
 	}
-	hy, oracle := mk(false), mk(true)
+	hy, hyNoFuse, oracle := mk(false, false), mk(false, true), mk(true, false)
 
 	nA, nB := 40+rng.Intn(60), 20+rng.Intn(40)
 	var batchA, batchB []*adm.Record
@@ -118,7 +121,7 @@ func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance,
 	for i := 0; i < 6; i++ {
 		deletes = append(deletes, int32(1+rng.Intn(nA)))
 	}
-	for _, inst := range []*Instance{hy, oracle} {
+	for _, inst := range []*Instance{hy, hyNoFuse, oracle} {
 		dsA, _ := inst.Dataset("FuzzA")
 		dsB, _ := inst.Dataset("FuzzB")
 		if err := dsA.InsertBatch(batchA); err != nil {
@@ -139,7 +142,7 @@ func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance,
 			}
 		}
 	}
-	return hy, oracle
+	return hy, hyNoFuse, oracle
 }
 
 // fuzzQueries draws one query per template, parameterized by the rng. Ordered
@@ -205,7 +208,7 @@ func runDifferentialFuzz(t *testing.T, seed int64) {
 // spill mid-template and must still match the unconstrained oracle.
 func runDifferentialFuzzBudget(t *testing.T, seed, memoryBudget int64) {
 	rng := rand.New(rand.NewSource(seed))
-	hy, oracle := buildFuzzPair(t, rng, memoryBudget)
+	hy, hyNoFuse, oracle := buildFuzzPair(t, rng, memoryBudget)
 	for _, q := range fuzzQueries(rng) {
 		if _, _, err := hy.CompileJob(q.query); err != nil {
 			t.Errorf("seed %d %s: BuildJob failed (would fall back to the interpreter): %v", seed, q.name, err)
@@ -224,6 +227,12 @@ func runDifferentialFuzzBudget(t *testing.T, seed, memoryBudget int64) {
 			sameResults(t, fmt.Sprintf("seed %d %s/%s", seed, q.name, os.name), hyRes, orRes, q.ordered)
 			perOption[os.name] = hyRes
 		}
+		// Fused-vs-unfused parity: the fusion pass must be purely structural.
+		noFuseRes, err := hyNoFuse.Query(q.query)
+		if err != nil {
+			t.Fatalf("seed %d %s (fusion disabled): %v", seed, q.name, err)
+		}
+		sameResults(t, fmt.Sprintf("seed %d %s fused-vs-unfused", seed, q.name), perOption["default"], noFuseRes, q.ordered)
 		// Index-vs-scan cross-check: the access-path rewrite must not change
 		// results. This catches an unsound rewrite (candidate set not a
 		// superset) that compiled-vs-interpreter parity alone would miss,

@@ -338,9 +338,11 @@ func TestEveryDifferentialQueryCompilesToAJob(t *testing.T) {
 }
 
 // findOp returns the parallelism of the first job operator whose name starts
-// with the given prefix, or -1 when no such operator exists.
+// with the given prefix, or -1 when no such operator exists. Operators fused
+// into a chain are found through the chain (a fused stage runs at the chain's
+// parallelism).
 func findOp(job *hyracks.Job, prefix string) int {
-	for _, op := range job.Operators {
+	for _, op := range job.FlatOperators() {
 		if strings.HasPrefix(op.Name(), prefix) {
 			return op.Parallelism()
 		}

@@ -1,0 +1,204 @@
+package asterixdb
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"asterixdb/internal/hyracks"
+)
+
+// This file covers the fold-as-you-go group-by aggregates: a group-by whose
+// with-variables are consumed only by count/sum/avg/min/max calls compiles
+// to an incremental HashGroupOp (no bag materialization, no spilling under a
+// budget), semantics match the interpreter oracle exactly — including the
+// null-poisoning AQL variants and the unknown-skipping sql- variants — and a
+// cardinality-of-groups overload spills accumulators, not rows.
+
+const foldDDL = `
+create type FoldT as closed { id: int32, cat: int32, score: int32, val: int32?, name: string };
+create dataset FoldD(FoldT) primary key id;
+`
+
+func newFoldInstance(t *testing.T, budget int64, rows int, interpreter bool) *Instance {
+	t.Helper()
+	inst, err := Open(Config{
+		DataDir:        t.TempDir(),
+		Partitions:     3,
+		MemoryBudget:   budget,
+		UseInterpreter: interpreter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inst.Close() })
+	if _, err := inst.Execute(foldDDL); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("insert into dataset FoldD ([")
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		// Every 7th row omits the optional val field (MISSING inside the
+		// aggregates); names cycle so min/max over strings are non-trivial.
+		if i%7 == 0 {
+			fmt.Fprintf(&sb, `{"id": %d, "cat": %d, "score": %d, "name": "n%02d"}`, i, i%5, i%97, i%23)
+		} else {
+			fmt.Fprintf(&sb, `{"id": %d, "cat": %d, "score": %d, "val": %d, "name": "n%02d"}`, i, i%5, i%97, i%13, i%23)
+		}
+	}
+	sb.WriteString("]);")
+	if _, err := inst.Execute(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+// findHashGroup returns the job's HashGroupOp (group-bys never fuse — they
+// block).
+func findHashGroup(job *hyracks.Job) *hyracks.HashGroupOp {
+	for _, op := range job.Operators {
+		if g, ok := op.(*hyracks.HashGroupOp); ok {
+			return g
+		}
+	}
+	return nil
+}
+
+// TestGroupByIncrementalFold checks the plumbing: an aggregate-only group-by
+// compiles to the incremental operator and completes a tight budget without
+// creating a single run file, while a bag-using group-by keeps the
+// materializing path.
+func TestGroupByIncrementalFold(t *testing.T) {
+	t.Setenv("ASTERIXDB_MEMORY_BUDGET", "")
+	inst := newFoldInstance(t, 16<<10, 2000, false)
+	foldable := `for $r in dataset FoldD group by $c := $r.cat with $r
+return { "c": $c, "n": count($r) };`
+	job, _, err := inst.CompileJob(foldable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := findHashGroup(job)
+	if g == nil {
+		t.Fatalf("no hash group operator:\n%s", job.Describe())
+	}
+	if g.Aggs == nil {
+		t.Fatalf("aggregate-only group-by did not fold (Aggs nil)")
+	}
+	got, err := inst.runJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %d groups, want 5", len(got))
+	}
+	if st := job.Spill.Stats(); st.RunsCreated != 0 {
+		t.Errorf("folded group-by spilled: %+v (2000 rows in 5 groups must fit a 16KiB budget as accumulators)", st)
+	}
+
+	// A bag use (iterating $r) must disable folding.
+	bagged := `for $r in dataset FoldD group by $c := $r.cat with $r
+return { "c": $c, "ids": (for $x in $r return $x.id) };`
+	job2, _, err := inst.CompileJob(bagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := findHashGroup(job2)
+	if g2 == nil {
+		t.Fatalf("no hash group operator:\n%s", job2.Describe())
+	}
+	if g2.Aggs != nil {
+		t.Fatal("bag-using group-by folded; its bag would be missing")
+	}
+}
+
+// TestGroupByIncrementalSemantics runs every foldable aggregate — including
+// the null-poisoning AQL forms over a field with MISSING values, the
+// unknown-skipping sql- forms, and string min/max — against the interpreter
+// oracle.
+func TestGroupByIncrementalSemantics(t *testing.T) {
+	t.Setenv("ASTERIXDB_MEMORY_BUDGET", "")
+	inst := newFoldInstance(t, 0, 500, false)
+	oracle := newFoldInstance(t, 0, 500, true)
+	queries := []struct {
+		name  string
+		query string
+	}{
+		{"count", `for $r in dataset FoldD group by $c := $r.cat with $r return { "c": $c, "n": count($r) };`},
+		{"sum-score", `for $r in dataset FoldD let $s := $r.score group by $c := $r.cat with $s return { "c": $c, "t": sum($s) };`},
+		{"avg-score", `for $r in dataset FoldD let $s := $r.score group by $c := $r.cat with $s return { "c": $c, "a": avg($s) };`},
+		// val is MISSING on every 7th row: AQL sum/avg/min/max go null,
+		// sql- variants skip the unknowns.
+		{"sum-missing", `for $r in dataset FoldD let $v := $r.val group by $c := $r.cat with $v return { "c": $c, "t": sum($v) };`},
+		{"sql-sum-missing", `for $r in dataset FoldD let $v := $r.val group by $c := $r.cat with $v return { "c": $c, "t": sql-sum($v) };`},
+		{"sql-avg-missing", `for $r in dataset FoldD let $v := $r.val group by $c := $r.cat with $v return { "c": $c, "a": sql-avg($v) };`},
+		{"min-max-string", `for $r in dataset FoldD let $n := $r.name group by $c := $r.cat with $n return { "c": $c, "lo": min($n), "hi": max($n) };`},
+		{"sql-min-missing", `for $r in dataset FoldD let $v := $r.val group by $c := $r.cat with $v return { "c": $c, "m": sql-min($v) };`},
+		{"multi-agg", `for $r in dataset FoldD let $s := $r.score group by $c := $r.cat with $r, $s
+return { "c": $c, "n": count($r), "t": sum($s), "hi": max($s) };`},
+		{"agg-in-order-by", `for $r in dataset FoldD group by $c := $r.cat with $r order by count($r) desc, $c return { "c": $c, "n": count($r) };`},
+		{"agg-in-where-above-group", `for $r in dataset FoldD group by $c := $r.cat with $r let $n := count($r) where $n > 300 return { "c": $c, "n": $n };`},
+	}
+	for _, q := range queries {
+		// Every one of these must fold.
+		job, _, err := inst.CompileJob(q.query)
+		if err != nil {
+			t.Fatalf("%s: %v", q.name, err)
+		}
+		if g := findHashGroup(job); g == nil || g.Aggs == nil {
+			t.Errorf("%s: query did not fold:\n%s", q.name, job.Describe())
+		}
+		got, err := inst.Query(q.query)
+		if err != nil {
+			t.Fatalf("%s (compiled): %v", q.name, err)
+		}
+		want, err := oracle.Query(q.query)
+		if err != nil {
+			t.Fatalf("%s (interpreter): %v", q.name, err)
+		}
+		sameResults(t, "fold/"+q.name, got, want, strings.Contains(q.query, "order by"))
+	}
+}
+
+// TestGroupByIncrementalSpillManyGroups drives the accumulator spill path:
+// grouping on a high-cardinality key under a tiny budget must spill (runs
+// are created), bound resident memory, release every file, and still match
+// the unconstrained result.
+func TestGroupByIncrementalSpillManyGroups(t *testing.T) {
+	t.Setenv("ASTERIXDB_MEMORY_BUDGET", "")
+	const budget = 8 << 10
+	constrained := newFoldInstance(t, budget, 3000, false)
+	unconstrained := newFoldInstance(t, 0, 3000, false)
+	// group by id: 3000 singleton groups; accumulators alone exceed the
+	// budget share, so whole partitions of accumulators spill and merge.
+	query := `for $r in dataset FoldD group by $k := $r.id with $r
+return { "k": $k, "n": count($r) };`
+	job, _, err := constrained.CompileJob(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := findHashGroup(job); g == nil || g.Aggs == nil {
+		t.Fatalf("query did not fold:\n%s", job.Describe())
+	}
+	got, err := constrained.runJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := job.Spill.Stats()
+	if st.RunsCreated == 0 {
+		t.Fatalf("3000 accumulator groups under an %d-byte budget did not spill: %+v", budget, st)
+	}
+	if slack := int64(8 << 10); st.PeakResident > budget+slack {
+		t.Errorf("peak resident %d exceeds budget %d (+%d slack)", st.PeakResident, budget, slack)
+	}
+	if st.LiveRuns != 0 {
+		t.Errorf("%d run files live after success", st.LiveRuns)
+	}
+	want, err := unconstrained.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "incremental-spill", got, want, false)
+}

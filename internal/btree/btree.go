@@ -205,6 +205,61 @@ func (t *Tree) Range(lo, hi []byte, visit func(Entry) bool) {
 	}
 }
 
+// Cursor is a position inside the tree's leaf chain, the building block of
+// the LSM layer's resumable merge iterator. A cursor is valid only as long as
+// the tree is not mutated: Put and Delete may split or shrink leaves under
+// it. The LSM iterator detects mutation through the tree's sequence number
+// and re-seeks, so a stale cursor is never advanced.
+type Cursor struct {
+	n   *node
+	idx int
+}
+
+// Seek returns a cursor positioned at the first entry with key >= k (at the
+// first entry of the tree when k is nil). The cursor is invalid when no such
+// entry exists.
+func (t *Tree) Seek(k []byte) Cursor {
+	n := t.root
+	for !n.leaf {
+		if k == nil {
+			n = n.children[0]
+		} else {
+			n = n.children[childIndex(n.keys, k)]
+		}
+	}
+	idx := 0
+	if k != nil {
+		idx = sort.Search(len(n.keys), func(i int) bool { return bytes.Compare(n.keys[i], k) >= 0 })
+	}
+	c := Cursor{n: n, idx: idx}
+	c.skipEmpty()
+	return c
+}
+
+// skipEmpty moves the cursor off exhausted leaves (a leaf can be empty after
+// unbalanced deletes).
+func (c *Cursor) skipEmpty() {
+	for c.n != nil && c.idx >= len(c.n.keys) {
+		c.n = c.n.next
+		c.idx = 0
+	}
+}
+
+// Valid reports whether the cursor points at an entry.
+func (c *Cursor) Valid() bool { return c.n != nil }
+
+// Key returns the entry key under the cursor.
+func (c *Cursor) Key() []byte { return c.n.keys[c.idx] }
+
+// Value returns the entry value under the cursor.
+func (c *Cursor) Value() []byte { return c.n.values[c.idx] }
+
+// Next advances the cursor to the next entry in key order.
+func (c *Cursor) Next() {
+	c.idx++
+	c.skipEmpty()
+}
+
 // Min returns the smallest entry, or false when the tree is empty.
 func (t *Tree) Min() (Entry, bool) {
 	var out Entry

@@ -220,3 +220,43 @@ func BenchmarkGet(b *testing.B) {
 		tr.Get(key(i % n))
 	}
 }
+
+// TestCursor exercises the leaf-chain cursor: seek to existing and missing
+// keys, iterate to the end, and survive empty leaves left by deletes.
+func TestCursor(t *testing.T) {
+	tr := New()
+	for i := 0; i < 500; i += 2 { // even keys only
+		k := []byte(fmt.Sprintf("k%06d", i))
+		tr.Put(k, []byte(fmt.Sprintf("v%d", i)))
+	}
+	// Seek to an absent (odd) key lands on its even successor.
+	c := tr.Seek([]byte(fmt.Sprintf("k%06d", 101)))
+	if !c.Valid() || string(c.Key()) != fmt.Sprintf("k%06d", 102) {
+		t.Fatalf("seek landed on %q", c.Key())
+	}
+	// Full walk from the beginning is sorted and complete.
+	n := 0
+	var prev []byte
+	for c = tr.Seek(nil); c.Valid(); c.Next() {
+		if prev != nil && bytes.Compare(c.Key(), prev) <= 0 {
+			t.Fatalf("keys out of order: %q after %q", c.Key(), prev)
+		}
+		prev = append(prev[:0], c.Key()...)
+		n++
+	}
+	if n != 250 {
+		t.Fatalf("cursor visited %d entries, want 250", n)
+	}
+	// Seek past the end is invalid.
+	if c := tr.Seek([]byte("z")); c.Valid() {
+		t.Fatalf("seek past end valid at %q", c.Key())
+	}
+	// Empty the first leaf's worth of keys; the cursor must skip the husk.
+	for i := 0; i < 128; i += 2 {
+		tr.Delete([]byte(fmt.Sprintf("k%06d", i)))
+	}
+	c = tr.Seek(nil)
+	if !c.Valid() || string(c.Key()) != fmt.Sprintf("k%06d", 128) {
+		t.Fatalf("cursor after deletes starts at %q", c.Key())
+	}
+}

@@ -1,0 +1,259 @@
+package hyracks
+
+import "strings"
+
+// This file implements one-to-one operator fusion: a job-build-time pass
+// that collapses maximal chains of non-blocking, same-parallelism operators
+// linked by port-0 OneToOne edges (datasource-scan -> select -> assign ->
+// distribute-result is the canonical shape) into a single FusedOp whose Run
+// composes the stage functions. Every fused edge saves one goroutine and one
+// frame-channel handoff per partition; a typical scan pipeline at
+// parallelism P collapses from 4P goroutines and 3P channel hops to P
+// goroutines and none. The pass runs in translator.BuildJob (unless fusion
+// is disabled), so the fused shape is visible in EXPLAIN output and tests
+// can assert exactly what fused.
+
+// PushStage is implemented by non-blocking operators that can run as one
+// stage of a fused pipeline: instead of pulling from an input channel, the
+// stage exposes a push function that processes one tuple at a time.
+type PushStage interface {
+	Operator
+	// Stage returns the push function for one instance, bound to its
+	// downstream emit. The returned function processes one input tuple
+	// (calling emit zero or more times) and reports whether the stage wants
+	// more input — false stops the upstream, exactly like emit returning
+	// false does between unfused operators (a satisfied limit, a closed
+	// cursor).
+	Stage(partition int, emit func(Tuple) bool) func(Tuple) (more bool, err error)
+}
+
+// Stage implements PushStage.
+func (o *SelectOp) Stage(_ int, emit func(Tuple) bool) func(Tuple) (bool, error) {
+	return func(t Tuple) (bool, error) {
+		ok, err := o.Pred(t)
+		if err != nil {
+			return false, err
+		}
+		if ok && !emit(t) {
+			return false, nil
+		}
+		return true, nil
+	}
+}
+
+// Stage implements PushStage.
+func (o *AssignOp) Stage(_ int, emit func(Tuple) bool) func(Tuple) (bool, error) {
+	return func(t Tuple) (bool, error) {
+		out, err := o.Fn(t)
+		if err != nil {
+			return false, err
+		}
+		if out != nil && !emit(out) {
+			return false, nil
+		}
+		return true, nil
+	}
+}
+
+// Stage implements PushStage.
+func (o *FlatMapOp) Stage(partition int, emit func(Tuple) bool) func(Tuple) (bool, error) {
+	stop := false
+	wrapped := func(t Tuple) bool {
+		if !emit(t) {
+			stop = true
+			return false
+		}
+		return true
+	}
+	return func(t Tuple) (bool, error) {
+		if err := o.Fn(partition, t, wrapped); err != nil {
+			return false, err
+		}
+		return !stop, nil
+	}
+}
+
+// Stage implements PushStage.
+func (o *LimitOp) Stage(_ int, emit func(Tuple) bool) func(Tuple) (bool, error) {
+	skipped, n := 0, 0
+	return func(t Tuple) (bool, error) {
+		if n >= o.N {
+			return false, nil
+		}
+		if skipped < o.Offset {
+			skipped++
+			return true, nil
+		}
+		if !emit(t) {
+			return false, nil
+		}
+		n++
+		return n < o.N, nil
+	}
+}
+
+// Stage implements PushStage.
+func (o *PassthroughOp) Stage(_ int, emit func(Tuple) bool) func(Tuple) (bool, error) {
+	return func(t Tuple) (bool, error) {
+		return emit(t), nil
+	}
+}
+
+// FusedOp is a maximal chain of one-to-one operators running as a single
+// operator: one goroutine per partition executes every stage back to back,
+// with no frames, channels or handoffs between them. Ops[0] may be a
+// SourceOp (the chain then has no input port); every other element
+// implements PushStage.
+type FusedOp struct {
+	Ops []Operator
+}
+
+// Name renders the chain so EXPLAIN shows exactly what fused.
+func (o *FusedOp) Name() string {
+	names := make([]string, len(o.Ops))
+	for i, op := range o.Ops {
+		names[i] = op.Name()
+	}
+	return "fused[" + strings.Join(names, " -> ") + "]"
+}
+
+// Parallelism implements Operator.
+func (o *FusedOp) Parallelism() int { return o.Ops[0].Parallelism() }
+
+// Blocking implements Operator (only non-blocking operators fuse).
+func (o *FusedOp) Blocking() bool { return false }
+
+// Run composes the chain's stage functions and drives them from the head:
+// the source's Produce when the head is a SourceOp, otherwise the instance's
+// input port. A stage error stops the pipeline and is reported exactly like
+// the unfused operator's Run returning it.
+func (o *FusedOp) Run(partition int, ins []*In, emit func(Tuple) bool) error {
+	var stageErr error
+	down := emit
+	start := 0
+	src, isSrc := o.Ops[0].(*SourceOp)
+	if isSrc {
+		start = 1
+	}
+	for i := len(o.Ops) - 1; i >= start; i-- {
+		st := o.Ops[i].(PushStage).Stage(partition, down)
+		down = func(t Tuple) bool {
+			more, err := st(t)
+			if err != nil {
+				if stageErr == nil {
+					stageErr = err
+				}
+				return false
+			}
+			return more
+		}
+	}
+	if isSrc {
+		if err := src.Produce(partition, down); err != nil && stageErr == nil {
+			stageErr = err
+		}
+		return stageErr
+	}
+	for {
+		t, ok := ins[0].Next()
+		if !ok {
+			return stageErr
+		}
+		if !down(t) {
+			return stageErr
+		}
+	}
+}
+
+// FlatOperators returns the job's operators with fused chains expanded: each
+// FusedOp appears followed by its component operators. Tooling and tests
+// that inspect post-fusion jobs share it instead of hand-unwrapping FusedOp.
+// (A fused component's own Parallelism equals its chain's — equal
+// parallelism is a fusion precondition.)
+func (j *Job) FlatOperators() []Operator {
+	out := make([]Operator, 0, len(j.Operators))
+	for _, op := range j.Operators {
+		out = append(out, op)
+		if fused, ok := op.(*FusedOp); ok {
+			out = append(out, fused.Ops...)
+		}
+	}
+	return out
+}
+
+// FuseJob rewrites a job with every fusable chain collapsed into a FusedOp.
+// An edge From -> To fuses when it is the producer's only output and the
+// consumer's only input (any port), it is a port-0 OneToOne connector, both
+// operators are non-blocking with equal parallelism, the consumer is a
+// PushStage, and the producer is a PushStage or a SourceOp. The input job is
+// not modified; if nothing fuses it is returned unchanged.
+func FuseJob(job *Job) *Job {
+	n := len(job.Operators)
+	inCount := make([]int, n)
+	outCount := make([]int, n)
+	for _, e := range job.Edges {
+		inCount[e.To]++
+		outCount[e.From]++
+	}
+	next := make([]int, n)
+	prev := make([]int, n)
+	for i := range next {
+		next[i], prev[i] = -1, -1
+	}
+	fused := 0
+	for _, e := range job.Edges {
+		if e.Port != 0 || e.Connector.Kind != OneToOne {
+			continue
+		}
+		if outCount[e.From] != 1 || inCount[e.To] != 1 {
+			continue
+		}
+		from, to := job.Operators[e.From], job.Operators[e.To]
+		if from.Blocking() || to.Blocking() || from.Parallelism() != to.Parallelism() {
+			continue
+		}
+		if _, ok := to.(PushStage); !ok {
+			continue
+		}
+		switch from.(type) {
+		case *SourceOp, PushStage:
+		default:
+			continue
+		}
+		next[e.From], prev[e.To] = e.To, e.From
+		fused++
+	}
+	if fused == 0 {
+		return job
+	}
+
+	out := &Job{FrameSize: job.FrameSize, Spill: job.Spill}
+	mapped := make([]int, n)
+	for i := range mapped {
+		mapped[i] = -1
+	}
+	for i, op := range job.Operators {
+		if prev[i] != -1 {
+			continue // interior or tail: emitted with its chain head
+		}
+		if next[i] == -1 {
+			mapped[i] = out.Add(op)
+			continue
+		}
+		var chain []Operator
+		for j := i; j != -1; j = next[j] {
+			chain = append(chain, job.Operators[j])
+		}
+		idx := out.Add(&FusedOp{Ops: chain})
+		for j := i; j != -1; j = next[j] {
+			mapped[j] = idx
+		}
+	}
+	for _, e := range job.Edges {
+		if next[e.From] == e.To {
+			continue // internal to a chain
+		}
+		out.ConnectPort(mapped[e.From], mapped[e.To], e.Port, e.Connector)
+	}
+	return out
+}

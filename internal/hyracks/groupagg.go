@@ -1,0 +1,473 @@
+package hyracks
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/runfile"
+)
+
+// This file implements fold-as-you-go aggregation for HashGroupOp: when the
+// translator proves every consumer of a group-by's with-variables is an
+// aggregate call (count/sum/avg/min/max, plain or sql-), the operator keeps
+// one small accumulator per (group, aggregate) instead of materializing the
+// group's row bag. Memory per group drops from O(rows) to O(1), and the
+// spill path writes accumulator tuples — merged on reload — rather than raw
+// rows. Row bags are materialized only when a with-variable is genuinely
+// used as a bag.
+
+// GroupAgg describes one incremental aggregate computed by a HashGroupOp
+// running in fold-as-you-go mode.
+type GroupAgg struct {
+	// Func is the aggregate: count, sum, avg, min or max, optionally with
+	// the "sql-" prefix for unknown-skipping semantics. Semantics mirror the
+	// expression evaluator's builtin aggregates exactly (the differential
+	// oracle evaluates those over the materialized bag).
+	Func string
+	// Col is the input tuple column the aggregate folds.
+	Col int
+}
+
+// aggAccum is the running state of one aggregate in one group. One struct
+// covers all five functions: count uses n; sum/avg use sum, n and bad;
+// min/max use best and bad (best == nil means no comparable item yet).
+type aggAccum struct {
+	n    int64
+	sum  float64
+	best adm.Value
+	bad  bool
+}
+
+// accumCols is the number of tuple columns one accumulator serializes to in
+// a spilled accumulator run: {n, sum, best (nil when absent), bad}.
+const accumCols = 4
+
+// accumMemSize is the budget-accounting estimate for one accumulator's
+// fixed part; a retained min/max value is accounted separately as it is
+// (re)assigned.
+const accumMemSize = 48
+
+// aggFn is a GroupAgg.Func parsed once per operator run, so the per-row
+// fold does not re-scan the function string.
+type aggFn struct {
+	base string // count, sum, avg, min, max
+	sql  bool   // sql- prefix: skip unknowns instead of poisoning
+}
+
+func parseAggFn(fn string) aggFn {
+	return aggFn{base: strings.TrimPrefix(fn, "sql-"), sql: strings.HasPrefix(fn, "sql-")}
+}
+
+func parseAggFns(aggs []GroupAgg) []aggFn {
+	fns := make([]aggFn, len(aggs))
+	for i, ag := range aggs {
+		fns[i] = parseAggFn(ag.Func)
+	}
+	return fns
+}
+
+// bestDelta is the budget-accounting change from replacing an accumulator's
+// retained value.
+func bestDelta(old, new adm.Value) int64 {
+	var d int64
+	if new != nil {
+		d += runfile.ValueMemSize(new)
+	}
+	if old != nil {
+		d -= runfile.ValueMemSize(old)
+	}
+	return d
+}
+
+// fold updates the accumulator with one input value, mirroring the builtin
+// aggregates' one-pass semantics. The returned delta is the change in
+// resident bytes from any value the accumulator newly retains (min/max keep
+// their best value alive).
+func (a *aggAccum) fold(fn aggFn, v adm.Value) int64 {
+	if fn.base == "count" {
+		a.n++ // count counts every item, unknowns included
+		return 0
+	}
+	if a.bad {
+		return 0
+	}
+	if v == nil || adm.IsUnknown(v) {
+		if !fn.sql {
+			a.bad = true // AQL semantics: an unknown item poisons the result
+		}
+		return 0
+	}
+	switch fn.base {
+	case "sum", "avg":
+		d, ok := adm.NumericAsDouble(v)
+		if !ok {
+			a.bad = true
+			return 0
+		}
+		a.sum += d
+		a.n++
+	case "min", "max":
+		if a.best == nil {
+			a.best = v
+			return bestDelta(nil, v)
+		}
+		c, err := adm.Compare(v, a.best)
+		if err != nil {
+			a.bad = true
+			return 0
+		}
+		if (fn.base == "max" && c > 0) || (fn.base == "min" && c < 0) {
+			old := a.best
+			a.best = v
+			return bestDelta(old, v)
+		}
+	}
+	return 0
+}
+
+// merge combines another accumulator of the same aggregate into a (used when
+// a spilled partition's accumulator runs reload), returning the resident-
+// byte delta like fold.
+func (a *aggAccum) merge(fn aggFn, b *aggAccum) int64 {
+	if fn.base == "count" {
+		a.n += b.n
+		return 0
+	}
+	if b.bad {
+		a.bad = true
+	}
+	if a.bad {
+		return 0
+	}
+	switch fn.base {
+	case "sum", "avg":
+		a.sum += b.sum
+		a.n += b.n
+	case "min", "max":
+		if b.best == nil {
+			return 0
+		}
+		if a.best == nil {
+			a.best = b.best
+			return bestDelta(nil, b.best)
+		}
+		c, err := adm.Compare(b.best, a.best)
+		if err != nil {
+			a.bad = true
+			return 0
+		}
+		if (fn.base == "max" && c > 0) || (fn.base == "min" && c < 0) {
+			old := a.best
+			a.best = b.best
+			return bestDelta(old, b.best)
+		}
+	}
+	return 0
+}
+
+// finish produces the aggregate's final value.
+func (a *aggAccum) finish(fn aggFn) adm.Value {
+	switch fn.base {
+	case "count":
+		return adm.Int64(a.n)
+	case "sum":
+		if a.bad || a.n == 0 {
+			return adm.Null{}
+		}
+		return adm.Double(a.sum)
+	case "avg":
+		if a.bad || a.n == 0 {
+			return adm.Null{}
+		}
+		return adm.Double(a.sum / float64(a.n))
+	case "min", "max":
+		if a.bad || a.best == nil {
+			return adm.Null{}
+		}
+		return a.best
+	}
+	return adm.Null{}
+}
+
+// encode appends the accumulator's serialized columns to a tuple.
+func (a *aggAccum) encode(t Tuple) Tuple {
+	return append(t, adm.Int64(a.n), adm.Double(a.sum), a.best, adm.Boolean(a.bad))
+}
+
+// decodeAccum reads one accumulator back from its serialized columns.
+func decodeAccum(cols []adm.Value) (aggAccum, error) {
+	if len(cols) < accumCols {
+		return aggAccum{}, fmt.Errorf("hyracks: truncated accumulator tuple")
+	}
+	n, ok1 := cols[0].(adm.Int64)
+	sum, ok2 := cols[1].(adm.Double)
+	bad, ok3 := cols[3].(adm.Boolean)
+	if !ok1 || !ok2 || !ok3 {
+		return aggAccum{}, fmt.Errorf("hyracks: malformed accumulator tuple")
+	}
+	return aggAccum{n: int64(n), sum: float64(sum), best: cols[2], bad: bool(bad)}, nil
+}
+
+// aggGroup is one group's key and accumulators.
+type aggGroup struct {
+	key  Tuple
+	accs []aggAccum
+}
+
+// aggPartition is one intra-instance hash partition of the incremental group
+// table: resident groups until chosen as a spill victim, an accumulator run
+// file after.
+type aggPartition struct {
+	groups map[string]*aggGroup
+	order  []string
+	bytes  int64
+	w      *runfile.Writer
+}
+
+// runIncremental is HashGroupOp's fold-as-you-go path, entered when Aggs is
+// set. Input rows fold directly into per-group accumulators; under memory
+// pressure (many distinct groups) the largest partition's accumulators spill
+// as (key, state) tuples and are merged on reload, recursively repartitioned
+// at the next level-salted hash if a partition alone still exceeds the
+// budget. No input row is ever materialized.
+func (o *HashGroupOp) runIncremental(ins []*In, emit func(Tuple) bool) error {
+	var mem *runfile.Instance
+	if o.Spill != nil {
+		mem = o.Spill.NewInstance()
+		defer mem.Close()
+	}
+	next := func() (Tuple, bool, error) {
+		t, more := ins[0].Next()
+		return t, more, nil
+	}
+	err := o.aggStream(mem, 0, next, false, emit)
+	if err == errStopDemand {
+		return nil
+	}
+	return err
+}
+
+// spillContribution routes one stream tuple into an already-spilled
+// partition's run: accumulator tuples pass through unchanged, raw rows fold
+// into a one-row accumulator tuple first (merged with the rest on reload).
+func (o *HashGroupOp) spillContribution(w *runfile.Writer, t Tuple, nk int, fns []aggFn, fromAcc bool) error {
+	out := make(Tuple, 0, nk+len(o.Aggs)*accumCols)
+	if fromAcc {
+		out = append(out, t...)
+	} else {
+		for _, col := range o.KeyColumns {
+			out = append(out, t[col])
+		}
+		for i, ag := range o.Aggs {
+			var acc aggAccum
+			acc.fold(fns[i], t[ag.Col])
+			out = acc.encode(out)
+		}
+	}
+	return w.Write(out)
+}
+
+// aggStream consumes a stream of either raw input rows (fromAcc false; keys
+// at o.KeyColumns, aggregates folded from their Col) or reloaded accumulator
+// tuples (fromAcc true; keys at columns [0, nk), accumulators merged from
+// the trailing columns).
+func (o *HashGroupOp) aggStream(mem *runfile.Instance, level int, next func() (Tuple, bool, error), fromAcc bool, emit func(Tuple) bool) error {
+	nk := len(o.KeyColumns)
+	fns := parseAggFns(o.Aggs)
+	parts := make([]*aggPartition, spillFanout)
+	for i := range parts {
+		parts[i] = &aggPartition{groups: map[string]*aggGroup{}}
+	}
+	defer func() {
+		for _, pt := range parts {
+			if pt.w != nil {
+				pt.w.Abort()
+			}
+		}
+	}()
+	atCap := level >= spillMaxLevel
+
+	spillVictim := func() (bool, error) {
+		vi := -1
+		for i, pt := range parts {
+			if pt.w == nil && len(pt.order) > 0 && (vi < 0 || pt.bytes > parts[vi].bytes) {
+				vi = i
+			}
+		}
+		if vi < 0 {
+			return false, nil
+		}
+		pt := parts[vi]
+		w, err := o.Spill.M.NewRun()
+		if err != nil {
+			return false, err
+		}
+		for _, ks := range pt.order {
+			g := pt.groups[ks]
+			t := make(Tuple, 0, nk+len(o.Aggs)*accumCols)
+			t = append(t, g.key...)
+			for i := range g.accs {
+				t = g.accs[i].encode(t)
+			}
+			if err := w.Write(t); err != nil {
+				w.Abort()
+				return false, err
+			}
+		}
+		pt.w = w
+		mem.Release(pt.bytes)
+		pt.groups, pt.order, pt.bytes = nil, nil, 0
+		return true, nil
+	}
+
+	var scratch []byte
+	for {
+		t, more, err := next()
+		if err != nil {
+			return err
+		}
+		if !more {
+			break
+		}
+		// Key columns: the operator's KeyColumns for raw rows, the leading
+		// columns for reloaded accumulator tuples.
+		scratch = scratch[:0]
+		var key Tuple
+		if fromAcc {
+			key = t[:nk]
+			for _, v := range key {
+				scratch = adm.EncodeKey(scratch, v)
+			}
+		} else {
+			for _, col := range o.KeyColumns {
+				scratch = adm.EncodeKey(scratch, t[col])
+			}
+		}
+		pt := parts[spillHash(level, scratch)]
+		if pt.w != nil {
+			if err := o.spillContribution(pt.w, t, nk, fns, fromAcc); err != nil {
+				return err
+			}
+			continue
+		}
+		ks := string(scratch)
+		g := pt.groups[ks]
+		if g == nil {
+			sz := int64(64+len(ks)) + int64(len(o.Aggs))*accumMemSize
+			if mem != nil && !atCap {
+				for !mem.Fits(sz) && pt.w == nil {
+					ok, err := spillVictim()
+					if err != nil {
+						return err
+					}
+					if !ok {
+						break
+					}
+				}
+				if pt.w != nil {
+					// This partition just became the victim; re-route the
+					// tuple to its run.
+					if err := o.spillContribution(pt.w, t, nk, fns, fromAcc); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			key2 := make(Tuple, nk)
+			if fromAcc {
+				copy(key2, t[:nk])
+			} else {
+				for i, col := range o.KeyColumns {
+					key2[i] = t[col]
+				}
+			}
+			g = &aggGroup{key: key2, accs: make([]aggAccum, len(o.Aggs))}
+			pt.groups[ks] = g
+			pt.order = append(pt.order, ks)
+			if mem != nil {
+				mem.Add(sz)
+			}
+			pt.bytes += sz
+		}
+		// Fold or merge the contribution; retained min/max values change the
+		// group's resident footprint, so the deltas feed the accounting.
+		var delta int64
+		if fromAcc {
+			pos := nk
+			for i := range o.Aggs {
+				acc, err := decodeAccum(t[pos : pos+accumCols])
+				if err != nil {
+					return err
+				}
+				delta += g.accs[i].merge(fns[i], &acc)
+				pos += accumCols
+			}
+		} else {
+			for i, ag := range o.Aggs {
+				delta += g.accs[i].fold(fns[i], t[ag.Col])
+			}
+		}
+		if delta != 0 {
+			if mem != nil {
+				mem.Add(delta)
+			}
+			pt.bytes += delta
+		}
+	}
+
+	// Emit resident partitions first (releasing their memory), then merge
+	// the spilled partitions' accumulator runs with the freed budget.
+	for _, pt := range parts {
+		if pt.w != nil {
+			continue
+		}
+		for _, ks := range pt.order {
+			g := pt.groups[ks]
+			out := make(Tuple, 0, nk+len(o.Aggs))
+			out = append(out, g.key...)
+			for i := range o.Aggs {
+				out = append(out, g.accs[i].finish(fns[i]))
+			}
+			if !emit(out) {
+				return errStopDemand
+			}
+		}
+		if mem != nil {
+			mem.Release(pt.bytes)
+		}
+		pt.groups, pt.order, pt.bytes = nil, nil, 0
+	}
+	for _, pt := range parts {
+		if pt.w == nil {
+			continue
+		}
+		run, err := pt.w.Finish()
+		pt.w = nil
+		if err != nil {
+			return err
+		}
+		rd, err := run.Open()
+		if err != nil {
+			run.Release()
+			return err
+		}
+		err = o.aggStream(mem, level+1, func() (Tuple, bool, error) {
+			cols, err := rd.Next()
+			if err == io.EOF {
+				return nil, false, nil
+			}
+			if err != nil {
+				return nil, false, err
+			}
+			return Tuple(cols), true, nil
+		}, true, emit)
+		rd.Close()
+		run.Release()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -763,6 +763,12 @@ type AggregateOp struct {
 	// Fold receives every input tuple of the partition and returns the
 	// aggregate tuple to emit.
 	Fold func(rows []Tuple) (Tuple, error)
+	// Spill accounts the materialized partition input against the job
+	// budget. Fold needs the whole row set, so the buffer is registered (it
+	// shows in used/peak and squeezes the job's spillable operators under
+	// pressure) rather than spilled; restructuring Fold into a streaming
+	// fold so this buffer disappears is the recorded follow-up.
+	Spill *runfile.Budget
 }
 
 // Name implements Operator.
@@ -776,11 +782,19 @@ func (o *AggregateOp) Blocking() bool { return true }
 
 // Run implements Operator.
 func (o *AggregateOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
+	var mem *runfile.Instance
+	if o.Spill != nil {
+		mem = o.Spill.NewInstance()
+		defer mem.Close()
+	}
 	var rows []Tuple
 	for {
 		t, more := ins[0].Next()
 		if !more {
 			break
+		}
+		if mem != nil {
+			mem.Add(runfile.TupleMemSize(t))
 		}
 		rows = append(rows, t)
 	}
@@ -806,6 +820,13 @@ type HashGroupOp struct {
 	Partitions int
 	KeyColumns []int
 	Reduce     func(key Tuple, rows []Tuple) (Tuple, error)
+	// Aggs switches the operator to fold-as-you-go mode: instead of
+	// materializing each group's rows for Reduce, one accumulator per
+	// (group, aggregate) is folded incrementally and the output tuple is the
+	// key columns followed by one finished value per aggregate. The
+	// translator sets it when every consumer of the group's with-variables
+	// is a foldable aggregate call; Reduce is ignored when Aggs is set.
+	Aggs []GroupAgg
 	// Spill is the operator's share of the job memory budget; nil means
 	// unconstrained in-memory grouping.
 	Spill *runfile.Budget
@@ -822,6 +843,9 @@ func (o *HashGroupOp) Blocking() bool { return true }
 
 // Run implements Operator.
 func (o *HashGroupOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
+	if o.Aggs != nil {
+		return o.runIncremental(ins, emit)
+	}
 	if o.Spill != nil {
 		return o.runSpilling(ins, emit)
 	}

@@ -1,0 +1,270 @@
+package lsm
+
+import (
+	"bytes"
+
+	"asterixdb/internal/btree"
+)
+
+// This file implements the tree's streaming read path: a resumable merge
+// iterator over the in-memory component and the disk components. Before it
+// existed, Tree.Range re-copied the memtable range into a slice and re-binary-
+// searched every disk component on every call, so a chunked partition scan
+// (storage.ScanPartition re-enters Range once per chunk) paid O(N) setup per
+// chunk — O(N²/chunk) overall. An Iterator is positioned once and then
+// streams: Next is O(log #sources) per entry, and a tree-level mutation
+// sequence number lets an iterator that was paused across a lock release
+// detect staleness and re-seek to just after the last key it returned instead
+// of silently missing or double-visiting entries.
+
+// mergeSource is one sorted input of the iterator: the memtable cursor or a
+// disk component's entry slice. Sources are ranked by recency (0 = memtable,
+// then disk components newest first); among equal keys the lowest rank wins.
+type mergeSource struct {
+	rank int
+
+	// Disk component source: a window into the component's sorted entries.
+	entries []Entry
+	idx     int
+
+	// Memtable source (rank 0): a leaf-chain cursor.
+	mem    btree.Cursor
+	isMem  bool
+	memKey []byte // current decoded position, nil when exhausted
+	memVal []byte
+	memDel bool
+}
+
+// load refreshes the memtable source's decoded view of the cursor position.
+func (s *mergeSource) load() {
+	if !s.mem.Valid() {
+		s.memKey = nil
+		return
+	}
+	s.memKey = s.mem.Key()
+	s.memVal, s.memDel = decodeMemValue(s.mem.Value())
+}
+
+func (s *mergeSource) valid() bool {
+	if s.isMem {
+		return s.memKey != nil
+	}
+	return s.idx < len(s.entries)
+}
+
+func (s *mergeSource) key() []byte {
+	if s.isMem {
+		return s.memKey
+	}
+	return s.entries[s.idx].Key
+}
+
+func (s *mergeSource) value() ([]byte, bool) {
+	if s.isMem {
+		return s.memVal, s.memDel
+	}
+	e := &s.entries[s.idx]
+	return e.Value, e.Antimatter
+}
+
+func (s *mergeSource) next() {
+	if s.isMem {
+		s.mem.Next()
+		s.load()
+		return
+	}
+	s.idx++
+}
+
+// Iterator is a heap-merged cursor over a tree's components. It visits live
+// entries in key order, resolving duplicate keys by component recency and
+// suppressing antimatter. Callers must hold the same latch that serializes
+// the tree's mutations while calling Next (the storage layer's partition
+// latch); between Next calls the latch may be released — a mutation in the
+// gap bumps the tree's sequence number and the next Next re-seeks.
+type Iterator struct {
+	t   *Tree
+	seq uint64
+	lo  []byte // original lower bound: the re-seek floor before any entry is returned
+	hi  []byte
+
+	sources []*mergeSource
+	heap    []*mergeSource // min-heap by (key, rank)
+
+	key, value []byte
+	lastKey    []byte // copy of the last returned key, for staleness re-seek
+	returned   bool
+}
+
+// NewIterator returns an iterator over live entries with lo <= key <= hi
+// (either bound may be nil to leave that side open), positioned before the
+// first entry. The caller must hold the tree's latch.
+func (t *Tree) NewIterator(lo, hi []byte) *Iterator {
+	it := &Iterator{t: t, seq: t.seq}
+	if hi != nil {
+		it.hi = append([]byte(nil), hi...)
+	}
+	mem := &mergeSource{rank: 0, isMem: true}
+	it.sources = append(it.sources, mem)
+	for i := range t.disk {
+		it.sources = append(it.sources, &mergeSource{rank: i + 1})
+	}
+	if lo != nil {
+		it.lo = append([]byte(nil), lo...)
+	}
+	it.position(it.lo)
+	return it
+}
+
+// position seeks every source to the first key >= from and rebuilds the heap.
+// A nil from means the beginning. Sources are rebuilt from the tree's current
+// component list, so a re-seek after a flush or merge sees the new structure.
+func (it *Iterator) position(from []byte) {
+	t := it.t
+	// The component set may have changed since construction (flush, merge);
+	// resize the source list to match, keeping rank order.
+	sources := it.sources[:1]
+	sources[0].isMem = true
+	sources[0].rank = 0
+	for i, c := range t.disk {
+		var s *mergeSource
+		if i+1 < len(it.sources) {
+			s = it.sources[i+1]
+		} else {
+			s = &mergeSource{}
+		}
+		s.rank = i + 1
+		s.isMem = false
+		s.entries = c.slice(from, it.hi)
+		s.idx = 0
+		sources = append(sources, s)
+	}
+	it.sources = sources
+
+	mem := it.sources[0]
+	mem.mem = t.mem.Seek(from)
+	mem.load()
+	// The memtable cursor has no hi bound of its own; the bound is applied
+	// when entries surface in Next.
+
+	it.heap = it.heap[:0]
+	for _, s := range it.sources {
+		if s.valid() {
+			it.heapPush(s)
+		}
+	}
+	it.seq = t.seq
+}
+
+// less orders heap elements by (key, rank): the smallest key first, and among
+// equal keys the newest component.
+func (it *Iterator) less(a, b *mergeSource) bool {
+	c := bytes.Compare(a.key(), b.key())
+	if c != 0 {
+		return c < 0
+	}
+	return a.rank < b.rank
+}
+
+func (it *Iterator) heapPush(s *mergeSource) {
+	it.heap = append(it.heap, s)
+	i := len(it.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !it.less(it.heap[i], it.heap[parent]) {
+			break
+		}
+		it.heap[i], it.heap[parent] = it.heap[parent], it.heap[i]
+		i = parent
+	}
+}
+
+func (it *Iterator) heapPop() *mergeSource {
+	top := it.heap[0]
+	last := len(it.heap) - 1
+	it.heap[0] = it.heap[last]
+	it.heap = it.heap[:last]
+	it.siftDown(0)
+	return top
+}
+
+func (it *Iterator) siftDown(i int) {
+	n := len(it.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && it.less(it.heap[l], it.heap[min]) {
+			min = l
+		}
+		if r < n && it.less(it.heap[r], it.heap[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		it.heap[i], it.heap[min] = it.heap[min], it.heap[i]
+		i = min
+	}
+}
+
+// Next advances to the next live entry, reporting false at the end of the
+// range. If the tree was mutated since the previous call (the sequence number
+// moved), the iterator re-seeks to just after the last key it returned: an
+// entry inserted behind the cursor is not revisited, an entry inserted ahead
+// is picked up, and a deleted entry ahead is skipped — the same contract a
+// chunked Range-restart scan had, without its per-restart cost.
+func (it *Iterator) Next() bool {
+	if it.seq != it.t.seq {
+		// Re-seek floor: the original lo bound until the first entry has been
+		// returned, then the successor of the last returned key (the shortest
+		// key strictly greater than it).
+		from := it.lo
+		if it.returned {
+			from = append(it.lastKey, 0)
+			it.lastKey = from[:len(from)-1]
+		}
+		it.position(from)
+	}
+	for len(it.heap) > 0 {
+		winner := it.heapPop()
+		key := winner.key()
+		if it.hi != nil && bytes.Compare(key, it.hi) > 0 {
+			it.heap = it.heap[:0]
+			return false
+		}
+		value, antimatter := winner.value()
+		// Skip older entries with the same key (shadowed by the winner) and
+		// re-add every advanced source to the heap.
+		winner.next()
+		if winner.valid() {
+			it.heapPush(winner)
+		}
+		for len(it.heap) > 0 && bytes.Equal(it.heap[0].key(), key) {
+			dup := it.heapPop()
+			dup.next()
+			if dup.valid() {
+				it.heapPush(dup)
+			}
+		}
+		it.lastKey = append(it.lastKey[:0], key...)
+		it.returned = true
+		if antimatter {
+			continue
+		}
+		it.key, it.value = key, value
+		return true
+	}
+	return false
+}
+
+// Key returns the key of the current entry. The slice is owned by the tree
+// and must not be modified; it remains readable after the latch is released.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the value of the current entry, under the same ownership
+// rules as Key.
+func (it *Iterator) Value() []byte { return it.value }
+
+// Seq returns the tree mutation sequence number the iterator is positioned
+// against (tests use it to assert staleness handling).
+func (it *Iterator) Seq() uint64 { return it.seq }

@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -60,6 +61,10 @@ type Tree struct {
 	nextID  int
 	flushes int
 	merges  int
+	// seq is the mutation sequence number: bumped by every Put/Delete and by
+	// every component change (flush, merge). A paused Iterator compares it to
+	// detect staleness and re-seek instead of walking invalidated cursors.
+	seq uint64
 }
 
 // diskComponent is an immutable, sorted run of entries persisted to a file.
@@ -112,12 +117,14 @@ func (t *Tree) Dir() string { return t.dir }
 
 // Insert upserts a key/value pair.
 func (t *Tree) Insert(key, value []byte) error {
+	t.seq++
 	t.mem.Put(append([]byte(nil), key...), encodeMemValue(value, false))
 	return t.maybeFlush()
 }
 
 // Delete writes an antimatter entry for key.
 func (t *Tree) Delete(key []byte) error {
+	t.seq++
 	t.mem.Put(append([]byte(nil), key...), encodeMemValue(nil, true))
 	return t.maybeFlush()
 }
@@ -144,56 +151,14 @@ func (t *Tree) Get(key []byte) ([]byte, bool) {
 }
 
 // Range visits live entries with lo <= key <= hi in key order. Either bound
-// may be nil to leave that side open.
+// may be nil to leave that side open. It is a thin wrapper over NewIterator;
+// callers that span lock releases (the storage layer's chunked scans) hold
+// the iterator directly and resume it instead of re-entering Range.
 func (t *Tree) Range(lo, hi []byte, visit func(key, value []byte) bool) {
-	// Collect per-component iterfor merging: newest component wins per key.
-	type cursor struct {
-		entries []Entry
-		pos     int
-		rank    int // 0 = newest
-	}
-	var cursors []*cursor
-
-	var memEntries []Entry
-	t.mem.Range(lo, hi, func(e btree.Entry) bool {
-		val, anti := decodeMemValue(e.Value)
-		memEntries = append(memEntries, Entry{Key: e.Key, Value: val, Antimatter: anti})
-		return true
-	})
-	cursors = append(cursors, &cursor{entries: memEntries, rank: 0})
-	for i, c := range t.disk {
-		cursors = append(cursors, &cursor{entries: c.slice(lo, hi), rank: i + 1})
-	}
-
-	for {
-		// Find the smallest key among cursors; among equal keys the lowest
-		// rank (newest) wins and the rest are skipped.
-		var bestKey []byte
-		for _, c := range cursors {
-			if c.pos >= len(c.entries) {
-				continue
-			}
-			k := c.entries[c.pos].Key
-			if bestKey == nil || bytes.Compare(k, bestKey) < 0 {
-				bestKey = k
-			}
-		}
-		if bestKey == nil {
+	it := t.NewIterator(lo, hi)
+	for it.Next() {
+		if !visit(it.Key(), it.Value()) {
 			return
-		}
-		var winner *Entry
-		for _, c := range cursors {
-			if c.pos < len(c.entries) && bytes.Equal(c.entries[c.pos].Key, bestKey) {
-				if winner == nil {
-					winner = &c.entries[c.pos]
-				}
-				c.pos++
-			}
-		}
-		if winner != nil && !winner.Antimatter {
-			if !visit(winner.Key, winner.Value) {
-				return
-			}
 		}
 	}
 }
@@ -246,6 +211,7 @@ func (t *Tree) Flush() error {
 	if err != nil {
 		return err
 	}
+	t.seq++
 	t.disk = append([]*diskComponent{comp}, t.disk...)
 	t.mem = btree.New()
 	t.flushes++
@@ -326,6 +292,7 @@ func (t *Tree) mergeComponents(indexes []int) error {
 		}
 		newDisk = append(newDisk, c)
 	}
+	t.seq++
 	t.disk = newDisk
 	t.merges++
 	return nil
@@ -442,8 +409,11 @@ func readBlob(rd *bytes.Reader) ([]byte, error) {
 		return nil, err
 	}
 	out := make([]byte, n)
-	if _, err := rd.Read(out); err != nil && n > 0 {
-		return nil, err
+	// io.ReadFull, not rd.Read: a bare Read on a reader with fewer than n
+	// bytes left returns short with a nil error, silently truncating the
+	// blob (and desynchronizing every entry after it).
+	if _, err := io.ReadFull(rd, out); err != nil {
+		return nil, fmt.Errorf("lsm: short read: %w", err)
 	}
 	return out, nil
 }

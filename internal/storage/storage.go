@@ -662,27 +662,49 @@ func (d *Dataset) SearchSecondaryRangePartition(part int, indexName string, lo, 
 		hiKey = append(adm.EncodeKey(nil, hi), 0xFF) // include any PK suffix
 	}
 	p := d.partitions[part]
-	var pks [][]byte
 	p.mu.Lock()
+	var it *lsm.Iterator
 	if tree := p.btrees[indexName]; tree != nil {
-		tree.Range(loKey, hiKey, func(_, pk []byte) bool {
-			pks = append(pks, append([]byte(nil), pk...))
-			return true
-		})
+		it = tree.NewIterator(loKey, hiKey)
 	}
 	p.mu.Unlock()
-	for _, pk := range pks {
-		if !visit(pk) {
+	if it == nil {
+		return nil
+	}
+	// One iterator spans the whole search: keys are copied out in chunks
+	// under the partition latch and visited outside it (so a pipelined
+	// consumer may block inside visit without wedging the partition), and the
+	// iterator resumes where it left off — re-seeking via its sequence check
+	// if the index was mutated while the latch was released.
+	for {
+		var pks [][]byte
+		done := false
+		p.mu.Lock()
+		for len(pks) < scanChunk {
+			if !it.Next() {
+				done = true
+				break
+			}
+			pks = append(pks, append([]byte(nil), it.Value()...))
+		}
+		p.mu.Unlock()
+		for _, pk := range pks {
+			if !visit(pk) {
+				return nil
+			}
+		}
+		if done {
 			return nil
 		}
 	}
-	return nil
 }
 
 // SearchRTreePartition visits the encoded primary keys in one partition's
 // R-tree index whose stored MBR intersects the probe rectangle. Like the
-// B+-tree variant, keys are collected under the partition latch and visited
-// outside it.
+// B+-tree variant, keys are visited outside the partition latch. The R-tree
+// is an in-memory structure without a resumable cursor, so the candidate set
+// is collected in one latch hold — a single traversal, not the per-chunk
+// restart the LSM searches used to pay.
 func (d *Dataset) SearchRTreePartition(part int, indexName string, probe adm.Rectangle, visit func(pk []byte) bool) error {
 	ix, ok := d.IndexByName(indexName)
 	if !ok || ix.Kind != RTreeIndex {
@@ -838,31 +860,39 @@ const scanChunk = 64
 // Records are decoded in chunks under the partition lock and the visitor runs
 // outside it: a pipelined consumer may block inside visit (on a full dataflow
 // channel) without wedging the partition, and two scans of the same partition
-// (a compiled self-join) cannot deadlock. The scan is therefore not atomic
-// across the partition: records inserted mid-scan with keys beyond the scan
-// cursor are visited.
+// (a compiled self-join) cannot deadlock. One merge iterator spans the whole
+// scan — each chunk resumes it instead of restarting a Range from the last
+// key, which made long scans quadratic. The scan is still not atomic across
+// the partition: records inserted mid-scan with keys beyond the scan cursor
+// are visited (the iterator's staleness re-seek preserves exactly the old
+// resume-strictly-after-last-key semantics).
 func (d *Dataset) ScanPartition(part int, visit func(*adm.Record) bool) error {
 	if part < 0 || part >= len(d.partitions) {
 		return fmt.Errorf("storage: partition %d out of range", part)
 	}
 	p := d.partitions[part]
-	var from []byte
+	p.mu.Lock()
+	it := p.primary.NewIterator(nil, nil)
+	p.mu.Unlock()
 	for {
 		var chunk []*adm.Record
 		var decodeErr error
+		done := false
 		p.mu.Lock()
-		p.primary.Range(from, nil, func(key, raw []byte) bool {
-			val, _, err := d.ser.Decode(raw)
+		for len(chunk) < scanChunk {
+			if !it.Next() {
+				done = true
+				break
+			}
+			val, _, err := d.ser.Decode(it.Value())
 			if err != nil {
 				decodeErr = err
-				return false
+				break
 			}
-			from = append(from[:0], key...)
 			if rec, ok := val.(*adm.Record); ok {
 				chunk = append(chunk, rec)
 			}
-			return len(chunk) < scanChunk
-		})
+		}
 		p.mu.Unlock()
 		if decodeErr != nil {
 			return decodeErr
@@ -872,10 +902,9 @@ func (d *Dataset) ScanPartition(part int, visit func(*adm.Record) bool) error {
 				return nil
 			}
 		}
-		if len(chunk) < scanChunk {
+		if done {
 			return nil
 		}
-		from = append(from, 0) // resume strictly after the last key seen
 	}
 }
 

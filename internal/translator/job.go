@@ -2,6 +2,7 @@ package translator
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 
@@ -28,6 +29,11 @@ type JobOptions struct {
 	// spill (a job-private subdirectory is created lazily). Empty falls back
 	// to the system temp directory.
 	SpillDir string
+	// DisableFusion skips the one-to-one operator fusion pass, leaving each
+	// pipelined operator as its own goroutine-per-partition instance (the
+	// pre-fusion execution shape, kept for differential testing and
+	// benchmarking).
+	DisableFusion bool
 }
 
 // BuildJob converts an optimized physical plan into an executable Hyracks
@@ -60,11 +66,22 @@ func BuildJob(plan *algebra.Plan, rt Runtime, opts JobOptions) (*hyracks.Job, er
 		ctx:        rt.EvalContext(),
 		query:      plan.Query,
 	}
+	// Decide whether the plan's group-by can fold its aggregates
+	// incrementally; the consumer build functions read the resulting
+	// expression rewrites through b.rewritten.
+	b.prepareGroupFold(plan)
 	if _, err := b.buildDistribute(plan.Root); err != nil {
 		return nil, err
 	}
 	assignMemoryBudget(b.job, opts)
-	return b.job, nil
+	job := b.job
+	if !opts.DisableFusion {
+		// Collapse one-to-one pipelined chains (scan -> select -> assign ->
+		// distribute, and limit tails at parallelism 1) into single fused
+		// operators: one goroutine and zero frame handoffs per chain instance.
+		job = hyracks.FuseJob(job)
+	}
+	return job, nil
 }
 
 // assignMemoryBudget divides the job's memory budget evenly among the
@@ -86,6 +103,10 @@ func assignMemoryBudget(job *hyracks.Job, opts JobOptions) {
 			instances += o.Partitions
 		case *hyracks.HashGroupOp:
 			instances += o.Partitions
+		case *hyracks.AggregateOp:
+			instances += o.Partitions
+		case *crossJoinOp:
+			instances += o.par
 		}
 	}
 	if instances == 0 {
@@ -106,6 +127,10 @@ func assignMemoryBudget(job *hyracks.Job, opts JobOptions) {
 			o.Spill = budget
 		case *hyracks.HashGroupOp:
 			o.Spill = budget
+		case *hyracks.AggregateOp:
+			o.Spill = budget
+		case *crossJoinOp:
+			o.spill = budget
 		}
 	}
 }
@@ -122,6 +147,12 @@ type jobBuilder struct {
 	// (offset+limit per partition): buildLimit records them before building
 	// its input, and buildScan caps each partition's scan accordingly.
 	scanBounds map[*algebra.Node]int
+	// groupFold is the incremental-aggregate plan for the job's group-by (nil
+	// when the group-by materializes bags), and exprRewrites maps consumer
+	// expressions to their fold-rewritten forms (agg calls over with-variables
+	// replaced by synthetic column references). See groupfold.go.
+	groupFold    *groupFold
+	exprRewrites map[aql.Expr]aql.Expr
 }
 
 // stream describes the output of a built subtree: the producing operator,
@@ -326,7 +357,7 @@ func (b *jobBuilder) buildUnnest(n *algebra.Node) (stream, error) {
 	if err != nil {
 		return stream{}, err
 	}
-	src, inSchema := n.Exprs[0], in.schema
+	src, inSchema := b.rewritten(n.Exprs[0]), in.schema
 	outSchema := append(append(Schema{}, inSchema...), n.Variable)
 	bind := envBinder(inSchema, in.par)
 	op := b.job.Add(&hyracks.FlatMapOp{
@@ -537,7 +568,7 @@ func (b *jobBuilder) buildSelect(n *algebra.Node) (stream, error) {
 	if err != nil {
 		return stream{}, err
 	}
-	cond, schema := n.Condition, in.schema
+	cond, schema := b.rewritten(n.Condition), in.schema
 	bind := envBinder(schema, in.par)
 	op := b.job.Add(&hyracks.FlatMapOp{
 		Label:      "select",
@@ -561,7 +592,11 @@ func (b *jobBuilder) buildAssign(n *algebra.Node) (stream, error) {
 	if err != nil {
 		return stream{}, err
 	}
-	vars, exprs, inSchema := n.Vars, n.Exprs, in.schema
+	vars, inSchema := n.Vars, in.schema
+	exprs := make([]aql.Expr, len(n.Exprs))
+	for i, e := range n.Exprs {
+		exprs[i] = b.rewritten(e)
+	}
 	outSchema := append(append(Schema{}, inSchema...), vars...)
 	bind := envBinder(inSchema, in.par)
 	op := b.job.Add(&hyracks.FlatMapOp{
@@ -743,38 +778,154 @@ func (b *jobBuilder) buildIndexNLJoin(n *algebra.Node, left stream) (stream, boo
 // broadcast to every instance over input port 1 and buffered, then each probe
 // tuple from port 0 is combined with every buffered right tuple. A residual
 // select above applies any non-equi predicate.
+//
+// With a spill budget the broadcast buffer is accounted; once it exceeds the
+// instance's share the overflow is written to a run file and the join runs
+// as a block nested loop — left tuples batch into budget-sized chunks and
+// the spilled right side re-streams once per chunk, so resident memory stays
+// bounded by the budget at the cost of extra sequential passes.
 type crossJoinOp struct {
 	label string
 	par   int
+	spill *runfile.Budget
 }
 
 func (o *crossJoinOp) Name() string     { return o.label }
 func (o *crossJoinOp) Parallelism() int { return o.par }
 func (o *crossJoinOp) Blocking() bool   { return true }
+
+// combine concatenates a left and right tuple.
+func combineCross(l, r hyracks.Tuple) hyracks.Tuple {
+	out := make(hyracks.Tuple, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
 func (o *crossJoinOp) Run(_ int, ins []*hyracks.In, emit func(hyracks.Tuple) bool) error {
 	if len(ins) < 2 {
 		return fmt.Errorf("hyracks: %s requires a build input on port 1", o.label)
 	}
-	var right []hyracks.Tuple
+	var mem *runfile.Instance
+	if o.spill != nil {
+		mem = o.spill.NewInstance()
+		defer mem.Close()
+	}
+	var resident []hyracks.Tuple
+	var w *runfile.Writer
 	for {
 		t, more := ins[1].Next()
 		if !more {
 			break
 		}
-		right = append(right, t)
-	}
-	for {
-		t, more := ins[0].Next()
-		if !more {
-			return nil
+		sz := runfile.TupleMemSize(t)
+		if w == nil && mem != nil && !mem.Fits(sz) {
+			nw, err := o.spill.M.NewRun()
+			if err != nil {
+				return err
+			}
+			w = nw
 		}
-		for _, r := range right {
-			out := make(hyracks.Tuple, 0, len(t)+len(r))
-			out = append(out, t...)
-			out = append(out, r...)
-			if !emit(out) {
+		if w != nil {
+			if err := w.Write(t); err != nil {
+				w.Abort()
+				return err
+			}
+			continue
+		}
+		if mem != nil {
+			mem.Add(sz)
+		}
+		resident = append(resident, t)
+	}
+	if w == nil {
+		// Everything resident: stream the left side straight through.
+		for {
+			t, more := ins[0].Next()
+			if !more {
 				return nil
 			}
+			for _, r := range resident {
+				if !emit(combineCross(t, r)) {
+					return nil
+				}
+			}
+		}
+	}
+	run, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	defer run.Release()
+	// Block nested loop: batch left tuples within the remaining budget and
+	// re-stream the spilled right rows once per batch.
+	for {
+		var chunk []hyracks.Tuple
+		var chunkBytes int64
+		for {
+			t, more := ins[0].Next()
+			if !more {
+				break
+			}
+			sz := runfile.TupleMemSize(t)
+			if mem != nil {
+				mem.Add(sz)
+			}
+			chunkBytes += sz
+			chunk = append(chunk, t)
+			if mem != nil && !mem.Fits(1) {
+				break
+			}
+		}
+		if len(chunk) == 0 {
+			return nil
+		}
+		stop := false
+		for _, l := range chunk {
+			for _, r := range resident {
+				if !emit(combineCross(l, r)) {
+					stop = true
+					break
+				}
+			}
+			if stop {
+				break
+			}
+		}
+		if !stop {
+			rd, err := run.Open()
+			if err != nil {
+				if mem != nil {
+					mem.Release(chunkBytes)
+				}
+				return err
+			}
+			for !stop {
+				cols, err := rd.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					rd.Close()
+					if mem != nil {
+						mem.Release(chunkBytes)
+					}
+					return err
+				}
+				r := hyracks.Tuple(cols)
+				for _, l := range chunk {
+					if !emit(combineCross(l, r)) {
+						stop = true
+						break
+					}
+				}
+			}
+			rd.Close()
+		}
+		if mem != nil {
+			mem.Release(chunkBytes)
+		}
+		if stop {
+			return nil
 		}
 	}
 }
@@ -836,6 +987,42 @@ func (b *jobBuilder) buildGroupBy(n *algebra.Node) (stream, error) {
 	})
 	keyed := b.connect(in, keyOp, in.par, shuffleSchema, hyracks.Connector{Kind: hyracks.OneToOne})
 
+	// A single-partition input needs no repartitioning: every group is
+	// already complete in the one instance, so skip the shuffle.
+	groupPar := b.partitions
+	groupConn := hyracks.Connector{Kind: hyracks.HashPartitioningShuffle, HashColumns: cols}
+	if in.par == 1 {
+		groupPar = 1
+		groupConn = hyracks.Connector{Kind: hyracks.OneToOne}
+	}
+
+	// Fold-as-you-go path: every with-variable consumer is an aggregate call
+	// (prepareGroupFold proved it and rewrote the consumers to read the
+	// synthetic columns), so the group-by keeps one accumulator per (group,
+	// aggregate) and never materializes a bag.
+	if b.groupFold != nil && b.groupFold.node == n {
+		aggs := make([]hyracks.GroupAgg, 0, len(b.groupFold.specs))
+		outSchema := Schema{}
+		for _, k := range keys {
+			outSchema = append(outSchema, k.Var)
+		}
+		for _, sp := range b.groupFold.specs {
+			col, ok := columnOfVariable(&aql.VariableRef{Name: sp.With}, inSchema)
+			if !ok {
+				return stream{}, fmt.Errorf("translator: group-by with-variable $%s is not bound", sp.With)
+			}
+			aggs = append(aggs, hyracks.GroupAgg{Func: sp.Func, Col: col})
+			outSchema = append(outSchema, sp.Name)
+		}
+		groupOp := b.job.Add(&hyracks.HashGroupOp{
+			Label:      "hash-group-by(incremental)",
+			Partitions: groupPar,
+			KeyColumns: cols,
+			Aggs:       aggs,
+		})
+		return b.connect(keyed, groupOp, groupPar, outSchema, groupConn), nil
+	}
+
 	// The with-variables' tuple columns, resolved against the input schema.
 	withCols := make([]int, len(n.GroupWith))
 	for i, w := range n.GroupWith {
@@ -855,14 +1042,6 @@ func (b *jobBuilder) buildGroupBy(n *algebra.Node) (stream, error) {
 	// and each with-variable becomes the bag of its column's values across
 	// the group, exactly the interpreter's applyGroupBy semantics in
 	// first-encounter order.
-	// A single-partition input needs no repartitioning: every group is
-	// already complete in the one instance, so skip the shuffle.
-	groupPar := b.partitions
-	groupConn := hyracks.Connector{Kind: hyracks.HashPartitioningShuffle, HashColumns: cols}
-	if in.par == 1 {
-		groupPar = 1
-		groupConn = hyracks.Connector{Kind: hyracks.OneToOne}
-	}
 	groupOp := b.job.Add(&hyracks.HashGroupOp{
 		Label:      "hash-group-by",
 		Partitions: groupPar,
@@ -895,10 +1074,14 @@ func (b *jobBuilder) buildOrder(n *algebra.Node) (stream, error) {
 		return stream{}, err
 	}
 	schema := in.schema
-	colSort := true
-	sortCols := make([]int, len(n.OrderTerms))
-	sortDesc := make([]bool, len(n.OrderTerms))
+	orderTerms := make([]aql.OrderTerm, len(n.OrderTerms))
 	for i, term := range n.OrderTerms {
+		orderTerms[i] = aql.OrderTerm{Expr: b.rewritten(term.Expr), Desc: term.Desc}
+	}
+	colSort := true
+	sortCols := make([]int, len(orderTerms))
+	sortDesc := make([]bool, len(orderTerms))
+	for i, term := range orderTerms {
 		col, ok := columnOfVariable(term.Expr, schema)
 		if !ok {
 			colSort = false
@@ -908,7 +1091,7 @@ func (b *jobBuilder) buildOrder(n *algebra.Node) (stream, error) {
 	}
 	sortIn, outSchema := in, schema
 	if !colSort {
-		terms := n.OrderTerms
+		terms := orderTerms
 		outSchema = append(Schema{}, schema...)
 		for i, term := range terms {
 			sortCols[i], sortDesc[i] = len(schema)+i, term.Desc
@@ -1177,7 +1360,7 @@ func (b *jobBuilder) buildLocalAgg(n *algebra.Node) (stream, error) {
 	op := b.job.Add(&hyracks.AggregateOp{
 		Label:      fmt.Sprintf("aggregate(local-%s)", n.AggFunc),
 		Partitions: in.par,
-		Fold:       b.aggPartial(n.AggFunc, b.query.Return, in.schema),
+		Fold:       b.aggPartial(n.AggFunc, b.rewritten(b.query.Return), in.schema),
 	})
 	return b.connect(in, op, in.par, aggSchema, hyracks.Connector{Kind: hyracks.OneToOne}), nil
 }
@@ -1207,7 +1390,7 @@ func (b *jobBuilder) buildAggregate(n *algebra.Node) (stream, error) {
 	if b.query == nil {
 		return stream{}, fmt.Errorf("translator: aggregate plan has no source query")
 	}
-	fn, ret, schema := n.AggFunc, b.query.Return, in.schema
+	fn, ret, schema := n.AggFunc, b.rewritten(b.query.Return), in.schema
 	op := b.job.Add(&hyracks.AggregateOp{
 		Label:      fmt.Sprintf("aggregate(%s)", fn),
 		Partitions: 1,
@@ -1255,7 +1438,7 @@ func (b *jobBuilder) buildDistribute(n *algebra.Node) (stream, error) {
 	case aggregated:
 		// The aggregate value already sits alone in column 0.
 	default:
-		ret, schema := b.query.Return, in.schema
+		ret, schema := b.rewritten(b.query.Return), in.schema
 		if col, ok := columnOfVariable(ret, schema); ok {
 			// "return $m" needs no evaluation: project the column. A width-1
 			// tuple is already in result layout and passes through untouched.

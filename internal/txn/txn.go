@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -327,10 +328,11 @@ func readBytes(rd *bytes.Reader) ([]byte, error) {
 		return nil, err
 	}
 	out := make([]byte, n)
-	if n > 0 {
-		if _, err := rd.Read(out); err != nil {
-			return nil, err
-		}
+	// io.ReadFull, not rd.Read: a bare Read on a reader with fewer than n
+	// bytes left returns short with a nil error, silently truncating the
+	// field (the same latent bug fixed in lsm.readBlob).
+	if _, err := io.ReadFull(rd, out); err != nil {
+		return nil, fmt.Errorf("txn: short read: %w", err)
 	}
 	return out, nil
 }

@@ -94,10 +94,14 @@ return { "a": $a.id, "b": $b.id };`, false},
 for $r in dataset SpillA
 order by $r.cat, $r.id
 return { "id": $r.id, "cat": $r.cat };`, true},
+	// The nested for over $r is a genuine bag use, so this group-by cannot
+	// fold incrementally and must materialize (and spill) its row bags; a
+	// count-only group-by now folds accumulators and never spills (see
+	// TestGroupByIncrementalFold).
 	{"groupby-table-exceeds-budget", `
 for $r in dataset SpillA
 group by $c := $r.cat with $r
-return { "c": $c, "n": count($r) };`, false},
+return { "c": $c, "n": count($r), "maxid": max(for $x in $r return $x.id) };`, false},
 }
 
 // TestSpillingQueriesMatchUnconstrained is the acceptance test for the
@@ -275,7 +279,7 @@ func instrumentScans(t *testing.T, job *hyracks.Job) map[int]int {
 	var mu sync.Mutex
 	counts := map[int]int{}
 	found := false
-	for _, op := range job.Operators {
+	for _, op := range job.FlatOperators() {
 		src, ok := op.(*hyracks.SourceOp)
 		if !ok || !strings.HasPrefix(src.Label, "datasource-scan") {
 			continue
@@ -322,5 +326,72 @@ func TestFrameSizeDerivedFromBudget(t *testing.T) {
 	}
 	if job2.FrameSize != 0 {
 		t.Fatalf("unconstrained job frame size %d, want 0 (runtime default)", job2.FrameSize)
+	}
+}
+
+// TestCrossJoinSpillsBroadcastSide covers the formerly unbudgeted broadcast
+// buffer: a non-equi (nested-loop) join whose replicated right side exceeds
+// the budget must spill it to a run file, run as a block nested loop with
+// bounded residency, release every file, and match the unconstrained result.
+func TestCrossJoinSpillsBroadcastSide(t *testing.T) {
+	t.Setenv("ASTERIXDB_MEMORY_BUDGET", "")
+	constrained := newSpillInstance(t, spillBudget, 800)
+	unconstrained := newSpillInstance(t, 0, 800)
+	// "!=" has no equijoin key, so the optimizer emits the nested-loop join
+	// with the right side broadcast; the where keeps output size sane.
+	query := `
+for $a in dataset SpillA
+for $b in dataset SpillB
+where $a.cat != $b.cat and $a.id <= 3 and $b.id <= 390
+return { "a": $a.id, "b": $b.id };`
+	job, _, err := constrained.CompileJob(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := constrained.runJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Spill == nil {
+		t.Fatal("constrained job has no spill manager")
+	}
+	st := job.Spill.Stats()
+	if st.RunsCreated == 0 {
+		t.Fatalf("broadcast side (~120KB) did not spill under a %d-byte budget: %+v", spillBudget, st)
+	}
+	if slack := int64(8 << 10); st.PeakResident > spillBudget+slack {
+		t.Errorf("peak resident %d exceeds budget %d (+%d slack)", st.PeakResident, spillBudget, slack)
+	}
+	if st.LiveRuns != 0 {
+		t.Errorf("%d run files live after success", st.LiveRuns)
+	}
+	want, err := unconstrained.Query(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "cross-join-spill", got, want, false)
+	assertNoSpillFiles(t, constrained)
+}
+
+// TestAggregateInputIsAccounted covers the other formerly unbudgeted buffer:
+// the materialized partition input of AggregateOp now registers with the job
+// manager, so a plain aggregate query's peak-resident stat reflects the
+// buffered rows instead of reading zero.
+func TestAggregateInputIsAccounted(t *testing.T) {
+	t.Setenv("ASTERIXDB_MEMORY_BUDGET", "")
+	inst := newSpillInstance(t, 1<<20, 500)
+	job, _, err := inst.CompileJob(`avg(for $r in dataset SpillA return $r.id)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.runJob(job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Spill == nil {
+		t.Fatal("aggregate job has no spill manager (AggregateOp not counted as budgeted)")
+	}
+	// 500 padded records are ~150KB; the local aggregate buffers them all.
+	if st := job.Spill.Stats(); st.PeakResident < 100<<10 {
+		t.Errorf("peak resident %d; the aggregate's materialized input is not being accounted", st.PeakResident)
 	}
 }
