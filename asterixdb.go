@@ -895,5 +895,8 @@ func (in *Instance) evaluateQuery(ctx context.Context, e aql.Expr, opts algebra.
 	if err != nil {
 		return nil, err
 	}
+	// drain finishes the cursor on every path; the deferred Close
+	// (idempotent) keeps the job torn down even if drain panics.
+	defer cur.Close()
 	return cur.drain()
 }

@@ -1,0 +1,114 @@
+// Command asterixlint runs the engine's invariant analyzers (internal/lint)
+// over the repository, the multichecker the CI gate invokes:
+//
+//	go run ./cmd/asterixlint ./...          # whole module (the CI invocation)
+//	go run ./cmd/asterixlint ./internal/lsm # one package directory
+//	go run ./cmd/asterixlint -list          # describe the analyzers
+//	go run ./cmd/asterixlint -only mustclose,readfull ./...
+//	go run ./cmd/asterixlint -ignored ./... # audit lint:ignore suppressions
+//
+// Output is one finding per line in the same file:line:col form go vet
+// emits, so editors and CI annotators parse it unchanged. The exit status is
+// 0 for a clean tree, 1 when findings exist, 2 for usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asterixdb/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("asterixlint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	ignored := fs.Bool("ignored", false, "also print suppressed findings with their lint:ignore reasons")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: asterixlint [-list] [-only names] [-ignored] [./... | dir ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("asterixlint/%s\n    %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var unknown []string
+		analyzers, unknown = lint.ByName(strings.Split(*only, ","))
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "asterixlint: unknown analyzers: %s\n", strings.Join(unknown, ", "))
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asterixlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asterixlint:", err)
+		return 2
+	}
+
+	var diags []lint.Diagnostic
+	for _, pattern := range patterns {
+		switch pattern {
+		case "./...", "...":
+			all, err := lint.RunSuite(loader, analyzers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asterixlint:", err)
+				return 2
+			}
+			diags = append(diags, all...)
+		default:
+			pkg, err := loader.LoadDir(strings.TrimSuffix(pattern, "/"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asterixlint:", err)
+				return 2
+			}
+			ds, err := lint.RunPackage(loader, pkg, analyzers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asterixlint:", err)
+				return 2
+			}
+			diags = append(diags, ds...)
+		}
+	}
+
+	failures := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			if *ignored {
+				fmt.Printf("%s [suppressed: %s]\n", d, d.SuppressReason)
+			}
+			continue
+		}
+		fmt.Println(d)
+		failures++
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "asterixlint: %d finding(s)\n", failures)
+		return 1
+	}
+	return 0
+}

@@ -483,7 +483,7 @@ func NewInterval(start, end Value) (Value, error) {
 func ParseDate(s string) (Value, error) {
 	t, err := time.ParseInLocation("2006-01-02", s, time.UTC)
 	if err != nil {
-		return nil, fmt.Errorf("adm: bad date %q: %v", s, err)
+		return nil, fmt.Errorf("adm: bad date %q: %w", s, err)
 	}
 	return Date(int32(t.Unix() / 86400)), nil
 }
@@ -544,13 +544,13 @@ func ParseDuration(s string) (Value, error) {
 	if datePart != "" {
 		months, millis, err = parseDurationPart(datePart, false)
 		if err != nil {
-			return nil, fmt.Errorf("adm: bad duration %q: %v", orig, err)
+			return nil, fmt.Errorf("adm: bad duration %q: %w", orig, err)
 		}
 	}
 	if timePart != "" {
 		_, tm, err := parseDurationPart(timePart, true)
 		if err != nil {
-			return nil, fmt.Errorf("adm: bad duration %q: %v", orig, err)
+			return nil, fmt.Errorf("adm: bad duration %q: %w", orig, err)
 		}
 		millis += tm
 	}

@@ -108,7 +108,7 @@ func (d *Dataset) Scan(visit func(*adm.Record) bool) error {
 			}
 		}
 		if perr != nil {
-			return fmt.Errorf("external: %s line %d: %v", d.path(), lineNo, perr)
+			return fmt.Errorf("external: %s line %d: %w", d.path(), lineNo, perr)
 		}
 		if !visit(rec) {
 			return nil
@@ -133,7 +133,7 @@ func (d *Dataset) parseDelimited(line string) (*adm.Record, error) {
 	for i, ft := range d.Type.Fields {
 		v, err := convertColumn(strings.TrimSpace(cols[i]), ft)
 		if err != nil {
-			return nil, fmt.Errorf("field %q: %v", ft.Name, err)
+			return nil, fmt.Errorf("field %q: %w", ft.Name, err)
 		}
 		rec.Fields = append(rec.Fields, adm.Field{Name: ft.Name, Value: v})
 	}

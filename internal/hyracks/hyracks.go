@@ -364,6 +364,9 @@ func Execute(job *Job) ([]Tuple, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Draining to exhaustion shuts the cursor down, but the deferred Close
+	// (idempotent) also covers panics in a sink's tuple handling.
+	defer cur.Close()
 	buckets := make(map[int][][]Tuple) // sink op -> per-partition tuples
 	for {
 		f, ok := cur.NextFrame()
@@ -757,18 +760,19 @@ func (o *LimitOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
 
 // AggregateOp folds its entire input into a single output tuple. Used for
 // both the Local and Global halves of the aggregation split in Figure 6.
+//
+// The fold is streaming: each instance consumes its input one tuple at a
+// time in O(1) state, so the operator holds no materialized buffer and needs
+// no memory budget (it used to buffer the whole partition for a batch Fold,
+// charged against the job budget; the streaming rewrite deleted that buffer
+// and its accounting).
 type AggregateOp struct {
 	Label      string
 	Partitions int
-	// Fold receives every input tuple of the partition and returns the
-	// aggregate tuple to emit.
-	Fold func(rows []Tuple) (Tuple, error)
-	// Spill accounts the materialized partition input against the job
-	// budget. Fold needs the whole row set, so the buffer is registered (it
-	// shows in used/peak and squeezes the job's spillable operators under
-	// pressure) rather than spilled; restructuring Fold into a streaming
-	// fold so this buffer disappears is the recorded follow-up.
-	Spill *runfile.Budget
+	// NewFold returns a fresh streaming fold for one instance run: step is
+	// called once per input tuple in arrival order, then finish once at end
+	// of input, returning the aggregate tuple to emit (nil emits nothing).
+	NewFold func() (step func(Tuple) error, finish func() (Tuple, error))
 }
 
 // Name implements Operator.
@@ -782,23 +786,17 @@ func (o *AggregateOp) Blocking() bool { return true }
 
 // Run implements Operator.
 func (o *AggregateOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
-	var mem *runfile.Instance
-	if o.Spill != nil {
-		mem = o.Spill.NewInstance()
-		defer mem.Close()
-	}
-	var rows []Tuple
+	step, finish := o.NewFold()
 	for {
 		t, more := ins[0].Next()
 		if !more {
 			break
 		}
-		if mem != nil {
-			mem.Add(runfile.TupleMemSize(t))
+		if err := step(t); err != nil {
+			return err
 		}
-		rows = append(rows, t)
 	}
-	out, err := o.Fold(rows)
+	out, err := finish()
 	if err != nil {
 		return err
 	}
@@ -880,38 +878,6 @@ func (o *HashGroupOp) Run(_ int, ins []*In, emit func(Tuple) bool) error {
 		}
 	}
 	return nil
-}
-
-// GroupAllOp is a blocking operator over a whole partition: it gathers every
-// input tuple and hands the batch to Fn, which emits any number of output
-// tuples. The compiled group-by, order-by and plain-aggregate operators are
-// built on it so they can reuse the interpreter's clause semantics verbatim.
-type GroupAllOp struct {
-	Label      string
-	Partitions int
-	Fn         func(partition int, rows []Tuple, emit func(Tuple) bool) error
-}
-
-// Name implements Operator.
-func (o *GroupAllOp) Name() string { return o.Label }
-
-// Parallelism implements Operator.
-func (o *GroupAllOp) Parallelism() int { return o.Partitions }
-
-// Blocking implements Operator.
-func (o *GroupAllOp) Blocking() bool { return true }
-
-// Run implements Operator.
-func (o *GroupAllOp) Run(partition int, ins []*In, emit func(Tuple) bool) error {
-	var rows []Tuple
-	for {
-		t, more := ins[0].Next()
-		if !more {
-			break
-		}
-		rows = append(rows, t)
-	}
-	return o.Fn(partition, rows, emit)
 }
 
 // HybridHashJoinOp joins two inputs on equality of join keys. The build side

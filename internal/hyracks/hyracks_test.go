@@ -34,31 +34,29 @@ func buildScanSelectAggJob(partitions, perPartition int) *Job {
 	local := job.Add(&AggregateOp{
 		Label:      "local-sum",
 		Partitions: partitions,
-		Fold: func(rows []Tuple) (Tuple, error) {
-			sum := int64(0)
-			for _, r := range rows {
-				n, _ := adm.NumericAsInt64(r[0])
-				sum += n
-			}
-			return Tuple{adm.Int64(sum)}, nil
-		},
+		NewFold:    sumFold,
 	})
 	global := job.Add(&AggregateOp{
 		Label:      "global-sum",
 		Partitions: 1,
-		Fold: func(rows []Tuple) (Tuple, error) {
-			sum := int64(0)
-			for _, r := range rows {
-				n, _ := adm.NumericAsInt64(r[0])
-				sum += n
-			}
-			return Tuple{adm.Int64(sum)}, nil
-		},
+		NewFold:    sumFold,
 	})
 	job.Connect(src, sel, Connector{Kind: OneToOne})
 	job.Connect(sel, local, Connector{Kind: OneToOne})
 	job.Connect(local, global, Connector{Kind: MToNReplicating})
 	return job
+}
+
+// sumFold is a streaming integer-sum fold for AggregateOp.
+func sumFold() (func(Tuple) error, func() (Tuple, error)) {
+	sum := int64(0)
+	step := func(t Tuple) error {
+		n, _ := adm.NumericAsInt64(t[0])
+		sum += n
+		return nil
+	}
+	finish := func() (Tuple, error) { return Tuple{adm.Int64(sum)}, nil }
+	return step, finish
 }
 
 func TestExecuteScanSelectAggregate(t *testing.T) {

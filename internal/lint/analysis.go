@@ -1,0 +1,176 @@
+// Package lint is asterixlint: a suite of static analyzers that encode the
+// engine's structural invariants — the bug classes this repository has fixed
+// by hand, turned into machine-checked rules so they stay fixed.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API (Analyzer,
+// Pass, Diagnostic, an analysistest-style golden harness) but is
+// self-contained on the standard library: packages are parsed with go/parser
+// and type-checked with go/types, module-local imports resolved straight from
+// the repository tree and standard-library imports through the source
+// importer. This keeps the module dependency-free; if the tree ever vendors
+// x/tools, each analyzer's Run function ports over unchanged because the Pass
+// surface is the same.
+//
+// The five analyzers and the PR that motivated each:
+//
+//   - lockedcallback: a visitor/emit-style function parameter is invoked (or
+//     forwarded into a traversal) while a sync.Mutex/RWMutex acquired in the
+//     same function is still held — the PR 1 self-join deadlock, where
+//     storage.ScanPartition ran its visitor under the partition latch.
+//   - mustclose: a runfile.Writer/Reader, result Cursor, or os.File is not
+//     closed on every path out of the function that acquired it — the PR 4
+//     spill-file leak class.
+//   - readfull: an io.Reader.Read result length is discarded and the buffer
+//     used as if fully read — the PR 5 short-read corruption in lsm.readBlob.
+//   - typederrors: errors matched by string (strings.Contains/== on
+//     err.Error()) or re-wrapped without %w, defeating the errors.Is
+//     sentinels introduced in PR 3.
+//   - budgetalloc: an operator Run body accumulates tuples without holding a
+//     runfile budget — the unaccounted materialization PRs 4 and 5 hunted.
+//
+// False positives are suppressed in place with
+//
+//	//lint:ignore asterixlint/<name> <reason>
+//
+// on, or immediately above, the offending line; the driver honors the
+// directive and cmd/asterixlint -ignored lists every suppression in force.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named invariant check. The shape matches
+// golang.org/x/tools/go/analysis.Analyzer so checks port across frameworks.
+type Analyzer struct {
+	// Name is the analyzer's short name; diagnostics are reported (and
+	// suppressed) as "asterixlint/<Name>".
+	Name string
+	// Doc is a one-paragraph description of the invariant, shown by
+	// cmd/asterixlint -list.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's syntax trees (non-test files, with comments).
+	Files []*ast.File
+	// Pkg and TypesInfo are the go/types results for the package.
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	// Analyzer is the reporting analyzer's name (without the asterixlint/
+	// prefix).
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed marks diagnostics silenced by a lint:ignore directive; the
+	// driver keeps them so tooling can list suppressions in force.
+	Suppressed bool
+	// SuppressReason is the directive's free-text justification.
+	SuppressReason string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (asterixlint/%s)",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// ----------------------------------------------------------------------------
+// Shared type helpers
+// ----------------------------------------------------------------------------
+
+// namedType returns the named type behind t, unwrapping one level of pointer,
+// or nil.
+func namedType(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeIs reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name. pkgPath matches the package's import path exactly or as a
+// trailing "/"-separated suffix, so "internal/runfile.Writer" matches both
+// the in-module path and a test module's copy.
+func typeIs(t types.Type, pkgPath, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Name() != name {
+		return false
+	}
+	return pathMatches(n.Obj().Pkg().Path(), pkgPath)
+}
+
+// pathMatches reports whether the import path matches want exactly or ends in
+// "/"+want.
+func pathMatches(path, want string) bool {
+	if path == want {
+		return true
+	}
+	return len(path) > len(want)+1 && path[len(path)-len(want)-1] == '/' &&
+		path[len(path)-len(want):] == want
+}
+
+// funcTyped reports whether t's underlying type is a function signature.
+func funcTyped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes (method
+// or package function), or nil for calls of function values and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			f, _ := sel.Obj().(*types.Func)
+			return f
+		}
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// objectOf resolves an expression to the variable object it names (through
+// parens), or nil: identifiers and field selections only.
+func objectOf(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}

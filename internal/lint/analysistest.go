@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is the analysistest-style golden harness: testdata packages
+// under internal/lint/testdata/src/<pkg> carry `// want "regexp"` comments
+// on the lines where an analyzer must report (several quoted regexps may
+// follow one want), and AnalyzerTestResult diffs the analyzer's actual
+// diagnostics against them — unexpected findings and unmatched expectations
+// are both failures. Suppressed diagnostics count as absent, so testdata can
+// exercise the lint:ignore directive too.
+
+// wantExpectation is one expected diagnostic.
+type wantExpectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// AnalyzerTestResult runs the analyzers over the testdata package dir
+// (relative to testdata/src) and returns one message per mismatch between
+// actual diagnostics and `// want` expectations. An empty result is a pass.
+func AnalyzerTestResult(l *Loader, analyzers []*Analyzer, pkg string) ([]string, error) {
+	dir := filepath.Join("testdata", "src", pkg)
+	loaded, err := l.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	diags, err := RunPackage(l, loaded, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	wants, err := parseWants(l, loaded.Files)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && !w.matched && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matching %q",
+				w.file, w.line, w.pattern))
+		}
+	}
+	return problems, nil
+}
+
+// parseWants extracts `// want "re" ["re" ...]` expectations from the
+// package's comments. The expectation anchors to the line the comment sits
+// on.
+func parseWants(l *Loader, files []*ast.File) ([]*wantExpectation, error) {
+	var wants []*wantExpectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				patterns, err := splitQuoted(rest)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want comment: %w", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %w", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &wantExpectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// splitQuoted parses a sequence of space-separated double-quoted or
+// backquoted strings.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			return nil, fmt.Errorf("expected quoted pattern, got %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		raw := s[:end+2]
+		if quote == '"' {
+			unq, err := strconv.Unquote(raw)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, unq)
+		} else {
+			out = append(out, raw[1:len(raw)-1])
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out, nil
+}

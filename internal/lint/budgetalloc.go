@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BudgetAlloc flags unbounded tuple accumulation in operator bodies that is
+// not accounted against a runfile budget. Operators run under an instance
+// memory budget (PR 4); any []Tuple that grows with input size must either
+// charge runfile.Budget (and spill when denied) or stream. The analyzer
+// looks at methods of operator-shaped types — receivers that also have the
+// Name/Blocking/Run methods of hyracks.Operator — and reports self-appends
+// that accumulate tuples across loop iterations (or inside emit closures) in
+// functions with no reference to the runfile package at all. A method that
+// touches runfile is presumed to be doing its accounting; getting that
+// accounting right is the spill tests' job, not syntax analysis.
+var BudgetAlloc = &Analyzer{
+	Name: "budgetalloc",
+	Doc: "flags unbounded append accumulation of tuple slices inside operator " +
+		"Run/push bodies that hold no runfile.Budget (the unaccounted " +
+		"materialization class)",
+	Run: runBudgetAlloc,
+}
+
+func runBudgetAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if !operatorShaped(pass, fd) {
+				continue
+			}
+			if referencesRunfile(pass, fd.Body) {
+				continue
+			}
+			checkTupleAppends(pass, fd)
+		}
+	}
+	return nil
+}
+
+// operatorShaped reports whether the method's receiver type looks like a
+// hyracks operator: its method set carries Run, Blocking and Name. The check
+// is structural rather than interface-based so testdata packages and future
+// operator variants are covered without importing hyracks.
+func operatorShaped(pass *Pass, fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return false
+	}
+	n := namedType(tv.Type)
+	if n == nil {
+		return false
+	}
+	mset := types.NewMethodSet(types.NewPointer(n))
+	for _, want := range []string{"Run", "Blocking", "Name"} {
+		if mset.Lookup(n.Obj().Pkg(), want) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// referencesRunfile reports whether the body mentions anything from the
+// runfile package: the package itself, or a value whose type comes from it
+// (a *runfile.Budget field, a runfile.Writer local, ...).
+func referencesRunfile(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if pn, ok := obj.(*types.PkgName); ok {
+			if pathMatches(pn.Imported().Path(), "runfile") || pathMatches(pn.Imported().Path(), "internal/runfile") {
+				found = true
+			}
+			return !found
+		}
+		if t := obj.Type(); t != nil && strings.Contains(t.String(), "runfile.") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkTupleAppends reports `x = append(x, ...)` growing a []Tuple where x
+// outlives the loop (or emit closure) doing the appending.
+func checkTupleAppends(pass *Pass, fd *ast.FuncDecl) {
+	// Walk with an explicit stack so each append knows its innermost
+	// enclosing loop or function literal.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if as, ok := n.(*ast.AssignStmt); ok {
+			checkAppendStmt(pass, fd, as, stack)
+		}
+		return true
+	})
+}
+
+func checkAppendStmt(pass *Pass, fd *ast.FuncDecl, as *ast.AssignStmt, stack []ast.Node) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return
+	}
+	fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	// Self-append: append target and assignment target are the same lvalue.
+	lhs := types.ExprString(as.Lhs[0])
+	if types.ExprString(call.Args[0]) != lhs {
+		return
+	}
+	// Element type must be the engine's Tuple.
+	tv, ok := pass.TypesInfo.Types[as.Lhs[0]]
+	if !ok {
+		return
+	}
+	slice, ok := tv.Type.Underlying().(*types.Slice)
+	if !ok {
+		return
+	}
+	elem := namedType(slice.Elem())
+	if elem == nil || elem.Obj().Name() != "Tuple" {
+		return
+	}
+	if !accumulates(pass, as, stack) {
+		return
+	}
+	recv := "operator"
+	if n := namedType(pass.TypesInfo.Types[fd.Recv.List[0].Type].Type); n != nil {
+		recv = n.Obj().Name()
+	}
+	pass.Reportf(as.Pos(),
+		"unbudgeted accumulation of tuples (%s) in %s.%s: charge a runfile.Budget and spill when denied, or stream",
+		lhs, recv, fd.Name.Name)
+}
+
+// accumulates decides whether the append grows storage that outlives one
+// iteration: the target is a field or indexed location, or a variable
+// declared outside the innermost enclosing loop or function literal. An
+// append with no enclosing loop/closure runs once and is not accumulation.
+func accumulates(pass *Pass, as *ast.AssignStmt, stack []ast.Node) bool {
+	switch t := ast.Unparen(as.Lhs[0]).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		// o.rows / groups[k]: lives beyond any iteration.
+		_ = t
+		return true
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[t]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[t]
+		}
+		if obj == nil {
+			return false
+		}
+		// Find the innermost loop or closure containing the append.
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+				scope := stack[i]
+				return obj.Pos() < scope.Pos() || obj.Pos() > scope.End()
+			}
+		}
+		return false
+	}
+	return false
+}

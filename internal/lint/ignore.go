@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive is
+//
+//	//lint:ignore asterixlint/<name> <reason>
+//
+// placed on the flagged line or on the line directly above it (a contiguous
+// comment block directly above also counts, matching how staticcheck scopes
+// its directives). The analyzer name may be "all" to silence every analyzer
+// for that line. A reason is required: a bare directive is itself reported,
+// so suppressions stay auditable.
+
+// ignoreDirective is one parsed lint:ignore comment.
+type ignoreDirective struct {
+	analyzer string // analyzer name without the asterixlint/ prefix, or "all"
+	reason   string
+	line     int    // line the comment sits on
+	file     string // filename the comment sits in
+	used     bool
+}
+
+const directivePrefix = "lint:ignore"
+
+// parseIgnores collects every lint:ignore directive in the package's files.
+// Malformed directives (missing analyzer or reason) are reported as
+// diagnostics in their own right via the returned problems slice.
+func parseIgnores(fset *token.FileSet, files []*ast.File) (directives []*ignoreDirective, problems []Diagnostic) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				name = strings.TrimPrefix(name, "asterixlint/")
+				reason = strings.TrimSpace(reason)
+				if name == "" || reason == "" {
+					problems = append(problems, Diagnostic{
+						Analyzer: "ignore",
+						Pos:      pos,
+						Message:  "malformed lint:ignore directive: want //lint:ignore asterixlint/<analyzer> <reason>",
+					})
+					continue
+				}
+				directives = append(directives, &ignoreDirective{
+					analyzer: name,
+					reason:   reason,
+					line:     pos.Line,
+					file:     pos.Filename,
+				})
+			}
+		}
+	}
+	return directives, problems
+}
+
+// applyIgnores marks diagnostics matched by a directive as suppressed and
+// reports directives that matched nothing (stale suppressions are themselves
+// findings, so ignores cannot rot in place).
+func applyIgnores(diags []Diagnostic, directives []*ignoreDirective) []Diagnostic {
+	for i := range diags {
+		d := &diags[i]
+		for _, dir := range directives {
+			if dir.matches(*d) {
+				d.Suppressed = true
+				d.SuppressReason = dir.reason
+				dir.used = true
+				break
+			}
+		}
+	}
+	for _, dir := range directives {
+		if !dir.used {
+			diags = append(diags, Diagnostic{
+				Analyzer: "ignore",
+				Pos:      token.Position{Filename: dir.file, Line: dir.line, Column: 1},
+				Message:  "lint:ignore directive matches no diagnostic (asterixlint/" + dir.analyzer + "); remove it",
+			})
+		}
+	}
+	return diags
+}
+
+// matches reports whether the directive covers the diagnostic: same file,
+// same analyzer (or "all"), and the directive sits on the diagnostic's line
+// or directly above it.
+func (dir *ignoreDirective) matches(d Diagnostic) bool {
+	if d.Suppressed || dir.file != d.Pos.Filename {
+		return false
+	}
+	if dir.analyzer != "all" && dir.analyzer != d.Analyzer {
+		return false
+	}
+	return dir.line == d.Pos.Line || dir.line == d.Pos.Line-1
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// All analyzer tests share one loader: the expensive part of a run is
+// type-checking the standard library through the source importer, and the
+// loader memoizes packages, so the cost is paid once per `go test` process.
+var (
+	loaderOnce sync.Once
+	loaderVal  *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() { loaderVal, loaderErr = NewLoader(".") })
+	if loaderErr != nil {
+		t.Fatalf("NewLoader: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// runAnalyzerTest diffs one analyzer against the `// want` expectations of
+// its testdata package.
+func runAnalyzerTest(t *testing.T, a *Analyzer, pkg string) {
+	t.Helper()
+	problems, err := AnalyzerTestResult(testLoader(t), []*Analyzer{a}, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+func TestLockedCallback(t *testing.T) { runAnalyzerTest(t, LockedCallback, "lockedcallback") }
+func TestMustClose(t *testing.T)      { runAnalyzerTest(t, MustClose, "mustclose") }
+func TestReadFull(t *testing.T)       { runAnalyzerTest(t, ReadFull, "readfull") }
+func TestTypedErrors(t *testing.T)    { runAnalyzerTest(t, TypedErrors, "typederrors") }
+func TestBudgetAlloc(t *testing.T)    { runAnalyzerTest(t, BudgetAlloc, "budgetalloc") }
+
+// TestIgnoreDirectives checks the suppression machinery end to end: same-line
+// and line-above directives suppress (with their reasons preserved), findings
+// without a directive stay live, and a stale directive becomes a finding.
+func TestIgnoreDirectives(t *testing.T) {
+	l := testLoader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "ignore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunPackage(l, pkg, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var suppressed, live, stale int
+	for _, d := range diags {
+		switch {
+		case d.Suppressed:
+			suppressed++
+			if d.SuppressReason == "" {
+				t.Errorf("suppressed diagnostic lost its reason: %s", d)
+			}
+		case d.Analyzer == "ignore":
+			stale++
+			if !strings.Contains(d.Message, "matches no diagnostic") {
+				t.Errorf("unexpected ignore diagnostic: %s", d)
+			}
+		default:
+			live++
+			if d.Analyzer != "readfull" {
+				t.Errorf("unexpected live diagnostic: %s", d)
+			}
+		}
+	}
+	if suppressed != 2 || live != 1 || stale != 1 {
+		t.Errorf("suppressed/live/stale = %d/%d/%d, want 2/1/1 in:", suppressed, live, stale)
+		for _, d := range diags {
+			t.Logf("  %s", d.String())
+		}
+	}
+}
+
+// TestRepositoryIsClean runs the whole suite over the module, the same
+// invocation CI uses: the tree must carry no live findings, and any
+// suppression in force must still match a diagnostic.
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-tree analysis in -short mode")
+	}
+	diags, err := RunSuite(testLoader(t), All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !d.Suppressed {
+			t.Errorf("%s", d)
+		}
+	}
+}

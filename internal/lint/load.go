@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages of the asterixdb module without
+// external tooling. Imports are resolved through a two-way chain: paths
+// inside the module are mapped to repository directories and type-checked
+// recursively; everything else (the standard library) goes through Go's
+// source importer. The loader memoizes packages, so a whole-tree run
+// type-checks each package once.
+type Loader struct {
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module path declared in go.mod ("asterixdb").
+	ModulePath string
+
+	Fset  *token.FileSet
+	std   types.ImporterFrom
+	cache map[string]*Package
+}
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (or a synthetic path for testdata
+	// packages loaded by the analysistest harness).
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewLoader returns a loader rooted at the module containing dir. It walks
+// parent directories until it finds go.mod, mirroring the go tool.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer unavailable")
+	}
+	return &Loader{
+		ModuleRoot: root,
+		ModulePath: modPath,
+		Fset:       fset,
+		std:        std,
+		cache:      map[string]*Package{},
+	}, nil
+}
+
+// modulePath extracts the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// LoadAll loads every package under the module root, skipping testdata,
+// hidden directories, and directories with no non-test Go files. This is the
+// "./..." of cmd/asterixlint. Packages come back sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if isSourceFile(e.Name()) {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the package in one directory. The import path is derived
+// from the directory's position under the module root; directories outside
+// the module (testdata trees) get a synthetic path from their base name.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.importPathFor(abs)
+	return l.load(path, abs)
+}
+
+// importPathFor maps a repository directory to its import path.
+func (l *Loader) importPathFor(abs string) string {
+	if abs == l.ModuleRoot {
+		return l.ModulePath
+	}
+	if rel, err := filepath.Rel(l.ModuleRoot, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return l.ModulePath + "/" + filepath.ToSlash(rel)
+	}
+	return filepath.Base(abs)
+}
+
+// load parses and type-checks one package, memoized by import path.
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go source files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses every non-test Go file in dir, with comments, in file-name
+// order so diagnostics are deterministic.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// isSourceFile reports whether name is a Go file the analyzers look at:
+// _test.go files are excluded (they exercise invariants deliberately and are
+// compiled separately by the go tool).
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// Import implements types.Importer; the type checker calls it for dot-free
+// import paths in older code paths.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleRoot, 0)
+}
+
+// ImportFrom implements types.ImporterFrom, chaining module-local resolution
+// with the standard-library source importer.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		dir := l.ModuleRoot
+		if path != l.ModulePath {
+			dir = filepath.Join(l.ModuleRoot, filepath.FromSlash(strings.TrimPrefix(path, l.ModulePath+"/")))
+		}
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

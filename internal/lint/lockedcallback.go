@@ -1,0 +1,368 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockedCallback flags caller-supplied callbacks run under a lock. The
+// engine's storage idiom is strict: traversals collect matches while holding
+// the partition latch and invoke the caller's visitor only after releasing
+// it, because a visitor that re-enters the same dataset (a self-join's inner
+// scan) would block on the latch it is already under — the ScanPartition
+// self-deadlock. The analyzer reports, inside any region where a
+// sync.Mutex/RWMutex acquired in the same function is still held:
+//
+//   - a direct call of a function-typed parameter (or a local alias of one),
+//     and
+//   - a call into module-local code that forwards such a parameter (bare or
+//     captured by a closure) — the "exported method that invokes the
+//     visitor" shape.
+//
+// Purely local closures passed to traversals under a latch are not flagged:
+// they cannot re-enter through the caller.
+var LockedCallback = &Analyzer{
+	Name: "lockedcallback",
+	Doc: "flags visitor/emit-style function parameters invoked (or forwarded into a " +
+		"traversal) while a sync.Mutex/RWMutex acquired in the same function is held " +
+		"(the ScanPartition self-join deadlock class)",
+	Run: runLockedCallback,
+}
+
+func runLockedCallback(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkLockedUnit(pass, fd.Type, fd.Body, nil)
+			}
+		}
+	}
+	return nil
+}
+
+// checkLockedUnit analyzes one function body. outer carries func-typed
+// parameter objects captured from enclosing functions (for nested literals).
+func checkLockedUnit(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt, outer map[types.Object]bool) {
+	tainted := map[types.Object]bool{}
+	for o := range outer {
+		tainted[o] = true
+	}
+	if ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil && funcTyped(obj.Type()) {
+					tainted[obj] = true
+				}
+			}
+		}
+	}
+	st := &lockState{pass: pass, tainted: tainted, held: map[string]bool{}}
+	st.walkStmts(body.List)
+	// Nested function literals form their own units (a goroutine body that
+	// locks and then emits is just as deadlock-prone as its parent).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkLockedUnit(pass, lit.Type, lit.Body, tainted)
+			return false
+		}
+		return true
+	})
+}
+
+type lockState struct {
+	pass    *Pass
+	tainted map[types.Object]bool
+	// held maps the source rendering of a mutex expression ("p.mu") to
+	// whether that lock is currently held on this path.
+	held map[string]bool
+}
+
+func (st *lockState) clone() *lockState {
+	held := make(map[string]bool, len(st.held))
+	for k, v := range st.held {
+		held[k] = v
+	}
+	return &lockState{pass: st.pass, tainted: st.tainted, held: held}
+}
+
+func (st *lockState) anyHeld() (string, bool) {
+	for k, h := range st.held {
+		if h {
+			return k, true
+		}
+	}
+	return "", false
+}
+
+// walkStmts processes a statement list in order, tracking lock transitions.
+// Branch bodies run on cloned state so an early-unlock-and-return branch does
+// not clear the lock on the fall-through path.
+func (st *lockState) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		st.walkStmt(s)
+	}
+}
+
+func (st *lockState) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		st.walkStmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		st.checkExpr(s.Cond)
+		st.clone().walkStmt(s.Body)
+		if s.Else != nil {
+			st.clone().walkStmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			st.checkExpr(s.Cond)
+		}
+		st.clone().walkStmt(s.Body)
+	case *ast.RangeStmt:
+		st.checkExpr(s.X)
+		st.clone().walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		if s.Tag != nil {
+			st.checkExpr(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				sub := st.clone()
+				for _, e := range cc.List {
+					sub.checkExpr(e)
+				}
+				sub.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st.walkStmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				st.clone().walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				sub := st.clone()
+				if cc.Comm != nil {
+					sub.walkStmt(cc.Comm)
+				}
+				sub.walkStmts(cc.Body)
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock keeps the lock held for the rest of the
+		// function; any other deferred call is checked in place.
+		if recv, kind := mutexCall(st.pass.TypesInfo, s.Call); kind == lockRelease && recv != "" {
+			return
+		}
+		st.checkExpr(s.Call)
+	case *ast.GoStmt:
+		st.checkExpr(s.Call)
+	case *ast.ExprStmt:
+		st.applyExpr(s.X)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			st.checkExpr(rhs)
+		}
+		st.propagateTaint(s)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			st.checkExpr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						st.checkExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		st.walkStmt(s.Stmt)
+	}
+}
+
+// applyExpr handles an expression statement: lock transitions mutate state,
+// everything else is checked for callback misuse.
+func (st *lockState) applyExpr(e ast.Expr) {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if recv, kind := mutexCall(st.pass.TypesInfo, call); recv != "" {
+			switch kind {
+			case lockAcquire:
+				st.held[recv] = true
+			case lockRelease:
+				st.held[recv] = false
+			}
+			return
+		}
+	}
+	st.checkExpr(e)
+}
+
+type lockKind int
+
+const (
+	lockNone lockKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// mutexCall recognizes m.Lock/RLock/Unlock/RUnlock on sync.Mutex/RWMutex and
+// returns the rendered receiver expression ("p.mu") plus the transition kind.
+func mutexCall(info *types.Info, call *ast.CallExpr) (string, lockKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", lockNone
+	}
+	var kind lockKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", lockNone
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", lockNone
+	}
+	return types.ExprString(sel.X), kind
+}
+
+// checkExpr looks for callback misuse inside an expression while a lock is
+// held. Function literal bodies are not descended into (they are analyzed as
+// their own units, and a literal is only dangerous here when forwarded into
+// a call, which taintedExpr catches) unless immediately invoked.
+func (st *lockState) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	lock, heldNow := st.anyHeld()
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if !heldNow {
+				return true
+			}
+			// Immediately-invoked literal: execute inline.
+			if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
+				sub := st.clone()
+				sub.walkStmts(lit.Body.List)
+			}
+			if name, ok := st.taintedCallee(x); ok {
+				st.pass.Reportf(x.Pos(),
+					"callback %s invoked while %s is held; collect under the latch and invoke after unlocking", name, lock)
+				return true
+			}
+			if argName, ok := st.taintedArg(x); ok && moduleLocalCallee(st.pass, x) {
+				st.pass.Reportf(x.Pos(),
+					"callback %s forwarded into %s while %s is held; the traversal will run it under the latch",
+					argName, types.ExprString(ast.Unparen(x.Fun)), lock)
+			}
+		}
+		return true
+	})
+}
+
+// propagateTaint marks locals assigned from tainted values as tainted:
+// v := visit, or v := func(){ ... visit(...) ... }.
+func (st *lockState) propagateTaint(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if !st.taintedExpr(s.Rhs[i]) {
+			continue
+		}
+		if obj := st.pass.TypesInfo.Defs[id]; obj != nil {
+			st.tainted[obj] = true
+		} else if obj := st.pass.TypesInfo.Uses[id]; obj != nil {
+			st.tainted[obj] = true
+		}
+	}
+}
+
+// taintedCallee reports whether the call invokes a tainted function value.
+func (st *lockState) taintedCallee(call *ast.CallExpr) (string, bool) {
+	fun := ast.Unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if obj := st.pass.TypesInfo.Uses[id]; obj != nil && st.tainted[obj] {
+			return id.Name, true
+		}
+	}
+	return "", false
+}
+
+// taintedArg returns the first argument that carries a tainted function
+// value, bare or captured inside a function literal.
+func (st *lockState) taintedArg(call *ast.CallExpr) (string, bool) {
+	for _, arg := range call.Args {
+		if st.taintedExpr(arg) {
+			return types.ExprString(ast.Unparen(arg)), true
+		}
+	}
+	return "", false
+}
+
+// taintedExpr reports whether e evaluates to (or captures) a tainted
+// function value.
+func (st *lockState) taintedExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := st.pass.TypesInfo.Uses[x]
+		return obj != nil && st.tainted[obj]
+	case *ast.FuncLit:
+		found := false
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := st.pass.TypesInfo.Uses[id]; obj != nil && st.tainted[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// moduleLocalCallee reports whether the call's target is engine code (the
+// current package or another package of this module) — the only callees whose
+// traversal semantics the analyzer assumes. Forwarding a callback into the
+// standard library (sort.Slice and friends) is synchronous, lock-free, and
+// not flagged.
+func moduleLocalCallee(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if fn.Pkg() == pass.Pkg {
+		return true
+	}
+	return path == "asterixdb" || strings.HasPrefix(path, "asterixdb/")
+}

@@ -1,0 +1,463 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MustClose flags resources acquired in a function and not released on every
+// path out of it. The PR 4 external-runtime work leaked spill run files
+// exactly this way: a writer was Finished on the happy path but an early
+// error return left the temp file on disk and the budget charged. The
+// analyzer tracks the engine's closable types from their acquisition call to
+// one of:
+//
+//   - a deferred close (covers every subsequent path),
+//   - a close on each straight-line path (branches that return while the
+//     resource is open are reported), or
+//   - an ownership transfer: the value is returned, stored into a struct or
+//     composite literal, assigned onward, or passed to another call — after
+//     which the new owner is responsible and this function is off the hook.
+//
+// The `if err != nil` branch guarding the acquisition's own error is exempt:
+// on that path the resource was never acquired. lsm.Iterator is deliberately
+// not tracked — it is latch-scoped and has no Close.
+var MustClose = &Analyzer{
+	Name: "mustclose",
+	Doc: "flags runfile writers/readers, cursors and os temp files not closed on " +
+		"every path (the spill run-file leak class); recognizes defer and ownership " +
+		"transfer via return/store/call",
+	Run: runMustClose,
+}
+
+// closable describes one tracked resource type.
+type closable struct {
+	pkgPath string // matched with pathMatches
+	name    string
+	closers []string // any one of these releases the resource
+	// osOnly restricts acquisitions to calls of package functions in "os"
+	// (Open/Create/CreateTemp...), so files received from elsewhere are the
+	// sender's responsibility.
+	osOnly bool
+}
+
+var closables = []closable{
+	{pkgPath: "os", name: "File", closers: []string{"Close"}, osOnly: true},
+	{pkgPath: "internal/runfile", name: "Writer", closers: []string{"Finish", "Abort"}},
+	{pkgPath: "internal/runfile", name: "Reader", closers: []string{"Close"}},
+	{pkgPath: "internal/hyracks", name: "Cursor", closers: []string{"Close"}},
+	{pkgPath: "asterixdb", name: "Cursor", closers: []string{"Close"}},
+}
+
+func classify(t types.Type) *closable {
+	for i := range closables {
+		if typeIs(t, closables[i].pkgPath, closables[i].name) {
+			return &closables[i]
+		}
+	}
+	return nil
+}
+
+func runMustClose(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkCloseUnit(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// acquisition is one tracked resource binding inside a function.
+type acquisition struct {
+	obj    types.Object // the resource variable
+	errObj types.Object // error bound by the same assignment, if any
+	stmt   *ast.AssignStmt
+	class  *closable
+}
+
+// checkCloseUnit analyzes one function body; nested literals are analyzed as
+// their own units for acquisitions, but closes/transfers inside them count
+// for the enclosing unit (closure capture).
+func checkCloseUnit(pass *Pass, body *ast.BlockStmt) {
+	for _, acq := range findAcquisitions(pass, body) {
+		checkAcquisition(pass, body, acq)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkCloseUnit(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// findAcquisitions collects tracked-resource bindings at this unit's level
+// (not inside nested function literals).
+func findAcquisitions(pass *Pass, body *ast.BlockStmt) []*acquisition {
+	var acqs []*acquisition
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var errObj types.Object
+		var resources []*acquisition
+		for _, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			if class := classify(obj.Type()); class != nil {
+				if class.osOnly && !isOSAcquire(pass.TypesInfo, call) {
+					continue
+				}
+				resources = append(resources, &acquisition{obj: obj, stmt: as, class: class})
+			} else if isErrorType(obj.Type()) {
+				errObj = obj
+			}
+		}
+		for _, r := range resources {
+			r.errObj = errObj
+			acqs = append(acqs, r)
+		}
+		return true
+	})
+	return acqs
+}
+
+// isOSAcquire reports whether the call is a package-level function of os
+// (Open, Create, CreateTemp, OpenFile...). Files obtained any other way are
+// not treated as acquisitions.
+func isOSAcquire(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil && fn.Pkg().Path() == "os"
+}
+
+// checkAcquisition classifies every use of the resource in the unit and
+// applies the policy described in the analyzer doc.
+func checkAcquisition(pass *Pass, body *ast.BlockStmt, acq *acquisition) {
+	uses := collectUses(pass, body, acq)
+	if uses.transferred {
+		return
+	}
+	if len(uses.closes) == 0 {
+		pass.Reportf(acq.stmt.Pos(),
+			"%s (*%s.%s) is never closed: call %s, defer it, or transfer ownership",
+			acq.obj.Name(), packageShort(acq.class.pkgPath), acq.class.name, closerList(acq.class))
+		return
+	}
+	if uses.deferred {
+		return
+	}
+	walkClosePaths(pass, body, acq, uses)
+}
+
+type resourceUses struct {
+	closes      map[*ast.CallExpr]bool // close calls on the resource
+	deferred    bool                   // at least one close runs via defer
+	transferred bool                   // ownership left the function
+}
+
+// collectUses scans the whole unit (nested literals included — they capture
+// the variable) for closes and ownership transfers of acq.obj.
+func collectUses(pass *Pass, body *ast.BlockStmt, acq *acquisition) *resourceUses {
+	uses := &resourceUses{closes: map[*ast.CallExpr]bool{}}
+	isRes := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == acq.obj
+	}
+	var deferDepth int
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.DeferStmt:
+				deferDepth++
+				walk(x.Call)
+				deferDepth--
+				return false
+			case *ast.CallExpr:
+				if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && isRes(sel.X) {
+					for _, closer := range acq.class.closers {
+						if sel.Sel.Name == closer {
+							uses.closes[x] = true
+							if deferDepth > 0 {
+								uses.deferred = true
+							}
+							return true
+						}
+					}
+					// Other method calls on the resource are plain uses.
+					return true
+				}
+				for _, arg := range x.Args {
+					if escapes(pass, arg, acq.obj) {
+						uses.transferred = true
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, e := range x.Results {
+					if escapes(pass, e, acq.obj) {
+						uses.transferred = true
+					}
+				}
+			case *ast.AssignStmt:
+				if x == acq.stmt {
+					return true
+				}
+				for _, rhs := range x.Rhs {
+					if escapes(pass, rhs, acq.obj) {
+						uses.transferred = true
+					}
+				}
+			case *ast.SendStmt:
+				if escapes(pass, x.Value, acq.obj) {
+					uses.transferred = true
+				}
+			case *ast.FuncLit:
+				// Closure capture: a close inside a nested literal counts,
+				// and the defer context carries through so that
+				// defer func() { r.Close() }() registers as deferred.
+				walk(x.Body)
+				return false
+			}
+			return true
+		})
+	}
+	walk(body)
+	return uses
+}
+
+// escapes reports whether evaluating e hands the resource value itself to a
+// new owner: the bare variable, its address, or a composite literal carrying
+// it. Derived values (w.Name(), w.Size()) do not transfer ownership.
+func escapes(pass *Pass, e ast.Expr, obj types.Object) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[x] == obj
+	case *ast.UnaryExpr:
+		return escapes(pass, x.X, obj)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if escapes(pass, el, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// containsResource reports whether the expression mentions the resource
+// variable anywhere (including inside composite literals and unary &x).
+func containsResource(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// walkClosePaths runs the straight-line path check: after the acquisition,
+// every return must happen with the resource closed, and falling off the end
+// of the acquisition's block must leave it closed (a leak across loop
+// iterations otherwise).
+func walkClosePaths(pass *Pass, body *ast.BlockStmt, acq *acquisition, uses *resourceUses) {
+	block, idx := enclosingBlock(body, acq.stmt)
+	if block == nil {
+		return
+	}
+	w := &closeWalker{pass: pass, acq: acq, uses: uses}
+	open := w.walkStmts(block.List[idx+1:], true)
+	if open && !w.reported {
+		pass.Reportf(acq.stmt.Pos(),
+			"%s is closed on some paths but not all: a path falls out of this block with it open",
+			acq.obj.Name())
+	}
+}
+
+// enclosingBlock finds the innermost block statement list containing stmt
+// and its index in it.
+func enclosingBlock(body *ast.BlockStmt, stmt ast.Stmt) (*ast.BlockStmt, int) {
+	var foundBlock *ast.BlockStmt
+	foundIdx := -1
+	ast.Inspect(body, func(n ast.Node) bool {
+		if foundBlock != nil {
+			return false
+		}
+		if b, ok := n.(*ast.BlockStmt); ok {
+			for i, s := range b.List {
+				if s == stmt {
+					foundBlock, foundIdx = b, i
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return foundBlock, foundIdx
+}
+
+type closeWalker struct {
+	pass     *Pass
+	acq      *acquisition
+	uses     *resourceUses
+	reported bool
+}
+
+// walkStmts walks one statement list with the resource in state open,
+// returning the open state at the end of the list. Returns while open are
+// reported.
+func (w *closeWalker) walkStmts(stmts []ast.Stmt, open bool) bool {
+	for _, s := range stmts {
+		open = w.walkStmt(s, open)
+	}
+	return open
+}
+
+func (w *closeWalker) walkStmt(s ast.Stmt, open bool) bool {
+	if !open {
+		return false
+	}
+	if w.stmtCloses(s) {
+		return false
+	}
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		w.reported = true
+		w.pass.Reportf(s.Pos(),
+			"may return with %s open; close it on this path or defer the close (spill run-file leak class)",
+			w.acq.obj.Name())
+		return open
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, open)
+	case *ast.IfStmt:
+		if w.acq.errObj != nil && usesObject(w.pass, s.Cond, w.acq.errObj) {
+			// The acquisition's own error check: on that branch the resource
+			// was never valid.
+			return open
+		}
+		bodyOpen := w.walkStmts(s.Body.List, open)
+		elseOpen := open
+		if s.Else != nil {
+			elseOpen = w.walkStmt(s.Else, open)
+		}
+		// Optimistic merge: a close on either branch clears the state, which
+		// under-reports interleavings but never flags correct code.
+		if terminates(s.Body) {
+			return elseOpen
+		}
+		return bodyOpen && elseOpen
+	case *ast.ForStmt:
+		return w.walkStmts(s.Body.List, open)
+	case *ast.RangeStmt:
+		return w.walkStmts(s.Body.List, open)
+	case *ast.SwitchStmt:
+		return w.walkCases(s.Body, open)
+	case *ast.TypeSwitchStmt:
+		return w.walkCases(s.Body, open)
+	case *ast.SelectStmt:
+		return w.walkCases(s.Body, open)
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, open)
+	}
+	return open
+}
+
+func (w *closeWalker) walkCases(body *ast.BlockStmt, open bool) bool {
+	result := open
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			stmts = cc.Body
+		case *ast.CommClause:
+			stmts = cc.Body
+		}
+		if !w.walkStmts(stmts, open) {
+			result = false
+		}
+	}
+	return result
+}
+
+// stmtCloses reports whether the statement directly contains a close call on
+// the resource (not inside a nested function literal).
+func (w *closeWalker) stmtCloses(s ast.Stmt) bool {
+	closes := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && w.uses.closes[call] {
+			closes = true
+		}
+		return !closes
+	})
+	return closes
+}
+
+func usesObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	return containsResource(pass, e, obj)
+}
+
+// terminates reports whether a block always transfers control out (its last
+// statement is a return, panic-like call, or unguarded control transfer).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func packageShort(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+func closerList(c *closable) string {
+	s := c.closers[0]
+	for _, extra := range c.closers[1:] {
+		s += " or " + extra
+	}
+	return s
+}

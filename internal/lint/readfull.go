@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ReadFull flags io.Reader.Read calls whose byte count is discarded. Read is
+// allowed to return fewer bytes than the buffer holds even with a nil error,
+// so code that drops n and then uses the whole buffer silently processes
+// stale or zeroed bytes on a short read. That is exactly how truncated LSM
+// component files corrupted reads before the decode helpers moved to
+// io.ReadFull: the framed-record reader got a partial frame from a crashed
+// writer's file and decoded garbage. The fix is io.ReadFull (error on short
+// read) or honoring n.
+var ReadFull = &Analyzer{
+	Name: "readfull",
+	Doc: "flags io.Reader.Read calls whose result length is discarded; " +
+		"a short read silently truncates the buffer — use io.ReadFull in decode paths " +
+		"(the truncated-component corruption class)",
+	Run: runReadFull,
+}
+
+func runReadFull(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				// r.Read(buf) as a bare statement: both results dropped.
+				if call, ok := s.X.(*ast.CallExpr); ok && isReaderRead(pass.TypesInfo, call) {
+					reportDiscardedRead(pass, call)
+				}
+			case *ast.AssignStmt:
+				// _, err := r.Read(buf) (and `=` form): n dropped.
+				if len(s.Rhs) != 1 || len(s.Lhs) != 2 {
+					return true
+				}
+				call, ok := s.Rhs[0].(*ast.CallExpr)
+				if !ok || !isReaderRead(pass.TypesInfo, call) {
+					return true
+				}
+				if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					reportDiscardedRead(pass, call)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func reportDiscardedRead(pass *Pass, call *ast.CallExpr) {
+	recv := "reader"
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recv = types.ExprString(sel.X)
+	}
+	pass.Reportf(call.Pos(),
+		"result of %s.Read is discarded but Read may fill only part of the buffer; use io.ReadFull or check n", recv)
+}
+
+// isReaderRead reports whether call invokes a method named Read with the
+// io.Reader shape: func([]byte) (int, error).
+func isReaderRead(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Read" {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Type() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil { // package functions (rand.Read) are fine
+		return false
+	}
+	if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return false
+	}
+	p, ok := sig.Params().At(0).Type().(*types.Slice)
+	if !ok {
+		return false
+	}
+	if b, ok := p.Elem().(*types.Basic); !ok || b.Kind() != types.Byte {
+		return false
+	}
+	r0, ok := sig.Results().At(0).Type().(*types.Basic)
+	if !ok || r0.Kind() != types.Int {
+		return false
+	}
+	return isErrorType(sig.Results().At(1).Type())
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

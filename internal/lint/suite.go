@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"sort"
+)
+
+// All returns the full analyzer suite in deterministic (alphabetical) order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		BudgetAlloc,
+		LockedCallback,
+		MustClose,
+		ReadFull,
+		TypedErrors,
+	}
+}
+
+// ByName resolves analyzer names (comma-free, without the asterixlint/
+// prefix) to analyzers; unknown names come back in the second result.
+func ByName(names []string) (found []*Analyzer, unknown []string) {
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	for _, name := range names {
+		if a, ok := byName[name]; ok {
+			found = append(found, a)
+		} else {
+			unknown = append(unknown, name)
+		}
+	}
+	return found, unknown
+}
+
+// RunPackage runs the given analyzers over one loaded package, applies the
+// ignore directives, and returns every diagnostic — suppressed ones
+// included, marked — sorted by position.
+func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      l.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	diags = dedupe(diags)
+	directives, problems := parseIgnores(l.Fset, pkg.Files)
+	diags = applyIgnores(diags, directives)
+	diags = append(diags, problems...)
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// dedupe drops exact-duplicate findings (an analyzer can legitimately visit
+// a node twice, e.g. an immediately-invoked literal walked inline and as its
+// own unit).
+func dedupe(diags []Diagnostic) []Diagnostic {
+	seen := map[Diagnostic]bool{}
+	out := diags[:0]
+	for _, d := range diags {
+		if seen[d] {
+			continue
+		}
+		seen[d] = true
+		out = append(out, d)
+	}
+	return out
+}
+
+// RunSuite loads every package under the loader's module root and runs the
+// analyzers over each. The returned diagnostics include suppressed findings
+// (marked as such) so callers can audit suppressions in force.
+func RunSuite(l *Loader, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(l, pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,89 @@
+// Package budgetalloc exercises asterixlint/budgetalloc: operator bodies
+// must not accumulate tuples without charging a runfile budget.
+package budgetalloc
+
+import "asterixdb/internal/runfile"
+
+type Tuple []int
+
+// collectOp is operator-shaped: its pointer method set carries Run, Blocking
+// and Name, like a hyracks operator.
+type collectOp struct {
+	rows []Tuple
+}
+
+func (o *collectOp) Name() string   { return "collect" }
+func (o *collectOp) Blocking() bool { return true }
+
+// Run materializes its whole input with no budget in sight.
+func (o *collectOp) Run(in <-chan Tuple, emit func(Tuple) bool) error {
+	for t := range in {
+		o.rows = append(o.rows, t) // want `unbudgeted accumulation of tuples \(o\.rows\) in collectOp\.Run`
+	}
+	for _, t := range o.rows {
+		if !emit(t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// drain grows a local that outlives the loop: same class.
+func (o *collectOp) drain(in <-chan Tuple) []Tuple {
+	var buf []Tuple
+	for t := range in {
+		buf = append(buf, t) // want `unbudgeted accumulation of tuples \(buf\) in collectOp\.drain`
+	}
+	return buf
+}
+
+// pairs appends only within one iteration — the slice is born and dies inside
+// the loop body, so nothing accumulates: clean.
+func (o *collectOp) pairs(in [][2]Tuple) int {
+	n := 0
+	for _, p := range in {
+		var pair []Tuple
+		pair = append(pair, p[0])
+		pair = append(pair, p[1])
+		n += len(pair)
+	}
+	return n
+}
+
+// budgetedOp charges a runfile.Instance before buffering; any method that
+// references the runfile package is presumed to do its accounting, and the
+// accounting itself is the spill tests' job: clean.
+type budgetedOp struct {
+	rows []Tuple
+	mem  *runfile.Instance
+}
+
+func (o *budgetedOp) Name() string   { return "budgeted" }
+func (o *budgetedOp) Blocking() bool { return true }
+
+func (o *budgetedOp) Run(in <-chan Tuple, spill func([]Tuple) error) error {
+	for t := range in {
+		if !o.mem.Fits(int64(len(t))) {
+			if err := spill(o.rows); err != nil {
+				return err
+			}
+			o.mem.Release(o.mem.Used())
+			o.rows = o.rows[:0]
+		}
+		o.mem.Add(int64(len(t)))
+		o.rows = append(o.rows, t)
+	}
+	return spill(o.rows)
+}
+
+// plainBuffer is not operator-shaped (no Run/Blocking/Name), so its buffering
+// is out of scope: clean.
+type plainBuffer struct {
+	rows []Tuple
+}
+
+func (b *plainBuffer) add(ts []Tuple) {
+	for _, t := range ts {
+		b.rows = append(b.rows, t)
+	}
+}

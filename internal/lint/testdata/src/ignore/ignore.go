@@ -1,0 +1,31 @@
+// Package ignore exercises the lint:ignore suppression directive: same-line
+// and line-above placements suppress, unsuppressed findings stay live, and a
+// stale directive is itself a finding.
+package ignore
+
+import "io"
+
+func sameLine(r io.Reader) []byte {
+	buf := make([]byte, 4)
+	r.Read(buf) //lint:ignore asterixlint/readfull the ring buffer always holds 4 bytes here
+	return buf
+}
+
+func lineAbove(r io.Reader) []byte {
+	buf := make([]byte, 4)
+	//lint:ignore asterixlint/readfull framing is validated by the caller
+	r.Read(buf)
+	return buf
+}
+
+func unsuppressed(r io.Reader) []byte {
+	buf := make([]byte, 4)
+	r.Read(buf)
+	return buf
+}
+
+func stale(r io.Reader) (int, error) {
+	buf := make([]byte, 4)
+	//lint:ignore asterixlint/readfull stale: the count is checked now
+	return r.Read(buf)
+}

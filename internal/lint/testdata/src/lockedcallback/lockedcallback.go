@@ -1,0 +1,121 @@
+// Package lockedcallback exercises asterixlint/lockedcallback: a
+// caller-supplied callback must never run while a lock acquired in the same
+// function is held.
+package lockedcallback
+
+import "sync"
+
+type store struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	data map[string]int
+}
+
+// scan is a package-local traversal that runs its visitor per element;
+// forwarding a caller's callback into it under the latch is the deadlock
+// shape.
+func (s *store) scan(visit func(string, int) bool) {
+	for k, v := range s.data {
+		if !visit(k, v) {
+			return
+		}
+	}
+}
+
+// directCallUnderLock invokes the visitor with the latch held.
+func (s *store) directCallUnderLock(visit func(string, int) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.data {
+		visit(k, v) // want `callback visit invoked while s\.mu is held`
+	}
+}
+
+// readUnderRLock: a read latch deadlocks a re-entrant visitor just the same.
+func (s *store) readUnderRLock(emit func(int)) {
+	s.rw.RLock()
+	for _, v := range s.data {
+		emit(v) // want `callback emit invoked while s\.rw is held`
+	}
+	s.rw.RUnlock()
+}
+
+// forwardUnderLock hands a closure over the visitor to a traversal while the
+// latch is held: the traversal will run the caller's code under the lock.
+func (s *store) forwardUnderLock(visit func(string, int) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.scan(func(k string, v int) bool { // want `callback \(func.* literal\) forwarded into s\.scan while s\.mu is held`
+		return visit(k, v)
+	})
+}
+
+// forwardBareParam forwards the parameter itself.
+func (s *store) forwardBareParam(visit func(string, int) bool) {
+	s.mu.Lock()
+	s.scan(visit) // want `callback visit forwarded into s\.scan while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// aliasTaint: a local alias of the callback is just as dangerous.
+func (s *store) aliasTaint(visit func(string, int) bool) {
+	cb := visit
+	s.mu.Lock()
+	cb("x", 1) // want `callback cb invoked while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// branchUnlock: an early-unlock branch must not clear the lock state on the
+// fall-through path.
+func (s *store) branchUnlock(visit func(string, int) bool, fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return
+	}
+	visit("", 0) // want `callback visit invoked while s\.mu is held`
+	s.mu.Unlock()
+}
+
+// lockedGoroutine: a goroutine body is its own unit but still captures the
+// caller's visitor.
+func (s *store) lockedGoroutine(emit func(int)) {
+	go func() {
+		s.mu.Lock()
+		emit(1) // want `callback emit invoked while s\.mu is held`
+		s.mu.Unlock()
+	}()
+}
+
+// collectThenVisit is the engine's idiom and must stay clean: gather matches
+// under the latch, invoke the visitor after releasing it.
+func (s *store) collectThenVisit(visit func(string, int) bool) {
+	type kv struct {
+		k string
+		v int
+	}
+	s.mu.Lock()
+	var out []kv
+	for k, v := range s.data {
+		out = append(out, kv{k, v})
+	}
+	s.mu.Unlock()
+	for _, e := range out {
+		if !visit(e.k, e.v) {
+			return
+		}
+	}
+}
+
+// localClosureIsFine: a purely local closure cannot re-enter through the
+// caller, so running it under the latch is not flagged.
+func (s *store) localClosureIsFine() int {
+	total := 0
+	s.mu.Lock()
+	s.scan(func(k string, v int) bool {
+		total += v
+		return true
+	})
+	s.mu.Unlock()
+	return total
+}

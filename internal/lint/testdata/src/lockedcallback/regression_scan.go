@@ -1,0 +1,54 @@
+package lockedcallback
+
+import "sync"
+
+// This file reproduces the historical ScanPartition self-join deadlock in
+// shape: ScanPartition ran the caller's visitor inside the tree traversal
+// while holding the partition latch, so a visitor that re-entered the same
+// dataset (the self-join's inner scan) blocked on the latch it was already
+// under.
+
+type record struct{ key, val string }
+
+type tree struct{ recs []record }
+
+func (t *tree) rangeScan(lo, hi string, visit func(k, v string) bool) {
+	for _, r := range t.recs {
+		if r.key < lo || r.key > hi {
+			continue
+		}
+		if !visit(r.key, r.val) {
+			return
+		}
+	}
+}
+
+type partition struct {
+	mu      sync.RWMutex
+	primary *tree
+}
+
+// scanPartitionDeadlock is the bug as shipped.
+func (p *partition) scanPartitionDeadlock(lo, hi string, visit func(k, v string) bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	p.primary.rangeScan(lo, hi, func(k, v string) bool { // want `callback \(func.* literal\) forwarded into p\.primary\.rangeScan while p\.mu is held`
+		return visit(k, v)
+	})
+}
+
+// scanPartitionFixed is the fix: collect under the latch, visit after.
+func (p *partition) scanPartitionFixed(lo, hi string, visit func(k, v string) bool) {
+	p.mu.RLock()
+	var chunk []record
+	p.primary.rangeScan(lo, hi, func(k, v string) bool {
+		chunk = append(chunk, record{k, v})
+		return true
+	})
+	p.mu.RUnlock()
+	for _, r := range chunk {
+		if !visit(r.key, r.val) {
+			return
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package mustclose exercises asterixlint/mustclose: run files, cursors and
+// temp files must be released on every path or explicitly handed off.
+package mustclose
+
+import (
+	"os"
+
+	"asterixdb/internal/hyracks"
+)
+
+// leakTemp never closes the temp file.
+func leakTemp(dir string) (string, error) {
+	f, err := os.CreateTemp(dir, "spill-*") // want `f \(\*os\.File\) is never closed`
+	if err != nil {
+		return "", err
+	}
+	return f.Name(), nil
+}
+
+// earlyReturnLeak closes on the happy path only.
+func earlyReturnLeak(dir string, fail bool) error {
+	f, err := os.CreateTemp(dir, "spill-*")
+	if err != nil {
+		return err
+	}
+	if fail {
+		return os.ErrInvalid // want `may return with f open`
+	}
+	return f.Close()
+}
+
+// deferredClose is the idiomatic shape and stays clean.
+func deferredClose(dir string, data []byte) error {
+	f, err := os.CreateTemp(dir, "sort-*")
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	_, err = f.Write(data)
+	return err
+}
+
+// returnTransfer hands the open file to the caller; the callee is no longer
+// responsible for closing it.
+func returnTransfer(dir string) (*os.File, error) {
+	f, err := os.CreateTemp(dir, "run-*")
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func openCursor() *hyracks.Cursor { return nil }
+
+// cursorLeak drains a streaming cursor without ever closing it, leaving the
+// job's goroutines parked on their output channels.
+func cursorLeak() int {
+	cur := openCursor() // want `cur \(\*hyracks\.Cursor\) is never closed`
+	n := 0
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// cursorDrained defers the close before draining: clean.
+func cursorDrained() (int, error) {
+	cur := openCursor()
+	defer cur.Close()
+	n := 0
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+		n++
+	}
+	return n, cur.Err()
+}

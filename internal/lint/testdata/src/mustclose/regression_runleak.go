@@ -1,0 +1,62 @@
+package mustclose
+
+import (
+	"asterixdb/internal/adm"
+	"asterixdb/internal/runfile"
+)
+
+// This file reproduces the historical spill run-file leak in shape: the
+// external sort spilled a sorted run, and a write error between NewRun and
+// Finish returned early, leaving the run file on disk with its bytes still
+// charged against the manager's spill budget.
+
+// spillRunLeak is the bug as shipped.
+func spillRunLeak(m *runfile.Manager, rows [][]adm.Value) (*runfile.Run, error) {
+	w, err := m.NewRun()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			return nil, err // want `may return with w open`
+		}
+	}
+	return w.Finish()
+}
+
+// spillRunFixed aborts the writer on the error path, deleting the partial run
+// and releasing its budget charge.
+func spillRunFixed(m *runfile.Manager, rows [][]adm.Value) (*runfile.Run, error) {
+	w, err := m.NewRun()
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if err := w.Write(r); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	return w.Finish()
+}
+
+// runNeverFinished writes tuples but neither finishes nor aborts.
+func runNeverFinished(m *runfile.Manager, row []adm.Value) error {
+	w, err := m.NewRun() // want `w \(\*runfile\.Writer\) is never closed: call Finish or Abort`
+	if err != nil {
+		return err
+	}
+	return w.Write(row)
+}
+
+type spill struct{ w *runfile.Writer }
+
+// structTransfer stores the writer in a struct for a later Finish: ownership
+// moved, so the function is clean.
+func structTransfer(m *runfile.Manager) (*spill, error) {
+	w, err := m.NewRun()
+	if err != nil {
+		return nil, err
+	}
+	return &spill{w: w}, nil
+}

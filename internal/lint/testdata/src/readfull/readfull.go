@@ -1,0 +1,45 @@
+// Package readfull exercises asterixlint/readfull: the result of a bare
+// io.Reader.Read must not be assumed to fill the buffer.
+package readfull
+
+import (
+	"crypto/rand"
+	"io"
+	"os"
+)
+
+// discardBoth ignores the result entirely.
+func discardBoth(f *os.File) []byte {
+	buf := make([]byte, 16)
+	f.Read(buf) // want `result of f\.Read is discarded`
+	return buf
+}
+
+// discardCount keeps the error but blanks the byte count.
+func discardCount(r io.Reader) error {
+	buf := make([]byte, 8)
+	_, err := r.Read(buf) // want `result of r\.Read is discarded`
+	return err
+}
+
+// checked uses the count: clean.
+func checked(r io.Reader) ([]byte, error) {
+	buf := make([]byte, 8)
+	n, err := r.Read(buf)
+	return buf[:n], err
+}
+
+// full uses io.ReadFull, which owns the short-read loop: clean.
+func full(r io.Reader) error {
+	buf := make([]byte, 8)
+	_, err := io.ReadFull(r, buf)
+	return err
+}
+
+// packageFuncIsFine: rand.Read is a package function, not an io.Reader
+// method, and is documented to fill the buffer.
+func packageFuncIsFine() []byte {
+	buf := make([]byte, 8)
+	rand.Read(buf)
+	return buf
+}

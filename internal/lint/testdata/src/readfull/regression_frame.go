@@ -1,0 +1,34 @@
+package readfull
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// This file reproduces the historical truncated-component bug in shape: the
+// decoder read a length prefix and then assumed a single Read filled the
+// frame, mis-decoding any frame that straddled a page boundary.
+
+// decodeFrameShortRead is the bug as shipped.
+func decodeFrameShortRead(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	frame := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	r.Read(frame) // want `result of r\.Read is discarded`
+	return frame, nil
+}
+
+// decodeFrameFixed is the fix.
+func decodeFrameFixed(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	frame := make([]byte, binary.BigEndian.Uint32(hdr[:]))
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

@@ -1,0 +1,61 @@
+// Package typederrors exercises asterixlint/typederrors: sentinel errors are
+// matched with errors.Is and propagated with %w, never by message text.
+package typederrors
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errNotFound = errors.New("typederrors: not found")
+
+func open(name string) error {
+	if name == "" {
+		return errNotFound
+	}
+	return nil
+}
+
+// matchByContains greps the message.
+func matchByContains(name string) bool {
+	err := open(name)
+	return err != nil && strings.Contains(err.Error(), "not found") // want `error matched by message text`
+}
+
+// matchByEquality compares the full message.
+func matchByEquality(name string) bool {
+	err := open(name)
+	return err != nil && err.Error() == "typederrors: not found" // want `error matched by message text`
+}
+
+// wrapWithoutW formats the cause with %v, severing the errors.Is chain.
+func wrapWithoutW(name string) error {
+	if err := open(name); err != nil {
+		return fmt.Errorf("open %s: %v", name, err) // want `fmt\.Errorf wraps an error without %w`
+	}
+	return nil
+}
+
+// wrapWithW is the idiomatic propagation: clean.
+func wrapWithW(name string) error {
+	if err := open(name); err != nil {
+		return fmt.Errorf("open %s: %w", name, err)
+	}
+	return nil
+}
+
+// matchWithIs is the idiomatic sentinel check: clean.
+func matchWithIs(name string) bool {
+	return errors.Is(open(name), errNotFound)
+}
+
+// plainStrings: matching ordinary strings is fine.
+func plainStrings(s string) bool {
+	return strings.Contains(s, "not found")
+}
+
+// logMessage passes no error-typed argument to Errorf at all: clean.
+func logMessage(n int) error {
+	return fmt.Errorf("bad frame count %d", n)
+}

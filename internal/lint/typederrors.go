@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// TypedErrors flags stringly-typed error handling. The storage layer exports
+// sentinel errors (storage.ErrExists, storage.ErrNotFound) precisely so that
+// callers can use errors.Is across wrapping layers; matching on err.Error()
+// substrings or re-wrapping with %v instead of %w severs that chain, and the
+// match silently breaks the next time a message is reworded.
+var TypedErrors = &Analyzer{
+	Name: "typederrors",
+	Doc: "flags strings.Contains/== matching on err.Error() and fmt.Errorf wrapping " +
+		"an error without %w; use errors.Is/As against sentinel errors instead",
+	Run: runTypedErrors,
+}
+
+func runTypedErrors(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				checkStringMatchCall(pass, e)
+				checkErrorfWrap(pass, e)
+			case *ast.BinaryExpr:
+				if e.Op == token.EQL || e.Op == token.NEQ {
+					if call := errorStringCall(pass.TypesInfo, e.X); call != nil {
+						reportStringMatch(pass, call)
+					} else if call := errorStringCall(pass.TypesInfo, e.Y); call != nil {
+						reportStringMatch(pass, call)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStringMatchCall flags strings.* matching applied to err.Error().
+func checkStringMatchCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "Index", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		var hit *ast.CallExpr
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok && hit == nil {
+				if errCall := errorStringCall(pass.TypesInfo, c); errCall != nil {
+					hit = errCall
+				}
+			}
+			return hit == nil
+		})
+		if hit != nil {
+			reportStringMatch(pass, hit)
+			return
+		}
+	}
+}
+
+func reportStringMatch(pass *Pass, call *ast.CallExpr) {
+	pass.Reportf(call.Pos(),
+		"error matched by message text; match the sentinel with errors.Is (message strings are not API)")
+}
+
+// errorStringCall returns the call expression if e is `x.Error()` on an
+// error-typed x, or nil.
+func errorStringCall(info *types.Info, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return nil
+	}
+	if tv, ok := info.Types[sel.X]; ok && implementsError(tv.Type) {
+		return call
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error argument
+// without a %w verb, which strips the errors.Is/As chain.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil || strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && implementsError(tv.Type) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf wraps an error without %%w, severing the errors.Is chain to sentinels like storage.ErrNotFound")
+			return
+		}
+	}
+}
+
+// implementsError reports whether t satisfies the error interface (or is it).
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if isErrorType(t) {
+		return true
+	}
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface)
+}

@@ -103,8 +103,6 @@ func assignMemoryBudget(job *hyracks.Job, opts JobOptions) {
 			instances += o.Partitions
 		case *hyracks.HashGroupOp:
 			instances += o.Partitions
-		case *hyracks.AggregateOp:
-			instances += o.Partitions
 		case *crossJoinOp:
 			instances += o.par
 		}
@@ -126,8 +124,6 @@ func assignMemoryBudget(job *hyracks.Job, opts JobOptions) {
 		case *hyracks.HybridHashJoinOp:
 			o.Spill = budget
 		case *hyracks.HashGroupOp:
-			o.Spill = budget
-		case *hyracks.AggregateOp:
 			o.Spill = budget
 		case *crossJoinOp:
 			o.spill = budget
@@ -1215,137 +1211,206 @@ func limitPushdownScan(n *algebra.Node) *algebra.Node {
 // aggSchema is the synthetic single-column schema aggregate results flow in.
 var aggSchema = Schema{"#agg"}
 
-// aggPartial is the local half of the aggregation split: a per-partition
-// partial state mirroring the builtin aggregate's null semantics.
+// aggState is the O(1) streaming state behind every aggregate fold: the
+// local half of the split, and the unsplit ablation aggregate. It mirrors
+// the builtin aggregate's null semantics exactly — under AQL semantics an
+// unknown item (or one that fails numeric conversion or comparison) poisons
+// the aggregate to null; under SQL semantics unknowns are skipped.
+type aggState struct {
+	base string // count, sum, avg, min or max
+	sql  bool   // sql- variant: skip unknowns instead of poisoning
+
+	n    int64
+	sum  float64
+	best adm.Value
+	bad  bool
+}
+
+// add folds one evaluated item into the state.
+func (s *aggState) add(v adm.Value) {
+	if s.base == "count" {
+		s.n++ // count counts every item, unknowns included
+		return
+	}
+	if s.bad {
+		return
+	}
+	if adm.IsUnknown(v) {
+		if !s.sql {
+			s.bad = true
+		}
+		return
+	}
+	switch s.base {
+	case "sum", "avg":
+		d, ok := adm.NumericAsDouble(v)
+		if !ok {
+			s.bad = true
+			return
+		}
+		s.sum += d
+		s.n++
+	case "min", "max":
+		if s.best == nil {
+			s.best = v
+			return
+		}
+		c, err := adm.Compare(v, s.best)
+		if err != nil {
+			s.bad = true
+			return
+		}
+		if (s.base == "max" && c > 0) || (s.base == "min" && c < 0) {
+			s.best = v
+		}
+	}
+}
+
+// partial renders the state as the partial tuple the global half merges.
 // Layout: count -> {n}; sum/avg -> {sum, n, bad}; min/max -> {best, present, bad}.
-func (b *jobBuilder) aggPartial(fn string, ret aql.Expr, schema Schema) func(rows []hyracks.Tuple) (hyracks.Tuple, error) {
+func (s *aggState) partial() (hyracks.Tuple, error) {
+	switch s.base {
+	case "count":
+		return hyracks.Tuple{adm.Int64(s.n)}, nil
+	case "sum", "avg":
+		return hyracks.Tuple{adm.Double(s.sum), adm.Int64(s.n), adm.Boolean(s.bad)}, nil
+	case "min", "max":
+		best := s.best
+		if best == nil {
+			best = adm.Null{}
+		}
+		return hyracks.Tuple{best, adm.Boolean(s.best != nil), adm.Boolean(s.bad)}, nil
+	}
+	return nil, fmt.Errorf("translator: no partial aggregate for %q", s.base)
+}
+
+// final renders the state as the finished aggregate value — combine applied
+// to a single partial, which is exactly the builtin aggregate's result.
+func (s *aggState) final() (hyracks.Tuple, error) {
+	switch s.base {
+	case "count":
+		return hyracks.Tuple{adm.Int64(s.n)}, nil
+	case "sum", "avg":
+		if s.bad || s.n == 0 {
+			return hyracks.Tuple{adm.Null{}}, nil
+		}
+		if s.base == "avg" {
+			return hyracks.Tuple{adm.Double(s.sum / float64(s.n))}, nil
+		}
+		return hyracks.Tuple{adm.Double(s.sum)}, nil
+	case "min", "max":
+		if s.bad || s.best == nil {
+			return hyracks.Tuple{adm.Null{}}, nil
+		}
+		return hyracks.Tuple{s.best}, nil
+	}
+	return nil, fmt.Errorf("translator: no aggregate for %q", s.base)
+}
+
+// aggFold builds the streaming fold for an aggregate evaluated over the
+// query's return expression. The local half of the split renders its state
+// as a partial tuple for the global combiner; the unsplit ablation aggregate
+// (final) renders the finished value directly. Each instance run gets fresh
+// state and its own binding environment, so parallel partitions never share.
+func (b *jobBuilder) aggFold(fn string, ret aql.Expr, schema Schema, final bool) func() (func(hyracks.Tuple) error, func() (hyracks.Tuple, error)) {
 	base := strings.TrimPrefix(fn, "sql-")
 	sql := strings.HasPrefix(fn, "sql-")
-	return func(rows []hyracks.Tuple) (hyracks.Tuple, error) {
+	return func() (func(hyracks.Tuple) error, func() (hyracks.Tuple, error)) {
 		env := make(expr.Env, len(schema)+1)
-		items := make([]adm.Value, 0, len(rows))
-		for _, t := range rows {
+		st := &aggState{base: base, sql: sql}
+		step := func(t hyracks.Tuple) error {
 			bindInto(env, schema, t)
 			v, err := expr.Eval(b.ctx, env, ret)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			items = append(items, v)
+			st.add(v)
+			return nil
 		}
-		switch base {
-		case "count":
-			return hyracks.Tuple{adm.Int64(len(items))}, nil
-		case "sum", "avg":
-			sum, n, bad := 0.0, int64(0), false
-			for _, it := range items {
-				if adm.IsUnknown(it) {
-					if sql {
-						continue
-					}
-					bad = true
-					break
-				}
-				d, ok := adm.NumericAsDouble(it)
-				if !ok {
-					bad = true
-					break
-				}
-				sum += d
-				n++
-			}
-			return hyracks.Tuple{adm.Double(sum), adm.Int64(n), adm.Boolean(bad)}, nil
-		case "min", "max":
-			var best adm.Value
-			bad := false
-			for _, it := range items {
-				if adm.IsUnknown(it) {
-					if sql {
-						continue
-					}
-					bad = true
-					break
-				}
-				if best == nil {
-					best = it
-					continue
-				}
-				c, err := adm.Compare(it, best)
-				if err != nil {
-					bad = true
-					break
-				}
-				if (base == "max" && c > 0) || (base == "min" && c < 0) {
-					best = it
-				}
-			}
-			present := best != nil
-			if best == nil {
-				best = adm.Null{}
-			}
-			return hyracks.Tuple{best, adm.Boolean(present), adm.Boolean(bad)}, nil
+		if final {
+			return step, st.final
 		}
-		return nil, fmt.Errorf("translator: no partial aggregate for %q", fn)
+		return step, st.partial
 	}
 }
 
 // aggCombine is the global half: it merges the per-partition partials into
-// the final aggregate value.
-func aggCombine(fn string) func(rows []hyracks.Tuple) (hyracks.Tuple, error) {
+// the final aggregate value, streaming one partial at a time. A poisoned
+// partial (bad flag set) or a merge failure resolves the whole aggregate to
+// null; remaining partials are drained without further folding.
+func aggCombine(fn string) func() (func(hyracks.Tuple) error, func() (hyracks.Tuple, error)) {
 	base := strings.TrimPrefix(fn, "sql-")
-	return func(rows []hyracks.Tuple) (hyracks.Tuple, error) {
-		switch base {
-		case "count":
-			total := int64(0)
-			for _, t := range rows {
-				n, _ := adm.NumericAsInt64(t[0])
-				total += n
-			}
-			return hyracks.Tuple{adm.Int64(total)}, nil
-		case "sum", "avg":
-			sum, n := 0.0, int64(0)
-			for _, t := range rows {
+	return func() (func(hyracks.Tuple) error, func() (hyracks.Tuple, error)) {
+		var (
+			sum  float64
+			n    int64
+			best adm.Value
+			bad  bool
+		)
+		step := func(t hyracks.Tuple) error {
+			switch base {
+			case "count":
+				c, _ := adm.NumericAsInt64(t[0])
+				n += c
+			case "sum", "avg":
+				if bad {
+					return nil
+				}
 				if bool(t[2].(adm.Boolean)) {
-					return hyracks.Tuple{adm.Null{}}, nil
+					bad = true
+					return nil
 				}
 				d, _ := adm.NumericAsDouble(t[0])
 				c, _ := adm.NumericAsInt64(t[1])
 				sum += d
 				n += c
-			}
-			if n == 0 {
-				return hyracks.Tuple{adm.Null{}}, nil
-			}
-			if base == "avg" {
-				return hyracks.Tuple{adm.Double(sum / float64(n))}, nil
-			}
-			return hyracks.Tuple{adm.Double(sum)}, nil
-		case "min", "max":
-			var best adm.Value
-			for _, t := range rows {
+			case "min", "max":
+				if bad {
+					return nil
+				}
 				if bool(t[2].(adm.Boolean)) {
-					return hyracks.Tuple{adm.Null{}}, nil
+					bad = true
+					return nil
 				}
 				if !bool(t[1].(adm.Boolean)) {
-					continue
+					return nil
 				}
 				if best == nil {
 					best = t[0]
-					continue
+					return nil
 				}
 				c, err := adm.Compare(t[0], best)
 				if err != nil {
-					return hyracks.Tuple{adm.Null{}}, nil
+					bad = true
+					return nil
 				}
 				if (base == "max" && c > 0) || (base == "min" && c < 0) {
 					best = t[0]
 				}
 			}
-			if best == nil {
-				best = adm.Null{}
-			}
-			return hyracks.Tuple{best}, nil
+			return nil
 		}
-		return nil, fmt.Errorf("translator: no global aggregate for %q", fn)
+		finish := func() (hyracks.Tuple, error) {
+			switch base {
+			case "count":
+				return hyracks.Tuple{adm.Int64(n)}, nil
+			case "sum", "avg":
+				if bad || n == 0 {
+					return hyracks.Tuple{adm.Null{}}, nil
+				}
+				if base == "avg" {
+					return hyracks.Tuple{adm.Double(sum / float64(n))}, nil
+				}
+				return hyracks.Tuple{adm.Double(sum)}, nil
+			case "min", "max":
+				if bad || best == nil {
+					return hyracks.Tuple{adm.Null{}}, nil
+				}
+				return hyracks.Tuple{best}, nil
+			}
+			return nil, fmt.Errorf("translator: no global aggregate for %q", fn)
+		}
+		return step, finish
 	}
 }
 
@@ -1360,7 +1425,7 @@ func (b *jobBuilder) buildLocalAgg(n *algebra.Node) (stream, error) {
 	op := b.job.Add(&hyracks.AggregateOp{
 		Label:      fmt.Sprintf("aggregate(local-%s)", n.AggFunc),
 		Partitions: in.par,
-		Fold:       b.aggPartial(n.AggFunc, b.rewritten(b.query.Return), in.schema),
+		NewFold:    b.aggFold(n.AggFunc, b.rewritten(b.query.Return), in.schema, false),
 	})
 	return b.connect(in, op, in.par, aggSchema, hyracks.Connector{Kind: hyracks.OneToOne}), nil
 }
@@ -1373,15 +1438,17 @@ func (b *jobBuilder) buildGlobalAgg(n *algebra.Node) (stream, error) {
 	op := b.job.Add(&hyracks.AggregateOp{
 		Label:      fmt.Sprintf("aggregate(global-%s)", n.AggFunc),
 		Partitions: 1,
-		Fold:       aggCombine(n.AggFunc),
+		NewFold:    aggCombine(n.AggFunc),
 	})
 	// The n:1 replicating connector of Figure 6 gathers the partials.
 	return b.connect(in, op, 1, aggSchema, hyracks.Connector{Kind: hyracks.MToNReplicating}), nil
 }
 
 // buildAggregate is the unsplit aggregate (ablation path): gather everything
-// into one instance and apply the builtin aggregate exactly like the
-// interpreter.
+// into one instance and fold it there. The streaming aggState reproduces the
+// builtin aggregate's semantics value-for-value (final is combine applied to
+// a single partial), so this path no longer materializes the gathered input
+// into an OrderedList before aggregating.
 func (b *jobBuilder) buildAggregate(n *algebra.Node) (stream, error) {
 	in, err := b.buildInput(n)
 	if err != nil {
@@ -1390,28 +1457,10 @@ func (b *jobBuilder) buildAggregate(n *algebra.Node) (stream, error) {
 	if b.query == nil {
 		return stream{}, fmt.Errorf("translator: aggregate plan has no source query")
 	}
-	fn, ret, schema := n.AggFunc, b.rewritten(b.query.Return), in.schema
 	op := b.job.Add(&hyracks.AggregateOp{
-		Label:      fmt.Sprintf("aggregate(%s)", fn),
+		Label:      fmt.Sprintf("aggregate(%s)", n.AggFunc),
 		Partitions: 1,
-		Fold: func(rows []hyracks.Tuple) (hyracks.Tuple, error) {
-			env := make(expr.Env, len(schema)+1)
-			items := make([]adm.Value, 0, len(rows))
-			for _, t := range rows {
-				bindInto(env, schema, t)
-				v, err := expr.Eval(b.ctx, env, ret)
-				if err != nil {
-					return nil, err
-				}
-				items = append(items, v)
-			}
-			call := &aql.CallExpr{Func: fn, Args: []aql.Expr{&aql.Literal{Value: &adm.OrderedList{Items: items}}}}
-			v, err := expr.Eval(b.ctx, expr.Env{}, call)
-			if err != nil {
-				return nil, err
-			}
-			return hyracks.Tuple{v}, nil
-		},
+		NewFold:    b.aggFold(n.AggFunc, b.rewritten(b.query.Return), in.schema, true),
 	})
 	return b.connect(in, op, 1, aggSchema, gatherConnector(in.par)), nil
 }

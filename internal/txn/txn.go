@@ -204,15 +204,21 @@ func (w *WAL) Truncate() error {
 // Replay reads the log and invokes apply for every operation belonging to a
 // committed transaction, in log order. Operations of uncommitted transactions
 // are ignored (no-steal means they can never have reached disk).
+//
+// The log is read and decoded under the WAL latch, but apply runs after it
+// is released: apply re-enters the storage layer, and a caller-supplied
+// callback must never run under a lock it did not take itself (the
+// ScanPartition deadlock class).
 func (w *WAL) Replay(apply func(LogRecord) error) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	data, err := os.ReadFile(w.path)
 	if err != nil {
+		w.mu.Unlock()
 		return err
 	}
 	records, committed, err := decodeLog(data)
 	if err != nil {
+		w.mu.Unlock()
 		return err
 	}
 	maxTxn := w.nextTxn
@@ -220,6 +226,10 @@ func (w *WAL) Replay(apply func(LogRecord) error) error {
 		if rec.Txn >= maxTxn {
 			maxTxn = rec.Txn + 1
 		}
+	}
+	w.nextTxn = maxTxn
+	w.mu.Unlock()
+	for _, rec := range records {
 		if rec.Kind == OpCommit || !committed[rec.Txn] {
 			continue
 		}
@@ -227,7 +237,6 @@ func (w *WAL) Replay(apply func(LogRecord) error) error {
 			return err
 		}
 	}
-	w.nextTxn = maxTxn
 	return nil
 }
 
@@ -268,8 +277,8 @@ func decodeLog(data []byte) ([]LogRecord, map[ID]bool, error) {
 			break // torn tail: ignore the partial record
 		}
 		frame := make([]byte, frameLen)
-		if _, err := rd.Read(frame); err != nil {
-			break
+		if _, err := io.ReadFull(rd, frame); err != nil {
+			break // torn tail
 		}
 		rec, err := decodeLogRecord(frame)
 		if err != nil {

@@ -373,25 +373,31 @@ return { "a": $a.id, "b": $b.id };`
 	assertNoSpillFiles(t, constrained)
 }
 
-// TestAggregateInputIsAccounted covers the other formerly unbudgeted buffer:
-// the materialized partition input of AggregateOp now registers with the job
-// manager, so a plain aggregate query's peak-resident stat reflects the
-// buffered rows instead of reading zero.
-func TestAggregateInputIsAccounted(t *testing.T) {
+// TestAggregateStreamsWithoutBuffering covers the streaming AggregateOp
+// fold: a plain aggregate query materializes nothing, so the job allocates
+// no spill manager at all (no spillable operators remain in the plan) and
+// still computes the right answer under a tight budget. Before the rewrite
+// the local aggregate buffered its whole partition input and had to charge
+// it against the job budget.
+func TestAggregateStreamsWithoutBuffering(t *testing.T) {
 	t.Setenv("ASTERIXDB_MEMORY_BUDGET", "")
 	inst := newSpillInstance(t, 1<<20, 500)
 	job, _, err := inst.CompileJob(`avg(for $r in dataset SpillA return $r.id)`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := inst.runJob(job); err != nil {
+	res, err := inst.runJob(job)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if job.Spill == nil {
-		t.Fatal("aggregate job has no spill manager (AggregateOp not counted as budgeted)")
+	if job.Spill != nil {
+		t.Errorf("aggregate-only job allocated a spill manager; streaming folds need no budget (stats %+v)", job.Spill.Stats())
 	}
-	// 500 padded records are ~150KB; the local aggregate buffers them all.
-	if st := job.Spill.Stats(); st.PeakResident < 100<<10 {
-		t.Errorf("peak resident %d; the aggregate's materialized input is not being accounted", st.PeakResident)
+	if len(res) != 1 {
+		t.Fatalf("aggregate result = %v", res)
+	}
+	got, ok := adm.NumericAsDouble(res[0])
+	if !ok || got != 250.5 {
+		t.Errorf("avg over ids 1..500 = %v, want 250.5", res[0])
 	}
 }
