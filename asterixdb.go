@@ -93,6 +93,10 @@ type Config struct {
 	// the read-path benchmarks use this knob to compare fused and unfused
 	// execution of the same plans.
 	DisableFusion bool
+	// EagerDecode disables the lazy binary record path: scans decode every
+	// record to the full Value tree up front, as before PR 7. Lazy decoding
+	// is the default; differential tests run both to prove parity.
+	EagerDecode bool
 }
 
 // Instance is one AsterixDB node-group: a Cluster Controller front-end plus
@@ -148,9 +152,10 @@ func Open(cfg Config) (*Instance, error) {
 		}
 	}
 	store, err := storage.NewManager(cfg.DataDir, storage.Options{
-		Partitions: cfg.Partitions,
-		Journaled:  cfg.Journaled,
-		MemBudget:  cfg.MemBudget,
+		Partitions:  cfg.Partitions,
+		Journaled:   cfg.Journaled,
+		MemBudget:   cfg.MemBudget,
+		EagerDecode: cfg.EagerDecode,
 	})
 	if err != nil {
 		return nil, err
@@ -272,6 +277,13 @@ func (in *Instance) jobOptions() translator.JobOptions {
 // can never collide with (or be dropped onto) the spill tree.
 func (in *Instance) SpillDir() string {
 	return filepath.Join(in.cfg.DataDir, ".spill")
+}
+
+// MemoryBudget returns the per-query memory budget the instance resolved at
+// Open (zero when unconstrained). The HTTP server registers its handle-result
+// spill manager against it.
+func (in *Instance) MemoryBudget() int64 {
+	return in.cfg.MemoryBudget
 }
 
 // Explain compiles a query and returns the optimized algebra plan and the

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -37,6 +39,9 @@ var (
 	spillFlag    = flag.Bool("spill", false, "benchmark scan-join/sort/group-by under memory budgets (writes BENCH_spill.json)")
 	readpathFlag = flag.Bool("readpath", false, "benchmark scan throughput / first-row latency / fusion (writes BENCH_readpath.json)")
 	readpathMax  = flag.Int("readpath-max", 1_000_000, "largest dataset size the -readpath sweep builds")
+	baselineFlag = flag.String("readpath-baseline", "", "committed BENCH_readpath.json to compare against; a full-scan ns/record regression beyond -readpath-tolerance fails the run")
+	tolFlag      = flag.Float64("readpath-tolerance", 0.20, "fractional full-scan slowdown allowed against -readpath-baseline")
+	profileFlag  = flag.String("cpuprofile", "", "write a CPU profile of the selected benchmarks to this file")
 	allFlag      = flag.Bool("all", false, "regenerate every table and figure")
 	usersFlag    = flag.Int("users", 1000, "number of synthetic users")
 	msgsFlag     = flag.Int("messages", 5000, "number of synthetic messages")
@@ -63,6 +68,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *profileFlag != "" {
+		f, err := os.Create(*profileFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	b := setup()
 	defer b.close()
 	if *allFlag || *tableFlag == 2 {
@@ -86,21 +101,31 @@ func main() {
 }
 
 func setup() *bench {
-	fmt.Printf("generating workload: %d users, %d messages\n", *usersFlag, *msgsFlag)
-	gen := workload.New(workload.Config{Users: *usersFlag, Messages: *msgsFlag, Seed: 7})
-	b := &bench{gen: gen, params: gen.Params(), users: gen.Users(), messages: gen.Messages()}
-	b.schema = b.newInstance(adm.SchemaEncoding)
-	b.keyonly = b.newInstance(adm.KeyOnlyEncoding)
-	b.rowstore = comparators.NewRowStore()
-	b.rowstore.LoadUsers(b.users)
-	b.rowstore.LoadMessages(b.messages)
-	b.rowstore.BuildIndexes(b.messages)
-	b.docstore = comparators.NewDocStore()
-	b.docstore.LoadUsers(b.users)
-	b.docstore.LoadMessages(b.messages)
-	b.docstore.BuildIndexes(b.messages)
-	b.scan = comparators.NewScanStore()
-	b.scan.LoadMessages(b.messages)
+	b := &bench{}
+	// The Mugshot workload, loaded instances and comparator stores only
+	// serve the table/figure/spill benchmarks. The -readpath sweep builds
+	// its own synthetic dataset; keeping megabytes of unrelated live heap
+	// around would tax every GC cycle it measures, so a pure -readpath run
+	// skips all of this.
+	if *allFlag || *tableFlag != 0 || *figureFlag != 0 || *spillFlag {
+		fmt.Printf("generating workload: %d users, %d messages\n", *usersFlag, *msgsFlag)
+		gen := workload.New(workload.Config{Users: *usersFlag, Messages: *msgsFlag, Seed: 7})
+		b.gen, b.params, b.users, b.messages = gen, gen.Params(), gen.Users(), gen.Messages()
+	}
+	if *allFlag || *tableFlag != 0 || *figureFlag != 0 {
+		b.schema = b.newInstance(adm.SchemaEncoding)
+		b.keyonly = b.newInstance(adm.KeyOnlyEncoding)
+		b.rowstore = comparators.NewRowStore()
+		b.rowstore.LoadUsers(b.users)
+		b.rowstore.LoadMessages(b.messages)
+		b.rowstore.BuildIndexes(b.messages)
+		b.docstore = comparators.NewDocStore()
+		b.docstore.LoadUsers(b.users)
+		b.docstore.LoadMessages(b.messages)
+		b.docstore.BuildIndexes(b.messages)
+		b.scan = comparators.NewScanStore()
+		b.scan.LoadMessages(b.messages)
+	}
 	return b
 }
 
@@ -145,8 +170,12 @@ create index msMessageNgIdx on MugshotMessages(message) type ngram(3);
 }
 
 func (b *bench) close() {
-	b.schema.Close()
-	b.keyonly.Close()
+	if b.schema != nil {
+		b.schema.Close()
+	}
+	if b.keyonly != nil {
+		b.keyonly.Close()
+	}
 	for _, d := range b.tmpDirs {
 		os.RemoveAll(d)
 	}
@@ -440,6 +469,17 @@ func (b *bench) spillTable() {
 // Results print as a table and land in BENCH_readpath.json.
 func (b *bench) readpathTable() {
 	os.Unsetenv("ASTERIXDB_MEMORY_BUDGET")
+	// Load the committed baseline before the run overwrites the file.
+	var baseline []workload.ReadPathRow
+	if *baselineFlag != "" {
+		data, err := os.ReadFile(*baselineFlag)
+		if err != nil {
+			log.Fatalf("readpath baseline: %v", err)
+		}
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			log.Fatalf("readpath baseline %s: %v", *baselineFlag, err)
+		}
+	}
 	fmt.Println("\n== Read path: iterator-based scans + operator fusion ==")
 	fmt.Printf("%-18s %12s %14s %14s\n", "workload", "records", "median", "per record")
 	var rows []workload.ReadPathRow
@@ -455,9 +495,10 @@ func (b *bench) readpathTable() {
 		fmt.Printf("%-18s %12d %14s %14s\n", name, records, d.Round(time.Microsecond), per)
 	}
 
-	// median runs fn reps times after one warmup and returns the median.
+	// median runs fn reps times after two warmups and returns the median.
 	median := func(reps int, fn func() time.Duration) time.Duration {
 		fn() // warmup: page in components, settle the allocator
+		fn()
 		ds := make([]time.Duration, reps)
 		for i := range ds {
 			ds[i] = fn()
@@ -497,6 +538,10 @@ func (b *bench) readpathTable() {
 				log.Fatal(err)
 			}
 		}
+		// Collect the load-phase garbage before anything is measured: the
+		// first few drains otherwise pay inflated GC assist costs while the
+		// pacer works off the insert churn, skewing small-rep medians.
+		runtime.GC()
 		return inst
 	}
 
@@ -574,4 +619,14 @@ func (b *bench) readpathTable() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nwrote BENCH_readpath.json")
+
+	if *baselineFlag != "" {
+		if fails := workload.ReadPathRegressions(baseline, rows, *tolFlag); len(fails) > 0 {
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+			}
+			log.Fatalf("read path regressed against %s", *baselineFlag)
+		}
+		fmt.Printf("no full-scan regression against %s (tolerance %.0f%%)\n", *baselineFlag, *tolFlag*100)
+	}
 }

@@ -224,7 +224,13 @@ func (in *Instance) execScan(n *algebra.Node) ([]expr.Env, error) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = ds.ScanPartition(p, func(rec *adm.Record) bool {
+			errs[p] = ds.ScanPartition(p, func(v adm.Value) bool {
+				// The interpreter is the materializing oracle: it always works
+				// over fully-decoded records.
+				rec, ok := adm.AsRecord(v)
+				if !ok {
+					return true
+				}
 				perPart[p] = append(perPart[p], expr.Env{n.Variable: rec})
 				return true
 			})

@@ -69,17 +69,18 @@ func fuzzRecord(rng *rand.Rand, id int) *adm.Record {
 }
 
 // buildFuzzPair creates the Hyracks instance, a fusion-disabled Hyracks
-// instance, and the interpreter-oracle instance over identical random data,
-// applying the same interleaved inserts, overwrites, deletes and an LSM flush
-// to all three. A non-zero memoryBudget constrains the Hyracks instances'
-// blocking operators (the oracle stays unconstrained — the interpreter never
-// spills), so the whole template suite doubles as an out-of-core differential
-// test; the no-fusion instance makes it a fused-vs-unfused differential test
-// as well.
-func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance, *Instance, *Instance) {
+// instance, an eager-decode Hyracks instance, and the interpreter-oracle
+// instance over identical random data, applying the same interleaved inserts,
+// overwrites, deletes and an LSM flush to all four. A non-zero memoryBudget
+// constrains the Hyracks instances' blocking operators (the oracle stays
+// unconstrained — the interpreter never spills), so the whole template suite
+// doubles as an out-of-core differential test; the no-fusion instance makes
+// it a fused-vs-unfused differential test, and the eager-decode instance a
+// lazy-vs-eager record-format differential test.
+func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance, *Instance, *Instance, *Instance) {
 	t.Helper()
 	clock := temporal.FixedClock{T: time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)}
-	mk := func(useInterpreter, disableFusion bool) *Instance {
+	mk := func(useInterpreter, disableFusion, eagerDecode bool) *Instance {
 		budget := memoryBudget
 		if useInterpreter {
 			budget = 0
@@ -91,6 +92,7 @@ func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance,
 			UseInterpreter: useInterpreter,
 			MemoryBudget:   budget,
 			DisableFusion:  disableFusion,
+			EagerDecode:    eagerDecode,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -101,7 +103,7 @@ func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance,
 		}
 		return inst
 	}
-	hy, hyNoFuse, oracle := mk(false, false), mk(false, true), mk(true, false)
+	hy, hyNoFuse, hyEager, oracle := mk(false, false, false), mk(false, true, false), mk(false, false, true), mk(true, false, false)
 
 	nA, nB := 40+rng.Intn(60), 20+rng.Intn(40)
 	var batchA, batchB []*adm.Record
@@ -121,7 +123,7 @@ func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance,
 	for i := 0; i < 6; i++ {
 		deletes = append(deletes, int32(1+rng.Intn(nA)))
 	}
-	for _, inst := range []*Instance{hy, hyNoFuse, oracle} {
+	for _, inst := range []*Instance{hy, hyNoFuse, hyEager, oracle} {
 		dsA, _ := inst.Dataset("FuzzA")
 		dsB, _ := inst.Dataset("FuzzB")
 		if err := dsA.InsertBatch(batchA); err != nil {
@@ -142,7 +144,7 @@ func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance,
 			}
 		}
 	}
-	return hy, hyNoFuse, oracle
+	return hy, hyNoFuse, hyEager, oracle
 }
 
 // fuzzQueries draws one query per template, parameterized by the rng. Ordered
@@ -208,7 +210,7 @@ func runDifferentialFuzz(t *testing.T, seed int64) {
 // spill mid-template and must still match the unconstrained oracle.
 func runDifferentialFuzzBudget(t *testing.T, seed, memoryBudget int64) {
 	rng := rand.New(rand.NewSource(seed))
-	hy, hyNoFuse, oracle := buildFuzzPair(t, rng, memoryBudget)
+	hy, hyNoFuse, hyEager, oracle := buildFuzzPair(t, rng, memoryBudget)
 	for _, q := range fuzzQueries(rng) {
 		if _, _, err := hy.CompileJob(q.query); err != nil {
 			t.Errorf("seed %d %s: BuildJob failed (would fall back to the interpreter): %v", seed, q.name, err)
@@ -233,6 +235,14 @@ func runDifferentialFuzzBudget(t *testing.T, seed, memoryBudget int64) {
 			t.Fatalf("seed %d %s (fusion disabled): %v", seed, q.name, err)
 		}
 		sameResults(t, fmt.Sprintf("seed %d %s fused-vs-unfused", seed, q.name), perOption["default"], noFuseRes, q.ordered)
+		// Lazy-vs-eager parity: the zero-copy lazy record path must be
+		// semantically invisible — every field access, comparison, hash key
+		// and serialized result identical to decoding records up front.
+		eagerRes, err := hyEager.Query(q.query)
+		if err != nil {
+			t.Fatalf("seed %d %s (eager decode): %v", seed, q.name, err)
+		}
+		sameResults(t, fmt.Sprintf("seed %d %s lazy-vs-eager", seed, q.name), perOption["default"], eagerRes, q.ordered)
 		// Index-vs-scan cross-check: the access-path rewrite must not change
 		// results. This catches an unsound rewrite (candidate set not a
 		// superset) that compiled-vs-interpreter parity alone would miss,

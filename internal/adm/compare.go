@@ -15,6 +15,13 @@ import (
 // gives ORDER BY a deterministic placement for unknowns. Comparing values of
 // incomparable tags (e.g. a string and a point) returns an error.
 func Compare(a, b Value) (int, error) {
+	// Whole-record comparison needs every field: a sink for lazy records.
+	if lr, ok := a.(*LazyRecord); ok {
+		a = lr.Materialize()
+	}
+	if lr, ok := b.(*LazyRecord); ok {
+		b = lr.Materialize()
+	}
 	ta, tb := a.Tag(), b.Tag()
 
 	// Unknowns order below everything.
@@ -233,6 +240,10 @@ type hasher interface {
 }
 
 func hashInto(h hasher, v Value) {
+	// Whole-record hashing needs every field: a sink for lazy records.
+	if lr, ok := v.(*LazyRecord); ok {
+		v = lr.Materialize()
+	}
 	writeByte := func(b byte) { h.Write([]byte{b}) }
 	writeInt := func(x int64) {
 		var buf [8]byte

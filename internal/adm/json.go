@@ -21,6 +21,10 @@ import (
 //   - NaN and the infinities, which JSON cannot carry, render as null;
 //   - binary renders as lowercase hex and UUIDs in canonical form.
 func AppendJSON(dst []byte, v Value) []byte {
+	// The NDJSON stream is the canonical result sink: lazy records decode here.
+	if lr, ok := v.(*LazyRecord); ok {
+		v = lr.Materialize()
+	}
 	switch x := v.(type) {
 	case Missing, Null:
 		return append(dst, "null"...)

@@ -52,6 +52,9 @@ func NewSerializer(rt *RecordType, enc Encoding) *Serializer {
 
 // Encode appends the binary form of v to dst and returns the extended slice.
 func (s *Serializer) Encode(dst []byte, v Value) ([]byte, error) {
+	if lr, ok := v.(*LazyRecord); ok {
+		v = lr.Materialize()
+	}
 	if s.Encoding == SchemaEncoding && s.Type != nil {
 		if rec, ok := v.(*Record); ok {
 			return s.encodeSchemaRecord(dst, rec)
@@ -186,7 +189,11 @@ func (s *Serializer) decodeSchemaRecord(src []byte) (Value, int, error) {
 // ----------------------------------------------------------------------------
 
 // EncodeValue appends the self-describing binary form of v to dst.
+// A LazyRecord materializes here: re-encoding is a sink.
 func EncodeValue(dst []byte, v Value) ([]byte, error) {
+	if lr, ok := v.(*LazyRecord); ok {
+		v = lr.Materialize()
+	}
 	dst = append(dst, byte(v.Tag()))
 	switch x := v.(type) {
 	case Missing, Null:
@@ -481,6 +488,100 @@ func DecodeValue(src []byte) (Value, int, error) {
 		return &UnorderedList{Items: items}, 1 + n, nil
 	}
 	return nil, 0, fmt.Errorf("adm: decode: unknown tag %d", tag)
+}
+
+// skipValue returns the encoded length of the self-describing value at the
+// start of src without building it, validating tags and bounds exactly like
+// DecodeValue. It is the LazyRecord slot-directory walker.
+func skipValue(src []byte) (int, error) {
+	if len(src) == 0 {
+		return 0, fmt.Errorf("adm: decode: empty input")
+	}
+	tag := TypeTag(src[0])
+	body := src[1:]
+	fixed := func(n int) (int, error) {
+		if len(body) < n {
+			return 0, errTruncated(tag)
+		}
+		return 1 + n, nil
+	}
+	switch tag {
+	case TagMissing, TagNull:
+		return 1, nil
+	case TagBoolean, TagInt8:
+		return fixed(1)
+	case TagInt16:
+		return fixed(2)
+	case TagInt32, TagFloat, TagDate, TagTime, TagYearMonthDuration:
+		return fixed(4)
+	case TagInt64, TagDouble, TagDatetime, TagDayTimeDuration:
+		return fixed(8)
+	case TagDuration:
+		return fixed(12)
+	case TagUUID, TagPoint:
+		return fixed(16)
+	case TagInterval:
+		return fixed(17)
+	case TagLine, TagRectangle:
+		return fixed(32)
+	case TagCircle:
+		return fixed(24)
+	case TagString, TagBinary:
+		ln, n, err := readUvarint(body)
+		if err != nil {
+			return 0, err
+		}
+		if uint64(len(body[n:])) < ln {
+			return 0, errTruncated(tag)
+		}
+		return 1 + n + int(ln), nil
+	case TagPolygon:
+		cnt, n, err := readUvarint(body)
+		if err != nil {
+			return 0, err
+		}
+		if uint64(len(body[n:])) < 16*cnt {
+			return 0, errTruncated(tag)
+		}
+		return 1 + n + 16*int(cnt), nil
+	case TagRecord:
+		cnt, n, err := readUvarint(body)
+		if err != nil {
+			return 0, err
+		}
+		pos := n
+		for i := uint64(0); i < cnt; i++ {
+			ln, sn, err := readUvarint(body[pos:])
+			if err != nil {
+				return 0, err
+			}
+			if uint64(len(body[pos+sn:])) < ln {
+				return 0, errTruncated(tag)
+			}
+			pos += sn + int(ln)
+			vn, err := skipValue(body[pos:])
+			if err != nil {
+				return 0, err
+			}
+			pos += vn
+		}
+		return 1 + pos, nil
+	case TagOrderedList, TagUnorderedList:
+		cnt, n, err := readUvarint(body)
+		if err != nil {
+			return 0, err
+		}
+		pos := n
+		for i := uint64(0); i < cnt; i++ {
+			vn, err := skipValue(body[pos:])
+			if err != nil {
+				return 0, err
+			}
+			pos += vn
+		}
+		return 1 + pos, nil
+	}
+	return 0, fmt.Errorf("adm: decode: unknown tag %d", tag)
 }
 
 func decodeListItems(body []byte) ([]Value, int, error) {

@@ -183,8 +183,19 @@ func evalIndexAccess(ctx *Context, env Env, x *aql.IndexAccess) (adm.Value, erro
 	return items[n], nil
 }
 
+// FieldOf resolves a field access on a value with the evaluator's exact
+// semantics (records resolve the field, everything else is MISSING). The
+// translator's direct-projection fast path uses it to skip environment
+// binding and expression dispatch for `$x.field` return clauses.
+func FieldOf(v adm.Value, field string) adm.Value { return fieldOf(v, field) }
+
 func fieldOf(v adm.Value, field string) adm.Value {
-	if rec, ok := v.(*adm.Record); ok {
+	switch rec := v.(type) {
+	case *adm.Record:
+		return rec.Get(field)
+	case *adm.LazyRecord:
+		// The hot path: resolve one field out of the byte slab without
+		// materializing the record.
 		return rec.Get(field)
 	}
 	return adm.Missing{}

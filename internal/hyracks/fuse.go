@@ -183,10 +183,12 @@ func (j *Job) FlatOperators() []Operator {
 
 // FuseJob rewrites a job with every fusable chain collapsed into a FusedOp.
 // An edge From -> To fuses when it is the producer's only output and the
-// consumer's only input (any port), it is a port-0 OneToOne connector, both
-// operators are non-blocking with equal parallelism, the consumer is a
-// PushStage, and the producer is a PushStage or a SourceOp. The input job is
-// not modified; if nothing fuses it is returned unchanged.
+// consumer's only input (any port), it is a port-0 OneToOne connector (or an
+// MToNPartitioningMerging connector whose producer has a single instance —
+// nothing to merge, so it degenerates to one-to-one), both operators are
+// non-blocking with equal parallelism, the consumer is a PushStage, and the
+// producer is a PushStage or a SourceOp. The input job is not modified; if
+// nothing fuses it is returned unchanged.
 func FuseJob(job *Job) *Job {
 	n := len(job.Operators)
 	inCount := make([]int, n)
@@ -202,7 +204,20 @@ func FuseJob(job *Job) *Job {
 	}
 	fused := 0
 	for _, e := range job.Edges {
-		if e.Port != 0 || e.Connector.Kind != OneToOne {
+		if e.Port != 0 {
+			continue
+		}
+		switch e.Connector.Kind {
+		case OneToOne:
+		case MToNPartitioningMerging:
+			// A merging connector with a single producer instance degenerates
+			// to a one-to-one handoff: there is nothing to merge and (with the
+			// equal-parallelism check below) exactly one consumer instance, so
+			// the edge fuses like any other pipelined hop.
+			if job.Operators[e.From].Parallelism() != 1 {
+				continue
+			}
+		default:
 			continue
 		}
 		if outCount[e.From] != 1 || inCount[e.To] != 1 {

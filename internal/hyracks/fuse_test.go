@@ -132,6 +132,66 @@ func TestFuseJobRespectsBoundaries(t *testing.T) {
 	}
 }
 
+// TestFuseJobCrossesDegenerateMergingEdge is the regression test for the
+// fusion gap: a MToNPartitioningMerging edge whose producer has exactly one
+// instance is a one-to-one handoff in disguise (nothing to merge), yet it
+// used to stop fusion cold. A serial source -> merging -> select -> assign
+// chain must now collapse into a single fused operator — visible in the job
+// description — and still produce the unfused results.
+func TestFuseJobCrossesDegenerateMergingEdge(t *testing.T) {
+	build := func() *Job {
+		job := &Job{}
+		src := job.Add(mkSource(1, 50))
+		sel := job.Add(&SelectOp{Label: "select", Partitions: 1, Pred: func(t Tuple) (bool, error) {
+			return int64(t[1].(adm.Int64))%3 == 0, nil
+		}})
+		asn := job.Add(&AssignOp{Label: "assign", Partitions: 1, Fn: func(t Tuple) (Tuple, error) {
+			return append(append(Tuple{}, t...), adm.Int64(int64(t[1].(adm.Int64))+1)), nil
+		}})
+		job.Connect(src, sel, Connector{Kind: MToNPartitioningMerging})
+		job.Connect(sel, asn, Connector{Kind: OneToOne})
+		return job
+	}
+
+	want, err := Execute(build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := FuseJob(build())
+	if len(fused.Operators) != 1 {
+		t.Fatalf("serial merging edge did not fuse: %d operators\n%s",
+			len(fused.Operators), fused.Describe())
+	}
+	desc := fused.Describe()
+	if !strings.Contains(desc, "fused[") {
+		t.Fatalf("job description does not show the fused chain:\n%s", desc)
+	}
+	got, err := Execute(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fused result %d rows, unfused %d", len(got), len(want))
+	}
+	for i := range want {
+		if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("row %d: fused %v, unfused %v", i, got[i], want[i])
+		}
+	}
+
+	// The same shape with a parallel producer must NOT fuse: the merging
+	// connector is then a real merge boundary.
+	job := &Job{}
+	src := job.Add(mkSource(2, 10))
+	sel := job.Add(&SelectOp{Label: "select", Partitions: 2, Pred: func(Tuple) (bool, error) { return true, nil }})
+	asn := job.Add(&AssignOp{Label: "assign", Partitions: 1, Fn: func(t Tuple) (Tuple, error) { return t, nil }})
+	job.Connect(src, sel, Connector{Kind: OneToOne})
+	job.Connect(sel, asn, Connector{Kind: MToNPartitioningMerging})
+	if f := FuseJob(job); len(f.Operators) != 2 {
+		t.Fatalf("parallel merging edge fused:\n%s", f.Describe())
+	}
+}
+
 // TestFusedLimitStopsSource checks the cancellation contract survives fusion:
 // a fused limit must stop its in-chain source early, not drain it.
 func TestFusedLimitStopsSource(t *testing.T) {

@@ -57,6 +57,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strings"
+	"sync"
 
 	"asterixdb/internal/adm"
 	"asterixdb/internal/runfile"
@@ -75,9 +76,16 @@ type In struct {
 	idx int
 }
 
-// Next returns the next input tuple, or false at end of stream.
+// Next returns the next input tuple, or false at end of stream. An exhausted
+// frame returns to the frame pool before the next one is pulled: every
+// interior frame has exactly one consumer, so once the consumer has moved
+// past it nothing can reference it again.
 func (in *In) Next() (Tuple, bool) {
 	for in.idx >= len(in.cur) {
+		if in.cur != nil {
+			putFrame(in.cur)
+			in.cur = nil
+		}
 		f, ok := <-in.ch
 		if !ok {
 			return nil, false
@@ -87,6 +95,37 @@ func (in *In) Next() (Tuple, bool) {
 	t := in.cur[in.idx]
 	in.idx++
 	return t, true
+}
+
+// framePool recycles the []Tuple frames that travel interior edges and feed
+// the sink cursor: outPort.push and the sink emit path acquire; In.Next and
+// Cursor.Next release after the consumer has moved past a frame. Frames
+// handed out via Cursor.NextFrame belong to the caller and are never pooled.
+// Frames abandoned on teardown (a consumer that returned early, a producer
+// whose send lost to the done signal) simply fall to the garbage collector —
+// a pooling miss, never a reuse hazard, because a frame enters the pool only
+// from the single place that owns it at that point in its lifecycle.
+var framePool sync.Pool
+
+// getFrame returns an empty frame with at least frameSize capacity.
+func getFrame(frameSize int) []Tuple {
+	if v := framePool.Get(); v != nil {
+		return v.([]Tuple)[:0]
+	}
+	return make([]Tuple, 0, frameSize)
+}
+
+// putFrame clears a frame's tuple references (so recycling cannot pin
+// records) and returns it to the pool.
+func putFrame(f []Tuple) {
+	if cap(f) == 0 {
+		return
+	}
+	f = f[:cap(f)]
+	for i := range f {
+		f[i] = nil
+	}
+	framePool.Put(f[:0])
 }
 
 // ConnectorKind enumerates the connector types Hyracks provides.
@@ -322,6 +361,9 @@ func (o *outPort) push(producerPartition int, t Tuple) {
 	switch o.edge.Connector.Kind {
 	case MToNReplicating:
 		for p := range o.consumers {
+			if o.bufs[p] == nil {
+				o.bufs[p] = getFrame(o.frameSize)
+			}
 			o.bufs[p] = append(o.bufs[p], t)
 			if len(o.bufs[p]) >= o.frameSize {
 				o.send(p)
@@ -339,15 +381,26 @@ func (o *outPort) push(producerPartition int, t Tuple) {
 	default: // OneToOne, LocalityAwareMToNPartition
 		p = producerPartition % len(o.consumers)
 	}
+	if o.bufs[p] == nil {
+		o.bufs[p] = getFrame(o.frameSize)
+	}
 	o.bufs[p] = append(o.bufs[p], t)
 	if len(o.bufs[p]) >= o.frameSize {
 		o.send(p)
 	}
 }
 
-// flush ships every partially filled frame.
+// flush ships every partially filled frame and recycles frames that were
+// acquired but never received a tuple.
 func (o *outPort) flush() {
 	for p := range o.bufs {
+		if f := o.bufs[p]; len(f) == 0 {
+			if f != nil {
+				o.bufs[p] = nil
+				putFrame(f)
+			}
+			continue
+		}
 		o.send(p)
 	}
 }

@@ -42,6 +42,30 @@ const (
 // (cleaning up its runs) without reporting an error.
 var errStopDemand = errors.New("hyracks: downstream demand gone")
 
+// mergeReaderBufCap mirrors runfile's default reader buffer size; a merge
+// reader never benefits from more than that.
+const mergeReaderBufCap = 16 << 10
+
+// mergeReaderBudget sizes the merge phase's buffered run readers against the
+// operator's per-instance budget share. The merge holds up to mergeFanIn
+// readers plus the in-memory tail open at once, and each reader's bufio
+// buffer is real resident memory, so it must be accounted like everything
+// else. The returned reserve — one buffer per potential cursor, at most half
+// the share — is charged during accumulation (making the sort spill that
+// much earlier) and exchanged at merge time for the actual per-reader
+// charges, so the operator's accounted peak never exceeds its share in
+// either phase.
+func mergeReaderBudget(per int64) (bufSize int, reserve int64) {
+	b := per / (2 * (mergeFanIn + 1))
+	if b > mergeReaderBufCap {
+		b = mergeReaderBufCap
+	}
+	if b < 64 {
+		b = 64
+	}
+	return int(b), b * (mergeFanIn + 1)
+}
+
 // spillHash assigns a key to an intra-operator partition. The level salt
 // decorrelates it both from the connector hash that routed tuples to this
 // instance (which hashes the bare key bytes) and from the parent level's
@@ -100,6 +124,8 @@ func writeRun(m *runfile.Manager, rows []Tuple) (*runfile.Run, error) {
 func (o *SortOp) runExternal(ins []*In, emit func(Tuple) bool) error {
 	mem := o.Spill.NewInstance()
 	defer mem.Close()
+	readerBuf, readerReserve := mergeReaderBudget(o.Spill.PerInstance)
+	mem.Add(readerReserve)
 	var runs []*runfile.Run
 	defer func() {
 		for _, r := range runs {
@@ -144,6 +170,10 @@ func (o *SortOp) runExternal(ins []*In, emit func(Tuple) bool) error {
 		return nil
 	}
 
+	// The merge phase begins: exchange the up-front reservation for the
+	// actual per-reader charges mergeRuns makes as it opens each run.
+	mem.Release(readerReserve)
+
 	// Multi-pass merge: reduce the run count below the fan-in cap by merging
 	// the oldest runs into one (keeping it at the front preserves run order,
 	// and with it stability).
@@ -152,7 +182,7 @@ func (o *SortOp) runExternal(ins []*In, emit func(Tuple) bool) error {
 		if err != nil {
 			return err
 		}
-		if err := o.mergeRuns(runs[:mergeFanIn], nil, func(t Tuple) error { return w.Write(t) }); err != nil {
+		if err := o.mergeRuns(mem, readerBuf, runs[:mergeFanIn], nil, func(t Tuple) error { return w.Write(t) }); err != nil {
 			w.Abort()
 			return err
 		}
@@ -166,7 +196,7 @@ func (o *SortOp) runExternal(ins []*In, emit func(Tuple) bool) error {
 		runs = append([]*runfile.Run{merged}, runs[mergeFanIn:]...)
 	}
 
-	err := o.mergeRuns(runs, rows, func(t Tuple) error {
+	err := o.mergeRuns(mem, readerBuf, runs, rows, func(t Tuple) error {
 		if !emit(t) {
 			return errStopDemand
 		}
@@ -214,20 +244,24 @@ func (c *sortCursor) advance() error {
 // ranks after every run) into the sink. The cursor count is small (at most
 // mergeFanIn+1) so each step selects the minimum by linear scan; ties pick
 // the lowest cursor index, which is run-creation order — the stability rule.
-func (o *SortOp) mergeRuns(runs []*runfile.Run, tail []Tuple, sink func(Tuple) error) error {
+// Each open reader's bufSize I/O buffer is charged against mem for as long
+// as the reader is open.
+func (o *SortOp) mergeRuns(mem *runfile.Instance, bufSize int, runs []*runfile.Run, tail []Tuple, sink func(Tuple) error) error {
 	cursors := make([]*sortCursor, 0, len(runs)+1)
 	defer func() {
 		for _, c := range cursors {
 			if c.r != nil {
 				c.r.Close()
+				mem.Release(int64(bufSize))
 			}
 		}
 	}()
 	for _, r := range runs {
-		rd, err := r.Open()
+		rd, err := r.OpenSized(bufSize)
 		if err != nil {
 			return err
 		}
+		mem.Add(int64(bufSize))
 		cursors = append(cursors, &sortCursor{r: rd})
 	}
 	if tail != nil {

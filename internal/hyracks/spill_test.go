@@ -191,6 +191,62 @@ func TestExternalSortManyRunsMultiPassMerge(t *testing.T) {
 	assertSpilledAndClean(t, mgr, budget, dir)
 }
 
+// TestMergeReadersChargedAgainstBudget merges a full fan-in of runs directly
+// and asserts the readers' I/O buffers appear in the accounted peak — the bug
+// was merge readers allocating bufio buffers entirely outside the budget —
+// while the whole fan-in still fits the budget share plus slack.
+func TestMergeReadersChargedAgainstBudget(t *testing.T) {
+	const budget = 4 << 10
+	dir := t.TempDir()
+	mgr := runfile.NewManager(dir, budget)
+	spill := &runfile.Budget{M: mgr, PerInstance: budget}
+	o := &SortOp{Label: "sort", Partitions: 1, Columns: []int{0}, Spill: spill}
+
+	var runs []*runfile.Run
+	for i := 0; i < mergeFanIn; i++ {
+		r, err := writeRun(mgr, []Tuple{intTuple(i, 0), intTuple(i+mergeFanIn, 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+	bufSize, reserve := mergeReaderBudget(budget)
+	if int64(bufSize)*(mergeFanIn+1) != reserve {
+		t.Fatalf("reserve %d does not cover %d cursors of %d bytes", reserve, mergeFanIn+1, bufSize)
+	}
+	if reserve > budget/2 {
+		t.Fatalf("reserve %d exceeds half the %d budget", reserve, budget)
+	}
+
+	mem := spill.NewInstance()
+	var out []Tuple
+	err := o.mergeRuns(mem, bufSize, runs, nil, func(tp Tuple) error {
+		out = append(out, tp)
+		return nil
+	})
+	mem.Close()
+	for _, r := range runs {
+		r.Release()
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2*mergeFanIn {
+		t.Fatalf("merged %d tuples, want %d", len(out), 2*mergeFanIn)
+	}
+	st := mgr.Stats()
+	if st.PeakResident < int64(mergeFanIn*bufSize) {
+		t.Fatalf("merge readers not charged: peak %d < %d open-reader bytes",
+			st.PeakResident, mergeFanIn*bufSize)
+	}
+	if st.PeakResident > budget+1024 {
+		t.Fatalf("merge peak %d exceeds budget %d (+1024 slack)", st.PeakResident, budget)
+	}
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func joinJob(build, probe []Tuple, spill *runfile.Budget) *Job {
 	job := &Job{}
 	probeSrc := job.Add(sourceOf(probe))

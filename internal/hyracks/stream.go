@@ -66,7 +66,11 @@ func (c *Cursor) NextFrame() (Frame, bool) {
 	return f, ok
 }
 
-// Next returns the next sink tuple, iterating frames transparently.
+// Next returns the next sink tuple, iterating frames transparently. Frames
+// consumed through Next are recycled into the frame pool once the cursor has
+// moved past them (the returned Tuple slice headers stay valid — recycling
+// only clears the frame's own array); frames taken via NextFrame belong to
+// the caller and are never recycled.
 func (c *Cursor) Next() (Tuple, bool) {
 	if c.stopped.Load() {
 		return nil, false
@@ -76,6 +80,7 @@ func (c *Cursor) Next() (Tuple, bool) {
 		if !ok {
 			return nil, false
 		}
+		putFrame(c.cur.Tuples)
 		c.cur, c.idx = f, 0
 	}
 	t := c.cur.Tuples[c.idx]
@@ -279,6 +284,9 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 					if len(outs) == 0 {
 						if sinkStopped {
 							return false
+						}
+						if sinkBuf == nil {
+							sinkBuf = getFrame(frameSize)
 						}
 						sinkBuf = append(sinkBuf, t)
 						if len(sinkBuf) >= frameSize || !sinkSentFirst {

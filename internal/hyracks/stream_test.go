@@ -35,6 +35,100 @@ func intSourceJob(partitions, perPartition int, produced *atomic.Int64) *Job {
 	return job
 }
 
+// TestFramePoolRecyclingKeepsResults cycles many frames through the frame
+// pool across repeated multi-hop jobs (shuffle edges force interior frames,
+// which In.Next recycles) and checks every value survives intact — a
+// use-after-release would surface as corrupted or duplicated tuples, and
+// under -race as a report.
+func TestFramePoolRecyclingKeepsResults(t *testing.T) {
+	for iter := 0; iter < 10; iter++ {
+		job := &Job{}
+		src := job.Add(&SourceOp{
+			Label: "source", Partitions: 2,
+			Produce: func(p int, emit func(Tuple) bool) error {
+				for i := 0; i < 300; i++ {
+					if !emit(Tuple{adm.Int64(int64(p*300 + i))}) {
+						return nil
+					}
+				}
+				return nil
+			},
+		})
+		asn := job.Add(&AssignOp{
+			Label: "assign", Partitions: 2,
+			Fn: func(t Tuple) (Tuple, error) { return t, nil },
+		})
+		agg := job.Add(&AggregateOp{
+			Label: "sum", Partitions: 1,
+			NewFold: func() (func(Tuple) error, func() (Tuple, error)) {
+				sum := int64(0)
+				step := func(t Tuple) error {
+					sum += int64(t[0].(adm.Int64))
+					return nil
+				}
+				finish := func() (Tuple, error) { return Tuple{adm.Int64(sum)}, nil }
+				return step, finish
+			},
+		})
+		job.Connect(src, asn, Connector{Kind: MToNPartitioning, HashColumns: []int{0}})
+		job.Connect(asn, agg, Connector{Kind: MToNPartitioningMerging})
+		out, err := Execute(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int64(599 * 600 / 2) // 0..599
+		if len(out) != 1 || int64(out[0][0].(adm.Int64)) != want {
+			t.Fatalf("iter %d: sum = %v, want %d (frame recycling corrupted tuples?)", iter, out, want)
+		}
+	}
+}
+
+// TestFramePoolEarlyCloseAndCancel interleaves early cursor Close and context
+// cancellation with pooled frames in flight; abandoned frames must fall to GC
+// (never double-enter the pool), so later iterations keep producing correct
+// results. Run under -race this is the frame-lifecycle regression test.
+func TestFramePoolEarlyCloseAndCancel(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		var produced atomic.Int64
+		cur, err := ExecuteStream(ctx, intSourceJob(3, 10_000, &produced))
+		if err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		for i := 0; i < iter*3; i++ {
+			if _, ok := cur.Next(); !ok {
+				break
+			}
+		}
+		if iter%2 == 0 {
+			cancel() // cancel with frames in flight, then Close
+		}
+		cur.Close()
+		cancel()
+	}
+	// After all that churn the pool must still hand out clean frames.
+	var produced atomic.Int64
+	cur, err := ExecuteStream(context.Background(), intSourceJob(2, 500, &produced))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	n := 0
+	for {
+		if _, ok := cur.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("post-churn stream returned %d tuples, want 1000", n)
+	}
+}
+
 func TestExecuteStreamDrainsCompletely(t *testing.T) {
 	var produced atomic.Int64
 	cur, err := ExecuteStream(context.Background(), intSourceJob(3, 500, &produced))

@@ -344,11 +344,20 @@ func (r *Run) MemBytes() int64 { return r.memB }
 
 // Open starts a sequential read of the run from the beginning.
 func (r *Run) Open() (*Reader, error) {
+	return r.OpenSized(runBufSize)
+}
+
+// OpenSized starts a sequential read with an explicit buffer size. A k-way
+// merge holding many readers open at once uses this to shrink each reader's
+// buffer so the whole fan-in stays inside the operator's budget share;
+// bufio clamps sizes below its minimum (16 bytes) up, so any positive value
+// is safe.
+func (r *Run) OpenSized(bufSize int) (*Reader, error) {
 	f, err := os.Open(r.path)
 	if err != nil {
 		return nil, fmt.Errorf("runfile: open run: %w", err)
 	}
-	return &Reader{f: f, br: bufio.NewReaderSize(f, runBufSize)}, nil
+	return &Reader{f: f, br: bufio.NewReaderSize(f, bufSize)}, nil
 }
 
 // Release deletes the run file. Idempotent; open readers on POSIX systems
@@ -449,6 +458,14 @@ func ValueMemSize(v adm.Value) int64 {
 			}
 		}
 		return sz
+	case *adm.LazyRecord:
+		// Undecoded lazy records hold their byte slab plus the slot
+		// directory; once materialized they cost what the record costs.
+		if rec, slab := x.Resident(); rec == nil {
+			return 96 + int64(slab)
+		} else {
+			return 48 + ValueMemSize(rec)
+		}
 	case *adm.OrderedList:
 		return listMemSize(x.Items)
 	case *adm.UnorderedList:

@@ -6,7 +6,7 @@ import (
 	"sync"
 	"time"
 
-	"asterixdb/internal/adm"
+	"asterixdb/internal/runfile"
 )
 
 // Result-handle states for asynchronous and deferred queries.
@@ -17,40 +17,65 @@ const (
 )
 
 // handle is one asynchronous or deferred query's server-side state: its
-// lifecycle status and, once finished, either the materialized result values
-// or the error.
+// lifecycle status and, once finished, either a spill-file run holding the
+// serialized result or the error. Results are never materialized in memory —
+// the executing query streams into the run file and /query/result streams it
+// back out — so a handle's resident cost is independent of its result size.
 type handle struct {
 	id      string
 	mode    string
 	created time.Time
 
-	mu     sync.Mutex
-	status string
-	values []adm.Value
-	err    error
+	mu        sync.Mutex
+	status    string
+	run       *runfile.Run
+	count     int
+	err       error
+	discarded bool
 }
 
-func (h *handle) finish(values []adm.Value, err error) {
+// finish records the query's outcome. If the handle was discarded while the
+// query was still running (TTL expiry, table shutdown), the arriving run is
+// released immediately — nobody can fetch it anymore.
+func (h *handle) finish(run *runfile.Run, count int, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if err != nil {
 		h.status, h.err = statusFailed, err
 		return
 	}
-	h.status, h.values = statusSuccess, values
+	h.status, h.run, h.count = statusSuccess, run, count
+	if h.discarded && h.run != nil {
+		h.run.Release()
+		h.run = nil
+	}
 }
 
-// snapshot returns the handle's current status, values and error.
-func (h *handle) snapshot() (string, []adm.Value, error) {
+// snapshot returns the handle's current status, result run, tuple count and
+// error.
+func (h *handle) snapshot() (string, *runfile.Run, int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.status, h.values, h.err
+	return h.status, h.run, h.count, h.err
+}
+
+// discard releases the handle's result run (if any) and marks the handle so
+// a result that finishes later is released on arrival.
+func (h *handle) discard() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.discarded = true
+	if h.run != nil {
+		h.run.Release()
+		h.run = nil
+	}
 }
 
 // handleTable stores result handles and evicts them when their TTL expires
 // (measured from creation, refreshed on every access, so a client that keeps
 // polling does not lose its handle). Fetching a result also evicts: results
-// are delivered exactly once, as in the paper's deferred mode.
+// are delivered exactly once, as in the paper's deferred mode. Every eviction
+// path discards the handle, releasing its result spill file.
 type handleTable struct {
 	ttl time.Duration
 	now func() time.Time
@@ -91,17 +116,20 @@ func (t *handleTable) create(mode string) *handle {
 // get returns the handle and refreshes its TTL; expired handles are gone.
 func (t *handleTable) get(id string) (*handle, bool) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	h, ok := t.entries[id]
 	if !ok {
+		t.mu.Unlock()
 		return nil, false
 	}
 	if t.now().Sub(t.touched[id]) > t.ttl {
 		delete(t.entries, id)
 		delete(t.touched, id)
+		t.mu.Unlock()
+		h.discard()
 		return nil, false
 	}
 	t.touched[id] = t.now()
+	t.mu.Unlock()
 	return h, true
 }
 
@@ -109,17 +137,20 @@ func (t *handleTable) get(id string) (*handle, bool) {
 // handle exists and has finished, it is removed from the table and returned
 // with taken=true, so of two concurrent fetches exactly one delivers. A
 // still-running handle is returned un-evicted with taken=false; a missing or
-// expired handle reports ok=false.
+// expired handle reports ok=false. The caller that takes a handle owns its
+// result run and must discard the handle after serving it.
 func (t *handleTable) take(id string) (h *handle, ok, taken bool) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	h, ok = t.entries[id]
 	if !ok {
+		t.mu.Unlock()
 		return nil, false, false
 	}
 	if t.now().Sub(t.touched[id]) > t.ttl {
 		delete(t.entries, id)
 		delete(t.touched, id)
+		t.mu.Unlock()
+		h.discard()
 		return nil, false, false
 	}
 	h.mu.Lock()
@@ -127,33 +158,45 @@ func (t *handleTable) take(id string) (h *handle, ok, taken bool) {
 	h.mu.Unlock()
 	if !finished {
 		t.touched[id] = t.now()
+		t.mu.Unlock()
 		return h, true, false
 	}
 	delete(t.entries, id)
 	delete(t.touched, id)
+	t.mu.Unlock()
 	return h, true, true
 }
 
-// evict removes a handle (result delivered, or delivery failed for good).
+// evict removes a handle (result delivered, or delivery failed for good) and
+// releases its result run.
 func (t *handleTable) evict(id string) {
 	t.mu.Lock()
+	h := t.entries[id]
 	delete(t.entries, id)
 	delete(t.touched, id)
 	t.mu.Unlock()
+	if h != nil {
+		h.discard()
+	}
 }
 
 // sweep drops every expired handle; the janitor calls it periodically so
-// abandoned handles do not pin their results forever.
+// abandoned handles do not pin their result spill files forever.
 func (t *handleTable) sweep() {
 	now := t.now()
+	var dead []*handle
 	t.mu.Lock()
 	for id, at := range t.touched {
 		if now.Sub(at) > t.ttl {
+			dead = append(dead, t.entries[id])
 			delete(t.entries, id)
 			delete(t.touched, id)
 		}
 	}
 	t.mu.Unlock()
+	for _, h := range dead {
+		h.discard()
+	}
 }
 
 func (t *handleTable) janitor() {
@@ -173,8 +216,20 @@ func (t *handleTable) janitor() {
 	}
 }
 
+// close stops the janitor and discards every remaining handle.
 func (t *handleTable) close() {
 	t.stopped.Do(func() { close(t.stop) })
+	t.mu.Lock()
+	remaining := make([]*handle, 0, len(t.entries))
+	for _, h := range t.entries {
+		remaining = append(remaining, h)
+	}
+	t.entries = map[string]*handle{}
+	t.touched = map[string]time.Time{}
+	t.mu.Unlock()
+	for _, h := range remaining {
+		h.discard()
+	}
 }
 
 func newHandleID() string {

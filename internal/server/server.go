@@ -35,11 +35,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"asterixdb"
 	"asterixdb/internal/adm"
+	"asterixdb/internal/runfile"
 )
 
 // Options configure a Server.
@@ -62,6 +64,10 @@ type Server struct {
 	opts    Options
 	mux     *http.ServeMux
 	handles *handleTable
+	// spill holds the run files that store async/deferred results between
+	// query completion and result fetch, registered against the instance's
+	// memory budget so handle results never materialize in memory.
+	spill *runfile.Manager
 	// async tracks detached asynchronous-query goroutines so Close can wait
 	// for them before the caller tears down the instance under their feet.
 	async sync.WaitGroup
@@ -85,6 +91,7 @@ func New(inst *asterixdb.Instance, opts Options) *Server {
 		opts:    opts,
 		mux:     http.NewServeMux(),
 		handles: newHandleTable(opts.HandleTTL, opts.Now),
+		spill:   runfile.NewManager(filepath.Join(inst.SpillDir(), "handles"), inst.MemoryBudget()),
 	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /query/status", s.handleStatus)
@@ -99,12 +106,13 @@ func New(inst *asterixdb.Instance, opts Options) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close waits for detached asynchronous queries to finish and stops the
-// handle table's eviction janitor. Call it before closing the instance.
+// Close waits for detached asynchronous queries to finish, stops the handle
+// table's eviction janitor, and removes any handle-result spill files still
+// on disk. Call it before closing the instance.
 func (s *Server) Close() error {
 	s.async.Wait()
 	s.handles.close()
-	return nil
+	return s.spill.Close()
 }
 
 // ----------------------------------------------------------------------------
@@ -165,12 +173,7 @@ func (s *Server) queryAsynchronous(w http.ResponseWriter, src string) {
 	s.async.Add(1)
 	go func() {
 		defer s.async.Done()
-		res, err := s.inst.ExecuteContext(context.Background(), src)
-		if err != nil {
-			h.finish(nil, err)
-			return
-		}
-		h.finish(res.Values, nil)
+		h.finish(s.spoolResult(context.Background(), src))
 	}()
 	writeJSONStatus(w, http.StatusAccepted, map[string]any{"handle": h.id, "status": statusRunning})
 }
@@ -178,14 +181,48 @@ func (s *Server) queryAsynchronous(w http.ResponseWriter, src string) {
 // queryDeferred runs the query to completion, stores the result under a
 // handle, and returns the handle; the client fetches the result exactly once.
 func (s *Server) queryDeferred(w http.ResponseWriter, r *http.Request, src string) {
-	res, err := s.inst.ExecuteContext(r.Context(), src)
+	run, count, err := s.spoolResult(r.Context(), src)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	h := s.handles.create("deferred")
-	h.finish(res.Values, nil)
+	h.finish(run, count, nil)
 	writeJSON(w, map[string]any{"handle": h.id, "status": statusSuccess})
+}
+
+// spoolResult executes the statement and streams its result values into a
+// fresh handle spill run, one single-column tuple per value, so an arbitrary
+// result size costs one run-writer buffer of memory rather than the whole
+// materialized value slice. A failure anywhere (including mid-stream, after
+// rows were already spooled) aborts the run and reports the error.
+func (s *Server) spoolResult(ctx context.Context, src string) (*runfile.Run, int, error) {
+	cur, err := s.inst.QueryStream(ctx, src)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer cur.Close()
+	w, err := s.spill.NewRun()
+	if err != nil {
+		return nil, 0, err
+	}
+	count := 0
+	for cur.Next() {
+		if err := w.Write([]adm.Value{cur.Value()}); err != nil {
+			w.Abort()
+			return nil, 0, err
+		}
+		count++
+	}
+	if err := cur.Err(); err != nil {
+		w.Abort()
+		return nil, 0, err
+	}
+	run, err := w.Finish()
+	if err != nil {
+		return nil, 0, err
+	}
+	return run, count, nil
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -194,7 +231,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &asterixdb.Error{Code: asterixdb.CodeNotFound, Message: "unknown or expired handle"})
 		return
 	}
-	status, _, err := h.snapshot()
+	status, _, _, err := h.snapshot()
 	body := map[string]any{"handle": h.id, "status": status}
 	if err != nil {
 		body["error"] = errorBody(err)
@@ -216,18 +253,52 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 			"error": map[string]any{"code": "running", "message": "query still running; poll /query/status"}})
 		return
 	}
-	status, values, err := h.snapshot()
+	// The handle is ours now; its result run is released when we're done.
+	defer h.discard()
+	status, run, _, err := h.snapshot()
 	switch status {
 	case statusFailed:
 		writeError(w, err)
 	default:
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		bw := bufio.NewWriter(w)
-		var line []byte
-		for _, v := range values {
-			line = adm.AppendJSON(line[:0], v)
-			bw.Write(line)
-			bw.WriteByte('\n')
+		if run != nil {
+			rd, err := run.Open()
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+			defer rd.Close()
+			flusher, _ := w.(http.Flusher)
+			var line []byte
+			n := 0
+			for {
+				cols, err := rd.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					// Headers may be out; report as a trailing NDJSON error line.
+					line = line[:0]
+					line = append(line, `{"error":`...)
+					line = appendErrorJSON(line, err)
+					line = append(line, '}', '\n')
+					bw.Write(line)
+					break
+				}
+				if len(cols) > 0 {
+					line = adm.AppendJSON(line[:0], cols[0])
+					bw.Write(line)
+					bw.WriteByte('\n')
+				}
+				n++
+				if n%s.opts.FlushEvery == 0 {
+					bw.Flush()
+					if flusher != nil {
+						flusher.Flush()
+					}
+				}
+			}
 		}
 		bw.Flush()
 	}

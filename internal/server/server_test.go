@@ -233,6 +233,95 @@ func TestConcurrentResultFetchDeliversOnce(t *testing.T) {
 	}
 }
 
+// TestHandleResultLargerThanBudgetStaysOnDisk is the regression test for
+// handle materialization: async/deferred results used to be held as a
+// []adm.Value for the handle's whole lifetime, unbounded by any budget. Now
+// they spool into a budget-registered spill run, so a result far larger than
+// the memory budget must (a) hit the handle spill manager's disk accounting,
+// (b) stream back complete, and (c) leave no run files behind once fetched.
+func TestHandleResultLargerThanBudgetStaysOnDisk(t *testing.T) {
+	const budget = 4 << 10
+	inst, err := asterixdb.Open(asterixdb.Config{DataDir: t.TempDir(), Partitions: 2, MemoryBudget: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inst.Close() })
+	s := New(inst, Options{HandleTTL: time.Minute})
+	t.Cleanup(func() { s.Close() })
+
+	const rows = 500 // ~60 bytes of record each: >30KiB against a 4KiB budget
+	loadItems(t, s, rows)
+	w := do(t, s, "POST", "/query?mode=deferred", `for $i in dataset Items return $i;`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("deferred: %d %s", w.Code, w.Body)
+	}
+	handle, _ := decodeJSON(t, w.Body.String())["handle"].(string)
+
+	st := s.spill.Stats()
+	if st.BytesSpilled <= budget {
+		t.Fatalf("result not spooled to disk: %d bytes spilled, budget %d", st.BytesSpilled, budget)
+	}
+	if st.LiveRuns != 1 {
+		t.Fatalf("want 1 live handle run before fetch, have %d", st.LiveRuns)
+	}
+
+	w = do(t, s, "GET", "/query/result?handle="+handle, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("result: %d %s", w.Code, w.Body)
+	}
+	got := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(got) != rows {
+		t.Fatalf("result has %d lines, want %d", len(got), rows)
+	}
+	for _, ln := range got {
+		var v map[string]any
+		if err := json.Unmarshal([]byte(ln), &v); err != nil {
+			t.Fatalf("line %q is not JSON: %v", ln, err)
+		}
+	}
+	if st := s.spill.Stats(); st.LiveRuns != 0 {
+		t.Errorf("%d handle runs still live after the result was delivered", st.LiveRuns)
+	}
+}
+
+// TestHandleEvictionReleasesSpillRun: a handle that expires unfetched must
+// not pin its result run on disk.
+func TestHandleEvictionReleasesSpillRun(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Now()
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	inst, err := asterixdb.Open(asterixdb.Config{DataDir: t.TempDir(), Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inst.Close() })
+	s := New(inst, Options{HandleTTL: time.Minute, Now: clock})
+	t.Cleanup(func() { s.Close() })
+	loadItems(t, s, 10)
+
+	w := do(t, s, "POST", "/query?mode=deferred", `for $i in dataset Items return $i;`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("deferred: %d %s", w.Code, w.Body)
+	}
+	handle, _ := decodeJSON(t, w.Body.String())["handle"].(string)
+	if st := s.spill.Stats(); st.LiveRuns != 1 {
+		t.Fatalf("want 1 live run, have %d", st.LiveRuns)
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if w := do(t, s, "GET", "/query/result?handle="+handle, ""); w.Code != http.StatusNotFound {
+		t.Fatalf("expired fetch = %d, want 404", w.Code)
+	}
+	if st := s.spill.Stats(); st.LiveRuns != 0 {
+		t.Errorf("expired handle still pins %d spill runs", st.LiveRuns)
+	}
+}
+
 func TestErrorResponsesAreJSONTyped(t *testing.T) {
 	s, _ := newTestServer(t)
 	w := do(t, s, "GET", "/query/status?handle=nope", "")

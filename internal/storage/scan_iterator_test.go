@@ -53,7 +53,8 @@ func TestScanPausedUnderMutation(t *testing.T) {
 	visited := make(chan int) // visitor hands each id over and blocks
 	scanErr := make(chan error, 1)
 	go func() {
-		scanErr <- ds.ScanPartition(0, func(r *adm.Record) bool {
+		scanErr <- ds.ScanPartition(0, func(v adm.Value) bool {
+			r, _ := adm.AsRecord(v)
 			visited <- int(r.Get("message-id").(adm.Int32))
 			return true
 		})

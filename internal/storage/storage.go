@@ -73,6 +73,11 @@ type Options struct {
 	MemBudget int
 	// MergePolicy overrides the default LSM merge policy.
 	MergePolicy lsm.MergePolicy
+	// EagerDecode makes ScanPartition decode every record to the full Value
+	// tree up front instead of emitting lazily-decoded records backed by
+	// pooled arenas. The lazy path is the default; this knob exists for the
+	// lazy-vs-eager differential tests and as an escape hatch.
+	EagerDecode bool
 }
 
 // DefaultPartitions is the default number of storage partitions.
@@ -866,7 +871,13 @@ const scanChunk = 64
 // the partition: records inserted mid-scan with keys beyond the scan cursor
 // are visited (the iterator's staleness re-seek preserves exactly the old
 // resume-strictly-after-last-key semantics).
-func (d *Dataset) ScanPartition(part int, visit func(*adm.Record) bool) error {
+// Records arrive as lazily-decoded *adm.LazyRecord values (unless
+// Options.EagerDecode) viewing the LSM tree's own value bytes zero-copy:
+// the iterator contract guarantees value slices stay readable and are never
+// mutated in place, so no per-record copy is made. The slot directory is
+// parsed — and the stored bytes validated — under the latch, but field
+// decoding is deferred until an operator actually touches a field.
+func (d *Dataset) ScanPartition(part int, visit func(adm.Value) bool) error {
 	if part < 0 || part >= len(d.partitions) {
 		return fmt.Errorf("storage: partition %d out of range", part)
 	}
@@ -874,8 +885,18 @@ func (d *Dataset) ScanPartition(part int, visit func(*adm.Record) bool) error {
 	p.mu.Lock()
 	it := p.primary.NewIterator(nil, nil)
 	p.mu.Unlock()
+	lazy := !d.manager.opts.EagerDecode
+	var arena *adm.Arena
+	if lazy {
+		// The arena only block-allocates LazyRecord headers here; emitted
+		// records hold no reference to it. Release is nil-safe, so the eager
+		// path threads through.
+		arena = adm.AcquireArena()
+	}
+	defer arena.Release()
+	chunk := make([]adm.Value, 0, scanChunk)
 	for {
-		var chunk []*adm.Record
+		chunk = chunk[:0]
 		var decodeErr error
 		done := false
 		p.mu.Lock()
@@ -884,13 +905,19 @@ func (d *Dataset) ScanPartition(part int, visit func(*adm.Record) bool) error {
 				done = true
 				break
 			}
-			val, _, err := d.ser.Decode(it.Value())
+			var val adm.Value
+			var err error
+			if lazy {
+				val, _, err = d.ser.DecodeLazy(it.Value(), arena)
+			} else {
+				val, _, err = d.ser.Decode(it.Value())
+			}
 			if err != nil {
 				decodeErr = err
 				break
 			}
-			if rec, ok := val.(*adm.Record); ok {
-				chunk = append(chunk, rec)
+			if val.Tag() == adm.TagRecord {
+				chunk = append(chunk, val)
 			}
 		}
 		p.mu.Unlock()
@@ -914,7 +941,11 @@ func (d *Dataset) ScanPartition(part int, visit func(*adm.Record) bool) error {
 func (d *Dataset) Scan(visit func(*adm.Record) bool) error {
 	for part := range d.partitions {
 		stop := false
-		err := d.ScanPartition(part, func(r *adm.Record) bool {
+		err := d.ScanPartition(part, func(v adm.Value) bool {
+			r, ok := adm.AsRecord(v)
+			if !ok {
+				return true
+			}
 			if !visit(r) {
 				stop = true
 				return false

@@ -354,7 +354,7 @@ func TestInsertBatchAndPartitioning(t *testing.T) {
 	nonEmpty := 0
 	for p := 0; p < m.Partitions(); p++ {
 		n := 0
-		ds.ScanPartition(p, func(*adm.Record) bool { n++; return true })
+		ds.ScanPartition(p, func(adm.Value) bool { n++; return true })
 		if n > 0 {
 			nonEmpty++
 		}
@@ -397,10 +397,10 @@ func TestScanPartitionVisitorOutsideLock(t *testing.T) {
 		t.Fatal(err)
 	}
 	outer, inner := 0, 0
-	err := ds.ScanPartition(0, func(*adm.Record) bool {
+	err := ds.ScanPartition(0, func(adm.Value) bool {
 		outer++
 		if outer == 1 {
-			if err := ds.ScanPartition(0, func(*adm.Record) bool {
+			if err := ds.ScanPartition(0, func(adm.Value) bool {
 				inner++
 				return true
 			}); err != nil {

@@ -185,6 +185,29 @@ func bindInto(env expr.Env, schema Schema, t hyracks.Tuple) {
 	}
 }
 
+// tupleBlock is the number of single-column tuples that share one backing
+// allocation in tupleAllocator and the datasource scan.
+const tupleBlock = 512
+
+// tupleAllocator returns a per-instance maker of one-column tuples packed
+// into shared blocks: one backing allocation per tupleBlock tuples instead of
+// one per tuple. Each slot is written exactly once and the three-index cap
+// keeps a downstream append from aliasing the next tuple. Instances must call
+// it only from their own partition p, which is the operator contract anyway.
+func tupleAllocator(par int) func(p int, v adm.Value) hyracks.Tuple {
+	blks := make([][]adm.Value, par)
+	return func(p int, v adm.Value) hyracks.Tuple {
+		blk := blks[p]
+		if len(blk) == cap(blk) {
+			blk = make([]adm.Value, 0, tupleBlock)
+		}
+		blk = append(blk, v)
+		blks[p] = blk
+		i := len(blk) - 1
+		return hyracks.Tuple(blk[i : i+1 : i+1])
+	}
+}
+
 // envBinder returns a per-partition tuple-to-environment binder that reuses
 // one map per operator instance. The evaluator never retains an environment
 // beyond the Eval call (Env.With copies), so streaming operators can
@@ -274,17 +297,18 @@ func (b *jobBuilder) buildScan(n *algebra.Node) (stream, error) {
 		// pushed-down limit bound stops each partition's scan at exactly
 		// offset+limit emitted records, instead of overrunning by a frame
 		// until the limit's upstream cancellation arrives.
+		mk := tupleAllocator(b.partitions)
 		op := b.job.Add(&hyracks.SourceOp{
 			Label:      fmt.Sprintf("datasource-scan(%s)", n.Dataset),
 			Partitions: b.partitions,
 			Produce: func(p int, emit func(hyracks.Tuple) bool) error {
 				emitted := 0
-				return ds.ScanPartition(p, func(rec *adm.Record) bool {
+				return ds.ScanPartition(p, func(rec adm.Value) bool {
 					if bounded && emitted >= bound {
 						return false
 					}
 					emitted++
-					return emit(hyracks.Tuple{rec})
+					return emit(mk(p, rec))
 				})
 			},
 		})
@@ -1499,13 +1523,31 @@ func (b *jobBuilder) buildDistribute(n *algebra.Node) (stream, error) {
 			}
 			break
 		}
+		if fa, ok := ret.(*aql.FieldAccess); ok {
+			if col, ok := columnOfVariable(fa.Base, schema); ok {
+				// "return $x.field" resolves the field straight off the tuple
+				// column — for a lazy record, one slot lookup in the byte slab
+				// — skipping environment binding and expression dispatch.
+				mk := tupleAllocator(in.par)
+				name, field := schema[col], fa.Field
+				fn = func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+					if col >= len(t) || t[col] == nil {
+						return fmt.Errorf("expr: unbound variable $%s", name)
+					}
+					emit(mk(p, expr.FieldOf(t[col], field)))
+					return nil
+				}
+				break
+			}
+		}
 		bind := envBinder(schema, in.par)
+		mk := tupleAllocator(in.par)
 		fn = func(p int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
 			v, err := expr.Eval(b.ctx, bind(p, t), ret)
 			if err != nil {
 				return err
 			}
-			emit(hyracks.Tuple{v})
+			emit(mk(p, v))
 			return nil
 		}
 	}

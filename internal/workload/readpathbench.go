@@ -1,5 +1,7 @@
 package workload
 
+import "fmt"
+
 // This file is the shared definition of the read-path benchmark: the dataset
 // sizes, the workload queries, and the BENCH_readpath.json row schema are
 // used by both the go-test benchmarks (BenchmarkReadPathScan and friends)
@@ -28,6 +30,38 @@ const (
 	// chain compared fused vs unfused.
 	ReadPathPipelineQuery = `for $x in dataset Big where $x.k >= 10 let $v := $x.k + 1 return $v;`
 )
+
+// ReadPathRegressions compares a fresh benchmark run against a committed
+// baseline and reports every full-scan tier whose per-record time regressed
+// by more than tolerance (0.20 = 20%). Only full-scan rows guard the build:
+// ns/record over 10k+ records is the one number stable enough to gate on,
+// where the sub-millisecond latency workloads (first-row) are pure CI-runner
+// noise. Tiers present in only one of the two runs (e.g. a reduced-scale CI
+// sweep against a full-scale baseline) are skipped, not failed.
+func ReadPathRegressions(baseline, measured []ReadPathRow, tolerance float64) []string {
+	base := make(map[int]float64)
+	for _, r := range baseline {
+		if r.Workload == "full-scan" && r.NsPerRecord > 0 {
+			base[r.Records] = r.NsPerRecord
+		}
+	}
+	var failures []string
+	for _, r := range measured {
+		if r.Workload != "full-scan" || r.NsPerRecord <= 0 {
+			continue
+		}
+		b, ok := base[r.Records]
+		if !ok {
+			continue
+		}
+		if r.NsPerRecord > b*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf(
+				"full-scan @ %d records: %.2f ns/record vs baseline %.2f (+%.0f%%, tolerance %.0f%%)",
+				r.Records, r.NsPerRecord, b, (r.NsPerRecord/b-1)*100, tolerance*100))
+		}
+	}
+	return failures
+}
 
 // ReadPathRow is one measurement in BENCH_readpath.json.
 type ReadPathRow struct {

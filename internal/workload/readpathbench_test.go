@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadPathRegressions(t *testing.T) {
+	baseline := []ReadPathRow{
+		{Workload: "full-scan", Records: 10_000, NsPerRecord: 300},
+		{Workload: "full-scan", Records: 100_000, NsPerRecord: 250},
+		{Workload: "first-row", Records: 100_000, Ns: 400_000},
+		{Workload: "pipeline-fused", Records: 100_000, NsPerRecord: 600},
+	}
+
+	t.Run("within tolerance passes", func(t *testing.T) {
+		measured := []ReadPathRow{
+			{Workload: "full-scan", Records: 10_000, NsPerRecord: 330},
+			{Workload: "full-scan", Records: 100_000, NsPerRecord: 290},
+		}
+		if fails := ReadPathRegressions(baseline, measured, 0.20); len(fails) != 0 {
+			t.Fatalf("expected no failures, got %v", fails)
+		}
+	})
+
+	t.Run("regressed tier fails with a readable message", func(t *testing.T) {
+		measured := []ReadPathRow{
+			{Workload: "full-scan", Records: 10_000, NsPerRecord: 310},
+			{Workload: "full-scan", Records: 100_000, NsPerRecord: 320},
+		}
+		fails := ReadPathRegressions(baseline, measured, 0.20)
+		if len(fails) != 1 {
+			t.Fatalf("expected 1 failure, got %v", fails)
+		}
+		if !strings.Contains(fails[0], "100000") || !strings.Contains(fails[0], "320.00") {
+			t.Fatalf("failure message missing tier or measurement: %q", fails[0])
+		}
+	})
+
+	t.Run("only full-scan rows gate", func(t *testing.T) {
+		// Latency and pipeline rows are CI-noise-dominated and must never
+		// fail the build, however bad they look.
+		measured := []ReadPathRow{
+			{Workload: "first-row", Records: 100_000, Ns: 40_000_000},
+			{Workload: "pipeline-fused", Records: 100_000, NsPerRecord: 9000},
+		}
+		if fails := ReadPathRegressions(baseline, measured, 0.20); len(fails) != 0 {
+			t.Fatalf("non-full-scan rows must not gate, got %v", fails)
+		}
+	})
+
+	t.Run("tiers missing from either side are skipped", func(t *testing.T) {
+		// A reduced-scale CI sweep (no 1M tier) against a full-scale
+		// baseline, and a new tier with no baseline yet, both pass.
+		measured := []ReadPathRow{
+			{Workload: "full-scan", Records: 100_000, NsPerRecord: 260},
+			{Workload: "full-scan", Records: 1_000_000, NsPerRecord: 5000},
+		}
+		if fails := ReadPathRegressions(baseline, measured, 0.20); len(fails) != 0 {
+			t.Fatalf("unmatched tiers must be skipped, got %v", fails)
+		}
+	})
+
+	t.Run("zero per-record baselines are ignored", func(t *testing.T) {
+		zeroBase := []ReadPathRow{{Workload: "full-scan", Records: 100_000}}
+		measured := []ReadPathRow{{Workload: "full-scan", Records: 100_000, NsPerRecord: 260}}
+		if fails := ReadPathRegressions(zeroBase, measured, 0.20); len(fails) != 0 {
+			t.Fatalf("zero baseline must not gate, got %v", fails)
+		}
+	})
+}
