@@ -97,6 +97,21 @@ type Config struct {
 	// record to the full Value tree up front, as before PR 7. Lazy decoding
 	// is the default; differential tests run both to prove parity.
 	EagerDecode bool
+	// OwnsPartition restricts which storage partitions this instance stores
+	// records for. In a cluster, each node controller owns a subset of the
+	// hash space: inserts and loads silently skip records whose primary key
+	// hashes to a partition owned elsewhere (another node stores them), and
+	// scans of non-owned partitions see empty trees. Nil means the instance
+	// owns every partition (the single-process default).
+	OwnsPartition func(partition int) bool
+	// DistributedNode marks the instance as one node of a multi-process
+	// cluster. It degrades plan choices that assume the whole dataset is
+	// reachable in-process (index nested-loop joins probe only local
+	// partitions, so they fall back to the shuffled hash join) and turns
+	// whole-dataset reads inside expressions (interpreter fallback,
+	// correlated subqueries over internal datasets) into typed errors
+	// instead of silently returning one node's slice of the data.
+	DistributedNode bool
 }
 
 // Instance is one AsterixDB node-group: a Cluster Controller front-end plus
@@ -156,6 +171,7 @@ func Open(cfg Config) (*Instance, error) {
 		Journaled:   cfg.Journaled,
 		MemBudget:   cfg.MemBudget,
 		EagerDecode: cfg.EagerDecode,
+		Owns:        cfg.OwnsPartition,
 	})
 	if err != nil {
 		return nil, err
@@ -266,6 +282,7 @@ func (in *Instance) jobOptions() translator.JobOptions {
 		MemoryBudget:  in.cfg.MemoryBudget,
 		SpillDir:      in.SpillDir(),
 		DisableFusion: in.cfg.DisableFusion,
+		Distributed:   in.cfg.DistributedNode,
 	}
 }
 
@@ -302,6 +319,52 @@ func (in *Instance) Explain(src string) (string, error) {
 		return algebra.Explain(plan) + "\n\n(interpreted: " + err.Error() + ")", nil
 	}
 	return algebra.Explain(plan) + "\n\n" + job.Describe(), nil
+}
+
+// ExecuteForQuery executes every statement of src except a trailing query and
+// returns that query's expression (nil when src ends with a non-query
+// statement, in which case everything was executed). The cluster runtime uses
+// it on the coordinator and on every node controller so a multi-statement
+// request applies its leading DDL/DML identically everywhere before the final
+// query compiles against the updated catalog.
+func (in *Instance) ExecuteForQuery(ctx context.Context, src string) (aql.Expr, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stmts, err := aql.Parse(src)
+	if err != nil {
+		return nil, syntaxError(err)
+	}
+	if len(stmts) == 0 {
+		return nil, nil
+	}
+	q, isQuery := stmts[len(stmts)-1].(*aql.QueryStatement)
+	n := len(stmts)
+	if isQuery {
+		n--
+	}
+	for _, stmt := range stmts[:n] {
+		if _, err := in.executeStatement(ctx, stmt, in.cfg.OptimizerOptions); err != nil {
+			return nil, err
+		}
+	}
+	if isQuery {
+		return q.Body, nil
+	}
+	return nil, nil
+}
+
+// CompileQueryJob compiles a parsed query expression into an executable
+// Hyracks job under the instance's configured options. Every node of a
+// distributed run compiles the same expression against its replicated
+// catalog, which yields an identical job plan — the property the frame wire
+// protocol's edge indexes rely on.
+func (in *Instance) CompileQueryJob(e aql.Expr) (*hyracks.Job, error) {
+	plan, err := translator.Compile(e, in, in.cfg.OptimizerOptions)
+	if err != nil {
+		return nil, err
+	}
+	return translator.BuildJob(plan, in, in.jobOptions())
 }
 
 // CompileJob compiles a query into its executable Hyracks job.
@@ -696,10 +759,11 @@ func (in *Instance) executeInsert(s *aql.InsertStatement) (*Result, error) {
 	default:
 		return nil, errf(CodeInvalid, "asterixdb: insert body must produce a record, got %s", v.Tag())
 	}
-	if err := ds.InsertBatch(recs); err != nil {
+	stored, err := ds.InsertBatch(recs)
+	if err != nil {
 		return nil, err
 	}
-	return &Result{Kind: "insert", Count: len(recs)}, nil
+	return &Result{Kind: "insert", Count: stored}, nil
 }
 
 func (in *Instance) executeDelete(s *aql.DeleteStatement) (*Result, error) {
@@ -753,10 +817,11 @@ func (in *Instance) executeLoad(s *aql.LoadStatement) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := ds.InsertBatch(recs); err != nil {
+	stored, err := ds.InsertBatch(recs)
+	if err != nil {
 		return nil, err
 	}
-	return &Result{Kind: "load", Count: len(recs)}, nil
+	return &Result{Kind: "load", Count: stored}, nil
 }
 
 // ----------------------------------------------------------------------------
@@ -777,6 +842,15 @@ func (in *Instance) readDataset(dataverse, name string) ([]*adm.Record, error) {
 	}
 	if e.external != nil {
 		return e.external.ReadAll()
+	}
+	if in.cfg.DistributedNode {
+		// One node's scan of an internal dataset sees only its owned
+		// partitions; materializing it inside an expression would silently
+		// return a slice of the data. Compiled dataset access distributes
+		// correctly (per-partition scan instances placed on their owners) —
+		// only this interpreter/subquery path is unsupported.
+		return nil, errf(CodeInvalid,
+			"asterixdb: dataset %q cannot be read inside an expression in distributed mode", name)
 	}
 	var out []*adm.Record
 	err := e.internal.Scan(func(r *adm.Record) bool {

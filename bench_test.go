@@ -90,11 +90,11 @@ create index msMessageNgIdx on MugshotMessages(message) type ngram(3);
 			b.Fatal(err)
 		}
 		usersDS, _ := inst.Dataset("MugshotUsers")
-		if err := usersDS.InsertBatch(env.users); err != nil {
+		if _, err := usersDS.InsertBatch(env.users); err != nil {
 			b.Fatal(err)
 		}
 		msgsDS, _ := inst.Dataset("MugshotMessages")
-		if err := msgsDS.InsertBatch(env.messages); err != nil {
+		if _, err := msgsDS.InsertBatch(env.messages); err != nil {
 			b.Fatal(err)
 		}
 		return inst
@@ -427,7 +427,7 @@ create dataset Msgs(M) primary key message-id;`); err != nil {
 					nextID++
 					recs[j] = gen.Message(1).Set("message-id", adm.Int32(int32(nextID)))
 				}
-				if err := ds.InsertBatch(recs); err != nil {
+				if _, err := ds.InsertBatch(recs); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -524,7 +524,7 @@ create dataset Msgs(M) primary key message-id;`); err != nil {
 				b.Fatal(err)
 			}
 			ds, _ := inst.Dataset("Msgs")
-			if err := ds.InsertBatch(messages); err != nil {
+			if _, err := ds.InsertBatch(messages); err != nil {
 				b.Fatal(err)
 			}
 			query := `avg(for $m in dataset Msgs return string-length($m.message))`
@@ -636,11 +636,11 @@ func newSpillBenchInstance(b *testing.B, budget int64) *Instance {
 	}
 	gen := workload.New(workload.Config{Users: 300, Messages: 4000, Seed: 9})
 	usersDS, _ := inst.Dataset("MugshotUsers")
-	if err := usersDS.InsertBatch(gen.Users()); err != nil {
+	if _, err := usersDS.InsertBatch(gen.Users()); err != nil {
 		b.Fatal(err)
 	}
 	msgsDS, _ := inst.Dataset("MugshotMessages")
-	if err := msgsDS.InsertBatch(gen.Messages()); err != nil {
+	if _, err := msgsDS.InsertBatch(gen.Messages()); err != nil {
 		b.Fatal(err)
 	}
 	return inst

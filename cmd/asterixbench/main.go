@@ -159,11 +159,11 @@ create index msMessageNgIdx on MugshotMessages(message) type ngram(3);
 		log.Fatal(err)
 	}
 	usersDS, _ := inst.Dataset("MugshotUsers")
-	if err := usersDS.InsertBatch(b.users); err != nil {
+	if _, err := usersDS.InsertBatch(b.users); err != nil {
 		log.Fatal(err)
 	}
 	msgsDS, _ := inst.Dataset("MugshotMessages")
-	if err := msgsDS.InsertBatch(b.messages); err != nil {
+	if _, err := msgsDS.InsertBatch(b.messages); err != nil {
 		log.Fatal(err)
 	}
 	return inst
@@ -352,7 +352,7 @@ create dataset Msgs(M) primary key message-id;`)
 		}
 		start := time.Now()
 		for r := 0; r < rounds; r++ {
-			if err := ds.InsertBatch(mkBatch()); err != nil {
+			if _, err := ds.InsertBatch(mkBatch()); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -419,11 +419,11 @@ func (b *bench) spillTable() {
 			log.Fatal(err)
 		}
 		usersDS, _ := inst.Dataset("MugshotUsers")
-		if err := usersDS.InsertBatch(b.users); err != nil {
+		if _, err := usersDS.InsertBatch(b.users); err != nil {
 			log.Fatal(err)
 		}
 		msgsDS, _ := inst.Dataset("MugshotMessages")
-		if err := msgsDS.InsertBatch(b.messages); err != nil {
+		if _, err := msgsDS.InsertBatch(b.messages); err != nil {
 			log.Fatal(err)
 		}
 		for _, q := range workload.SpillBenchQueries {
@@ -534,7 +534,7 @@ func (b *bench) readpathTable() {
 					adm.Field{Name: "k", Value: adm.Int32(int32(i % 100))},
 				))
 			}
-			if err := ds.InsertBatch(recs); err != nil {
+			if _, err := ds.InsertBatch(recs); err != nil {
 				log.Fatal(err)
 			}
 		}

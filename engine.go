@@ -200,7 +200,7 @@ func (in *Instance) execScan(n *algebra.Node) ([]expr.Env, error) {
 		if err != nil {
 			return nil, err
 		}
-		return bindRecords(n.Variable, recs), nil
+		return withPositions(n.PosVar, bindRecords(n.Variable, recs)), nil
 	}
 	in.mu.RLock()
 	e, ok := in.datasets[n.Dataset]
@@ -213,7 +213,7 @@ func (in *Instance) execScan(n *algebra.Node) ([]expr.Env, error) {
 		if err != nil {
 			return nil, err
 		}
-		return bindRecords(n.Variable, recs), nil
+		return withPositions(n.PosVar, bindRecords(n.Variable, recs)), nil
 	}
 	ds := e.internal
 	parts := in.cfg.Partitions
@@ -244,7 +244,23 @@ func (in *Instance) execScan(n *algebra.Node) ([]expr.Env, error) {
 		}
 		out = append(out, perPart[p]...)
 	}
-	return out, nil
+	// The partition-concatenation order above IS the scan's iteration order,
+	// so positional bindings are the concatenated index.
+	return withPositions(n.PosVar, out), nil
+}
+
+// withPositions binds the positional variable of a `for $v at $i in ...`
+// source to each binding's 1-based index; the bindings must already be in the
+// source's iteration order. A query without a positional variable passes
+// through untouched.
+func withPositions(posVar string, envs []expr.Env) []expr.Env {
+	if posVar == "" {
+		return envs
+	}
+	for i := range envs {
+		envs[i] = envs[i].With(posVar, adm.Int64(i+1))
+	}
+	return envs
 }
 
 // execSubplan evaluates a non-dataset for-clause source with the interpreter
@@ -259,7 +275,7 @@ func (in *Instance) execSubplan(n *algebra.Node) ([]expr.Env, error) {
 	for _, it := range items {
 		out = append(out, expr.Env{n.Variable: it})
 	}
-	return out, nil
+	return withPositions(n.PosVar, out), nil
 }
 
 // execIndexSearch runs the compiled secondary-index access path through the
@@ -351,8 +367,13 @@ func (in *Instance) execUnnest(ctx context.Context, n *algebra.Node, query *aql.
 		if err != nil {
 			return nil, err
 		}
-		for _, it := range expr.IterationItems(v) {
-			out = append(out, env.With(n.Variable, it))
+		for i, it := range expr.IterationItems(v) {
+			e := env.With(n.Variable, it)
+			if n.PosVar != "" {
+				// The position restarts at 1 for every input binding.
+				e = e.With(n.PosVar, adm.Int64(i+1))
+			}
+			out = append(out, e)
 		}
 	}
 	return out, nil
@@ -433,7 +454,10 @@ func (in *Instance) execJoin(ctx context.Context, n *algebra.Node, query *aql.FL
 // /*+ indexnl */ hint in Query 14.
 func (in *Instance) indexNestedLoopJoin(ctx context.Context, left []expr.Env, n *algebra.Node, query *aql.FLWORExpr) ([]expr.Env, error) {
 	rightNode := n.Inputs[1]
-	if rightNode.Kind != algebra.OpScan {
+	// Index probes emit only matching records and so cannot bind a positional
+	// variable; the optimizer never picks this method for a positional right
+	// side, so the guard is a safety net.
+	if rightNode.Kind != algebra.OpScan || rightNode.PosVar != "" {
 		return in.hashJoinFallback(ctx, left, n, query)
 	}
 	ds, ok := in.Dataset(rightNode.Dataset)

@@ -33,6 +33,9 @@ const (
 	// CodeInvalid: the statement parsed but is semantically invalid —
 	// a bad parameter value, an insert body that is not a record (HTTP 400).
 	CodeInvalid = "invalid"
+	// CodeUnavailable: a cluster node required by the statement is down or
+	// the cluster is not fully formed (HTTP 503). Retryable.
+	CodeUnavailable = "unavailable"
 	// CodeInternal: everything else (HTTP 500).
 	CodeInternal = "internal"
 )

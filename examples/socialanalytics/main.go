@@ -43,7 +43,7 @@ create index msMessageIdx on MugshotMessages(message) type keyword;
 	// paper's performance study).
 	gen := workload.New(workload.Config{Users: 200, Messages: 1500, Seed: 11})
 	ds, _ := inst.Dataset("MugshotMessages")
-	if err := ds.InsertBatch(gen.Messages()); err != nil {
+	if _, err := ds.InsertBatch(gen.Messages()); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("loaded %d messages\n", 1500)

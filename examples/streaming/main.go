@@ -44,7 +44,7 @@ create dataset Events(EventType) primary key id;`); err != nil {
 			adm.Field{Name: "kind", Value: adm.String(kinds[i%3])},
 		))
 	}
-	if err := ds.InsertBatch(recs); err != nil {
+	if _, err := ds.InsertBatch(recs); err != nil {
 		log.Fatal(err)
 	}
 

@@ -126,13 +126,13 @@ func buildFuzzPair(t testing.TB, rng *rand.Rand, memoryBudget int64) (*Instance,
 	for _, inst := range []*Instance{hy, hyNoFuse, hyEager, oracle} {
 		dsA, _ := inst.Dataset("FuzzA")
 		dsB, _ := inst.Dataset("FuzzB")
-		if err := dsA.InsertBatch(batchA); err != nil {
+		if _, err := dsA.InsertBatch(batchA); err != nil {
 			t.Fatal(err)
 		}
-		if err := dsB.InsertBatch(batchB); err != nil {
+		if _, err := dsB.InsertBatch(batchB); err != nil {
 			t.Fatal(err)
 		}
-		if err := dsA.InsertBatch(overwrites); err != nil {
+		if _, err := dsA.InsertBatch(overwrites); err != nil {
 			t.Fatal(err)
 		}
 		if err := dsA.Flush(); err != nil {

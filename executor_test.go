@@ -10,6 +10,7 @@ import (
 	"asterixdb/internal/adm"
 	"asterixdb/internal/algebra"
 	"asterixdb/internal/aql"
+	"asterixdb/internal/expr"
 	"asterixdb/internal/hyracks"
 	"asterixdb/internal/translator"
 )
@@ -173,6 +174,33 @@ return $c;`, false},
 for $u in dataset MugshotUsers
 for $c in (for $x in dataset MugshotMessages group by $same := ($x.author-id = $u.id) with $x return count($x))
 return { "u": $u.id, "c": $c };`, false},
+	// Positional variables: the source operator binds $i to the item's
+	// 1-based position in the interpreter's iteration order (partition
+	// concatenation for dataset scans, per-binding restart for unnests).
+	{"positional-scan", `
+for $u at $i in dataset MugshotUsers
+return { "i": $i, "id": $u.id };`, false},
+	// The where-predicate is index-eligible, but a positional scan must keep
+	// its full scan: positions reflect the pre-select enumeration.
+	{"positional-filter", `
+for $u at $i in dataset MugshotUsers
+where $u.user-since >= datetime('2010-07-22T00:00:00')
+return { "i": $i, "id": $u.id };`, false},
+	{"positional-join", `
+for $u in dataset MugshotUsers
+for $m at $i in dataset MugshotMessages
+where $m.author-id = $u.id
+return { "i": $i, "id": $m.message-id };`, false},
+	{"positional-unnest", `
+for $m in dataset MugshotMessages
+for $t at $j in $m.tags
+return { "id": $m.message-id, "j": $j, "tag": $t };`, false},
+	{"positional-subplan", `for $x at $i in [10, 20, 30] return $i * $x;`, false},
+	{"positional-order-limit", `
+for $m at $i in dataset MugshotMessages
+order by $i
+limit 4 offset 1
+return { "i": $i, "id": $m.message-id };`, true},
 	{"metadata-scan", `for $ds in dataset Metadata.Dataset return $ds;`, false},
 	{"agg-avg", `avg(for $m in dataset MugshotMessages return string-length($m.message))`, true},
 	{"agg-sum", `sum(for $m in dataset MugshotMessages return string-length($m.message))`, true},
@@ -227,6 +255,37 @@ func TestDifferentialHyracksVsInterpreter(t *testing.T) {
 			}
 			sameResults(t, q.name+"/"+optName, hyRes, orRes, q.ordered)
 		}
+	}
+}
+
+// TestPositionalVariableGroundTruth pins the compiled positional-variable
+// semantics to the raw expression interpreter — the engine's former fallback
+// path for `at` clauses and therefore the behavioral reference. Both
+// executors implement the same partition-concatenation order, so this guards
+// against a shared deviation the differential test could not see.
+func TestPositionalVariableGroundTruth(t *testing.T) {
+	inst := newTinySocial(t)
+	for _, q := range []string{
+		`for $u at $i in dataset MugshotUsers order by $i return { "i": $i, "id": $u.id };`,
+		`for $m at $i in dataset MugshotMessages where $m.message-id >= 5 order by $i return { "i": $i, "id": $m.message-id };`,
+		`for $x at $i in [7, 8, 9] order by $i return $i * $x;`,
+		`for $m in dataset MugshotMessages for $t at $j in $m.tags order by $m.message-id, $j return { "id": $m.message-id, "j": $j, "t": $t };`,
+		`for $u in dataset MugshotUsers for $m at $i in dataset MugshotMessages where $m.author-id = $u.id order by $m.message-id return { "i": $i, "id": $m.message-id };`,
+		`for $m at $i in dataset MugshotMessages order by $i limit 3 return $i;`,
+	} {
+		e, err := aql.ParseQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := expr.Eval(inst.evalCtx, expr.Env{}, e)
+		if err != nil {
+			t.Fatalf("interpreter(%s): %v", q, err)
+		}
+		res, err := inst.Query(q)
+		if err != nil {
+			t.Fatalf("compiled(%s): %v", q, err)
+		}
+		sameResults(t, q, res, expr.IterationItems(want), true)
 	}
 }
 
@@ -432,7 +491,7 @@ create dataset Nums(N) primary key id;`); err != nil {
 			adm.Field{Name: "k", Value: adm.Int32(int32(i % 100))},
 		))
 	}
-	if err := ds.InsertBatch(recs); err != nil {
+	if _, err := ds.InsertBatch(recs); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan struct{})

@@ -62,7 +62,14 @@ type Node struct {
 	Dataset   string
 	Dataverse string
 	Variable  string
-	Index     string
+	// PosVar is the positional variable of a `for $v at $i in ...` clause:
+	// the scan, subplan or unnest operator binds it to each item's 1-based
+	// position in the source's iteration order. Positional sources are never
+	// correlated (a correlated source compiles to an unnest, which carries its
+	// own PosVar), so an item's position is a property of the item alone and
+	// survives any join method above the source.
+	PosVar string
+	Index  string
 	// LoExpr/HiExpr bound an index range search; EqExpr an equality search.
 	LoExpr, HiExpr aql.Expr
 	LoInclusive    bool
@@ -147,14 +154,12 @@ func Build(fl *aql.FLWORExpr) (*Plan, error) {
 	for _, clause := range fl.Clauses {
 		switch c := clause.(type) {
 		case *aql.ForClause:
-			if c.PosVar != "" {
-				// Positional variables have no physical operator; the engine
-				// evaluates these queries with the expression interpreter.
-				return nil, fmt.Errorf("algebra: positional variable $%s is not compilable", c.PosVar)
-			}
 			if _, isDataset := c.Source.(*aql.DatasetRef); !isDataset && root != nil && referencesAny(c.Source, bound) {
-				root = &Node{Kind: OpUnnest, Inputs: []*Node{root}, Variable: c.Var, Exprs: []aql.Expr{c.Source}}
+				root = &Node{Kind: OpUnnest, Inputs: []*Node{root}, Variable: c.Var, PosVar: c.PosVar, Exprs: []aql.Expr{c.Source}}
 				bound[c.Var] = true
+				if c.PosVar != "" {
+					bound[c.PosVar] = true
+				}
 				continue
 			}
 			scan := buildSource(c)
@@ -165,6 +170,9 @@ func Build(fl *aql.FLWORExpr) (*Plan, error) {
 					LeftVar: firstVar(root), RightVar: c.Var}
 			}
 			bound[c.Var] = true
+			if c.PosVar != "" {
+				bound[c.PosVar] = true
+			}
 		case *aql.LetClause:
 			root = &Node{Kind: OpAssign, Inputs: inputsOf(root), Vars: []string{c.Var}, Exprs: []aql.Expr{c.Expr}}
 			bound[c.Var] = true
@@ -210,11 +218,11 @@ func inputsOf(root *Node) []*Node {
 
 func buildSource(c *aql.ForClause) *Node {
 	if ds, ok := c.Source.(*aql.DatasetRef); ok {
-		return &Node{Kind: OpScan, Dataset: ds.Name, Dataverse: ds.Dataverse, Variable: c.Var}
+		return &Node{Kind: OpScan, Dataset: ds.Name, Dataverse: ds.Dataverse, Variable: c.Var, PosVar: c.PosVar}
 	}
 	// Iteration over a non-dataset expression becomes a subplan source that
 	// the engine evaluates with the interpreter.
-	return &Node{Kind: OpSubplan, Variable: c.Var, Exprs: []aql.Expr{c.Source}}
+	return &Node{Kind: OpSubplan, Variable: c.Var, PosVar: c.PosVar, Exprs: []aql.Expr{c.Source}}
 }
 
 // referencesAny reports whether the expression has a free reference to any of
@@ -415,7 +423,10 @@ func rewriteJoins(n *Node, cat Catalog) *Node {
 			rest = append(rest, cond)
 			continue
 		}
-		if strings.Contains(be.Hint, "indexnl") {
+		// An index nested-loop probe replaces the right-hand scan with index
+		// lookups, which cannot bind that scan's positional variable; a
+		// positional right side keeps the position-preserving hash join.
+		if strings.Contains(be.Hint, "indexnl") && join.Inputs[1].PosVar == "" {
 			join.Method = IndexNestedLoop
 		} else {
 			join.Method = HybridHashJoin
@@ -441,7 +452,10 @@ func rewriteIndexAccess(n *Node, cat Catalog, opts Options) *Node {
 	for i, in := range n.Inputs {
 		n.Inputs[i] = rewriteIndexAccess(in, cat, opts)
 	}
-	if n.Kind != OpSelect || len(n.Inputs) != 1 || n.Inputs[0].Kind != OpScan {
+	// A positional scan is excluded: its variable is bound to the position in
+	// the FULL scan's enumeration order, which an index access path (emitting
+	// only the matching records) could not reproduce.
+	if n.Kind != OpSelect || len(n.Inputs) != 1 || n.Inputs[0].Kind != OpScan || n.Inputs[0].PosVar != "" {
 		return n
 	}
 	scan := n.Inputs[0]
@@ -768,6 +782,9 @@ func Explain(plan *Plan) string {
 func describeNode(n *Node) string {
 	switch n.Kind {
 	case OpScan:
+		if n.PosVar != "" {
+			return fmt.Sprintf("datasource-scan %s -> $%s at $%s", n.Dataset, n.Variable, n.PosVar)
+		}
 		return fmt.Sprintf("datasource-scan %s -> $%s", n.Dataset, n.Variable)
 	case OpIndexSearch:
 		return fmt.Sprintf("btree-search (secondary %s on %s)", n.Index, n.Dataset)
@@ -804,6 +821,9 @@ func describeNode(n *Node) string {
 	case OpSubplan:
 		return "subplan"
 	case OpUnnest:
+		if n.PosVar != "" {
+			return fmt.Sprintf("unnest $%s at $%s", n.Variable, n.PosVar)
+		}
 		return fmt.Sprintf("unnest $%s", n.Variable)
 	case OpDistribute:
 		return "distribute-result"

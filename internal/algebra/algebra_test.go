@@ -149,13 +149,37 @@ return $x;`, Options{})
 	}
 }
 
-func TestPositionalVariableIsNotCompilable(t *testing.T) {
-	e, err := aql.ParseQuery(`for $m at $i in dataset MugshotMessages return $i;`)
-	if err != nil {
-		t.Fatal(err)
+func TestPositionalVariableCompiles(t *testing.T) {
+	plan := compile(t, `for $m at $i in dataset MugshotMessages return $i;`, Options{})
+	if !strings.Contains(Explain(plan), "datasource-scan MugshotMessages -> $m at $i") {
+		t.Errorf("positional for-clause not recorded on the scan:\n%s", Explain(plan))
 	}
-	if _, err := Build(e.(*aql.FLWORExpr)); err == nil {
-		t.Error("positional variable should be rejected by Build (engine falls back to the expression interpreter)")
+	// A positional scan keeps its full scan: an index access path would emit
+	// only the matching records and lose the full-scan positions.
+	plan = compile(t, `
+for $m at $i in dataset MugshotMessages
+where $m.timestamp >= datetime("2014-01-01T00:00:00")
+return $i;`, Options{})
+	if strings.Contains(Explain(plan), "btree-search") {
+		t.Errorf("positional scan must not be rewritten to an index access path:\n%s", Explain(plan))
+	}
+	// Likewise the indexnl hint degrades to a position-preserving hash join
+	// when the probed side carries the positional variable.
+	plan = compile(t, `
+for $u in dataset MugshotUsers
+for $m at $i in dataset MugshotMessages
+where $m.author-id /*+ indexnl */ = $u.id
+return $i;`, Options{})
+	if strings.Contains(Explain(plan), string(IndexNestedLoop)) {
+		t.Errorf("indexnl over a positional scan must degrade to hash join:\n%s", Explain(plan))
+	}
+	// Correlated positional sources become unnests that carry the variable.
+	plan = compile(t, `
+for $m in dataset MugshotMessages
+for $t at $j in $m.tags
+return $j;`, Options{})
+	if !strings.Contains(Explain(plan), "unnest $t at $j") {
+		t.Errorf("correlated positional for-clause not compiled as positional unnest:\n%s", Explain(plan))
 	}
 }
 

@@ -1,0 +1,521 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"asterixdb"
+	"asterixdb/internal/adm"
+)
+
+// testDDL is the paper's TinySocial schema (Data definition 1 + 2), the same
+// corpus the root package's differential tests run, so the distributed
+// executor is held to the single-process executor's exact results across
+// every access path: parallel scans, secondary btree/rtree/keyword/ngram
+// indexes, hash joins, group-by, sort and the aggregation split.
+const testDDL = `
+drop dataverse TinySocial if exists;
+create dataverse TinySocial;
+use dataverse TinySocial;
+
+create type EmploymentType as open {
+  organization-name: string,
+  start-date: date,
+  end-date: date?
+}
+
+create type MugshotUserType as {
+  id: int32,
+  alias: string,
+  name: string,
+  user-since: datetime,
+  address: {
+    street: string,
+    city: string,
+    state: string,
+    zip: string,
+    country: string
+  },
+  friend-ids: {{ int32 }},
+  employment: [EmploymentType]
+}
+
+create type MugshotMessageType as closed {
+  message-id: int32,
+  author-id: int32,
+  timestamp: datetime,
+  in-response-to: int32?,
+  sender-location: point?,
+  tags: {{ string }},
+  message: string
+}
+
+create dataset MugshotUsers(MugshotUserType) primary key id;
+create dataset MugshotMessages(MugshotMessageType) primary key message-id;
+
+create index msUserSinceIdx on MugshotUsers(user-since);
+create index msTimestampIdx on MugshotMessages(timestamp);
+create index msAuthorIdx on MugshotMessages(author-id) type btree;
+create index msSenderLocIndex on MugshotMessages(sender-location) type rtree;
+create index msMessageIdx on MugshotMessages(message) type keyword;
+create index msMessageNGramIdx on MugshotMessages(message) type ngram(3);
+`
+
+var testUsers = []string{
+	`{ "id": 1, "alias": "Margarita", "name": "MargaritaStoddard",
+	   "address": { "street": "234 Thomas Ave", "city": "San Hugo", "zip": "98765", "state": "CA", "country": "USA" },
+	   "user-since": datetime("2012-08-20T10:10:00"),
+	   "friend-ids": {{ 2, 3, 6, 10 }},
+	   "employment": [ { "organization-name": "Codetechno", "start-date": date("2006-08-06") } ] }`,
+	`{ "id": 2, "alias": "Isbel", "name": "IsbelDull",
+	   "address": { "street": "345 Forest St", "city": "Portland", "zip": "98765", "state": "OR", "country": "USA" },
+	   "user-since": datetime("2011-01-22T10:10:00"),
+	   "friend-ids": {{ 1, 4 }},
+	   "employment": [ { "organization-name": "Hexviafind", "start-date": date("2010-04-27"), "end-date": date("2014-01-01") } ] }`,
+	`{ "id": 3, "alias": "Emory", "name": "EmoryUnk",
+	   "address": { "street": "456 Hill St", "city": "Portland", "zip": "98765", "state": "OR", "country": "USA" },
+	   "user-since": datetime("2012-07-10T10:10:00"),
+	   "friend-ids": {{ 1, 5, 8, 9 }},
+	   "employment": [ { "organization-name": "geomedia", "start-date": date("2010-06-17"), "end-date": date("2010-01-26"), "job-kind": "part-time" } ] }`,
+	`{ "id": 4, "alias": "Nicholas", "name": "NicholasStroh",
+	   "address": { "street": "99 Third St", "city": "Irvine", "zip": "92617", "state": "CA", "country": "USA" },
+	   "user-since": datetime("2010-12-27T10:10:00"),
+	   "friend-ids": {{ 2 }},
+	   "employment": [ { "organization-name": "Zamcorporation", "start-date": date("2010-06-08") } ] }`,
+}
+
+var testMessages = []string{
+	`{ "message-id": 1, "author-id": 1, "timestamp": datetime("2014-02-20T08:00:00"),
+	   "in-response-to": null, "sender-location": point("41.66,80.87"),
+	   "tags": {{ "big-data", "systems" }}, "message": " love big data systems tonight" }`,
+	`{ "message-id": 2, "author-id": 1, "timestamp": datetime("2014-02-20T09:00:00"),
+	   "in-response-to": 1, "sender-location": point("41.66,80.89"),
+	   "tags": {{ "big-data" }}, "message": " big data is the future" }`,
+	`{ "message-id": 3, "author-id": 2, "timestamp": datetime("2014-02-20T18:30:00"),
+	   "in-response-to": null, "sender-location": point("37.73,97.04"),
+	   "tags": {{ "databases" }}, "message": " going out tonite " }`,
+	`{ "message-id": 4, "author-id": 3, "timestamp": datetime("2014-01-05T12:00:00"),
+	   "in-response-to": null, "sender-location": point("24.55,88.41"),
+	   "tags": {{ "systems", "databases" }}, "message": " parallel database systems rock" }`,
+	`{ "message-id": 5, "author-id": 4, "timestamp": datetime("2013-12-30T23:00:00"),
+	   "in-response-to": 2, "sender-location": point("41.67,80.88"),
+	   "tags": {{ "big-data", "systems" }}, "message": " one size fits a bunch " }`,
+}
+
+func loadTestCorpus(t *testing.T, exec func(string) error) {
+	t.Helper()
+	if err := exec(testDDL); err != nil {
+		t.Fatalf("DDL: %v", err)
+	}
+	for _, u := range testUsers {
+		if err := exec(`use dataverse TinySocial; insert into dataset MugshotUsers (` + u + `);`); err != nil {
+			t.Fatalf("insert user: %v", err)
+		}
+	}
+	for _, m := range testMessages {
+		if err := exec(`use dataverse TinySocial; insert into dataset MugshotMessages (` + m + `);`); err != nil {
+			t.Fatalf("insert message: %v", err)
+		}
+	}
+}
+
+// differentialQueries holds every corpus query that compiles into a
+// distributable job. Queries whose plans evaluate a correlated subquery over
+// a dataset through the interpreter are excluded: the distributed catalog
+// rejects expression-level dataset reads by design.
+var differentialQueries = []struct {
+	name    string
+	query   string
+	ordered bool
+}{
+	{"full-scan", `for $u in dataset MugshotUsers return $u;`, false},
+	{"range-index-scan", `
+for $user in dataset MugshotUsers
+where $user.user-since >= datetime('2010-07-22T00:00:00')
+  and $user.user-since <= datetime('2012-07-29T23:59:59')
+return $user;`, false},
+	{"equijoin", `
+for $user in dataset MugshotUsers
+for $message in dataset MugshotMessages
+where $message.author-id = $user.id
+  and $user.user-since >= datetime('2010-07-22T00:00:00')
+  and $user.user-since <= datetime('2012-07-29T23:59:59')
+return { "uname": $user.name, "message": $message.message };`, false},
+	{"indexnl-join-degrades-to-hash", `
+for $user in dataset MugshotUsers
+for $message in dataset MugshotMessages
+where $message.author-id /*+ indexnl */ = $user.id
+return { "uname": $user.name, "message": $message.message };`, false},
+	{"group-by", `
+for $m in dataset MugshotMessages
+group by $aid := $m.author-id with $m
+return { "author": $aid, "cnt": count($m) };`, false},
+	{"group-order-limit", `
+for $msg in dataset MugshotMessages
+where $msg.timestamp >= datetime("2014-02-20T00:00:00")
+  and $msg.timestamp < datetime("2014-02-21T00:00:00")
+group by $aid := $msg.author-id with $msg
+let $cnt := count($msg)
+order by $cnt desc, $aid
+limit 3
+return { "author": $aid, "no messages": $cnt };`, true},
+	{"order-limit", `
+for $m in dataset MugshotMessages
+order by $m.message-id desc
+limit 3
+return $m.message-id;`, true},
+	{"order-limit-offset", `
+for $m in dataset MugshotMessages
+order by $m.message-id
+limit 2 offset 2
+return $m.message-id;`, true},
+	{"let-first", `
+let $cutoff := datetime("2014-01-01T00:00:00")
+for $m in dataset MugshotMessages
+where $m.timestamp >= $cutoff
+return $m.message-id;`, false},
+	{"self-join", `
+for $a in dataset MugshotMessages
+for $b in dataset MugshotMessages
+where $a.author-id = $b.author-id
+return { "a": $a.message-id, "b": $b.message-id };`, false},
+	{"rtree-spatial", `
+for $m in dataset MugshotMessages
+where spatial-intersect($m.sender-location, create-rectangle(create-point(41.0, 80.0), create-point(42.0, 81.0)))
+return $m.message-id;`, false},
+	{"contains-ngram", `
+for $m in dataset MugshotMessages
+where contains($m.message, "data")
+return $m.message-id;`, false},
+	{"keyword-some", `
+for $m in dataset MugshotMessages
+where (some $w in word-tokens($m.message) satisfies $w = "tonight")
+return $m.message-id;`, false},
+	{"unnest-tags", `
+for $m in dataset MugshotMessages
+for $t in $m.tags
+return { "id": $m.message-id, "tag": $t };`, false},
+	{"unnest-group", `
+for $m in dataset MugshotMessages
+for $t in $m.tags
+group by $tag := $t with $m
+return { "tag": $tag, "cnt": count($m) };`, false},
+	{"unnest-employment", `
+for $u in dataset MugshotUsers
+for $e in $u.employment
+return { "u": $u.id, "org": $e.organization-name };`, false},
+	// Positional variables distribute: the per-partition scan instances stay
+	// on their owner nodes tagging (partition, seq), and the single-instance
+	// sort + position counter above them reproduces the global partition-
+	// concatenation order across the cluster.
+	{"positional-scan", `
+for $m at $i in dataset MugshotMessages
+order by $i
+return { "i": $i, "id": $m.message-id };`, true},
+	{"positional-unnest", `
+for $m in dataset MugshotMessages
+for $t at $j in $m.tags
+return { "id": $m.message-id, "j": $j, "tag": $t };`, false},
+	{"metadata-scan", `for $ds in dataset Metadata.Dataset return $ds;`, false},
+	{"agg-avg", `avg(for $m in dataset MugshotMessages return string-length($m.message))`, true},
+	{"agg-count", `count(for $m in dataset MugshotMessages return $m.message-id)`, true},
+	{"agg-min", `min(for $m in dataset MugshotMessages return $m.message-id)`, true},
+	{"agg-max", `max(for $m in dataset MugshotMessages return $m.timestamp)`, true},
+	{"agg-over-index-path", `
+avg(
+  for $m in dataset MugshotMessages
+  where $m.timestamp >= datetime("2014-01-01T00:00:00")
+    and $m.timestamp < datetime("2014-04-01T00:00:00")
+  return string-length($m.message)
+)`, true},
+}
+
+// testCluster is one in-process cluster: a controller plus node controllers
+// running as goroutines, every boundary a real loopback TCP connection.
+type testCluster struct {
+	cc    *Controller
+	inst  *asterixdb.Instance
+	nodes []*Node
+	stops []context.CancelFunc
+	runs  []chan struct{}
+}
+
+func startCluster(t *testing.T, nNodes, partitions int) *testCluster {
+	t.Helper()
+	inst, err := asterixdb.Open(asterixdb.Config{
+		DataDir:         t.TempDir(),
+		Partitions:      partitions,
+		OwnsPartition:   func(int) bool { return false },
+		DistributedNode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := NewController(inst, ControllerConfig{
+		ExpectNodes:       nNodes,
+		HeartbeatInterval: 200 * time.Millisecond,
+		HeartbeatTimeout:  10 * time.Second,
+		RPCTimeout:        20 * time.Second,
+	})
+	if err != nil {
+		inst.Close()
+		t.Fatal(err)
+	}
+	tc := &testCluster{cc: cc, inst: inst}
+	for i := 0; i < nNodes; i++ {
+		node, err := NewNode(NodeConfig{
+			Name:             fmt.Sprintf("nc%d", i+1),
+			CCAddr:           cc.CtrlAddr(),
+			DataDir:          t.TempDir(),
+			Partitions:       partitions,
+			HeartbeatTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = node.Run(ctx)
+		}()
+		tc.nodes = append(tc.nodes, node)
+		tc.stops = append(tc.stops, cancel)
+		tc.runs = append(tc.runs, done)
+	}
+	t.Cleanup(tc.shutdown)
+	if err := cc.WaitReady(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+func (tc *testCluster) shutdown() {
+	for _, stop := range tc.stops {
+		stop()
+	}
+	for _, done := range tc.runs {
+		<-done
+	}
+	tc.cc.Close()
+	tc.inst.Close()
+}
+
+// stopNode tears one node down (graceful close of its sockets, as a crashed
+// process's OS would) and waits for its goroutines to exit.
+func (tc *testCluster) stopNode(i int) {
+	tc.stops[i]()
+	<-tc.runs[i]
+}
+
+func drainCursor(cur *asterixdb.Cursor) ([]string, error) {
+	defer cur.Close()
+	var out []string
+	for cur.Next() {
+		out = append(out, string(adm.AppendJSON(nil, cur.Value())))
+	}
+	return out, cur.Err()
+}
+
+// TestClusterDifferential is the core acceptance test of the distributed
+// runtime: every corpus query must return results identical to a
+// single-process instance holding the same data — exact sequence for ordered
+// queries, equal multisets otherwise.
+func TestClusterDifferential(t *testing.T) {
+	tc := startCluster(t, 2, 4)
+	loadTestCorpus(t, func(src string) error {
+		_, err := tc.cc.ExecuteContext(context.Background(), src)
+		return err
+	})
+
+	ref, err := asterixdb.Open(asterixdb.Config{DataDir: t.TempDir(), Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	loadTestCorpus(t, func(src string) error {
+		_, err := ref.Execute(src)
+		return err
+	})
+
+	ctx := context.Background()
+	for _, q := range differentialQueries {
+		t.Run(q.name, func(t *testing.T) {
+			src := "use dataverse TinySocial;\n" + q.query
+			distCur, err := tc.cc.QueryStream(ctx, src)
+			if err != nil {
+				t.Fatalf("cluster query: %v", err)
+			}
+			dist, err := drainCursor(distCur)
+			if err != nil {
+				t.Fatalf("cluster stream: %v", err)
+			}
+			refCur, err := ref.QueryStream(ctx, src)
+			if err != nil {
+				t.Fatalf("reference query: %v", err)
+			}
+			want, err := drainCursor(refCur)
+			if err != nil {
+				t.Fatalf("reference stream: %v", err)
+			}
+			if !q.ordered {
+				sort.Strings(dist)
+				sort.Strings(want)
+			}
+			if len(dist) != len(want) {
+				t.Fatalf("result count differs: cluster %d, single-process %d\ncluster: %v\nsingle:  %v",
+					len(dist), len(want), dist, want)
+			}
+			for i := range want {
+				if dist[i] != want[i] {
+					t.Errorf("result %d differs:\n  cluster: %s\n  single:  %s", i, dist[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestClusterDMLCounts checks that DML counts aggregate across the cluster:
+// each node stores only its owned partitions, and the controller (owning
+// none) sums the node counts back to the cluster-wide total.
+func TestClusterDMLCounts(t *testing.T) {
+	tc := startCluster(t, 2, 4)
+	ctx := context.Background()
+	mustExec := func(src string) *asterixdb.Result {
+		t.Helper()
+		res, err := tc.cc.ExecuteContext(ctx, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	mustExec(`
+drop dataverse Counts if exists;
+create dataverse Counts;
+use dataverse Counts;
+create type T as { id: int64 }
+create dataset D(T) primary key id;`)
+
+	var recs []string
+	for i := 0; i < 40; i++ {
+		recs = append(recs, fmt.Sprintf(`{ "id": %d }`, i))
+	}
+	res := mustExec(`use dataverse Counts; insert into dataset D ([` + strings.Join(recs, ",") + `]);`)
+	if res.Count != 40 {
+		t.Fatalf("insert count = %d, want 40 (summed across nodes)", res.Count)
+	}
+
+	cur, err := tc.cc.QueryStream(ctx, `use dataverse Counts; count(for $d in dataset D return $d)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := drainCursor(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != "40" {
+		t.Fatalf("count query = %v, want [40]", vals)
+	}
+
+	res = mustExec(`use dataverse Counts; delete $d from dataset D where $d.id < 10;`)
+	if res.Count != 10 {
+		t.Fatalf("delete count = %d, want 10", res.Count)
+	}
+}
+
+// TestClusterStatementErrors checks that a malformed statement is rejected
+// on the controller's catalog before any node sees it, with the same typed
+// error a single process returns.
+func TestClusterStatementErrors(t *testing.T) {
+	tc := startCluster(t, 2, 4)
+	ctx := context.Background()
+	if _, err := tc.cc.ExecuteContext(ctx, `this is not AQL`); asterixdb.ErrorCode(err) != asterixdb.CodeSyntax {
+		t.Fatalf("syntax error code = %q (%v), want %q", asterixdb.ErrorCode(err), err, asterixdb.CodeSyntax)
+	}
+	// An unknown dataset surfaces through the cursor, exactly as a single
+	// process reports it.
+	cur, err := tc.cc.QueryStream(ctx, `for $x in dataset NoSuchDataset return $x;`)
+	if err != nil {
+		if asterixdb.ErrorCode(err) != asterixdb.CodeNotFound {
+			t.Fatalf("unknown dataset open error = %v, want not-found", err)
+		}
+		return
+	}
+	if _, err := drainCursor(cur); asterixdb.ErrorCode(err) != asterixdb.CodeNotFound {
+		t.Fatalf("unknown dataset code = %q (%v), want %q", asterixdb.ErrorCode(err), err, asterixdb.CodeNotFound)
+	}
+}
+
+// TestClusterExpressionFallback: a query with no dataset access evaluates on
+// the controller alone and still streams through the uniform cursor API.
+func TestClusterExpressionFallback(t *testing.T) {
+	tc := startCluster(t, 2, 4)
+	cur, err := tc.cc.QueryStream(context.Background(), `1 + 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := drainCursor(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != "3" {
+		t.Fatalf("expression fallback = %v, want [3]", vals)
+	}
+}
+
+// TestClusterNotFormed: statements against a cluster still waiting for nodes
+// fail fast with the typed unavailable error (HTTP 503 through the server).
+func TestClusterNotFormed(t *testing.T) {
+	inst, err := asterixdb.Open(asterixdb.Config{
+		DataDir:         t.TempDir(),
+		Partitions:      4,
+		OwnsPartition:   func(int) bool { return false },
+		DistributedNode: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	cc, err := NewController(inst, ControllerConfig{ExpectNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cc.Close()
+	if err := cc.Health(); asterixdb.ErrorCode(err) != asterixdb.CodeUnavailable {
+		t.Fatalf("health before formation = %v, want unavailable", err)
+	}
+	if _, err := cc.ExecuteContext(context.Background(), `create dataverse X;`); asterixdb.ErrorCode(err) != asterixdb.CodeUnavailable {
+		t.Fatalf("statement before formation = %v, want unavailable", err)
+	}
+}
+
+// TestClusterNodeDownRefusesQueries: once a node dies, the cluster refuses
+// new queries with a typed unavailable error (its data slice is gone), while
+// the controller itself stays healthy.
+func TestClusterNodeDownRefusesQueries(t *testing.T) {
+	tc := startCluster(t, 2, 4)
+	ctx := context.Background()
+	loadTestCorpus(t, func(src string) error {
+		_, err := tc.cc.ExecuteContext(ctx, src)
+		return err
+	})
+	tc.stopNode(1)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, err := tc.cc.QueryStream(ctx, `use dataverse TinySocial; for $u in dataset MugshotUsers return $u;`)
+		if asterixdb.ErrorCode(err) == asterixdb.CodeUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query after node death = %v, want unavailable", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := tc.cc.Health(); err != nil {
+		t.Fatalf("controller health after node death = %v, want nil (degraded, not down)", err)
+	}
+}

@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"asterixdb"
+	"asterixdb/internal/adm"
+	"asterixdb/internal/hyracks"
+)
+
+// allKindValues holds one exemplar of every adm value kind the wire codec
+// must carry, including nested structured values.
+func allKindValues() []adm.Value {
+	return []adm.Value{
+		adm.Missing{},
+		adm.Null{},
+		adm.Boolean(true),
+		adm.Boolean(false),
+		adm.Int8(-8),
+		adm.Int16(1 << 12),
+		adm.Int32(-(1 << 23)),
+		adm.Int64(1 << 60),
+		adm.Float(1.5),
+		adm.Double(-2.25e100),
+		adm.String(""),
+		adm.String("big data systems — ünïcödé"),
+		adm.Binary{},
+		adm.Binary{0x00, 0xff, 0x7f},
+		adm.UUID{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		adm.Date(16_000),
+		adm.Time(86_399_000),
+		adm.Datetime(1_393_891_200_000),
+		adm.Duration{Months: 14, Millis: 123_456},
+		adm.YearMonthDuration(25),
+		adm.DayTimeDuration(-7_200_000),
+		adm.Interval{PointTag: adm.TagDatetime, Start: 100, End: 10_000},
+		adm.Point{X: 41.66, Y: 80.87},
+		adm.Line{A: adm.Point{X: 0, Y: 0}, B: adm.Point{X: 1, Y: 1}},
+		adm.Rectangle{LowerLeft: adm.Point{X: -1, Y: -1}, UpperRight: adm.Point{X: 2, Y: 3}},
+		adm.Circle{Center: adm.Point{X: 41.66, Y: 80.88}, Radius: 0.5},
+		adm.Polygon{Points: []adm.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0.5, Y: 1}}},
+		adm.NewRecord(
+			adm.Field{Name: "id", Value: adm.Int64(7)},
+			adm.Field{Name: "nested", Value: adm.NewRecord(adm.Field{Name: "tags", Value: &adm.UnorderedList{Items: []adm.Value{adm.String("a"), adm.String("b")}}})},
+		),
+		&adm.OrderedList{Items: []adm.Value{adm.Int32(1), adm.Null{}, adm.String("x")}},
+		&adm.UnorderedList{Items: []adm.Value{adm.Double(3.14), adm.Missing{}}},
+	}
+}
+
+func roundTrip(t *testing.T, tuples []hyracks.Tuple) []hyracks.Tuple {
+	t.Helper()
+	payload, err := encodeTuples(nil, tuples)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := decodeTuples(payload)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return got
+}
+
+func sameTuples(t *testing.T, got, want []hyracks.Tuple) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("tuple count: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("tuple %d: column count got %d, want %d", i, len(got[i]), len(want[i]))
+		}
+		for c := range want[i] {
+			if (got[i][c] == nil) != (want[i][c] == nil) {
+				t.Fatalf("tuple %d col %d: nil-ness differs", i, c)
+			}
+			if want[i][c] == nil {
+				continue
+			}
+			g := string(adm.AppendJSON(nil, got[i][c]))
+			w := string(adm.AppendJSON(nil, want[i][c]))
+			if g != w || got[i][c].Tag() != want[i][c].Tag() {
+				t.Fatalf("tuple %d col %d: got %s (%v), want %s (%v)", i, c, g, got[i][c].Tag(), w, want[i][c].Tag())
+			}
+		}
+	}
+}
+
+// TestWireCodecAllKinds round-trips one tuple containing every adm value
+// kind, a nil column, and the empty-frame / empty-tuple edge cases.
+func TestWireCodecAllKinds(t *testing.T) {
+	kinds := allKindValues()
+	one := make(hyracks.Tuple, 0, len(kinds)+1)
+	one = append(one, kinds...)
+	one = append(one, nil) // absent column
+	cases := [][]hyracks.Tuple{
+		{one},
+		{},                  // empty frame
+		{{}},                // empty tuple
+		{{nil}, {nil, nil}}, // nil-only tuples
+	}
+	for _, tuples := range cases {
+		sameTuples(t, roundTrip(t, tuples), tuples)
+	}
+}
+
+// randomValue generates an arbitrary adm value, recursing into structured
+// kinds up to the given depth.
+func randomValue(rng *rand.Rand, depth int) adm.Value {
+	kinds := allKindValues()
+	if depth > 0 && rng.Intn(4) == 0 {
+		switch rng.Intn(3) {
+		case 0:
+			n := rng.Intn(4)
+			fields := make([]adm.Field, n)
+			for i := range fields {
+				fields[i] = adm.Field{Name: string(rune('a' + i)), Value: randomValue(rng, depth-1)}
+			}
+			return adm.NewRecord(fields...)
+		case 1:
+			n := rng.Intn(4)
+			items := make([]adm.Value, n)
+			for i := range items {
+				items[i] = randomValue(rng, depth-1)
+			}
+			return &adm.OrderedList{Items: items}
+		default:
+			n := rng.Intn(4)
+			items := make([]adm.Value, n)
+			for i := range items {
+				items[i] = randomValue(rng, depth-1)
+			}
+			return &adm.UnorderedList{Items: items}
+		}
+	}
+	return kinds[rng.Intn(len(kinds))]
+}
+
+// TestWireCodecRandomTuples is the property test: arbitrary frames of
+// arbitrary nested values round-trip exactly.
+func TestWireCodecRandomTuples(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		tuples := make([]hyracks.Tuple, rng.Intn(6))
+		for i := range tuples {
+			tuples[i] = make(hyracks.Tuple, rng.Intn(5))
+			for c := range tuples[i] {
+				if rng.Intn(8) == 0 {
+					continue // nil column
+				}
+				tuples[i][c] = randomValue(rng, 3)
+			}
+		}
+		sameTuples(t, roundTrip(t, tuples), tuples)
+	}
+}
+
+// TestWireCodecTruncation checks that every strict prefix of a valid payload
+// decodes to a typed error — never a panic, never a silent partial frame.
+func TestWireCodecTruncation(t *testing.T) {
+	tuples := []hyracks.Tuple{append(hyracks.Tuple{nil}, allKindValues()...)}
+	payload, err := encodeTuples(nil, tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(payload); n++ {
+		if _, err := decodeTuples(payload[:n]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", n, len(payload))
+		} else if asterixdb.ErrorCode(err) != asterixdb.CodeInvalid {
+			t.Fatalf("truncation at %d: error %v has code %q, want %q", n, err, asterixdb.ErrorCode(err), asterixdb.CodeInvalid)
+		}
+	}
+}
+
+// TestReadRecordTruncation checks the record framing layer: every strict
+// prefix of a valid record stream errors out (io.ErrUnexpectedEOF or a typed
+// error) instead of short-reading or blocking.
+func TestReadRecordTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	payload, err := encodeTuples(nil, []hyracks.Tuple{{adm.Int64(1), adm.String("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeRecord(&buf, recFrame, 3, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n++ {
+		br := bufio.NewReader(bytes.NewReader(full[:n]))
+		if _, _, _, _, err := readRecord(br); err == nil {
+			t.Fatalf("record prefix of %d/%d bytes read without error", n, len(full))
+		}
+	}
+	// The full record reads back intact.
+	br := bufio.NewReader(bytes.NewReader(full))
+	kind, a, _, got, err := readRecord(br)
+	if err != nil || kind != recFrame || a != 3 || !bytes.Equal(got, payload) {
+		t.Fatalf("full record: kind=%d a=%d err=%v", kind, a, err)
+	}
+}
+
+// TestReadRecordHostileLength checks that a length prefix beyond the wire
+// cap errors before any allocation it would size.
+func TestReadRecordHostileLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteByte(recFrame)
+	buf.Write([]byte{0, 0})                                     // a, b
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // huge payload length
+	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	_, _, _, _, err := readRecord(br)
+	var ae *asterixdb.Error
+	if !errors.As(err, &ae) || ae.Code != asterixdb.CodeInvalid {
+		t.Fatalf("hostile length error = %v, want typed %q", err, asterixdb.CodeInvalid)
+	}
+}
+
+// FuzzFrameCodec drives decodeTuples with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode and decode to the same
+// frame (the codec is canonical).
+func FuzzFrameCodec(f *testing.F) {
+	seed := [][]hyracks.Tuple{
+		{},
+		{{}},
+		{{nil}},
+		{append(hyracks.Tuple{nil}, allKindValues()...)},
+		{{adm.Int64(1)}, {adm.String("two"), nil, adm.Double(3)}},
+	}
+	for _, tuples := range seed {
+		payload, err := encodeTuples(nil, tuples)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		tuples, err := decodeTuples(payload)
+		if err != nil {
+			var ae *asterixdb.Error
+			if !errors.As(err, &ae) {
+				t.Fatalf("decode error is not typed: %v", err)
+			}
+			return
+		}
+		re, err := encodeTuples(nil, tuples)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		again, err := decodeTuples(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(tuples) {
+			t.Fatalf("re-decode tuple count %d != %d", len(again), len(tuples))
+		}
+	})
+}

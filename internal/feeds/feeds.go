@@ -45,7 +45,12 @@ func (a *SocketAdaptor) Addr() string {
 	return a.Address
 }
 
-// Run implements Adaptor.
+// Run implements Adaptor. Connections are served concurrently, and shutdown
+// closes the listener AND every active connection: a client holding its
+// connection open must never block Disconnect (the old single-connection loop
+// only closed the listener, leaving Run stuck inside a read until the client
+// went away). Records from concurrent clients are emitted one at a time, so
+// the emit callback needs no synchronization of its own.
 func (a *SocketAdaptor) Run(ctx context.Context, emit func(*adm.Record) error) error {
 	ln, err := net.Listen("tcp", a.Address)
 	if err != nil {
@@ -54,25 +59,116 @@ func (a *SocketAdaptor) Run(ctx context.Context, emit func(*adm.Record) error) e
 	a.mu.Lock()
 	a.listener = ln
 	a.mu.Unlock()
+
+	var (
+		handlers sync.WaitGroup
+		connsMu  sync.Mutex
+		conns    = map[net.Conn]bool{}
+		swept    bool
+		stopOnce sync.Once
+		runErr   error
+	)
+	stop := make(chan struct{})
+	emitc := make(chan *adm.Record)
+	// fail requests teardown, recording the first error (nil for a graceful
+	// stop). The watcher below turns the request into closed sockets.
+	fail := func(err error) {
+		stopOnce.Do(func() {
+			runErr = err
+			close(stop)
+		})
+	}
+	// The watcher owns teardown: on cancellation or failure it closes the
+	// listener (stopping the accept loop) and every active connection
+	// (unblocking handler reads mid-line).
+	var watcher sync.WaitGroup
+	watcher.Add(1)
 	go func() {
-		<-ctx.Done()
+		defer watcher.Done()
+		select {
+		case <-ctx.Done():
+		case <-stop:
+		}
 		ln.Close()
+		connsMu.Lock()
+		swept = true
+		for c := range conns {
+			c.Close()
+		}
+		connsMu.Unlock()
 	}()
+	// A single emitter goroutine serializes records from concurrent
+	// connections, so the emit callback needs no synchronization of its own
+	// and is never invoked with a lock held.
+	var emitter sync.WaitGroup
+	emitter.Add(1)
+	go func() {
+		defer emitter.Done()
+		for {
+			select {
+			case rec := <-emitc:
+				if err := emit(rec); err != nil {
+					fail(err)
+					return
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			if ctx.Err() != nil {
-				return nil
+				fail(nil) // cancelled: a closed listener is the expected path
+			} else {
+				select {
+				case <-stop: // an emit failure already closed the listener
+				default:
+					fail(err)
+				}
 			}
-			return err
+			break
 		}
-		if err := a.consume(conn, emit); err != nil {
-			return err
+		connsMu.Lock()
+		if swept {
+			// The watcher already swept the connection set: a connection
+			// accepted in that window would otherwise be missed and block
+			// the handler wait below forever.
+			connsMu.Unlock()
+			conn.Close()
+			continue
 		}
-		if ctx.Err() != nil {
-			return nil
-		}
+		conns[conn] = true
+		connsMu.Unlock()
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			err := a.consume(conn, func(rec *adm.Record) error {
+				select {
+				case emitc <- rec:
+				case <-stop:
+					// Teardown in progress: the watcher is about to close
+					// this connection, so the record is dropped mid-stream.
+				}
+				return nil
+			})
+			connsMu.Lock()
+			delete(conns, conn)
+			connsMu.Unlock()
+			if err != nil {
+				fail(err)
+			}
+		}()
 	}
+	// stop is closed by now (every loop exit calls fail), so the watcher
+	// finishes its sweep, the handlers' reads all unblock, and the emitter
+	// drains out. No emit can happen once Run has returned.
+	watcher.Wait()
+	handlers.Wait()
+	emitter.Wait()
+	return runErr
 }
 
 func (a *SocketAdaptor) consume(conn net.Conn, emit func(*adm.Record) error) error {

@@ -88,6 +88,104 @@ func TestComputeStageDropsRecords(t *testing.T) {
 	}
 }
 
+// TestSocketFeedShutdownWithOpenConnections is the shutdown-race lifecycle
+// test: several clients connect concurrently, keep their connections OPEN
+// mid-stream, and Disconnect must still return promptly — the adaptor has to
+// close active connections itself rather than wait for clients to go away
+// (the old implementation blocked inside the open connection's read forever).
+// Run under -race this also exercises the accept/sweep/emit synchronization.
+func TestSocketFeedShutdownWithOpenConnections(t *testing.T) {
+	ds := newDataset(t)
+	adaptor := &SocketAdaptor{Address: "127.0.0.1:0"}
+	pipeline := Connect("socket_feed", adaptor, ds, nil)
+	waitFor(t, func() bool { return adaptor.Addr() != "127.0.0.1:0" })
+
+	gen := workload.New(workload.Config{Users: 10, Messages: 40, Seed: 7})
+	recs := gen.Messages()
+	const clients = 4
+	conns := make([]net.Conn, clients)
+	for i := range conns {
+		c, err := net.Dial("tcp", adaptor.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns[i] = c
+		t.Cleanup(func() { c.Close() })
+	}
+	// Every client writes a slice of the records concurrently, then HOLDS the
+	// connection open (no close, no further writes).
+	done := make(chan error, clients)
+	per := len(recs) / clients
+	for i, c := range conns {
+		go func(c net.Conn, recs []*adm.Record) {
+			for _, rec := range recs {
+				if _, err := fmt.Fprintln(c, rec.String()); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(c, recs[i*per:(i+1)*per])
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return pipeline.Ingested() == int64(len(recs)) })
+
+	// All connections are still open: Disconnect must not hang on them.
+	disconnected := make(chan error, 1)
+	go func() { disconnected <- pipeline.Disconnect() }()
+	select {
+	case err := <-disconnected:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Disconnect blocked on open client connections")
+	}
+	count, _ := ds.Count()
+	if count != len(recs) {
+		t.Errorf("dataset has %d records, want %d", count, len(recs))
+	}
+}
+
+// TestSocketFeedConcurrentConnectDisconnect churns connections while the
+// pipeline shuts down, so teardown races connection registration. The -race
+// build is the real assertion; the test itself only requires termination.
+func TestSocketFeedConcurrentConnectDisconnect(t *testing.T) {
+	ds := newDataset(t)
+	adaptor := &SocketAdaptor{Address: "127.0.0.1:0"}
+	pipeline := Connect("socket_feed", adaptor, ds, nil)
+	waitFor(t, func() bool { return adaptor.Addr() != "127.0.0.1:0" })
+
+	stop := make(chan struct{})
+	churned := make(chan struct{})
+	go func() {
+		defer close(churned)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c, err := net.Dial("tcp", adaptor.Addr())
+			if err != nil {
+				return // listener closed by Disconnect
+			}
+			fmt.Fprintln(c, `{ "message-id": 1, "author-id": 1, "timestamp": datetime("2014-01-01T00:00:00"), "message": "x" }`)
+			c.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := pipeline.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-churned
+}
+
 func TestSocketFeedPipeline(t *testing.T) {
 	ds := newDataset(t)
 	adaptor := &SocketAdaptor{Address: "127.0.0.1:0"}

@@ -71,9 +71,14 @@ type Tuple []adm.Value
 // the port's channel and hands tuples out one at a time; Next reports false
 // when every producer has finished and the stream is exhausted.
 type In struct {
-	ch  <-chan []Tuple
-	cur []Tuple
-	idx int
+	ch <-chan []Tuple
+	// failed is non-nil only in distributed runs: it is closed when the job
+	// is failed from outside (a remote node died), unblocking consumers whose
+	// remote producers will never deliver the end-of-stream that would close
+	// ch. Single-process runs keep the plain channel-receive fast path.
+	failed <-chan struct{}
+	cur    []Tuple
+	idx    int
 }
 
 // Next returns the next input tuple, or false at end of stream. An exhausted
@@ -86,7 +91,17 @@ func (in *In) Next() (Tuple, bool) {
 			putFrame(in.cur)
 			in.cur = nil
 		}
-		f, ok := <-in.ch
+		var f []Tuple
+		var ok bool
+		if in.failed == nil {
+			f, ok = <-in.ch
+		} else {
+			select {
+			case f, ok = <-in.ch:
+			case <-in.failed:
+				return nil, false
+			}
+		}
 		if !ok {
 			return nil, false
 		}
@@ -328,25 +343,67 @@ func FrameSizeForBudget(budget int64) int {
 const channelBuffer = 16
 
 // outPort is the producer-side state for one out edge: per-consumer-instance
-// frame buffers plus the channels and done signals of the consumer.
+// frame buffers plus the channels and done signals of the consumer. In a
+// distributed run, consumer instances placed on other nodes have a nil
+// channel slot; frames routed to them are serialized through the DistSpec's
+// Send hook instead. An outPort belongs to exactly one producer-instance
+// goroutine, so the remote-liveness fields need no synchronization.
 type outPort struct {
 	edge      Edge
+	edgeIdx   int // index into the job's post-splice edge plan (wire identity)
 	consumers []chan []Tuple
 	done      []chan struct{}
 	alive     *int32
 	bufs      [][]Tuple
 	frameSize int
 	scratch   []byte // reused hash-key encoding buffer
+
+	// Distributed-run fields; all nil/false in single-process mode.
+	dist       *DistSpec
+	hasRemote  bool            // any consumer instance lives on another node
+	remoteLive bool            // remote consumers still accept frames
+	failed     <-chan struct{} // job-level failure signal
+	onSendErr  func(error)
+}
+
+// remoteAlive reports whether remote consumer instances still demand tuples.
+// Remote demand is optimistic: it stays true until the job fails or a wire
+// send errors, because per-instance remote completion is not tracked.
+func (o *outPort) remoteAlive() bool {
+	if !o.hasRemote || !o.remoteLive {
+		return false
+	}
+	select {
+	case <-o.failed:
+		o.remoteLive = false
+		return false
+	default:
+		return true
+	}
 }
 
 // send ships a full or final frame to consumer instance p, dropping it if
-// that instance already returned.
+// that instance already returned. Frames bound for a remote instance are
+// serialized synchronously through the DistSpec; a wire error marks the
+// remote side dead (demand collapses) and is surfaced once via onSendErr.
 func (o *outPort) send(p int) {
 	f := o.bufs[p]
 	if len(f) == 0 {
 		return
 	}
 	o.bufs[p] = nil
+	if o.consumers[p] == nil { // remote consumer instance
+		if o.remoteAlive() {
+			if err := o.dist.Send(o.edgeIdx, p, f); err != nil {
+				o.remoteLive = false
+				if o.onSendErr != nil {
+					o.onSendErr(err)
+				}
+			}
+		}
+		putFrame(f)
+		return
+	}
 	select {
 	case o.consumers[p] <- f:
 	case <-o.done[p]:

@@ -11,7 +11,8 @@ import (
 // and hands its sink output back as a pull-based frame cursor instead of a
 // materialized [][]Tuple slab. Execute (hyracks.go) is now a thin wrapper
 // that drains a cursor and restores the deterministic per-instance gather
-// order the materializing API always had.
+// order the materializing API always had. ExecuteStreamDist (dist.go) runs
+// the same machinery with some operator instances placed on other nodes.
 
 // streamBuffer is the capacity, in frames, of the channel connecting the
 // job's sink instances to the cursor. Together with the per-edge channel
@@ -137,11 +138,22 @@ func (c *Cursor) recordJobErr(err error) {
 // tuples in flight regardless of result size. Cancelling ctx or closing the
 // cursor terminates the job's goroutines.
 func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
+	cur, _, err := executeStream(ctx, job, nil)
+	return cur, err
+}
+
+// executeStream is the shared execution core. With a nil spec every operator
+// instance is local and the run is exactly the historical single-process
+// ExecuteStream. With a spec, only instances the spec declares local get
+// goroutines and channels; frames routed to remote instances are serialized
+// through spec.Send, and frames arriving from remote producers are injected
+// through the returned DistRun.
+func executeStream(ctx context.Context, job *Job, spec *DistSpec) (*Cursor, *DistRun, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if _, err := job.Stages(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	frameSize := job.FrameSize
 	if frameSize <= 0 {
@@ -150,14 +162,24 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 	nOps := len(job.Operators)
 
 	// Splice structural passthrough operators out of the dataflow; they stay
-	// in the job description but cost nothing at run time.
+	// in the job description but cost nothing at run time. The post-splice
+	// edge slice is the plan every node of a distributed run derives
+	// identically (PlanEdges), so an edge's index doubles as its wire
+	// identity.
 	edges, spliced := spliceEdges(job)
+
+	isLocal := func(op, p int) bool {
+		if spec == nil {
+			return true
+		}
+		return spec.Local(op, p)
+	}
 
 	// Number of input ports per operator.
 	ports := make([]int, nOps)
 	for _, e := range edges {
 		if e.Port < 0 {
-			return nil, fmt.Errorf("hyracks: negative input port %d", e.Port)
+			return nil, nil, fmt.Errorf("hyracks: negative input port %d", e.Port)
 		}
 		if e.Port+1 > ports[e.To] {
 			ports[e.To] = e.Port + 1
@@ -166,59 +188,80 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 
 	// inputs[op][port][partition] feeds each instance; instDone[op][partition]
 	// is closed when that instance's Run returns, unblocking producers.
+	// Remote instances keep nil slots in both, so partition-indexed routing
+	// math is identical in local and distributed runs.
 	inputs := make([][][]chan []Tuple, nOps)
 	instDone := make([][]chan struct{}, nOps)
 	alive := make([]int32, nOps)
 	for i, op := range job.Operators {
 		par := op.Parallelism()
 		if par <= 0 {
-			return nil, fmt.Errorf("hyracks: operator %s has parallelism %d", op.Name(), par)
+			return nil, nil, fmt.Errorf("hyracks: operator %s has parallelism %d", op.Name(), par)
 		}
 		if spliced[i] {
 			continue
 		}
-		alive[i] = int32(par)
 		inputs[i] = make([][]chan []Tuple, ports[i])
 		for q := range inputs[i] {
 			inputs[i][q] = make([]chan []Tuple, par)
-			for p := range inputs[i][q] {
-				inputs[i][q][p] = make(chan []Tuple, channelBuffer)
-			}
 		}
 		instDone[i] = make([]chan struct{}, par)
-		for p := range instDone[i] {
+		for p := 0; p < par; p++ {
+			if !isLocal(i, p) {
+				continue
+			}
+			alive[i]++
+			for q := range inputs[i] {
+				inputs[i][q][p] = make(chan []Tuple, channelBuffer)
+			}
 			instDone[i][p] = make(chan struct{})
 		}
 	}
 
-	// remaining[op][port] counts producer instances still running; when it
-	// reaches zero the port's input channels are closed.
+	// remaining[op][port] counts producer instances that may still feed the
+	// port's local consumer channels; when it reaches zero those channels are
+	// closed. Local producer instances always count (they retire via
+	// producerDone at teardown). A remote producer instance counts only if it
+	// can target a local consumer instance — it retires via the wire
+	// end-of-stream record its node sends when the instance exits
+	// (DistRun.InjectEOS).
 	remaining := make([][]int, nOps)
 	for i := range remaining {
 		remaining[i] = make([]int, ports[i])
 	}
-	for _, e := range edges {
-		remaining[e.To][e.Port] += job.Operators[e.From].Parallelism()
+	for ei := range edges {
+		e := edges[ei]
+		par := job.Operators[e.From].Parallelism()
+		for p := 0; p < par; p++ {
+			if isLocal(e.From, p) {
+				remaining[e.To][e.Port]++
+			} else if remoteProducerTargetsLocal(e, p, job, isLocal) {
+				remaining[e.To][e.Port]++
+			}
+		}
 	}
 	// A declared port with no producers would never be closed: close it now so
 	// consumers see an immediate end of stream instead of deadlocking.
+	closeInputs := func(op, port int) {
+		for _, ch := range inputs[op][port] {
+			if ch != nil {
+				close(ch)
+			}
+		}
+	}
 	for i := range remaining {
 		for q, r := range remaining[i] {
 			if r == 0 {
-				for _, ch := range inputs[i][q] {
-					close(ch)
-				}
+				closeInputs(i, q)
 			}
 		}
 	}
 	var remainingMu sync.Mutex
-	producerDone := func(e Edge) {
+	producerDone := func(to, port int) {
 		remainingMu.Lock()
-		remaining[e.To][e.Port]--
-		if remaining[e.To][e.Port] == 0 {
-			for _, ch := range inputs[e.To][e.Port] {
-				close(ch)
-			}
+		remaining[to][port]--
+		if remaining[to][port] == 0 {
+			closeInputs(to, port)
 		}
 		remainingMu.Unlock()
 	}
@@ -227,6 +270,21 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 		frames: make(chan Frame, streamBuffer),
 		closed: make(chan struct{}),
 		done:   make(chan struct{}),
+	}
+
+	var run *DistRun
+	var failed chan struct{}
+	if spec != nil {
+		failed = make(chan struct{})
+		run = &DistRun{
+			job:          job,
+			edges:        edges,
+			inputs:       inputs,
+			instDone:     instDone,
+			producerDone: producerDone,
+			failed:       failed,
+			cur:          cur,
+		}
 	}
 
 	isSink := make([]bool, nOps)
@@ -241,21 +299,38 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 		if spliced[opIdx] {
 			continue
 		}
-		outEdges := outgoing(edges, opIdx)
+		outEdges, outIdx := outgoingIndexed(edges, opIdx)
 		for p := 0; p < op.Parallelism(); p++ {
+			if !isLocal(opIdx, p) {
+				continue
+			}
 			wg.Add(1)
-			go func(opIdx, p int, op Operator, outEdges []Edge) {
+			go func(opIdx, p int, op Operator, outEdges []Edge, outIdx []int) {
 				defer wg.Done()
 				outs := make([]*outPort, len(outEdges))
 				for i, e := range outEdges {
-					outs[i] = &outPort{
+					o := &outPort{
 						edge:      e,
+						edgeIdx:   outIdx[i],
 						consumers: inputs[e.To][e.Port],
 						done:      instDone[e.To],
 						alive:     &alive[e.To],
 						bufs:      make([][]Tuple, len(inputs[e.To][e.Port])),
 						frameSize: frameSize,
 					}
+					if spec != nil {
+						o.dist = spec
+						o.failed = failed
+						o.onSendErr = cur.recordJobErr
+						for _, ch := range o.consumers {
+							if ch == nil {
+								o.hasRemote = true
+								o.remoteLive = true
+								break
+							}
+						}
+					}
+					outs[i] = o
 				}
 				// Sink instances batch their output into frames and feed the
 				// cursor; emit reports false once the cursor is closed, which
@@ -297,7 +372,7 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 					live := false
 					for _, o := range outs {
 						o.push(p, t)
-						if atomic.LoadInt32(o.alive) > 0 {
+						if atomic.LoadInt32(o.alive) > 0 || o.remoteAlive() {
 							live = true
 						}
 					}
@@ -305,7 +380,7 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 				}
 				ins := make([]*In, ports[opIdx])
 				for q := range ins {
-					ins[q] = &In{ch: inputs[opIdx][q][p]}
+					ins[q] = &In{ch: inputs[opIdx][q][p], failed: failed}
 				}
 				if err := op.Run(p, ins, emit); err != nil {
 					cur.recordJobErr(err)
@@ -314,16 +389,23 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 					sendFrame() // flush the final partial frame
 				}
 				// Instance teardown: flush partial frames, unblock producers
-				// targeting this instance, then retire it as a producer.
+				// targeting this instance, then retire it as a producer —
+				// locally via producerDone, and toward remote consumers via
+				// the spec's end-of-stream record.
 				for _, o := range outs {
 					o.flush()
 				}
 				close(instDone[opIdx][p])
 				atomic.AddInt32(&alive[opIdx], -1)
-				for _, e := range outEdges {
-					producerDone(e)
+				for i, e := range outEdges {
+					producerDone(e.To, e.Port)
+					if spec != nil && outs[i].hasRemote {
+						if err := spec.SendEOS(outIdx[i], p); err != nil {
+							cur.recordJobErr(err)
+						}
+					}
 				}
-			}(opIdx, p, op, outEdges)
+			}(opIdx, p, op, outEdges, outIdx)
 		}
 	}
 
@@ -338,6 +420,11 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 			cur.ctxErr = ctx.Err()
 			cur.mu.Unlock()
 			cur.closeOnce.Do(func() { close(cur.closed) })
+			if run != nil {
+				// Unblock consumers waiting on frames a remote producer will
+				// never deliver; local end-of-stream accounting still runs.
+				run.failOnce.Do(func() { close(failed) })
+			}
 		case <-cur.done:
 		}
 	}()
@@ -357,5 +444,38 @@ func ExecuteStream(ctx context.Context, job *Job) (*Cursor, error) {
 		<-watcherDone
 		close(cur.frames)
 	}()
-	return cur, nil
+	return cur, run, nil
+}
+
+// outgoingIndexed returns the edges leaving op together with each edge's
+// index in the full post-splice edge slice (its wire identity).
+func outgoingIndexed(edges []Edge, op int) ([]Edge, []int) {
+	var out []Edge
+	var idx []int
+	for i, e := range edges {
+		if e.From == op {
+			out = append(out, e)
+			idx = append(idx, i)
+		}
+	}
+	return out, idx
+}
+
+// remoteProducerTargetsLocal reports whether remote producer instance p of
+// edge e can route tuples to a consumer instance on this node. Partition-
+// preserving connectors pin each producer instance to one consumer instance;
+// the M:N kinds can reach every consumer instance.
+func remoteProducerTargetsLocal(e Edge, p int, job *Job, isLocal func(op, p int) bool) bool {
+	consPar := job.Operators[e.To].Parallelism()
+	switch e.Connector.Kind {
+	case MToNPartitioning, HashPartitioningShuffle, MToNReplicating, MToNPartitioningMerging:
+		for c := 0; c < consPar; c++ {
+			if isLocal(e.To, c) {
+				return true
+			}
+		}
+		return false
+	default: // OneToOne, LocalityAwareMToNPartition: p -> p % consPar
+		return isLocal(e.To, p%consPar)
+	}
 }

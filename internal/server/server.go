@@ -1,4 +1,5 @@
-// Package server exposes an asterixdb.Instance over HTTP, following the
+// Package server exposes an AsterixDB engine — a local asterixdb.Instance
+// or a cluster.Controller — over HTTP, following the
 // paper's Cluster-Controller API shape (Section 4): clients POST AQL to
 // statement endpoints and results stream back as NDJSON. Three
 // result-delivery modes are supported on /query, as in the paper:
@@ -44,6 +45,25 @@ import (
 	"asterixdb/internal/runfile"
 )
 
+// Engine is the statement-execution surface the server fronts: a local
+// *asterixdb.Instance in single-process mode, or a *cluster.Controller when
+// the HTTP API faces a distributed deployment. Both satisfy it without
+// adapters.
+type Engine interface {
+	QueryStream(ctx context.Context, src string) (*asterixdb.Cursor, error)
+	ExecuteContext(ctx context.Context, src string) (*asterixdb.Result, error)
+	Explain(src string) (string, error)
+	SpillDir() string
+	MemoryBudget() int64
+}
+
+// HealthChecker is optionally implemented by engines whose liveness is more
+// than process-up — the cluster controller reports an error until the
+// cluster has formed. /health returns 503 while Health errors.
+type HealthChecker interface {
+	Health() error
+}
+
 // Options configure a Server.
 type Options struct {
 	// HandleTTL is how long an untouched async/deferred result handle
@@ -58,9 +78,9 @@ type Options struct {
 	Now func() time.Time
 }
 
-// Server is the HTTP face of one AsterixDB instance.
+// Server is the HTTP face of one AsterixDB engine.
 type Server struct {
-	inst    *asterixdb.Instance
+	inst    Engine
 	opts    Options
 	mux     *http.ServeMux
 	handles *handleTable
@@ -73,10 +93,10 @@ type Server struct {
 	async sync.WaitGroup
 }
 
-// New wraps an instance in a Server. The caller keeps ownership of the
-// instance; Server.Close stops the handle janitor but does not close the
-// instance.
-func New(inst *asterixdb.Instance, opts Options) *Server {
+// New wraps an engine in a Server. The caller keeps ownership of the
+// engine; Server.Close stops the handle janitor but does not close the
+// engine.
+func New(inst Engine, opts Options) *Server {
 	if opts.HandleTTL <= 0 {
 		opts.HandleTTL = 2 * time.Minute
 	}
@@ -347,6 +367,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if hc, ok := s.inst.(HealthChecker); ok {
+		if err := hc.Health(); err != nil {
+			writeJSONStatus(w, http.StatusServiceUnavailable,
+				map[string]any{"status": "unavailable", "error": errorBody(err)})
+			return
+		}
+	}
 	writeJSON(w, map[string]any{"status": "ok"})
 }
 
@@ -421,6 +448,8 @@ func statusFor(err error) int {
 		return http.StatusConflict
 	case asterixdb.CodeSyntax, asterixdb.CodeInvalid:
 		return http.StatusBadRequest
+	case asterixdb.CodeUnavailable:
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }

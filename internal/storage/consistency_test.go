@@ -94,7 +94,7 @@ func TestSecondaryIndexConsistencyUnderMutation(t *testing.T) {
 			live[int32(nextID)] = true
 			nextID++
 		}
-		if err := ds.InsertBatch(batch); err != nil {
+		if _, err := ds.InsertBatch(batch); err != nil {
 			t.Fatal(err)
 		}
 		// Overwrite some existing keys with new field values ("out with the
@@ -229,7 +229,7 @@ func TestPartitionSearchPrimitivesAgreeWithMaterializedPath(t *testing.T) {
 	for i := 1; i <= 150; i++ {
 		batch = append(batch, randomMessage(rng, i))
 	}
-	if err := ds.InsertBatch(batch); err != nil {
+	if _, err := ds.InsertBatch(batch); err != nil {
 		t.Fatal(err)
 	}
 

@@ -78,6 +78,12 @@ type Options struct {
 	// pooled arenas. The lazy path is the default; this knob exists for the
 	// lazy-vs-eager differential tests and as an escape hatch.
 	EagerDecode bool
+	// Owns restricts which partitions this manager stores records for: a
+	// cluster node controller owns a subset of the hash space, and inserts
+	// skip records whose primary key hashes to a partition owned by another
+	// node. Every partition's trees still exist on disk (non-owned ones stay
+	// empty), so scans and index searches work unchanged. Nil owns all.
+	Owns func(partition int) bool
 }
 
 // DefaultPartitions is the default number of storage partitions.
@@ -396,28 +402,36 @@ func (d *Dataset) partitionFor(pk []byte) int {
 // Insert validates and stores a record as one record-level transaction:
 // WAL append, primary-key lock, primary and secondary index updates, commit.
 func (d *Dataset) Insert(rec *adm.Record) error {
-	return d.InsertBatch([]*adm.Record{rec})
+	_, err := d.InsertBatch([]*adm.Record{rec})
+	return err
 }
 
-// InsertBatch stores several records under a single statement. Each record is
-// still its own record-level transaction (the paper's model: an AQL statement
-// that involves multiple records involves multiple independent record-level
-// transactions), but the WAL is synced once at the end, which is what makes
-// batched inserts cheaper in Table 4.
-func (d *Dataset) InsertBatch(recs []*adm.Record) error {
+// InsertBatch stores several records under a single statement and returns how
+// many were stored locally. Each record is still its own record-level
+// transaction (the paper's model: an AQL statement that involves multiple
+// records involves multiple independent record-level transactions), but the
+// WAL is synced once at the end, which is what makes batched inserts cheaper
+// in Table 4. Records hashing to a partition this manager does not own
+// (Options.Owns) are validated but not stored — another cluster node owns
+// them — and do not count toward the returned total.
+func (d *Dataset) InsertBatch(recs []*adm.Record) (int, error) {
+	stored := 0
 	for _, rec := range recs {
 		if err := adm.Validate(rec, d.spec.Type); err != nil {
-			return fmt.Errorf("storage: %q: %w", d.spec.Name, err)
+			return stored, fmt.Errorf("storage: %q: %w", d.spec.Name, err)
 		}
 		pk, err := d.PrimaryKeyOf(rec)
 		if err != nil {
-			return err
+			return stored, err
+		}
+		part := d.partitionFor(pk)
+		if owns := d.manager.opts.Owns; owns != nil && !owns(part) {
+			continue
 		}
 		raw, err := d.ser.Encode(nil, rec)
 		if err != nil {
-			return err
+			return stored, err
 		}
-		part := d.partitionFor(pk)
 		tid := d.manager.wal.Begin()
 		d.manager.locks.Lock(tid, pk)
 		err = func() error {
@@ -436,10 +450,11 @@ func (d *Dataset) InsertBatch(recs []*adm.Record) error {
 		}()
 		d.manager.locks.Unlock(tid, pk)
 		if err != nil {
-			return err
+			return stored, err
 		}
+		stored++
 	}
-	return d.manager.wal.Sync()
+	return stored, d.manager.wal.Sync()
 }
 
 // applyInsert performs the index updates for an insert on one partition.

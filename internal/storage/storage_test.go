@@ -343,7 +343,7 @@ func TestInsertBatchAndPartitioning(t *testing.T) {
 	for i := range batch {
 		batch[i] = message(i, 1, 0, "batched", 0, 0)
 	}
-	if err := ds.InsertBatch(batch); err != nil {
+	if _, err := ds.InsertBatch(batch); err != nil {
 		t.Fatal(err)
 	}
 	count, _ := ds.Count()
@@ -393,7 +393,7 @@ func TestScanPartitionVisitorOutsideLock(t *testing.T) {
 	for i := 1; i <= 300; i++ {
 		recs = append(recs, message(i, i%7, 1000, "body", 41, 80))
 	}
-	if err := ds.InsertBatch(recs); err != nil {
+	if _, err := ds.InsertBatch(recs); err != nil {
 		t.Fatal(err)
 	}
 	outer, inner := 0, 0

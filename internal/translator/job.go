@@ -34,6 +34,15 @@ type JobOptions struct {
 	// pre-fusion execution shape, kept for differential testing and
 	// benchmarking).
 	DisableFusion bool
+	// Distributed marks job generation for a multi-node cluster run, where an
+	// operator instance sees only the storage partitions of the node it is
+	// placed on. Plan shapes that probe the whole dataset from one instance —
+	// the index nested-loop join's per-probe lookups — degrade to their
+	// shuffled equivalents (hybrid hash join), which partition by key and
+	// stay correct across nodes. Per-partition access paths (primary scans,
+	// secondary index searches) are unaffected: their instances are placed on
+	// the node owning the partition.
+	Distributed bool
 }
 
 // BuildJob converts an optimized physical plan into an executable Hyracks
@@ -41,12 +50,12 @@ type JobOptions struct {
 // runtime's storage partitions and the expression evaluator, wired with the
 // connector structure of Figure 6. Every access path compiles to partitioned
 // operators: B+-tree, R-tree, and inverted-index secondary searches each run
-// as per-partition secondary-search -> PK-sort -> primary-search stages, and
+// as per-partition secondary-search -> PK-sort -> primary-search stages,
 // correlated subplan sources (for $y in $x.list) compile to an unnest
-// operator. BuildJob reports an error only for plans that genuinely have no
-// physical operator (a non-compilable plan is produced only for expressions
-// algebra.Build rejects, such as positional variables); the engine falls back
-// to the reference expression interpreter for those.
+// operator, and positional variables (for $v at $i in ...) compile to
+// position-tagging sources (see buildPositionalScan). BuildJob reports an
+// error only for plans that genuinely have no physical operator; the engine
+// falls back to the reference expression interpreter for those.
 //
 // When opts.MemoryBudget is set, the job runs out-of-core: the budget is
 // divided among the blocking operators' instances, each of which spills to
@@ -60,11 +69,12 @@ func BuildJob(plan *algebra.Plan, rt Runtime, opts JobOptions) (*hyracks.Job, er
 		return nil, fmt.Errorf("translator: plan has no distribute-result root")
 	}
 	b := &jobBuilder{
-		job:        &hyracks.Job{},
-		rt:         rt,
-		partitions: opts.Partitions,
-		ctx:        rt.EvalContext(),
-		query:      plan.Query,
+		job:         &hyracks.Job{},
+		rt:          rt,
+		partitions:  opts.Partitions,
+		ctx:         rt.EvalContext(),
+		query:       plan.Query,
+		distributed: opts.Distributed,
 	}
 	// Decide whether the plan's group-by can fold its aggregates
 	// incrementally; the consumer build functions read the resulting
@@ -134,11 +144,12 @@ func assignMemoryBudget(job *hyracks.Job, opts JobOptions) {
 // jobBuilder accumulates operators and connectors while walking a plan tree
 // bottom-up.
 type jobBuilder struct {
-	job        *hyracks.Job
-	rt         Runtime
-	partitions int
-	ctx        *expr.Context
-	query      *aql.FLWORExpr
+	job         *hyracks.Job
+	rt          Runtime
+	partitions  int
+	ctx         *expr.Context
+	query       *aql.FLWORExpr
+	distributed bool
 	// scanBounds holds per-scan emit bounds pushed down from a limit clause
 	// (offset+limit per partition): buildLimit records them before building
 	// its input, and buildScan caps each partition's scan accordingly.
@@ -293,6 +304,9 @@ func (b *jobBuilder) buildScan(n *algebra.Node) (stream, error) {
 	schema := Schema{n.Variable}
 	bound, bounded := b.scanBounds[n]
 	if ds, ok := b.rt.LookupDataset(n.Dataverse, n.Dataset); ok {
+		if n.PosVar != "" {
+			return b.buildPositionalScan(n, bound, bounded, ds)
+		}
 		// Internal dataset: one scan instance per storage partition. A
 		// pushed-down limit bound stops each partition's scan at exactly
 		// offset+limit emitted records, instead of overrunning by a frame
@@ -316,8 +330,13 @@ func (b *jobBuilder) buildScan(n *algebra.Node) (stream, error) {
 	}
 	// Metadata and external datasets have no storage partitions; the runtime
 	// materializes them into a single-instance source. Unknown datasets
-	// surface their error when the job runs, like the interpreter.
-	dataverse, dataset := n.Dataverse, n.Dataset
+	// surface their error when the job runs, like the interpreter. The
+	// materialized order IS the iteration order, so a positional variable is
+	// a plain counter here.
+	if n.PosVar != "" {
+		schema = Schema{n.Variable, n.PosVar}
+	}
+	posVar, dataverse, dataset := n.PosVar, n.Dataverse, n.Dataset
 	op := b.job.Add(&hyracks.SourceOp{
 		Label:      fmt.Sprintf("datasource-scan(%s)", n.Dataset),
 		Partitions: 1,
@@ -329,8 +348,12 @@ func (b *jobBuilder) buildScan(n *algebra.Node) (stream, error) {
 			if bounded && bound < len(recs) {
 				recs = recs[:bound]
 			}
-			for _, rec := range recs {
-				if !emit(hyracks.Tuple{rec}) {
+			for i, rec := range recs {
+				t := hyracks.Tuple{rec}
+				if posVar != "" {
+					t = append(t, adm.Int64(i+1))
+				}
+				if !emit(t) {
 					return nil
 				}
 			}
@@ -338,6 +361,53 @@ func (b *jobBuilder) buildScan(n *algebra.Node) (stream, error) {
 		},
 	})
 	return stream{op: op, par: 1, schema: schema}, nil
+}
+
+// buildPositionalScan compiles `for $v at $i in dataset D`: the interpreter
+// defines $i as the record's 1-based position in the concatenation of the
+// partition scans (partition 0 first, each in scan order). The per-partition
+// scan instances are kept — they stay aligned with storage ownership, which a
+// distributed run relies on — and each tags its records with (partition,
+// sequence); a single-instance stable sort on that pair reproduces the
+// concatenation order, and a counter operator above it binds the positions.
+// A pushed-down limit bound remains sound: each partition's first `bound`
+// records are a superset of the global first `bound` in concatenation order.
+func (b *jobBuilder) buildPositionalScan(n *algebra.Node, bound int, bounded bool, ds *storage.Dataset) (stream, error) {
+	tagged := Schema{n.Variable, "#part", "#seq"}
+	scanOp := b.job.Add(&hyracks.SourceOp{
+		Label:      fmt.Sprintf("datasource-scan(%s)", n.Dataset),
+		Partitions: b.partitions,
+		Produce: func(p int, emit func(hyracks.Tuple) bool) error {
+			emitted := 0
+			return ds.ScanPartition(p, func(rec adm.Value) bool {
+				if bounded && emitted >= bound {
+					return false
+				}
+				emitted++
+				return emit(hyracks.Tuple{rec, adm.Int64(p), adm.Int64(emitted)})
+			})
+		},
+	})
+	scan := stream{op: scanOp, par: b.partitions, schema: tagged}
+	sortOp := b.job.Add(&hyracks.SortOp{
+		Label:      "sort(partition, seq)",
+		Partitions: 1,
+		Columns:    []int{1, 2},
+	})
+	sorted := b.connect(scan, sortOp, 1, tagged, gatherConnector(scan.par))
+	// Single instance, run once per job: the closure counter is safe.
+	pos := 0
+	posVar := n.PosVar
+	asg := b.job.Add(&hyracks.FlatMapOp{
+		Label:      fmt.Sprintf("assign-positions($%s)", posVar),
+		Partitions: 1,
+		Fn: func(_ int, t hyracks.Tuple, emit func(hyracks.Tuple) bool) error {
+			pos++
+			emit(hyracks.Tuple{t[0], adm.Int64(pos)})
+			return nil
+		},
+	})
+	return b.connect(sorted, asg, 1, Schema{n.Variable, posVar}, hyracks.Connector{Kind: hyracks.OneToOne}), nil
 }
 
 func (b *jobBuilder) buildSubplan(n *algebra.Node) (stream, error) {
@@ -348,6 +418,11 @@ func (b *jobBuilder) buildSubplan(n *algebra.Node) (stream, error) {
 		// compiles those as unnest operators, so this is only a safety net.
 		return stream{}, fmt.Errorf("translator: correlated subplan source references $%s", vars[0])
 	}
+	schema := Schema{n.Variable}
+	if n.PosVar != "" {
+		schema = Schema{n.Variable, n.PosVar}
+	}
+	posVar := n.PosVar
 	op := b.job.Add(&hyracks.SourceOp{
 		Label:      "subplan",
 		Partitions: 1,
@@ -356,15 +431,19 @@ func (b *jobBuilder) buildSubplan(n *algebra.Node) (stream, error) {
 			if err != nil {
 				return err
 			}
-			for _, it := range expr.IterationItems(v) {
-				if !emit(hyracks.Tuple{it}) {
+			for i, it := range expr.IterationItems(v) {
+				t := hyracks.Tuple{it}
+				if posVar != "" {
+					t = append(t, adm.Int64(i+1))
+				}
+				if !emit(t) {
 					return nil
 				}
 			}
 			return nil
 		},
 	})
-	return stream{op: op, par: 1, schema: Schema{n.Variable}}, nil
+	return stream{op: op, par: 1, schema: schema}, nil
 }
 
 // buildUnnest compiles a correlated subplan source (for $y in $x.list): for
@@ -379,6 +458,12 @@ func (b *jobBuilder) buildUnnest(n *algebra.Node) (stream, error) {
 	}
 	src, inSchema := b.rewritten(n.Exprs[0]), in.schema
 	outSchema := append(append(Schema{}, inSchema...), n.Variable)
+	if n.PosVar != "" {
+		// `for $y at $i in $x.list`: the position restarts at 1 for every
+		// input tuple, exactly the interpreter's per-binding iteration.
+		outSchema = append(outSchema, n.PosVar)
+	}
+	posVar := n.PosVar
 	bind := envBinder(inSchema, in.par)
 	op := b.job.Add(&hyracks.FlatMapOp{
 		Label:      fmt.Sprintf("unnest($%s)", n.Variable),
@@ -388,10 +473,14 @@ func (b *jobBuilder) buildUnnest(n *algebra.Node) (stream, error) {
 			if err != nil {
 				return err
 			}
-			for _, it := range expr.IterationItems(v) {
-				out := make(hyracks.Tuple, len(t), len(t)+1)
+			for i, it := range expr.IterationItems(v) {
+				out := make(hyracks.Tuple, len(t), len(t)+2)
 				copy(out, t)
-				if !emit(append(out, it)) {
+				out = append(out, it)
+				if posVar != "" {
+					out = append(out, adm.Int64(i+1))
+				}
+				if !emit(out) {
 					return nil
 				}
 			}
@@ -655,6 +744,13 @@ func (b *jobBuilder) buildJoin(n *algebra.Node) (stream, error) {
 		(n.LeftKey == nil || n.RightKey == nil) {
 		method = algebra.NestedLoopJoin
 	}
+	if method == algebra.IndexNestedLoop && b.distributed {
+		// An index nested-loop probe looks the key up in the locally visible
+		// partitions only; on a cluster node that is a subset of the dataset,
+		// so degrade to the hybrid hash join, which shuffles both sides by
+		// key and stays correct across nodes.
+		method = algebra.HybridHashJoin
+	}
 	if method == algebra.IndexNestedLoop {
 		if s, ok, err := b.buildIndexNLJoin(n, left); err != nil || ok {
 			return s, err
@@ -730,7 +826,9 @@ func (b *jobBuilder) buildHashJoin(n *algebra.Node, left stream) (stream, error)
 // probeable, in which case the caller degrades to a hash join.
 func (b *jobBuilder) buildIndexNLJoin(n *algebra.Node, left stream) (stream, bool, error) {
 	rightNode := n.Inputs[1]
-	if rightNode.Kind != algebra.OpScan {
+	// A positional right scan cannot be replaced by index probes: they emit
+	// only matching records, losing the full-scan positions.
+	if rightNode.Kind != algebra.OpScan || rightNode.PosVar != "" {
 		return stream{}, false, nil
 	}
 	ds, ok := b.rt.LookupDataset(rightNode.Dataverse, rightNode.Dataset)

@@ -22,7 +22,7 @@ func seedBigDataset(tb testing.TB, inst *Instance, n int) {
 			adm.Field{Name: "k", Value: adm.Int32(int32(i % 100))},
 		))
 	}
-	if err := ds.InsertBatch(recs); err != nil {
+	if _, err := ds.InsertBatch(recs); err != nil {
 		tb.Fatal(err)
 	}
 }

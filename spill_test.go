@@ -52,11 +52,11 @@ create dataset SpillB(SpillType) primary key id;`); err != nil {
 		return recs
 	}
 	dsA, _ := inst.Dataset("SpillA")
-	if err := dsA.InsertBatch(mkBatch(records)); err != nil {
+	if _, err := dsA.InsertBatch(mkBatch(records)); err != nil {
 		t.Fatal(err)
 	}
 	dsB, _ := inst.Dataset("SpillB")
-	if err := dsB.InsertBatch(mkBatch(records / 2)); err != nil {
+	if _, err := dsB.InsertBatch(mkBatch(records / 2)); err != nil {
 		t.Fatal(err)
 	}
 	return inst
@@ -180,7 +180,7 @@ create dataset Mixed(OpenType) primary key id;`); err != nil {
 			adm.Field{Name: "pad", Value: adm.String(spillPad)},
 		)
 	}
-	if err := ds.InsertBatch(recs); err != nil {
+	if _, err := ds.InsertBatch(recs); err != nil {
 		t.Fatal(err)
 	}
 	_, err = inst.Query(`for $r in dataset Mixed order by $r.v return $r.id;`)

@@ -185,6 +185,27 @@ func batchCursor(ctx context.Context, values []adm.Value) *Cursor {
 	return &Cursor{ctx: ctx, batch: values}
 }
 
+// NewValuesCursor wraps already-materialized values in the Cursor API; the
+// cluster coordinator uses it for statement results and expression fallbacks.
+func NewValuesCursor(ctx context.Context, values []adm.Value) *Cursor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return batchCursor(ctx, values)
+}
+
+// NewJobCursor wraps a hyracks frame cursor in the public Cursor API. The
+// cluster coordinator uses it to front the gather cursor collecting result
+// frames from node controllers: because frames stay tagged with their (sink
+// operator, partition) origin across the wire, drain re-buckets them into the
+// same deterministic order a single-process run produces.
+func NewJobCursor(ctx context.Context, stream *hyracks.Cursor) *Cursor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Cursor{ctx: ctx, stream: stream}
+}
+
 // QueryStream executes AQL statements and returns a streaming Cursor over
 // the final statement's results. Leading statements (use dataverse, set,
 // DDL, updates) execute to completion first; the last statement is typically
@@ -230,9 +251,9 @@ func (in *Instance) queryStreamWith(ctx context.Context, src string, opts algebr
 // differential-testing oracle) produces a single-batch cursor instead.
 //
 // The expression-interpreter fallback is taken only when the query cannot be
-// planned at all (a non-FLWOR expression, or a shape algebra.Build rejects
-// such as positional variables) or when BuildJob cannot express the plan —
-// which, now that every access path and correlated unnest compiles, is a bug
+// planned at all (a non-FLWOR expression, or a clause shape algebra.Build
+// rejects) or when BuildJob cannot express the plan — which, now that every
+// access path, correlated unnest and positional variable compiles, is a bug
 // rather than an expected path. Runtime errors from an executing job are
 // real errors and propagate through Cursor.Err.
 func (in *Instance) queryCursor(ctx context.Context, e aql.Expr, opts algebra.Options) (*Cursor, error) {

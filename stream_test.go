@@ -34,7 +34,7 @@ create dataset Big(BigType) primary key id;`); err != nil {
 			adm.Field{Name: "k", Value: adm.Int32(int32(i % 100))},
 		))
 	}
-	if err := ds.InsertBatch(recs); err != nil {
+	if _, err := ds.InsertBatch(recs); err != nil {
 		t.Fatal(err)
 	}
 	return inst
