@@ -37,6 +37,8 @@ var (
 	partitionsFlag = flag.Int("partitions", 0, "cluster-wide storage partitions (default 4; must match the nodes)")
 	ttlFlag        = flag.Duration("handle-ttl", 2*time.Minute, "async/deferred result handle TTL")
 	memBudgetFlag  = flag.Int64("memory-budget", 0, "per-query memory budget in bytes (0 = unconstrained)")
+	slowQueryFlag  = flag.Int64("slow-query-ms", 0,
+		"log every query slower than this many milliseconds with its per-operator profile summary (0 = off)")
 )
 
 func main() {
@@ -67,7 +69,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("asterixcc: start controller: %v", err)
 	}
-	svc := server.New(cc, server.Options{HandleTTL: *ttlFlag})
+	svc := server.New(cc, server.Options{
+		HandleTTL:          *ttlFlag,
+		SlowQueryThreshold: time.Duration(*slowQueryFlag) * time.Millisecond,
+	})
 	httpServer := &http.Server{Addr: *addrFlag, Handler: svc}
 
 	stop := make(chan os.Signal, 1)

@@ -37,6 +37,8 @@ var (
 	memBudgetFlag  = flag.Int64("memory-budget", 0,
 		"per-query memory budget in bytes for blocking operators (sort, join build, group-by); "+
 			"queries exceeding it spill to run files under <data>/.spill; 0 = unconstrained")
+	slowQueryFlag = flag.Int64("slow-query-ms", 0,
+		"log every query slower than this many milliseconds with its per-operator profile summary (0 = off)")
 )
 
 func main() {
@@ -55,7 +57,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("asterixd: open instance: %v", err)
 	}
-	svc := server.New(inst, server.Options{HandleTTL: *ttlFlag})
+	svc := server.New(inst, server.Options{
+		HandleTTL:          *ttlFlag,
+		SlowQueryThreshold: time.Duration(*slowQueryFlag) * time.Millisecond,
+	})
 	httpServer := &http.Server{Addr: *addrFlag, Handler: svc}
 
 	// Graceful shutdown: stop accepting, let in-flight statements finish,

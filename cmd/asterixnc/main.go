@@ -12,13 +12,16 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"asterixdb/internal/cluster"
+	"asterixdb/internal/metrics"
 )
 
 var (
@@ -28,6 +31,7 @@ var (
 	dataFlag       = flag.String("data", "", "local data directory (required)")
 	partitionsFlag = flag.Int("partitions", 0, "cluster-wide storage partitions (default 4; must match the controller)")
 	memBudgetFlag  = flag.Int64("memory-budget", 0, "per-query memory budget in bytes (0 = unconstrained)")
+	metricsFlag    = flag.String("metrics-addr", "", "serve GET /metrics on this address (empty = disabled)")
 )
 
 func main() {
@@ -49,11 +53,27 @@ func main() {
 		log.Fatalf("asterixnc: %v", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	var metricsServer *http.Server
+	if *metricsFlag != "" {
+		reg := metrics.NewRegistry()
+		node.RegisterMetrics(reg)
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", metrics.Handler(reg))
+		metricsServer = &http.Server{Addr: *metricsFlag, Handler: mux}
+		go func() {
+			if err := metricsServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("asterixnc: metrics listener: %v", err)
+			}
+		}()
+	}
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-stop
 		log.Println("asterixnc: shutting down")
+		if metricsServer != nil {
+			metricsServer.Close()
+		}
 		cancel()
 	}()
 	log.Printf("asterixnc: node %s joining cluster at %s (data: %s)", *nameFlag, *ccFlag, *dataFlag)

@@ -1,6 +1,7 @@
 package asterixdb
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -249,7 +250,42 @@ func runDifferentialFuzzBudget(t *testing.T, seed, memoryBudget int64) {
 		// since both executors share the same plan.
 		sameResults(t, fmt.Sprintf("seed %d %s index-vs-scan", seed, q.name),
 			perOption["default"], perOption["no-index"], q.ordered)
+		// Profile invariant: a profiled run of the default plan delivers the
+		// same rows, and the profile's sink operator accounts for exactly
+		// those rows — the counters are observers, never participants.
+		profRows, profOut := profiledFuzzQuery(t, hy, q.query)
+		if profRows != len(perOption["default"]) {
+			t.Errorf("seed %d %s: profiled run returned %d rows, unprofiled %d",
+				seed, q.name, profRows, len(perOption["default"]))
+		}
+		if got := profOut["distribute-result"]; got != int64(profRows) {
+			t.Errorf("seed %d %s: distribute-result out = %d, want %d (out=%v)",
+				seed, q.name, got, profRows, profOut)
+		}
 	}
+}
+
+// profiledFuzzQuery drains one query through the streaming API under
+// WithProfiling and returns the row count plus per-operator output totals.
+func profiledFuzzQuery(t *testing.T, inst *Instance, query string) (int, map[string]int64) {
+	t.Helper()
+	cur, err := inst.QueryStream(WithProfiling(context.Background()), query)
+	if err != nil {
+		t.Fatalf("profiled %s: %v", query, err)
+	}
+	rows := 0
+	for cur.Next() {
+		rows++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatalf("profiled %s: %v", query, err)
+	}
+	cur.Close()
+	p := cur.Profile()
+	if p == nil {
+		t.Fatalf("profiled %s: nil JobProfile", query)
+	}
+	return rows, p.OutByName()
 }
 
 // TestDifferentialFuzzSeeded is the deterministic face of the harness: a

@@ -10,6 +10,7 @@ import (
 
 	"asterixdb"
 	"asterixdb/internal/adm"
+	"asterixdb/internal/hyracks"
 )
 
 // testDDL is the paper's TinySocial schema (Data definition 1 + 2), the same
@@ -376,6 +377,105 @@ func TestClusterDifferential(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestClusterProfileParity is the acceptance test of distributed profiling:
+// a profiled query on a 2-node cluster must report per-operator tuple counts
+// identical to a single-process instance holding the same data, with every
+// row labelled by the node that ran it — so profile=true output looks the
+// same distributed as local, plus node labels.
+func TestClusterProfileParity(t *testing.T) {
+	tc := startCluster(t, 2, 4)
+	ctx := context.Background()
+	loadTestCorpus(t, func(src string) error {
+		_, err := tc.cc.ExecuteContext(ctx, src)
+		return err
+	})
+	ref, err := asterixdb.Open(asterixdb.Config{DataDir: t.TempDir(), Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+	loadTestCorpus(t, func(src string) error {
+		_, err := ref.Execute(src)
+		return err
+	})
+
+	profiled := func(open func(context.Context, string) (*asterixdb.Cursor, error), src string) (*hyracks.JobProfile, int) {
+		t.Helper()
+		cur, err := open(asterixdb.WithProfiling(ctx), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := drainCursor(cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := cur.Profile()
+		if p == nil {
+			t.Fatal("profiled query yielded no profile")
+		}
+		return p, len(rows)
+	}
+
+	for _, q := range []struct{ name, query string }{
+		{"full-scan", `for $u in dataset MugshotUsers return $u;`},
+		{"group-by", `
+for $m in dataset MugshotMessages
+group by $aid := $m.author-id with $m
+return { "author": $aid, "cnt": count($m) };`},
+		{"equijoin", `
+for $user in dataset MugshotUsers
+for $message in dataset MugshotMessages
+where $message.author-id = $user.id
+return { "uname": $user.name, "message": $message.message };`},
+	} {
+		t.Run(q.name, func(t *testing.T) {
+			src := "use dataverse TinySocial;\n" + q.query
+			dist, distRows := profiled(tc.cc.QueryStream, src)
+			local, localRows := profiled(ref.QueryStream, src)
+			if distRows != localRows {
+				t.Fatalf("row counts differ: cluster %d, single-process %d", distRows, localRows)
+			}
+			do, lo := dist.OutByName(), local.OutByName()
+			if len(do) != len(lo) {
+				t.Fatalf("operator sets differ:\ncluster: %v\nsingle:  %v", do, lo)
+			}
+			for name, n := range lo {
+				if do[name] != n {
+					t.Errorf("%s: cluster out %d != single-process out %d", name, do[name], n)
+				}
+			}
+			di, li := dist.InByName(), local.InByName()
+			for name, n := range li {
+				if di[name] != n {
+					t.Errorf("%s: cluster in %d != single-process in %d", name, di[name], n)
+				}
+			}
+			// Every distributed row carries the label of the node that ran it.
+			seen := map[string]bool{}
+			for _, r := range dist.Operators {
+				if r.Node != "nc1" && r.Node != "nc2" {
+					t.Fatalf("row %q has node label %q, want nc1 or nc2", r.Name, r.Node)
+				}
+				seen[r.Node] = true
+			}
+			if len(seen) != 2 {
+				t.Errorf("profile rows came from %v, want both nodes", seen)
+			}
+			for _, r := range local.Operators {
+				if r.Node != "" {
+					t.Fatalf("single-process row %q unexpectedly labelled %q", r.Name, r.Node)
+				}
+			}
+		})
+	}
+
+	// The scan count in the distributed profile is the dataset cardinality.
+	dist, _ := profiled(tc.cc.QueryStream, "use dataverse TinySocial;\nfor $u in dataset MugshotUsers return $u;")
+	if got := dist.OutByName()["datasource-scan(MugshotUsers)"]; got != int64(len(testUsers)) {
+		t.Fatalf("scan out = %d, want %d", got, len(testUsers))
 	}
 }
 

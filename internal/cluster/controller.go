@@ -13,6 +13,7 @@ import (
 	"asterixdb"
 	"asterixdb/internal/aql"
 	"asterixdb/internal/hyracks"
+	"asterixdb/internal/metrics"
 )
 
 // ControllerConfig configures the cluster controller process.
@@ -56,10 +57,11 @@ type Controller struct {
 	jobs    map[string]*gatherJob
 	penders map[string]chan ctrlMsg // rpc key -> reply
 
-	nextID int64
-	closed chan struct{}
-	once   sync.Once
-	wg     sync.WaitGroup
+	nextID     int64
+	nodeDeaths atomic.Int64 // nodes declared dead since startup (metrics)
+	closed     chan struct{}
+	once       sync.Once
+	wg         sync.WaitGroup
 }
 
 // ncPeer is the controller's view of one registered node.
@@ -192,6 +194,39 @@ func (c *Controller) missingNodes() int {
 		n = 0
 	}
 	return n
+}
+
+// RegisterMetrics adds the controller's cluster-state gauges — roster,
+// formation, in-flight gathers, node deaths — plus the catalog instance's
+// engine gauges to r; the HTTP server calls it when building /metrics.
+func (c *Controller) RegisterMetrics(r *metrics.Registry) {
+	asterixdb.RegisterInstanceMetrics(r, func() *asterixdb.Instance { return c.inst })
+	r.GaugeFunc("asterix_cluster_nodes_expected",
+		"Configured cluster size.",
+		func() float64 { return float64(c.cfg.ExpectNodes) })
+	r.GaugeFunc("asterix_cluster_nodes_alive",
+		"Node controllers currently registered and responding.",
+		func() float64 { return float64(len(c.alivePeers())) })
+	r.GaugeFunc("asterix_cluster_formed",
+		"1 once every expected node has registered.",
+		func() float64 {
+			select {
+			case <-c.formed:
+				return 1
+			default:
+				return 0
+			}
+		})
+	r.GaugeFunc("asterix_cluster_jobs_active",
+		"Distributed jobs currently gathering results.",
+		func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return float64(len(c.jobs))
+		})
+	r.CounterFunc("asterix_cluster_node_deaths_total",
+		"Nodes declared dead since controller start.",
+		func() float64 { return float64(c.nodeDeaths.Load()) })
 }
 
 // SpillDir exposes the catalog instance's spill directory (server.Engine).
@@ -337,6 +372,7 @@ func (c *Controller) nodeDied(peer *ncPeer) {
 	peer.deadOnce.Do(func() {
 		close(peer.dead)
 		peer.conn.Close()
+		c.nodeDeaths.Add(1)
 		c.failJobs(peer, unavailablef("cluster: node %s died mid-query", peer.name))
 	})
 }
@@ -564,11 +600,14 @@ func (c *Controller) QueryStream(ctx context.Context, src string) (*asterixdb.Cu
 }
 
 // runDistributedQuery drives one job through its prepare / launch / gather
-// phases.
+// phases. When the caller's context requests profiling, the flag rides the
+// job message and each node ships its slice's profile back with the result
+// stream; the gather merges them into one cluster-wide profile.
 func (c *Controller) runDistributedQuery(ctx context.Context, peers []*ncPeer, src string) (*asterixdb.Cursor, error) {
 	id := c.newID("j")
+	profile := asterixdb.ProfilingRequested(ctx)
 	cur, push, finish := hyracks.NewGatherCursor()
-	g := newGatherJob(id, peers, push, finish)
+	g := newGatherJob(id, peers, cur, push, finish)
 	c.mu.Lock()
 	c.jobs[id] = g
 	c.mu.Unlock()
@@ -584,7 +623,7 @@ func (c *Controller) runDistributedQuery(ctx context.Context, peers []*ncPeer, s
 
 	// Prepare: every node executes the leading statements, compiles the
 	// query, and registers the run so peer data connections can attach.
-	if _, err := c.broadcast(ctx, peers, ctrlMsg{Type: msgJob, ID: id, Src: src}); err != nil {
+	if _, err := c.broadcast(ctx, peers, ctrlMsg{Type: msgJob, ID: id, Src: src, Profile: profile}); err != nil {
 		c.abortJob(g, err)
 		return nil, err
 	}
@@ -636,6 +675,7 @@ type gatherJob struct {
 	id       string
 	expect   int
 	names    map[string]bool // participants
+	cur      *hyracks.Cursor
 	push     func(hyracks.Frame) bool
 	finishFn func(error)
 	finished chan struct{}
@@ -647,9 +687,10 @@ type gatherJob struct {
 	done     map[string]bool
 	firstErr error
 	conns    []net.Conn
+	profiles []*hyracks.JobProfile // per-node slice profiles, merge at finish
 }
 
-func newGatherJob(id string, peers []*ncPeer, push func(hyracks.Frame) bool, finish func(error)) *gatherJob {
+func newGatherJob(id string, peers []*ncPeer, cur *hyracks.Cursor, push func(hyracks.Frame) bool, finish func(error)) *gatherJob {
 	names := make(map[string]bool, len(peers))
 	for _, p := range peers {
 		names[p.name] = true
@@ -658,11 +699,19 @@ func newGatherJob(id string, peers []*ncPeer, push func(hyracks.Frame) bool, fin
 		id:       id,
 		expect:   len(peers),
 		names:    names,
+		cur:      cur,
 		push:     push,
 		finishFn: finish,
 		finished: make(chan struct{}),
 		done:     map[string]bool{},
 	}
+}
+
+// addProfile records one node's slice profile for the merge at finish.
+func (g *gatherJob) addProfile(p *hyracks.JobProfile) {
+	g.mu.Lock()
+	g.profiles = append(g.profiles, p)
+	g.mu.Unlock()
 }
 
 func (g *gatherJob) participant(name string) bool { return g.names[name] }
@@ -694,10 +743,18 @@ func (g *gatherJob) addConn(conn net.Conn) {
 }
 
 // finish terminates the gather cursor (once) and closes every result
-// connection so blocked handler goroutines unwind.
+// connection so blocked handler goroutines unwind. The per-node profiles
+// merge into the cursor's cluster-wide profile first — SetProfile must
+// precede the cursor's done signal.
 func (g *gatherJob) finish(err error) {
 	g.finishOnce.Do(func() {
 		g.setErr(err)
+		g.mu.Lock()
+		profiles := g.profiles
+		g.mu.Unlock()
+		if merged := hyracks.MergeProfiles(profiles); merged != nil {
+			g.cur.SetProfile(merged)
+		}
 		g.finishFn(g.firstError())
 		g.mu.Lock()
 		conns := g.conns
@@ -814,6 +871,11 @@ func (c *Controller) handleResult(conn net.Conn) {
 				// then drain the remaining records without pushing.
 				pushing = false
 				c.abortJob(g, nil)
+			}
+		case recProfile:
+			p := new(hyracks.JobProfile)
+			if jerr := json.Unmarshal(payload, p); jerr == nil {
+				g.addProfile(p)
 			}
 		case recDone:
 			var werr *wireError

@@ -10,6 +10,7 @@ import (
 
 	"asterixdb"
 	"asterixdb/internal/hyracks"
+	"asterixdb/internal/metrics"
 )
 
 // NodeConfig configures one node controller process.
@@ -80,6 +81,20 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 // Instance returns the node's local asterixdb instance (nil before the
 // cluster has formed).
 func (n *Node) Instance() *asterixdb.Instance { return n.inst }
+
+// RegisterMetrics adds the node's engine gauges and its active-job count to
+// r; the asterixnc daemon serves them on its own /metrics listener. Lazy
+// instance lookup tolerates scrapes before cluster formation.
+func (n *Node) RegisterMetrics(r *metrics.Registry) {
+	asterixdb.RegisterInstanceMetrics(r, n.Instance)
+	r.GaugeFunc("asterix_cluster_jobs_active",
+		"Job slices currently running on this node.",
+		func() float64 {
+			n.mu.Lock()
+			defer n.mu.Unlock()
+			return float64(len(n.jobs))
+		})
+}
 
 // Run registers with the coordinator, waits for cluster formation, opens the
 // node's partition-owning storage instance, and serves control messages and
@@ -202,7 +217,7 @@ func (n *Node) controlLoop() error {
 			n.wg.Add(1)
 			go func(m ctrlMsg) {
 				defer n.wg.Done()
-				err := n.prepareJob(m.ID, m.Src)
+				err := n.prepareJob(m.ID, m.Src, m.Profile)
 				_ = n.ctrl.write(ctrlMsg{Type: msgJobAck, ID: m.ID, Node: n.cfg.Name, Err: toWireError(err)})
 			}(m)
 		case msgGo:
@@ -227,7 +242,8 @@ func (n *Node) controlLoop() error {
 
 // prepareJob executes the request's leading statements locally, compiles its
 // final query, and registers the run so peer data connections can attach.
-func (n *Node) prepareJob(id, src string) error {
+// profile turns on per-operator instrumentation for this slice.
+func (n *Node) prepareJob(id, src string, profile bool) error {
 	q, err := n.inst.ExecuteForQuery(n.ctx, src)
 	if err != nil {
 		return err
@@ -239,6 +255,7 @@ func (n *Node) prepareJob(id, src string) error {
 	if err != nil {
 		return err
 	}
+	job.Profile = profile
 	edges, _ := hyracks.PlanEdges(job)
 	jr := &jobRun{
 		id:      id,
@@ -327,7 +344,28 @@ func (n *Node) executeJob(jr *jobRun) {
 		// report the typed reason the coordinator sent instead.
 		err = cerr
 	}
+	if err == nil && jr.job.Profile {
+		// Ship this slice's profile ahead of the completion record on the
+		// same connection, so the coordinator has it before it counts the
+		// node done.
+		jr.shipProfile(cur.Profile())
+	}
 	jr.reportDone(err)
+}
+
+// shipProfile stamps the node's name onto its slice profile and sends it to
+// the coordinator; best-effort — a send failure is covered by the
+// completion-record path that follows.
+func (jr *jobRun) shipProfile(p *hyracks.JobProfile) {
+	if p == nil {
+		return
+	}
+	p.SetNode(jr.node.cfg.Name)
+	rc, err := jr.resultConn()
+	if err != nil {
+		return
+	}
+	_ = rc.writeProfile(mustJSON(p), jr.node.cfg.WriteTimeout)
 }
 
 // acceptData serves the node's data-plane listener: peer nodes dial one
@@ -643,6 +681,15 @@ func (dc *dataConn) writeFrame(a, b uint64, tuples []hyracks.Tuple, timeout time
 		return err
 	}
 	return writeRecord(dc.conn, recFrame, a, b, payload)
+}
+
+func (dc *dataConn) writeProfile(payload []byte, timeout time.Duration) error {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	if err := dc.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	return writeRecord(dc.conn, recProfile, 0, 0, payload)
 }
 
 func (dc *dataConn) writeEOS(timeout time.Duration) error {

@@ -64,7 +64,11 @@ type ctrlMsg struct {
 	Src        string     `json:"src,omitempty"`
 	Kind       string     `json:"kind,omitempty"`
 	Count      int        `json:"count,omitempty"`
-	Err        *wireError `json:"err,omitempty"`
+	// Profile, on a job message, asks the node to run its slice with
+	// per-operator instrumentation and ship the profile back with the
+	// result stream.
+	Profile bool       `json:"profile,omitempty"`
+	Err     *wireError `json:"err,omitempty"`
 }
 
 // ctrlConn wraps a control-plane connection: serialized line writes with a

@@ -22,12 +22,15 @@ import (
 // Record kinds on a data-plane connection. An edge connection (NC -> NC)
 // carries recFrame (a=target consumer instance) and recEOS (one per finished
 // producer instance). A result connection (NC -> CC) carries recFrame
-// (a=sink operator index, b=sink instance partition) and recDone (payload is
-// a JSON wireError, empty on success).
+// (a=sink operator index, b=sink instance partition), optionally recProfile
+// (payload is the node's JSON JobProfile, sent before the completion record
+// when the job ran with profiling), and recDone (payload is a JSON
+// wireError, empty on success).
 const (
-	recFrame = byte(1)
-	recEOS   = byte(2)
-	recDone  = byte(3)
+	recFrame   = byte(1)
+	recEOS     = byte(2)
+	recDone    = byte(3)
+	recProfile = byte(4)
 )
 
 // maxWirePayload bounds a single record's payload so a corrupt or hostile
@@ -144,7 +147,7 @@ func readRecord(br *bufio.Reader) (kind byte, a, b uint64, payload []byte, err e
 		return 0, 0, 0, nil, err
 	}
 	kind = kb[0]
-	if kind != recFrame && kind != recEOS && kind != recDone {
+	if kind != recFrame && kind != recEOS && kind != recDone && kind != recProfile {
 		return 0, 0, 0, nil, corruptf("cluster: unknown record kind %d", kind)
 	}
 	if a, err = binary.ReadUvarint(br); err != nil {

@@ -242,7 +242,7 @@ func FuseJob(job *Job) *Job {
 		return job
 	}
 
-	out := &Job{FrameSize: job.FrameSize, Spill: job.Spill}
+	out := &Job{FrameSize: job.FrameSize, Spill: job.Spill, Profile: job.Profile}
 	mapped := make([]int, n)
 	for i := range mapped {
 		mapped[i] = -1

@@ -300,7 +300,7 @@ func (o *HashGroupOp) aggStream(mem *runfile.Instance, level int, next func() (T
 			return false, nil
 		}
 		pt := parts[vi]
-		w, err := o.Spill.M.NewRun()
+		w, err := o.Spill.NewRun()
 		if err != nil {
 			return false, err
 		}

@@ -77,8 +77,11 @@ type In struct {
 	// remote producers will never deliver the end-of-stream that would close
 	// ch. Single-process runs keep the plain channel-receive fast path.
 	failed <-chan struct{}
-	cur    []Tuple
-	idx    int
+	// prof, when profiling, counts arriving frames/tuples at frame-refill
+	// granularity; nil on the unprofiled path.
+	prof *instProf
+	cur  []Tuple
+	idx  int
 }
 
 // Next returns the next input tuple, or false at end of stream. An exhausted
@@ -104,6 +107,10 @@ func (in *In) Next() (Tuple, bool) {
 		}
 		if !ok {
 			return nil, false
+		}
+		if in.prof != nil {
+			in.prof.framesIn++
+			in.prof.tuplesIn += int64(len(f))
 		}
 		in.cur, in.idx = f, 0
 	}
@@ -206,6 +213,9 @@ type Job struct {
 	// The runtime closes it after the last operator instance exits — on every
 	// termination path — which removes any run files still on disk.
 	Spill *runfile.Manager
+	// Profile enables per-operator instrumentation: the run's JobProfile is
+	// available from Cursor.Profile once the job has finished.
+	Profile bool
 }
 
 // Add appends an operator and returns its index.
@@ -357,6 +367,9 @@ type outPort struct {
 	bufs      [][]Tuple
 	frameSize int
 	scratch   []byte // reused hash-key encoding buffer
+	// prof, when profiling, counts frames leaving the instance; nil on the
+	// unprofiled path.
+	prof *instProf
 
 	// Distributed-run fields; all nil/false in single-process mode.
 	dist       *DistSpec
@@ -392,6 +405,9 @@ func (o *outPort) send(p int) {
 		return
 	}
 	o.bufs[p] = nil
+	if o.prof != nil {
+		o.prof.framesOut++
+	}
 	if o.consumers[p] == nil { // remote consumer instance
 		if o.remoteAlive() {
 			if err := o.dist.Send(o.edgeIdx, p, f); err != nil {

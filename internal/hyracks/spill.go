@@ -98,9 +98,10 @@ func spillHash(level int, key []byte) int {
 	return int(x % uint32(spillFanout))
 }
 
-// writeRun spills tuples, in order, into a fresh run file.
-func writeRun(m *runfile.Manager, rows []Tuple) (*runfile.Run, error) {
-	w, err := m.NewRun()
+// writeRun spills tuples, in order, into a fresh run file attributed to
+// the owning operator's budget.
+func writeRun(b *runfile.Budget, rows []Tuple) (*runfile.Run, error) {
+	w, err := b.NewRun()
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +146,7 @@ func (o *SortOp) runExternal(ins []*In, emit func(Tuple) bool) error {
 			if err := o.sortRows(rows); err != nil {
 				return err
 			}
-			run, err := writeRun(o.Spill.M, rows)
+			run, err := writeRun(o.Spill, rows)
 			if err != nil {
 				return err
 			}
@@ -178,7 +179,7 @@ func (o *SortOp) runExternal(ins []*In, emit func(Tuple) bool) error {
 	// the oldest runs into one (keeping it at the front preserves run order,
 	// and with it stability).
 	for len(runs) > mergeFanIn {
-		w, err := o.Spill.M.NewRun()
+		w, err := o.Spill.NewRun()
 		if err != nil {
 			return err
 		}
@@ -324,7 +325,6 @@ type joinPartition struct {
 func (o *HybridHashJoinOp) runSpilling(ins []*In, emit func(Tuple) bool) error {
 	mem := o.Spill.NewInstance()
 	defer mem.Close()
-	mgr := o.Spill.M
 
 	parts := make([]*joinPartition, spillFanout)
 	for i := range parts {
@@ -360,7 +360,7 @@ func (o *HybridHashJoinOp) runSpilling(ins []*In, emit func(Tuple) bool) error {
 			return false, nil
 		}
 		pt := parts[vi]
-		w, err := mgr.NewRun()
+		w, err := o.Spill.NewRun()
 		if err != nil {
 			return false, err
 		}
@@ -436,7 +436,7 @@ func (o *HybridHashJoinOp) runSpilling(ins []*In, emit func(Tuple) bool) error {
 			continue
 		}
 		if probeW[pi] == nil {
-			w, err := mgr.NewRun()
+			w, err := o.Spill.NewRun()
 			if err != nil {
 				return err
 			}
@@ -579,7 +579,7 @@ func (o *HybridHashJoinOp) partitionRun(run *runfile.Run, level int, key func(Tu
 		scratch = adm.EncodeKey(scratch[:0], key(t))
 		pi := spillHash(level, scratch)
 		if writers[pi] == nil {
-			w, err := o.Spill.M.NewRun()
+			w, err := o.Spill.NewRun()
 			if err != nil {
 				abort()
 				return nil, err
@@ -805,7 +805,7 @@ func (o *HashGroupOp) groupStream(mem *runfile.Instance, level int, next func() 
 			return false, nil
 		}
 		pt := parts[vi]
-		w, err := o.Spill.M.NewRun()
+		w, err := o.Spill.NewRun()
 		if err != nil {
 			return false, err
 		}

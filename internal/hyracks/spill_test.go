@@ -204,7 +204,7 @@ func TestMergeReadersChargedAgainstBudget(t *testing.T) {
 
 	var runs []*runfile.Run
 	for i := 0; i < mergeFanIn; i++ {
-		r, err := writeRun(mgr, []Tuple{intTuple(i, 0), intTuple(i+mergeFanIn, 1)})
+		r, err := writeRun(spill, []Tuple{intTuple(i, 0), intTuple(i+mergeFanIn, 1)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // This file is the streaming face of the runtime: ExecuteStream runs a job
@@ -50,13 +51,37 @@ type Cursor struct {
 	// final.
 	done chan struct{}
 
-	mu     sync.Mutex
-	jobErr error // first operator error
-	ctxErr error // context cancellation, if it ended the stream
+	mu      sync.Mutex
+	jobErr  error       // first operator error
+	ctxErr  error       // context cancellation, if it ended the stream
+	profile *JobProfile // set before done closes when Job.Profile was on
 
 	stopped atomic.Bool // set by Close: Next must not serve buffered tuples
 	cur     Frame
 	idx     int
+}
+
+// Profile returns the run's JobProfile. It is nil until the job has
+// finished (every operator goroutine exited) and always nil when the job
+// ran without Job.Profile.
+func (c *Cursor) Profile() *JobProfile {
+	select {
+	case <-c.done:
+	default:
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.profile
+}
+
+// SetProfile attaches an externally assembled profile; the cluster
+// controller uses it on gather cursors, where the per-node profiles
+// arrive over the wire. It must be called before the cursor finishes.
+func (c *Cursor) SetProfile(p *JobProfile) {
+	c.mu.Lock()
+	c.profile = p
+	c.mu.Unlock()
 }
 
 // NextFrame returns the next sink output frame, or false once the stream is
@@ -294,6 +319,14 @@ func executeStream(ctx context.Context, job *Job, spec *DistSpec) (*Cursor, *Dis
 		}
 	}
 
+	// When profiling, every instance gets a private counter block and
+	// publishes it here on exit; the unprofiled path keeps all prof
+	// pointers nil, so the hot loops pay only dead nil checks.
+	var prof *profCollector
+	if job.Profile {
+		prof = &profCollector{}
+	}
+
 	var wg sync.WaitGroup
 	for opIdx, op := range job.Operators {
 		if spliced[opIdx] {
@@ -337,6 +370,7 @@ func executeStream(ctx context.Context, job *Job, spec *DistSpec) (*Cursor, *Dis
 				// is how cancellation enters the job. The instance's first
 				// frame is flushed eagerly (one tuple) so time-to-first-row
 				// tracks the first tuple produced, not the first full frame.
+				var ip *instProf // non-nil only when profiling
 				var sinkBuf []Tuple
 				sinkStopped := false
 				sinkSentFirst := false
@@ -349,6 +383,9 @@ func executeStream(ctx context.Context, job *Job, spec *DistSpec) (*Cursor, *Dis
 					select {
 					case cur.frames <- f:
 						sinkSentFirst = true
+						if ip != nil {
+							ip.framesOut++
+						}
 						return true
 					case <-cur.closed:
 						sinkStopped = true
@@ -382,8 +419,35 @@ func executeStream(ctx context.Context, job *Job, spec *DistSpec) (*Cursor, *Dis
 				for q := range ins {
 					ins[q] = &In{ch: inputs[opIdx][q][p], failed: failed}
 				}
-				if err := op.Run(p, ins, emit); err != nil {
-					cur.recordJobErr(err)
+				var runErr error
+				if prof == nil {
+					runErr = op.Run(p, ins, emit)
+				} else {
+					ip = &instProf{start: time.Now()}
+					for _, o := range outs {
+						o.prof = ip
+					}
+					for q := range ins {
+						ins[q].prof = ip
+					}
+					inner := emit
+					pemit := func(t Tuple) bool {
+						ip.tuplesOut++
+						if ip.firstOut == 0 {
+							ip.firstOut = int64(time.Since(ip.start))
+						}
+						return inner(t)
+					}
+					if fused, ok := op.(*FusedOp); ok {
+						ip.stages = make([]int64, len(fused.Ops))
+						runErr = fused.runProfiled(p, ins, pemit, ip.stages)
+					} else {
+						runErr = op.Run(p, ins, pemit)
+					}
+					ip.wall = int64(time.Since(ip.start))
+				}
+				if runErr != nil {
+					cur.recordJobErr(runErr)
 				}
 				if isSink[opIdx] {
 					sendFrame() // flush the final partial frame
@@ -394,6 +458,11 @@ func executeStream(ctx context.Context, job *Job, spec *DistSpec) (*Cursor, *Dis
 				// the spec's end-of-stream record.
 				for _, o := range outs {
 					o.flush()
+				}
+				if ip != nil {
+					// Published only now: the teardown flushes above still
+					// count frames out.
+					prof.add(opIdx, p, op, ip)
 				}
 				close(instDone[opIdx][p])
 				atomic.AddInt32(&alive[opIdx], -1)
@@ -439,6 +508,13 @@ func executeStream(ctx context.Context, job *Job, spec *DistSpec) (*Cursor, *Dis
 			if err := job.Spill.Close(); err != nil {
 				cur.recordJobErr(err)
 			}
+		}
+		if prof != nil {
+			// After Spill.Close so the job-wide spill counters are final.
+			p := prof.finalize(job)
+			cur.mu.Lock()
+			cur.profile = p
+			cur.mu.Unlock()
 		}
 		close(cur.done)
 		<-watcherDone

@@ -1,0 +1,289 @@
+// Package metrics is a dependency-free metrics registry that renders in
+// the Prometheus text exposition format (version 0.0.4). It exists so
+// asterixd, asterixcc, and asterixnc can expose a GET /metrics endpoint
+// without pulling in the Prometheus client library: the engine only
+// needs counters, gauges, histograms, and callback-backed collectors.
+//
+// Concurrency: all series types are safe for concurrent use. Counter,
+// Gauge, and Histogram update through atomics; registration and
+// rendering take the registry lock. Callback-backed series (GaugeFunc,
+// CounterFunc, Collect) are invoked during rendering while the registry
+// lock is held, so callbacks must not register new metrics.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value pair attached to a series.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L builds a Label; it keeps call sites short.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by v; negative deltas are ignored.
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by v (which may be negative).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// DurationBuckets are the default latency histogram bounds, in seconds.
+// They span sub-millisecond index lookups to multi-second spilling scans.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into cumulative buckets.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // one per bound, plus +Inf at the end
+	sumBits atomic.Uint64
+	total   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	addFloat(&h.sumBits, v)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// series is one rendered line: a fixed label set plus a value source.
+type series struct {
+	labels []Label
+	value  func() float64
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name    string
+	typ     string // "counter", "gauge", or "histogram"
+	help    string
+	series  []*series
+	hist    []*histSeries
+	collect func(emit func(value float64, labels ...Label))
+}
+
+type histSeries struct {
+	labels []Label
+	h      *Histogram
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*family
+	byName map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) familyLocked(name, typ, help string) *family {
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.typ, typ))
+		}
+		return f
+	}
+	f := &family{name: name, typ: typ, help: help}
+	r.byName[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+func (r *Registry) addSeries(name, typ, help string, s *series) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, typ, help)
+	f.series = append(f.series, s)
+}
+
+// Counter registers (or extends) a counter family and returns the series
+// for the given label set.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	c := &Counter{}
+	r.addSeries(name, "counter", help, &series{labels: labels, value: c.Value})
+	return c
+}
+
+// Gauge registers (or extends) a gauge family and returns the series for
+// the given label set.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	g := &Gauge{}
+	r.addSeries(name, "gauge", help, &series{labels: labels, value: g.Value})
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	r.addSeries(name, "gauge", help, &series{labels: labels, value: fn})
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time; fn must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	r.addSeries(name, "counter", help, &series{labels: labels, value: fn})
+}
+
+// Histogram registers a histogram series with the given bucket bounds
+// (ascending; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, "histogram", help)
+	f.hist = append(f.hist, &histSeries{labels: labels, h: h})
+	return h
+}
+
+// Collect registers a callback-backed family for dynamic label sets
+// (e.g. one gauge per dataset). fn is invoked at scrape time and calls
+// emit once per series.
+func (r *Registry) Collect(name, typ, help string, fn func(emit func(value float64, labels ...Label))) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, typ, help)
+	f.collect = fn
+}
+
+// WriteTo renders every family in registration order.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range r.order {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			writeSample(&b, f.name, "", s.labels, s.value())
+		}
+		for _, hs := range f.hist {
+			writeHistogram(&b, f.name, hs)
+		}
+		if f.collect != nil {
+			f.collect(func(value float64, labels ...Label) {
+				writeSample(&b, f.name, "", labels, value)
+			})
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+func writeHistogram(b *strings.Builder, name string, hs *histSeries) {
+	var cum uint64
+	for i, bound := range hs.h.bounds {
+		cum += hs.h.counts[i].Load()
+		le := strconv.FormatFloat(bound, 'g', -1, 64)
+		writeSample(b, name, "_bucket", append(hs.labels[:len(hs.labels):len(hs.labels)], L("le", le)), float64(cum))
+	}
+	cum += hs.h.counts[len(hs.h.bounds)].Load()
+	writeSample(b, name, "_bucket", append(hs.labels[:len(hs.labels):len(hs.labels)], L("le", "+Inf")), float64(cum))
+	writeSample(b, name, "_sum", hs.labels, math.Float64frombits(hs.h.sumBits.Load()))
+	writeSample(b, name, "_count", hs.labels, float64(hs.h.total.Load()))
+}
+
+func writeSample(b *strings.Builder, name, suffix string, labels []Label, v float64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeValue(l.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	b.WriteByte('\n')
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// Handler serves the registry in the Prometheus text format.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if _, err := r.WriteTo(w); err != nil {
+			return // client went away mid-scrape; nothing to clean up
+		}
+	})
+}

@@ -1,0 +1,155 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("queries_total", "Total queries.", L("mode", "sync"), L("status", "success"))
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	g := r.Gauge("active", "Active queries.")
+	g.Set(4)
+	g.Dec()
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP queries_total Total queries.",
+		"# TYPE queries_total counter",
+		`queries_total{mode="sync",status="success"} 3`,
+		"# TYPE active gauge",
+		"active 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSharedFamilyRendersOneHeader(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("q_total", "h", L("mode", "a")).Inc()
+	r.Counter("q_total", "h", L("mode", "b")).Add(2)
+	out := render(t, r)
+	if n := strings.Count(out, "# TYPE q_total counter"); n != 1 {
+		t.Errorf("want one TYPE header, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, `q_total{mode="a"} 1`) || !strings.Contains(out, `q_total{mode="b"} 2`) {
+		t.Errorf("missing series:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_sum 5.605`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramBoundaryGoesInBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", []float64{1})
+	h.Observe(1) // le="1" is inclusive in the Prometheus convention
+	out := render(t, r)
+	if !strings.Contains(out, `lat_bucket{le="1"} 1`) {
+		t.Errorf("boundary observation not in its bucket:\n%s", out)
+	}
+}
+
+func TestFuncsAndCollect(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("mem_bytes", "Mem.", func() float64 { return 42 })
+	r.CounterFunc("spills_total", "Spills.", func() float64 { return 7 })
+	r.Collect("lsm_components", "gauge", "Per-dataset components.", func(emit func(float64, ...Label)) {
+		emit(3, L("dataset", "D"))
+		emit(1, L("dataset", `we"ird`))
+	})
+	out := render(t, r)
+	for _, want := range []string{
+		"mem_bytes 42",
+		"spills_total 7",
+		`lsm_components{dataset="D"} 3`,
+		`lsm_components{dataset="we\"ird"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "")
+	h := r.Histogram("d", "", DurationBuckets)
+	g := r.Gauge("g", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.003)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("counter=%v gauge=%v hist=%d, want 8000 each", c.Value(), g.Value(), h.Count())
+	}
+}
+
+func TestMismatchedTypePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on counter/gauge name collision")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "")
+	r.Gauge("m", "")
+}

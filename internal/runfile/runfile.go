@@ -30,6 +30,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"asterixdb/internal/adm"
 )
@@ -54,20 +55,21 @@ type Manager struct {
 	closed   bool
 }
 
-// Stats is a snapshot of a manager's spill activity.
+// Stats is a snapshot of a manager's spill activity. The JSON field names
+// are part of the profile=true output shape.
 type Stats struct {
 	// RunsCreated counts every run file the job created (including
 	// intermediate merge and repartition runs).
-	RunsCreated int
+	RunsCreated int `json:"runsCreated"`
 	// TuplesSpilled and BytesSpilled total the tuples and file bytes written
 	// to run files.
-	TuplesSpilled int64
-	BytesSpilled  int64
+	TuplesSpilled int64 `json:"tuplesSpilled"`
+	BytesSpilled  int64 `json:"bytesSpilled"`
 	// PeakResident is the high-water mark of budget-accounted resident bytes
 	// across all operator instances of the job.
-	PeakResident int64
+	PeakResident int64 `json:"peakResidentBytes"`
 	// LiveRuns is the number of run files currently on disk.
-	LiveRuns int
+	LiveRuns int `json:"liveRuns"`
 }
 
 // NewManager creates a spill manager for one job. Run files are created in a
@@ -123,6 +125,8 @@ func (m *Manager) NewRun() (*Writer, error) {
 		return nil, fmt.Errorf("runfile: create run file: %w", err)
 	}
 	m.runsMade++
+	globalRuns.Add(1)
+	globalLiveRuns.Add(1)
 	w := &Writer{m: m, f: f, bw: bufio.NewWriterSize(f, runBufSize), path: path}
 	m.writers[w] = struct{}{}
 	return w, nil
@@ -144,6 +148,7 @@ func (m *Manager) Close() error {
 			first = err
 		}
 	}
+	globalLiveRuns.Add(-int64(len(m.writers) + len(m.runs)))
 	m.writers = map[*Writer]struct{}{}
 	for r := range m.runs {
 		r.released = true
@@ -152,6 +157,10 @@ func (m *Manager) Close() error {
 		}
 	}
 	m.runs = map[*Run]struct{}{}
+	// Any resident bytes the job's instances never released die with the
+	// job; fold them out of the process-wide gauge too.
+	globalUsed.Add(-m.used)
+	m.used = 0
 	if m.dir != "" {
 		if err := os.Remove(m.dir); err != nil && first == nil {
 			first = err
@@ -168,12 +177,14 @@ func (m *Manager) add(n int64) {
 		m.peak = m.used
 	}
 	m.mu.Unlock()
+	atomicMax(&globalPeak, globalUsed.Add(n))
 }
 
 func (m *Manager) release(n int64) {
 	m.mu.Lock()
 	m.used -= n
 	m.mu.Unlock()
+	globalUsed.Add(-n)
 }
 
 // ----------------------------------------------------------------------------
@@ -188,11 +199,64 @@ type Budget struct {
 	M *Manager
 	// PerInstance is the resident-byte allowance of each operator instance.
 	PerInstance int64
+	// Obs, when non-nil, accumulates the owning operator's spill activity
+	// across all of its instances for job profiling.
+	Obs *SpillObserver
 }
 
 // NewInstance opens a per-operator-instance accountant against the budget.
 func (b *Budget) NewInstance() *Instance {
 	return &Instance{b: b}
+}
+
+// NewRun creates a run file attributed to this budget's operator: the
+// writer's totals roll into both the manager and the budget's observer.
+// Operators must spill through this method (not b.M.NewRun directly) so
+// per-operator profiles see their run files.
+func (b *Budget) NewRun() (*Writer, error) {
+	w, err := b.M.NewRun()
+	if err != nil {
+		return nil, err
+	}
+	if b.Obs != nil {
+		b.Obs.runs.Add(1)
+		w.obs = b.Obs
+	}
+	return w, nil
+}
+
+// SpillObserver accumulates one operator's spill activity across its
+// instances. Counters are atomics because an operator's instances run
+// concurrently, one per partition.
+type SpillObserver struct {
+	runs   atomic.Int64
+	tuples atomic.Int64
+	bytes  atomic.Int64
+	cur    atomic.Int64
+	peak   atomic.Int64
+}
+
+// SpillStats is a snapshot of an observer. The JSON field names are part
+// of the profile=true output shape.
+type SpillStats struct {
+	Runs          int64 `json:"runs"`
+	SpilledTuples int64 `json:"spilledTuples"`
+	SpilledBytes  int64 `json:"spilledBytes"`
+	PeakBytes     int64 `json:"peakResidentBytes"`
+}
+
+// Snapshot returns the observer's current totals.
+func (o *SpillObserver) Snapshot() SpillStats {
+	return SpillStats{
+		Runs:          o.runs.Load(),
+		SpilledTuples: o.tuples.Load(),
+		SpilledBytes:  o.bytes.Load(),
+		PeakBytes:     o.peak.Load(),
+	}
+}
+
+func (o *SpillObserver) addResident(n int64) {
+	atomicMax(&o.peak, o.cur.Add(n))
 }
 
 // Instance tracks one operator instance's resident bytes against its budget
@@ -214,12 +278,18 @@ func (in *Instance) Fits(n int64) bool {
 func (in *Instance) Add(n int64) {
 	in.used += n
 	in.b.M.add(n)
+	if o := in.b.Obs; o != nil {
+		o.addResident(n)
+	}
 }
 
 // Release returns n resident bytes.
 func (in *Instance) Release(n int64) {
 	in.used -= n
 	in.b.M.release(n)
+	if o := in.b.Obs; o != nil {
+		o.addResident(-n)
+	}
 }
 
 // Used returns the instance's current resident bytes.
@@ -229,6 +299,9 @@ func (in *Instance) Used() int64 { return in.used }
 func (in *Instance) Close() {
 	if in.used != 0 {
 		in.b.M.release(in.used)
+		if o := in.b.Obs; o != nil {
+			o.addResident(-in.used)
+		}
 		in.used = 0
 	}
 }
@@ -244,6 +317,7 @@ const runBufSize = 16 << 10
 // Writer appends serialized tuples to a run file.
 type Writer struct {
 	m       *Manager
+	obs     *SpillObserver // owning operator's profile accumulator, may be nil
 	f       *os.File
 	bw      *bufio.Writer
 	path    string
@@ -302,6 +376,12 @@ func (w *Writer) Finish() (*Run, error) {
 		return nil, err
 	}
 	r := &Run{m: w.m, path: w.path, tuples: w.tuples, memB: w.memB}
+	globalTuples.Add(int64(w.tuples))
+	globalBytes.Add(w.fileB)
+	if w.obs != nil {
+		w.obs.tuples.Add(int64(w.tuples))
+		w.obs.bytes.Add(w.fileB)
+	}
 	w.m.mu.Lock()
 	delete(w.m.writers, w)
 	w.m.tuples += int64(w.tuples)
@@ -310,6 +390,7 @@ func (w *Writer) Finish() (*Run, error) {
 		// The job is already tearing down; don't resurrect the file.
 		os.Remove(w.path)
 		w.m.mu.Unlock()
+		globalLiveRuns.Add(-1)
 		r.released = true
 		return r, nil
 	}
@@ -324,6 +405,7 @@ func (w *Writer) Abort() {
 	w.m.mu.Lock()
 	delete(w.m.writers, w)
 	w.m.mu.Unlock()
+	globalLiveRuns.Add(-1)
 	os.Remove(w.path)
 }
 
@@ -370,6 +452,7 @@ func (r *Run) Release() {
 	r.m.mu.Lock()
 	delete(r.m.runs, r)
 	r.m.mu.Unlock()
+	globalLiveRuns.Add(-1)
 	os.Remove(r.path)
 }
 
@@ -424,6 +507,58 @@ func (r *Reader) Next() ([]adm.Value, error) {
 
 // Close closes the reader.
 func (r *Reader) Close() error { return r.f.Close() }
+
+// ----------------------------------------------------------------------------
+// Process-wide accounting
+// ----------------------------------------------------------------------------
+
+// The package-level counters aggregate every manager in the process so a
+// /metrics endpoint can report spill pressure without enumerating jobs.
+var (
+	globalUsed     atomic.Int64
+	globalPeak     atomic.Int64
+	globalLiveRuns atomic.Int64
+	globalRuns     atomic.Int64
+	globalTuples   atomic.Int64
+	globalBytes    atomic.Int64
+)
+
+// GlobalStats is a process-wide snapshot across all managers, live and
+// closed.
+type GlobalStats struct {
+	// UsedBytes and PeakBytes are the current and high-water budget-accounted
+	// resident bytes.
+	UsedBytes int64
+	PeakBytes int64
+	// LiveRuns is the number of run files currently on disk.
+	LiveRuns int64
+	// RunsCreated, TuplesSpilled, and BytesSpilled are lifetime totals.
+	RunsCreated   int64
+	TuplesSpilled int64
+	BytesSpilled  int64
+}
+
+// Global returns the process-wide spill counters.
+func Global() GlobalStats {
+	return GlobalStats{
+		UsedBytes:     globalUsed.Load(),
+		PeakBytes:     globalPeak.Load(),
+		LiveRuns:      globalLiveRuns.Load(),
+		RunsCreated:   globalRuns.Load(),
+		TuplesSpilled: globalTuples.Load(),
+		BytesSpilled:  globalBytes.Load(),
+	}
+}
+
+// atomicMax lifts addr to at least v.
+func atomicMax(addr *atomic.Int64, v int64) {
+	for {
+		old := addr.Load()
+		if v <= old || addr.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
 
 // ----------------------------------------------------------------------------
 // Memory estimation

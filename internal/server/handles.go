@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"asterixdb/internal/runfile"
@@ -30,6 +31,7 @@ type handle struct {
 	status    string
 	run       *runfile.Run
 	count     int
+	profile   []byte // pre-marshalled NDJSON profile trailer, or nil
 	err       error
 	discarded bool
 }
@@ -37,14 +39,14 @@ type handle struct {
 // finish records the query's outcome. If the handle was discarded while the
 // query was still running (TTL expiry, table shutdown), the arriving run is
 // released immediately — nobody can fetch it anymore.
-func (h *handle) finish(run *runfile.Run, count int, err error) {
+func (h *handle) finish(run *runfile.Run, count int, profile []byte, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if err != nil {
 		h.status, h.err = statusFailed, err
 		return
 	}
-	h.status, h.run, h.count = statusSuccess, run, count
+	h.status, h.run, h.count, h.profile = statusSuccess, run, count, profile
 	if h.discarded && h.run != nil {
 		h.run.Release()
 		h.run = nil
@@ -57,6 +59,14 @@ func (h *handle) snapshot() (string, *runfile.Run, int, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.status, h.run, h.count, h.err
+}
+
+// trailer returns the handle's profile trailer line, if the query was run
+// with profiling.
+func (h *handle) trailer() []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.profile
 }
 
 // discard releases the handle's result run (if any) and marks the handle so
@@ -84,9 +94,22 @@ type handleTable struct {
 	entries map[string]*handle
 	touched map[string]time.Time
 
+	// expired counts handles evicted by TTL before delivery (metrics).
+	expired atomic.Int64
+
 	stop    chan struct{}
 	stopped sync.Once
 }
+
+// size reports the number of live handles in the table.
+func (t *handleTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// expirations reports how many handles have been TTL-evicted undelivered.
+func (t *handleTable) expirations() int64 { return t.expired.Load() }
 
 func newHandleTable(ttl time.Duration, now func() time.Time) *handleTable {
 	if now == nil {
@@ -124,6 +147,7 @@ func (t *handleTable) get(id string) (*handle, bool) {
 	if t.now().Sub(t.touched[id]) > t.ttl {
 		delete(t.entries, id)
 		delete(t.touched, id)
+		t.expired.Add(1)
 		t.mu.Unlock()
 		h.discard()
 		return nil, false
@@ -149,6 +173,7 @@ func (t *handleTable) take(id string) (h *handle, ok, taken bool) {
 	if t.now().Sub(t.touched[id]) > t.ttl {
 		delete(t.entries, id)
 		delete(t.touched, id)
+		t.expired.Add(1)
 		t.mu.Unlock()
 		h.discard()
 		return nil, false, false
@@ -191,6 +216,7 @@ func (t *handleTable) sweep() {
 			dead = append(dead, t.entries[id])
 			delete(t.entries, id)
 			delete(t.touched, id)
+			t.expired.Add(1)
 		}
 	}
 	t.mu.Unlock()

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asterixdb"
+)
+
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	loadItems(t, s, 10)
+	if w := do(t, s, "POST", "/query", `for $i in dataset Items return $i.id;`); w.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", w.Code, w.Body)
+	}
+	w := do(t, s, "GET", "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition format", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		`asterix_queries_total{mode="synchronous",status="success"} 1`,
+		"asterix_query_duration_seconds_bucket",
+		"asterix_query_duration_seconds_count 1",
+		"asterix_queries_active 0",
+		"asterix_result_handles 0",
+		"asterix_result_handles_expired_total 0",
+		// Engine gauges registered through MetricsRegistrar.
+		"asterix_memory_budget_bytes",
+		"asterix_spill_runs_total",
+		`asterix_lsm_components{dataset="Items"}`,
+		"# TYPE asterix_queries_total counter",
+		"# HELP asterix_queries_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+}
+
+func TestMetricsCountsErrors(t *testing.T) {
+	s, _ := newTestServer(t)
+	if w := do(t, s, "POST", "/query", `for $x in dataset NoSuch return $x;`); w.Code != http.StatusNotFound {
+		t.Fatalf("bad query: %d %s", w.Code, w.Body)
+	}
+	body := do(t, s, "GET", "/metrics", "").Body.String()
+	if !strings.Contains(body, `asterix_queries_total{mode="synchronous",status="error"} 1`) {
+		t.Errorf("/metrics did not count the failed query:\n%s", body)
+	}
+}
+
+// profileLine returns the decoded {"profile": ...} object from the last
+// NDJSON line, failing if it is absent or malformed.
+func profileLine(t *testing.T, body string) map[string]any {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	last := lines[len(lines)-1]
+	var m map[string]any
+	if err := json.Unmarshal([]byte(last), &m); err != nil {
+		t.Fatalf("last line %q is not JSON: %v", last, err)
+	}
+	prof, ok := m["profile"].(map[string]any)
+	if !ok {
+		t.Fatalf("last line %q is not a profile trailer", last)
+	}
+	return prof
+}
+
+// assertProfileShape checks the trailer has operator rows with nonzero
+// counters and that the source row accounts for every stored record.
+func assertProfileShape(t *testing.T, prof map[string]any, cardinality float64) {
+	t.Helper()
+	ops, ok := prof["operators"].([]any)
+	if !ok || len(ops) == 0 {
+		t.Fatalf("profile has no operator rows: %v", prof)
+	}
+	var scanOut float64
+	for _, o := range ops {
+		row := o.(map[string]any)
+		if row["wallNanos"].(float64) <= 0 {
+			t.Errorf("operator %v has no wall time", row["name"])
+		}
+		if name, _ := row["name"].(string); strings.HasPrefix(name, "datasource-scan") {
+			scanOut += row["tuplesOut"].(float64)
+		}
+	}
+	if scanOut != cardinality {
+		t.Errorf("scan tuplesOut = %v, want %v", scanOut, cardinality)
+	}
+}
+
+func TestSynchronousProfileTrailer(t *testing.T) {
+	s, _ := newTestServer(t)
+	loadItems(t, s, 12)
+	w := do(t, s, "POST", "/query?profile=true", `for $i in dataset Items return $i.id;`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", w.Code, w.Body)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) != 13 { // 12 rows + 1 trailer
+		t.Fatalf("got %d lines, want 13:\n%s", len(lines), w.Body.String())
+	}
+	assertProfileShape(t, profileLine(t, w.Body.String()), 12)
+
+	// Without profile=true there is no trailer.
+	w = do(t, s, "POST", "/query", `for $i in dataset Items return $i.id;`)
+	if got := len(strings.Split(strings.TrimSpace(w.Body.String()), "\n")); got != 12 {
+		t.Fatalf("unprofiled query has %d lines, want 12", got)
+	}
+}
+
+func TestDeferredProfileTrailer(t *testing.T) {
+	s, _ := newTestServer(t)
+	loadItems(t, s, 7)
+	w := do(t, s, "POST", "/query?mode=deferred&profile=true", `for $i in dataset Items return $i.id;`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("deferred submit: %d %s", w.Code, w.Body)
+	}
+	handle, _ := decodeJSON(t, w.Body.String())["handle"].(string)
+	w = do(t, s, "GET", "/query/result?handle="+handle, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("result: %d %s", w.Code, w.Body)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) != 8 { // 7 rows + 1 trailer
+		t.Fatalf("got %d result lines, want 8:\n%s", len(lines), w.Body.String())
+	}
+	assertProfileShape(t, profileLine(t, w.Body.String()), 7)
+}
+
+func TestAsynchronousProfileTrailer(t *testing.T) {
+	s, _ := newTestServer(t)
+	loadItems(t, s, 5)
+	w := do(t, s, "POST", "/query?mode=asynchronous&profile=true", `for $i in dataset Items return $i.id;`)
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("async submit: %d %s", w.Code, w.Body)
+	}
+	handle, _ := decodeJSON(t, w.Body.String())["handle"].(string)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, _ := decodeJSON(t, do(t, s, "GET", "/query/status?handle="+handle, "").Body.String())["status"].(string)
+		if st == statusSuccess {
+			break
+		}
+		if st == statusFailed || time.Now().After(deadline) {
+			t.Fatalf("async query state %q", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w = do(t, s, "GET", "/query/result?handle="+handle, "")
+	assertProfileShape(t, profileLine(t, w.Body.String()), 5)
+}
+
+// recordingLogger captures slow-query lines for assertions.
+type recordingLogger struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (l *recordingLogger) Printf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, fmt.Sprintf(format, args...))
+}
+
+func TestSlowQueryLogging(t *testing.T) {
+	inst, err := asterixdb.Open(asterixdb.Config{DataDir: t.TempDir(), Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inst.Close() })
+	lg := &recordingLogger{}
+	s := New(inst, Options{HandleTTL: time.Minute, SlowQueryThreshold: time.Nanosecond, Logger: lg})
+	t.Cleanup(func() { s.Close() })
+	loadItems(t, s, 20)
+	if w := do(t, s, "POST", "/query", `for $i in dataset Items return $i.id;`); w.Code != http.StatusOK {
+		t.Fatalf("query: %d %s", w.Code, w.Body)
+	}
+	lg.mu.Lock()
+	defer lg.mu.Unlock()
+	var got string
+	for _, ln := range lg.lines {
+		if strings.Contains(ln, "for $i in dataset Items") {
+			got = ln
+		}
+	}
+	if got == "" {
+		t.Fatalf("no slow-query line for the query; log: %v", lg.lines)
+	}
+	if !strings.Contains(got, "slow query (synchronous") {
+		t.Errorf("slow-query line missing mode: %q", got)
+	}
+	if !strings.Contains(got, "top ops:") || !strings.Contains(got, "datasource-scan") {
+		t.Errorf("slow-query line missing profile summary: %q", got)
+	}
+	if !strings.Contains(got, "out=20") {
+		t.Errorf("slow-query line should report the 20 scanned tuples as a plain count: %q", got)
+	}
+}

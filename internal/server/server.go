@@ -26,6 +26,12 @@
 //	POST /update                                         insert/delete/load
 //	POST /explain                                        optimized plan + job (text)
 //	GET  /health                                         liveness probe
+//	GET  /metrics                                        Prometheus text metrics
+//
+// Adding profile=true to /query (any mode) runs the job with per-operator
+// instrumentation; the response gains a final NDJSON line
+// {"profile":{"operators":[...]}} after the result rows (for async and
+// deferred, on the /query/result stream).
 package server
 
 import (
@@ -42,6 +48,8 @@ import (
 
 	"asterixdb"
 	"asterixdb/internal/adm"
+	"asterixdb/internal/hyracks"
+	"asterixdb/internal/metrics"
 	"asterixdb/internal/runfile"
 )
 
@@ -74,6 +82,15 @@ type Options struct {
 	FlushEvery int
 	// MaxBodyBytes caps statement bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// SlowQueryThreshold, when positive, logs every query slower than it —
+	// statement, duration and a per-operator profile summary. Queries are
+	// then always run with profiling so the summary is available (the
+	// instrumentation is cheap: a handful of counters per frame).
+	SlowQueryThreshold time.Duration
+	// Logger receives slow-query lines (default log.Default()).
+	Logger interface {
+		Printf(format string, args ...any)
+	}
 	// Now overrides the handle table's clock (tests).
 	Now func() time.Time
 }
@@ -91,6 +108,9 @@ type Server struct {
 	// async tracks detached asynchronous-query goroutines so Close can wait
 	// for them before the caller tears down the instance under their feet.
 	async sync.WaitGroup
+	// metrics backs GET /metrics: the server's own query/handle series plus
+	// whatever the engine registers through MetricsRegistrar.
+	metrics *serverMetrics
 }
 
 // New wraps an engine in a Server. The caller keeps ownership of the
@@ -113,6 +133,10 @@ func New(inst Engine, opts Options) *Server {
 		handles: newHandleTable(opts.HandleTTL, opts.Now),
 		spill:   runfile.NewManager(filepath.Join(inst.SpillDir(), "handles"), inst.MemoryBudget()),
 	}
+	s.metrics = newServerMetrics(s)
+	if mr, ok := inst.(MetricsRegistrar); ok {
+		mr.RegisterMetrics(s.metrics.reg)
+	}
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("GET /query/status", s.handleStatus)
 	s.mux.HandleFunc("GET /query/result", s.handleResult)
@@ -120,6 +144,7 @@ func New(inst Engine, opts Options) *Server {
 	s.mux.HandleFunc("POST /update", s.handleUpdate)
 	s.mux.HandleFunc("POST /explain", s.handleExplain)
 	s.mux.HandleFunc("GET /health", s.handleHealth)
+	s.mux.Handle("GET /metrics", metrics.Handler(s.metrics.reg))
 	return s
 }
 
@@ -150,7 +175,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "", "synchronous":
 		s.querySynchronous(w, r, src)
 	case "asynchronous":
-		s.queryAsynchronous(w, src)
+		s.queryAsynchronous(w, r, src)
 	case "deferred":
 		s.queryDeferred(w, r, src)
 	default:
@@ -167,8 +192,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // final NDJSON error line ({"error":{...}}), which clients detect by its
 // shape.
 func (s *Server) querySynchronous(w http.ResponseWriter, r *http.Request, src string) {
-	cur, err := s.inst.QueryStream(r.Context(), src)
+	wantProfile := profileRequested(r)
+	start := time.Now()
+	s.metrics.active.Inc()
+	defer s.metrics.active.Dec()
+	cur, err := s.inst.QueryStream(s.queryContext(r.Context(), wantProfile), src)
 	if err != nil {
+		s.finishQuery("synchronous", src, start, nil, err)
 		writeError(w, err)
 		return
 	}
@@ -176,24 +206,73 @@ func (s *Server) querySynchronous(w http.ResponseWriter, r *http.Request, src st
 	hasFirst := cur.Next()
 	if !hasFirst {
 		if err := cur.Err(); err != nil && !isContextEnd(err) {
+			s.finishQuery("synchronous", src, start, cur.Profile(), err)
 			writeError(w, err)
 			return
 		}
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	s.streamCursor(w, cur, hasFirst)
+	var trailer func() []byte
+	if wantProfile {
+		// Evaluated after the stream drains, when the finished cursor has
+		// its profile.
+		trailer = func() []byte { return profileTrailer(cur.Profile()) }
+	}
+	s.streamCursor(w, cur, hasFirst, trailer)
+	s.finishQuery("synchronous", src, start, cur.Profile(), cur.Err())
+}
+
+// profileRequested reports whether the request asked for a per-operator
+// profile trailer (profile=true).
+func profileRequested(r *http.Request) bool {
+	return r.URL.Query().Get("profile") == "true"
+}
+
+// queryContext marks ctx for job profiling when the client asked for a
+// profile or slow-query logging needs one.
+func (s *Server) queryContext(ctx context.Context, wantProfile bool) context.Context {
+	if wantProfile || s.opts.SlowQueryThreshold > 0 {
+		ctx = asterixdb.WithProfiling(ctx)
+	}
+	return ctx
+}
+
+// profileTrailer renders the profile as the final NDJSON response line:
+// {"profile":{"operators":[...],...}}. Nil (nothing to write) when the job
+// produced no profile — a fallback path, or profiling off.
+func profileTrailer(p *hyracks.JobProfile) []byte {
+	if p == nil {
+		return nil
+	}
+	b, err := json.Marshal(struct {
+		Profile *hyracks.JobProfile `json:"profile"`
+	}{p})
+	if err != nil {
+		return nil
+	}
+	return append(b, '\n')
 }
 
 // queryAsynchronous registers a handle and runs the query in the background;
 // the client polls /query/status and fetches /query/result. The background
 // execution deliberately detaches from the request context — the whole point
 // of the mode is that the client disconnects while the query runs.
-func (s *Server) queryAsynchronous(w http.ResponseWriter, src string) {
+func (s *Server) queryAsynchronous(w http.ResponseWriter, r *http.Request, src string) {
+	wantProfile := profileRequested(r)
 	h := s.handles.create("asynchronous")
 	s.async.Add(1)
+	s.metrics.active.Inc()
+	start := time.Now()
 	go func() {
 		defer s.async.Done()
-		h.finish(s.spoolResult(context.Background(), src))
+		defer s.metrics.active.Dec()
+		run, count, prof, err := s.spoolResult(context.Background(), src, wantProfile)
+		var trailer []byte
+		if wantProfile {
+			trailer = profileTrailer(prof)
+		}
+		h.finish(run, count, trailer, err)
+		s.finishQuery("asynchronous", src, start, prof, err)
 	}()
 	writeJSONStatus(w, http.StatusAccepted, map[string]any{"handle": h.id, "status": statusRunning})
 }
@@ -201,13 +280,22 @@ func (s *Server) queryAsynchronous(w http.ResponseWriter, src string) {
 // queryDeferred runs the query to completion, stores the result under a
 // handle, and returns the handle; the client fetches the result exactly once.
 func (s *Server) queryDeferred(w http.ResponseWriter, r *http.Request, src string) {
-	run, count, err := s.spoolResult(r.Context(), src)
+	wantProfile := profileRequested(r)
+	start := time.Now()
+	s.metrics.active.Inc()
+	defer s.metrics.active.Dec()
+	run, count, prof, err := s.spoolResult(r.Context(), src, wantProfile)
+	s.finishQuery("deferred", src, start, prof, err)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	h := s.handles.create("deferred")
-	h.finish(run, count, nil)
+	var trailer []byte
+	if wantProfile {
+		trailer = profileTrailer(prof)
+	}
+	h.finish(run, count, trailer, nil)
 	writeJSON(w, map[string]any{"handle": h.id, "status": statusSuccess})
 }
 
@@ -215,34 +303,36 @@ func (s *Server) queryDeferred(w http.ResponseWriter, r *http.Request, src strin
 // fresh handle spill run, one single-column tuple per value, so an arbitrary
 // result size costs one run-writer buffer of memory rather than the whole
 // materialized value slice. A failure anywhere (including mid-stream, after
-// rows were already spooled) aborts the run and reports the error.
-func (s *Server) spoolResult(ctx context.Context, src string) (*runfile.Run, int, error) {
-	cur, err := s.inst.QueryStream(ctx, src)
+// rows were already spooled) aborts the run and reports the error. The
+// returned profile is non-nil when profiling was on and the query compiled
+// to a job.
+func (s *Server) spoolResult(ctx context.Context, src string, wantProfile bool) (*runfile.Run, int, *hyracks.JobProfile, error) {
+	cur, err := s.inst.QueryStream(s.queryContext(ctx, wantProfile), src)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer cur.Close()
 	w, err := s.spill.NewRun()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	count := 0
 	for cur.Next() {
 		if err := w.Write([]adm.Value{cur.Value()}); err != nil {
 			w.Abort()
-			return nil, 0, err
+			return nil, 0, cur.Profile(), err
 		}
 		count++
 	}
 	if err := cur.Err(); err != nil {
 		w.Abort()
-		return nil, 0, err
+		return nil, 0, cur.Profile(), err
 	}
 	run, err := w.Finish()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, cur.Profile(), err
 	}
-	return run, count, nil
+	return run, count, cur.Profile(), nil
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -282,6 +372,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		bw := bufio.NewWriter(w)
+		failed := false
 		if run != nil {
 			rd, err := run.Open()
 			if err != nil {
@@ -304,6 +395,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 					line = appendErrorJSON(line, err)
 					line = append(line, '}', '\n')
 					bw.Write(line)
+					failed = true
 					break
 				}
 				if len(cols) > 0 {
@@ -319,6 +411,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 					}
 				}
 			}
+		}
+		if t := h.trailer(); !failed && t != nil {
+			bw.Write(t)
 		}
 		bw.Flush()
 	}
@@ -397,8 +492,9 @@ func (s *Server) readBody(r *http.Request) (string, error) {
 // streamCursor writes the cursor as NDJSON with chunked flushes, so a client
 // reading a long result sees rows while the job is still running. hasFirst
 // reports whether the caller already advanced the cursor to a prefetched
-// first value.
-func (s *Server) streamCursor(w http.ResponseWriter, cur *asterixdb.Cursor, hasFirst bool) {
+// first value. trailer, when non-nil, is evaluated after the stream ends
+// cleanly and its bytes (a complete NDJSON line, or nil) are appended.
+func (s *Server) streamCursor(w http.ResponseWriter, cur *asterixdb.Cursor, hasFirst bool, trailer func() []byte) {
 	flusher, _ := w.(http.Flusher)
 	bw := bufio.NewWriter(w)
 	var line []byte
@@ -423,6 +519,10 @@ func (s *Server) streamCursor(w http.ResponseWriter, cur *asterixdb.Cursor, hasF
 		line = appendErrorJSON(line, err)
 		line = append(line, '}', '\n')
 		bw.Write(line)
+	} else if trailer != nil {
+		if t := trailer(); t != nil {
+			bw.Write(t)
+		}
 	}
 	bw.Flush()
 	if flusher != nil {

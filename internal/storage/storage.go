@@ -268,6 +268,40 @@ type partition struct {
 // Spec returns the dataset's specification.
 func (d *Dataset) Spec() DatasetSpec { return d.spec }
 
+// DatasetStats is a point-in-time aggregate of one dataset's LSM state
+// across its partitions, for the /metrics endpoints.
+type DatasetStats struct {
+	// MemBytes is the primary in-memory component footprint.
+	MemBytes int
+	// Components counts the primary index's disk components; Flushes and
+	// Merges are its lifetime flush/merge totals.
+	Components int
+	Flushes    int
+	Merges     int
+	// SecondaryComponents counts disk components across the LSM-backed
+	// secondary B+-trees (R-tree and inverted indexes are memory-resident).
+	SecondaryComponents int
+}
+
+// Stats aggregates the dataset's LSM counters under each partition latch.
+func (d *Dataset) Stats() DatasetStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	var s DatasetStats
+	for _, p := range d.partitions {
+		p.mu.Lock()
+		s.MemBytes += p.primary.MemBytes()
+		s.Components += p.primary.Components()
+		s.Flushes += p.primary.Flushes()
+		s.Merges += p.primary.Merges()
+		for _, t := range p.btrees {
+			s.SecondaryComponents += t.Components()
+		}
+		p.mu.Unlock()
+	}
+	return s
+}
+
 // Indexes returns the dataset's secondary index specifications.
 func (d *Dataset) Indexes() []IndexSpec {
 	d.mu.RLock()

@@ -126,17 +126,22 @@ func assignMemoryBudget(job *hyracks.Job, opts JobOptions) {
 	if share < 1 {
 		share = 1
 	}
-	budget := &runfile.Budget{M: mgr, PerInstance: share}
+	// Each operator gets its own Budget (same manager and share) so its
+	// SpillObserver attributes run files and resident peaks per operator
+	// in job profiles.
+	opBudget := func() *runfile.Budget {
+		return &runfile.Budget{M: mgr, PerInstance: share, Obs: &runfile.SpillObserver{}}
+	}
 	for _, op := range job.Operators {
 		switch o := op.(type) {
 		case *hyracks.SortOp:
-			o.Spill = budget
+			o.Spill = opBudget()
 		case *hyracks.HybridHashJoinOp:
-			o.Spill = budget
+			o.Spill = opBudget()
 		case *hyracks.HashGroupOp:
-			o.Spill = budget
+			o.Spill = opBudget()
 		case *crossJoinOp:
-			o.spill = budget
+			o.spill = opBudget()
 		}
 	}
 }
@@ -912,6 +917,9 @@ func (o *crossJoinOp) Name() string     { return o.label }
 func (o *crossJoinOp) Parallelism() int { return o.par }
 func (o *crossJoinOp) Blocking() bool   { return true }
 
+// SpillBudget implements hyracks.SpillBudgeted for job profiles.
+func (o *crossJoinOp) SpillBudget() *runfile.Budget { return o.spill }
+
 // combine concatenates a left and right tuple.
 func combineCross(l, r hyracks.Tuple) hyracks.Tuple {
 	out := make(hyracks.Tuple, 0, len(l)+len(r))
@@ -937,7 +945,7 @@ func (o *crossJoinOp) Run(_ int, ins []*hyracks.In, emit func(hyracks.Tuple) boo
 		}
 		sz := runfile.TupleMemSize(t)
 		if w == nil && mem != nil && !mem.Fits(sz) {
-			nw, err := o.spill.M.NewRun()
+			nw, err := o.spill.NewRun()
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,101 @@
+package asterixdb
+
+import (
+	"asterixdb/internal/metrics"
+	"asterixdb/internal/runfile"
+	"asterixdb/internal/storage"
+)
+
+// This file wires the engine's internals into a metrics.Registry for the
+// GET /metrics endpoints: process-wide spill/budget accounting from
+// internal/runfile and per-dataset LSM state from internal/storage. The
+// server adds its own query/handle metrics on top; the cluster daemons
+// add roster and job-gather state.
+
+// RegisterInstanceMetrics registers the engine gauges against whatever
+// get returns at scrape time. get may return nil (an asterixnc before
+// cluster formation has no instance yet); the dataset collectors then
+// emit nothing and the scalar gauges read zero.
+func RegisterInstanceMetrics(r *metrics.Registry, get func() *Instance) {
+	r.GaugeFunc("asterix_memory_budget_bytes",
+		"Configured per-query memory budget in bytes (0 = unlimited).",
+		func() float64 {
+			if in := get(); in != nil {
+				return float64(in.MemoryBudget())
+			}
+			return 0
+		})
+	r.GaugeFunc("asterix_spill_used_bytes",
+		"Budget-accounted resident bytes currently held by operators, process-wide.",
+		func() float64 { return float64(runfile.Global().UsedBytes) })
+	r.GaugeFunc("asterix_spill_peak_bytes",
+		"High-water mark of budget-accounted resident bytes, process-wide.",
+		func() float64 { return float64(runfile.Global().PeakBytes) })
+	r.GaugeFunc("asterix_spill_live_runs",
+		"Run files currently on disk, process-wide.",
+		func() float64 { return float64(runfile.Global().LiveRuns) })
+	r.CounterFunc("asterix_spill_runs_total",
+		"Run files created since process start.",
+		func() float64 { return float64(runfile.Global().RunsCreated) })
+	r.CounterFunc("asterix_spill_tuples_total",
+		"Tuples written to run files since process start.",
+		func() float64 { return float64(runfile.Global().TuplesSpilled) })
+	r.CounterFunc("asterix_spill_bytes_total",
+		"Bytes written to run files since process start.",
+		func() float64 { return float64(runfile.Global().BytesSpilled) })
+
+	eachDataset := func(visit func(name string, s storage.DatasetStats)) {
+		in := get()
+		if in == nil {
+			return
+		}
+		store := in.Store()
+		for _, name := range store.Datasets() {
+			if ds, ok := store.Dataset(name); ok {
+				visit(name, ds.Stats())
+			}
+		}
+	}
+	r.Collect("asterix_lsm_mem_bytes", "gauge",
+		"Primary in-memory LSM component bytes per dataset.",
+		func(emit func(float64, ...metrics.Label)) {
+			eachDataset(func(name string, s storage.DatasetStats) {
+				emit(float64(s.MemBytes), metrics.L("dataset", name))
+			})
+		})
+	r.Collect("asterix_lsm_components", "gauge",
+		"Primary-index disk components per dataset.",
+		func(emit func(float64, ...metrics.Label)) {
+			eachDataset(func(name string, s storage.DatasetStats) {
+				emit(float64(s.Components), metrics.L("dataset", name))
+			})
+		})
+	r.Collect("asterix_lsm_secondary_components", "gauge",
+		"Secondary B+-tree disk components per dataset.",
+		func(emit func(float64, ...metrics.Label)) {
+			eachDataset(func(name string, s storage.DatasetStats) {
+				emit(float64(s.SecondaryComponents), metrics.L("dataset", name))
+			})
+		})
+	r.Collect("asterix_lsm_flushes_total", "counter",
+		"Lifetime primary-index flushes per dataset.",
+		func(emit func(float64, ...metrics.Label)) {
+			eachDataset(func(name string, s storage.DatasetStats) {
+				emit(float64(s.Flushes), metrics.L("dataset", name))
+			})
+		})
+	r.Collect("asterix_lsm_merges_total", "counter",
+		"Lifetime primary-index merges per dataset.",
+		func(emit func(float64, ...metrics.Label)) {
+			eachDataset(func(name string, s storage.DatasetStats) {
+				emit(float64(s.Merges), metrics.L("dataset", name))
+			})
+		})
+}
+
+// RegisterMetrics registers this instance's engine gauges; the HTTP
+// server detects this method on its engine and calls it when building
+// the /metrics endpoint.
+func (in *Instance) RegisterMetrics(r *metrics.Registry) {
+	RegisterInstanceMetrics(r, func() *Instance { return in })
+}

@@ -1,0 +1,145 @@
+package asterixdb
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// This file asserts the query-visible profiling contract: a cursor opened
+// under WithProfiling yields a JobProfile whose per-operator tuple counts
+// match the data (scan out == dataset cardinality, distribute-result out ==
+// result count), the counts are identical with fusion on and off, and an
+// unprofiled cursor yields nil.
+
+const profileDDL = `
+create type ProfT as closed { id: int32, k: int32 };
+create dataset ProfD(ProfT) primary key id;
+`
+
+const profileCardinality = 40
+
+func newProfileInstance(t *testing.T, disableFusion bool) *Instance {
+	t.Helper()
+	inst, err := Open(Config{DataDir: t.TempDir(), Partitions: 2, DisableFusion: disableFusion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { inst.Close() })
+	if _, err := inst.Execute(profileDDL); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("insert into dataset ProfD ([")
+	for i := 0; i < profileCardinality; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(`{"id": `)
+		b.WriteString(itoa(i))
+		b.WriteString(`, "k": `)
+		b.WriteString(itoa(i * 10))
+		b.WriteString("}")
+	}
+	b.WriteString("]);")
+	if _, err := inst.Execute(b.String()); err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// profiledQuery drains one query under WithProfiling and returns its profile
+// and result count.
+func profiledQuery(t *testing.T, inst *Instance, query string) (prof map[string]int64, in map[string]int64, rows int) {
+	t.Helper()
+	cur, err := inst.QueryStream(WithProfiling(context.Background()), query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cur.Next() {
+		rows++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cur.Close()
+	p := cur.Profile()
+	if p == nil {
+		t.Fatal("Profile() nil after draining a profiled compiled query")
+	}
+	for _, r := range p.Operators {
+		if r.WallNanos <= 0 {
+			t.Fatalf("operator row %q has no wall time", r.Name)
+		}
+	}
+	return p.OutByName(), p.InByName(), rows
+}
+
+func TestProfileScanOutEqualsCardinality(t *testing.T) {
+	inst := newProfileInstance(t, false)
+	out, _, rows := profiledQuery(t, inst, `for $r in dataset ProfD return $r;`)
+	if rows != profileCardinality {
+		t.Fatalf("rows = %d, want %d", rows, profileCardinality)
+	}
+	if got := out["datasource-scan(ProfD)"]; got != profileCardinality {
+		t.Fatalf("scan out = %d, want %d (out=%v)", got, profileCardinality, out)
+	}
+	if got := out["distribute-result"]; got != profileCardinality {
+		t.Fatalf("distribute-result out = %d, want %d (out=%v)", got, profileCardinality, out)
+	}
+}
+
+func TestProfileFusedMatchesUnfusedCounts(t *testing.T) {
+	const query = `for $r in dataset ProfD where $r.k >= 100 return $r.k;`
+	fusedInst := newProfileInstance(t, false)
+	unfusedInst := newProfileInstance(t, true)
+	fo, fi, frows := profiledQuery(t, fusedInst, query)
+	uo, ui, urows := profiledQuery(t, unfusedInst, query)
+	if frows != urows {
+		t.Fatalf("fused rows %d != unfused rows %d", frows, urows)
+	}
+	if len(fo) != len(uo) {
+		t.Fatalf("operator sets differ: fused %v unfused %v", fo, uo)
+	}
+	for name, n := range uo {
+		if fo[name] != n {
+			t.Errorf("%s: fused out %d != unfused out %d", name, fo[name], n)
+		}
+	}
+	for name, n := range ui {
+		if fi[name] != n {
+			t.Errorf("%s: fused in %d != unfused in %d", name, fi[name], n)
+		}
+	}
+	if fo["datasource-scan(ProfD)"] != profileCardinality {
+		t.Fatalf("scan out = %d, want %d", fo["datasource-scan(ProfD)"], profileCardinality)
+	}
+}
+
+func TestProfileNilWithoutOption(t *testing.T) {
+	inst := newProfileInstance(t, false)
+	cur, err := inst.QueryStream(context.Background(), `for $r in dataset ProfD return $r;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cur.Next() {
+	}
+	cur.Close()
+	if cur.Profile() != nil {
+		t.Fatal("Profile() non-nil without WithProfiling")
+	}
+}

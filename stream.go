@@ -40,7 +40,31 @@ type Cursor struct {
 	val  adm.Value
 	err  error
 	done bool
+	prof *hyracks.JobProfile
 }
+
+// profileKey marks a context as requesting job profiling.
+type profileKey struct{}
+
+// WithProfiling marks ctx so compiled queries run under it collect a
+// per-operator JobProfile, available from Cursor.Profile after the
+// cursor is exhausted or closed. Fallback paths (interpreter oracle,
+// expression evaluation) have no job and yield a nil profile.
+func WithProfiling(ctx context.Context) context.Context {
+	return context.WithValue(ctx, profileKey{}, true)
+}
+
+// ProfilingRequested reports whether WithProfiling marked ctx; the
+// cluster controller uses it to forward the request to its nodes.
+func ProfilingRequested(ctx context.Context) bool {
+	on, _ := ctx.Value(profileKey{}).(bool)
+	return on
+}
+
+// Profile returns the per-operator profile of the executed job. It is
+// non-nil only after the cursor has finished (exhausted or closed) for a
+// compiled query run under WithProfiling.
+func (c *Cursor) Profile() *hyracks.JobProfile { return c.prof }
 
 // Next advances to the next result value, reporting false at end of stream,
 // on error, on cancellation of the cursor's context, or after Close. When it
@@ -103,6 +127,7 @@ func (c *Cursor) finish(err error) {
 		if c.err == nil {
 			c.err = closeErr
 		}
+		c.prof = c.stream.Profile()
 		c.stream = nil
 	}
 	c.batch = nil
@@ -269,6 +294,7 @@ func (in *Instance) queryCursor(ctx context.Context, e aql.Expr, opts algebra.Op
 			return batchCursor(ctx, values), nil
 		}
 		if job, err := translator.BuildJob(plan, in, in.jobOptions()); err == nil {
+			job.Profile = ProfilingRequested(ctx)
 			fc, err := hyracks.ExecuteStream(ctx, job)
 			if err != nil {
 				return nil, err
