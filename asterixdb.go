@@ -197,8 +197,16 @@ func Open(cfg Config) (*Instance, error) {
 	return inst, nil
 }
 
-// Close shuts the instance down.
+// Close shuts the instance down: the background flush/merge scheduler is
+// drained, then the write-ahead log is closed.
 func (in *Instance) Close() error { return in.store.Close() }
+
+// Recover replays the write-ahead log into the instance's datasets. DDL is
+// not journaled, so callers re-run their DDL (create type / dataset / index)
+// against the reopened instance first, then call Recover before serving
+// queries; every access path — primary and secondary — is restored to the
+// last acknowledged committed write.
+func (in *Instance) Recover() error { return in.store.Recover() }
 
 // Store exposes the storage manager (used by feed pipelines and tools).
 func (in *Instance) Store() *storage.Manager { return in.store }

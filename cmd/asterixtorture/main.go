@@ -1,0 +1,60 @@
+// Command asterixtorture is the crash-recovery torture harness: it re-execs
+// itself as a child workload that SIGKILLs itself at randomized durability
+// events (WAL append, flush, merge install, checkpoint, atomic rename), then
+// reopens the data directory, runs recovery, and asserts the surviving state
+// is exactly the acknowledged writes across every index kind.
+//
+//	asterixtorture -cycles 200 -seed 42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"asterixdb/internal/torture"
+)
+
+func main() {
+	if os.Getenv(torture.EnvChild) == "1" {
+		if err := torture.RunChild(torture.ConfigFromEnv(), os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	var (
+		cycles = flag.Int("cycles", 200, "kill-&-recover cycles to run")
+		seed   = flag.Int64("seed", 20140814, "master seed (drives workloads and kill points)")
+		ops    = flag.Int("ops", 120, "operations per child workload")
+		ckpt   = flag.Int("ckpt-every", 25, "ops between explicit checkpoints in the child")
+		dir    = flag.String("dir", "", "scratch directory (default: a temp dir, removed on success)")
+	)
+	flag.Parse()
+
+	root := *dir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "asterixtorture-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := &torture.Driver{
+		Exe:             exe,
+		Seed:            *seed,
+		Ops:             *ops,
+		CheckpointEvery: *ckpt,
+		Root:            root,
+		Logf:            log.Printf,
+	}
+	if err := d.RunCycles(*cycles); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("asterixtorture: %d cycles passed (seed=%d)\n", *cycles, *seed)
+}

@@ -1,0 +1,55 @@
+// Package crashpoint provides fault-injection points for the crash-torture
+// harness. Durability-critical code paths call Hit at the moments a crash
+// would be most damaging (after a WAL append, between a component's temp
+// write and its rename, mid-checkpoint). In normal operation a Hit is one
+// atomic increment; when the ASTERIX_CRASHPOINT environment variable is set
+// to N, the Nth Hit kills the process with SIGKILL — no deferred functions,
+// no flushes, exactly what a power failure looks like to the filesystem.
+package crashpoint
+
+import (
+	"os"
+	"strconv"
+	"sync/atomic"
+)
+
+// EnvVar names the environment variable selecting the fatal hit count.
+// Unset or non-positive disables killing; hits are still counted so a
+// calibration run can report how many crash opportunities a workload has.
+const EnvVar = "ASTERIX_CRASHPOINT"
+
+var (
+	count  atomic.Int64
+	target int64
+)
+
+func init() {
+	if v := os.Getenv(EnvVar); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			target = n
+		}
+	}
+}
+
+// Hit records one crash opportunity. The name labels the call site; it is
+// not interpreted, but keeping distinct names makes kill sites identifiable
+// when a torture cycle is replayed under a debugger.
+func Hit(name string) {
+	_ = name
+	n := count.Add(1)
+	if target > 0 && n == target {
+		p, err := os.FindProcess(os.Getpid())
+		if err == nil {
+			p.Kill()
+		}
+		// SIGKILL delivery is asynchronous; never let this goroutine
+		// proceed past the crash point.
+		select {}
+	}
+}
+
+// Count reports how many crash opportunities the process has hit so far.
+func Count() int64 { return count.Load() }
+
+// Armed reports whether a fatal hit count is configured.
+func Armed() bool { return target > 0 }

@@ -1,0 +1,192 @@
+// LSM persistence for the inverted secondary index. The durable truth is an
+// lsm.Tree whose keys are (uvarint token length ‖ token ‖ primary key) with
+// nil values: one entry per posting. Lookups are prefix range scans over the
+// token — the length prefix makes each token's postings contiguous and
+// un-confusable with tokens it prefixes — so, unlike the R-tree, no
+// in-memory accelerator is needed and reopening is instant.
+
+package invidx
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"asterixdb/internal/lsm"
+)
+
+// EncodeTokenKey builds the LSM key for one posting.
+func EncodeTokenKey(token string, pk []byte) []byte {
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(token)))
+	key := make([]byte, 0, n+len(token)+len(pk))
+	key = append(key, lenBuf[:n]...)
+	key = append(key, token...)
+	return append(key, pk...)
+}
+
+// DecodeTokenKey splits a posting key into token and primary key.
+func DecodeTokenKey(key []byte) (string, []byte, error) {
+	tokenLen, n := binary.Uvarint(key)
+	if n <= 0 || uint64(len(key)-n) < tokenLen {
+		return "", nil, fmt.Errorf("invidx: malformed posting key (%d bytes)", len(key))
+	}
+	token := string(key[n : n+int(tokenLen)])
+	return token, key[n+int(tokenLen):], nil
+}
+
+// LSM is a persistent inverted index partition. Callers must serialize all
+// operations (the storage layer's partition latch), same as lsm.Tree.
+type LSM struct {
+	tree     *lsm.Tree
+	tokenize Tokenizer
+}
+
+// OpenLSM creates or reopens a persistent inverted index rooted at dir.
+func OpenLSM(dir string, opts lsm.Options, tokenize Tokenizer) (*LSM, error) {
+	tree, err := lsm.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &LSM{tree: tree, tokenize: tokenize}, nil
+}
+
+// Tree exposes the underlying LSM tree for flush/merge scheduling and
+// durability watermark queries.
+func (ix *LSM) Tree() *lsm.Tree { return ix.tree }
+
+// EntryKeys returns the posting keys a document contributes: one per
+// distinct token of text. The storage layer logs exactly these keys to the
+// WAL, so recovery applies postings without re-tokenizing.
+func (ix *LSM) EntryKeys(docKey []byte, text string) [][]byte {
+	return PostingKeys(ix.tokenize, docKey, text)
+}
+
+// PostingKeys is EntryKeys for callers that hold a tokenizer but not the
+// index itself (the storage layer derives WAL records without the partition
+// latch). Tokenizers are pure functions, so this is safe concurrently.
+func PostingKeys(tokenize Tokenizer, docKey []byte, text string) [][]byte {
+	toks := tokenize(text)
+	seen := make(map[string]struct{}, len(toks))
+	keys := make([][]byte, 0, len(toks))
+	for _, tok := range toks {
+		if _, dup := seen[tok]; dup {
+			continue
+		}
+		seen[tok] = struct{}{}
+		keys = append(keys, EncodeTokenKey(tok, docKey))
+	}
+	return keys
+}
+
+// Insert indexes text under the given document key.
+func (ix *LSM) Insert(docKey []byte, text string) error {
+	for _, key := range ix.EntryKeys(docKey, text) {
+		if err := ix.tree.Insert(key, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes the document key from every posting list of text's tokens.
+func (ix *LSM) Delete(docKey []byte, text string) error {
+	for _, key := range ix.EntryKeys(docKey, text) {
+		if err := ix.tree.Delete(key); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ApplyEntry applies one raw posting entry (as logged in the WAL): an upsert
+// or an antimatter delete. Idempotent, for recovery replay.
+func (ix *LSM) ApplyEntry(key []byte, antimatter bool) error {
+	if antimatter {
+		return ix.tree.Delete(key)
+	}
+	return ix.tree.Insert(key, nil)
+}
+
+// scanToken visits the document keys in token's posting range, in key order.
+func (ix *LSM) scanToken(token string, visit func(pk []byte) bool) {
+	prefix := EncodeTokenKey(token, nil)
+	ix.tree.Range(prefix, nil, func(key, _ []byte) bool {
+		if !bytes.HasPrefix(key, prefix) {
+			return false
+		}
+		return visit(key[len(prefix):])
+	})
+}
+
+// Lookup returns the sorted document keys whose text contained the token.
+func (ix *LSM) Lookup(token string) [][]byte {
+	toks := ix.tokenize(token)
+	if len(toks) == 1 {
+		var out [][]byte
+		ix.scanToken(toks[0], func(pk []byte) bool {
+			out = append(out, append([]byte(nil), pk...))
+			return true
+		})
+		return out
+	}
+	// Multi-token probes (e.g. a phrase run through the keyword tokenizer)
+	// return the conjunction of their posting lists.
+	return ix.LookupAll(toks)
+}
+
+// LookupAll returns the sorted document keys that contain every given token.
+func (ix *LSM) LookupAll(tokens []string) [][]byte {
+	if len(tokens) == 0 {
+		return nil
+	}
+	acc := ix.postingSet(tokens[0])
+	for _, tok := range tokens[1:] {
+		if len(acc) == 0 {
+			return nil
+		}
+		next := ix.postingSet(tok)
+		for k := range acc {
+			if _, ok := next[k]; !ok {
+				delete(acc, k)
+			}
+		}
+	}
+	return setToKeys(acc)
+}
+
+// LookupAny returns the sorted document keys that contain at least
+// minMatches of the given tokens. This is the candidate-generation step of
+// T-occurrence style fuzzy search: callers verify candidates against the
+// real similarity predicate afterwards.
+func (ix *LSM) LookupAny(tokens []string, minMatches int) [][]byte {
+	if minMatches <= 0 {
+		minMatches = 1
+	}
+	counts := map[string]int{}
+	for _, tok := range tokens {
+		ix.scanToken(tok, func(pk []byte) bool {
+			counts[string(pk)]++
+			return true
+		})
+	}
+	set := map[string]struct{}{}
+	for k, c := range counts {
+		if c >= minMatches {
+			set[k] = struct{}{}
+		}
+	}
+	return setToKeys(set)
+}
+
+func (ix *LSM) postingSet(token string) map[string]struct{} {
+	set := map[string]struct{}{}
+	ix.scanToken(token, func(pk []byte) bool {
+		set[string(pk)] = struct{}{}
+		return true
+	})
+	return set
+}
+
+// Len returns the number of live postings (not documents).
+func (ix *LSM) Len() int { return ix.tree.Len() }

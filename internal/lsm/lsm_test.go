@@ -286,3 +286,223 @@ func BenchmarkInsertWithFlushes(b *testing.B) {
 		tr.Insert(k(i), v(i))
 	}
 }
+
+func TestFlushStampedDurableLSN(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Open(dir, Options{MemBudget: 1 << 20, Background: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert([]byte("a"), []byte("1"))
+	if err := tr.FlushStamped(100); err != nil {
+		t.Fatal(err)
+	}
+	if tr.DurableLSN() != 100 {
+		t.Fatalf("DurableLSN = %d, want 100", tr.DurableLSN())
+	}
+	// A stamp below the watermark is clamped up; an empty flush still
+	// advances the watermark.
+	tr.Insert([]byte("b"), []byte("2"))
+	if err := tr.FlushStamped(50); err != nil {
+		t.Fatal(err)
+	}
+	if tr.DurableLSN() != 100 {
+		t.Fatalf("DurableLSN after lower stamp = %d, want 100", tr.DurableLSN())
+	}
+	if err := tr.FlushStamped(300); err != nil {
+		t.Fatal(err)
+	}
+	if tr.DurableLSN() != 300 {
+		t.Fatalf("DurableLSN after empty stamped flush = %d, want 300 (watermark advances without data)", tr.DurableLSN())
+	}
+
+	// Reopen: the watermark comes back from the component stamps. The empty
+	// flush above wrote no component, so the highest persisted stamp is 100.
+	tr2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.DurableLSN() != 100 {
+		t.Fatalf("DurableLSN after reopen = %d, want 100", tr2.DurableLSN())
+	}
+	if v, ok := tr2.Get([]byte("b")); !ok || string(v) != "2" {
+		t.Fatalf("Get(b) after reopen = %q, %v", v, ok)
+	}
+}
+
+func TestMergeKeepsRecencyOrderAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Open(dir, Options{MemBudget: 1 << 20, Background: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old value in two components, merge them, then write a NEWER value in
+	// a post-merge flush. The merged component must not out-rank the newer
+	// flush after reopen.
+	tr.Insert([]byte("k"), []byte("old"))
+	tr.Flush()
+	tr.Insert([]byte("x"), []byte("1"))
+	tr.Flush()
+	if err := tr.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert([]byte("k"), []byte("new"))
+	tr.Flush()
+	if v, _ := tr.Get([]byte("k")); string(v) != "new" {
+		t.Fatalf("Get(k) before reopen = %q, want new", v)
+	}
+	tr2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tr2.Get([]byte("k")); !ok || string(v) != "new" {
+		t.Fatalf("Get(k) after reopen = %q, %v; merged component outranked a newer flush", v, ok)
+	}
+}
+
+func TestOpenRemovesShadowedComponents(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := Open(dir, Options{MemBudget: 1 << 20, Background: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delete a key so the merge (which includes the oldest component) drops
+	// both the antimatter and the original entry, then resurrect the crash
+	// window: the merged component exists alongside a stale input.
+	tr.Insert([]byte("dead"), []byte("v"))
+	tr.Insert([]byte("live"), []byte("v"))
+	tr.Flush()
+	staleInput := tr.disk[0]
+	staleBytes, err := os.ReadFile(staleInput.path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Delete([]byte("dead"))
+	tr.Flush()
+	if err := tr.Merge(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash-before-cleanup: the superseded input file is back.
+	if err := os.WriteFile(staleInput.path, staleBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tr2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr2.Get([]byte("dead")); ok {
+		t.Fatal("deleted key resurrected by a shadowed leftover component")
+	}
+	if v, ok := tr2.Get([]byte("live")); !ok || string(v) != "v" {
+		t.Fatalf("Get(live) = %q, %v", v, ok)
+	}
+	if tr2.Components() != 1 {
+		t.Errorf("components after shadow cleanup = %d, want 1", tr2.Components())
+	}
+	if _, err := os.Stat(staleInput.path); !os.IsNotExist(err) {
+		t.Errorf("shadowed component file still on disk: %v", err)
+	}
+}
+
+func TestMergePlanLifecycle(t *testing.T) {
+	tr, err := Open(t.TempDir(), Options{MemBudget: 1 << 20, Background: true, Policy: ConstantPolicy{K: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Insert([]byte("a"), []byte("1"))
+	tr.Flush()
+	tr.Insert([]byte("b"), []byte("2"))
+	tr.Flush()
+	plan, err := tr.PlanMerge()
+	if err != nil || plan == nil {
+		t.Fatalf("PlanMerge = %v, %v", plan, err)
+	}
+	// Only one plan at a time.
+	if p2, err := tr.PlanMerge(); err != nil || p2 != nil {
+		t.Fatalf("second PlanMerge = %v, %v; want nil (merge outstanding)", p2, err)
+	}
+	// A flush between plan and install must survive the splice.
+	tr.Insert([]byte("c"), []byte("3"))
+	tr.Flush()
+	if err := plan.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.InstallMerge(plan); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Components() != 2 {
+		t.Fatalf("components = %d, want 2 (merged + concurrent flush)", tr.Components())
+	}
+	for _, kv := range [][2]string{{"a", "1"}, {"b", "2"}, {"c", "3"}} {
+		if v, ok := tr.Get([]byte(kv[0])); !ok || string(v) != kv[1] {
+			t.Errorf("Get(%s) = %q, %v", kv[0], v, ok)
+		}
+	}
+	if tr.Merges() != 1 {
+		t.Errorf("merges = %d, want 1", tr.Merges())
+	}
+	// Plan/abort leaves the tree mergeable again.
+	plan2, err := tr.PlanMerge()
+	if err != nil || plan2 == nil {
+		t.Fatalf("PlanMerge after install = %v, %v", plan2, err)
+	}
+	tr.AbortMerge(plan2)
+	if p, err := tr.PlanMerge(); err != nil || p == nil {
+		t.Fatalf("PlanMerge after abort = %v, %v", p, err)
+	}
+}
+
+func TestTieredPolicyPicks(t *testing.T) {
+	p := TieredPolicy{Trigger: 3, Ratio: 3}
+	cases := []struct {
+		sizes []int
+		want  []int
+	}{
+		{sizes: []int{10, 10}, want: nil},
+		{sizes: []int{10, 12, 9}, want: []int{0, 1, 2}},
+		// The big old component is out of ratio; the small run merges.
+		{sizes: []int{10, 12, 9, 1000}, want: []int{0, 1, 2}},
+		// A newer out-of-tier component does not block an older run.
+		{sizes: []int{1000, 10, 12, 9}, want: []int{1, 2, 3}},
+		// Greedy extension takes the whole tier.
+		{sizes: []int{10, 12, 9, 11, 1000}, want: []int{0, 1, 2, 3}},
+		{sizes: []int{5, 500}, want: nil},
+	}
+	for _, tc := range cases {
+		got := p.PickMerge(tc.sizes)
+		if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+			t.Errorf("PickMerge(%v) = %v, want %v", tc.sizes, got, tc.want)
+		}
+	}
+}
+
+func TestOpenRemovesTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "component-00000007.lsm.tmp")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("temp file survived Open: %v", err)
+	}
+}
+
+func TestBackgroundOptionDisablesInlineFlush(t *testing.T) {
+	tr, err := Open(t.TempDir(), Options{MemBudget: 64, Background: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tr.Insert([]byte(fmt.Sprintf("key-%03d", i)), []byte("value"))
+	}
+	if tr.Flushes() != 0 || tr.Components() != 0 {
+		t.Fatalf("background tree flushed inline: flushes=%d components=%d", tr.Flushes(), tr.Components())
+	}
+	if tr.MemBytes() <= 64 {
+		t.Fatal("memtable did not grow past budget")
+	}
+}

@@ -1,0 +1,125 @@
+// LSM persistence for the R-tree secondary index. The durable truth is an
+// lsm.Tree whose keys are a fixed 32-byte rectangle encoding followed by the
+// encoded primary key (making every entry unique per record), with the same
+// flush/antimatter/merge/recovery lifecycle as the primary index. The
+// in-memory R-tree is kept alongside purely as a search accelerator for
+// intersection probes; it is rebuilt on open from the LSM tree's own
+// (memory-resident) components — never by rescanning the primary index.
+
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"asterixdb/internal/lsm"
+)
+
+// entryKeyRectLen is the fixed size of the rectangle prefix in an entry key.
+const entryKeyRectLen = 32
+
+// EncodeEntryKey builds the LSM key for one R-tree entry: the four rectangle
+// coordinates as big-endian float bits, then the primary key. The encoding
+// is canonical (one rect+pk pair has exactly one key), which is what lets
+// WAL replay re-apply entries idempotently.
+func EncodeEntryKey(r Rect, pk []byte) []byte {
+	key := make([]byte, entryKeyRectLen, entryKeyRectLen+len(pk))
+	binary.BigEndian.PutUint64(key[0:], math.Float64bits(r.MinX))
+	binary.BigEndian.PutUint64(key[8:], math.Float64bits(r.MinY))
+	binary.BigEndian.PutUint64(key[16:], math.Float64bits(r.MaxX))
+	binary.BigEndian.PutUint64(key[24:], math.Float64bits(r.MaxY))
+	return append(key, pk...)
+}
+
+// DecodeEntryKey splits an LSM entry key back into rectangle and primary key.
+func DecodeEntryKey(key []byte) (Rect, []byte, error) {
+	if len(key) < entryKeyRectLen {
+		return Rect{}, nil, fmt.Errorf("rtree: entry key too short (%d bytes)", len(key))
+	}
+	r := Rect{
+		MinX: math.Float64frombits(binary.BigEndian.Uint64(key[0:])),
+		MinY: math.Float64frombits(binary.BigEndian.Uint64(key[8:])),
+		MaxX: math.Float64frombits(binary.BigEndian.Uint64(key[16:])),
+		MaxY: math.Float64frombits(binary.BigEndian.Uint64(key[24:])),
+	}
+	return r, key[entryKeyRectLen:], nil
+}
+
+// LSM is a persistent R-tree index partition. Callers must serialize all
+// operations (the storage layer's partition latch), same as lsm.Tree.
+type LSM struct {
+	tree  *lsm.Tree
+	accel *Tree
+}
+
+// OpenLSM creates or reopens a persistent R-tree rooted at dir and rebuilds
+// the in-memory search accelerator from the live LSM entries.
+func OpenLSM(dir string, opts lsm.Options) (*LSM, error) {
+	tree, err := lsm.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	ix := &LSM{tree: tree, accel: New()}
+	var rebuildErr error
+	tree.Scan(func(key, _ []byte) bool {
+		r, pk, err := DecodeEntryKey(key)
+		if err != nil {
+			rebuildErr = err
+			return false
+		}
+		ix.accel.Insert(r, append([]byte(nil), pk...))
+		return true
+	})
+	if rebuildErr != nil {
+		return nil, fmt.Errorf("rtree: rebuild accelerator from %s: %w", dir, rebuildErr)
+	}
+	return ix, nil
+}
+
+// Tree exposes the underlying LSM tree for flush/merge scheduling and
+// durability watermark queries.
+func (ix *LSM) Tree() *lsm.Tree { return ix.tree }
+
+// Insert adds one (rect, pk) entry.
+func (ix *LSM) Insert(r Rect, pk []byte) error {
+	return ix.ApplyEntry(EncodeEntryKey(r, pk), false)
+}
+
+// Delete removes one (rect, pk) entry.
+func (ix *LSM) Delete(r Rect, pk []byte) error {
+	return ix.ApplyEntry(EncodeEntryKey(r, pk), true)
+}
+
+// ApplyEntry applies one raw LSM entry (an encoded rect+pk key, as logged in
+// the WAL) to the index: an upsert, or an antimatter delete. It keeps the
+// accelerator exactly mirroring the LSM tree's live set, so re-applying an
+// entry during recovery is a no-op.
+func (ix *LSM) ApplyEntry(key []byte, antimatter bool) error {
+	r, pk, err := DecodeEntryKey(key)
+	if err != nil {
+		return err
+	}
+	_, present := ix.tree.Get(key)
+	if antimatter {
+		if present {
+			ix.accel.Delete(r, pk)
+		}
+		return ix.tree.Delete(key)
+	}
+	if !present {
+		ix.accel.Insert(r, append([]byte(nil), pk...))
+	}
+	return ix.tree.Insert(key, nil)
+}
+
+// SearchIntersect visits every entry whose rectangle intersects probe.
+func (ix *LSM) SearchIntersect(probe Rect, visit func(Entry) bool) {
+	ix.accel.SearchIntersect(probe, visit)
+}
+
+// Scan visits every entry.
+func (ix *LSM) Scan(visit func(Entry) bool) { ix.accel.Scan(visit) }
+
+// Len returns the number of live entries.
+func (ix *LSM) Len() int { return ix.accel.Len() }

@@ -1,0 +1,343 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"asterixdb/internal/adm"
+)
+
+// reopenWithDDL reopens a manager on dir and re-runs the messages DDL (DDL
+// is not journaled), without recovering yet.
+func reopenWithDDL(t *testing.T, dir string, specs []IndexSpec) (*Manager, *Dataset) {
+	t.Helper()
+	m, err := NewManager(dir, Options{Partitions: 3, MemBudget: 4 << 10, Journaled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	ds := createMessages(t, m, adm.SchemaEncoding)
+	for _, spec := range specs {
+		if err := ds.CreateIndex(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, ds
+}
+
+// TestSecondaryIndexesSurviveReopen is the tentpole property at the storage
+// API level: after a hard close (no checkpoint, no clean shutdown flush),
+// reopen + DDL + Recover must restore every access path — primary, B+-tree,
+// R-tree, keyword and n-gram — to exactly the committed writes, partly from
+// each index's own durable LSM components and partly from bounded WAL replay.
+func TestSecondaryIndexesSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	specs := []IndexSpec{
+		{Name: "byAuthor", Fields: []string{"author-id"}, Kind: BTreeIndex},
+		{Name: "byLoc", Fields: []string{"sender-location"}, Kind: RTreeIndex},
+		{Name: "byText", Fields: []string{"message"}, Kind: KeywordIndex},
+		{Name: "byGram", Fields: []string{"message"}, Kind: NGramIndex, GramLength: 3},
+	}
+
+	m1, err := NewManager(dir, Options{Partitions: 3, MemBudget: 4 << 10, Journaled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds1 := createMessages(t, m1, adm.SchemaEncoding)
+	for _, spec := range specs {
+		if err := ds1.CreateIndex(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	texts := []string{"crash safe durability", "torn component", "antimatter entry", "bounded replay"}
+	for i := 0; i < 60; i++ {
+		if err := ds1.Insert(message(i, i%7, int64(i), texts[i%len(texts)], float64(i%20), float64(i%11))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush part of the history so recovery exercises the skip path, then
+	// keep mutating so the WAL holds a suffix for every index.
+	if err := ds1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 60; i < 90; i++ {
+		if err := ds1.Insert(message(i, i%7, int64(i), texts[i%len(texts)], float64(i%20), float64(i%11))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 90; i += 9 {
+		if _, err := ds1.Delete(adm.Int32(int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Upsert: moves records to new secondary keys; the old entries must die.
+	if err := ds1.Insert(message(5, 99, 5, "moved elsewhere", 77, 77)); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon m1 without Close: the WAL file stays as the crash left it.
+
+	m2, ds2 := reopenWithDDL(t, dir, specs)
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	st := m2.Stats()
+	if st.Recovery.Replayed == 0 || st.Recovery.Skipped == 0 {
+		t.Errorf("recovery should both replay the suffix and skip the durable prefix: %+v", st.Recovery)
+	}
+
+	// Primary contents.
+	want := map[int]string{}
+	for i := 0; i < 90; i++ {
+		want[i] = texts[i%len(texts)]
+	}
+	for i := 0; i < 90; i += 9 {
+		delete(want, i)
+	}
+	want[5] = "moved elsewhere"
+	count, err := ds2.Count()
+	if err != nil || count != len(want) {
+		t.Fatalf("Count after recovery = %d (%v), want %d", count, err, len(want))
+	}
+
+	// B+-tree path: author 99 only matches the upserted record; author of a
+	// deleted record matches nothing stale.
+	recs, err := ds2.SearchSecondaryRange("byAuthor", adm.Int32(99), adm.Int32(99))
+	if err != nil || len(recs) != 1 || recs[0].Get("message").(adm.String) != "moved elsewhere" {
+		t.Fatalf("byAuthor search after recovery = %v, %v", recs, err)
+	}
+
+	// R-tree path: the upserted record moved to (77,77); its old location
+	// must not resurrect it.
+	probe := adm.Rectangle{LowerLeft: adm.Point{X: 76, Y: 76}, UpperRight: adm.Point{X: 78, Y: 78}}
+	recs, err = ds2.SearchSecondaryRTree("byLoc", probe)
+	if err != nil || len(recs) != 1 || int(recs[0].Get("message-id").(adm.Int32)) != 5 {
+		t.Fatalf("byLoc search after recovery = %v, %v", recs, err)
+	}
+
+	// Inverted paths, cross-checked against a full scan oracle.
+	for _, probe := range []string{"durability", "antimatter", "bounded"} {
+		recs, err = ds2.SearchSecondaryConjunctive("byText", probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int]bool{}
+		for _, r := range recs {
+			got[int(r.Get("message-id").(adm.Int32))] = true
+		}
+		for id, text := range want {
+			if want, have := containsWord(text, probe), got[id]; want != have {
+				t.Errorf("keyword %q id %d: index=%v scan=%v", probe, id, have, want)
+			}
+		}
+	}
+	recs, err = ds2.SearchSecondaryConjunctive("byGram", "antimatter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		id := int(r.Get("message-id").(adm.Int32))
+		if _, live := want[id]; !live {
+			t.Errorf("ngram search returned deleted id %d", id)
+		}
+	}
+}
+
+func containsWord(text, word string) bool {
+	for _, w := range splitWords(text) {
+		if w == word {
+			return true
+		}
+	}
+	return false
+}
+
+func splitWords(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+		} else {
+			cur += string(r)
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// TestRecoverySkipsFullyDurableHistory: once everything is flushed, replay
+// applies nothing (the component stamps gate it out).
+func TestRecoverySkipsFullyDurableHistory(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := NewManager(dir, Options{Partitions: 3, MemBudget: 4 << 10, Journaled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds1 := createMessages(t, m1, adm.SchemaEncoding)
+	for i := 0; i < 40; i++ {
+		if err := ds1.Insert(message(i, i, int64(i), "x", 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ds1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, ds2 := reopenWithDDL(t, dir, nil)
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m2.Stats(); st.Recovery.Replayed != 0 {
+		t.Errorf("Recovery.Replayed = %d after full flush, want 0 (%+v)", st.Recovery.Replayed, st.Recovery)
+	}
+	if count, _ := ds2.Count(); count != 40 {
+		t.Errorf("Count = %d, want 40", count)
+	}
+}
+
+// TestCheckpointBoundsReplayAndPersistsMeta: a checkpoint compacts the WAL,
+// so recovery decodes only the post-checkpoint suffix; checkpoint counters
+// survive restarts via checkpoint.meta.
+func TestCheckpointBoundsReplayAndPersistsMeta(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := NewManager(dir, Options{Partitions: 3, MemBudget: 4 << 10, Journaled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds1 := createMessages(t, m1, adm.SchemaEncoding)
+	for i := 0; i < 50; i++ {
+		if err := ds1.Insert(message(i, i, int64(i), "pre-checkpoint", 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := m1.Stats(); st.Checkpoints != 1 || st.LastCheckpointUnix == 0 {
+		t.Fatalf("checkpoint counters = %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointMetaFile)); err != nil {
+		t.Fatalf("checkpoint.meta missing: %v", err)
+	}
+	const suffixOps = 7
+	for i := 100; i < 100+suffixOps; i++ {
+		if err := ds1.Insert(message(i, i, int64(i), "post-checkpoint", 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m2, ds2 := reopenWithDDL(t, dir, nil)
+	if err := m2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	st := m2.Stats()
+	if st.Checkpoints != 1 {
+		t.Errorf("Checkpoints after reopen = %d, want 1 (checkpoint.meta not reloaded)", st.Checkpoints)
+	}
+	// Each insert logs one primary record (no secondary indexes here); the
+	// compacted log holds only the 7 post-checkpoint operations.
+	if st.Recovery.Replayed != suffixOps {
+		t.Errorf("Recovery.Replayed = %d, want %d (checkpoint did not bound replay)", st.Recovery.Replayed, suffixOps)
+	}
+	if count, _ := ds2.Count(); count != 50+suffixOps {
+		t.Errorf("Count = %d, want %d", count, 50+suffixOps)
+	}
+}
+
+// TestCloseDrainsBackgroundWorkers: Manager.Close must drain the scheduler
+// and leave zero goroutines behind.
+func TestCloseDrainsBackgroundWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	m, err := NewManager(t.TempDir(), Options{Partitions: 2, MemBudget: 1 << 10, FlushWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := createMessages(t, m, adm.SchemaEncoding)
+	for i := 0; i < 300; i++ {
+		if err := ds.Insert(message(i, i, int64(i), "fill the memtable to force background flushes", float64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Background flushes must actually have happened (the writes above blow
+	// through the 1 KiB budget many times over).
+	if st := m.Stats(); st.BgFlushes == 0 {
+		t.Errorf("BgFlushes = 0 after 300 over-budget inserts; scheduler never ran")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines after Close = %d, want <= %d (scheduler leaked workers)", now, before)
+	}
+}
+
+// TestBackgroundFlushKeepsQueriesCorrect: with the scheduler racing the
+// writer, reads must still see exactly the committed data.
+func TestBackgroundFlushKeepsQueriesCorrect(t *testing.T) {
+	m, err := NewManager(t.TempDir(), Options{Partitions: 2, MemBudget: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	ds := createMessages(t, m, adm.SchemaEncoding)
+	if err := ds.CreateIndex(IndexSpec{Name: "byAuthor", Fields: []string{"author-id"}, Kind: BTreeIndex}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := ds.Insert(message(i, i%10, int64(i), "background flush torture", float64(i%30), 0)); err != nil {
+			t.Fatal(err)
+		}
+		if i%17 == 0 {
+			if recs, err := ds.SearchSecondaryRange("byAuthor", adm.Int32(3), adm.Int32(3)); err != nil || len(recs) != (i+7)/10 {
+				t.Fatalf("at i=%d: byAuthor=3 returned %d records (%v), want %d", i, len(recs), err, (i+7)/10)
+			}
+		}
+	}
+	if count, err := ds.Count(); err != nil || count != n {
+		t.Fatalf("Count = %d, %v", count, err)
+	}
+}
+
+// TestDropIndexRemovesComponentFiles: dropping an index must delete its
+// on-disk LSM directory, not leak it.
+func TestDropIndexRemovesComponentFiles(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(dir, Options{Partitions: 2, MemBudget: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	ds := createMessages(t, m, adm.SchemaEncoding)
+	if err := ds.CreateIndex(IndexSpec{Name: "byAuthor", Fields: []string{"author-id"}, Kind: BTreeIndex}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ds.Insert(message(i, i, int64(i), "x", 0, 0))
+	}
+	if err := ds.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	idxDir := filepath.Join(dir, "MugshotMessages", "partition-0", "idx-byAuthor")
+	if _, err := os.Stat(idxDir); err != nil {
+		t.Fatalf("index dir missing before drop: %v", err)
+	}
+	if err := ds.DropIndex("byAuthor"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(idxDir); !os.IsNotExist(err) {
+		t.Errorf("index dir still present after DropIndex: %v", err)
+	}
+}

@@ -16,8 +16,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"asterixdb/internal/adm"
+	"asterixdb/internal/fsutil"
 	"asterixdb/internal/invidx"
 	"asterixdb/internal/lsm"
 	"asterixdb/internal/rtree"
@@ -84,19 +86,45 @@ type Options struct {
 	// node. Every partition's trees still exist on disk (non-owned ones stay
 	// empty), so scans and index searches work unchanged. Nil owns all.
 	Owns func(partition int) bool
+	// DisableBackground turns off the background flush/merge scheduler:
+	// over-budget in-memory components flush inline on the writing goroutine,
+	// as early builds did. Mainly for tests that want deterministic flushes.
+	DisableBackground bool
+	// FlushWorkers sizes the background scheduler's worker pool
+	// (default defaultFlushWorkers).
+	FlushWorkers int
+	// CheckpointWALBytes is the WAL size that triggers a background
+	// checkpoint, bounding both log growth and recovery replay. Zero means
+	// DefaultCheckpointWALBytes; negative disables the trigger.
+	CheckpointWALBytes int64
 }
 
 // DefaultPartitions is the default number of storage partitions.
 const DefaultPartitions = 4
 
+// DefaultCheckpointWALBytes is the default WAL size that triggers a
+// background checkpoint.
+const DefaultCheckpointWALBytes = 8 << 20
+
 // Manager owns every dataset of an AsterixDB instance: it provides dataset
-// lifecycle, the shared lock manager and WAL, and crash recovery.
+// lifecycle, the shared lock manager and WAL, background flush/merge
+// scheduling, checkpointing, and crash recovery.
 type Manager struct {
 	dir  string
 	opts Options
 
 	locks *txn.LockManager
 	wal   *txn.WAL
+	sched *scheduler
+
+	// ckptMu serializes checkpoints (only one runs at a time).
+	ckptMu sync.Mutex
+
+	// statsMu guards the durability counters below.
+	statsMu      sync.Mutex
+	recovery     RecoveryStats
+	ckptCount    uint64
+	lastCkptUnix int64
 
 	mu       sync.RWMutex
 	datasets map[string]*Dataset
@@ -110,17 +138,58 @@ func NewManager(dir string, opts Options) (*Manager, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
+	// A crash can leave a half-written checkpoint.meta.tmp behind; the
+	// durable one (if any) was renamed into place atomically.
+	if err := fsutil.RemoveTempFiles(dir); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
 	wal, err := txn.OpenWAL(dir, opts.Journaled)
 	if err != nil {
 		return nil, err
 	}
-	return &Manager{
+	m := &Manager{
 		dir:      dir,
 		opts:     opts,
 		locks:    txn.NewLockManager(),
 		wal:      wal,
 		datasets: map[string]*Dataset{},
-	}, nil
+	}
+	m.loadCheckpointMeta()
+	if !opts.DisableBackground {
+		m.sched = newScheduler(m, opts.FlushWorkers)
+	}
+	return m, nil
+}
+
+// lsmOptions builds the per-tree LSM options: when the background scheduler
+// is on, trees never flush inline — the scheduler owns that.
+func (m *Manager) lsmOptions() lsm.Options {
+	return lsm.Options{
+		MemBudget:  m.opts.MemBudget,
+		Policy:     m.opts.MergePolicy,
+		Background: m.sched != nil,
+	}
+}
+
+// memBudget is the effective per-tree in-memory budget.
+func (m *Manager) memBudget() int {
+	if m.opts.MemBudget > 0 {
+		return m.opts.MemBudget
+	}
+	return lsm.DefaultMemBudget
+}
+
+// checkpointThreshold is the effective WAL-size checkpoint trigger
+// (0 = disabled).
+func (m *Manager) checkpointThreshold() int64 {
+	switch {
+	case m.opts.CheckpointWALBytes < 0:
+		return 0
+	case m.opts.CheckpointWALBytes == 0:
+		return DefaultCheckpointWALBytes
+	default:
+		return m.opts.CheckpointWALBytes
+	}
 }
 
 // Partitions returns the partition count used for new datasets.
@@ -146,7 +215,7 @@ func (m *Manager) CreateDataset(spec DatasetSpec) (*Dataset, error) {
 	}
 	for p := 0; p < m.opts.Partitions; p++ {
 		dir := filepath.Join(m.dir, spec.Name, fmt.Sprintf("partition-%d", p))
-		primary, err := lsm.Open(dir, lsm.Options{MemBudget: m.opts.MemBudget, Policy: m.opts.MergePolicy})
+		primary, err := lsm.Open(dir, m.lsmOptions())
 		if err != nil {
 			return nil, err
 		}
@@ -154,8 +223,8 @@ func (m *Manager) CreateDataset(spec DatasetSpec) (*Dataset, error) {
 			idNum:    p,
 			primary:  primary,
 			btrees:   map[string]*lsm.Tree{},
-			rtrees:   map[string]*rtree.Tree{},
-			inverted: map[string]*invidx.Index{},
+			rtrees:   map[string]*rtree.LSM{},
+			inverted: map[string]*invidx.LSM{},
 		})
 	}
 	m.datasets[spec.Name] = ds
@@ -193,49 +262,132 @@ func (m *Manager) DropDataset(name string) error {
 	return os.RemoveAll(filepath.Join(m.dir, name))
 }
 
+// RecoveryStats summarizes the last Recover call.
+type RecoveryStats struct {
+	// Duration is the wall-clock time Recover took.
+	Duration time.Duration
+	// Records is the number of operation records decoded from the WAL.
+	Records int
+	// Replayed counts records applied because their LSN was at or past the
+	// target tree's durable watermark; Skipped counts those already inside a
+	// durable component. A checkpoint just before the crash makes Replayed
+	// small regardless of log history length.
+	Replayed int
+	Skipped  int
+	// TruncatedAt is non-zero if tail corruption made recovery truncate the
+	// log at that LSN.
+	TruncatedAt uint64
+}
+
 // Recover replays the WAL into the datasets. It must be called after the
 // datasets and their indexes have been re-created (the metadata layer does
-// this), and before serving queries.
+// this), and before serving queries. Every record carries the exact tree it
+// targets (primary or a named secondary index) and the exact derived key
+// bytes, and is applied only if its LSN is at or past that tree's durable
+// watermark — so a flush that made one index durable but not another
+// replays precisely the missing suffix into each.
 func (m *Manager) Recover() error {
-	return m.wal.Replay(func(rec txn.LogRecord) error {
+	start := time.Now()
+	var st RecoveryStats
+	walStats, err := m.wal.Replay(func(lsn uint64, rec txn.LogRecord) error {
 		ds, ok := m.Dataset(rec.Dataset)
 		if !ok {
 			return nil // dataset since dropped
 		}
-		switch rec.Kind {
-		case txn.OpInsert:
-			value, _, err := ds.ser.Decode(rec.Value)
-			if err != nil {
-				return err
-			}
-			recValue, ok := value.(*adm.Record)
-			if !ok {
-				return fmt.Errorf("storage: recovery decoded non-record for %q", rec.Dataset)
-			}
-			return ds.applyInsert(rec.Partition, rec.Key, recValue, rec.Value)
-		case txn.OpDelete:
-			return ds.applyDelete(rec.Partition, rec.Key)
+		applied, aerr := ds.applyLogged(lsn, rec)
+		if applied {
+			st.Replayed++
+		} else {
+			st.Skipped++
 		}
-		return nil
+		return aerr
 	})
+	st.Records = walStats.Records
+	st.TruncatedAt = walStats.TruncatedAt
+	st.Duration = time.Since(start)
+	m.statsMu.Lock()
+	m.recovery = st
+	m.statsMu.Unlock()
+	if err != nil {
+		return err
+	}
+	m.scheduleOverBudget()
+	return nil
 }
 
-// Checkpoint flushes every dataset partition and truncates the WAL: all
-// logged operations are now inside valid disk components.
-func (m *Manager) Checkpoint() error {
+// scheduleOverBudget hands any tree that recovery (or a bulk load) left over
+// its in-memory budget to the background scheduler.
+func (m *Manager) scheduleOverBudget() {
+	if m.sched == nil {
+		return
+	}
+	budget := m.memBudget()
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	for _, ds := range m.datasets {
-		if err := ds.Flush(); err != nil {
-			return err
+		for _, p := range ds.partitions {
+			var over []*lsm.Tree
+			p.mu.Lock()
+			for _, t := range p.allTrees() {
+				if t.MemBytes() >= budget {
+					over = append(over, t)
+				}
+			}
+			p.mu.Unlock()
+			for _, t := range over {
+				m.sched.requestFlush(p, t)
+			}
 		}
 	}
-	return m.wal.Truncate()
 }
 
-// Close closes the WAL. Dataset components need no closing (they are plain
-// files rewritten atomically).
-func (m *Manager) Close() error { return m.wal.Close() }
+// maintain runs after a committed mutation on one partition: it queues
+// over-budget trees for background flushing, triggers a checkpoint when the
+// WAL has outgrown its threshold, and — if a tree is far past budget —
+// stalls the writer briefly (backpressure) so the flush can catch up.
+func (m *Manager) maintain(d *Dataset, part int) {
+	if m.sched == nil {
+		return
+	}
+	p := d.partitions[part]
+	budget := m.memBudget()
+	var over []*lsm.Tree
+	var pressured *lsm.Tree
+	p.mu.Lock()
+	for _, t := range p.allTrees() {
+		if t.MemBytes() >= budget {
+			over = append(over, t)
+			if pressured == nil && t.MemBytes() >= budget*backpressureLimit {
+				pressured = t
+			}
+		}
+	}
+	p.mu.Unlock()
+	for _, t := range over {
+		m.sched.requestFlush(p, t)
+	}
+	if thr := m.checkpointThreshold(); thr > 0 && m.wal.SizeBytes() >= thr {
+		m.sched.requestCheckpoint()
+	}
+	if pressured != nil {
+		m.sched.waitForFlush(p, pressured, budget*backpressureLimit)
+	}
+}
+
+// Close drains the background scheduler (queued flushes, merges and
+// checkpoints still run) and then closes the WAL. Dataset components need no
+// closing (they are plain files rewritten atomically).
+func (m *Manager) Close() error {
+	var schedErr error
+	if m.sched != nil {
+		schedErr = m.sched.close()
+	}
+	err := m.wal.Close()
+	if schedErr != nil {
+		return schedErr
+	}
+	return err
+}
 
 // ----------------------------------------------------------------------------
 // Dataset
@@ -253,16 +405,53 @@ type Dataset struct {
 }
 
 // partition is one storage partition: a primary LSM B+-tree plus the local
-// portion of every secondary index. The mutex is the node-local latch that
-// makes individual index operations atomic (Section 4.4).
+// portion of every secondary index, each an LSM tree with its own durable
+// watermark. The mutex is the node-local latch that makes individual index
+// operations atomic (Section 4.4).
 type partition struct {
 	idNum int
 	mu    sync.Mutex
 
 	primary  *lsm.Tree
 	btrees   map[string]*lsm.Tree
-	rtrees   map[string]*rtree.Tree
-	inverted map[string]*invidx.Index
+	rtrees   map[string]*rtree.LSM
+	inverted map[string]*invidx.LSM
+}
+
+// allTrees lists every LSM tree in the partition (primary first). Caller
+// holds p.mu.
+func (p *partition) allTrees() []*lsm.Tree {
+	trees := make([]*lsm.Tree, 0, 1+len(p.btrees)+len(p.rtrees)+len(p.inverted))
+	trees = append(trees, p.primary)
+	for _, t := range p.btrees {
+		trees = append(trees, t)
+	}
+	for _, t := range p.rtrees {
+		trees = append(trees, t.Tree())
+	}
+	for _, t := range p.inverted {
+		trees = append(trees, t.Tree())
+	}
+	return trees
+}
+
+// treeFor resolves a WAL record's target tree: "" is the primary, anything
+// else a secondary index name. Nil means the index was dropped since the
+// record was logged. Caller holds p.mu.
+func (p *partition) treeFor(index string) *lsm.Tree {
+	if index == "" {
+		return p.primary
+	}
+	if t := p.btrees[index]; t != nil {
+		return t
+	}
+	if t := p.rtrees[index]; t != nil {
+		return t.Tree()
+	}
+	if t := p.inverted[index]; t != nil {
+		return t.Tree()
+	}
+	return nil
 }
 
 // Spec returns the dataset's specification.
@@ -278,8 +467,8 @@ type DatasetStats struct {
 	Components int
 	Flushes    int
 	Merges     int
-	// SecondaryComponents counts disk components across the LSM-backed
-	// secondary B+-trees (R-tree and inverted indexes are memory-resident).
+	// SecondaryComponents counts disk components across every LSM-backed
+	// secondary index (B+-tree, R-tree and inverted alike).
 	SecondaryComponents int
 }
 
@@ -294,7 +483,7 @@ func (d *Dataset) Stats() DatasetStats {
 		s.Components += p.primary.Components()
 		s.Flushes += p.primary.Flushes()
 		s.Merges += p.primary.Merges()
-		for _, t := range p.btrees {
+		for _, t := range p.allTrees()[1:] {
 			s.SecondaryComponents += t.Components()
 		}
 		p.mu.Unlock()
@@ -337,7 +526,21 @@ func (d *Dataset) IndexOnField(field string, kind IndexKind) (IndexSpec, bool) {
 	return IndexSpec{}, false
 }
 
-// CreateIndex adds a secondary index and bulk-builds it from existing data.
+// indexDir is the on-disk root of one secondary index partition.
+func (d *Dataset) indexDir(p *partition, name string) string {
+	return filepath.Join(d.manager.dir, d.spec.Name, fmt.Sprintf("partition-%d", p.idNum), "idx-"+name)
+}
+
+// tokenizerFor reconstructs an inverted index's tokenizer from its spec.
+func tokenizerFor(ix IndexSpec) invidx.Tokenizer {
+	if ix.Kind == NGramIndex {
+		return invidx.NGramTokenizer(ix.GramLength)
+	}
+	return invidx.KeywordTokenizer
+}
+
+// CreateIndex adds a secondary index, opening (or reopening) its LSM trees
+// and bulk-building it from existing data when it is brand new.
 func (d *Dataset) CreateIndex(spec IndexSpec) error {
 	d.mu.Lock()
 	for _, ix := range d.indexes {
@@ -352,48 +555,79 @@ func (d *Dataset) CreateIndex(spec IndexSpec) error {
 	d.indexes = append(d.indexes, spec)
 	d.mu.Unlock()
 
-	// Initialize per-partition structures and backfill from the primary index.
 	for _, p := range d.partitions {
-		p.mu.Lock()
-		switch spec.Kind {
-		case BTreeIndex:
-			dir := filepath.Join(d.manager.dir, d.spec.Name, fmt.Sprintf("partition-%d", p.idNum), "idx-"+spec.Name)
-			tree, err := lsm.Open(dir, lsm.Options{MemBudget: d.manager.opts.MemBudget, Policy: d.manager.opts.MergePolicy})
-			if err != nil {
-				p.mu.Unlock()
-				return err
-			}
-			p.btrees[spec.Name] = tree
-		case RTreeIndex:
-			p.rtrees[spec.Name] = rtree.New()
-		case KeywordIndex:
-			p.inverted[spec.Name] = invidx.New(invidx.KeywordTokenizer)
-		case NGramIndex:
-			p.inverted[spec.Name] = invidx.New(invidx.NGramTokenizer(spec.GramLength))
-		default:
-			p.mu.Unlock()
-			return fmt.Errorf("storage: unknown index kind %q", spec.Kind)
-		}
-		var buildErr error
-		p.primary.Scan(func(pk, raw []byte) bool {
-			val, _, err := d.ser.Decode(raw)
-			if err != nil {
-				buildErr = err
-				return false
-			}
-			rec := val.(*adm.Record)
-			buildErr = p.indexInsert(d, spec, pk, rec)
-			return buildErr == nil
-		})
-		p.mu.Unlock()
-		if buildErr != nil {
-			return buildErr
+		if err := d.createIndexPartition(p, spec); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// DropIndex removes a secondary index.
+func (d *Dataset) createIndexPartition(p *partition, spec IndexSpec) error {
+	dir := d.indexDir(p, spec.Name)
+	opts := d.manager.lsmOptions()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var tree *lsm.Tree
+	switch spec.Kind {
+	case BTreeIndex:
+		t, err := lsm.Open(dir, opts)
+		if err != nil {
+			return err
+		}
+		p.btrees[spec.Name] = t
+		tree = t
+	case RTreeIndex:
+		t, err := rtree.OpenLSM(dir, opts)
+		if err != nil {
+			return err
+		}
+		p.rtrees[spec.Name] = t
+		tree = t.Tree()
+	case KeywordIndex, NGramIndex:
+		t, err := invidx.OpenLSM(dir, opts, tokenizerFor(spec))
+		if err != nil {
+			return err
+		}
+		p.inverted[spec.Name] = t
+		tree = t.Tree()
+	default:
+		return fmt.Errorf("storage: unknown index kind %q", spec.Kind)
+	}
+	// Reopening after a restart: the index already has durable components,
+	// and the WAL suffix carries every operation past its watermark, so
+	// recovery completes it. A backfill scan here would read pre-recovery
+	// primary state and is skipped.
+	if tree.Components() > 0 {
+		return nil
+	}
+	// Brand-new index (or one that crashed before its first flush): flush the
+	// primary, then backfill by scanning it. The backfill itself is not
+	// WAL-logged — it is reproduced by exactly this code path on recovery —
+	// so everything it indexes must be durable primary state; operations
+	// still in the WAL carry their own per-index records and are replayed on
+	// top, in log order. The flush deliberately keeps the primary's existing
+	// durable stamp: CreateIndex also runs on reopen BEFORE Recover, when the
+	// WAL suffix is not yet applied, and advancing the stamp here would make
+	// recovery skip it.
+	if err := p.primary.Flush(); err != nil {
+		return err
+	}
+	var buildErr error
+	p.primary.Scan(func(pk, raw []byte) bool {
+		val, _, err := d.ser.Decode(raw)
+		if err != nil {
+			buildErr = err
+			return false
+		}
+		rec := val.(*adm.Record)
+		buildErr = p.indexInsert(d, spec, pk, rec)
+		return buildErr == nil
+	})
+	return buildErr
+}
+
+// DropIndex removes a secondary index and its on-disk component files.
 func (d *Dataset) DropIndex(name string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -406,6 +640,9 @@ func (d *Dataset) DropIndex(name string) error {
 				delete(p.rtrees, name)
 				delete(p.inverted, name)
 				p.mu.Unlock()
+				if err := os.RemoveAll(d.indexDir(p, name)); err != nil {
+					return err
+				}
 			}
 			return nil
 		}
@@ -469,13 +706,22 @@ func (d *Dataset) InsertBatch(recs []*adm.Record) (int, error) {
 		tid := d.manager.wal.Begin()
 		d.manager.locks.Lock(tid, pk)
 		err = func() error {
-			if err := d.manager.wal.Append(txn.LogRecord{
-				Txn: tid, Kind: txn.OpInsert, Dataset: d.spec.Name, Partition: part, Key: pk, Value: raw,
-			}); err != nil {
+			oldRec, _, err := d.currentRecord(part, pk)
+			if err != nil {
 				return err
 			}
-			if err := d.applyInsert(part, pk, rec, raw); err != nil {
+			logRecs, err := d.buildLogRecords(tid, part, pk, oldRec, rec, raw)
+			if err != nil {
 				return err
+			}
+			_, release, err := d.manager.wal.AppendGroup(logRecs)
+			if err != nil {
+				return err
+			}
+			applyErr := d.applyGroup(part, logRecs)
+			release()
+			if applyErr != nil {
+				return applyErr
 			}
 			// Each record is its own record-level transaction: its commit
 			// record is appended here, but the log is forced only once for
@@ -487,33 +733,157 @@ func (d *Dataset) InsertBatch(recs []*adm.Record) (int, error) {
 			return stored, err
 		}
 		stored++
+		d.manager.maintain(d, part)
 	}
 	return stored, d.manager.wal.Sync()
 }
 
-// applyInsert performs the index updates for an insert on one partition.
-func (d *Dataset) applyInsert(part int, pk []byte, rec *adm.Record, raw []byte) error {
+// currentRecord reads and decodes the record stored under pk, if any. The
+// caller holds the pk lock, so the read stays valid for the whole operation.
+func (d *Dataset) currentRecord(part int, pk []byte) (*adm.Record, []byte, error) {
 	p := d.partitions[part]
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	// If a record with this key already exists its secondary entries must be
-	// removed ("out with the old, in with the new").
-	if oldRaw, ok := p.primary.Get(pk); ok {
-		if oldVal, _, err := d.ser.Decode(oldRaw); err == nil {
-			if oldRec, ok := oldVal.(*adm.Record); ok {
-				p.indexDeleteAll(d, pk, oldRec)
+	raw, ok := p.primary.Get(pk)
+	p.mu.Unlock()
+	if !ok {
+		return nil, nil, nil
+	}
+	val, _, err := d.ser.Decode(raw)
+	if err != nil {
+		// A record we stored must decode; anything else is corruption worth
+		// surfacing rather than silently leaving stale index entries behind.
+		return nil, nil, fmt.Errorf("storage: %q: decode stored record: %w", d.spec.Name, err)
+	}
+	rec, _ := val.(*adm.Record)
+	return rec, raw, nil
+}
+
+// buildLogRecords produces the WAL records for replacing oldRec (nil if pk
+// was absent) with newRec (nil for a delete) under primary key pk: antimatter
+// records for the old record's secondary entries, inserts for the new
+// record's, and the primary operation last. Each secondary record names its
+// index and carries the exact derived entry key, so recovery replays every
+// access path from the log alone — never by re-deriving from primary state
+// that may be newer than the crashed index.
+func (d *Dataset) buildLogRecords(tid txn.ID, part int, pk []byte, oldRec, newRec *adm.Record, raw []byte) ([]txn.LogRecord, error) {
+	var recs []txn.LogRecord
+	for _, ix := range d.Indexes() {
+		if oldRec != nil {
+			keys, _, err := secondaryEntries(ix, oldRec, pk)
+			if err == nil { // old entries that failed to derive were never indexed
+				for _, k := range keys {
+					recs = append(recs, txn.LogRecord{
+						Txn: tid, Kind: txn.OpDelete, Dataset: d.spec.Name, Partition: part, Index: ix.Name, Key: k,
+					})
+				}
+			}
+		}
+		if newRec != nil {
+			keys, vals, err := secondaryEntries(ix, newRec, pk)
+			if err != nil {
+				return nil, err
+			}
+			for i, k := range keys {
+				recs = append(recs, txn.LogRecord{
+					Txn: tid, Kind: txn.OpInsert, Dataset: d.spec.Name, Partition: part, Index: ix.Name, Key: k, Value: vals[i],
+				})
 			}
 		}
 	}
-	if err := p.primary.Insert(pk, raw); err != nil {
-		return err
+	kind := txn.OpDelete
+	var value []byte
+	if newRec != nil {
+		kind = txn.OpInsert
+		value = raw
 	}
-	for _, ix := range d.Indexes() {
-		if err := p.indexInsert(d, ix, pk, rec); err != nil {
+	return append(recs, txn.LogRecord{
+		Txn: tid, Kind: kind, Dataset: d.spec.Name, Partition: part, Key: pk, Value: value,
+	}), nil
+}
+
+// secondaryEntries derives the (key, value) entries a record contributes to
+// one secondary index: the composite key for a B+-tree, the encoded rect+pk
+// key for an R-tree, one posting key per distinct token for an inverted
+// index. An unknown or untokenizable field contributes nothing.
+func secondaryEntries(ix IndexSpec, rec *adm.Record, pk []byte) (keys, vals [][]byte, err error) {
+	v := rec.Get(ix.Fields[0])
+	if adm.IsUnknown(v) {
+		return nil, nil, nil
+	}
+	switch ix.Kind {
+	case BTreeIndex:
+		return [][]byte{secondaryKey(ix, rec, pk)}, [][]byte{pk}, nil
+	case RTreeIndex:
+		mbr, err := spatial.MBR(v)
+		if err != nil {
+			return nil, nil, fmt.Errorf("storage: rtree index %q: %w", ix.Name, err)
+		}
+		return [][]byte{rtree.EncodeEntryKey(rectFromADM(mbr), pk)}, [][]byte{nil}, nil
+	case KeywordIndex, NGramIndex:
+		s, ok := v.(adm.String)
+		if !ok {
+			return nil, nil, nil
+		}
+		keys = invidx.PostingKeys(tokenizerFor(ix), pk, string(s))
+		return keys, make([][]byte, len(keys)), nil
+	}
+	return nil, nil, fmt.Errorf("storage: unknown index kind %q", ix.Kind)
+}
+
+// applyGroup applies one operation's log records to the partition, in log
+// order, under a single latch hold.
+func (d *Dataset) applyGroup(part int, recs []txn.LogRecord) error {
+	p := d.partitions[part]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, rec := range recs {
+		if err := p.applyRecordLocked(rec); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// applyRecordLocked applies one log record to its target tree. The same
+// routine runs on the live path and during recovery replay, so the two can
+// never drift. Caller holds p.mu.
+func (p *partition) applyRecordLocked(rec txn.LogRecord) error {
+	if rec.Index == "" {
+		if rec.Kind == txn.OpInsert {
+			return p.primary.Insert(rec.Key, rec.Value)
+		}
+		return p.primary.Delete(rec.Key)
+	}
+	if t := p.btrees[rec.Index]; t != nil {
+		if rec.Kind == txn.OpInsert {
+			return t.Insert(rec.Key, rec.Value)
+		}
+		return t.Delete(rec.Key)
+	}
+	if t := p.rtrees[rec.Index]; t != nil {
+		return t.ApplyEntry(rec.Key, rec.Kind == txn.OpDelete)
+	}
+	if t := p.inverted[rec.Index]; t != nil {
+		return t.ApplyEntry(rec.Key, rec.Kind == txn.OpDelete)
+	}
+	return nil // index dropped since the record was logged
+}
+
+// applyLogged applies one WAL record during recovery, gated on the target
+// tree's durable watermark: records already inside a durable component are
+// skipped, everything past it is re-applied (idempotently).
+func (d *Dataset) applyLogged(lsn uint64, rec txn.LogRecord) (bool, error) {
+	if rec.Partition < 0 || rec.Partition >= len(d.partitions) {
+		return false, nil
+	}
+	p := d.partitions[rec.Partition]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tree := p.treeFor(rec.Index)
+	if tree == nil || lsn < tree.DurableLSN() {
+		return false, nil
+	}
+	return true, p.applyRecordLocked(rec)
 }
 
 // Delete removes the record with the given primary key value(s).
@@ -525,90 +895,61 @@ func (d *Dataset) Delete(pkValues ...adm.Value) (bool, error) {
 	part := d.partitionFor(pk)
 	tid := d.manager.wal.Begin()
 	d.manager.locks.Lock(tid, pk)
-	defer d.manager.locks.Unlock(tid, pk)
-	p := d.partitions[part]
-	p.mu.Lock()
-	_, exists := p.primary.Get(pk)
-	p.mu.Unlock()
-	if !exists {
+	err := func() error {
+		oldRec, oldRaw, err := d.currentRecord(part, pk)
+		if err != nil {
+			return err
+		}
+		if oldRaw == nil {
+			return errNoSuchKey
+		}
+		logRecs, err := d.buildLogRecords(tid, part, pk, oldRec, nil, nil)
+		if err != nil {
+			return err
+		}
+		_, release, err := d.manager.wal.AppendGroup(logRecs)
+		if err != nil {
+			return err
+		}
+		applyErr := d.applyGroup(part, logRecs)
+		release()
+		if applyErr != nil {
+			return applyErr
+		}
+		return d.manager.wal.Commit(tid)
+	}()
+	d.manager.locks.Unlock(tid, pk)
+	if err == errNoSuchKey {
 		return false, nil
 	}
-	if err := d.manager.wal.Append(txn.LogRecord{
-		Txn: tid, Kind: txn.OpDelete, Dataset: d.spec.Name, Partition: part, Key: pk,
-	}); err != nil {
+	if err != nil {
 		return false, err
 	}
-	if err := d.applyDelete(part, pk); err != nil {
-		return false, err
-	}
-	return true, d.manager.wal.Commit(tid)
+	d.manager.maintain(d, part)
+	return true, nil
 }
 
-func (d *Dataset) applyDelete(part int, pk []byte) error {
-	p := d.partitions[part]
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if raw, ok := p.primary.Get(pk); ok {
-		if val, _, err := d.ser.Decode(raw); err == nil {
-			if rec, ok := val.(*adm.Record); ok {
-				p.indexDeleteAll(d, pk, rec)
-			}
-		}
-	}
-	return p.primary.Delete(pk)
-}
+// errNoSuchKey is an internal sentinel: Delete on an absent key is not an
+// error, just a false result.
+var errNoSuchKey = errors.New("no such key")
 
-// indexInsert adds one record to one secondary index partition.
+// indexInsert adds one record to one secondary index partition (the
+// CreateIndex backfill path; live mutations go through buildLogRecords and
+// applyGroup instead). Caller holds p.mu.
 func (p *partition) indexInsert(d *Dataset, ix IndexSpec, pk []byte, rec *adm.Record) error {
-	v := rec.Get(ix.Fields[0])
-	if adm.IsUnknown(v) {
-		return nil // optional / missing fields are simply not indexed
+	keys, vals, err := secondaryEntries(ix, rec, pk)
+	if err != nil {
+		return err
 	}
-	switch ix.Kind {
-	case BTreeIndex:
-		return p.btrees[ix.Name].Insert(secondaryKey(ix, rec, pk), pk)
-	case RTreeIndex:
-		mbr, err := spatial.MBR(v)
-		if err != nil {
-			return fmt.Errorf("storage: rtree index %q: %w", ix.Name, err)
-		}
-		p.rtrees[ix.Name].Insert(rectFromADM(mbr), pk)
-		return nil
-	case KeywordIndex, NGramIndex:
-		if s, ok := v.(adm.String); ok {
-			p.inverted[ix.Name].Insert(pk, string(s))
-		}
-		return nil
-	}
-	return fmt.Errorf("storage: unknown index kind %q", ix.Kind)
-}
-
-// indexDeleteAll removes a record from every secondary index partition.
-func (p *partition) indexDeleteAll(d *Dataset, pk []byte, rec *adm.Record) {
-	for _, ix := range d.Indexes() {
-		v := rec.Get(ix.Fields[0])
-		if adm.IsUnknown(v) {
-			continue
-		}
-		switch ix.Kind {
-		case BTreeIndex:
-			if t := p.btrees[ix.Name]; t != nil {
-				t.Delete(secondaryKey(ix, rec, pk))
-			}
-		case RTreeIndex:
-			if t := p.rtrees[ix.Name]; t != nil {
-				if mbr, err := spatial.MBR(v); err == nil {
-					t.Delete(rectFromADM(mbr), pk)
-				}
-			}
-		case KeywordIndex, NGramIndex:
-			if t := p.inverted[ix.Name]; t != nil {
-				if s, ok := v.(adm.String); ok {
-					t.Delete(pk, string(s))
-				}
-			}
+	for i, k := range keys {
+		kind := txn.OpInsert
+		if err := p.applyRecordLocked(txn.LogRecord{
+			Kind: kind, Dataset: d.spec.Name, Partition: p.idNum, Index: ix.Name, Key: k, Value: vals[i],
+		}); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // secondaryKey builds the composite key (secondary key bytes ++ primary key)
@@ -1033,16 +1374,21 @@ func (d *Dataset) SizeBytes() (int64, error) {
 	return total, nil
 }
 
-// Flush flushes every partition's in-memory components to disk.
+// Flush flushes every partition's in-memory components (primary and all
+// secondary indexes) to disk, stamped with the WAL low-water mark captured
+// up front: every operation fully applied before the capture is inside the
+// flushed components, so recovery replays only LSNs at or past the stamp.
 func (d *Dataset) Flush() error {
+	return d.flushAll(d.manager.wal.LowWater())
+}
+
+func (d *Dataset) flushAll(stamp uint64) error {
 	for _, p := range d.partitions {
 		p.mu.Lock()
-		err := p.primary.Flush()
-		if err == nil {
-			for _, t := range p.btrees {
-				if err = t.Flush(); err != nil {
-					break
-				}
+		var err error
+		for _, t := range p.allTrees() {
+			if err = t.FlushStamped(stamp); err != nil {
+				break
 			}
 		}
 		p.mu.Unlock()

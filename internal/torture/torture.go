@@ -1,0 +1,542 @@
+// Package torture is the crash-recovery torture harness: a child process
+// runs a deterministic, seeded workload against a storage.Manager with every
+// index kind attached and SIGKILLs itself at a randomized durability event
+// (WAL append/sync, flush, merge install, checkpoint, atomic rename — see
+// internal/crashpoint). The driver then reopens the directory in-process,
+// runs recovery, and asserts the surviving state is exactly the acknowledged
+// writes: no lost acks, no resurrected deletes, no index/primary divergence,
+// no torn components, no leftover temp files, and a replay bounded by the
+// checkpoint interval.
+package torture
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"asterixdb/internal/adm"
+	"asterixdb/internal/crashpoint"
+	"asterixdb/internal/invidx"
+	"asterixdb/internal/storage"
+)
+
+// Config describes one torture workload; the driver and the child must use
+// identical values so the driver can regenerate the child's operations.
+type Config struct {
+	Dir             string
+	Seed            int64
+	Ops             int
+	CheckpointEvery int
+}
+
+// Env var names the driver uses to pass Config to the re-exec'd child.
+const (
+	EnvChild = "ASTERIX_TORTURE_CHILD"
+	EnvDir   = "ASTERIX_TORTURE_DIR"
+	EnvSeed  = "ASTERIX_TORTURE_SEED"
+	EnvOps   = "ASTERIX_TORTURE_OPS"
+	EnvCkpt  = "ASTERIX_TORTURE_CKPT"
+)
+
+// ConfigFromEnv rebuilds the child's Config from the environment.
+func ConfigFromEnv() Config {
+	atoi := func(s string) int { n, _ := strconv.Atoi(s); return n }
+	seed, _ := strconv.ParseInt(os.Getenv(EnvSeed), 10, 64)
+	return Config{
+		Dir:             os.Getenv(EnvDir),
+		Seed:            seed,
+		Ops:             atoi(os.Getenv(EnvOps)),
+		CheckpointEvery: atoi(os.Getenv(EnvCkpt)),
+	}
+}
+
+func (c Config) env() []string {
+	return []string{
+		EnvChild + "=1",
+		EnvDir + "=" + c.Dir,
+		EnvSeed + "=" + strconv.FormatInt(c.Seed, 10),
+		EnvOps + "=" + strconv.Itoa(c.Ops),
+		EnvCkpt + "=" + strconv.Itoa(c.CheckpointEvery),
+	}
+}
+
+// Op is one deterministic workload operation.
+type Op struct {
+	Delete bool
+	ID     int64
+	Val    int64
+	X, Y   float64
+	Text   string
+	Name   string
+}
+
+// idSpace keeps keys colliding often, so upserts and deletes of live records
+// (the interesting antimatter cases) happen constantly.
+const idSpace = 48
+
+var words = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf", "hotel",
+}
+
+// Ops deterministically expands a seed into the workload's operations. The
+// driver calls it to reconstruct exactly what the child was doing.
+func Ops(seed int64, n int) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]Op, n)
+	for i := range ops {
+		op := Op{ID: int64(rng.Intn(idSpace))}
+		if rng.Intn(100) < 25 {
+			op.Delete = true
+		} else {
+			op.Val = int64(rng.Intn(1000))
+			op.X = float64(rng.Intn(100))
+			op.Y = float64(rng.Intn(100))
+			op.Text = words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+			op.Name = words[rng.Intn(len(words))] + words[rng.Intn(len(words))]
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+// Model computes the exact live-record state after applying ops[0..upto].
+func Model(seed int64, n, upto int) map[int64]Op {
+	state := map[int64]Op{}
+	for i, op := range Ops(seed, n) {
+		if i > upto {
+			break
+		}
+		if op.Delete {
+			delete(state, op.ID)
+		} else {
+			state[op.ID] = op
+		}
+	}
+	return state
+}
+
+func tortureType() *adm.RecordType {
+	return &adm.RecordType{
+		Name: "TortureType",
+		Fields: []adm.FieldType{
+			{Name: "id", Type: adm.Prim(adm.TagInt64)},
+			{Name: "val", Type: adm.Prim(adm.TagInt64)},
+			{Name: "loc", Type: adm.Prim(adm.TagPoint)},
+			{Name: "text", Type: adm.Prim(adm.TagString)},
+			{Name: "name", Type: adm.Prim(adm.TagString)},
+		},
+	}
+}
+
+func record(op Op) *adm.Record {
+	return adm.NewRecord(
+		adm.Field{Name: "id", Value: adm.Int64(op.ID)},
+		adm.Field{Name: "val", Value: adm.Int64(op.Val)},
+		adm.Field{Name: "loc", Value: adm.Point{X: op.X, Y: op.Y}},
+		adm.Field{Name: "text", Value: adm.String(op.Text)},
+		adm.Field{Name: "name", Value: adm.String(op.Name)},
+	)
+}
+
+// open creates/reopens the torture manager with every index kind declared —
+// the same DDL the child ran, which is the recovery contract (DDL is not
+// journaled). A tiny memory budget keeps flushes and merges constant.
+func open(cfg Config) (*storage.Manager, *storage.Dataset, error) {
+	m, err := storage.NewManager(cfg.Dir, storage.Options{
+		Partitions:         2,
+		Journaled:          true,
+		MemBudget:          2 << 10,
+		CheckpointWALBytes: -1, // checkpoints are explicit, for determinism
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := m.CreateDataset(storage.DatasetSpec{
+		Name:       "Torture",
+		Type:       tortureType(),
+		PrimaryKey: []string{"id"},
+		Encoding:   adm.SchemaEncoding,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, spec := range []storage.IndexSpec{
+		{Name: "by_val", Fields: []string{"val"}, Kind: storage.BTreeIndex},
+		{Name: "by_loc", Fields: []string{"loc"}, Kind: storage.RTreeIndex},
+		{Name: "by_text", Fields: []string{"text"}, Kind: storage.KeywordIndex},
+		{Name: "by_name", Fields: []string{"name"}, Kind: storage.NGramIndex, GramLength: 3},
+	} {
+		if err := ds.CreateIndex(spec); err != nil {
+			return nil, nil, err
+		}
+	}
+	return m, ds, nil
+}
+
+// RunChild executes the workload, printing "ACK <i>" after each committed
+// operation. If a crashpoint is armed the process dies mid-workload; if not,
+// it finishes and prints "EVENTS <n>" (the total crashpoint event count, used
+// by the driver to calibrate its random kill targets).
+func RunChild(cfg Config, out io.Writer) error {
+	m, ds, err := open(cfg)
+	if err != nil {
+		return err
+	}
+	if err := m.Recover(); err != nil {
+		return err
+	}
+	for i, op := range Ops(cfg.Seed, cfg.Ops) {
+		if op.Delete {
+			_, err = ds.Delete(adm.Int64(op.ID))
+		} else {
+			err = ds.Insert(record(op))
+		}
+		if err != nil {
+			return fmt.Errorf("op %d: %w", i, err)
+		}
+		if cfg.CheckpointEvery > 0 && (i+1)%cfg.CheckpointEvery == 0 {
+			if err := m.Checkpoint(); err != nil {
+				return fmt.Errorf("checkpoint after op %d: %w", i, err)
+			}
+		}
+		fmt.Fprintf(out, "ACK %d\n", i)
+	}
+	if err := m.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "EVENTS %d\n", crashpoint.Count())
+	return nil
+}
+
+// maxLogRecordsPerOp is a generous ceiling on WAL records one operation can
+// produce (primary op + commit + old/new entries for four indexes, the ngram
+// index contributing a couple of dozen posting keys). The replay-bound
+// assertion uses it to turn "bounded log suffix" into a concrete number.
+const maxLogRecordsPerOp = 128
+
+// Verify reopens the torture directory, recovers, and checks every
+// durability property. lastAck is the highest ACKed op index (-1 if none);
+// completed means the child exited cleanly. The one-op ambiguity window
+// (op lastAck+1 may have committed before the kill landed) is resolved by
+// accepting either model.
+func Verify(cfg Config, lastAck int, completed bool) error {
+	m, ds, err := open(cfg)
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	defer m.Close()
+	if err := m.Recover(); err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+
+	// Bounded replay: a checkpoint every CheckpointEvery ops compacts the
+	// WAL, so recovery must never replay more than about two intervals (the
+	// current one plus, if the kill landed mid-checkpoint, the previous one).
+	stats := m.Stats()
+	if cfg.CheckpointEvery > 0 {
+		bound := (2*cfg.CheckpointEvery + 2) * maxLogRecordsPerOp
+		if stats.Recovery.Replayed > bound {
+			return fmt.Errorf("recovery replayed %d records, want <= %d (checkpoint every %d ops did not bound the log suffix)",
+				stats.Recovery.Replayed, bound, cfg.CheckpointEvery)
+		}
+	}
+
+	// Recovered primary state must be exactly the acknowledged writes
+	// (modulo the one op that may have committed without its ack).
+	got := map[int64]Op{}
+	err = ds.Scan(func(rec *adm.Record) bool {
+		op := Op{
+			ID:  int64(rec.Get("id").(adm.Int64)),
+			Val: int64(rec.Get("val").(adm.Int64)),
+		}
+		pt := rec.Get("loc").(adm.Point)
+		op.X, op.Y = pt.X, pt.Y
+		op.Text = string(rec.Get("text").(adm.String))
+		op.Name = string(rec.Get("name").(adm.String))
+		got[op.ID] = op
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("scan: %w", err)
+	}
+	candidates := []int{lastAck}
+	if !completed && lastAck+1 < cfg.Ops {
+		candidates = append(candidates, lastAck+1)
+	}
+	matched := false
+	var diffs []string
+	for _, upto := range candidates {
+		want := Model(cfg.Seed, cfg.Ops, upto)
+		if diff := diffStates(got, want); diff == "" {
+			matched = true
+			break
+		} else {
+			diffs = append(diffs, fmt.Sprintf("vs model(op<=%d): %s", upto, diff))
+		}
+	}
+	if !matched {
+		return fmt.Errorf("recovered state matches no acknowledged prefix (lastAck=%d):\n%s",
+			lastAck, strings.Join(diffs, "\n"))
+	}
+
+	if err := verifyIndexes(ds, got); err != nil {
+		return err
+	}
+	return verifyNoTempFiles(cfg.Dir)
+}
+
+func diffStates(got, want map[int64]Op) string {
+	for id, w := range want {
+		g, ok := got[id]
+		if !ok {
+			return fmt.Sprintf("id %d lost (acknowledged write missing)", id)
+		}
+		if g != w {
+			return fmt.Sprintf("id %d = %+v, want %+v", id, g, w)
+		}
+	}
+	for id := range got {
+		if _, ok := want[id]; !ok {
+			return fmt.Sprintf("id %d present but was deleted/never acknowledged", id)
+		}
+	}
+	return ""
+}
+
+// verifyIndexes cross-checks every secondary access path against the
+// recovered primary state: each index must return exactly the records a full
+// scan predicate produces. This is where a crash that left an index behind
+// (or ahead of) the primary shows up.
+func verifyIndexes(ds *storage.Dataset, state map[int64]Op) error {
+	ids := func(recs []*adm.Record) map[int64]bool {
+		set := map[int64]bool{}
+		for _, r := range recs {
+			set[int64(r.Get("id").(adm.Int64))] = true
+		}
+		return set
+	}
+	check := func(index string, gotSet map[int64]bool, match func(Op) bool) error {
+		for id, op := range state {
+			if match(op) && !gotSet[id] {
+				return fmt.Errorf("index %s lost id %d (%+v)", index, id, op)
+			}
+		}
+		for id := range gotSet {
+			op, live := state[id]
+			if !live {
+				return fmt.Errorf("index %s returned deleted id %d", index, id)
+			}
+			if !match(op) {
+				return fmt.Errorf("index %s returned id %d (%+v) which does not match", index, id, op)
+			}
+		}
+		return nil
+	}
+
+	// B+-tree: a bounded range probe.
+	lo, hi := int64(250), int64(750)
+	recs, err := ds.SearchSecondaryRange("by_val", adm.Int64(lo), adm.Int64(hi))
+	if err != nil {
+		return err
+	}
+	if err := check("by_val", ids(recs), func(op Op) bool { return op.Val >= lo && op.Val <= hi }); err != nil {
+		return err
+	}
+
+	// R-tree: a window probe (points intersect iff inside the window).
+	win := adm.Rectangle{LowerLeft: adm.Point{X: 20, Y: 20}, UpperRight: adm.Point{X: 70, Y: 70}}
+	recs, err = ds.SearchSecondaryRTree("by_loc", win)
+	if err != nil {
+		return err
+	}
+	inWin := func(op Op) bool {
+		return op.X >= win.LowerLeft.X && op.X <= win.UpperRight.X && op.Y >= win.LowerLeft.Y && op.Y <= win.UpperRight.Y
+	}
+	if err := check("by_loc", ids(recs), inWin); err != nil {
+		return err
+	}
+
+	// Keyword: probe every vocabulary word; matches are records whose text
+	// contains the word as a token.
+	for _, w := range words {
+		recs, err = ds.SearchSecondaryInverted("by_text", w, 0)
+		if err != nil {
+			return err
+		}
+		word := w
+		hasTok := func(op Op) bool {
+			for _, tok := range strings.Fields(op.Text) {
+				if tok == word {
+					return true
+				}
+			}
+			return false
+		}
+		if err := check("by_text:"+w, ids(recs), hasTok); err != nil {
+			return err
+		}
+	}
+
+	// N-gram: a T-occurrence probe. The oracle replicates the index's exact
+	// candidate semantics — count how many of the probe's grams (duplicates
+	// included) appear among the record's distinct grams.
+	tokenize := invidx.NGramTokenizer(3)
+	probe := words[0] + words[1]
+	const minMatches = 4
+	recs, err = ds.SearchSecondaryInverted("by_name", probe, minMatches)
+	if err != nil {
+		return err
+	}
+	probeGrams := tokenize(probe)
+	gramMatch := func(op Op) bool {
+		have := map[string]bool{}
+		for _, g := range tokenize(op.Name) {
+			have[g] = true
+		}
+		n := 0
+		for _, g := range probeGrams {
+			if have[g] {
+				n++
+			}
+		}
+		return n >= minMatches
+	}
+	return check("by_name", ids(recs), gramMatch)
+}
+
+// verifyNoTempFiles asserts the crash left no *.tmp files anywhere under the
+// data directory: every component and meta file either renamed into place
+// atomically or was cleaned up on reopen.
+func verifyNoTempFiles(dir string) error {
+	return filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".tmp") {
+			return fmt.Errorf("leftover temp file after recovery: %s", path)
+		}
+		return nil
+	})
+}
+
+// Driver orchestrates kill-&-recover cycles against a re-exec'd child.
+type Driver struct {
+	// Exe is the binary to exec as the child (usually os.Args[0], with the
+	// child branch gated on EnvChild in TestMain or main).
+	Exe  string
+	Seed int64
+	Ops  int
+	// CheckpointEvery is the child's explicit checkpoint interval.
+	CheckpointEvery int
+	// Root is the scratch directory; each cycle works in a fresh subdir.
+	Root string
+	Logf func(format string, args ...any)
+}
+
+func (d *Driver) logf(format string, args ...any) {
+	if d.Logf != nil {
+		d.Logf(format, args...)
+	}
+}
+
+// Calibrate runs one uncrashed child and returns its total crashpoint event
+// count, the range the random kill targets are drawn from.
+func (d *Driver) Calibrate() (int, error) {
+	cfg := Config{Dir: filepath.Join(d.Root, "calibrate"), Seed: d.Seed, Ops: d.Ops, CheckpointEvery: d.CheckpointEvery}
+	out, err := d.spawn(cfg, 0)
+	if err != nil {
+		return 0, fmt.Errorf("calibration child failed: %w\n%s", err, out)
+	}
+	_, events, _ := parseChild(out)
+	if events <= 0 {
+		return 0, fmt.Errorf("calibration child reported no events:\n%s", out)
+	}
+	if err := Verify(cfg, d.Ops-1, true); err != nil {
+		return 0, fmt.Errorf("calibration verify: %w", err)
+	}
+	return events, nil
+}
+
+// RunCycles runs n kill-&-recover cycles and returns the first failure.
+func (d *Driver) RunCycles(n int) error {
+	events, err := d.Calibrate()
+	if err != nil {
+		return err
+	}
+	d.logf("torture: seed=%d ops=%d ckpt-every=%d crashpoint-events=%d cycles=%d",
+		d.Seed, d.Ops, d.CheckpointEvery, events, n)
+	rng := rand.New(rand.NewSource(d.Seed))
+	for cycle := 0; cycle < n; cycle++ {
+		cfg := Config{
+			Dir:             filepath.Join(d.Root, fmt.Sprintf("cycle-%d", cycle)),
+			Seed:            rng.Int63(),
+			Ops:             d.Ops,
+			CheckpointEvery: d.CheckpointEvery,
+		}
+		target := 1 + rng.Intn(events)
+		out, runErr := d.spawn(cfg, target)
+		lastAck, _, sawEvents := parseChild(out)
+		completed := runErr == nil && sawEvents
+		if runErr != nil && lastAck < 0 && !bytes.Contains(out, []byte("ACK")) && !killedBySignal(runErr) {
+			// The child failed outright before doing any work — a harness
+			// bug, not a crash under test.
+			return fmt.Errorf("cycle %d (seed=%d target=%d): child error: %w\n%s", cycle, cfg.Seed, target, runErr, out)
+		}
+		d.logf("torture: cycle=%d seed=%d target=%d acked=%d killed=%v", cycle, cfg.Seed, target, lastAck, !completed)
+		if err := Verify(cfg, lastAck, completed); err != nil {
+			return fmt.Errorf("cycle %d (seed=%d target=%d acked=%d): %w", cycle, cfg.Seed, target, lastAck, err)
+		}
+		os.RemoveAll(cfg.Dir)
+	}
+	return nil
+}
+
+func (d *Driver) spawn(cfg Config, crashTarget int) ([]byte, error) {
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(d.Exe)
+	cmd.Env = append(os.Environ(), cfg.env()...)
+	if crashTarget > 0 {
+		cmd.Env = append(cmd.Env, crashpoint.EnvVar+"="+strconv.Itoa(crashTarget))
+	}
+	return cmd.CombinedOutput()
+}
+
+func killedBySignal(err error) bool {
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		return false
+	}
+	return exitErr.ExitCode() == -1 // terminated by signal (SIGKILL)
+}
+
+// parseChild extracts the highest ACKed op index and the EVENTS total from a
+// child's output. lastAck is -1 when nothing was acknowledged.
+func parseChild(out []byte) (lastAck, events int, sawEvents bool) {
+	lastAck = -1
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if n, ok := strings.CutPrefix(line, "ACK "); ok {
+			if v, err := strconv.Atoi(n); err == nil && v > lastAck {
+				lastAck = v
+			}
+		} else if n, ok := strings.CutPrefix(line, "EVENTS "); ok {
+			if v, err := strconv.Atoi(n); err == nil {
+				events = v
+				sawEvents = true
+			}
+		}
+	}
+	return lastAck, events, sawEvents
+}

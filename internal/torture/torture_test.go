@@ -1,0 +1,48 @@
+package torture
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestMain doubles as the torture child: the driver re-execs this test
+// binary with EnvChild set, and the child branch runs the workload instead
+// of the test suite (and dies at its crashpoint).
+func TestMain(m *testing.M) {
+	if os.Getenv(EnvChild) == "1" {
+		if err := RunChild(ConfigFromEnv(), os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestCrashTorture kill -9s a child workload at randomized durability events
+// and asserts exact recovery each time. The default cycle count keeps CI
+// fast; set ASTERIX_TORTURE_CYCLES (e.g. 200) for a long local soak.
+func TestCrashTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash torture spawns many child processes; skipped in -short")
+	}
+	cycles := 20
+	if env := os.Getenv("ASTERIX_TORTURE_CYCLES"); env != "" {
+		if n, err := strconv.Atoi(env); err == nil && n > 0 {
+			cycles = n
+		}
+	}
+	d := &Driver{
+		Exe:             os.Args[0],
+		Seed:            20140814, // the paper's VLDB volume date, fixed for reproducibility
+		Ops:             120,
+		CheckpointEvery: 25,
+		Root:            t.TempDir(),
+		Logf:            t.Logf,
+	}
+	if err := d.RunCycles(cycles); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,10 +9,15 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"asterixdb/internal/crashpoint"
+	"asterixdb/internal/fsutil"
 )
 
 // ID identifies one record-level transaction.
@@ -107,22 +112,50 @@ type LogRecord struct {
 	Kind      OpKind
 	Dataset   string
 	Partition int
-	Key       []byte
-	Value     []byte
+	// Index names the secondary index this record targets; empty means the
+	// primary index. One dataset operation logs one record per LSM index it
+	// touches (the paper's LSM-index-level logging), carrying the exact
+	// derived key bytes so recovery never re-derives secondary entries from
+	// a primary state that may reflect a different flush boundary.
+	Index string
+	Key   []byte
+	Value []byte
 }
+
+// walMagic identifies a WAL file; the 8 bytes after it hold the base LSN of
+// the first record (little-endian). Compaction rewrites the file with a
+// higher base, so LSNs are stable across the file's lifetime.
+var walMagic = []byte("AWALV001")
+
+const walHeaderLen = 16
 
 // WAL is an append-only write-ahead log. Writes follow the WAL protocol: the
 // storage layer appends the logical record (and the commit record) before the
 // in-memory component is modified and before the statement returns.
+//
+// Every record is assigned a log sequence number (LSN): a byte position in
+// the log's address space that survives compaction. LSNs order log records
+// against LSM component flushes — a component stamped with LSN s contains
+// the effects of every operation with LSN < s.
 type WAL struct {
 	mu      sync.Mutex
 	path    string
 	file    *os.File
+	base    uint64 // LSN of the first byte after the header
+	size    int64  // current file size including header
 	nextTxn ID
 	// journaled controls whether every commit is fsync'd. It mirrors the
 	// "write concern: journaled" durability setting used for the insert
 	// comparison in Table 4.
 	journaled bool
+	// inflight holds LSNs of records appended but not yet applied to their
+	// in-memory components. LowWater uses it to bound flush stamps: a flush
+	// that starts between a record's append and its apply must not claim to
+	// contain it.
+	inflight map[uint64]int
+	// Warnf receives corruption warnings during Replay. Nil means log.Printf.
+	// Set it before the WAL is shared across goroutines.
+	Warnf func(format string, args ...any)
 }
 
 // OpenWAL opens (or creates) the log file in dir.
@@ -131,11 +164,55 @@ func OpenWAL(dir string, journaled bool) (*WAL, error) {
 		return nil, fmt.Errorf("txn: open wal: %w", err)
 	}
 	path := filepath.Join(dir, "wal.log")
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("txn: open wal: %w", err)
 	}
-	return &WAL{path: path, file: f, nextTxn: 1, journaled: journaled}, nil
+	w := &WAL{path: path, file: f, nextTxn: 1, journaled: journaled, inflight: map[uint64]int{}}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("txn: open wal: %w", err)
+	}
+	switch {
+	case st.Size() < walHeaderLen:
+		// Fresh log, or a crash mid-header-write: no record was ever
+		// appended (appends require a complete header), so start over.
+		if err := w.writeHeader(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+	default:
+		var hdr [walHeaderLen]byte
+		if _, err := f.ReadAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("txn: read wal header: %w", err)
+		}
+		if !bytes.Equal(hdr[:len(walMagic)], walMagic) {
+			f.Close()
+			return nil, fmt.Errorf("txn: %s is not a WAL file (bad magic)", path)
+		}
+		w.base = binary.LittleEndian.Uint64(hdr[len(walMagic):])
+		w.size = st.Size()
+	}
+	return w, nil
+}
+
+// writeHeader truncates the file to a bare header with the given base LSN.
+// Caller holds w.mu (or the WAL is not yet shared).
+func (w *WAL) writeHeader(base uint64) error {
+	var hdr [walHeaderLen]byte
+	copy(hdr[:], walMagic)
+	binary.LittleEndian.PutUint64(hdr[len(walMagic):], base)
+	if err := w.file.Truncate(0); err != nil {
+		return fmt.Errorf("txn: wal header: %w", err)
+	}
+	if _, err := w.file.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("txn: wal header: %w", err)
+	}
+	w.base = base
+	w.size = walHeaderLen
+	return nil
 }
 
 // Begin allocates a transaction id.
@@ -147,15 +224,101 @@ func (w *WAL) Begin() ID {
 	return id
 }
 
-// Append writes a log record.
-func (w *WAL) Append(rec LogRecord) error {
+// End returns the LSN one past the last appended record — the LSN the next
+// record will receive.
+func (w *WAL) End() uint64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	buf := encodeLogRecord(rec)
-	if _, err := w.file.Write(buf); err != nil {
-		return fmt.Errorf("txn: wal append: %w", err)
+	return w.endLocked()
+}
+
+func (w *WAL) endLocked() uint64 {
+	return w.base + uint64(w.size-walHeaderLen)
+}
+
+// LowWater returns a lower bound on the LSNs of operations not yet applied
+// to in-memory components: the smallest in-flight append LSN, or End() when
+// nothing is in flight. Every operation with LSN < LowWater() has been
+// applied, so LowWater is the correct stamp for a flush or checkpoint
+// watermark taken at this instant.
+func (w *WAL) LowWater() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	low := w.endLocked()
+	for lsn := range w.inflight {
+		if lsn < low {
+			low = lsn
+		}
 	}
-	return nil
+	return low
+}
+
+// SizeBytes returns the number of record bytes in the log (excluding the
+// header) — the quantity a WAL-size checkpoint trigger watches.
+func (w *WAL) SizeBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size - walHeaderLen
+}
+
+// Append writes a log record and returns its LSN.
+func (w *WAL) Append(rec LogRecord) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(rec)
+}
+
+func (w *WAL) appendLocked(rec LogRecord) (uint64, error) {
+	lsn := w.endLocked()
+	buf := encodeLogRecord(rec)
+	if _, err := w.file.WriteAt(buf, w.size); err != nil {
+		return 0, fmt.Errorf("txn: wal append: %w", err)
+	}
+	w.size += int64(len(buf))
+	crashpoint.Hit("wal-append")
+	return lsn, nil
+}
+
+// AppendGroup appends the records of one record-level transaction and marks
+// their LSNs in flight until release is called. The caller appends, applies
+// the records to the in-memory components, then releases: a concurrent flush
+// stamping itself with LowWater() can then never claim an applied-later
+// record. release is idempotent and must be called exactly once per group on
+// every path (including errors after a successful append).
+func (w *WAL) AppendGroup(recs []LogRecord) (lsns []uint64, release func(), err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lsns = make([]uint64, 0, len(recs))
+	for _, rec := range recs {
+		lsn, err := w.appendLocked(rec)
+		if err != nil {
+			w.releaseLocked(lsns)
+			return nil, nil, err
+		}
+		lsns = append(lsns, lsn)
+		w.inflight[lsn]++
+	}
+	released := false
+	release = func() {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if released {
+			return
+		}
+		released = true
+		w.releaseLocked(lsns)
+	}
+	return lsns, release, nil
+}
+
+func (w *WAL) releaseLocked(lsns []uint64) {
+	for _, lsn := range lsns {
+		if w.inflight[lsn] > 1 {
+			w.inflight[lsn]--
+		} else {
+			delete(w.inflight, lsn)
+		}
+	}
 }
 
 // Commit writes the commit record for txn and, when journaled, syncs the log
@@ -172,7 +335,8 @@ func (w *WAL) Commit(txn ID) error {
 // Sync once at the end, which is the mechanism behind the Table 4 batching
 // speed-up.
 func (w *WAL) CommitNoSync(txn ID) error {
-	return w.Append(LogRecord{Txn: txn, Kind: OpCommit})
+	_, err := w.Append(LogRecord{Txn: txn, Kind: OpCommit})
+	return err
 }
 
 // Sync forces the log to stable storage when the WAL is journaled.
@@ -182,44 +346,115 @@ func (w *WAL) Sync() error {
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.file.Sync()
+	if err := w.file.Sync(); err != nil {
+		return err
+	}
+	crashpoint.Hit("wal-sync")
+	return nil
 }
 
 // Close closes the log file.
-func (w *WAL) Close() error { return w.file.Close() }
-
-// Truncate empties the log. The storage layer calls it after all datasets
-// have flushed their in-memory components (a checkpoint): everything the log
-// protects is then inside valid disk components.
-func (w *WAL) Truncate() error {
+func (w *WAL) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.file.Truncate(0); err != nil {
-		return err
+	return w.file.Close()
+}
+
+// Truncate empties the log, preserving the LSN address space (the new base
+// is the current end). The storage layer calls it after all datasets have
+// flushed their in-memory components (a checkpoint): everything the log
+// protects is then inside valid disk components.
+func (w *WAL) Truncate() error {
+	return w.Compact(w.End())
+}
+
+// Compact atomically discards every record with LSN < keep: the retained
+// suffix is rewritten to a temp file with an updated base and renamed over
+// the log. The caller guarantees that discarded records are durable in
+// flushed components (keep must not exceed any component stamp it protects).
+// keep is clamped to [base, End()] and always lands on a record boundary
+// because LSNs are assigned at record starts.
+func (w *WAL) Compact(keep uint64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if end := w.endLocked(); keep > end {
+		keep = end
 	}
-	_, err := w.file.Seek(0, 0)
-	return err
+	if keep <= w.base {
+		return nil // nothing to discard
+	}
+	suffixLen := w.size - walHeaderLen - int64(keep-w.base)
+	buf := make([]byte, walHeaderLen+suffixLen)
+	copy(buf, walMagic)
+	binary.LittleEndian.PutUint64(buf[len(walMagic):], keep)
+	if suffixLen > 0 {
+		if _, err := w.file.ReadAt(buf[walHeaderLen:], walHeaderLen+int64(keep-w.base)); err != nil {
+			return fmt.Errorf("txn: wal compact: %w", err)
+		}
+	}
+	crashpoint.Hit("wal-compact-pre")
+	if err := fsutil.WriteFileAtomic(w.path, buf, 0o644); err != nil {
+		return fmt.Errorf("txn: wal compact: %w", err)
+	}
+	crashpoint.Hit("wal-compact-post")
+	// The old fd points at the unlinked inode; reopen the renamed file.
+	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("txn: wal compact reopen: %w", err)
+	}
+	w.file.Close()
+	w.file = f
+	w.base = keep
+	w.size = int64(len(buf))
+	return nil
+}
+
+// ReplayStats summarizes one Replay pass for the recovery metrics.
+type ReplayStats struct {
+	// Records is the number of operation records decoded (commit records and
+	// uncommitted operations excluded from Applied but included here).
+	Records int
+	// Applied is the number of committed operation records handed to apply.
+	Applied int
+	// TruncatedAt is the LSN at which a corrupt record was found and the log
+	// was truncated; zero when the log was clean.
+	TruncatedAt uint64
 }
 
 // Replay reads the log and invokes apply for every operation belonging to a
-// committed transaction, in log order. Operations of uncommitted transactions
-// are ignored (no-steal means they can never have reached disk).
+// committed transaction, in log order, passing each record's LSN. Operations
+// of uncommitted transactions are ignored (no-steal means they can never
+// have reached disk). A record whose CRC does not match is treated as the
+// end of the log: everything from it onward is discarded and the file is
+// truncated at the last good record, with a warning — a torn tail write and
+// mid-log bit rot look the same to recovery.
 //
 // The log is read and decoded under the WAL latch, but apply runs after it
 // is released: apply re-enters the storage layer, and a caller-supplied
 // callback must never run under a lock it did not take itself (the
 // ScanPartition deadlock class).
-func (w *WAL) Replay(apply func(LogRecord) error) error {
+func (w *WAL) Replay(apply func(lsn uint64, rec LogRecord) error) (ReplayStats, error) {
+	var stats ReplayStats
 	w.mu.Lock()
 	data, err := os.ReadFile(w.path)
 	if err != nil {
 		w.mu.Unlock()
-		return err
+		return stats, err
 	}
-	records, committed, err := decodeLog(data)
-	if err != nil {
+	if len(data) < walHeaderLen {
 		w.mu.Unlock()
-		return err
+		return stats, nil
+	}
+	records, lsns, committed, goodLen := decodeLog(data[walHeaderLen:], w.base)
+	if goodLen < int64(len(data))-walHeaderLen {
+		stats.TruncatedAt = w.base + uint64(goodLen)
+		w.warnf("txn: wal corrupt at lsn %d: truncating %d byte(s)",
+			stats.TruncatedAt, int64(len(data))-walHeaderLen-goodLen)
+		if err := w.file.Truncate(walHeaderLen + goodLen); err != nil {
+			w.mu.Unlock()
+			return stats, fmt.Errorf("txn: wal truncate after corruption: %w", err)
+		}
+		w.size = walHeaderLen + goodLen
 	}
 	maxTxn := w.nextTxn
 	for _, rec := range records {
@@ -229,17 +464,35 @@ func (w *WAL) Replay(apply func(LogRecord) error) error {
 	}
 	w.nextTxn = maxTxn
 	w.mu.Unlock()
-	for _, rec := range records {
-		if rec.Kind == OpCommit || !committed[rec.Txn] {
+	for i, rec := range records {
+		if rec.Kind == OpCommit {
 			continue
 		}
-		if err := apply(rec); err != nil {
-			return err
+		stats.Records++
+		if !committed[rec.Txn] {
+			continue
+		}
+		stats.Applied++
+		if err := apply(lsns[i], rec); err != nil {
+			return stats, err
 		}
 	}
-	return nil
+	return stats, nil
 }
 
+func (w *WAL) warnf(format string, args ...any) {
+	if w.Warnf != nil {
+		w.Warnf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// encodeLogRecord frames a record as uvarint(len) ‖ payload ‖ crc32(payload).
+// The length bounds a torn tail; the CRC catches bit corruption inside an
+// intact-looking frame.
 func encodeLogRecord(rec LogRecord) []byte {
 	var buf bytes.Buffer
 	var scratch [binary.MaxVarintLen64]byte
@@ -251,45 +504,56 @@ func encodeLogRecord(rec LogRecord) []byte {
 	buf.WriteByte(byte(rec.Kind))
 	writeUvarint(uint64(len(rec.Dataset)))
 	buf.WriteString(rec.Dataset)
+	writeUvarint(uint64(len(rec.Index)))
+	buf.WriteString(rec.Index)
 	writeUvarint(uint64(rec.Partition))
 	writeUvarint(uint64(len(rec.Key)))
 	buf.Write(rec.Key)
 	writeUvarint(uint64(len(rec.Value)))
 	buf.Write(rec.Value)
-	// Frame the record with its length so a torn tail write is detectable.
 	var framed bytes.Buffer
 	n := binary.PutUvarint(scratch[:], uint64(buf.Len()))
 	framed.Write(scratch[:n])
 	framed.Write(buf.Bytes())
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(buf.Bytes(), crcTable))
+	framed.Write(crc[:])
 	return framed.Bytes()
 }
 
-func decodeLog(data []byte) ([]LogRecord, map[ID]bool, error) {
-	var records []LogRecord
-	committed := map[ID]bool{}
-	rd := bytes.NewReader(data)
-	for rd.Len() > 0 {
-		frameLen, err := binary.ReadUvarint(rd)
-		if err != nil {
-			break // torn tail
+// decodeLog decodes records sequentially, computing each record's LSN from
+// base + offset. It stops at the first torn or corrupt frame and returns the
+// byte length of the good prefix.
+func decodeLog(data []byte, base uint64) (records []LogRecord, lsns []uint64, committed map[ID]bool, goodLen int64) {
+	committed = map[ID]bool{}
+	offset := int64(0)
+	for offset < int64(len(data)) {
+		rest := data[offset:]
+		frameLen, n := binary.Uvarint(rest)
+		if n <= 0 {
+			break // torn length prefix
 		}
-		if uint64(rd.Len()) < frameLen {
+		total := int64(n) + int64(frameLen) + 4
+		if int64(len(rest)) < total {
 			break // torn tail: ignore the partial record
 		}
-		frame := make([]byte, frameLen)
-		if _, err := io.ReadFull(rd, frame); err != nil {
-			break // torn tail
+		frame := rest[n : int64(n)+int64(frameLen)]
+		wantCRC := binary.LittleEndian.Uint32(rest[int64(n)+int64(frameLen):])
+		if crc32.Checksum(frame, crcTable) != wantCRC {
+			break // corrupt record: treat as end of log
 		}
 		rec, err := decodeLogRecord(frame)
 		if err != nil {
-			return nil, nil, err
+			break // undecodable despite a good CRC: treat as end of log
 		}
 		records = append(records, rec)
+		lsns = append(lsns, base+uint64(offset))
 		if rec.Kind == OpCommit {
 			committed[rec.Txn] = true
 		}
+		offset += total
 	}
-	return records, committed, nil
+	return records, lsns, committed, offset
 }
 
 func decodeLogRecord(frame []byte) (LogRecord, error) {
@@ -310,6 +574,11 @@ func decodeLogRecord(frame []byte) (LogRecord, error) {
 		return rec, err
 	}
 	rec.Dataset = ds
+	idx, err := readString(rd)
+	if err != nil {
+		return rec, err
+	}
+	rec.Index = idx
 	part, err := binary.ReadUvarint(rd)
 	if err != nil {
 		return rec, err

@@ -100,11 +100,15 @@ func TestWALAppendReplay(t *testing.T) {
 	}
 	defer w2.Close()
 	var replayed []LogRecord
-	if err := w2.Replay(func(rec LogRecord) error {
+	stats, err := w2.Replay(func(_ uint64, rec LogRecord) error {
 		replayed = append(replayed, rec)
 		return nil
-	}); err != nil {
+	})
+	if err != nil {
 		t.Fatal(err)
+	}
+	if stats.Applied != 2 || stats.Records != 3 {
+		t.Errorf("stats = %+v, want Applied=2 Records=3", stats)
 	}
 	if len(replayed) != 2 {
 		t.Fatalf("replayed %d records, want 2 (uncommitted ops skipped)", len(replayed))
@@ -135,7 +139,7 @@ func TestWALTruncate(t *testing.T) {
 		t.Fatal(err)
 	}
 	count := 0
-	if err := w.Replay(func(LogRecord) error { count++; return nil }); err != nil {
+	if _, err := w.Replay(func(uint64, LogRecord) error { count++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if count != 0 {
@@ -153,7 +157,7 @@ func TestWALTornTail(t *testing.T) {
 	w.Append(LogRecord{Txn: tid, Kind: OpInsert, Dataset: "D", Key: []byte("k"), Value: []byte("v")})
 	w.Commit(tid)
 	// Simulate a torn write at the tail of the log.
-	w.file.Write([]byte{0x55, 0x01})
+	w.file.WriteAt([]byte{0x55, 0x01}, w.size)
 	w.Close()
 
 	w2, err := OpenWAL(dir, false)
@@ -162,7 +166,7 @@ func TestWALTornTail(t *testing.T) {
 	}
 	defer w2.Close()
 	count := 0
-	if err := w2.Replay(func(LogRecord) error { count++; return nil }); err != nil {
+	if _, err := w2.Replay(func(uint64, LogRecord) error { count++; return nil }); err != nil {
 		t.Fatalf("replay with torn tail: %v", err)
 	}
 	if count != 1 {
@@ -171,21 +175,189 @@ func TestWALTornTail(t *testing.T) {
 }
 
 func TestLogRecordRoundTrip(t *testing.T) {
-	rec := LogRecord{Txn: 42, Kind: OpInsert, Dataset: "MugshotUsers", Partition: 3, Key: []byte{1, 2, 3}, Value: []byte("payload")}
+	rec := LogRecord{Txn: 42, Kind: OpInsert, Dataset: "MugshotUsers", Index: "sk_idx", Partition: 3, Key: []byte{1, 2, 3}, Value: []byte("payload")}
 	buf := encodeLogRecord(rec)
-	records, committed, err := decodeLog(buf)
-	if err != nil {
-		t.Fatal(err)
-	}
+	records, lsns, committed, goodLen := decodeLog(buf, 7)
 	if len(records) != 1 {
 		t.Fatalf("decoded %d records", len(records))
 	}
+	if goodLen != int64(len(buf)) {
+		t.Errorf("goodLen = %d, want %d", goodLen, len(buf))
+	}
+	if len(lsns) != 1 || lsns[0] != 7 {
+		t.Errorf("lsns = %v, want [7]", lsns)
+	}
 	got := records[0]
-	if got.Txn != rec.Txn || got.Kind != rec.Kind || got.Dataset != rec.Dataset ||
+	if got.Txn != rec.Txn || got.Kind != rec.Kind || got.Dataset != rec.Dataset || got.Index != rec.Index ||
 		got.Partition != rec.Partition || string(got.Key) != string(rec.Key) || string(got.Value) != string(rec.Value) {
 		t.Errorf("round trip mismatch: %+v", got)
 	}
 	if len(committed) != 0 {
 		t.Error("no commit records were written")
+	}
+}
+
+func TestWALCRCFlippedByte(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offsets []int64
+	for i := 0; i < 3; i++ {
+		offsets = append(offsets, w.size)
+		tid := w.Begin()
+		w.Append(LogRecord{Txn: tid, Kind: OpInsert, Dataset: "D", Key: []byte{byte(i)}, Value: []byte("v")})
+		w.Commit(tid)
+	}
+	// Flip one byte inside the second record's payload: the frame length
+	// still parses, so only the CRC can catch it.
+	var b [1]byte
+	corruptAt := offsets[1] + 3
+	if _, err := w.file.ReadAt(b[:], corruptAt); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := w.file.WriteAt(b[:], corruptAt); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	w2, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	var warned bool
+	w2.Warnf = func(string, ...any) { warned = true }
+	count := 0
+	stats, err := w2.Replay(func(uint64, LogRecord) error { count++; return nil })
+	if err != nil {
+		t.Fatalf("replay with corrupt record: %v", err)
+	}
+	if count != 1 {
+		t.Errorf("replayed %d records, want 1 (log truncated at first bad record)", count)
+	}
+	if !warned {
+		t.Error("corruption did not produce a warning")
+	}
+	if stats.TruncatedAt == 0 {
+		t.Error("stats.TruncatedAt = 0, want the corruption LSN")
+	}
+	// The file was physically truncated: a second replay is clean.
+	w2.Warnf = func(format string, args ...any) { t.Errorf("unexpected warning: "+format, args...) }
+	count = 0
+	if _, err := w2.Replay(func(uint64, LogRecord) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Errorf("second replay saw %d records, want 1", count)
+	}
+	// And the truncated log accepts new appends cleanly.
+	tid := w2.Begin()
+	if _, err := w2.Append(LogRecord{Txn: tid, Kind: OpInsert, Dataset: "D", Key: []byte("new")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Commit(tid); err != nil {
+		t.Fatal(err)
+	}
+	count = 0
+	if _, err := w2.Replay(func(uint64, LogRecord) error { count++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("after append, replay saw %d records, want 2", count)
+	}
+}
+
+func TestWALLowWaterTracksInflightAppends(t *testing.T) {
+	w, err := OpenWAL(t.TempDir(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.LowWater() != w.End() {
+		t.Fatalf("idle LowWater = %d, want End = %d", w.LowWater(), w.End())
+	}
+	tid := w.Begin()
+	lsns, release, err := w.AppendGroup([]LogRecord{
+		{Txn: tid, Kind: OpInsert, Dataset: "D", Key: []byte("a")},
+		{Txn: tid, Kind: OpInsert, Dataset: "D", Index: "ix", Key: []byte("b")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lsns) != 2 || lsns[1] <= lsns[0] {
+		t.Fatalf("lsns = %v, want two increasing", lsns)
+	}
+	// While the group is unapplied, LowWater must not advance past it even
+	// though later records exist.
+	if _, err := w.Append(LogRecord{Txn: tid, Kind: OpCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.LowWater(); got != lsns[0] {
+		t.Errorf("LowWater with in-flight group = %d, want %d", got, lsns[0])
+	}
+	release()
+	release() // idempotent
+	if got, end := w.LowWater(), w.End(); got != end {
+		t.Errorf("LowWater after release = %d, want End = %d", got, end)
+	}
+}
+
+func TestWALCompactKeepsSuffixAndBase(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lsns []uint64
+	for i := 0; i < 4; i++ {
+		tid := w.Begin()
+		lsn, err := w.Append(LogRecord{Txn: tid, Kind: OpInsert, Dataset: "D", Key: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+		w.Commit(tid)
+	}
+	if err := w.Compact(lsns[2]); err != nil {
+		t.Fatal(err)
+	}
+	var keys []byte
+	var gotLSNs []uint64
+	if _, err := w.Replay(func(lsn uint64, rec LogRecord) error {
+		keys = append(keys, rec.Key[0])
+		gotLSNs = append(gotLSNs, lsn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(keys) != string([]byte{2, 3}) {
+		t.Errorf("after compact, replayed keys %v, want [2 3]", keys)
+	}
+	if len(gotLSNs) != 2 || gotLSNs[0] != lsns[2] || gotLSNs[1] != lsns[3] {
+		t.Errorf("after compact, LSNs %v, want [%d %d] (stable across compaction)", gotLSNs, lsns[2], lsns[3])
+	}
+	w.Close()
+
+	// LSNs survive a reopen too: the base lives in the file header.
+	w2, err := OpenWAL(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	gotLSNs = nil
+	if _, err := w2.Replay(func(lsn uint64, _ LogRecord) error {
+		gotLSNs = append(gotLSNs, lsn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotLSNs) != 2 || gotLSNs[0] != lsns[2] {
+		t.Errorf("after reopen, LSNs %v, want first = %d", gotLSNs, lsns[2])
+	}
+	if w2.End() != w.End() {
+		t.Errorf("End after reopen = %d, want %d", w2.End(), w.End())
 	}
 }

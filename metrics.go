@@ -71,7 +71,7 @@ func RegisterInstanceMetrics(r *metrics.Registry, get func() *Instance) {
 			})
 		})
 	r.Collect("asterix_lsm_secondary_components", "gauge",
-		"Secondary B+-tree disk components per dataset.",
+		"Secondary-index disk components per dataset (B+-tree, R-tree and inverted).",
 		func(emit func(float64, ...metrics.Label)) {
 			eachDataset(func(name string, s storage.DatasetStats) {
 				emit(float64(s.SecondaryComponents), metrics.L("dataset", name))
@@ -91,6 +91,44 @@ func RegisterInstanceMetrics(r *metrics.Registry, get func() *Instance) {
 				emit(float64(s.Merges), metrics.L("dataset", name))
 			})
 		})
+
+	// Durability & recovery gauges from the storage manager.
+	managerStats := func() storage.ManagerStats {
+		if in := get(); in != nil {
+			return in.Store().Stats()
+		}
+		return storage.ManagerStats{}
+	}
+	r.GaugeFunc("asterix_wal_bytes",
+		"Current write-ahead log size on disk.",
+		func() float64 { return float64(managerStats().WALBytes) })
+	r.CounterFunc("asterix_checkpoints_total",
+		"Lifetime checkpoints (persisted across restarts).",
+		func() float64 { return float64(managerStats().Checkpoints) })
+	r.GaugeFunc("asterix_checkpoint_last_unixtime",
+		"Completion time of the newest checkpoint (0 = never).",
+		func() float64 { return float64(managerStats().LastCheckpointUnix) })
+	r.GaugeFunc("asterix_recovery_duration_seconds",
+		"Wall-clock duration of the last WAL recovery in this process.",
+		func() float64 { return managerStats().Recovery.Duration.Seconds() })
+	r.GaugeFunc("asterix_recovery_replayed_records",
+		"Log records re-applied by the last recovery (past the durable watermarks).",
+		func() float64 { return float64(managerStats().Recovery.Replayed) })
+	r.GaugeFunc("asterix_recovery_skipped_records",
+		"Log records the last recovery skipped as already durable.",
+		func() float64 { return float64(managerStats().Recovery.Skipped) })
+	r.GaugeFunc("asterix_bg_queue_depth",
+		"Background flush/merge/checkpoint tasks waiting to run.",
+		func() float64 { return float64(managerStats().BgQueueDepth) })
+	r.GaugeFunc("asterix_bg_inflight",
+		"Background tasks running right now.",
+		func() float64 { return float64(managerStats().BgInFlight) })
+	r.CounterFunc("asterix_bg_flushes_total",
+		"Lifetime background flushes across all trees.",
+		func() float64 { return float64(managerStats().BgFlushes) })
+	r.CounterFunc("asterix_bg_merges_total",
+		"Lifetime background merges across all trees.",
+		func() float64 { return float64(managerStats().BgMerges) })
 }
 
 // RegisterMetrics registers this instance's engine gauges; the HTTP
