@@ -4,7 +4,16 @@
 // write and its rename, mid-checkpoint). In normal operation a Hit is one
 // atomic increment; when the ASTERIX_CRASHPOINT environment variable is set
 // to N, the Nth Hit kills the process with SIGKILL — no deferred functions,
-// no flushes, exactly what a power failure looks like to the filesystem.
+// no user-space flushes, the process simply stops mid-operation.
+//
+// This tests PROCESS-crash semantics, not power failure: dirty pages the
+// process wrote before the SIGKILL still reach disk via the OS page cache,
+// so a write that was never fsync'd can survive a kill -9 but would be lost
+// (or torn) when the machine itself dies. The fsync discipline that covers
+// the power-failure case — force the WAL before any component flush, fsync
+// components before their atomic rename — is enforced by code ordering and
+// asserted separately; the harness exercises every crash point's recovery
+// path but cannot observe a missing fsync.
 package crashpoint
 
 import (

@@ -48,8 +48,13 @@ func (m *Manager) Checkpoint() error {
 		}
 		// The low-water mark is captured per dataset, before its flush: any
 		// operation not yet fully applied keeps its LSN in the retained
-		// suffix and is replayed on recovery.
+		// suffix and is replayed on recovery. The WAL is forced before the
+		// flush so the stamped components never outlive (under power
+		// failure) the log records that commit their contents.
 		low := m.wal.LowWater()
+		if err := m.wal.Sync(); err != nil {
+			return fmt.Errorf("storage: checkpoint %q: wal sync: %w", name, err)
+		}
 		if err := ds.flushAll(low); err != nil {
 			return fmt.Errorf("storage: checkpoint %q: %w", name, err)
 		}

@@ -541,6 +541,15 @@ func tokenizerFor(ix IndexSpec) invidx.Tokenizer {
 
 // CreateIndex adds a secondary index, opening (or reopening) its LSM trees
 // and bulk-building it from existing data when it is brand new.
+//
+// Ordering matters for concurrent writers. Every partition's trees are
+// opened BEFORE the spec is published in d.indexes: a writer that sees the
+// spec must always find the tree, or applyRecordLocked would silently drop
+// its derived records while the backfill scan may already be past its key.
+// The publish happens under d.mu.Lock, which waits out every in-flight
+// writer (writers hold d.mu.RLock from deriving their log records through
+// applying them), so by the time the backfill scans a partition, any record
+// whose group carries no entries for this index is already in the primary.
 func (d *Dataset) CreateIndex(spec IndexSpec) error {
 	d.mu.Lock()
 	for _, ix := range d.indexes {
@@ -552,23 +561,38 @@ func (d *Dataset) CreateIndex(spec IndexSpec) error {
 	if spec.Kind == NGramIndex && spec.GramLength <= 0 {
 		spec.GramLength = 3
 	}
+	for i, p := range d.partitions {
+		if err := d.openIndexPartition(p, spec); err != nil {
+			// Unpublish the partial create so a retry starts clean.
+			for _, q := range d.partitions[:i] {
+				q.mu.Lock()
+				delete(q.btrees, spec.Name)
+				delete(q.rtrees, spec.Name)
+				delete(q.inverted, spec.Name)
+				q.mu.Unlock()
+			}
+			d.mu.Unlock()
+			return err
+		}
+	}
 	d.indexes = append(d.indexes, spec)
 	d.mu.Unlock()
 
 	for _, p := range d.partitions {
-		if err := d.createIndexPartition(p, spec); err != nil {
+		if err := d.backfillIndexPartition(p, spec); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func (d *Dataset) createIndexPartition(p *partition, spec IndexSpec) error {
+// openIndexPartition opens (or reopens) one partition's LSM tree for spec
+// and installs it in the partition's index maps.
+func (d *Dataset) openIndexPartition(p *partition, spec IndexSpec) error {
 	dir := d.indexDir(p, spec.Name)
 	opts := d.manager.lsmOptions()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var tree *lsm.Tree
 	switch spec.Kind {
 	case BTreeIndex:
 		t, err := lsm.Open(dir, opts)
@@ -576,23 +600,30 @@ func (d *Dataset) createIndexPartition(p *partition, spec IndexSpec) error {
 			return err
 		}
 		p.btrees[spec.Name] = t
-		tree = t
 	case RTreeIndex:
 		t, err := rtree.OpenLSM(dir, opts)
 		if err != nil {
 			return err
 		}
 		p.rtrees[spec.Name] = t
-		tree = t.Tree()
 	case KeywordIndex, NGramIndex:
 		t, err := invidx.OpenLSM(dir, opts, tokenizerFor(spec))
 		if err != nil {
 			return err
 		}
 		p.inverted[spec.Name] = t
-		tree = t.Tree()
 	default:
 		return fmt.Errorf("storage: unknown index kind %q", spec.Kind)
+	}
+	return nil
+}
+
+func (d *Dataset) backfillIndexPartition(p *partition, spec IndexSpec) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tree := p.treeFor(spec.Name)
+	if tree == nil {
+		return fmt.Errorf("storage: index %q on %q: tree missing after create", spec.Name, d.spec.Name)
 	}
 	// Reopening after a restart: the index already has durable components,
 	// and the WAL suffix carries every operation past its watermark, so
@@ -609,7 +640,11 @@ func (d *Dataset) createIndexPartition(p *partition, spec IndexSpec) error {
 	// top, in log order. The flush deliberately keeps the primary's existing
 	// durable stamp: CreateIndex also runs on reopen BEFORE Recover, when the
 	// WAL suffix is not yet applied, and advancing the stamp here would make
-	// recovery skip it.
+	// recovery skip it. The WAL is forced first so the flush can never make
+	// an operation durable whose log records live only in the page cache.
+	if err := d.manager.wal.Sync(); err != nil {
+		return err
+	}
 	if err := p.primary.Flush(); err != nil {
 		return err
 	}
@@ -706,6 +741,13 @@ func (d *Dataset) InsertBatch(recs []*adm.Record) (int, error) {
 		tid := d.manager.wal.Begin()
 		d.manager.locks.Lock(tid, pk)
 		err = func() error {
+			// The read lock spans deriving the log records through applying
+			// them: CreateIndex publishes a new index spec under d.mu.Lock,
+			// so it cannot land between our d.indexes snapshot and applyGroup
+			// — a window in which the backfill scan could miss this record
+			// while its group carries no records for the new index.
+			d.mu.RLock()
+			defer d.mu.RUnlock()
 			oldRec, _, err := d.currentRecord(part, pk)
 			if err != nil {
 				return err
@@ -719,14 +761,24 @@ func (d *Dataset) InsertBatch(recs []*adm.Record) (int, error) {
 				return err
 			}
 			applyErr := d.applyGroup(part, logRecs)
+			// Each record is its own record-level transaction: its commit
+			// record is appended here, but the log is forced only once for
+			// the whole statement (the Table 4 batching effect). The commit
+			// must be appended BEFORE release(): once the group's LSNs leave
+			// the in-flight set, a background flush may stamp a component past
+			// the applied operations, and if their commit record were not in
+			// the log yet, a crash would make recovery treat them as
+			// uncommitted while the flushed tree durably kept their effects
+			// (a no-steal violation diverging primary from secondaries).
+			var commitErr error
+			if applyErr == nil {
+				commitErr = d.manager.wal.CommitNoSync(tid)
+			}
 			release()
 			if applyErr != nil {
 				return applyErr
 			}
-			// Each record is its own record-level transaction: its commit
-			// record is appended here, but the log is forced only once for
-			// the whole statement (the Table 4 batching effect).
-			return d.manager.wal.CommitNoSync(tid)
+			return commitErr
 		}()
 		d.manager.locks.Unlock(tid, pk)
 		if err != nil {
@@ -765,9 +817,13 @@ func (d *Dataset) currentRecord(part int, pk []byte) (*adm.Record, []byte, error
 // index and carries the exact derived entry key, so recovery replays every
 // access path from the log alone — never by re-deriving from primary state
 // that may be newer than the crashed index.
+//
+// Caller holds d.mu (read): taking it again here would deadlock once a
+// CreateIndex/DropIndex writer is queued (Go RWMutexes do not admit
+// recursive read locks past a pending writer).
 func (d *Dataset) buildLogRecords(tid txn.ID, part int, pk []byte, oldRec, newRec *adm.Record, raw []byte) ([]txn.LogRecord, error) {
 	var recs []txn.LogRecord
-	for _, ix := range d.Indexes() {
+	for _, ix := range d.indexes {
 		if oldRec != nil {
 			keys, _, err := secondaryEntries(ix, oldRec, pk)
 			if err == nil { // old entries that failed to derive were never indexed
@@ -896,6 +952,9 @@ func (d *Dataset) Delete(pkValues ...adm.Value) (bool, error) {
 	tid := d.manager.wal.Begin()
 	d.manager.locks.Lock(tid, pk)
 	err := func() error {
+		// Read lock and commit-before-release ordering: see InsertBatch.
+		d.mu.RLock()
+		defer d.mu.RUnlock()
 		oldRec, oldRaw, err := d.currentRecord(part, pk)
 		if err != nil {
 			return err
@@ -912,11 +971,18 @@ func (d *Dataset) Delete(pkValues ...adm.Value) (bool, error) {
 			return err
 		}
 		applyErr := d.applyGroup(part, logRecs)
+		var commitErr error
+		if applyErr == nil {
+			commitErr = d.manager.wal.CommitNoSync(tid)
+		}
 		release()
 		if applyErr != nil {
 			return applyErr
 		}
-		return d.manager.wal.Commit(tid)
+		if commitErr != nil {
+			return commitErr
+		}
+		return d.manager.wal.Sync()
 	}()
 	d.manager.locks.Unlock(tid, pk)
 	if err == errNoSuchKey {
@@ -1378,8 +1444,17 @@ func (d *Dataset) SizeBytes() (int64, error) {
 // secondary indexes) to disk, stamped with the WAL low-water mark captured
 // up front: every operation fully applied before the capture is inside the
 // flushed components, so recovery replays only LSNs at or past the stamp.
+// The WAL is forced first — a stamped component may become durable the
+// moment it is renamed into place, so every log record below the stamp
+// (including its transaction's commit record) must already be on stable
+// storage, or a power failure could keep the component's effects while
+// losing the records that mark them committed.
 func (d *Dataset) Flush() error {
-	return d.flushAll(d.manager.wal.LowWater())
+	low := d.manager.wal.LowWater()
+	if err := d.manager.wal.Sync(); err != nil {
+		return err
+	}
+	return d.flushAll(low)
 }
 
 func (d *Dataset) flushAll(stamp uint64) error {

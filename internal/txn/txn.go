@@ -454,6 +454,13 @@ func (w *WAL) Replay(apply func(lsn uint64, rec LogRecord) error) (ReplayStats, 
 			w.mu.Unlock()
 			return stats, fmt.Errorf("txn: wal truncate after corruption: %w", err)
 		}
+		// Make the truncate durable: without it, a crash during recovery
+		// could resurrect the corrupt bytes (harmless but inconsistent with
+		// the fsync discipline everywhere else in this file).
+		if err := w.file.Sync(); err != nil {
+			w.mu.Unlock()
+			return stats, fmt.Errorf("txn: wal sync after corruption truncate: %w", err)
+		}
 		w.size = walHeaderLen + goodLen
 	}
 	maxTxn := w.nextTxn
